@@ -1,0 +1,54 @@
+//! CLI: run one Acto campaign against a named operator and print the
+//! report — the closest equivalent of invoking the original tool.
+//!
+//! Usage: `campaign <operator> [black|white] [--quick]`
+
+use acto::{CampaignConfig, Mode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(operator) = args.first() else {
+        eprintln!("usage: campaign <operator> [black|white] [--quick] [--fixed]");
+        eprintln!(
+            "operators: {}",
+            operators::registry::operator_names().join(", ")
+        );
+        std::process::exit(2);
+    };
+    let mode = if args.iter().any(|a| a == "black") {
+        Mode::Blackbox
+    } else {
+        Mode::Whitebox
+    };
+    let mut config = CampaignConfig::evaluation(operator, mode);
+    if args.iter().any(|a| a == "--quick") {
+        config.max_ops = Some(12);
+        config.differential = false;
+    }
+    if args.iter().any(|a| a == "--fixed") {
+        // Regression configuration: every injected bug fixed, fixed
+        // platform — a correct operator should produce no findings.
+        config.bugs = operators::bugs::BugToggles::all_fixed();
+        config.platform = simkube::PlatformBugs::none();
+    }
+    let result = acto::run_campaign(&config);
+    println!(
+        "{}",
+        acto::report::render_summary(operator, &result.summary)
+    );
+    println!(
+        "mode={} ops={} coverage={}/{} execution={:.2} sim-hours generation={:?} resets={}",
+        mode.name(),
+        result.trials.len(),
+        result.properties_covered,
+        result.properties_total,
+        result.sim_seconds as f64 / 3600.0,
+        result.gen_duration,
+        result.resets,
+    );
+    for (idx, detail) in &result.summary.false_positives {
+        let mut d = detail.clone();
+        d.truncate(120);
+        println!("false positive at trial {idx}: {d}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 4: comparing the three test-exploration strategies — single
+//! operation, operation sequence, and sequence with error-state recovery
+//! (paper §4.2) — by bugs detected on two representative operators.
+
+use acto::{CampaignConfig, Mode, Strategy};
+
+fn run(operator: &str, strategy: Strategy) -> (usize, usize, Vec<String>) {
+    let mut config = CampaignConfig::evaluation(operator, Mode::Whitebox);
+    config.strategy = strategy;
+    let result = acto::run_campaign(&config);
+    let bugs: Vec<String> = result.summary.detected_bugs.keys().cloned().collect();
+    (result.trials.len(), bugs.len(), bugs)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for operator in ["ZooKeeperOp", "OFC/MongoOp"] {
+        for (name, strategy) in [
+            ("single-operation (Fig 4a)", Strategy::SingleOperation),
+            ("operation-sequence (Fig 4b)", Strategy::OperationSequence),
+            ("sequence + recovery (Fig 4c/d)", Strategy::Full),
+        ] {
+            let (ops, found, bugs) = run(operator, strategy);
+            rows.push(vec![
+                operator.to_string(),
+                name.to_string(),
+                ops.to_string(),
+                found.to_string(),
+                bugs.join(", "),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        acto_bench::render_table(
+            "Figure 4: test strategies vs bugs detected",
+            &["Operator", "Strategy", "#Ops", "#Bugs", "Bugs"],
+            &rows,
+        )
+    );
+    println!(
+        "Expected shape: the single-operation strategy misses deletion-path \
+         and stateful bugs (it always starts from S0), the sequence strategy \
+         adds those, and only the recovery strategy reveals the \
+         recovery-failure bugs (paper: most detected bugs do not manifest \
+         from the initial state)."
+    );
+}

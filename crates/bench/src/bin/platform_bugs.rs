@@ -1,0 +1,167 @@
+//! Targeted probes for the six simulated platform bugs (paper §6.1: six
+//! bugs in Kubernetes and the Go runtime affecting multiple operators).
+//!
+//! Each probe demonstrates the defect under the buggy platform and its
+//! absence under the fixed platform, mirroring the confirmed/fixed status
+//! the paper reports.
+
+use crdspec::{Schema, Value};
+use simkube::meta::{LabelSelector, ObjectMeta};
+use simkube::objects::{ConfigMap, ObjectData, StatefulSet};
+use simkube::platform::ANNOTATION_TRUNCATION_LIMIT;
+use simkube::{ApiServer, PlatformBugs, Quantity};
+
+fn probe(name: &str, description: &str, buggy_behaviour: bool, fixed_behaviour: bool) {
+    let verdict = if buggy_behaviour && !fixed_behaviour {
+        "REPRODUCED (buggy platform misbehaves, fixed platform does not)"
+    } else {
+        "UNEXPECTED"
+    };
+    println!("{name}: {verdict}\n    {description}");
+}
+
+fn main() {
+    // PLAT-1: imprecise quantity conversion.
+    let q: Quantity = "1100m".parse().expect("quantity");
+    probe(
+        "PLAT-1 quantity-conversion",
+        "Quantity::value() truncates through a float instead of rounding up \
+         (kubernetes#110653).",
+        q.value_with_bugs(true) != q.value(),
+        q.value_with_bugs(false) != q.value(),
+    );
+
+    // PLAT-2: declaration validation accepts quantities the parser rejects.
+    let schema = Schema::object().prop("mem", Schema::string().format("quantity"));
+    let admit = |bugs: PlatformBugs| {
+        let mut api = ApiServer::new(bugs);
+        api.register_crd("W", schema.clone());
+        api.create_custom(
+            "ns",
+            "w",
+            "W",
+            Value::object([("mem", Value::from("1e"))]),
+            0,
+        )
+        .is_ok()
+    };
+    probe(
+        "PLAT-2 validation-mismatch",
+        "The generated validation regex admits \"1e\", which the \
+         unmarshaller rejects (controller-tools#665).",
+        admit(PlatformBugs::all()),
+        admit(PlatformBugs::none()),
+    );
+
+    // PLAT-3: oversized payloads crash the operator runtime.
+    let crash = |bugs: PlatformBugs| {
+        let mut instance = operators::Instance::deploy(
+            operators::registry::operator_by_name("ZooKeeperOp"),
+            operators::bugs::BugToggles::all_fixed(),
+            bugs,
+        )
+        .expect("deploy");
+        let mut spec = instance.cr_spec();
+        spec.set_path(
+            &"extraConfig.blob".parse().unwrap(),
+            Value::from("x".repeat((1 << 20) + 1)),
+        );
+        instance.submit(spec).unwrap();
+        instance.converge(operators::CONVERGE_RESET, operators::CONVERGE_MAX);
+        instance.operator_crashed()
+    };
+    probe(
+        "PLAT-3 shared-object-crash",
+        "Declarations beyond 1 MiB crash the operator runtime \
+         (go-review#418557).",
+        crash(PlatformBugs::all()),
+        crash(PlatformBugs::none()),
+    );
+
+    // PLAT-4: silent annotation truncation.
+    let truncated = |bugs: PlatformBugs| {
+        let mut api = ApiServer::new(bugs);
+        let huge = "y".repeat(ANNOTATION_TRUNCATION_LIMIT + 1);
+        let key = api
+            .create_object(
+                ObjectMeta::named("ns", "cm").with_annotation("blob", &huge),
+                ObjectData::ConfigMap(ConfigMap::default()),
+                0,
+            )
+            .expect("create");
+        api.get(&key).expect("object").meta.annotations["blob"].len() < huge.len()
+    };
+    probe(
+        "PLAT-4 annotation-truncation",
+        "Annotations beyond 64 KiB are silently truncated, corrupting \
+         round-tripped state.",
+        truncated(PlatformBugs::all()),
+        truncated(PlatformBugs::none()),
+    );
+
+    // PLAT-5: selector immutability is not enforced.
+    let mutation_allowed = |bugs: PlatformBugs| {
+        let mut api = ApiServer::new(bugs);
+        let mk = |sel: &str| StatefulSet {
+            selector: LabelSelector::match_labels([("app", sel)]),
+            ..StatefulSet::default()
+        };
+        api.apply_object(
+            ObjectMeta::named("ns", "s"),
+            ObjectData::StatefulSet(mk("a")),
+            0,
+        )
+        .expect("create");
+        api.apply_object(
+            ObjectMeta::named("ns", "s"),
+            ObjectData::StatefulSet(mk("b")),
+            1,
+        )
+        .is_ok()
+    };
+    probe(
+        "PLAT-5 selector-mutation",
+        "Workload selector updates desynchronize pod ownership instead of \
+         being rejected.",
+        mutation_allowed(PlatformBugs::all()),
+        mutation_allowed(PlatformBugs::none()),
+    );
+
+    // PLAT-6: observedGeneration reported before rollout completion.
+    let premature = |bugs: PlatformBugs| {
+        let mut store = simkube::ObjectStore::new();
+        store
+            .create(
+                ObjectMeta::named("ns", "s"),
+                ObjectData::StatefulSet(StatefulSet {
+                    replicas: 3,
+                    selector: LabelSelector::match_labels([("app", "s")]),
+                    ..StatefulSet::default()
+                }),
+                0,
+            )
+            .expect("create");
+        simkube::controllers::run_all(&mut store, 1, bugs);
+        match &store
+            .get(&simkube::ObjKey::new(simkube::Kind::StatefulSet, "ns", "s"))
+            .expect("sts")
+            .data
+        {
+            ObjectData::StatefulSet(s) => s.observed_generation == 1 && s.ready_replicas < 3,
+            _ => false,
+        }
+    };
+    probe(
+        "PLAT-6 premature-observed-generation",
+        "observedGeneration is bumped before the rollout finishes, so \
+         convergence appears early.",
+        premature(PlatformBugs::all()),
+        premature(PlatformBugs::none()),
+    );
+
+    println!(
+        "\nPaper: six platform bugs (quantity conversion, validation \
+         incompatibility, Go shared-object crashes, and others) were all \
+         confirmed or fixed after reporting."
+    );
+}

@@ -1,0 +1,62 @@
+//! Table 1: properties covered by existing e2e tests and multi-operation
+//! test characteristics (motivating study, paper §3).
+
+use operators::existing_tests::{existing_suite, tested_properties};
+use operators::registry::{all_operators, operator_by_name};
+
+fn main() {
+    let studied = ["KnativeOp", "PCN/MongoOp", "RabbitMQOp", "ZooKeeperOp"];
+    let mut rows = Vec::new();
+    for info in all_operators() {
+        if !studied.contains(&info.name) {
+            continue;
+        }
+        let suite = existing_suite(info.name);
+        let total_props = operator_by_name(info.name).schema().property_count();
+        let tested = tested_properties(&suite).len();
+        let multi: Vec<usize> = suite
+            .iter()
+            .filter(|t| t.operations > 1)
+            .map(|t| t.operations)
+            .collect();
+        let avg_ops = if multi.is_empty() {
+            0.0
+        } else {
+            multi.iter().sum::<usize>() as f64 / multi.len() as f64
+        };
+        rows.push(vec![
+            info.name.to_string(),
+            format!(
+                "{tested} ({:.2}%)",
+                100.0 * tested as f64 / total_props as f64
+            ),
+            total_props.to_string(),
+            format!(
+                "{:.2}% ({}/{})",
+                100.0 * multi.len() as f64 / suite.len().max(1) as f64,
+                multi.len(),
+                suite.len()
+            ),
+            format!("{avg_ops:.2}"),
+        ]);
+    }
+    println!(
+        "{}",
+        acto_bench::render_table(
+            "Table 1: properties covered by existing e2e tests",
+            &[
+                "Operator",
+                "Tested (%)",
+                "Total props",
+                "Multi-op tests",
+                "Ops (avg)"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "Paper: tested 1.27-2.15% of properties; multi-op tests 14.29-75%, \
+         averaging 2-6 operations. The measured shape — a tiny tested \
+         fraction and few multi-operation tests — should match."
+    );
+}

@@ -1,0 +1,79 @@
+//! Table 2: assertion kinds in existing e2e tests and the fraction of
+//! state-object fields they cover (motivating study, paper §3).
+
+use operators::bugs::BugToggles;
+use operators::existing_tests::{existing_suite, AssertionKind};
+use operators::registry::{all_operators, operator_by_name};
+use operators::Instance;
+use simkube::PlatformBugs;
+
+fn main() {
+    let studied = ["KnativeOp", "PCN/MongoOp", "RabbitMQOp", "ZooKeeperOp"];
+    let mut rows = Vec::new();
+    for info in all_operators() {
+        if !studied.contains(&info.name) {
+            continue;
+        }
+        let suite = existing_suite(info.name);
+        let count = |kind: AssertionKind| {
+            suite
+                .iter()
+                .flat_map(|t| &t.assertions)
+                .filter(|a| a.kind == kind)
+                .count()
+        };
+        let env = count(AssertionKind::Environment);
+        let state = count(AssertionKind::SystemState);
+        let behavior = count(AssertionKind::SystemBehavior);
+        let asserted: usize = suite
+            .iter()
+            .flat_map(|t| &t.assertions)
+            .map(|a| a.asserted_fields)
+            .sum();
+        // Total state-object fields come from an actual deployment of the
+        // operator: every leaf field across all state objects.
+        let instance = Instance::deploy(
+            operator_by_name(info.name),
+            BugToggles::all_injected(),
+            PlatformBugs::none(),
+        )
+        .expect("deploy");
+        let total_fields: usize = instance
+            .state_snapshot()
+            .values()
+            .map(|v| v.leaf_paths().len())
+            .sum();
+        rows.push(vec![
+            info.name.to_string(),
+            env.to_string(),
+            state.to_string(),
+            behavior.to_string(),
+            (env + state + behavior).to_string(),
+            format!(
+                "{asserted} ({:.2}%)",
+                100.0 * asserted as f64 / total_fields.max(1) as f64
+            ),
+            total_fields.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        acto_bench::render_table(
+            "Table 2: assertions in existing e2e tests",
+            &[
+                "Operator",
+                "Env",
+                "State",
+                "Behav",
+                "Total",
+                "Fields asserted (%)",
+                "Fields total"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "Paper: assertions cover 0.24-10.90% of state-object fields. The \
+         measured fraction should stay in the same low single-digit band."
+    );
+}

@@ -1,0 +1,840 @@
+//! Campaign planning and execution (paper §5.1, §5.5, Figure 4).
+//!
+//! A campaign visits every property of the operation interface at least
+//! once (100% property coverage), generating semantics-driven scenarios per
+//! property and chaining them: the end state of each operation is the next
+//! operation's start state. Operations probing misoperations drive the
+//! system into error states, after which the campaign tests rollback — the
+//! error-state-recovery strategy of Figure 4c. When a rollback fails (a
+//! recovery-failure bug) or the operator crashes, the campaign resets onto
+//! a fresh cluster at the last good declaration and continues.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use crdspec::{Path, Schema, SchemaKind, Value};
+use opdsl::IrModule;
+use operators::bugs::BugToggles;
+use operators::{operator_by_name, Instance, CONVERGE_MAX, CONVERGE_RESET};
+use simkube::PlatformBugs;
+
+use crate::deps::{infer_dependencies, satisfy};
+use crate::gen::{mutate, scenarios_for, GenContext};
+use crate::model::{Expectation, Mode, PlannedOp, Trial, TrialOutcome};
+use crate::oracles::{
+    self, consistency_check, differential_normal, differential_rollback, error_checks,
+    masked_snapshot, transition_occurred, AlarmKind, OracleContext,
+};
+use crate::report::{summarize, Alarm, CampaignSummary};
+
+/// Campaign configuration.
+#[derive(Clone)]
+pub struct CampaignConfig {
+    /// Operator under test (registry name).
+    pub operator: String,
+    /// Blackbox or whitebox mode.
+    pub mode: Mode,
+    /// Injected-bug toggles.
+    pub bugs: BugToggles,
+    /// Platform-bug configuration.
+    pub platform: PlatformBugs,
+    /// Stop after this many executed operations (`None` = full coverage).
+    pub max_ops: Option<usize>,
+    /// Run the (expensive) differential oracle for normal transitions.
+    pub differential: bool,
+    /// The test-exploration strategy (Figure 4).
+    pub strategy: Strategy,
+    /// Execute only the plan window `(skip, take)`: the prefix is replaced
+    /// by a single jump operation `S_0 → S_skip` (test partitioning,
+    /// paper §5.5).
+    pub window: Option<(usize, usize)>,
+    /// User-provided domain-specific oracles, run on every converged trial
+    /// after the built-in ones.
+    pub custom_oracles: Vec<std::sync::Arc<dyn crate::oracles::CustomOracle>>,
+}
+
+impl std::fmt::Debug for CampaignConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignConfig")
+            .field("operator", &self.operator)
+            .field("mode", &self.mode)
+            .field("max_ops", &self.max_ops)
+            .field("differential", &self.differential)
+            .field("strategy", &self.strategy)
+            .field("window", &self.window)
+            .field("custom_oracles", &self.custom_oracles.len())
+            .finish()
+    }
+}
+
+/// Acto's test-exploration strategies (paper §4.2, Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Every operation applies to the initial state `S_0` (Figure 4a).
+    SingleOperation,
+    /// Operations chain: each end state starts the next (Figure 4b),
+    /// without error-state recovery testing.
+    OperationSequence,
+    /// Chained operations plus error-state rollbacks (Figures 4c–d).
+    Full,
+}
+
+impl CampaignConfig {
+    /// The evaluation configuration: all bugs injected, buggy platform,
+    /// differential oracle on.
+    pub fn evaluation(operator: &str, mode: Mode) -> CampaignConfig {
+        CampaignConfig {
+            operator: operator.to_string(),
+            mode,
+            bugs: BugToggles::all_injected(),
+            platform: PlatformBugs::all(),
+            max_ops: None,
+            differential: true,
+            strategy: Strategy::Full,
+            window: None,
+            custom_oracles: Vec::new(),
+        }
+    }
+}
+
+/// The result of one campaign.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Operator name.
+    pub operator: String,
+    /// Mode used.
+    pub mode: Mode,
+    /// Executed trials.
+    pub trials: Vec<Trial>,
+    /// Properties in the operation interface.
+    pub properties_total: usize,
+    /// Properties covered by at least one operation.
+    pub properties_covered: usize,
+    /// Total simulated seconds across all clusters used (execution time).
+    pub sim_seconds: u64,
+    /// Wall-clock time spent planning/generating operations.
+    pub gen_duration: Duration,
+    /// Times the campaign had to reset onto a fresh cluster.
+    pub resets: usize,
+    /// Attributed findings.
+    pub summary: CampaignSummary,
+    /// Deterministic vs masked leaf-field counts of the final state.
+    pub deterministic_fields: (usize, usize),
+}
+
+impl CampaignResult {
+    /// For each alarmed trial, the declaration sequence reproducing it
+    /// (every executed declaration up to and including the trial's own).
+    /// Feed a sequence to [`crate::minimize::minimize`] to shrink it and to
+    /// [`crate::minimize::emit_test_code`] to obtain regression-test code
+    /// (paper §5.4: a minimized e2e test per alarm).
+    pub fn reproduction_sequences(&self) -> Vec<(usize, Vec<Value>)> {
+        let mut out = Vec::new();
+        let mut history: Vec<Value> = Vec::new();
+        for trial in &self.trials {
+            history.push(trial.declaration.clone());
+            if !trial.alarms.is_empty() {
+                out.push((trial.op.index, history.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// Plans a campaign: one scenario list per property, in deterministic
+/// order, with dependency assignments resolved against an evolving working
+/// declaration.
+pub fn plan_campaign(
+    schema: &Schema,
+    ir: Option<&IrModule>,
+    mode: Mode,
+    initial_cr: &Value,
+    images: &[String],
+    instance: &str,
+) -> Vec<PlannedOp> {
+    let semantics = crate::semantics::infer_semantics(schema, ir, mode);
+    let deps = infer_dependencies(schema, ir, mode);
+    let mut plan: Vec<PlannedOp> = Vec::new();
+    let mut working = initial_cr.clone();
+    let mut consumed: Vec<Path> = Vec::new();
+    for property in schema.property_paths() {
+        if consumed
+            .iter()
+            .any(|c| property.starts_with(c) && property != *c)
+        {
+            continue;
+        }
+        let Some(node) = schema.at(&property) else {
+            continue;
+        };
+        // Maps and arrays are exercised at the container level.
+        let is_container = matches!(node.kind, SchemaKind::Map { .. } | SchemaKind::Array { .. });
+        let semantic = semantics.get(&property).copied();
+        let current = working.get_path(&value_path(&property));
+        let ctx = GenContext {
+            node,
+            current,
+            images,
+            instance,
+        };
+        let mut scenarios = match semantic {
+            Some(sem) => scenarios_for(sem, &ctx),
+            None => Vec::new(),
+        };
+        // Most composite generators cover their whole subtree; ingress and
+        // backup scenarios only exercise the headline knobs, so their
+        // children (hosts, schedules, storage destinations) are still
+        // planned individually.
+        let semantic_composite = !scenarios.is_empty()
+            && !node.is_leaf()
+            && !matches!(
+                semantic,
+                Some(crdspec::Semantic::Ingress) | Some(crdspec::Semantic::Backup)
+            );
+        if scenarios.is_empty() {
+            if node.is_leaf() || is_container {
+                scenarios = mutate(&ctx);
+            } else {
+                // Plain object: its children are planned individually.
+                continue;
+            }
+        }
+        if semantic_composite || is_container {
+            consumed.push(property.clone());
+        }
+        let assignments = satisfy(&deps, &property);
+        // Remember controller values so they can be restored after this
+        // property's scenarios (dependency satisfaction must not leak into
+        // unrelated later tests).
+        let restore: Vec<(Path, Value)> = assignments
+            .iter()
+            .filter_map(|(p, v)| {
+                let cur = working.get_path(&value_path(p)).cloned();
+                match cur {
+                    Some(cur) if &cur != v => Some((p.clone(), cur)),
+                    None => Some((p.clone(), Value::Null)),
+                    _ => None,
+                }
+            })
+            .collect();
+        for scenario in scenarios {
+            // Misoperations that do not surface an error immediately would
+            // otherwise linger in the declaration and corrupt later trials
+            // (e.g. an unprovisionable storage class only bites at the next
+            // scale-up); restore the pre-scenario value afterwards. When
+            // the misoperation *did* produce an error, the campaign's
+            // rollback already restored it and the extra step no-ops.
+            let pre_scenario = working.get_path(&value_path(&property)).cloned();
+            let is_misop = scenario.expectation == Expectation::Misoperation;
+            for step in scenario.steps {
+                let mut dependency_assignments = Vec::new();
+                for (p, v) in &assignments {
+                    if working.get_path(&value_path(p)) != Some(v) {
+                        dependency_assignments.push((p.clone(), v.clone()));
+                    }
+                }
+                // Skip steps that change nothing.
+                let target = value_path(&property);
+                if dependency_assignments.is_empty() && working.get_path(&target) == Some(&step) {
+                    continue;
+                }
+                for (p, v) in &dependency_assignments {
+                    working.set_path(&value_path(p), v.clone());
+                }
+                working.set_path(&target, step.clone());
+                plan.push(PlannedOp {
+                    index: plan.len(),
+                    property: property.clone(),
+                    scenario: scenario.name,
+                    value: step,
+                    dependency_assignments,
+                    expectation: scenario.expectation,
+                });
+            }
+            if is_misop {
+                let restore_value = pre_scenario.clone().unwrap_or(Value::Null);
+                if working.get_path(&value_path(&property)) != pre_scenario.as_ref() {
+                    if restore_value.is_null() {
+                        working.remove_path(&value_path(&property));
+                    } else {
+                        working.set_path(&value_path(&property), restore_value.clone());
+                    }
+                    plan.push(PlannedOp {
+                        index: plan.len(),
+                        property: property.clone(),
+                        scenario: "restore-after-misoperation",
+                        value: restore_value,
+                        dependency_assignments: Vec::new(),
+                        expectation: Expectation::NormalTransition,
+                    });
+                }
+            }
+        }
+        // Restore controllers changed for dependency satisfaction.
+        for (p, v) in restore {
+            if working.get_path(&value_path(&p)) == Some(&v) {
+                continue;
+            }
+            if v.is_null() {
+                working.remove_path(&value_path(&p));
+            } else {
+                working.set_path(&value_path(&p), v.clone());
+            }
+            plan.push(PlannedOp {
+                index: plan.len(),
+                property: p.clone(),
+                scenario: "restore-dependency",
+                value: v,
+                dependency_assignments: Vec::new(),
+                expectation: Expectation::NormalTransition,
+            });
+        }
+    }
+    plan
+}
+
+/// Applies one planned operation to a working declaration.
+pub fn apply_op(working: &mut Value, op: &PlannedOp) {
+    for (p, v) in &op.dependency_assignments {
+        working.set_path(&value_path(p), v.clone());
+    }
+    let target = value_path(&op.property);
+    if op.value.is_null() {
+        working.remove_path(&target);
+    } else {
+        working.set_path(&target, op.value.clone());
+    }
+}
+
+/// Converts a schema path into a concrete value path (`@items` becomes
+/// index 0; `@values` is dropped, addressing the map itself).
+fn value_path(schema_path: &Path) -> Path {
+    let mut steps = Vec::new();
+    for step in schema_path.steps() {
+        match step {
+            crdspec::Step::Key(k) if k == "@items" => steps.push(crdspec::Step::Index(0)),
+            crdspec::Step::Key(k) if k == "@values" => {}
+            other => steps.push(other.clone()),
+        }
+    }
+    Path::from_steps(steps)
+}
+
+/// Returns `true` when the operator has acknowledged the current
+/// generation in the CR status.
+fn acknowledged(instance: &Instance) -> bool {
+    let Some(obj) = instance.cluster.api().get(&instance.cr_key()) else {
+        return true;
+    };
+    let generation = obj.meta.generation as i64;
+    obj.data
+        .status_value()
+        .get("observedGeneration")
+        .and_then(Value::as_i64)
+        .map_or(false, |og| og >= generation)
+}
+
+fn deploy_instance(config: &CampaignConfig) -> Instance {
+    Instance::deploy(
+        operator_by_name(&config.operator),
+        config.bugs.clone(),
+        config.platform,
+    )
+    .expect("initial deployment")
+}
+
+/// Runs a full campaign for one operator.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+    let operator = operator_by_name(&config.operator);
+    let schema = operator.schema();
+    let ir = operator.ir();
+    let gen_start = Instant::now();
+    let plan = plan_campaign(
+        &schema,
+        Some(&ir),
+        config.mode,
+        &operator.initial_cr(),
+        &operator.images(),
+        operators::INSTANCE,
+    );
+    let gen_duration = gen_start.elapsed();
+    let mut instance = deploy_instance(config);
+    let mut sim_seconds: u64 = 0;
+    let mut resets = 0usize;
+    let mut last_good = instance.cr_spec();
+    let mut trials: Vec<Trial> = Vec::new();
+    let mut covered: BTreeSet<Path> = BTreeSet::new();
+    let mut no_transition_alarmed: BTreeSet<Path> = BTreeSet::new();
+    let cr_id = format!(
+        "{}/{}/{}",
+        instance.operator().kind(),
+        instance.namespace,
+        instance.name
+    );
+    let raw_final_state = instance.state_snapshot();
+    let deterministic_fields = oracles::field_determinism(&raw_final_state);
+
+    // Test partitioning: replace the plan prefix with one jump operation.
+    let (skip, take) = config.window.unwrap_or((0, plan.len()));
+    if skip > 0 {
+        let mut jump = operator.initial_cr();
+        for op in plan.iter().take(skip) {
+            apply_op(&mut jump, op);
+        }
+        if instance.submit(jump.clone()).is_ok() {
+            let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+            last_good = jump;
+        }
+    }
+
+    for planned in plan.iter().skip(skip).take(take) {
+        if let Some(max) = config.max_ops {
+            if trials.len() >= max {
+                break;
+            }
+        }
+        // Build the new declaration. The single-operation strategy always
+        // starts from the initial state; the others chain.
+        if config.strategy == Strategy::SingleOperation {
+            sim_seconds += instance.cluster.now();
+            instance = deploy_instance(config);
+            last_good = instance.cr_spec();
+        }
+        let mut spec = instance.cr_spec();
+        for (p, v) in &planned.dependency_assignments {
+            spec.set_path(&value_path(p), v.clone());
+        }
+        let target = value_path(&planned.property);
+        if planned.value.is_null() {
+            spec.remove_path(&target);
+        } else {
+            spec.set_path(&target, planned.value.clone());
+        }
+        if normalized(&spec) == normalized(&instance.cr_spec()) {
+            continue;
+        }
+        covered.insert(planned.property.clone());
+        let pre_state = masked_snapshot(&instance);
+        let t_start = instance.cluster.now();
+        if let Err(err) = instance.submit(spec.clone()) {
+            trials.push(Trial {
+                op: planned.clone(),
+                declaration: spec,
+                outcome: TrialOutcome::RejectedByApi(err.to_string()),
+                alarms: Vec::new(),
+                rollback_recovered: None,
+                sim_seconds: 0,
+            });
+            continue;
+        }
+        let converged = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+        let trial_sim = instance.cluster.now() - t_start;
+        let mut alarms: Vec<Alarm> = Vec::new();
+        let post_state = masked_snapshot(&instance);
+        let crashed = instance.operator_crashed();
+        let system_down = matches!(instance.last_health, managed::Health::Down(_));
+        let pod_errors = instance.pod_failures();
+        let stalled = !crashed && !acknowledged(&instance);
+        let rejected = oracles::operator_rejected(&instance, t_start);
+
+        let outcome = if crashed {
+            alarms.extend(error_checks(&instance, t_start));
+            TrialOutcome::OperatorCrash(
+                alarms
+                    .first()
+                    .map(|a| a.detail.clone())
+                    .unwrap_or_else(|| "panic".to_string()),
+            )
+        } else if !converged {
+            alarms.push(Alarm::new(
+                AlarmKind::ErrorCheck,
+                "state did not converge within budget".to_string(),
+            ));
+            TrialOutcome::ConvergenceTimeout
+        } else if system_down || !pod_errors.is_empty() {
+            alarms.extend(error_checks(&instance, t_start));
+            TrialOutcome::ErrorState(
+                instance
+                    .last_health
+                    .reason()
+                    .unwrap_or("pods in error state")
+                    .to_string(),
+            )
+        } else if stalled {
+            alarms.push(Alarm::new(
+                AlarmKind::ErrorCheck,
+                "operator stalled: declaration never acknowledged".to_string(),
+            ));
+            TrialOutcome::ErrorState("operator stalled".to_string())
+        } else if rejected {
+            TrialOutcome::RejectedByOperator
+        } else {
+            TrialOutcome::Converged
+        };
+
+        if outcome == TrialOutcome::Converged {
+            // A converged-but-degraded system is an explicit runtime-status
+            // signal (e.g. stale configuration, outdated secrets).
+            if let managed::Health::Degraded(reason) = &instance.last_health {
+                alarms.push(Alarm::new(
+                    AlarmKind::ErrorCheck,
+                    format!("managed system degraded: {reason}"),
+                ));
+            }
+            let previous = last_good.get_path(&target).cloned();
+            let ctx = OracleContext {
+                property: &planned.property,
+                declared: &planned.value,
+                declaration: &spec,
+                pre_state: &pre_state,
+                post_state: &post_state,
+                cr_id: &cr_id,
+            };
+            let restoration = planned.scenario == "restore-after-misoperation"
+                || planned.scenario == "restore-dependency";
+            if planned.expectation == Expectation::NormalTransition
+                && !restoration
+                && !transition_occurred(&ctx)
+            {
+                // One alarm per property: repeated steps of the same
+                // unsatisfied predicate are the same finding.
+                if no_transition_alarmed.insert(planned.property.clone()) {
+                    alarms.push(Alarm::new(
+                        AlarmKind::Consistency,
+                        format!(
+                            "operation on {} caused no state transition",
+                            planned.property
+                        ),
+                    ));
+                }
+            } else {
+                alarms.extend(consistency_check(&ctx, previous.as_ref()));
+                for oracle in &config.custom_oracles {
+                    for mut alarm in oracle.check(&ctx, &instance) {
+                        alarm.detail = format!("[{}] {}", oracle.name(), alarm.detail);
+                        alarms.push(alarm);
+                    }
+                }
+                if config.differential {
+                    let (fresh_state, fresh_sim) = fresh_reference(config, &spec);
+                    sim_seconds += fresh_sim;
+                    if let Some(fresh_state) = fresh_state {
+                        alarms.extend(collapse(differential_normal(&post_state, &fresh_state)));
+                    }
+                }
+            }
+        }
+
+        if outcome == TrialOutcome::RejectedByOperator {
+            // The operator refused the declaration: restore the last good
+            // one so the declared state matches what the system runs.
+            let _ = instance.submit(last_good.clone());
+            let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+        }
+        let mut rollback_recovered = None;
+        if outcome.is_error() && config.strategy != Strategy::Full {
+            // Without the recovery strategy the campaign simply resets.
+            sim_seconds += instance.cluster.now();
+            instance = deploy_instance(config);
+            if config.strategy == Strategy::OperationSequence {
+                let _ = instance.submit(last_good.clone());
+                let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+            } else {
+                last_good = instance.cr_spec();
+            }
+            resets += 1;
+        } else if outcome.is_error() {
+            // Error-state recovery (Figure 4c): roll back to the previous
+            // good declaration and verify restoration.
+            let rollback_ok = instance.submit(last_good.clone()).is_ok();
+            let rb_start = instance.cluster.now();
+            let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+            sim_seconds += instance.cluster.now() - rb_start;
+            // Rollback must clear the *error* state; a pre-existing
+            // degradation is judged by the state comparison instead.
+            let healthy = !matches!(instance.last_health, managed::Health::Down(_))
+                && !instance.operator_crashed()
+                && acknowledged(&instance)
+                && instance.pod_failures().is_empty();
+            let after = masked_snapshot(&instance);
+            let rb_alarms = if rollback_ok {
+                collapse(differential_rollback(&pre_state, &after, healthy))
+            } else {
+                vec![Alarm::new(
+                    AlarmKind::DifferentialRollback,
+                    "rollback declaration rejected".to_string(),
+                )]
+            };
+            rollback_recovered = Some(rb_alarms.is_empty());
+            if rb_alarms.is_empty() {
+                // Recovered: continue from the restored state.
+            } else {
+                alarms.extend(rb_alarms);
+                // Reset onto a fresh cluster at the last good declaration.
+                sim_seconds += instance.cluster.now();
+                instance = deploy_instance(config);
+                let _ = instance.submit(last_good.clone());
+                let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+                resets += 1;
+            }
+        } else if outcome == TrialOutcome::Converged {
+            last_good = spec.clone();
+            if !alarms.is_empty() {
+                // A detected defect may leave residue (stale objects, stale
+                // labels) that would contaminate later trials: reset onto a
+                // fresh cluster at the current declaration.
+                sim_seconds += instance.cluster.now();
+                instance = deploy_instance(config);
+                let _ = instance.submit(last_good.clone());
+                let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+                resets += 1;
+            }
+        }
+
+        trials.push(Trial {
+            op: planned.clone(),
+            declaration: spec,
+            outcome,
+            alarms,
+            rollback_recovered,
+            sim_seconds: trial_sim,
+        });
+    }
+    sim_seconds += instance.cluster.now();
+
+    let summary = summarize(&config.operator, &trials);
+    CampaignResult {
+        operator: config.operator.clone(),
+        mode: config.mode,
+        properties_total: schema.property_count(),
+        properties_covered: covered_count(&schema, &covered),
+        trials,
+        sim_seconds,
+        gen_duration,
+        resets,
+        summary,
+        deterministic_fields,
+    }
+}
+
+/// Counts covered properties, where covering a container covers its
+/// subtree (the paper's composite-property coverage, §5.2.2).
+fn covered_count(schema: &Schema, covered: &BTreeSet<Path>) -> usize {
+    schema
+        .property_paths()
+        .iter()
+        .filter(|p| covered.iter().any(|c| p.starts_with(c) || c.starts_with(p)))
+        .count()
+}
+
+/// Normalizes a declaration for no-op comparison: empty containers carry
+/// no meaning.
+fn normalized(v: &Value) -> Value {
+    fn strip(v: &Value) -> Option<Value> {
+        match v {
+            Value::Object(m) => {
+                let m: crdspec::Value = Value::Object(
+                    m.iter()
+                        .filter_map(|(k, val)| strip(val).map(|sv| (k.clone(), sv)))
+                        .collect(),
+                );
+                match &m {
+                    Value::Object(inner) if inner.is_empty() => None,
+                    _ => Some(m),
+                }
+            }
+            Value::Array(a) if a.is_empty() => None,
+            other => Some(other.clone()),
+        }
+    }
+    strip(v).unwrap_or(Value::Null)
+}
+
+/// Collapses a burst of same-oracle field-level alarms into one alarm per
+/// trial (a test failure, in the paper's counting), keeping sample details.
+fn collapse(alarms: Vec<Alarm>) -> Vec<Alarm> {
+    if alarms.len() <= 1 {
+        return alarms;
+    }
+    let kind = alarms[0].kind;
+    let sample: Vec<String> = alarms.iter().take(3).map(|a| a.detail.clone()).collect();
+    vec![Alarm::new(
+        kind,
+        format!(
+            "{} (+{} more findings)",
+            sample.join("; "),
+            alarms.len() - 1
+        ),
+    )]
+}
+
+/// Builds the fresh-deployment reference state for the differential oracle
+/// (`S_0 --D--> S'_i`). Returns `None` when the fresh run itself fails to
+/// accept the declaration.
+fn fresh_reference(
+    config: &CampaignConfig,
+    declaration: &Value,
+) -> (Option<oracles::StateSnapshot>, u64) {
+    let mut fresh = deploy_instance(config);
+    if fresh.submit(declaration.clone()).is_err() {
+        let sim = fresh.cluster.now();
+        return (None, sim);
+    }
+    let _ = fresh.converge(CONVERGE_RESET, CONVERGE_MAX);
+    let sim = fresh.cluster.now();
+    (Some(masked_snapshot(&fresh)), sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_for(operator: &str, mode: Mode) -> Vec<PlannedOp> {
+        let op = operator_by_name(operator);
+        plan_campaign(
+            &op.schema(),
+            Some(&op.ir()),
+            mode,
+            &op.initial_cr(),
+            &op.images(),
+            operators::INSTANCE,
+        )
+    }
+
+    #[test]
+    fn plan_covers_every_property() {
+        let op = operator_by_name("ZooKeeperOp");
+        let schema = op.schema();
+        let plan = plan_for("ZooKeeperOp", Mode::Whitebox);
+        let covered: BTreeSet<Path> = plan.iter().map(|p| p.property.clone()).collect();
+        let count = covered_count(&schema, &covered);
+        assert_eq!(
+            count,
+            schema.property_count(),
+            "plan must cover 100% of properties"
+        );
+    }
+
+    #[test]
+    fn whitebox_plans_more_ops_than_blackbox() {
+        // The blackbox mode cannot infer semantics for obscure properties
+        // and falls back to mutation, generating fewer operations
+        // (paper §6.2: Acto-blackbox generates ~48 fewer ops).
+        let black = plan_for("ZooKeeperOp", Mode::Blackbox).len();
+        let white = plan_for("ZooKeeperOp", Mode::Whitebox).len();
+        assert!(
+            white > black,
+            "whitebox {white} ops should exceed blackbox {black}"
+        );
+    }
+
+    #[test]
+    fn whitebox_plan_satisfies_storage_type_dependency() {
+        let plan = plan_for("ZooKeeperOp", Mode::Whitebox);
+        let eph = plan
+            .iter()
+            .find(|p| p.property.to_string() == "ephemeral.emptyDirSize")
+            .expect("emptyDirSize planned");
+        assert!(eph
+            .dependency_assignments
+            .iter()
+            .any(|(p, v)| p.to_string() == "storageType" && *v == Value::from("ephemeral")));
+        let plan = plan_for("ZooKeeperOp", Mode::Blackbox);
+        let eph = plan
+            .iter()
+            .find(|p| p.property.to_string() == "ephemeral.emptyDirSize")
+            .expect("emptyDirSize planned");
+        assert!(eph.dependency_assignments.is_empty());
+    }
+
+    #[test]
+    fn blackbox_plan_has_no_privileged_port_on_obscure_property() {
+        let plan = plan_for("ZooKeeperOp", Mode::Blackbox);
+        assert!(!plan
+            .iter()
+            .any(|p| { p.property.to_string() == "clientAccess" && p.value == Value::from(80) }));
+        let plan = plan_for("ZooKeeperOp", Mode::Whitebox);
+        assert!(plan
+            .iter()
+            .any(|p| { p.property.to_string() == "clientAccess" && p.value == Value::from(80) }));
+    }
+
+    #[test]
+    fn value_path_translation() {
+        let p: Path = "users.@items.name".parse().unwrap();
+        assert_eq!(value_path(&p).to_string(), "users[0].name");
+        let p: Path = "config.@values".parse().unwrap();
+        assert_eq!(value_path(&p).to_string(), "config");
+    }
+
+    #[test]
+    fn normalized_ignores_empty_containers() {
+        let a = Value::object([
+            ("x", Value::from(1)),
+            ("empty", Value::empty_object()),
+            ("list", Value::Array(Vec::new())),
+        ]);
+        let b = Value::object([("x", Value::from(1))]);
+        assert_eq!(normalized(&a), normalized(&b));
+        let c = Value::object([("x", Value::from(2))]);
+        assert_ne!(normalized(&a), normalized(&c));
+    }
+
+    #[test]
+    fn collapse_merges_alarm_bursts() {
+        let burst: Vec<Alarm> = (0..5)
+            .map(|i| Alarm::new(AlarmKind::DifferentialNormal, format!("finding {i}")))
+            .collect();
+        let collapsed = collapse(burst);
+        assert_eq!(collapsed.len(), 1);
+        assert!(collapsed[0].detail.contains("finding 0"));
+        assert!(collapsed[0].detail.contains("+4 more"));
+        // Singletons pass through untouched.
+        let single = vec![Alarm::new(AlarmKind::ErrorCheck, "one".to_string())];
+        assert_eq!(collapse(single.clone()), single);
+    }
+
+    #[test]
+    fn reproduction_sequences_accumulate_history() {
+        let config = CampaignConfig {
+            operator: "CockroachOp".to_string(),
+            mode: Mode::Whitebox,
+            bugs: BugToggles::all_injected(),
+            platform: PlatformBugs::none(),
+            max_ops: Some(15),
+            differential: false,
+            strategy: Strategy::Full,
+            window: None,
+            custom_oracles: Vec::new(),
+        };
+        let result = run_campaign(&config);
+        let seqs = result.reproduction_sequences();
+        assert!(!seqs.is_empty(), "the crash bugs alarm within 15 ops");
+        for (_, seq) in &seqs {
+            assert!(!seq.is_empty());
+        }
+        // Sequences grow monotonically with trial position.
+        for w in seqs.windows(2) {
+            assert!(w[0].1.len() < w[1].1.len());
+        }
+    }
+
+    #[test]
+    fn short_campaign_executes_and_reports() {
+        let config = CampaignConfig {
+            operator: "ZooKeeperOp".to_string(),
+            mode: Mode::Whitebox,
+            bugs: BugToggles::all_injected(),
+            platform: PlatformBugs::none(),
+            max_ops: Some(6),
+            differential: false,
+            strategy: Strategy::Full,
+            window: None,
+            custom_oracles: Vec::new(),
+        };
+        let result = run_campaign(&config);
+        assert!(!result.trials.is_empty());
+        assert!(result.trials.len() <= 6);
+        assert!(result.sim_seconds > 0);
+    }
+}

@@ -1,0 +1,943 @@
+//! Semantics-driven value generation and type-based mutation (paper
+//! §5.2.3, Table 3).
+//!
+//! For properties with inferred semantics, Acto generates *scenarios*:
+//! sequences of values that exercise representative operations (scale up
+//! then down, enable then disable, unsatisfiable affinity, privileged
+//! ports, …). Each scenario step becomes one operation of the campaign.
+//! Properties whose semantics Acto cannot infer fall back to type-based
+//! mutation that preserves syntactic validity; such mutants help probe
+//! misoperation handling but miss semantics-requiring scenarios — the
+//! cause of Acto-■'s single missed bug and lower misoperation counts.
+
+use crdspec::{Schema, SchemaKind, Semantic, Value};
+
+use crate::model::Expectation;
+
+/// Context available to generators at runtime (paper: "some generators
+/// read environment and runtime information").
+pub struct GenContext<'a> {
+    /// The property's schema node.
+    pub node: &'a Schema,
+    /// The property's current value, when present in the CR.
+    pub current: Option<&'a Value>,
+    /// Images the operator can deploy (from its manifest).
+    pub images: &'a [String],
+    /// The application instance name (for label-based affinity terms).
+    pub instance: &'a str,
+}
+
+/// A generated scenario: an ordered sequence of values for one property.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable scenario name (appears in reports and Table 3).
+    pub name: &'static str,
+    /// The values, applied one operation at a time.
+    pub steps: Vec<Value>,
+    /// What the scenario probes.
+    pub expectation: Expectation,
+}
+
+impl Scenario {
+    fn normal(name: &'static str, steps: Vec<Value>) -> Scenario {
+        Scenario {
+            name,
+            steps,
+            expectation: Expectation::NormalTransition,
+        }
+    }
+
+    fn misop(name: &'static str, steps: Vec<Value>) -> Scenario {
+        Scenario {
+            name,
+            steps,
+            expectation: Expectation::Misoperation,
+        }
+    }
+}
+
+/// One catalogue row: a `(semantic, scenario)` pair (Table 3).
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The semantic class the generator serves.
+    pub semantic: Semantic,
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Human description.
+    pub description: &'static str,
+    /// Whether the scenario is a misoperation probe.
+    pub misoperation: bool,
+}
+
+/// Merges `(key, value)` pairs over the current object value.
+fn with(current: Option<&Value>, pairs: &[(&str, Value)]) -> Value {
+    let mut base = match current {
+        Some(v @ Value::Object(_)) => v.clone(),
+        _ => Value::empty_object(),
+    };
+    for (k, v) in pairs {
+        base.as_object_mut()
+            .expect("object base")
+            .insert((*k).to_string(), v.clone());
+    }
+    base
+}
+
+/// Removes keys from the current object value.
+fn without(current: Option<&Value>, keys: &[&str]) -> Value {
+    let mut base = match current {
+        Some(v @ Value::Object(_)) => v.clone(),
+        _ => Value::empty_object(),
+    };
+    for k in keys {
+        base.as_object_mut().expect("object base").remove(*k);
+    }
+    base
+}
+
+fn int_bounds(node: &Schema) -> (i64, i64) {
+    match &node.kind {
+        SchemaKind::Integer { minimum, maximum } => {
+            (minimum.unwrap_or(0), maximum.unwrap_or(i64::MAX / 2))
+        }
+        _ => (0, i64::MAX / 2),
+    }
+}
+
+fn cur_i64(ctx: &GenContext) -> i64 {
+    ctx.current.and_then(Value::as_i64).unwrap_or(1)
+}
+
+/// Generates scenarios for a property with known semantics.
+///
+/// Returns an empty vector when no semantic generator applies (the caller
+/// falls back to [`mutate`]).
+pub fn scenarios_for(semantic: Semantic, ctx: &GenContext) -> Vec<Scenario> {
+    use Semantic::*;
+    let (min, max) = int_bounds(ctx.node);
+    match semantic {
+        Replicas => {
+            let cur = cur_i64(ctx);
+            let up = (cur + 2).min(max);
+            let down = (cur - 1).max(min.max(0));
+            let mut out = vec![
+                Scenario::normal(
+                    "scale-up-then-down",
+                    vec![Value::from(up), Value::from(cur)],
+                ),
+                Scenario::normal(
+                    "scale-down-then-up",
+                    vec![Value::from(down), Value::from((cur + 1).min(max))],
+                ),
+                Scenario::normal("scale-to-max", vec![Value::from(max), Value::from(cur)]),
+            ];
+            if min == 0 {
+                out.push(Scenario::misop("scale-to-zero", vec![Value::from(0)]));
+            }
+            out
+        }
+        Resources => vec![
+            Scenario::normal(
+                "increase-requests",
+                vec![Value::object([(
+                    "requests",
+                    Value::object([("cpu", Value::from("500m")), ("memory", Value::from("1Gi"))]),
+                )])],
+            ),
+            Scenario::normal(
+                "requests-with-limits",
+                vec![Value::object([
+                    ("requests", Value::object([("cpu", Value::from("250m"))])),
+                    ("limits", Value::object([("cpu", Value::from("1"))])),
+                ])],
+            ),
+            Scenario::misop(
+                "exceed-node-capacity",
+                vec![Value::object([(
+                    "requests",
+                    Value::object([("cpu", Value::from("64")), ("memory", Value::from("512Gi"))]),
+                )])],
+            ),
+            Scenario::misop(
+                "invalid-quantity",
+                vec![Value::object([(
+                    "requests",
+                    Value::object([("memory", Value::from("1e"))]),
+                )])],
+            ),
+        ],
+        Quantity => vec![
+            Scenario::normal("grow-quantity", vec![Value::from("2Gi")]),
+            Scenario::misop("zero-quantity", vec![Value::from("0")]),
+            Scenario::misop("malformed-quantity", vec![Value::from("1e")]),
+        ],
+        StorageSize => vec![
+            Scenario::normal("grow-volume", vec![Value::from("64Gi")]),
+            Scenario::misop("zero-volume", vec![Value::from("0")]),
+            Scenario::misop("malformed-quantity", vec![Value::from("1e")]),
+        ],
+        StorageClass => vec![
+            Scenario::normal("switch-storage-class", vec![Value::from("fast")]),
+            Scenario::misop(
+                "nonexistent-storage-class",
+                vec![Value::from("no-such-class")],
+            ),
+        ],
+        Affinity => vec![
+            Scenario::misop(
+                "anti-affinity-spread",
+                vec![with(
+                    ctx.current,
+                    &[(
+                        "podAntiAffinity",
+                        Value::array([Value::object([
+                            ("key", Value::from("app")),
+                            ("value", Value::from(ctx.instance)),
+                        ])]),
+                    )],
+                )],
+            ),
+            Scenario::normal(
+                "zone-pinning",
+                vec![with(
+                    ctx.current,
+                    &[(
+                        "nodeRequired",
+                        Value::array([Value::object([
+                            ("key", Value::from("zone")),
+                            ("value", Value::from("zone-a")),
+                        ])]),
+                    )],
+                )],
+            ),
+            Scenario::misop(
+                "unsatisfiable-node-affinity",
+                vec![with(
+                    ctx.current,
+                    &[(
+                        "nodeRequired",
+                        Value::array([Value::object([
+                            ("key", Value::from("zone")),
+                            ("value", Value::from("zone-nowhere")),
+                        ])]),
+                    )],
+                )],
+            ),
+            Scenario::normal("clear-affinity", vec![Value::empty_object()]),
+        ],
+        NodeSelector => vec![
+            Scenario::normal(
+                "select-existing-label",
+                vec![Value::object([("disk", Value::from("ssd"))])],
+            ),
+            Scenario::misop(
+                "select-nonexistent-label",
+                vec![Value::object([("disk", Value::from("floppy"))])],
+            ),
+            Scenario::normal("clear-selector", vec![Value::empty_object()]),
+        ],
+        Tolerations => vec![Scenario::normal(
+            "tolerate-dedicated-nodes",
+            vec![
+                Value::array([Value::object([
+                    ("key", Value::from("dedicated")),
+                    ("operator", Value::from("Exists")),
+                ])]),
+                Value::array([]),
+            ],
+        )],
+        Image => {
+            let cur = ctx.current.and_then(Value::as_str).unwrap_or_default();
+            let upgrade = ctx
+                .images
+                .iter()
+                .find(|i| i.as_str() != cur)
+                .cloned()
+                .unwrap_or_else(|| "upgraded:latest".to_string());
+            vec![
+                Scenario::normal("upgrade-image", vec![Value::from(upgrade)]),
+                Scenario::misop("nonexistent-image", vec![Value::from("ghost:v0")]),
+                Scenario::misop(
+                    "malformed-image-reference",
+                    vec![Value::from("imagewithouttag")],
+                ),
+            ]
+        }
+        ImagePullPolicy => Vec::new(), // Enum cycling covers it.
+        SecurityContext => vec![
+            Scenario::normal(
+                "non-root-user",
+                vec![with(
+                    ctx.current,
+                    &[
+                        ("runAsUser", Value::from(1000)),
+                        ("runAsNonRoot", Value::from(true)),
+                    ],
+                )],
+            ),
+            Scenario::misop(
+                "root-with-non-root-required",
+                vec![with(
+                    ctx.current,
+                    &[
+                        ("runAsUser", Value::from(0)),
+                        ("runAsNonRoot", Value::from(true)),
+                    ],
+                )],
+            ),
+            Scenario::misop(
+                "negative-uid",
+                vec![with(ctx.current, &[("runAsUser", Value::from(-1))])],
+            ),
+        ],
+        PodDisruptionBudget => {
+            if matches!(ctx.node.kind, SchemaKind::Integer { .. }) {
+                vec![Scenario::normal(
+                    "tighten-then-relax-budget",
+                    vec![Value::from((2).min(max)), Value::from(min.max(0))],
+                )]
+            } else {
+                vec![
+                    Scenario::normal(
+                        "enable-budget",
+                        vec![with(
+                            ctx.current,
+                            &[
+                                ("enabled", Value::from(true)),
+                                ("minAvailable", Value::from(2)),
+                            ],
+                        )],
+                    ),
+                    Scenario::normal(
+                        "disable-budget",
+                        vec![with(ctx.current, &[("enabled", Value::from(false))])],
+                    ),
+                ]
+            }
+        }
+        ServiceType => Vec::new(), // Enum cycling covers it.
+        Port => vec![
+            Scenario::normal("alternative-port", vec![Value::from(8080)]),
+            Scenario::misop("privileged-port", vec![Value::from(80)]),
+            Scenario::normal("max-port", vec![Value::from(65535)]),
+        ],
+        EnvVars => vec![Scenario::normal(
+            "add-then-remove-variable",
+            vec![
+                with(ctx.current, &[("ACTO_PROBE", Value::from("1"))]),
+                without(ctx.current, &["ACTO_PROBE"]),
+            ],
+        )],
+        Labels => vec![
+            Scenario::normal(
+                "add-then-delete-label",
+                vec![
+                    with(ctx.current, &[("acto-test", Value::from("true"))]),
+                    without(ctx.current, &["acto-test"]),
+                ],
+            ),
+            Scenario::normal(
+                "replace-label-value",
+                vec![with(ctx.current, &[("tier", Value::from("gold"))])],
+            ),
+        ],
+        Annotations => vec![
+            Scenario::normal(
+                "add-then-delete-annotation",
+                vec![
+                    with(ctx.current, &[("acto-note", Value::from("probe"))]),
+                    without(ctx.current, &["acto-note"]),
+                ],
+            ),
+            Scenario::normal(
+                "oversized-annotation",
+                vec![with(
+                    ctx.current,
+                    &[("blob", Value::from("x".repeat(70 << 10)))],
+                )],
+            ),
+        ],
+        Probe => vec![
+            Scenario::normal(
+                "aggressive-probing",
+                vec![with(
+                    ctx.current,
+                    &[
+                        ("initialDelaySeconds", Value::from(0)),
+                        ("periodSeconds", Value::from(1)),
+                        ("failureThreshold", Value::from(1)),
+                    ],
+                )],
+            ),
+            Scenario::normal(
+                "relaxed-probing",
+                vec![with(
+                    ctx.current,
+                    &[
+                        ("initialDelaySeconds", Value::from(60)),
+                        ("periodSeconds", Value::from(30)),
+                    ],
+                )],
+            ),
+        ],
+        Tls => vec![
+            Scenario::normal(
+                "enable-tls-with-secret",
+                vec![with(
+                    ctx.current,
+                    &[
+                        ("enabled", Value::from(true)),
+                        ("secretName", Value::from("acto-tls")),
+                    ],
+                )],
+            ),
+            Scenario::misop("enable-tls-without-secret", {
+                let mut v = without(ctx.current, &["secretName"]);
+                v.as_object_mut()
+                    .expect("object")
+                    .insert("enabled".to_string(), Value::from(true));
+                vec![v]
+            }),
+            Scenario::normal(
+                "disable-tls",
+                vec![with(ctx.current, &[("enabled", Value::from(false))])],
+            ),
+        ],
+        SecretRef => vec![Scenario::normal(
+            "rotate-secret-reference",
+            vec![Value::from("rotated-secret-v2")],
+        )],
+        ConfigMapRef => vec![Scenario::normal(
+            "switch-config-reference",
+            vec![Value::from("alternate-config")],
+        )],
+        Backup => vec![
+            Scenario::normal(
+                "enable-backup",
+                vec![with(
+                    ctx.current,
+                    &[
+                        ("enabled", Value::from(true)),
+                        ("schedule", Value::from("@daily")),
+                        ("destination", Value::from("s3://acto-backups")),
+                    ],
+                )],
+            ),
+            Scenario::normal(
+                "reschedule-while-enabled",
+                vec![
+                    with(
+                        ctx.current,
+                        &[
+                            ("enabled", Value::from(true)),
+                            ("schedule", Value::from("@daily")),
+                        ],
+                    ),
+                    with(
+                        ctx.current,
+                        &[
+                            ("enabled", Value::from(true)),
+                            ("schedule", Value::from("@hourly")),
+                        ],
+                    ),
+                ],
+            ),
+            Scenario::misop(
+                "enable-with-invalid-schedule",
+                vec![with(
+                    ctx.current,
+                    &[
+                        ("enabled", Value::from(true)),
+                        ("schedule", Value::from("sometimes maybe")),
+                    ],
+                )],
+            ),
+            Scenario::normal(
+                "disable-backup",
+                vec![with(ctx.current, &[("enabled", Value::from(false))])],
+            ),
+        ],
+        Schedule => vec![
+            Scenario::normal("hourly-schedule", vec![Value::from("@hourly")]),
+            Scenario::misop("invalid-cron", vec![Value::from("sometimes maybe")]),
+        ],
+        Version => {
+            let cur = ctx.current.and_then(Value::as_str).unwrap_or("1.0.0");
+            // Upgrade to a version some available image actually carries
+            // (the generator reads the runtime environment, §5.2.3);
+            // otherwise fall back to a patch bump.
+            let upgrade = ctx
+                .images
+                .iter()
+                .filter_map(|i| i.split_once(':').map(|(_, tag)| tag))
+                .find(|tag| *tag != cur)
+                .map(str::to_string)
+                .unwrap_or_else(|| bump_patch(cur));
+            vec![
+                Scenario::normal("version-upgrade", vec![Value::from(upgrade)]),
+                Scenario::misop("non-semver-version", vec![Value::from("latest-stable")]),
+            ]
+        }
+        Toggle => {
+            let cur = ctx.current.and_then(Value::as_bool).unwrap_or(false);
+            vec![Scenario::normal(
+                "flip-then-restore",
+                vec![Value::from(!cur), Value::from(cur)],
+            )]
+        }
+        SystemConfig => {
+            let mut out = vec![Scenario::normal(
+                "add-then-remove-entry",
+                vec![
+                    with(ctx.current, &[("acto-entry", Value::from("probe"))]),
+                    without(ctx.current, &["acto-entry"]),
+                ],
+            )];
+            // Corrupt and blank every existing entry, one step per entry
+            // (each step restores the previously touched entry).
+            if let Some(Value::Object(map)) = ctx.current {
+                let mut corrupt_steps = Vec::new();
+                let mut blank_steps = Vec::new();
+                for (k, v) in map.iter() {
+                    let mutated = match v.as_str() {
+                        Some(s) => format!("{s}-x"),
+                        None => "mutated".to_string(),
+                    };
+                    let key: &'static str = Box::leak(k.clone().into_boxed_str());
+                    corrupt_steps.push(with(ctx.current, &[(key, Value::from(mutated))]));
+                    blank_steps.push(with(ctx.current, &[(key, Value::from(""))]));
+                }
+                if !corrupt_steps.is_empty() {
+                    out.push(Scenario::misop("corrupt-existing-entry", corrupt_steps));
+                    out.push(Scenario::misop("blank-existing-entry", blank_steps));
+                }
+            }
+            out
+        }
+        UpdateStrategy => Vec::new(), // Enum cycling covers it.
+        ServiceName => vec![Scenario::normal(
+            "change-service-name",
+            vec![Value::from("svc.acto.example")],
+        )],
+        Duration => vec![
+            Scenario::normal("longer-duration", vec![Value::from((60).min(max))]),
+            Scenario::misop("zero-duration", vec![Value::from(0.max(min))]),
+        ],
+        Percentage => vec![
+            Scenario::normal("half-percentage", vec![Value::from(50.min(max))]),
+            Scenario::misop("overflow-percentage", vec![Value::from(150)]),
+        ],
+        PriorityClass => vec![Scenario::normal(
+            "set-priority-class",
+            vec![Value::from("high-priority")],
+        )],
+        ServiceAccount => vec![Scenario::normal(
+            "switch-service-account",
+            vec![Value::from("custom-sa")],
+        )],
+        Ingress => {
+            let has_child = |name: &str| -> bool {
+                matches!(&ctx.node.kind, SchemaKind::Object { properties, .. }
+                    if properties.contains_key(name))
+            };
+            let mut out = Vec::new();
+            if has_child("host") {
+                out.push(Scenario::normal(
+                    "expose-ingress",
+                    vec![with(
+                        ctx.current,
+                        &[
+                            ("enabled", Value::from(true)),
+                            ("host", Value::from("app.acto.example")),
+                        ],
+                    )],
+                ));
+            }
+            if has_child("tls") {
+                out.push(Scenario::normal(
+                    "rotate-ingress-secret",
+                    vec![with(
+                        ctx.current,
+                        &[
+                            ("enabled", Value::from(true)),
+                            (
+                                "tls",
+                                Value::object([("secretName", Value::from("acto-rotated-tls"))]),
+                            ),
+                        ],
+                    )],
+                ));
+            }
+            if has_child("enabled") {
+                out.push(Scenario::normal(
+                    "withdraw-ingress",
+                    vec![with(ctx.current, &[("enabled", Value::from(false))])],
+                ));
+            }
+            out
+        }
+        StorageType | Volume => Vec::new(), // Enum cycling / substructure.
+    }
+}
+
+fn bump_patch(version: &str) -> String {
+    let mut parts: Vec<String> = version.split('.').map(str::to_string).collect();
+    if let Some(last) = parts.last_mut() {
+        // Bump trailing digits when present.
+        if let Ok(n) = last.parse::<u64>() {
+            *last = (n + 1).to_string();
+            return parts.join(".");
+        }
+    }
+    format!("{version}.1")
+}
+
+/// Enum cycling: every other permitted value, ending at the original.
+pub fn enum_cycle(ctx: &GenContext) -> Option<Scenario> {
+    let SchemaKind::String { enum_values, .. } = &ctx.node.kind else {
+        return None;
+    };
+    if enum_values.is_empty() {
+        return None;
+    }
+    let cur = ctx
+        .current
+        .and_then(Value::as_str)
+        .unwrap_or(&enum_values[0])
+        .to_string();
+    let mut steps: Vec<Value> = enum_values
+        .iter()
+        .filter(|v| **v != cur)
+        .map(|v| Value::from(v.clone()))
+        .collect();
+    if steps.is_empty() {
+        return None;
+    }
+    steps.push(Value::from(cur));
+    Some(Scenario::normal("cycle-enum-values", steps))
+}
+
+/// Type-based mutation for properties with unknown semantics. Mutants stay
+/// syntactically valid but carry no scenario intent.
+pub fn mutate(ctx: &GenContext) -> Vec<Scenario> {
+    if let Some(s) = enum_cycle(ctx) {
+        return vec![s];
+    }
+    let (min, max) = int_bounds(ctx.node);
+    match &ctx.node.kind {
+        SchemaKind::Integer { .. } => {
+            // Mutation is deliberately cheaper than semantic scenarios: the
+            // blackbox mode generates fewer operations per unknown property
+            // (paper §6.2).
+            let cur = cur_i64(ctx);
+            let inc = (cur + 1).clamp(min, max);
+            vec![
+                Scenario::normal("mutate-increment", vec![Value::from(inc)]),
+                Scenario::normal("mutate-maximum", vec![Value::from(max)]),
+            ]
+        }
+        SchemaKind::Number { .. } => {
+            let cur = ctx.current.and_then(Value::as_f64).unwrap_or(1.0);
+            vec![Scenario::normal(
+                "mutate-scale",
+                vec![Value::Float(cur * 2.0 + 1.0)],
+            )]
+        }
+        SchemaKind::Boolean => {
+            let cur = ctx.current.and_then(Value::as_bool).unwrap_or(false);
+            vec![Scenario::normal(
+                "mutate-flip-and-restore",
+                vec![Value::from(!cur), Value::from(cur)],
+            )]
+        }
+        SchemaKind::String { format, .. } => {
+            if format.as_deref() == Some("quantity") {
+                // Stay syntactically valid: double the numeric prefix.
+                let cur = ctx.current.and_then(Value::as_str).unwrap_or("1Gi");
+                let mutated = double_quantity(cur);
+                vec![Scenario::normal(
+                    "mutate-quantity",
+                    vec![Value::from(mutated)],
+                )]
+            } else {
+                let cur = ctx.current.and_then(Value::as_str).unwrap_or("value");
+                vec![Scenario::normal(
+                    "mutate-string",
+                    vec![Value::from(format!("{cur}-x"))],
+                )]
+            }
+        }
+        SchemaKind::Array { items, .. } => {
+            let mut appended = ctx
+                .current
+                .and_then(Value::as_array)
+                .map(|a| a.to_vec())
+                .unwrap_or_default();
+            appended.push(items.default_instance());
+            let restored = ctx
+                .current
+                .cloned()
+                .unwrap_or_else(|| Value::Array(Vec::new()));
+            vec![Scenario::normal(
+                "mutate-append-then-restore",
+                vec![Value::Array(appended), Value::Array(Vec::new()), restored],
+            )]
+        }
+        SchemaKind::Map { values } => {
+            // New entries follow the declared value schema so typed maps
+            // (e.g. maps of backup-storage objects) stay valid. An empty
+            // object instance gets one populated member so the entry is
+            // observable.
+            let mut probe = values.default_instance();
+            if matches!(&probe, Value::Object(m) if m.is_empty()) {
+                if let SchemaKind::Object { properties, .. } = &values.kind {
+                    if let Some((k, child)) = properties.iter().next() {
+                        probe
+                            .as_object_mut()
+                            .expect("object probe")
+                            .insert(k.clone(), child.default_instance());
+                    }
+                }
+            }
+            let mut out = vec![Scenario::normal(
+                "mutate-add-then-remove-key",
+                vec![
+                    with(ctx.current, &[("mutated-key", probe)]),
+                    without(ctx.current, &["mutated-key"]),
+                ],
+            )];
+            if let Some(Value::Object(map)) = ctx.current {
+                if let Some((k, v)) = map.iter().next() {
+                    if let Some(s) = v.as_str() {
+                        let key: &'static str = Box::leak(k.clone().into_boxed_str());
+                        out.push(Scenario::normal(
+                            "mutate-first-entry",
+                            vec![with(ctx.current, &[(key, Value::from(format!("{s}-x")))])],
+                        ));
+                    }
+                }
+            }
+            out
+        }
+        SchemaKind::Object { .. } => Vec::new(),
+    }
+}
+
+fn double_quantity(q: &str) -> String {
+    let digits: String = q.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let suffix = &q[digits.len()..];
+    match digits.parse::<u64>() {
+        Ok(n) => format!("{}{suffix}", n.saturating_mul(2)),
+        Err(_) => "2Gi".to_string(),
+    }
+}
+
+/// The generator catalogue: every `(semantic, scenario)` pair, for Table 3.
+pub fn generator_catalog() -> Vec<CatalogEntry> {
+    let mut out = Vec::new();
+    let dummy_schema = Schema::integer().min(0).max(9);
+    let map_schema = Schema::map(Schema::string());
+    let obj_schema = Schema::object();
+    let enum_probe = Value::object([("k", Value::from("v"))]);
+    for sem in Semantic::all() {
+        let node: &Schema = match sem {
+            Semantic::Replicas
+            | Semantic::Port
+            | Semantic::Duration
+            | Semantic::Percentage
+            | Semantic::PodDisruptionBudget => &dummy_schema,
+            Semantic::Labels
+            | Semantic::Annotations
+            | Semantic::EnvVars
+            | Semantic::NodeSelector
+            | Semantic::SystemConfig => &map_schema,
+            _ => &obj_schema,
+        };
+        let current = match sem {
+            Semantic::SystemConfig => Some(&enum_probe),
+            _ => None,
+        };
+        let ctx = GenContext {
+            node,
+            current,
+            images: &[],
+            instance: "app",
+        };
+        for s in scenarios_for(*sem, &ctx) {
+            out.push(CatalogEntry {
+                semantic: *sem,
+                scenario: s.name,
+                description: scenario_description(s.name),
+                misoperation: s.expectation == Expectation::Misoperation,
+            });
+        }
+    }
+    out
+}
+
+fn scenario_description(name: &str) -> &'static str {
+    match name {
+        "scale-up-then-down" => "increase replicas, then return to the original count",
+        "scale-down-then-up" => "decrease replicas, then scale past the original count",
+        "scale-to-zero" => "request zero replicas (service-destroying misoperation)",
+        "scale-to-max" => "jump to the interface maximum and back",
+        "exceed-node-capacity" => "request more compute than any node offers",
+        "invalid-quantity" => "submit a quantity the parser rejects",
+        "unsatisfiable-node-affinity" => "require a node label no node carries",
+        "privileged-port" => "bind below 1024 without privileges",
+        "root-with-non-root-required" => "run as uid 0 while requiring non-root",
+        "enable-tls-without-secret" => "enable TLS with no certificate source",
+        "invalid-cron" => "set a schedule that does not parse",
+        "nonexistent-image" => "deploy an image that cannot be pulled",
+        "malformed-image-reference" => "deploy an image reference without a tag",
+        "nonexistent-storage-class" => "claim storage from an unprovisionable class",
+        "add-then-delete-label" => "attach a label, then remove it",
+        "corrupt-existing-entry" => "mutate a live configuration entry into garbage",
+        "flip-then-restore" => "toggle the feature on and off",
+        "reschedule-while-enabled" => "change the schedule of an already-enabled policy",
+        _ => "exercise a representative transition for this semantic",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(node: &'a Schema, current: Option<&'a Value>) -> GenContext<'a> {
+        GenContext {
+            node,
+            current,
+            images: &[],
+            instance: "test-cluster",
+        }
+    }
+
+    #[test]
+    fn catalog_has_at_least_57_generators() {
+        let catalog = generator_catalog();
+        assert!(
+            catalog.len() >= 57,
+            "only {} generators in catalogue",
+            catalog.len()
+        );
+        // Misoperation probes are a substantial share.
+        let misops = catalog.iter().filter(|e| e.misoperation).count();
+        assert!(misops >= 15, "only {misops} misoperation scenarios");
+    }
+
+    #[test]
+    fn replicas_scenarios_respect_bounds() {
+        let node = Schema::integer().min(0).max(5);
+        let cur = Value::from(3);
+        let scenarios = scenarios_for(Semantic::Replicas, &ctx(&node, Some(&cur)));
+        for s in &scenarios {
+            for step in &s.steps {
+                let v = step.as_i64().unwrap();
+                assert!((0..=5).contains(&v), "{} out of bounds in {}", v, s.name);
+            }
+        }
+        assert!(scenarios.iter().any(|s| s.name == "scale-to-zero"));
+        // With a positive minimum there is no zero scenario.
+        let node = Schema::integer().min(1).max(5);
+        let scenarios = scenarios_for(Semantic::Replicas, &ctx(&node, Some(&cur)));
+        assert!(!scenarios.iter().any(|s| s.name == "scale-to-zero"));
+    }
+
+    #[test]
+    fn toggle_flip_restores_original() {
+        let node = Schema::boolean();
+        let cur = Value::Bool(true);
+        let scenarios = scenarios_for(Semantic::Toggle, &ctx(&node, Some(&cur)));
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(
+            scenarios[0].steps,
+            vec![Value::Bool(false), Value::Bool(true)]
+        );
+    }
+
+    #[test]
+    fn enum_cycle_ends_at_original() {
+        let node = Schema::string_enum(["istio", "contour", "kourier"]);
+        let cur = Value::from("istio");
+        let s = enum_cycle(&ctx(&node, Some(&cur))).unwrap();
+        assert_eq!(s.steps.len(), 3);
+        assert_eq!(s.steps.last(), Some(&Value::from("istio")));
+        assert!(!s.steps[..2].contains(&Value::from("istio")));
+    }
+
+    #[test]
+    fn label_scenarios_add_and_delete() {
+        let node = Schema::map(Schema::string());
+        let cur = Value::object([("team", Value::from("infra"))]);
+        let scenarios = scenarios_for(Semantic::Labels, &ctx(&node, Some(&cur)));
+        let add = scenarios
+            .iter()
+            .find(|s| s.name == "add-then-delete-label")
+            .unwrap();
+        assert_eq!(add.steps.len(), 2);
+        assert!(add.steps[0].get("acto-test").is_some());
+        assert!(add.steps[0].get("team").is_some(), "existing entries kept");
+        assert!(add.steps[1].get("acto-test").is_none());
+    }
+
+    #[test]
+    fn system_config_corrupts_existing_entries() {
+        let node = Schema::map(Schema::string());
+        let cur = Value::object([("snapCount", Value::from("10000"))]);
+        let scenarios = scenarios_for(Semantic::SystemConfig, &ctx(&node, Some(&cur)));
+        let corrupt = scenarios
+            .iter()
+            .find(|s| s.name == "corrupt-existing-entry")
+            .unwrap();
+        assert_eq!(
+            corrupt.steps[0].get("snapCount"),
+            Some(&Value::from("10000-x"))
+        );
+        assert_eq!(corrupt.expectation, Expectation::Misoperation);
+    }
+
+    #[test]
+    fn mutation_preserves_syntactic_validity() {
+        // Integer mutants stay within bounds.
+        let node = Schema::integer().min(1).max(65535);
+        let cur = Value::from(2181);
+        for s in mutate(&ctx(&node, Some(&cur))) {
+            for step in &s.steps {
+                let v = step.as_i64().unwrap();
+                assert!((1..=65535).contains(&v));
+                // Crucially: type-based mutation never lands in the
+                // privileged range the semantic Port generator probes.
+                assert!(v >= 1024, "mutant {v} would accidentally probe ports");
+            }
+        }
+        // Quantity mutants still parse.
+        let node = Schema::string().format("quantity");
+        let cur = Value::from("10Gi");
+        for s in mutate(&ctx(&node, Some(&cur))) {
+            for step in &s.steps {
+                let q: Result<simkube::Quantity, _> = step.as_str().unwrap().parse();
+                assert!(q.is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn version_bump_handles_semver_and_tags() {
+        assert_eq!(bump_patch("6.0.5"), "6.0.6");
+        assert_eq!(bump_patch("v7.1.0"), "v7.1.1");
+        assert_eq!(bump_patch("1.11.0"), "1.11.1");
+    }
+
+    #[test]
+    fn port_scenarios_include_privileged_probe() {
+        let node = Schema::integer().min(1).max(65535);
+        let cur = Value::from(2181);
+        let scenarios = scenarios_for(Semantic::Port, &ctx(&node, Some(&cur)));
+        let priv_probe = scenarios
+            .iter()
+            .find(|s| s.name == "privileged-port")
+            .unwrap();
+        assert_eq!(priv_probe.expectation, Expectation::Misoperation);
+        assert_eq!(priv_probe.steps[0], Value::from(80));
+    }
+}

@@ -1,0 +1,52 @@
+//! Acto: automatic end-to-end testing for operation correctness of cloud
+//! system management (SOSP 2023), reproduced in Rust.
+//!
+//! Acto tests an operator *together with* its managed system. It models
+//! operations as state transitions `(S_c, D)`: from the current system
+//! state `S_c`, a declaration `D` of a new desired state is submitted, the
+//! operator reconciles, and automated oracles check that the converged
+//! state satisfies `D` (paper §4). A **test campaign** chains single
+//! operations into sequences so later operations start from diverse,
+//! non-initial states, and exercises error-state recovery through
+//! rollbacks (Figure 4).
+//!
+//! The crate mirrors the paper's architecture:
+//!
+//! - [`semantics`]: property-semantics inference — name/structure matching
+//!   for the blackbox mode, plus sink-based inference over the operator's
+//!   reconcile IR for the whitebox mode (§5.2.2).
+//! - [`gen`]: the catalogue of semantics-driven value generators (57
+//!   scenario generators; Table 3) and type-based mutation for properties
+//!   with unknown semantics (§5.2.3).
+//! - [`deps`]: property-dependency inference — the `*enabled*`
+//!   feature-toggle convention for Acto-■ and control-flow analysis over
+//!   the IR for Acto-□ (§5.2.4).
+//! - [`campaign`]: campaign planning (100% property coverage) and
+//!   execution with reset-timer convergence, error-state rollbacks, and
+//!   per-trial oracle evaluation (§5.1, §5.5).
+//! - [`oracles`]: the consistency oracle, the differential oracles for
+//!   normal and rollback transitions with deterministic-field masking, and
+//!   the regular error checks (§5.3).
+//! - [`minimize`]: alarm reproduction — delta-debugging a failing campaign
+//!   prefix into a minimal e2e test and emitting its code (§5.4).
+//! - [`parallel`]: test partitioning across workers (§5.5).
+//! - [`report`]: alarms, ground-truth attribution, and campaign summaries
+//!   consumed by the evaluation benches (§6).
+
+pub mod campaign;
+pub mod deps;
+pub mod gen;
+pub mod minimize;
+pub mod model;
+pub mod oracles;
+pub mod parallel;
+pub mod report;
+pub mod semantics;
+
+pub use campaign::{plan_campaign, run_campaign, CampaignConfig, CampaignResult, Strategy};
+pub use deps::{infer_dependencies, Dependency};
+pub use gen::{generator_catalog, scenarios_for, GenContext, Scenario};
+pub use model::{Expectation, Mode, PlannedOp, Trial, TrialOutcome};
+pub use oracles::{AlarmKind, CustomOracle, OracleContext};
+pub use report::{Alarm, Attribution, CampaignSummary};
+pub use semantics::infer_semantics;

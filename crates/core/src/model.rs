@@ -1,0 +1,121 @@
+//! The operation model: modes, scenarios, planned operations, trials.
+
+use crdspec::{Path, Value};
+
+/// Acto's two usage modes (paper §4 "Usage").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Acto-■: operates on the deployment manifest and the CRD alone.
+    Blackbox,
+    /// Acto-□: additionally analyzes the operator's reconcile IR.
+    Whitebox,
+}
+
+impl Mode {
+    /// Display name matching the paper's notation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Blackbox => "Acto-blackbox",
+            Mode::Whitebox => "Acto-whitebox",
+        }
+    }
+}
+
+/// What a generated operation is expected to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// A valid operation that should drive a state transition.
+    NormalTransition,
+    /// A semantically dubious operation that probes misoperation handling:
+    /// a correct operator either rejects it or survives it; an explicit
+    /// error state reveals a misoperation vulnerability.
+    Misoperation,
+}
+
+/// One planned operation of a campaign: a property change in a scenario
+/// step.
+#[derive(Debug, Clone)]
+pub struct PlannedOp {
+    /// Index in the campaign.
+    pub index: usize,
+    /// The property under test (schema path).
+    pub property: Path,
+    /// The generator scenario name (e.g. `"scale-up"`).
+    pub scenario: &'static str,
+    /// The value assigned to the property in this step (`Null` deletes it).
+    pub value: Value,
+    /// Additional property assignments needed to satisfy known
+    /// dependencies (paper §5.2.4).
+    pub dependency_assignments: Vec<(Path, Value)>,
+    /// What this operation probes.
+    pub expectation: Expectation,
+}
+
+/// How a trial ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// The declaration was rejected by API validation or admission.
+    RejectedByApi(String),
+    /// The operator gracefully rejected the operation (error logged, no
+    /// crash, state unchanged).
+    RejectedByOperator,
+    /// The system converged with no explicit error.
+    Converged,
+    /// The system reached an explicit error state.
+    ErrorState(String),
+    /// The operator process crashed.
+    OperatorCrash(String),
+    /// The system did not converge within the budget.
+    ConvergenceTimeout,
+}
+
+impl TrialOutcome {
+    /// Returns `true` when the outcome is an explicit error state (system
+    /// error or operator crash or timeout).
+    pub fn is_error(&self) -> bool {
+        matches!(
+            self,
+            TrialOutcome::ErrorState(_)
+                | TrialOutcome::OperatorCrash(_)
+                | TrialOutcome::ConvergenceTimeout
+        )
+    }
+}
+
+/// One executed trial: a planned operation plus everything observed.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The operation that ran.
+    pub op: PlannedOp,
+    /// The full declaration submitted (the CR spec `D`).
+    pub declaration: Value,
+    /// How it ended.
+    pub outcome: TrialOutcome,
+    /// Alarms raised by the oracles for this trial.
+    pub alarms: Vec<crate::report::Alarm>,
+    /// Whether the post-error rollback (if any) recovered the system.
+    pub rollback_recovered: Option<bool>,
+    /// Simulated seconds consumed by this trial (convergence time).
+    pub sim_seconds: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_error_classification() {
+        assert!(TrialOutcome::ErrorState("x".to_string()).is_error());
+        assert!(TrialOutcome::OperatorCrash("x".to_string()).is_error());
+        assert!(TrialOutcome::ConvergenceTimeout.is_error());
+        assert!(!TrialOutcome::Converged.is_error());
+        assert!(!TrialOutcome::RejectedByApi("x".to_string()).is_error());
+        assert!(!TrialOutcome::RejectedByOperator.is_error());
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(Mode::Blackbox.name(), "Acto-blackbox");
+        assert_eq!(Mode::Whitebox.name(), "Acto-whitebox");
+    }
+}

@@ -1,0 +1,851 @@
+//! Acto's automated test oracles (paper §5.3).
+//!
+//! After every converged transition the campaign consults four oracles:
+//!
+//! - **Regular error checks**: operator panics in the logs, explicit
+//!   managed-system error states, pods stuck in failure reasons, and
+//!   convergence timeouts.
+//! - **Consistency oracle** (§5.3.1): does the system state reflect the
+//!   declaration? Two sub-checks: (a) the declared change must cause *some*
+//!   system-state transition (a silently ignored property indicates the
+//!   operator's view diverging from the platform's), and (b) declared
+//!   values must match the correspondingly named fields in state-object
+//!   spec sections, labels, annotations, and configuration data.
+//! - **Differential oracle for normal transitions** (§5.3.2): by level
+//!   triggering, the state reached via history `S_{i-1} → S_i` must match
+//!   the state reached fresh, `S_0 → S'_i`; deterministic fields are
+//!   compared after masking.
+//! - **Differential oracle for rollback transitions**: after an error
+//!   state, rolling back to `D_{i-1}` must restore the pre-error state.
+
+use std::collections::BTreeMap;
+
+use crdspec::{diff, DiffKind, Path, Value};
+use operators::Instance;
+use simkube::cluster::LogLevel;
+
+use crate::report::Alarm;
+
+/// Which oracle raised an alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlarmKind {
+    /// Consistency oracle (declaration vs state objects).
+    Consistency,
+    /// Differential oracle on a normal state transition.
+    DifferentialNormal,
+    /// Differential oracle on a rollback transition.
+    DifferentialRollback,
+    /// Regular error check (exception, error code, crash, timeout).
+    ErrorCheck,
+}
+
+impl AlarmKind {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlarmKind::Consistency => "consistency",
+            AlarmKind::DifferentialNormal => "differential-normal",
+            AlarmKind::DifferentialRollback => "differential-rollback",
+            AlarmKind::ErrorCheck => "error-check",
+        }
+    }
+}
+
+/// Field names masked as nondeterministic before state comparison. The
+/// remaining fields are the "deterministic fields" of §6.1.3.
+pub const MASKED_FIELDS: &[&str] = &[
+    "uid",
+    "resourceVersion",
+    "generation",
+    "creationTimestamp",
+    "deletionTimestamp",
+    "restarts",
+    "nodeName",
+    "observedGeneration",
+    // Claim wiring is platform bookkeeping: volume claim templates are
+    // immutable and retained claims outlive pods, so pod claim references
+    // depend on creation order, not on the declaration.
+    "claims",
+];
+
+/// A state snapshot: object id (`kind/ns/name`) to rendered value.
+pub type StateSnapshot = BTreeMap<String, Value>;
+
+/// A user-provided, domain-specific oracle (paper §5.3: "Acto also has an
+/// interface to allow users to add custom oracles, e.g. domain-specific
+/// oracles to check managed systems").
+///
+/// Custom oracles run after the built-in ones on every converged trial and
+/// see both the oracle context and the live instance (for stronger
+/// managed-system observability than state objects provide).
+pub trait CustomOracle: Send + Sync {
+    /// The oracle's name (appears in alarm details).
+    fn name(&self) -> &str;
+
+    /// Checks one converged transition; returned alarms join the trial's.
+    fn check(&self, ctx: &OracleContext<'_>, instance: &Instance) -> Vec<Alarm>;
+}
+
+/// Context handed to oracles for one trial.
+pub struct OracleContext<'a> {
+    /// The property changed by the trial (schema path form).
+    pub property: &'a Path,
+    /// The value the property was set to (`Null` = removed).
+    pub declared: &'a Value,
+    /// The full declaration submitted.
+    pub declaration: &'a Value,
+    /// Masked state before the operation.
+    pub pre_state: &'a StateSnapshot,
+    /// Masked state after convergence.
+    pub post_state: &'a StateSnapshot,
+    /// The CR object id prefix (excluded from matching).
+    pub cr_id: &'a str,
+}
+
+/// Removes nondeterministic fields recursively.
+pub fn mask_value(v: &Value) -> Value {
+    match v {
+        Value::Object(map) => Value::Object(
+            map.iter()
+                .filter(|(k, _)| !MASKED_FIELDS.contains(&k.as_str()))
+                .map(|(k, val)| (k.clone(), mask_value(val)))
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(items.iter().map(mask_value).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Takes a masked snapshot of an instance's state objects.
+pub fn masked_snapshot(instance: &Instance) -> StateSnapshot {
+    instance
+        .state_snapshot()
+        .into_iter()
+        .map(|(k, v)| (k, mask_value(&v)))
+        .collect()
+}
+
+/// Counts the deterministic (kept) and masked leaf fields of a snapshot —
+/// the denominator behind the paper's "71.4%–80.5% of all fields are
+/// deterministic".
+pub fn field_determinism(snapshot_raw: &StateSnapshot) -> (usize, usize) {
+    let mut kept = 0usize;
+    let mut masked = 0usize;
+    for v in snapshot_raw.values() {
+        for path in v.leaf_paths() {
+            let is_masked = path
+                .steps()
+                .iter()
+                .any(|s| matches!(s, crdspec::Step::Key(k) if MASKED_FIELDS.contains(&k.as_str())));
+            if is_masked {
+                masked += 1;
+            } else {
+                kept += 1;
+            }
+        }
+    }
+    (kept, masked)
+}
+
+/// Regular error checks over the instance after convergence.
+pub fn error_checks(instance: &Instance, since: u64) -> Vec<Alarm> {
+    let mut alarms = Vec::new();
+    if instance.operator_crashed() {
+        let detail = instance
+            .cluster
+            .logs()
+            .iter()
+            .rev()
+            .find(|l| l.level == LogLevel::Panic)
+            .map(|l| l.message.clone())
+            .unwrap_or_else(|| "operator crash".to_string());
+        alarms.push(Alarm::new(
+            AlarmKind::ErrorCheck,
+            format!("operator panic: {detail}"),
+        ));
+    }
+    if let Some(reason) = instance.last_health.reason() {
+        if matches!(instance.last_health, managed::Health::Down(_)) {
+            alarms.push(Alarm::new(
+                AlarmKind::ErrorCheck,
+                format!("managed system down: {reason}"),
+            ));
+        }
+    }
+    // Pods stuck in explicit failure reasons.
+    for (name, _phase, _ready, reason) in instance.pod_failures() {
+        alarms.push(Alarm::new(
+            AlarmKind::ErrorCheck,
+            format!("pod {name} in error state: {reason}"),
+        ));
+    }
+    // Unexpected error-level log lines (excluding graceful rejections,
+    // which are counted separately).
+    let _ = since;
+    alarms
+}
+
+/// Returns `true` when the operator logged a graceful rejection during the
+/// window (an intentional refusal, not a bug signal).
+pub fn operator_rejected(instance: &Instance, since: u64) -> bool {
+    instance
+        .cluster
+        .error_logs_since(since)
+        .iter()
+        .any(|l| l.level == LogLevel::Error && l.source == instance.operator().name())
+}
+
+/// Consistency sub-check (a): the declared change must cause some system
+/// state transition. Compares masked pre/post states excluding the CR
+/// itself.
+pub fn transition_occurred(ctx: &OracleContext<'_>) -> bool {
+    let strip = |s: &StateSnapshot| -> StateSnapshot {
+        s.iter()
+            .filter(|(k, _)| !k.starts_with(ctx.cr_id))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    };
+    strip(ctx.pre_state) != strip(ctx.post_state)
+}
+
+/// Values compare as consistent when they are structurally equal, equal as
+/// quantities, or equal after string rendering (config maps store strings).
+fn values_match(declared: &Value, observed: &Value) -> bool {
+    if crdspec::diff::semantically_equal(declared, observed) {
+        return true;
+    }
+    let render = |v: &Value| -> String {
+        match v {
+            Value::String(s) => s.clone(),
+            other => other.to_string(),
+        }
+    };
+    let (d, o) = (render(declared), render(observed));
+    if d == o {
+        return true;
+    }
+    if let (Ok(dq), Ok(oq)) = (
+        d.parse::<simkube::Quantity>(),
+        o.parse::<simkube::Quantity>(),
+    ) {
+        return dq == oq;
+    }
+    false
+}
+
+/// Returns `true` when a declared value and an observed field are of
+/// comparable shapes: same scalar class, or the observed field lives in
+/// config-map `data` (where everything is stringly typed).
+fn type_compatible(declared: &Value, observed: &Value, observed_path: &Path) -> bool {
+    let in_config_data = matches!(
+        observed_path.steps().first(),
+        Some(crdspec::Step::Key(k)) if k == "data"
+    );
+    if in_config_data {
+        return true;
+    }
+    matches!(
+        (declared, observed),
+        (Value::Bool(_), Value::Bool(_))
+            | (
+                Value::Integer(_) | Value::Float(_),
+                Value::Integer(_) | Value::Float(_)
+            )
+            | (Value::String(_), Value::String(_))
+            | (Value::Array(_), Value::Array(_))
+            | (Value::Object(_), Value::Object(_))
+    )
+}
+
+/// Collects candidate fields in the post-state whose final key matches
+/// `key` (case-insensitive), searching spec sections, labels, annotations,
+/// and config-map data. The CR itself is excluded.
+fn candidate_fields<'s>(
+    snapshot: &'s StateSnapshot,
+    cr_id: &str,
+    key: &str,
+) -> Vec<(&'s str, Path, &'s Value)> {
+    let needle = key.to_ascii_lowercase();
+    let mut out = Vec::new();
+    for (obj_id, obj) in snapshot {
+        // The CR itself, cluster infrastructure (nodes), and retained
+        // volume claims (platform-kept artifacts of past declarations) are
+        // not reflections of the current declaration; claim templates on
+        // workloads carry the declared values instead.
+        if obj_id.starts_with(cr_id)
+            || obj_id.starts_with("Node/")
+            || obj_id.starts_with("PersistentVolumeClaim/")
+        {
+            continue;
+        }
+        for section in ["spec", "metadata"] {
+            let Some(root) = obj.get(section) else {
+                continue;
+            };
+            for leaf in root.leaf_paths() {
+                let last = leaf
+                    .last_key()
+                    .map(str::to_ascii_lowercase)
+                    .unwrap_or_default();
+                if last == needle {
+                    // Metadata matches only under labels/annotations.
+                    if section == "metadata" {
+                        let head = leaf.steps().first();
+                        let ok = matches!(
+                            head,
+                            Some(crdspec::Step::Key(k)) if k == "labels" || k == "annotations"
+                        );
+                        if !ok {
+                            continue;
+                        }
+                    }
+                    if let Some(v) = root.get_path(&leaf) {
+                        out.push((obj_id.as_str(), leaf, v));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Consistency sub-check (b): declared leaf values must match
+/// correspondingly named state-object fields.
+///
+/// For composite declared values every leaf is checked individually;
+/// entries removed relative to `previous` are checked for staleness (the
+/// deletion-path bugs of §6.1.4). A leaf with no matching field anywhere is
+/// skipped — insufficient observability, not a mismatch.
+pub fn consistency_check(ctx: &OracleContext<'_>, previous: Option<&Value>) -> Vec<Alarm> {
+    let mut alarms = Vec::new();
+    // Flatten the declared value into leaves relative to the property.
+    let leaves: Vec<(Path, Value)> = match ctx.declared {
+        Value::Object(_) | Value::Array(_) => ctx
+            .declared
+            .leaf_paths()
+            .into_iter()
+            .filter_map(|p| ctx.declared.get_path(&p).map(|v| (p, v.clone())))
+            .collect(),
+        other => vec![(Path::root(), other.clone())],
+    };
+    for (leaf, value) in &leaves {
+        if value.is_null() {
+            continue;
+        }
+        let key = leaf
+            .last_key()
+            .map(str::to_string)
+            .or_else(|| ctx.property.last_key().map(str::to_string));
+        let Some(key) = key else { continue };
+        let candidates: Vec<_> = candidate_fields(ctx.post_state, ctx.cr_id, &key)
+            .into_iter()
+            .filter(|(_, path, v)| type_compatible(value, v, path))
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        // Candidates that disagree among themselves cannot be localized to
+        // this property (e.g. `replicas` fields of sibling components).
+        let mut distinct: Vec<&Value> = Vec::new();
+        for (_, _, v) in &candidates {
+            if !distinct.iter().any(|d| values_match(d, v)) {
+                distinct.push(v);
+            }
+        }
+        if distinct.len() > 1 {
+            continue;
+        }
+        if !candidates.iter().any(|(_, _, v)| values_match(value, v)) {
+            let (obj, path, observed) = &candidates[0];
+            alarms.push(Alarm::new(
+                AlarmKind::Consistency,
+                format!(
+                    "declared {}{}{} = {} but {} has {} = {}",
+                    ctx.property,
+                    if leaf.is_root() { "" } else { "." },
+                    leaf,
+                    value,
+                    obj,
+                    path,
+                    observed
+                ),
+            ));
+        }
+    }
+    // Deletion staleness: keys present before but not in the declaration
+    // must disappear from the state.
+    if let Some(prev) = previous {
+        let prev_leaves: Vec<(Path, Value)> = match prev {
+            Value::Object(_) | Value::Array(_) => prev
+                .leaf_paths()
+                .into_iter()
+                .filter_map(|p| prev.get_path(&p).map(|v| (p, v.clone())))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let declared_keys: Vec<String> = leaves
+            .iter()
+            .filter_map(|(p, _)| p.last_key().map(str::to_string))
+            .collect();
+        for (leaf, old_value) in prev_leaves {
+            let Some(key) = leaf.last_key() else { continue };
+            if declared_keys.iter().any(|k| k == key) {
+                continue;
+            }
+            if old_value.is_null() {
+                continue;
+            }
+            // The key was removed: it must no longer carry the old value
+            // anywhere a sibling's key matches.
+            let stale: Vec<_> = candidate_fields(ctx.post_state, ctx.cr_id, key)
+                .into_iter()
+                .filter(|(_, _, v)| values_match(&old_value, v))
+                .collect();
+            if let Some((obj, path, _)) = stale.first() {
+                alarms.push(Alarm::new(
+                    AlarmKind::Consistency,
+                    format!(
+                        "removed {}.{} = {} still present at {} {}",
+                        ctx.property, leaf, old_value, obj, path
+                    ),
+                ));
+            }
+        }
+    }
+    alarms
+}
+
+/// Differential oracle for normal transitions: compares the state reached
+/// through campaign history against the state a fresh deployment reaches
+/// for the same declaration.
+///
+/// Retained persistent volume claims are tolerated (the platform keeps
+/// them by design); any other object present on one side only, or any
+/// differing field on common objects, raises an alarm.
+pub fn differential_normal(campaign: &StateSnapshot, fresh: &StateSnapshot) -> Vec<Alarm> {
+    let mut alarms = Vec::new();
+    for (id, campaign_obj) in campaign {
+        if id.starts_with("PersistentVolumeClaim/") {
+            continue;
+        }
+        match fresh.get(id) {
+            Some(fresh_obj) => {
+                for entry in diff(campaign_obj, fresh_obj) {
+                    let detail = match &entry.kind {
+                        DiffKind::Changed { left, right } => format!(
+                            "{id} {}: history-reached {} vs fresh {}",
+                            entry.path, left, right
+                        ),
+                        DiffKind::OnlyLeft(v) => {
+                            format!("{id} {}: only after history = {v}", entry.path)
+                        }
+                        DiffKind::OnlyRight(v) => {
+                            format!("{id} {}: only in fresh deployment = {v}", entry.path)
+                        }
+                    };
+                    alarms.push(Alarm::new(AlarmKind::DifferentialNormal, detail));
+                }
+            }
+            None => {
+                if !id.starts_with("PersistentVolumeClaim/") {
+                    alarms.push(Alarm::new(
+                        AlarmKind::DifferentialNormal,
+                        format!("{id} exists after history but not in a fresh deployment"),
+                    ));
+                }
+            }
+        }
+    }
+    for id in fresh.keys() {
+        if !campaign.contains_key(id) && !id.starts_with("PersistentVolumeClaim/") {
+            alarms.push(Alarm::new(
+                AlarmKind::DifferentialNormal,
+                format!("{id} missing after history (fresh deployment has it)"),
+            ));
+        }
+    }
+    alarms
+}
+
+/// Differential oracle for rollback transitions: after an error state,
+/// rolling back must restore the pre-error state.
+pub fn differential_rollback(
+    before_error: &StateSnapshot,
+    after_rollback: &StateSnapshot,
+    healthy: bool,
+) -> Vec<Alarm> {
+    let mut alarms = Vec::new();
+    if !healthy {
+        alarms.push(Alarm::new(
+            AlarmKind::DifferentialRollback,
+            "system still unhealthy after rollback".to_string(),
+        ));
+    }
+    for (id, before) in before_error {
+        if id.starts_with("PersistentVolumeClaim/") {
+            continue;
+        }
+        match after_rollback.get(id) {
+            Some(after) => {
+                for entry in diff(before, after) {
+                    alarms.push(Alarm::new(
+                        AlarmKind::DifferentialRollback,
+                        format!("{id} {}: not restored by rollback", entry.path),
+                    ));
+                }
+            }
+            None => {
+                if !id.starts_with("PersistentVolumeClaim/") {
+                    alarms.push(Alarm::new(
+                        AlarmKind::DifferentialRollback,
+                        format!("{id} lost across rollback"),
+                    ));
+                }
+            }
+        }
+    }
+    alarms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(entries: &[(&str, Value)]) -> StateSnapshot {
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn obj(spec: Value) -> Value {
+        Value::object([
+            ("kind", Value::from("StatefulSet")),
+            (
+                "metadata",
+                Value::object([("labels", Value::empty_object())]),
+            ),
+            ("spec", spec),
+            ("status", Value::empty_object()),
+        ])
+    }
+
+    #[test]
+    fn masking_removes_nondeterministic_fields() {
+        let v = Value::object([
+            ("uid", Value::from(3)),
+            ("spec", Value::object([("replicas", Value::from(2))])),
+            (
+                "status",
+                Value::object([
+                    ("nodeName", Value::from("node-1")),
+                    ("ready", Value::from(true)),
+                ]),
+            ),
+        ]);
+        let masked = mask_value(&v);
+        assert!(masked.get("uid").is_none());
+        assert!(masked
+            .get_path(&"status.nodeName".parse().unwrap())
+            .is_none());
+        assert!(masked.get_path(&"status.ready".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn consistency_flags_value_mismatch() {
+        let post = snapshot(&[(
+            "StatefulSet/acto/app",
+            obj(Value::object([("replicas", Value::from(2))])),
+        )]);
+        let pre = snapshot(&[]);
+        let property: Path = "replicas".parse().unwrap();
+        let declared = Value::from(5);
+        let ctx = OracleContext {
+            property: &property,
+            declared: &declared,
+            declaration: &declared,
+            pre_state: &pre,
+            post_state: &post,
+            cr_id: "Widget/acto/test-cluster",
+        };
+        let alarms = consistency_check(&ctx, None);
+        assert_eq!(alarms.len(), 1);
+        assert!(alarms[0].detail.contains("declared replicas"));
+        // A matching field silences the oracle.
+        let post = snapshot(&[(
+            "StatefulSet/acto/app",
+            obj(Value::object([("replicas", Value::from(5))])),
+        )]);
+        let ctx = OracleContext {
+            post_state: &post,
+            ..ctx
+        };
+        assert!(consistency_check(&ctx, None).is_empty());
+    }
+
+    #[test]
+    fn consistency_tolerates_unobservable_properties() {
+        let post = snapshot(&[(
+            "StatefulSet/acto/app",
+            obj(Value::object([("replicas", Value::from(2))])),
+        )]);
+        let pre = snapshot(&[]);
+        let property: Path = "internalKnob".parse().unwrap();
+        let declared = Value::from("anything");
+        let ctx = OracleContext {
+            property: &property,
+            declared: &declared,
+            declaration: &declared,
+            pre_state: &pre,
+            post_state: &post,
+            cr_id: "Widget/acto/x",
+        };
+        assert!(consistency_check(&ctx, None).is_empty());
+    }
+
+    #[test]
+    fn consistency_quantities_compare_canonically() {
+        assert!(values_match(&Value::from("1024Mi"), &Value::from("1Gi")));
+        assert!(values_match(&Value::from(3), &Value::from("3")));
+        assert!(values_match(&Value::from(true), &Value::from("true")));
+        assert!(!values_match(&Value::from("2Gi"), &Value::from("1Gi")));
+    }
+
+    #[test]
+    fn consistency_detects_stale_deleted_entries() {
+        // The label `team` was removed from the declaration but the pod
+        // still carries it.
+        let post = snapshot(&[(
+            "Pod/acto/app-0",
+            Value::object([
+                ("kind", Value::from("Pod")),
+                (
+                    "metadata",
+                    Value::object([(
+                        "labels",
+                        Value::object([("team", Value::from("infra")), ("app", Value::from("a"))]),
+                    )]),
+                ),
+                ("spec", Value::empty_object()),
+                ("status", Value::empty_object()),
+            ]),
+        )]);
+        let pre = snapshot(&[]);
+        let property: Path = "podLabels".parse().unwrap();
+        let declared = Value::empty_object();
+        let previous = Value::object([("team", Value::from("infra"))]);
+        let ctx = OracleContext {
+            property: &property,
+            declared: &declared,
+            declaration: &declared,
+            pre_state: &pre,
+            post_state: &post,
+            cr_id: "Widget/acto/x",
+        };
+        let alarms = consistency_check(&ctx, Some(&previous));
+        assert_eq!(alarms.len(), 1);
+        assert!(alarms[0].detail.contains("still present"));
+    }
+
+    #[test]
+    fn differential_normal_flags_divergence_and_tolerates_pvcs() {
+        let campaign = snapshot(&[
+            (
+                "StatefulSet/acto/app",
+                obj(Value::object([("replicas", Value::from(3))])),
+            ),
+            (
+                "PersistentVolumeClaim/acto/data-app-3",
+                obj(Value::empty_object()),
+            ),
+            ("Deployment/acto/stale-proxy", obj(Value::empty_object())),
+        ]);
+        let fresh = snapshot(&[(
+            "StatefulSet/acto/app",
+            obj(Value::object([("replicas", Value::from(3))])),
+        )]);
+        let alarms = differential_normal(&campaign, &fresh);
+        assert_eq!(alarms.len(), 1, "{alarms:?}");
+        assert!(alarms[0].detail.contains("stale-proxy"));
+        // Field-level divergence on common objects.
+        let fresh = snapshot(&[(
+            "StatefulSet/acto/app",
+            obj(Value::object([("replicas", Value::from(4))])),
+        )]);
+        let campaign = snapshot(&[(
+            "StatefulSet/acto/app",
+            obj(Value::object([("replicas", Value::from(3))])),
+        )]);
+        let alarms = differential_normal(&campaign, &fresh);
+        assert_eq!(alarms.len(), 1);
+        assert!(alarms[0].detail.contains("history-reached"));
+    }
+
+    #[test]
+    fn rollback_oracle_requires_restoration_and_health() {
+        let before = snapshot(&[(
+            "StatefulSet/acto/app",
+            obj(Value::object([("image", Value::from("v1"))])),
+        )]);
+        let after_ok = before.clone();
+        assert!(differential_rollback(&before, &after_ok, true).is_empty());
+        let after_bad = snapshot(&[(
+            "StatefulSet/acto/app",
+            obj(Value::object([("image", Value::from("v2"))])),
+        )]);
+        let alarms = differential_rollback(&before, &after_bad, true);
+        assert_eq!(alarms.len(), 1);
+        let alarms = differential_rollback(&before, &after_ok, false);
+        assert_eq!(alarms.len(), 1);
+        assert!(alarms[0].detail.contains("unhealthy"));
+    }
+
+    #[test]
+    fn consistency_skips_infrastructure_and_retained_claims() {
+        // A mismatching `cpu` on a Node and a mismatching `size` on a PVC
+        // must not raise alarms: neither reflects the declaration.
+        let post = snapshot(&[
+            (
+                "Node//node-0",
+                Value::object([
+                    ("kind", Value::from("Node")),
+                    ("metadata", Value::empty_object()),
+                    (
+                        "spec",
+                        Value::object([("capacity", Value::object([("cpu", Value::from("16"))]))]),
+                    ),
+                    ("status", Value::empty_object()),
+                ]),
+            ),
+            (
+                "PersistentVolumeClaim/acto/data-app-0",
+                obj(Value::object([("size", Value::from("4Gi"))])),
+            ),
+        ]);
+        let pre = snapshot(&[]);
+        let property: Path = "resources.requests.cpu".parse().unwrap();
+        let declared = Value::from("64");
+        let ctx = OracleContext {
+            property: &property,
+            declared: &declared,
+            declaration: &declared,
+            pre_state: &pre,
+            post_state: &post,
+            cr_id: "Widget/acto/x",
+        };
+        assert!(consistency_check(&ctx, None).is_empty());
+        let property: Path = "persistence.size".parse().unwrap();
+        let declared = Value::from("64Gi");
+        let ctx = OracleContext {
+            property: &property,
+            declared: &declared,
+            declaration: &declared,
+            pre_state: &pre,
+            post_state: &post,
+            cr_id: "Widget/acto/x",
+        };
+        assert!(consistency_check(&ctx, None).is_empty());
+    }
+
+    #[test]
+    fn consistency_requires_type_compatible_candidates() {
+        // Declared integer 4 must not be compared against a string-typed
+        // quantity field of the same name.
+        let post = snapshot(&[(
+            "StatefulSet/acto/app",
+            obj(Value::object([("size", Value::from("50Gi"))])),
+        )]);
+        let pre = snapshot(&[]);
+        let property: Path = "proxysql.size".parse().unwrap();
+        let declared = Value::from(4);
+        let ctx = OracleContext {
+            property: &property,
+            declared: &declared,
+            declaration: &declared,
+            pre_state: &pre,
+            post_state: &post,
+            cr_id: "Widget/acto/x",
+        };
+        assert!(consistency_check(&ctx, None).is_empty());
+        // Config-map `data` entries are stringly typed and still compare.
+        let post = snapshot(&[(
+            "ConfigMap/acto/app-config",
+            obj(Value::object([(
+                "data",
+                Value::object([("size", Value::from("3"))]),
+            )])),
+        )]);
+        let declared = Value::from(4);
+        let ctx = OracleContext {
+            property: &property,
+            declared: &declared,
+            declaration: &declared,
+            pre_state: &pre,
+            post_state: &post,
+            cr_id: "Widget/acto/x",
+        };
+        assert_eq!(consistency_check(&ctx, None).len(), 1);
+    }
+
+    #[test]
+    fn consistency_skips_disagreeing_candidates() {
+        // `replicas` fields of sibling components disagree: the oracle
+        // cannot localize the declared property and stays silent.
+        let post = snapshot(&[
+            (
+                "StatefulSet/acto/app-pd",
+                obj(Value::object([("replicas", Value::from(3))])),
+            ),
+            (
+                "StatefulSet/acto/app-tidb",
+                obj(Value::object([("replicas", Value::from(2))])),
+            ),
+        ]);
+        let pre = snapshot(&[]);
+        let property: Path = "pump.replicas".parse().unwrap();
+        let declared = Value::from(0);
+        let ctx = OracleContext {
+            property: &property,
+            declared: &declared,
+            declaration: &declared,
+            pre_state: &pre,
+            post_state: &post,
+            cr_id: "Widget/acto/x",
+        };
+        assert!(consistency_check(&ctx, None).is_empty());
+    }
+
+    #[test]
+    fn differential_skips_retained_claims_entirely() {
+        let campaign = snapshot(&[(
+            "PersistentVolumeClaim/acto/data-0",
+            obj(Value::object([("size", Value::from("2Gi"))])),
+        )]);
+        let fresh = snapshot(&[(
+            "PersistentVolumeClaim/acto/data-0",
+            obj(Value::object([("size", Value::from("8Gi"))])),
+        )]);
+        assert!(differential_normal(&campaign, &fresh).is_empty());
+        assert!(differential_rollback(&campaign, &fresh, true).is_empty());
+    }
+
+    #[test]
+    fn field_determinism_counts() {
+        let raw = snapshot(&[(
+            "Pod/acto/p",
+            Value::object([
+                (
+                    "metadata",
+                    Value::object([("uid", Value::from(1)), ("name", Value::from("p"))]),
+                ),
+                (
+                    "status",
+                    Value::object([("nodeName", Value::from("n")), ("ready", Value::from(true))]),
+                ),
+            ]),
+        )]);
+        let (kept, masked) = field_determinism(&raw);
+        assert_eq!(kept, 2);
+        assert_eq!(masked, 2);
+    }
+}

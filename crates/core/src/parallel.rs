@@ -1,0 +1,171 @@
+//! Test parallelization (paper §5.5).
+//!
+//! Acto partitions an operation sequence into segments and runs them in
+//! parallel: segment `k` starts on a fresh cluster with a single jump
+//! operation `S_0 → S_i` (submitting the declaration the sequential
+//! campaign would have reached), then executes its slice. Each worker gets
+//! its own simulated cluster; workers are real threads.
+
+use std::time::Instant;
+
+use crdspec::Value;
+use operators::operator_by_name;
+
+use crate::campaign::{plan_campaign, run_campaign, CampaignConfig, CampaignResult};
+use crate::model::Trial;
+
+/// The result of a partitioned campaign.
+#[derive(Debug)]
+pub struct ParallelResult {
+    /// Worker count used.
+    pub workers: usize,
+    /// Trials from all workers, in partition order.
+    pub trials: Vec<Trial>,
+    /// Total simulated machine-seconds across workers (compute cost).
+    pub total_sim_seconds: u64,
+    /// Maximum simulated seconds of any single worker (wall-clock bound).
+    pub makespan_sim_seconds: u64,
+    /// Real time the partitioned run took.
+    pub wall: std::time::Duration,
+}
+
+/// Computes the declaration reached after applying a plan prefix, used as
+/// the jump operation for a partition.
+pub fn declaration_after_prefix(config: &CampaignConfig, prefix_len: usize) -> Value {
+    let operator = operator_by_name(&config.operator);
+    let schema = operator.schema();
+    let ir = operator.ir();
+    let plan = plan_campaign(
+        &schema,
+        Some(&ir),
+        config.mode,
+        &operator.initial_cr(),
+        &operator.images(),
+        operators::INSTANCE,
+    );
+    let mut working = operator.initial_cr();
+    for op in plan.iter().take(prefix_len) {
+        for (p, v) in &op.dependency_assignments {
+            working.set_path(&schema_to_value_path(p), v.clone());
+        }
+        let target = schema_to_value_path(&op.property);
+        if op.value.is_null() {
+            working.remove_path(&target);
+        } else {
+            working.set_path(&target, op.value.clone());
+        }
+    }
+    working
+}
+
+fn schema_to_value_path(p: &crdspec::Path) -> crdspec::Path {
+    let mut steps = Vec::new();
+    for step in p.steps() {
+        match step {
+            crdspec::Step::Key(k) if k == "@items" => steps.push(crdspec::Step::Index(0)),
+            crdspec::Step::Key(k) if k == "@values" => {}
+            other => steps.push(other.clone()),
+        }
+    }
+    crdspec::Path::from_steps(steps)
+}
+
+/// Runs a campaign partitioned over `workers` threads.
+///
+/// Each worker executes a contiguous slice of the plan via
+/// [`run_campaign`] with a bounded operation window; the partition jump is
+/// approximated by starting each worker's campaign at the prefix
+/// declaration.
+pub fn run_partitioned(config: &CampaignConfig, workers: usize) -> ParallelResult {
+    let start = Instant::now();
+    let operator = operator_by_name(&config.operator);
+    let schema = operator.schema();
+    let ir = operator.ir();
+    let plan_len = plan_campaign(
+        &schema,
+        Some(&ir),
+        config.mode,
+        &operator.initial_cr(),
+        &operator.images(),
+        operators::INSTANCE,
+    )
+    .len();
+    let workers = workers.max(1).min(plan_len.max(1));
+    let chunk = plan_len.div_ceil(workers);
+    let mut results: Vec<CampaignResult> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let config = config.clone();
+            handles.push(scope.spawn(move || {
+                let skip = w * chunk;
+                let take = chunk.min(plan_len.saturating_sub(skip));
+                run_campaign_slice(&config, skip, take)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("worker thread"));
+        }
+    });
+    let total_sim_seconds = results.iter().map(|r| r.sim_seconds).sum();
+    let makespan_sim_seconds = results.iter().map(|r| r.sim_seconds).max().unwrap_or(0);
+    let trials = results.into_iter().flat_map(|r| r.trials).collect();
+    ParallelResult {
+        workers,
+        trials,
+        total_sim_seconds,
+        makespan_sim_seconds,
+        wall: start.elapsed(),
+    }
+}
+
+/// Runs only a slice of the campaign plan: the worker body of
+/// [`run_partitioned`]. The prefix collapses into one jump declaration.
+fn run_campaign_slice(config: &CampaignConfig, skip: usize, take: usize) -> CampaignResult {
+    let mut sliced = config.clone();
+    sliced.window = Some((skip, take));
+    sliced.max_ops = None;
+    run_campaign(&sliced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Mode;
+    use operators::bugs::BugToggles;
+    use simkube::PlatformBugs;
+
+    fn quick_config() -> CampaignConfig {
+        CampaignConfig {
+            operator: "RabbitMQOp".to_string(),
+            mode: Mode::Whitebox,
+            bugs: BugToggles::all_injected(),
+            platform: PlatformBugs::none(),
+            max_ops: Some(8),
+            differential: false,
+            strategy: crate::campaign::Strategy::Full,
+            window: None,
+            custom_oracles: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn prefix_declaration_reflects_plan() {
+        let config = quick_config();
+        let d0 = declaration_after_prefix(&config, 0);
+        let op = operator_by_name("RabbitMQOp");
+        assert_eq!(d0, op.initial_cr());
+        let d3 = declaration_after_prefix(&config, 3);
+        assert_ne!(d3, d0);
+    }
+
+    #[test]
+    fn partitioned_run_covers_all_windows() {
+        let mut config = quick_config();
+        config.max_ops = None;
+        let result = run_partitioned(&config, 3);
+        assert_eq!(result.workers, 3);
+        assert!(result.total_sim_seconds >= result.makespan_sim_seconds);
+        assert!(!result.trials.is_empty());
+    }
+}

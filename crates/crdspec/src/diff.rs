@@ -1,0 +1,235 @@
+//! Structural diffing between values.
+//!
+//! Acto's consistency and differential oracles reduce to comparing value
+//! trees: a desired-state declaration against the `spec` recorded in state
+//! objects, or the full system state reached via two different transition
+//! histories. [`diff`] produces a deterministic list of per-path differences
+//! which oracle layers then filter (e.g. masking nondeterministic fields).
+
+use std::fmt;
+
+use crate::path::Path;
+use crate::value::Value;
+
+/// The kind of difference found at a path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffKind {
+    /// Present on the left side only.
+    OnlyLeft(Value),
+    /// Present on the right side only.
+    OnlyRight(Value),
+    /// Present on both sides with different values.
+    Changed {
+        /// Value on the left side.
+        left: Value,
+        /// Value on the right side.
+        right: Value,
+    },
+}
+
+/// One difference between two value trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Path at which the trees differ.
+    pub path: Path,
+    /// What differs.
+    pub kind: DiffKind,
+}
+
+impl fmt::Display for DiffEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            DiffKind::OnlyLeft(v) => write!(f, "{}: only left = {v}", self.path),
+            DiffKind::OnlyRight(v) => write!(f, "{}: only right = {v}", self.path),
+            DiffKind::Changed { left, right } => {
+                write!(f, "{}: {left} != {right}", self.path)
+            }
+        }
+    }
+}
+
+/// Computes the structural difference between two values.
+///
+/// Objects are compared member-wise; arrays element-wise by index (length
+/// differences surface as `OnlyLeft`/`OnlyRight` entries for the tail).
+/// Scalars of different numeric kinds compare by numeric value, so
+/// `Integer(1)` equals `Float(1.0)` — Kubernetes serializations flip
+/// between the two.
+///
+/// # Examples
+///
+/// ```
+/// use crdspec::{diff, Value};
+///
+/// let a = Value::object([("r", Value::from(2))]);
+/// let b = Value::object([("r", Value::from(3))]);
+/// let d = diff(&a, &b);
+/// assert_eq!(d.len(), 1);
+/// assert_eq!(d[0].path.to_string(), "r");
+/// ```
+pub fn diff(left: &Value, right: &Value) -> Vec<DiffEntry> {
+    let mut out = Vec::new();
+    diff_at(left, right, &Path::root(), &mut out);
+    out
+}
+
+/// Returns `true` when two values are structurally equal under the same
+/// tolerance [`diff`] applies (numeric-kind-insensitive).
+pub fn semantically_equal(left: &Value, right: &Value) -> bool {
+    diff(left, right).is_empty()
+}
+
+fn scalars_equal(left: &Value, right: &Value) -> Option<bool> {
+    match (left, right) {
+        (Value::Null, Value::Null) => Some(true),
+        (Value::Bool(a), Value::Bool(b)) => Some(a == b),
+        (Value::String(a), Value::String(b)) => Some(a == b),
+        (Value::Integer(_) | Value::Float(_), Value::Integer(_) | Value::Float(_)) => {
+            let a = left.as_f64().expect("numeric");
+            let b = right.as_f64().expect("numeric");
+            Some(a == b)
+        }
+        (Value::Object(_) | Value::Array(_), Value::Object(_) | Value::Array(_)) => None,
+        _ => Some(false),
+    }
+}
+
+fn diff_at(left: &Value, right: &Value, path: &Path, out: &mut Vec<DiffEntry>) {
+    match (left, right) {
+        (Value::Object(l), Value::Object(r)) => {
+            for (k, lv) in l {
+                match r.get(k) {
+                    Some(rv) => diff_at(lv, rv, &path.child_key(k), out),
+                    None => out.push(DiffEntry {
+                        path: path.child_key(k),
+                        kind: DiffKind::OnlyLeft(lv.clone()),
+                    }),
+                }
+            }
+            for (k, rv) in r {
+                if !l.contains_key(k) {
+                    out.push(DiffEntry {
+                        path: path.child_key(k),
+                        kind: DiffKind::OnlyRight(rv.clone()),
+                    });
+                }
+            }
+        }
+        (Value::Array(l), Value::Array(r)) => {
+            let common = l.len().min(r.len());
+            for i in 0..common {
+                diff_at(&l[i], &r[i], &path.child_index(i), out);
+            }
+            for (i, lv) in l.iter().enumerate().skip(common) {
+                out.push(DiffEntry {
+                    path: path.child_index(i),
+                    kind: DiffKind::OnlyLeft(lv.clone()),
+                });
+            }
+            for (i, rv) in r.iter().enumerate().skip(common) {
+                out.push(DiffEntry {
+                    path: path.child_index(i),
+                    kind: DiffKind::OnlyRight(rv.clone()),
+                });
+            }
+        }
+        _ => match scalars_equal(left, right) {
+            Some(true) => {}
+            _ => out.push(DiffEntry {
+                path: path.clone(),
+                kind: DiffKind::Changed {
+                    left: left.clone(),
+                    right: right.clone(),
+                },
+            }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_produce_no_diff() {
+        let v = Value::object([
+            ("a", Value::array([Value::from(1), Value::from("x")])),
+            ("b", Value::object([("c", Value::Null)])),
+        ]);
+        assert!(diff(&v, &v).is_empty());
+        assert!(semantically_equal(&v, &v));
+    }
+
+    #[test]
+    fn numeric_kind_is_tolerated() {
+        let a = Value::object([("cpu", Value::Integer(1))]);
+        let b = Value::object([("cpu", Value::Float(1.0))]);
+        assert!(diff(&a, &b).is_empty());
+        let c = Value::object([("cpu", Value::Float(1.5))]);
+        assert_eq!(diff(&a, &c).len(), 1);
+    }
+
+    #[test]
+    fn missing_members_reported_by_side() {
+        let a = Value::object([("x", Value::from(1)), ("y", Value::from(2))]);
+        let b = Value::object([("y", Value::from(2)), ("z", Value::from(3))]);
+        let d = diff(&a, &b);
+        assert_eq!(d.len(), 2);
+        assert!(matches!(
+            d.iter().find(|e| e.path.to_string() == "x").unwrap().kind,
+            DiffKind::OnlyLeft(_)
+        ));
+        assert!(matches!(
+            d.iter().find(|e| e.path.to_string() == "z").unwrap().kind,
+            DiffKind::OnlyRight(_)
+        ));
+    }
+
+    #[test]
+    fn array_length_differences() {
+        let a = Value::array([Value::from(1), Value::from(2), Value::from(3)]);
+        let b = Value::array([Value::from(1)]);
+        let d = diff(&a, &b);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|e| matches!(e.kind, DiffKind::OnlyLeft(_))));
+    }
+
+    #[test]
+    fn type_mismatch_is_changed() {
+        let a = Value::object([("v", Value::from("3"))]);
+        let b = Value::object([("v", Value::from(3))]);
+        let d = diff(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(d[0].kind, DiffKind::Changed { .. }));
+    }
+
+    #[test]
+    fn nested_paths_are_precise() {
+        let a = Value::object([(
+            "spec",
+            Value::object([(
+                "pods",
+                Value::array([Value::object([("phase", Value::from("Running"))])]),
+            )]),
+        )]);
+        let b = Value::object([(
+            "spec",
+            Value::object([(
+                "pods",
+                Value::array([Value::object([("phase", Value::from("Pending"))])]),
+            )]),
+        )]);
+        let d = diff(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].path.to_string(), "spec.pods[0].phase");
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        let d = diff(
+            &Value::object([("a", Value::from(1))]),
+            &Value::object([("a", Value::from(2))]),
+        );
+        assert_eq!(format!("{}", d[0]), "a: 1 != 2");
+    }
+}

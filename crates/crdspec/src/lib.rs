@@ -1,0 +1,29 @@
+//! CRD/OpenAPI-style schema infrastructure for the Acto reproduction.
+//!
+//! Kubernetes operators expose their operation interface through a custom
+//! resource definition (CRD) whose `spec` is described by an OpenAPI v3
+//! schema. Acto consumes that schema to enumerate properties, generate
+//! syntactically valid desired-state declarations, and validate them. This
+//! crate provides the building blocks:
+//!
+//! - [`Value`]: a dynamic JSON-like value with deep access by [`Path`].
+//! - [`json`]: a self-contained JSON parser and serializer (no external
+//!   dependencies), used for fixtures and emitted test code.
+//! - [`Schema`]: the property-tree model with constraints (bounds, enums,
+//!   patterns, required fields) and semantic tags.
+//! - [`mod@validate`]: structural validation of a [`Value`] against a [`Schema`].
+//! - [`mod@diff`]: structural diffing between two values, the primitive behind
+//!   Acto's consistency and differential oracles.
+
+pub mod diff;
+pub mod json;
+pub mod path;
+pub mod schema;
+pub mod validate;
+pub mod value;
+
+pub use diff::{diff, DiffEntry, DiffKind};
+pub use path::{Path, Step};
+pub use schema::{Schema, SchemaKind, Semantic};
+pub use validate::{validate, ValidationError};
+pub use value::Value;

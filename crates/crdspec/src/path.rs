@@ -1,0 +1,307 @@
+//! Property paths: dotted key/index addresses into [`Value`](crate::Value)
+//! trees and schema trees.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One step of a [`Path`]: an object key or an array index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Step {
+    /// Object member access, e.g. `spec`.
+    Key(String),
+    /// Array element access, e.g. `[0]`.
+    Index(usize),
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Key(k) => f.write_str(k),
+            Step::Index(i) => write!(f, "[{i}]"),
+        }
+    }
+}
+
+/// A property path such as `spec.containers[0].resources.limits.cpu`.
+///
+/// Paths address both concrete values and schema properties. Array indices
+/// only appear when addressing values; schema paths use the synthetic key
+/// produced by [`Path::child_items`] for array item schemas.
+///
+/// # Examples
+///
+/// ```
+/// use crdspec::Path;
+///
+/// let p: Path = "spec.replicas".parse().unwrap();
+/// assert_eq!(p.to_string(), "spec.replicas");
+/// assert!(p.starts_with(&"spec".parse().unwrap()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Path {
+    steps: Vec<Step>,
+}
+
+impl Path {
+    /// Returns the empty (root) path.
+    pub fn root() -> Path {
+        Path { steps: Vec::new() }
+    }
+
+    /// Builds a path from pre-parsed steps.
+    pub fn from_steps(steps: Vec<Step>) -> Path {
+        Path { steps }
+    }
+
+    /// Returns the underlying steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Returns `true` for the root path.
+    pub fn is_root(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Returns the number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the path has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Returns a new path extended with an object key.
+    pub fn child_key(&self, key: &str) -> Path {
+        let mut steps = self.steps.clone();
+        steps.push(Step::Key(key.to_string()));
+        Path { steps }
+    }
+
+    /// Returns a new path extended with an array index.
+    pub fn child_index(&self, index: usize) -> Path {
+        let mut steps = self.steps.clone();
+        steps.push(Step::Index(index));
+        Path { steps }
+    }
+
+    /// Returns the schema path of an array's item schema (`path.@items`).
+    pub fn child_items(&self) -> Path {
+        self.child_key("@items")
+    }
+
+    /// Returns the parent path, or `None` for the root.
+    pub fn parent(&self) -> Option<Path> {
+        if self.steps.is_empty() {
+            None
+        } else {
+            Some(Path {
+                steps: self.steps[..self.steps.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// Returns the final step, or `None` for the root.
+    pub fn last(&self) -> Option<&Step> {
+        self.steps.last()
+    }
+
+    /// Returns the final key name, if the last step is a key.
+    pub fn last_key(&self) -> Option<&str> {
+        match self.steps.last() {
+            Some(Step::Key(k)) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `self` begins with all steps of `prefix`.
+    pub fn starts_with(&self, prefix: &Path) -> bool {
+        self.steps.len() >= prefix.steps.len()
+            && self.steps[..prefix.steps.len()] == prefix.steps[..]
+    }
+
+    /// Concatenates two paths.
+    pub fn join(&self, suffix: &Path) -> Path {
+        let mut steps = self.steps.clone();
+        steps.extend(suffix.steps.iter().cloned());
+        Path { steps }
+    }
+
+    /// Strips array indices, yielding the schema-shaped path where each
+    /// index becomes the `@items` pseudo-key.
+    ///
+    /// `spec.containers[2].name` becomes `spec.containers.@items.name`,
+    /// which is how the corresponding property appears in a [`Schema`]
+    /// tree walk.
+    ///
+    /// [`Schema`]: crate::Schema
+    pub fn to_schema_path(&self) -> Path {
+        let steps = self
+            .steps
+            .iter()
+            .map(|s| match s {
+                Step::Key(k) => Step::Key(k.clone()),
+                Step::Index(_) => Step::Key("@items".to_string()),
+            })
+            .collect();
+        Path { steps }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for step in &self.steps {
+            match step {
+                Step::Key(k) => {
+                    if !first {
+                        f.write_str(".")?;
+                    }
+                    f.write_str(k)?;
+                }
+                Step::Index(i) => write!(f, "[{i}]")?,
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Error produced when parsing a malformed path string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for PathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path: {}", self.message)
+    }
+}
+
+impl std::error::Error for PathParseError {}
+
+impl FromStr for Path {
+    type Err = PathParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Ok(Path::root());
+        }
+        let mut steps = Vec::new();
+        let mut cur = String::new();
+        let mut chars = s.chars().peekable();
+        let flush = |cur: &mut String, steps: &mut Vec<Step>| -> Result<(), PathParseError> {
+            if cur.is_empty() {
+                return Ok(());
+            }
+            steps.push(Step::Key(std::mem::take(cur)));
+            Ok(())
+        };
+        while let Some(c) = chars.next() {
+            match c {
+                '.' => {
+                    if cur.is_empty() && steps.is_empty() {
+                        return Err(PathParseError {
+                            message: format!("leading '.' in {s:?}"),
+                        });
+                    }
+                    flush(&mut cur, &mut steps)?;
+                    if chars.peek().is_none() {
+                        return Err(PathParseError {
+                            message: format!("trailing '.' in {s:?}"),
+                        });
+                    }
+                }
+                '[' => {
+                    flush(&mut cur, &mut steps)?;
+                    let mut digits = String::new();
+                    loop {
+                        match chars.next() {
+                            Some(']') => break,
+                            Some(d) if d.is_ascii_digit() => digits.push(d),
+                            Some(other) => {
+                                return Err(PathParseError {
+                                    message: format!("unexpected {other:?} in index of {s:?}"),
+                                })
+                            }
+                            None => {
+                                return Err(PathParseError {
+                                    message: format!("unterminated index in {s:?}"),
+                                })
+                            }
+                        }
+                    }
+                    let idx = digits.parse::<usize>().map_err(|_| PathParseError {
+                        message: format!("empty or invalid index in {s:?}"),
+                    })?;
+                    steps.push(Step::Index(idx));
+                }
+                ']' => {
+                    return Err(PathParseError {
+                        message: format!("unmatched ']' in {s:?}"),
+                    })
+                }
+                other => cur.push(other),
+            }
+        }
+        flush(&mut cur, &mut steps)?;
+        Ok(Path { steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in [
+            "spec",
+            "spec.replicas",
+            "spec.containers[0].name",
+            "a[10][2].b",
+            "",
+        ] {
+            let p: Path = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for s in ["a.", ".a", "a[", "a[x]", "a[]", "a]b"] {
+            assert!(s.parse::<Path>().is_err(), "expected error for {s:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_and_parent() {
+        let p: Path = "spec.backup.schedule".parse().unwrap();
+        let parent = p.parent().unwrap();
+        assert_eq!(parent.to_string(), "spec.backup");
+        assert!(p.starts_with(&parent));
+        assert!(!parent.starts_with(&p));
+        assert_eq!(p.last_key(), Some("schedule"));
+        assert_eq!(Path::root().parent(), None);
+    }
+
+    #[test]
+    fn schema_path_replaces_indices() {
+        let p: Path = "spec.containers[2].env[0].name".parse().unwrap();
+        assert_eq!(
+            p.to_schema_path().to_string(),
+            "spec.containers.@items.env.@items.name"
+        );
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a: Path = "spec".parse().unwrap();
+        let b: Path = "replicas".parse().unwrap();
+        assert_eq!(a.join(&b).to_string(), "spec.replicas");
+    }
+}

@@ -1,0 +1,593 @@
+//! The property-tree schema model for operation interfaces (CRDs).
+//!
+//! A [`Schema`] describes one property exposed by an operator's operation
+//! interface: its type, constraints, documentation, default, and — as ground
+//! truth for evaluating Acto's inference — an optional [`Semantic`] hint.
+//! Composite schemas (objects, arrays, maps) nest child schemas, forming the
+//! property tree that Acto walks to plan test campaigns.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::path::Path;
+use crate::value::Value;
+
+/// High-level semantic classes of properties, mirroring the Kubernetes
+/// resource semantics Acto's 57 value generators target (paper §5.2.2–5.2.3,
+/// Table 3).
+///
+/// A semantic is *ground truth* when recorded on a schema node by the
+/// operator author, and *inferred* when produced by `acto`'s matcher; the
+/// evaluation compares the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Semantic {
+    /// Number of replicas / cluster size.
+    Replicas,
+    /// Container compute resource requests/limits.
+    Resources,
+    /// A Kubernetes resource quantity string (cpu, memory, storage).
+    Quantity,
+    /// Pod affinity / anti-affinity rules.
+    Affinity,
+    /// Node selector label map.
+    NodeSelector,
+    /// Taints tolerations.
+    Tolerations,
+    /// Container image reference.
+    Image,
+    /// Image pull policy.
+    ImagePullPolicy,
+    /// Persistent storage size.
+    StorageSize,
+    /// Storage class name.
+    StorageClass,
+    /// Storage medium selector (persistent vs ephemeral).
+    StorageType,
+    /// Pod/container security context.
+    SecurityContext,
+    /// Pod disruption budget.
+    PodDisruptionBudget,
+    /// Service exposure type (ClusterIP/NodePort/LoadBalancer).
+    ServiceType,
+    /// Network port number.
+    Port,
+    /// Environment variable list.
+    EnvVars,
+    /// Label map attached to created objects.
+    Labels,
+    /// Annotation map attached to created objects.
+    Annotations,
+    /// Liveness/readiness probe configuration.
+    Probe,
+    /// Volume / volume mount configuration.
+    Volume,
+    /// TLS / certificate configuration.
+    Tls,
+    /// Reference to a secret object.
+    SecretRef,
+    /// Reference to a config map object.
+    ConfigMapRef,
+    /// Backup / restore policy.
+    Backup,
+    /// Cron-style schedule expression.
+    Schedule,
+    /// Software version string.
+    Version,
+    /// Boolean feature toggle.
+    Toggle,
+    /// Managed-system configuration passthrough block.
+    SystemConfig,
+    /// Upgrade / update strategy.
+    UpdateStrategy,
+    /// DNS or network service name.
+    ServiceName,
+    /// Duration (seconds or Go-style string).
+    Duration,
+    /// Percentage value (0–100 or `"50%"`).
+    Percentage,
+    /// Priority class name for scheduling.
+    PriorityClass,
+    /// Service account name.
+    ServiceAccount,
+    /// Ingress / external access configuration.
+    Ingress,
+}
+
+impl Semantic {
+    /// Enumerates all semantic classes, in stable order.
+    pub fn all() -> &'static [Semantic] {
+        use Semantic::*;
+        &[
+            Replicas,
+            Resources,
+            Quantity,
+            Affinity,
+            NodeSelector,
+            Tolerations,
+            Image,
+            ImagePullPolicy,
+            StorageSize,
+            StorageClass,
+            StorageType,
+            SecurityContext,
+            PodDisruptionBudget,
+            ServiceType,
+            Port,
+            EnvVars,
+            Labels,
+            Annotations,
+            Probe,
+            Volume,
+            Tls,
+            SecretRef,
+            ConfigMapRef,
+            Backup,
+            Schedule,
+            Version,
+            Toggle,
+            SystemConfig,
+            UpdateStrategy,
+            ServiceName,
+            Duration,
+            Percentage,
+            PriorityClass,
+            ServiceAccount,
+            Ingress,
+        ]
+    }
+}
+
+impl fmt::Display for Semantic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The type-specific part of a [`Schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaKind {
+    /// A boolean property.
+    Boolean,
+    /// An integer property with optional inclusive bounds.
+    Integer {
+        /// Inclusive lower bound.
+        minimum: Option<i64>,
+        /// Inclusive upper bound.
+        maximum: Option<i64>,
+    },
+    /// A floating-point property with optional inclusive bounds.
+    Number {
+        /// Inclusive lower bound.
+        minimum: Option<f64>,
+        /// Inclusive upper bound.
+        maximum: Option<f64>,
+    },
+    /// A string property with optional constraints.
+    String {
+        /// Permitted values, if the property is an enumeration.
+        enum_values: Vec<String>,
+        /// Validation pattern (a simplified regex, see
+        /// [`pattern_matches`](crate::validate::pattern_matches)).
+        pattern: Option<String>,
+        /// Semantic format name (e.g. `quantity`, `duration`).
+        format: Option<String>,
+        /// Maximum length in characters.
+        max_length: Option<usize>,
+    },
+    /// A structured object with named properties.
+    Object {
+        /// Child property schemas by name.
+        properties: BTreeMap<String, Schema>,
+        /// Names of required child properties.
+        required: Vec<String>,
+    },
+    /// A homogeneous array.
+    Array {
+        /// Schema of each element.
+        items: Box<Schema>,
+        /// Minimum element count.
+        min_items: Option<usize>,
+        /// Maximum element count.
+        max_items: Option<usize>,
+    },
+    /// A string-keyed map with homogeneous values (`additionalProperties`).
+    Map {
+        /// Schema of each value.
+        values: Box<Schema>,
+    },
+}
+
+/// One property of an operation interface.
+///
+/// # Examples
+///
+/// ```
+/// use crdspec::Schema;
+///
+/// let spec = Schema::object()
+///     .prop("replicas", Schema::integer().min(0).max(100))
+///     .prop("image", Schema::string());
+/// assert_eq!(spec.property_paths().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    /// Type-specific payload.
+    pub kind: SchemaKind,
+    /// Human-readable description shown in generated reports.
+    pub description: String,
+    /// Default value applied when the property is absent.
+    pub default: Option<Value>,
+    /// Ground-truth semantic class, when known to the interface author.
+    pub semantic: Option<Semantic>,
+    /// Whether `null` is accepted in place of a typed value.
+    pub nullable: bool,
+}
+
+impl Schema {
+    fn new(kind: SchemaKind) -> Schema {
+        Schema {
+            kind,
+            description: String::new(),
+            default: None,
+            semantic: None,
+            nullable: false,
+        }
+    }
+
+    /// Creates a boolean schema.
+    pub fn boolean() -> Schema {
+        Schema::new(SchemaKind::Boolean)
+    }
+
+    /// Creates an unbounded integer schema.
+    pub fn integer() -> Schema {
+        Schema::new(SchemaKind::Integer {
+            minimum: None,
+            maximum: None,
+        })
+    }
+
+    /// Creates an unbounded number schema.
+    pub fn number() -> Schema {
+        Schema::new(SchemaKind::Number {
+            minimum: None,
+            maximum: None,
+        })
+    }
+
+    /// Creates an unconstrained string schema.
+    pub fn string() -> Schema {
+        Schema::new(SchemaKind::String {
+            enum_values: Vec::new(),
+            pattern: None,
+            format: None,
+            max_length: None,
+        })
+    }
+
+    /// Creates a string schema restricted to the given enumeration.
+    pub fn string_enum<I: IntoIterator<Item = S>, S: Into<String>>(values: I) -> Schema {
+        Schema::new(SchemaKind::String {
+            enum_values: values.into_iter().map(Into::into).collect(),
+            pattern: None,
+            format: None,
+            max_length: None,
+        })
+    }
+
+    /// Creates an empty object schema.
+    pub fn object() -> Schema {
+        Schema::new(SchemaKind::Object {
+            properties: BTreeMap::new(),
+            required: Vec::new(),
+        })
+    }
+
+    /// Creates an array schema with the given item schema.
+    pub fn array(items: Schema) -> Schema {
+        Schema::new(SchemaKind::Array {
+            items: Box::new(items),
+            min_items: None,
+            max_items: None,
+        })
+    }
+
+    /// Creates a map schema with the given value schema.
+    pub fn map(values: Schema) -> Schema {
+        Schema::new(SchemaKind::Map {
+            values: Box::new(values),
+        })
+    }
+
+    /// Adds a child property (object schemas only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object schema; property trees are built
+    /// statically by operator authors, so this is a programming error.
+    pub fn prop(mut self, name: &str, child: Schema) -> Schema {
+        match &mut self.kind {
+            SchemaKind::Object { properties, .. } => {
+                properties.insert(name.to_string(), child);
+            }
+            _ => panic!("prop() called on non-object schema"),
+        }
+        self
+    }
+
+    /// Marks a child property as required (object schemas only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object schema.
+    pub fn require(mut self, name: &str) -> Schema {
+        match &mut self.kind {
+            SchemaKind::Object { required, .. } => {
+                if !required.iter().any(|r| r == name) {
+                    required.push(name.to_string());
+                }
+            }
+            _ => panic!("require() called on non-object schema"),
+        }
+        self
+    }
+
+    /// Sets the inclusive minimum (integer and number schemas).
+    pub fn min(mut self, v: i64) -> Schema {
+        match &mut self.kind {
+            SchemaKind::Integer { minimum, .. } => *minimum = Some(v),
+            SchemaKind::Number { minimum, .. } => *minimum = Some(v as f64),
+            SchemaKind::Array { min_items, .. } => *min_items = Some(v as usize),
+            _ => panic!("min() called on unsupported schema kind"),
+        }
+        self
+    }
+
+    /// Sets the inclusive maximum (integer and number schemas).
+    pub fn max(mut self, v: i64) -> Schema {
+        match &mut self.kind {
+            SchemaKind::Integer { maximum, .. } => *maximum = Some(v),
+            SchemaKind::Number { maximum, .. } => *maximum = Some(v as f64),
+            SchemaKind::Array { max_items, .. } => *max_items = Some(v as usize),
+            _ => panic!("max() called on unsupported schema kind"),
+        }
+        self
+    }
+
+    /// Sets the validation pattern (string schemas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a string schema.
+    pub fn pattern(mut self, p: &str) -> Schema {
+        match &mut self.kind {
+            SchemaKind::String { pattern, .. } => *pattern = Some(p.to_string()),
+            _ => panic!("pattern() called on non-string schema"),
+        }
+        self
+    }
+
+    /// Sets the format name (string schemas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a string schema.
+    pub fn format(mut self, f: &str) -> Schema {
+        match &mut self.kind {
+            SchemaKind::String { format, .. } => *format = Some(f.to_string()),
+            _ => panic!("format() called on non-string schema"),
+        }
+        self
+    }
+
+    /// Sets the description.
+    pub fn describe(mut self, d: &str) -> Schema {
+        self.description = d.to_string();
+        self
+    }
+
+    /// Sets the default value.
+    pub fn default_value(mut self, v: Value) -> Schema {
+        self.default = Some(v);
+        self
+    }
+
+    /// Records the ground-truth semantic class.
+    pub fn semantic(mut self, s: Semantic) -> Schema {
+        self.semantic = Some(s);
+        self
+    }
+
+    /// Marks the schema as nullable.
+    pub fn nullable(mut self) -> Schema {
+        self.nullable = true;
+        self
+    }
+
+    /// Looks up the child schema addressed by a schema path (array items are
+    /// addressed with the `@items` pseudo-key; map values with `@values`).
+    pub fn at(&self, path: &Path) -> Option<&Schema> {
+        let mut cur = self;
+        for step in path.steps() {
+            let key = match step {
+                crate::path::Step::Key(k) => k.as_str(),
+                crate::path::Step::Index(_) => "@items",
+            };
+            cur = match &cur.kind {
+                SchemaKind::Object { properties, .. } => properties.get(key)?,
+                SchemaKind::Array { items, .. } if key == "@items" => items,
+                SchemaKind::Map { values } if key == "@values" => values,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Returns `true` if this schema is a leaf (non-composite) property.
+    pub fn is_leaf(&self) -> bool {
+        !matches!(
+            self.kind,
+            SchemaKind::Object { .. } | SchemaKind::Array { .. } | SchemaKind::Map { .. }
+        )
+    }
+
+    /// Enumerates every property path in the schema tree, leaves and
+    /// composites alike, in deterministic order. The root itself is not
+    /// included.
+    pub fn property_paths(&self) -> Vec<Path> {
+        let mut out = Vec::new();
+        self.walk(&Path::root(), &mut |path, _| {
+            if !path.is_root() {
+                out.push(path.clone());
+            }
+        });
+        out
+    }
+
+    /// Enumerates only leaf property paths.
+    pub fn leaf_property_paths(&self) -> Vec<Path> {
+        let mut out = Vec::new();
+        self.walk(&Path::root(), &mut |path, schema| {
+            if !path.is_root() && schema.is_leaf() {
+                out.push(path.clone());
+            }
+        });
+        out
+    }
+
+    /// Visits every schema node with its schema path (pre-order).
+    pub fn walk<'a>(&'a self, base: &Path, visit: &mut dyn FnMut(&Path, &'a Schema)) {
+        visit(base, self);
+        match &self.kind {
+            SchemaKind::Object { properties, .. } => {
+                for (name, child) in properties {
+                    child.walk(&base.child_key(name), visit);
+                }
+            }
+            SchemaKind::Array { items, .. } => {
+                items.walk(&base.child_items(), visit);
+            }
+            SchemaKind::Map { values } => {
+                values.walk(&base.child_key("@values"), visit);
+            }
+            _ => {}
+        }
+    }
+
+    /// Counts all properties in the tree (excluding the root).
+    pub fn property_count(&self) -> usize {
+        self.property_paths().len()
+    }
+
+    /// Produces a skeleton value with every default applied and required
+    /// composite children instantiated.
+    pub fn default_instance(&self) -> Value {
+        if let Some(d) = &self.default {
+            return d.clone();
+        }
+        match &self.kind {
+            SchemaKind::Boolean => Value::Bool(false),
+            SchemaKind::Integer { minimum, .. } => Value::Integer(minimum.unwrap_or(0)),
+            SchemaKind::Number { minimum, .. } => Value::Float(minimum.unwrap_or(0.0)),
+            SchemaKind::String { enum_values, .. } => {
+                Value::String(enum_values.first().cloned().unwrap_or_default())
+            }
+            SchemaKind::Object {
+                properties,
+                required,
+            } => {
+                let mut map = BTreeMap::new();
+                for (name, child) in properties {
+                    if child.default.is_some() || required.iter().any(|r| r == name) {
+                        map.insert(name.clone(), child.default_instance());
+                    }
+                }
+                Value::Object(map)
+            }
+            SchemaKind::Array { .. } => Value::Array(Vec::new()),
+            SchemaKind::Map { .. } => Value::empty_object(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::object()
+            .prop(
+                "replicas",
+                Schema::integer().min(0).max(7).semantic(Semantic::Replicas),
+            )
+            .prop(
+                "backup",
+                Schema::object()
+                    .prop("enabled", Schema::boolean().semantic(Semantic::Toggle))
+                    .prop("schedule", Schema::string().format("cron")),
+            )
+            .prop(
+                "containers",
+                Schema::array(Schema::object().prop("image", Schema::string())),
+            )
+            .prop("labels", Schema::map(Schema::string()))
+    }
+
+    #[test]
+    fn property_paths_cover_tree() {
+        let s = sample();
+        let paths: Vec<String> = s.property_paths().iter().map(|p| p.to_string()).collect();
+        assert!(paths.contains(&"replicas".to_string()));
+        assert!(paths.contains(&"backup.enabled".to_string()));
+        assert!(paths.contains(&"containers.@items.image".to_string()));
+        assert!(paths.contains(&"labels.@values".to_string()));
+        assert_eq!(s.property_count(), paths.len());
+    }
+
+    #[test]
+    fn leaf_paths_exclude_composites() {
+        let s = sample();
+        let leaves: Vec<String> = s
+            .leaf_property_paths()
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        assert!(leaves.contains(&"replicas".to_string()));
+        assert!(!leaves.contains(&"backup".to_string()));
+        assert!(!leaves.contains(&"containers".to_string()));
+    }
+
+    #[test]
+    fn at_resolves_schema_paths_and_value_paths() {
+        let s = sample();
+        let leaf = s.at(&"backup.schedule".parse().unwrap()).unwrap();
+        assert!(matches!(&leaf.kind, SchemaKind::String { format: Some(f), .. } if f == "cron"));
+        // A concrete value path with an index resolves through @items.
+        let img = s.at(&"containers[3].image".parse().unwrap()).unwrap();
+        assert!(matches!(&img.kind, SchemaKind::String { .. }));
+        assert!(s.at(&"missing".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn default_instance_applies_required_and_defaults() {
+        let s = Schema::object()
+            .prop("a", Schema::integer().default_value(Value::from(5)))
+            .prop("b", Schema::string())
+            .prop("c", Schema::boolean())
+            .require("c");
+        let v = s.default_instance();
+        assert_eq!(v.get("a"), Some(&Value::Integer(5)));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(v.get("c"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn semantics_enumeration_is_stable() {
+        let all = Semantic::all();
+        assert!(all.len() >= 30);
+        let mut sorted = all.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+    }
+}

@@ -1,0 +1,736 @@
+//! Structural validation of values against schemas, including a small
+//! self-contained regex engine for `pattern` constraints.
+//!
+//! The API server uses this module to reject syntactically invalid
+//! desired-state declarations, and Acto uses it to keep generated values
+//! within the operation interface specification (paper §5.2.1).
+
+use std::fmt;
+
+use crate::path::Path;
+use crate::schema::{Schema, SchemaKind};
+use crate::value::Value;
+
+/// A single validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError {
+    /// Path of the offending value.
+    pub path: Path,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates `value` against `schema`, returning every violation found.
+///
+/// An empty result means the value is syntactically valid. Unknown object
+/// members are rejected (Kubernetes structural schemas default to pruning;
+/// rejecting makes generator bugs visible).
+///
+/// # Examples
+///
+/// ```
+/// use crdspec::{validate, Schema, Value};
+///
+/// let schema = Schema::object().prop("replicas", Schema::integer().min(0));
+/// let ok = Value::object([("replicas", Value::from(3))]);
+/// assert!(validate(&schema, &ok).is_empty());
+/// let bad = Value::object([("replicas", Value::from(-1))]);
+/// assert_eq!(validate(&schema, &bad).len(), 1);
+/// ```
+pub fn validate(schema: &Schema, value: &Value) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    validate_at(schema, value, &Path::root(), &mut errors);
+    errors
+}
+
+fn err(errors: &mut Vec<ValidationError>, path: &Path, message: impl Into<String>) {
+    errors.push(ValidationError {
+        path: path.clone(),
+        message: message.into(),
+    });
+}
+
+fn validate_at(schema: &Schema, value: &Value, path: &Path, errors: &mut Vec<ValidationError>) {
+    if value.is_null() {
+        if !schema.nullable {
+            err(errors, path, "null not permitted");
+        }
+        return;
+    }
+    match (&schema.kind, value) {
+        (SchemaKind::Boolean, Value::Bool(_)) => {}
+        (SchemaKind::Integer { minimum, maximum }, Value::Integer(i)) => {
+            if let Some(min) = minimum {
+                if i < min {
+                    err(errors, path, format!("{i} below minimum {min}"));
+                }
+            }
+            if let Some(max) = maximum {
+                if i > max {
+                    err(errors, path, format!("{i} above maximum {max}"));
+                }
+            }
+        }
+        (SchemaKind::Number { minimum, maximum }, v @ (Value::Float(_) | Value::Integer(_))) => {
+            let f = v.as_f64().expect("numeric value");
+            if let Some(min) = minimum {
+                if f < *min {
+                    err(errors, path, format!("{f} below minimum {min}"));
+                }
+            }
+            if let Some(max) = maximum {
+                if f > *max {
+                    err(errors, path, format!("{f} above maximum {max}"));
+                }
+            }
+        }
+        (
+            SchemaKind::String {
+                enum_values,
+                pattern,
+                max_length,
+                ..
+            },
+            Value::String(s),
+        ) => {
+            if !enum_values.is_empty() && !enum_values.iter().any(|e| e == s) {
+                err(
+                    errors,
+                    path,
+                    format!("{s:?} not in enum {{{}}}", enum_values.join(", ")),
+                );
+            }
+            if let Some(p) = pattern {
+                if !pattern_matches(p, s) {
+                    err(errors, path, format!("{s:?} does not match pattern {p:?}"));
+                }
+            }
+            if let Some(max) = max_length {
+                if s.chars().count() > *max {
+                    err(errors, path, format!("string longer than {max} characters"));
+                }
+            }
+        }
+        (
+            SchemaKind::Object {
+                properties,
+                required,
+            },
+            Value::Object(map),
+        ) => {
+            for name in required {
+                if !map.contains_key(name) {
+                    err(errors, path, format!("missing required property {name:?}"));
+                }
+            }
+            for (k, v) in map {
+                match properties.get(k) {
+                    Some(child) => validate_at(child, v, &path.child_key(k), errors),
+                    None => err(errors, &path.child_key(k), "unknown property"),
+                }
+            }
+        }
+        (
+            SchemaKind::Array {
+                items,
+                min_items,
+                max_items,
+            },
+            Value::Array(arr),
+        ) => {
+            if let Some(min) = min_items {
+                if arr.len() < *min {
+                    err(errors, path, format!("fewer than {min} items"));
+                }
+            }
+            if let Some(max) = max_items {
+                if arr.len() > *max {
+                    err(errors, path, format!("more than {max} items"));
+                }
+            }
+            for (i, item) in arr.iter().enumerate() {
+                validate_at(items, item, &path.child_index(i), errors);
+            }
+        }
+        (SchemaKind::Map { values }, Value::Object(map)) => {
+            for (k, v) in map {
+                validate_at(values, v, &path.child_key(k), errors);
+            }
+        }
+        (expected, actual) => {
+            err(
+                errors,
+                path,
+                format!(
+                    "type mismatch: expected {}, found {}",
+                    kind_name(expected),
+                    value_kind_name(actual)
+                ),
+            );
+        }
+    }
+}
+
+fn kind_name(kind: &SchemaKind) -> &'static str {
+    match kind {
+        SchemaKind::Boolean => "boolean",
+        SchemaKind::Integer { .. } => "integer",
+        SchemaKind::Number { .. } => "number",
+        SchemaKind::String { .. } => "string",
+        SchemaKind::Object { .. } => "object",
+        SchemaKind::Array { .. } => "array",
+        SchemaKind::Map { .. } => "map",
+    }
+}
+
+fn value_kind_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Integer(_) => "integer",
+        Value::Float(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+/// Matches `text` against a simplified regex `pattern`.
+///
+/// The supported subset covers the patterns found in real CRDs: literals,
+/// `.`, character classes `[a-z0-9-]` (with ranges and leading `^`
+/// negation), the quantifiers `*`, `+`, `?`, `{m}`, `{m,n}`, alternation
+/// `|`, grouping `(...)`, escapes (`\d`, `\w`, `\s`, `\.` …), and the
+/// anchors `^`/`$`. Unanchored patterns match anywhere in the text, as in
+/// standard regex search semantics; CRD validation conventionally anchors
+/// explicitly.
+pub fn pattern_matches(pattern: &str, text: &str) -> bool {
+    match compile(pattern) {
+        Ok(prog) => prog.search(text),
+        // An uncompilable pattern validates nothing (fail open, as the
+        // Kubernetes API server does for unsupported regex features).
+        Err(_) => true,
+    }
+}
+
+/// Compiles a pattern, exposing compile errors (used by schema linters).
+pub fn compile_pattern(pattern: &str) -> Result<(), String> {
+    compile(pattern).map(|_| ())
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Any,
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
+    Star(Box<Node>),
+    Plus(Box<Node>),
+    Opt(Box<Node>),
+    Repeat {
+        node: Box<Node>,
+        min: usize,
+        max: Option<usize>,
+    },
+    Concat(Vec<Node>),
+    Alt(Vec<Node>),
+    StartAnchor,
+    EndAnchor,
+}
+
+struct Prog {
+    root: Node,
+    anchored_start: bool,
+}
+
+impl Prog {
+    fn search(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        if self.anchored_start {
+            return match_node(&self.root, &chars, 0).iter().any(|_| true);
+        }
+        for start in 0..=chars.len() {
+            if !match_node(&self.root, &chars, start).is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Returns the set of positions the node can end at when starting at `pos`.
+fn match_node(node: &Node, text: &[char], pos: usize) -> Vec<usize> {
+    match node {
+        Node::Literal(c) => {
+            if text.get(pos) == Some(c) {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        Node::Any => {
+            if pos < text.len() {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        Node::Class { negated, ranges } => match text.get(pos) {
+            Some(&c) => {
+                let inside = ranges.iter().any(|(lo, hi)| c >= *lo && c <= *hi);
+                if inside != *negated {
+                    vec![pos + 1]
+                } else {
+                    vec![]
+                }
+            }
+            None => vec![],
+        },
+        Node::Star(inner) => repeat_match(inner, text, pos, 0, None),
+        Node::Plus(inner) => repeat_match(inner, text, pos, 1, None),
+        Node::Opt(inner) => {
+            let mut ends = vec![pos];
+            ends.extend(match_node(inner, text, pos));
+            dedup(ends)
+        }
+        Node::Repeat { node, min, max } => repeat_match(node, text, pos, *min, *max),
+        Node::Concat(parts) => {
+            let mut current = vec![pos];
+            for part in parts {
+                let mut next = Vec::new();
+                for &p in &current {
+                    next.extend(match_node(part, text, p));
+                }
+                current = dedup(next);
+                if current.is_empty() {
+                    break;
+                }
+            }
+            current
+        }
+        Node::Alt(branches) => {
+            let mut ends = Vec::new();
+            for b in branches {
+                ends.extend(match_node(b, text, pos));
+            }
+            dedup(ends)
+        }
+        Node::StartAnchor => {
+            if pos == 0 {
+                vec![pos]
+            } else {
+                vec![]
+            }
+        }
+        Node::EndAnchor => {
+            if pos == text.len() {
+                vec![pos]
+            } else {
+                vec![]
+            }
+        }
+    }
+}
+
+fn repeat_match(
+    inner: &Node,
+    text: &[char],
+    pos: usize,
+    min: usize,
+    max: Option<usize>,
+) -> Vec<usize> {
+    let mut reachable = vec![pos];
+    let mut ends = Vec::new();
+    if min == 0 {
+        ends.push(pos);
+    }
+    let mut count = 0usize;
+    loop {
+        count += 1;
+        if let Some(m) = max {
+            if count > m {
+                break;
+            }
+        }
+        let mut next = Vec::new();
+        for &p in &reachable {
+            next.extend(match_node(inner, text, p));
+        }
+        let next = dedup(next);
+        // Stop on a fixpoint (e.g. inner can match the empty string).
+        if next.is_empty() || next == reachable {
+            if next == reachable && count >= min {
+                ends.extend(next);
+            }
+            break;
+        }
+        if count >= min {
+            ends.extend(next.iter().copied());
+        }
+        reachable = next;
+        if count > text.len() + 1 {
+            break;
+        }
+    }
+    dedup(ends)
+}
+
+fn dedup(mut v: Vec<usize>) -> Vec<usize> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn compile(pattern: &str) -> Result<Prog, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let root = parse_alt(&chars, &mut pos)?;
+    if pos != chars.len() {
+        return Err(format!("unexpected {:?} at {}", chars[pos], pos));
+    }
+    let anchored_start = matches!(
+        &root,
+        Node::Concat(parts) if matches!(parts.first(), Some(Node::StartAnchor))
+    ) || matches!(root, Node::StartAnchor);
+    Ok(Prog {
+        root,
+        anchored_start,
+    })
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    let mut branches = vec![parse_concat(chars, pos)?];
+    while chars.get(*pos) == Some(&'|') {
+        *pos += 1;
+        branches.push(parse_concat(chars, pos)?);
+    }
+    if branches.len() == 1 {
+        Ok(branches.pop().expect("one branch"))
+    } else {
+        Ok(Node::Alt(branches))
+    }
+}
+
+fn parse_concat(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    let mut parts = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == '|' || c == ')' {
+            break;
+        }
+        parts.push(parse_quantified(chars, pos)?);
+    }
+    Ok(Node::Concat(parts))
+}
+
+fn parse_quantified(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    let atom = parse_atom(chars, pos)?;
+    match chars.get(*pos) {
+        Some('*') => {
+            *pos += 1;
+            Ok(Node::Star(Box::new(atom)))
+        }
+        Some('+') => {
+            *pos += 1;
+            Ok(Node::Plus(Box::new(atom)))
+        }
+        Some('?') => {
+            *pos += 1;
+            Ok(Node::Opt(Box::new(atom)))
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min_s = String::new();
+            while matches!(chars.get(*pos), Some(c) if c.is_ascii_digit()) {
+                min_s.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: usize = min_s.parse().map_err(|_| "bad repetition".to_string())?;
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    let mut max_s = String::new();
+                    while matches!(chars.get(*pos), Some(c) if c.is_ascii_digit()) {
+                        max_s.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    if max_s.is_empty() {
+                        None
+                    } else {
+                        Some(max_s.parse().map_err(|_| "bad repetition".to_string())?)
+                    }
+                }
+                _ => Some(min),
+            };
+            if chars.get(*pos) != Some(&'}') {
+                return Err("unterminated repetition".to_string());
+            }
+            *pos += 1;
+            Ok(Node::Repeat {
+                node: Box::new(atom),
+                min,
+                max,
+            })
+        }
+        _ => Ok(atom),
+    }
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    match chars.get(*pos) {
+        Some('(') => {
+            *pos += 1;
+            // Swallow non-capturing group markers.
+            if chars.get(*pos) == Some(&'?') && chars.get(*pos + 1) == Some(&':') {
+                *pos += 2;
+            }
+            let inner = parse_alt(chars, pos)?;
+            if chars.get(*pos) != Some(&')') {
+                return Err("unterminated group".to_string());
+            }
+            *pos += 1;
+            Ok(inner)
+        }
+        Some('[') => {
+            *pos += 1;
+            let negated = chars.get(*pos) == Some(&'^');
+            if negated {
+                *pos += 1;
+            }
+            let mut ranges = Vec::new();
+            let mut first = true;
+            loop {
+                match chars.get(*pos) {
+                    Some(']') if !first => {
+                        *pos += 1;
+                        break;
+                    }
+                    Some('\\') => {
+                        *pos += 1;
+                        let c = *chars.get(*pos).ok_or("truncated escape")?;
+                        ranges.extend(escape_ranges(c)?);
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        *pos += 1;
+                        if chars.get(*pos) == Some(&'-')
+                            && chars.get(*pos + 1).map_or(false, |&n| n != ']')
+                        {
+                            let hi = chars[*pos + 1];
+                            *pos += 2;
+                            ranges.push((c, hi));
+                        } else {
+                            ranges.push((c, c));
+                        }
+                    }
+                    None => return Err("unterminated character class".to_string()),
+                }
+                first = false;
+            }
+            Ok(Node::Class { negated, ranges })
+        }
+        Some('\\') => {
+            *pos += 1;
+            let c = *chars.get(*pos).ok_or("truncated escape")?;
+            *pos += 1;
+            match c {
+                'd' | 'w' | 's' => Ok(Node::Class {
+                    negated: false,
+                    ranges: escape_ranges(c)?,
+                }),
+                'D' | 'W' | 'S' => Ok(Node::Class {
+                    negated: true,
+                    ranges: escape_ranges(c.to_ascii_lowercase())?,
+                }),
+                'n' => Ok(Node::Literal('\n')),
+                't' => Ok(Node::Literal('\t')),
+                other => Ok(Node::Literal(other)),
+            }
+        }
+        Some('.') => {
+            *pos += 1;
+            Ok(Node::Any)
+        }
+        Some('^') => {
+            *pos += 1;
+            Ok(Node::StartAnchor)
+        }
+        Some('$') => {
+            *pos += 1;
+            Ok(Node::EndAnchor)
+        }
+        Some(&c) => {
+            *pos += 1;
+            Ok(Node::Literal(c))
+        }
+        None => Err("unexpected end of pattern".to_string()),
+    }
+}
+
+fn escape_ranges(c: char) -> Result<Vec<(char, char)>, String> {
+    match c {
+        'd' => Ok(vec![('0', '9')]),
+        'w' => Ok(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+        's' => Ok(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]),
+        other => Ok(vec![(other, other)]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn validates_scalars_and_bounds() {
+        let s = Schema::object()
+            .prop("r", Schema::integer().min(1).max(5))
+            .prop("f", Schema::number().min(0))
+            .prop("b", Schema::boolean());
+        assert!(validate(
+            &s,
+            &Value::object([
+                ("r", Value::from(3)),
+                ("f", Value::Float(0.5)),
+                ("b", Value::from(true))
+            ])
+        )
+        .is_empty());
+        let errs = validate(
+            &s,
+            &Value::object([
+                ("r", Value::from(9)),
+                ("f", Value::Float(-1.0)),
+                ("b", Value::from("x")),
+            ]),
+        );
+        assert_eq!(errs.len(), 3);
+    }
+
+    #[test]
+    fn required_and_unknown_properties() {
+        let s = Schema::object().prop("a", Schema::integer()).require("a");
+        let errs = validate(&s, &Value::object([("z", Value::from(1))]));
+        assert_eq!(errs.len(), 2);
+        assert!(errs.iter().any(|e| e.message.contains("required")));
+        assert!(errs.iter().any(|e| e.message.contains("unknown")));
+    }
+
+    #[test]
+    fn enum_pattern_and_length() {
+        let s = Schema::object()
+            .prop("t", Schema::string_enum(["ephemeral", "persistent"]))
+            .prop("name", Schema::string().pattern("^[a-z][a-z0-9-]*$"))
+            .prop("short", {
+                let mut sc = Schema::string();
+                if let SchemaKind::String { max_length, .. } = &mut sc.kind {
+                    *max_length = Some(3);
+                }
+                sc
+            });
+        assert!(validate(
+            &s,
+            &Value::object([
+                ("t", Value::from("ephemeral")),
+                ("name", Value::from("zk-cluster")),
+                ("short", Value::from("abc")),
+            ])
+        )
+        .is_empty());
+        let errs = validate(
+            &s,
+            &Value::object([
+                ("t", Value::from("other")),
+                ("name", Value::from("9bad")),
+                ("short", Value::from("abcd")),
+            ]),
+        );
+        assert_eq!(errs.len(), 3);
+    }
+
+    #[test]
+    fn arrays_maps_and_nullable() {
+        let s = Schema::object()
+            .prop(
+                "items",
+                Schema::array(Schema::integer().min(0)).min(1).max(3),
+            )
+            .prop("labels", Schema::map(Schema::string()))
+            .prop("opt", Schema::string().nullable());
+        assert!(validate(
+            &s,
+            &Value::object([
+                ("items", Value::array([Value::from(1)])),
+                ("labels", Value::object([("k", Value::from("v"))])),
+                ("opt", Value::Null),
+            ])
+        )
+        .is_empty());
+        let errs = validate(
+            &s,
+            &Value::object([
+                ("items", Value::array([])),
+                ("labels", Value::object([("k", Value::from(3))])),
+            ]),
+        );
+        assert_eq!(errs.len(), 2);
+        // Null where not allowed.
+        let errs = validate(&s, &Value::object([("labels", Value::Null)]));
+        assert_eq!(errs.len(), 1);
+    }
+
+    #[test]
+    fn regex_subset_matches() {
+        let cases = [
+            ("^[a-z0-9]([-a-z0-9]*[a-z0-9])?$", "my-pod", true),
+            ("^[a-z0-9]([-a-z0-9]*[a-z0-9])?$", "-bad", false),
+            ("^\\d+(Ki|Mi|Gi)$", "512Mi", true),
+            ("^\\d+(Ki|Mi|Gi)$", "512", false),
+            ("abc", "xxabcyy", true),
+            ("^abc$", "xxabcyy", false),
+            ("a{2,3}b", "aab", true),
+            ("a{2,3}b", "ab", false),
+            ("a{2,3}b", "aaaab", true), // Unanchored search finds aaab suffix.
+            ("^a{2,3}b$", "aaaab", false),
+            ("^(foo|bar)?$", "", true),
+            ("^(foo|bar)?$", "foo", true),
+            ("^(foo|bar)?$", "baz", false),
+            ("^[^0-9]+$", "abc", true),
+            ("^[^0-9]+$", "a1c", false),
+            ("^v\\d+\\.\\d+\\.\\d+$", "v1.2.10", true),
+            ("^v\\d+\\.\\d+\\.\\d+$", "v1.2", false),
+            ("^(\\d+m|\\d+(\\.\\d+)?)$", "250m", true),
+            ("^(\\d+m|\\d+(\\.\\d+)?)$", "1.5", true),
+        ];
+        for (pat, text, expect) in cases {
+            assert_eq!(
+                pattern_matches(pat, text),
+                expect,
+                "pattern {pat:?} on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regex_star_on_empty_matcher_terminates() {
+        // Pathological: inner can match empty; must not loop forever.
+        assert!(pattern_matches("^(a?)*$", "aaa"));
+        assert!(pattern_matches("^(a?)*$", ""));
+    }
+
+    #[test]
+    fn bad_patterns_fail_open() {
+        assert!(pattern_matches("([unclosed", "anything"));
+        assert!(compile_pattern("(a").is_err());
+        assert!(compile_pattern("a{2").is_err());
+    }
+}

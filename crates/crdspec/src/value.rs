@@ -1,0 +1,472 @@
+//! Dynamic JSON-like values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::path::{Path, Step};
+
+/// A dynamic value, the runtime representation of custom resources and
+/// state-object fields.
+///
+/// `Value` deliberately mirrors the JSON data model (with integers kept
+/// distinct from floats, as Kubernetes does for quantities and counts).
+/// Objects use a [`BTreeMap`] so serialization and iteration order are
+/// deterministic, which the differential oracle relies on.
+///
+/// # Examples
+///
+/// ```
+/// use crdspec::Value;
+///
+/// let v = Value::object([("replicas", Value::from(3))]);
+/// assert_eq!(v.get_path(&"replicas".parse().unwrap()), Some(&Value::Integer(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Integer(i64),
+    /// A double-precision float (never NaN in well-formed documents).
+    Float(f64),
+    /// A UTF-8 string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// A string-keyed object with deterministic (sorted) key order.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an object value from an iterator of `(key, value)` pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crdspec::Value;
+    /// let v = Value::object([("a", Value::from(1)), ("b", Value::from(true))]);
+    /// assert!(v.is_object());
+    /// ```
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(pairs: I) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array value from an iterator of values.
+    pub fn array<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+
+    /// Returns an empty object value.
+    pub fn empty_object() -> Value {
+        Value::Object(BTreeMap::new())
+    }
+
+    /// Returns `true` if this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns `true` if this value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Returns `true` if this value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Returns the boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if any.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric payload widened to `f64`, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Integer(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the array payload, if any.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the object payload, if any.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the mutable object payload, if any.
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up an immediate object member by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Looks up a nested value by [`Path`].
+    ///
+    /// Returns `None` when any intermediate step is missing or of the wrong
+    /// shape (e.g. indexing into an object).
+    pub fn get_path(&self, path: &Path) -> Option<&Value> {
+        let mut cur = self;
+        for step in path.steps() {
+            cur = match (step, cur) {
+                (Step::Key(k), Value::Object(m)) => m.get(k)?,
+                (Step::Index(i), Value::Array(a)) => a.get(*i)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Sets a nested value by [`Path`], creating intermediate objects and
+    /// extending arrays with `Null` as needed.
+    ///
+    /// Returns the previous value at the path, if one existed.
+    pub fn set_path(&mut self, path: &Path, value: Value) -> Option<Value> {
+        let mut cur = self;
+        let steps = path.steps();
+        for (i, step) in steps.iter().enumerate() {
+            let last = i + 1 == steps.len();
+            match step {
+                Step::Key(k) => {
+                    if !cur.is_object() {
+                        *cur = Value::empty_object();
+                    }
+                    let map = cur.as_object_mut().expect("just coerced to object");
+                    if last {
+                        return map.insert(k.clone(), value);
+                    }
+                    cur = map.entry(k.clone()).or_insert(Value::Null);
+                }
+                Step::Index(idx) => {
+                    if !cur.is_array() {
+                        *cur = Value::Array(Vec::new());
+                    }
+                    let arr = match cur {
+                        Value::Array(a) => a,
+                        _ => unreachable!(),
+                    };
+                    while arr.len() <= *idx {
+                        arr.push(Value::Null);
+                    }
+                    if last {
+                        return Some(std::mem::replace(&mut arr[*idx], value));
+                    }
+                    cur = &mut arr[*idx];
+                }
+            }
+        }
+        // Empty path: replace self entirely.
+        Some(std::mem::replace(cur, value))
+    }
+
+    /// Removes a nested value by [`Path`], returning it if present.
+    ///
+    /// Removing from an array shifts later elements left, matching JSON
+    /// patch `remove` semantics.
+    pub fn remove_path(&mut self, path: &Path) -> Option<Value> {
+        let steps = path.steps();
+        let (last, prefix) = steps.split_last()?;
+        let mut cur = self;
+        for step in prefix {
+            cur = match (step, cur) {
+                (Step::Key(k), Value::Object(m)) => m.get_mut(k)?,
+                (Step::Index(i), Value::Array(a)) => a.get_mut(*i)?,
+                _ => return None,
+            };
+        }
+        match (last, cur) {
+            (Step::Key(k), Value::Object(m)) => m.remove(k),
+            (Step::Index(i), Value::Array(a)) if *i < a.len() => Some(a.remove(*i)),
+            _ => None,
+        }
+    }
+
+    /// Performs a structural deep merge: object members of `other` are merged
+    /// member-wise into `self`; every other kind of value is replaced.
+    ///
+    /// `Null` members in `other` delete the corresponding member, matching
+    /// Kubernetes strategic-merge-patch behaviour for scalars.
+    pub fn merge_from(&mut self, other: &Value) {
+        match (self, other) {
+            (Value::Object(dst), Value::Object(src)) => {
+                for (k, v) in src {
+                    if v.is_null() {
+                        dst.remove(k);
+                    } else if let Some(slot) = dst.get_mut(k) {
+                        slot.merge_from(v);
+                    } else {
+                        dst.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+
+    /// Enumerates every leaf path in the value (scalars and empty
+    /// containers), in deterministic order.
+    pub fn leaf_paths(&self) -> Vec<Path> {
+        let mut out = Vec::new();
+        let mut stack = vec![(Path::root(), self)];
+        while let Some((path, v)) = stack.pop() {
+            match v {
+                Value::Object(m) if !m.is_empty() => {
+                    // Reverse so popping preserves sorted order.
+                    for (k, child) in m.iter().rev() {
+                        stack.push((path.child_key(k), child));
+                    }
+                }
+                Value::Array(a) if !a.is_empty() => {
+                    for (i, child) in a.iter().enumerate().rev() {
+                        stack.push((path.child_index(i), child));
+                    }
+                }
+                _ => out.push(path),
+            }
+        }
+        out
+    }
+
+    /// Counts every node (containers plus leaves) in the value tree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Value::Object(m) => 1 + m.values().map(Value::node_count).sum::<usize>(),
+            Value::Array(a) => 1 + a.iter().map(Value::node_count).sum::<usize>(),
+            _ => 1,
+        }
+    }
+
+    /// Removes empty objects and arrays recursively.
+    ///
+    /// Useful before comparing declarations, since `{"backup": {}}` and an
+    /// absent `backup` express the same desired state.
+    pub fn prune_empty(&mut self) {
+        match self {
+            Value::Object(m) => {
+                for v in m.values_mut() {
+                    v.prune_empty();
+                }
+                m.retain(|_, v| !matches!(v, Value::Object(o) if o.is_empty()));
+            }
+            Value::Array(a) => {
+                for v in a.iter_mut() {
+                    v.prune_empty();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::json::to_string(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Integer(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Integer(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Integer(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn get_path_walks_objects_and_arrays() {
+        let v = Value::object([(
+            "spec",
+            Value::object([(
+                "containers",
+                Value::array([Value::object([("name", Value::from("zk"))])]),
+            )]),
+        )]);
+        assert_eq!(
+            v.get_path(&p("spec.containers[0].name")),
+            Some(&Value::from("zk"))
+        );
+        assert_eq!(v.get_path(&p("spec.containers[1].name")), None);
+        assert_eq!(v.get_path(&p("spec.containers.name")), None);
+    }
+
+    #[test]
+    fn set_path_creates_intermediates() {
+        let mut v = Value::empty_object();
+        v.set_path(&p("a.b[2].c"), Value::from(7));
+        assert_eq!(v.get_path(&p("a.b[2].c")), Some(&Value::Integer(7)));
+        assert_eq!(v.get_path(&p("a.b[0]")), Some(&Value::Null));
+    }
+
+    #[test]
+    fn set_path_returns_previous() {
+        let mut v = Value::object([("x", Value::from(1))]);
+        let prev = v.set_path(&p("x"), Value::from(2));
+        assert_eq!(prev, Some(Value::Integer(1)));
+        assert_eq!(v.get_path(&p("x")), Some(&Value::Integer(2)));
+    }
+
+    #[test]
+    fn remove_path_from_object_and_array() {
+        let mut v = Value::object([(
+            "a",
+            Value::array([Value::from(1), Value::from(2), Value::from(3)]),
+        )]);
+        assert_eq!(v.remove_path(&p("a[1]")), Some(Value::Integer(2)));
+        assert_eq!(
+            v.get_path(&p("a")),
+            Some(&Value::array([Value::from(1), Value::from(3)]))
+        );
+        assert_eq!(v.remove_path(&p("a[5]")), None);
+        assert_eq!(v.remove_path(&p("missing.key")), None);
+    }
+
+    #[test]
+    fn merge_replaces_scalars_and_merges_objects() {
+        let mut dst = Value::object([
+            ("replicas", Value::from(2)),
+            ("backup", Value::object([("enabled", Value::from(false))])),
+        ]);
+        let patch = Value::object([
+            ("replicas", Value::from(3)),
+            (
+                "backup",
+                Value::object([("schedule", Value::from("@daily"))]),
+            ),
+        ]);
+        dst.merge_from(&patch);
+        assert_eq!(dst.get_path(&p("replicas")), Some(&Value::Integer(3)));
+        assert_eq!(
+            dst.get_path(&p("backup.enabled")),
+            Some(&Value::Bool(false))
+        );
+        assert_eq!(
+            dst.get_path(&p("backup.schedule")),
+            Some(&Value::from("@daily"))
+        );
+    }
+
+    #[test]
+    fn merge_null_deletes() {
+        let mut dst = Value::object([("a", Value::from(1)), ("b", Value::from(2))]);
+        dst.merge_from(&Value::object([("a", Value::Null)]));
+        assert_eq!(dst.get_path(&p("a")), None);
+        assert_eq!(dst.get_path(&p("b")), Some(&Value::Integer(2)));
+    }
+
+    #[test]
+    fn leaf_paths_deterministic_order() {
+        let v = Value::object([
+            ("b", Value::array([Value::from(1), Value::from(2)])),
+            ("a", Value::object([("x", Value::from(true))])),
+        ]);
+        let paths: Vec<String> = v.leaf_paths().iter().map(|p| p.to_string()).collect();
+        assert_eq!(paths, vec!["a.x", "b[0]", "b[1]"]);
+    }
+
+    #[test]
+    fn prune_empty_removes_empty_objects() {
+        let mut v = Value::object([
+            ("keep", Value::from(1)),
+            ("drop", Value::empty_object()),
+            ("nest", Value::object([("inner", Value::empty_object())])),
+        ]);
+        v.prune_empty();
+        assert_eq!(v.get("drop"), None);
+        assert_eq!(v.get("nest"), None);
+        assert_eq!(v.get("keep"), Some(&Value::Integer(1)));
+    }
+
+    #[test]
+    fn node_count_counts_containers_and_leaves() {
+        let v = Value::object([("a", Value::array([Value::from(1), Value::from(2)]))]);
+        // Object + array + two leaves.
+        assert_eq!(v.node_count(), 4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the value/JSON/path substrate.
+
+use crdspec::{diff, json, Path, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON-like values (bounded depth).
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Integer),
+        // Finite floats only; NaN is not representable in JSON.
+        (-1.0e12f64..1.0e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 _.:/-]{0,20}".prop_map(Value::from),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            prop::collection::btree_map("[a-zA-Z][a-zA-Z0-9_-]{0,8}", inner, 0..4)
+                .prop_map(Value::Object),
+        ]
+    })
+}
+
+/// Strategy for well-formed path strings.
+fn arb_path() -> impl Strategy<Value = Path> {
+    prop::collection::vec(
+        prop_oneof![
+            "[a-zA-Z][a-zA-Z0-9_-]{0,6}".prop_map(crdspec::Step::Key),
+            (0usize..5).prop_map(crdspec::Step::Index),
+        ],
+        0..5,
+    )
+    .prop_map(Path::from_steps)
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrip_preserves_values(v in arb_value()) {
+        let text = json::to_string(&v);
+        let parsed = json::from_str(&text).expect("serialized JSON parses");
+        prop_assert_eq!(&parsed, &v);
+        // Pretty printing round-trips too.
+        let pretty = json::to_string_pretty(&v);
+        prop_assert_eq!(json::from_str(&pretty).expect("pretty parses"), v);
+    }
+
+    #[test]
+    fn path_display_parse_roundtrip(p in arb_path()) {
+        // Paths starting with an index render with a leading bracket and
+        // parse back identically.
+        let text = p.to_string();
+        let parsed: Path = text.parse().expect("rendered path parses");
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn set_then_get_returns_the_value(mut root in arb_value(), p in arb_path(), v in arb_value()) {
+        if p.is_root() {
+            return Ok(());
+        }
+        root.set_path(&p, v.clone());
+        prop_assert_eq!(root.get_path(&p), Some(&v));
+    }
+
+    #[test]
+    fn set_then_remove_restores_absence(p in arb_path(), v in arb_value()) {
+        if p.is_root() {
+            return Ok(());
+        }
+        let mut root = Value::empty_object();
+        root.set_path(&p, v.clone());
+        let removed = root.remove_path(&p);
+        prop_assert_eq!(removed, Some(v));
+        prop_assert_eq!(root.get_path(&p), None);
+    }
+
+    #[test]
+    fn diff_is_empty_iff_semantically_equal(a in arb_value(), b in arb_value()) {
+        let d = diff(&a, &b);
+        prop_assert_eq!(d.is_empty(), crdspec::diff::semantically_equal(&a, &b));
+        // Reflexivity.
+        prop_assert!(diff(&a, &a).is_empty());
+        // Symmetry of emptiness.
+        prop_assert_eq!(diff(&a, &b).is_empty(), diff(&b, &a).is_empty());
+    }
+
+    #[test]
+    fn merge_with_self_is_identity_modulo_null_deletion(v in arb_value()) {
+        // `Null` members act as deletions in merges (strategic-merge-patch
+        // semantics), so merging a value into itself removes them.
+        fn strip_nulls(v: &Value) -> Value {
+            match v {
+                Value::Object(m) => Value::Object(
+                    m.iter()
+                        .filter(|(_, v)| !v.is_null())
+                        .map(|(k, v)| (k.clone(), strip_nulls(v)))
+                        .collect(),
+                ),
+                // Arrays are replaced wholesale by merges, so their
+                // contents are untouched.
+                other => other.clone(),
+            }
+        }
+        let mut merged = v.clone();
+        merged.merge_from(&v);
+        prop_assert_eq!(merged, strip_nulls(&v));
+    }
+
+    #[test]
+    fn leaf_paths_resolve(v in arb_value()) {
+        for p in v.leaf_paths() {
+            prop_assert!(v.get_path(&p).is_some(), "leaf path {} must resolve", p);
+        }
+    }
+
+    #[test]
+    fn node_count_bounds_leaf_count(v in arb_value()) {
+        prop_assert!(v.node_count() >= v.leaf_paths().len());
+    }
+}

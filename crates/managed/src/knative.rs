@@ -1,0 +1,102 @@
+//! Knative serving control-plane model.
+
+use crate::view::{Health, SystemModel, SystemView};
+
+/// Knative: a serverless control plane (controller, webhook, activator)
+/// plus an optional ingress controller (Contour).
+///
+/// Disabling the ingress in configuration while the Contour pod keeps
+/// running reproduces the KnativeOp bug the paper cites ("Contour pod is
+/// not deleted when disabled by user"): the stale component keeps serving
+/// routes the user asked to remove.
+#[derive(Debug, Default)]
+pub struct KnativeModel;
+
+impl SystemModel for KnativeModel {
+    fn name(&self) -> &'static str {
+        "knative"
+    }
+
+    fn tick(&mut self, view: &mut SystemView<'_>) -> Health {
+        let controller = view.component_pods("controller");
+        let webhook = view.component_pods("webhook");
+        let activator = view.component_pods("activator");
+        if controller.is_empty() && webhook.is_empty() && activator.is_empty() {
+            return Health::Down("control plane not deployed".to_string());
+        }
+        if SystemView::ready_count(&controller) == 0 {
+            return Health::Down("controller not ready".to_string());
+        }
+        if SystemView::ready_count(&webhook) == 0 {
+            return Health::Down("webhook not ready; admissions fail".to_string());
+        }
+        let ingress_enabled = view.config_value("ingress.enabled").as_deref() != Some("false");
+        let contour = view.component_pods("contour");
+        if !ingress_enabled && !contour.is_empty() {
+            return Health::Degraded("ingress disabled but contour pod still running".to_string());
+        }
+        if ingress_enabled && SystemView::ready_count(&contour) == 0 {
+            return Health::Degraded("ingress enabled but contour not ready".to_string());
+        }
+        if SystemView::ready_count(&activator) == 0 {
+            return Health::Degraded("activator not ready; scale-from-zero broken".to_string());
+        }
+        Health::Healthy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::*;
+
+    fn control_plane(c: &mut simkube::SimCluster) {
+        add_component_pod(c, "ns", "kn", "kn-controller-0", Some("controller"));
+        add_component_pod(c, "ns", "kn", "kn-webhook-0", Some("webhook"));
+        add_component_pod(c, "ns", "kn", "kn-activator-0", Some("activator"));
+        add_component_pod(c, "ns", "kn", "kn-contour-0", Some("contour"));
+    }
+
+    #[test]
+    fn full_control_plane_is_healthy() {
+        let mut c = test_cluster();
+        control_plane(&mut c);
+        let mut model = KnativeModel;
+        let mut view = SystemView::new(&mut c, "ns", "kn");
+        assert_eq!(model.tick(&mut view), Health::Healthy);
+    }
+
+    #[test]
+    fn stale_contour_after_disable_is_degraded() {
+        let mut c = test_cluster();
+        control_plane(&mut c);
+        set_config(&mut c, "ns", "kn", &[("ingress.enabled", "false")]);
+        let mut model = KnativeModel;
+        let mut view = SystemView::new(&mut c, "ns", "kn");
+        match model.tick(&mut view) {
+            Health::Degraded(reason) => assert!(reason.contains("contour")),
+            other => panic!("expected degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn webhook_down_breaks_admissions() {
+        let mut c = test_cluster();
+        control_plane(&mut c);
+        fail_pod(&mut c, "ns", "kn-webhook-0");
+        let mut model = KnativeModel;
+        let mut view = SystemView::new(&mut c, "ns", "kn");
+        assert!(matches!(model.tick(&mut view), Health::Down(_)));
+    }
+
+    #[test]
+    fn missing_activator_degrades() {
+        let mut c = test_cluster();
+        add_component_pod(&mut c, "ns", "kn", "kn-controller-0", Some("controller"));
+        add_component_pod(&mut c, "ns", "kn", "kn-webhook-0", Some("webhook"));
+        add_component_pod(&mut c, "ns", "kn", "kn-contour-0", Some("contour"));
+        let mut model = KnativeModel;
+        let mut view = SystemView::new(&mut c, "ns", "kn");
+        assert!(matches!(model.tick(&mut view), Health::Degraded(_)));
+    }
+}

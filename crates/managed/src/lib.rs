@@ -1,0 +1,81 @@
+//! Behavioural models of the managed systems.
+//!
+//! The paper evaluates Acto on operators managing nine real cloud systems.
+//! Acto's oracles observe those systems only through state objects (pod
+//! phases, runtime status), so the reproduction substitutes each system
+//! with a deterministic behavioural model that:
+//!
+//! 1. computes system-level **health** (quorum, primary election, component
+//!    completeness) from the pods and configuration the operator created;
+//! 2. injects **semantic failures** the real systems exhibit — e.g. TiDB
+//!    replicas crash-looping when binlog is enabled without a pump cluster,
+//!    or MongoDB going down on an invalid `featureCompatibilityVersion` —
+//!    by marking pods as crash-looping in the cluster.
+//!
+//! Every model implements [`SystemModel`] and reads the cluster through a
+//! [`SystemView`], which also carries the conventions operators follow
+//! (instance-labelled pods, an `{instance}-config` config map).
+
+pub mod cassandra;
+pub mod cockroach;
+pub mod knative;
+pub mod mongodb;
+pub mod rabbitmq;
+pub mod redis;
+pub mod testkit;
+pub mod tidb;
+pub mod view;
+pub mod xtradb;
+pub mod zookeeper;
+
+pub use view::{Health, PodView, SystemModel, SystemView};
+
+/// Instantiates the model for a managed-system name, as used by the
+/// operator registry.
+///
+/// # Panics
+///
+/// Panics on an unknown system name; the set of systems is closed.
+pub fn model_for(system: &str) -> Box<dyn SystemModel> {
+    match system {
+        "zookeeper" => Box::new(zookeeper::ZooKeeperModel::default()),
+        "redis" => Box::new(redis::RedisModel::default()),
+        "mongodb" => Box::new(mongodb::MongoDbModel::default()),
+        "cassandra" => Box::new(cassandra::CassandraModel::default()),
+        "cockroachdb" => Box::new(cockroach::CockroachModel::default()),
+        "tidb" => Box::new(tidb::TiDbModel::default()),
+        "rabbitmq" => Box::new(rabbitmq::RabbitMqModel::default()),
+        "xtradb" => Box::new(xtradb::XtraDbModel::default()),
+        "knative" => Box::new(knative::KnativeModel::default()),
+        other => panic!("unknown managed system {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_registry_covers_all_nine_systems() {
+        for system in [
+            "zookeeper",
+            "redis",
+            "mongodb",
+            "cassandra",
+            "cockroachdb",
+            "tidb",
+            "rabbitmq",
+            "xtradb",
+            "knative",
+        ] {
+            let model = model_for(system);
+            assert_eq!(model.name(), system);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown managed system")]
+    fn unknown_system_panics() {
+        let _ = model_for("oracle-db");
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared test helpers for system-model and operator tests.
+
+use std::collections::BTreeMap;
+
+use simkube::meta::ObjectMeta;
+use simkube::objects::{ConfigMap, Container, Kind, ObjectData, Pod, PodPhase};
+use simkube::store::ObjKey;
+use simkube::{ClusterConfig, PlatformBugs, SimCluster};
+
+/// A small fixed cluster with no platform bugs.
+pub fn test_cluster() -> SimCluster {
+    SimCluster::new(ClusterConfig {
+        bugs: PlatformBugs::none(),
+        ..ClusterConfig::default()
+    })
+}
+
+/// Creates `count` running, ready pods named `{app}-{i}` labelled
+/// `app={app}`.
+pub fn add_running_pods(cluster: &mut SimCluster, namespace: &str, app: &str, count: usize) {
+    for i in 0..count {
+        add_component_pod(cluster, namespace, app, &format!("{app}-{i}"), None);
+    }
+}
+
+/// Creates one running, ready pod with an optional `component` label.
+pub fn add_component_pod(
+    cluster: &mut SimCluster,
+    namespace: &str,
+    app: &str,
+    name: &str,
+    component: Option<&str>,
+) {
+    let pod = Pod {
+        containers: vec![Container {
+            name: "main".to_string(),
+            image: format!("{app}:1"),
+            ..Container::default()
+        }],
+        phase: PodPhase::Running,
+        ready: true,
+        node_name: Some("node-0".to_string()),
+        ..Pod::default()
+    };
+    let mut meta = ObjectMeta::named(namespace, name).with_label("app", app);
+    if let Some(c) = component {
+        meta = meta.with_label("component", c);
+    }
+    cluster
+        .api_mut()
+        .create_object(meta, ObjectData::Pod(pod), 0)
+        .expect("pod creation");
+}
+
+/// Marks a pod failed and unready.
+pub fn fail_pod(cluster: &mut SimCluster, namespace: &str, name: &str) {
+    let key = ObjKey::new(Kind::Pod, namespace, name);
+    let time = cluster.now();
+    cluster
+        .api_mut()
+        .store_mut()
+        .update_with(&key, time, |o| {
+            if let ObjectData::Pod(p) = &mut o.data {
+                p.phase = PodPhase::Failed;
+                p.ready = false;
+                p.reason = "Error".to_string();
+            }
+        })
+        .expect("pod exists");
+}
+
+/// Adds an annotation to a pod.
+pub fn annotate_pod(cluster: &mut SimCluster, namespace: &str, name: &str, key: &str, value: &str) {
+    let obj_key = ObjKey::new(Kind::Pod, namespace, name);
+    let time = cluster.now();
+    cluster
+        .api_mut()
+        .store_mut()
+        .update_with(&obj_key, time, |o| {
+            o.meta
+                .annotations
+                .insert(key.to_string(), value.to_string());
+        })
+        .expect("pod exists");
+}
+
+/// Writes (upserting) the instance config map `{app}-config`.
+pub fn set_config(cluster: &mut SimCluster, namespace: &str, app: &str, entries: &[(&str, &str)]) {
+    let data: BTreeMap<String, String> = entries
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    let time = cluster.now();
+    cluster
+        .api_mut()
+        .apply_object(
+            ObjectMeta::named(namespace, &format!("{app}-config")),
+            ObjectData::ConfigMap(ConfigMap { data }),
+            time,
+        )
+        .expect("config map");
+}

@@ -1,0 +1,570 @@
+//! Static analyses over the reconcile IR: dominator and postdominator
+//! trees, and control-dependency extraction.
+//!
+//! This is the Acto-□ substrate (paper §5.2.4): property `p2` depends on
+//! property `p1` — written *(p1, φ, c) ←dep p2* — iff a predicate `φ`
+//! comparing `p1` with constant `c` dominates every sink of `p2` and is not
+//! postdominated by that sink's block. Dominators are computed with the
+//! iterative Cooper–Harvey–Kennedy algorithm over a reverse postorder.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crdspec::{Path, Value};
+
+use crate::ir::{BlockId, Cmp, Inst, IrModule, Operand, Terminator};
+
+/// A dominator (or postdominator) tree.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per block (`None` for the root and unreachable
+    /// blocks).
+    idom: Vec<Option<usize>>,
+    /// The root node index.
+    root: usize,
+    /// Whether each node is reachable from the root.
+    reachable: Vec<bool>,
+}
+
+impl DomTree {
+    /// Returns `true` when `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let (a, b) = (a.0 as usize, b.0 as usize);
+        if !self.reachable.get(a).copied().unwrap_or(false)
+            || !self.reachable.get(b).copied().unwrap_or(false)
+        {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.root {
+                return false;
+            }
+            match self.idom[cur] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Returns the immediate dominator of a block.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom
+            .get(b.0 as usize)
+            .copied()
+            .flatten()
+            .map(|i| BlockId(i as u32))
+    }
+}
+
+/// Computes the dominator tree of a module's CFG.
+pub fn dominators(module: &IrModule) -> DomTree {
+    let n = module.blocks.len();
+    let succs: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            module
+                .successors(BlockId(i as u32))
+                .into_iter()
+                .map(|b| b.0 as usize)
+                .collect()
+        })
+        .collect();
+    compute_domtree(n, module.entry.0 as usize, &succs)
+}
+
+/// Computes the postdominator tree of a module's CFG using a virtual exit
+/// node joined to every `Return` block.
+pub fn postdominators(module: &IrModule) -> DomTree {
+    let n = module.blocks.len();
+    let exit = n; // Virtual exit node.
+                  // Reversed edges: succ in reverse graph = pred in forward graph.
+    let mut rev_succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for i in 0..n {
+        for s in module.successors(BlockId(i as u32)) {
+            rev_succs[s.0 as usize].push(i);
+        }
+        if matches!(module.block(BlockId(i as u32)).term, Terminator::Return) {
+            rev_succs[exit].push(i);
+        }
+    }
+    // In the reversed graph we walk from exit along reversed edges; the
+    // successor function of the reversed CFG maps a node to its forward
+    // predecessors, which is what `rev_succs` holds.
+    compute_domtree(n + 1, exit, &rev_succs)
+}
+
+/// Iterative dominator computation (Cooper–Harvey–Kennedy).
+fn compute_domtree(n: usize, root: usize, succs: &[Vec<usize>]) -> DomTree {
+    // Reverse postorder from root.
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // Iterative DFS with explicit post-visit marker.
+    let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+    visited[root] = true;
+    while let Some((node, child_idx)) = stack.pop() {
+        if child_idx < succs[node].len() {
+            stack.push((node, child_idx + 1));
+            let child = succs[node][child_idx];
+            if !visited[child] {
+                visited[child] = true;
+                stack.push((child, 0));
+            }
+        } else {
+            order.push(node);
+        }
+    }
+    order.reverse(); // Now reverse postorder.
+    let mut rpo_number = vec![usize::MAX; n];
+    for (i, &node) in order.iter().enumerate() {
+        rpo_number[node] = i;
+    }
+    // Predecessors within the same graph.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, ss) in succs.iter().enumerate() {
+        for &v in ss {
+            preds[v].push(u);
+        }
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root] = Some(root);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(cur, p, &idom, &rpo_number),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b] != Some(ni) {
+                    idom[b] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let reachable = visited;
+    // Root's idom self-reference is cleared for external consumers.
+    let idom_out: Vec<Option<usize>> = idom
+        .iter()
+        .enumerate()
+        .map(|(i, d)| if i == root { None } else { *d })
+        .collect();
+    DomTree {
+        idom: idom_out,
+        root,
+        reachable,
+    }
+}
+
+fn intersect(mut a: usize, mut b: usize, idom: &[Option<usize>], rpo: &[usize]) -> usize {
+    while a != b {
+        while rpo[a] > rpo[b] {
+            a = idom[a].expect("processed node has idom");
+        }
+        while rpo[b] > rpo[a] {
+            b = idom[b].expect("processed node has idom");
+        }
+    }
+    a
+}
+
+/// A control dependency: `dependent` is only consumed when `controller`
+/// satisfies `predicate` against `constant` (or its negation, when the
+/// sink lives in the else arm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlDependency {
+    /// The controlling property (`p1`).
+    pub controller: Path,
+    /// The comparison (`φ`).
+    pub predicate: Cmp,
+    /// The compared constant (`c`).
+    pub constant: Value,
+    /// The dependent property (`p2`).
+    pub dependent: Path,
+    /// `true` when the dependent is consumed on the *false* arm of the
+    /// predicate.
+    pub negated: bool,
+}
+
+impl fmt::Display for ControlDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({} {} {}) <-dep {}",
+            self.controller, self.predicate, self.constant, self.dependent
+        )
+    }
+}
+
+/// Extracts control dependencies per the paper's rule.
+///
+/// For every branch whose condition compares a loaded property `p1` to a
+/// constant `c`, and every property `p2` feeding a sink: a dependency
+/// *(p1, φ, c) ←dep p2* is reported iff **all** sinks consuming `p2` are
+/// (a) dominated by the branch block and (b) do not postdominate it.
+pub fn control_dependencies(module: &IrModule) -> Vec<ControlDependency> {
+    let dom = dominators(module);
+    let postdom = postdominators(module);
+    // Collect predicates: (block, p1, cmp, const).
+    struct Predicate {
+        block: BlockId,
+        controller: Path,
+        predicate: Cmp,
+        constant: Value,
+    }
+    let mut predicates = Vec::new();
+    for bid in module.block_ids() {
+        let Terminator::Branch { cond, .. } = &module.block(bid).term else {
+            continue;
+        };
+        let Operand::Var(cv) = cond else { continue };
+        match module.def_of(*cv) {
+            Some(Inst::Compare { op, lhs, rhs, .. }) => {
+                // One side a loaded property, the other a constant.
+                let sides = [(lhs, rhs), (rhs, lhs)];
+                for (prop_side, const_side) in sides {
+                    let props = module.source_props(prop_side);
+                    let constant = match const_side {
+                        Operand::Const(c) => Some(c.clone()),
+                        Operand::Var(v) => match module.def_of(*v) {
+                            Some(Inst::Const { value, .. }) => Some(value.clone()),
+                            _ => None,
+                        },
+                    };
+                    if let (1, Some(c)) = (props.len(), constant) {
+                        predicates.push(Predicate {
+                            block: bid,
+                            controller: props[0].clone(),
+                            predicate: *op,
+                            constant: c,
+                        });
+                        break;
+                    }
+                }
+            }
+            Some(Inst::LoadProp { path, .. }) => {
+                // Branching directly on a loaded value: a truthiness
+                // predicate.
+                predicates.push(Predicate {
+                    block: bid,
+                    controller: path.clone(),
+                    predicate: Cmp::Truthy,
+                    constant: Value::Bool(true),
+                });
+            }
+            _ => {}
+        }
+    }
+    // Collect sinks per dependent property: p2 -> [block of each sink].
+    let mut sinks_by_prop: BTreeMap<Path, Vec<BlockId>> = BTreeMap::new();
+    for bid in module.block_ids() {
+        for inst in &module.block(bid).insts {
+            if let Inst::Sink { value, .. } = inst {
+                for p in module.source_props(value) {
+                    sinks_by_prop.entry(p).or_default().push(bid);
+                }
+            }
+        }
+    }
+    // Block-level control dependence (Ferrante–Ottenstein–Warren): block S
+    // is immediately control-dependent on branch B iff S postdominates some
+    // successor of B but does not postdominate B itself. The transitive
+    // closure captures nested guards. The dominance requirement from the
+    // paper's rule is kept as a filter.
+    let n = module.blocks.len();
+    let mut immediate: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in module.block_ids() {
+        let succs = module.successors(b);
+        if succs.len() < 2 {
+            continue;
+        }
+        for s in module.block_ids() {
+            if s == b {
+                continue;
+            }
+            let controls =
+                succs.iter().any(|succ| postdom.dominates(s, *succ)) && !postdom.dominates(s, b);
+            if controls {
+                immediate[s.0 as usize].push(b.0 as usize);
+            }
+        }
+    }
+    // Transitive closure per block.
+    let closure = |start: BlockId| -> Vec<usize> {
+        let mut seen = vec![false; n];
+        let mut stack = immediate[start.0 as usize].clone();
+        let mut out = Vec::new();
+        while let Some(b) = stack.pop() {
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            out.push(b);
+            stack.extend(immediate[b].iter().copied());
+        }
+        out
+    };
+    // Reachability from a block, never crossing `avoid`.
+    let reachable_from = |start: BlockId, avoid: BlockId| -> Vec<bool> {
+        let mut seen = vec![false; n];
+        if start == avoid {
+            return seen;
+        }
+        let mut stack = vec![start];
+        while let Some(b) = stack.pop() {
+            if seen[b.0 as usize] {
+                continue;
+            }
+            seen[b.0 as usize] = true;
+            for s in module.successors(b) {
+                if s != avoid {
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    };
+    let mut out = Vec::new();
+    for pred in &predicates {
+        let Terminator::Branch {
+            then_block,
+            else_block,
+            ..
+        } = &module.block(pred.block).term
+        else {
+            continue;
+        };
+        let then_reach = reachable_from(*then_block, pred.block);
+        let else_reach = reachable_from(*else_block, pred.block);
+        for (p2, sink_blocks) in &sinks_by_prop {
+            if *p2 == pred.controller {
+                continue;
+            }
+            let all_depend = sink_blocks.iter().all(|s| {
+                pred.block != *s
+                    && dom.dominates(pred.block, *s)
+                    && closure(*s).contains(&(pred.block.0 as usize))
+            });
+            if all_depend && !sink_blocks.is_empty() {
+                // Determine the arm: a sink reachable only via the else
+                // successor is consumed when the predicate is false.
+                let negated = sink_blocks
+                    .iter()
+                    .all(|s| else_reach[s.0 as usize] && !then_reach[s.0 as usize]);
+                let dep = ControlDependency {
+                    controller: pred.controller.clone(),
+                    predicate: pred.predicate,
+                    constant: pred.constant.clone(),
+                    dependent: p2.clone(),
+                    negated,
+                };
+                if !out.contains(&dep) {
+                    out.push(dep);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IrBuilder;
+    use crate::ir::Operand;
+
+    /// Diamond: entry -> {then, else} -> join.
+    fn diamond() -> IrModule {
+        let mut b = IrBuilder::new("diamond");
+        let flag = b.load("enabled");
+        let cond = b.compare(
+            Cmp::Eq,
+            Operand::Var(flag),
+            Operand::Const(Value::from(true)),
+        );
+        let then_b = b.new_block();
+        let else_b = b.new_block();
+        let join = b.new_block();
+        b.branch(Operand::Var(cond), then_b, else_b);
+        b.switch_to(then_b);
+        b.passthrough("schedule", "backup.schedule");
+        b.jump(join);
+        b.switch_to(else_b);
+        b.jump(join);
+        b.switch_to(join);
+        b.passthrough("replicas", "sts.replicas");
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let m = diamond();
+        let dom = dominators(&m);
+        let entry = BlockId(0);
+        for b in m.block_ids() {
+            assert!(dom.dominates(entry, b), "entry dominates {b}");
+        }
+        // Neither arm dominates the join.
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+        assert_eq!(dom.idom(BlockId(3)), Some(entry));
+    }
+
+    #[test]
+    fn postdominators_of_diamond() {
+        let m = diamond();
+        let pdom = postdominators(&m);
+        // The join postdominates the entry and both arms.
+        assert!(pdom.dominates(BlockId(3), BlockId(0)));
+        assert!(pdom.dominates(BlockId(3), BlockId(1)));
+        assert!(pdom.dominates(BlockId(3), BlockId(2)));
+        // The then-arm does not postdominate the entry.
+        assert!(!pdom.dominates(BlockId(1), BlockId(0)));
+    }
+
+    #[test]
+    fn control_dependency_found_for_guarded_sink() {
+        let m = diamond();
+        let deps = control_dependencies(&m);
+        assert_eq!(deps.len(), 1, "deps: {deps:?}");
+        let d = &deps[0];
+        assert_eq!(d.controller.to_string(), "enabled");
+        assert_eq!(d.dependent.to_string(), "schedule");
+        assert_eq!(d.predicate, Cmp::Eq);
+        assert_eq!(d.constant, Value::Bool(true));
+        // The unconditional sink (replicas) has no dependency.
+        assert!(deps.iter().all(|d| d.dependent.to_string() != "replicas"));
+    }
+
+    #[test]
+    fn multi_sink_property_requires_all_guarded() {
+        // schedule is sunk both inside the guard and unconditionally after
+        // the join: the paper's rule rejects the dependency.
+        let mut b = IrBuilder::new("m");
+        let flag = b.load("enabled");
+        let cond = b.compare(
+            Cmp::Eq,
+            Operand::Var(flag),
+            Operand::Const(Value::from(true)),
+        );
+        let then_b = b.new_block();
+        let join = b.new_block();
+        b.branch(Operand::Var(cond), then_b, join);
+        b.switch_to(then_b);
+        b.passthrough("schedule", "backup.schedule");
+        b.jump(join);
+        b.switch_to(join);
+        b.passthrough("schedule", "audit.schedule");
+        b.ret();
+        let m = b.finish();
+        let deps = control_dependencies(&m);
+        assert!(deps.is_empty(), "deps: {deps:?}");
+    }
+
+    #[test]
+    fn truthy_branch_on_raw_load() {
+        let mut b = IrBuilder::new("m");
+        let flag = b.load("persistence");
+        let then_b = b.new_block();
+        let join = b.new_block();
+        b.branch(Operand::Var(flag), then_b, join);
+        b.switch_to(then_b);
+        b.passthrough("storageClass", "pvc.class");
+        b.jump(join);
+        b.switch_to(join);
+        b.ret();
+        let m = b.finish();
+        let deps = control_dependencies(&m);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].predicate, Cmp::Truthy);
+        assert_eq!(deps[0].controller.to_string(), "persistence");
+    }
+
+    #[test]
+    fn string_enum_predicate() {
+        // storageType == "ephemeral" guards the ephemeral sink — the
+        // ZooKeeperOp dependency from the paper's false-positive example.
+        let mut b = IrBuilder::new("zk");
+        let st = b.load("storageType");
+        let cond = b.compare(
+            Cmp::Eq,
+            Operand::Var(st),
+            Operand::Const(Value::from("ephemeral")),
+        );
+        let then_b = b.new_block();
+        let join = b.new_block();
+        b.branch(Operand::Var(cond), then_b, join);
+        b.switch_to(then_b);
+        b.passthrough("ephemeral.emptyDirSize", "pod.emptydir");
+        b.jump(join);
+        b.switch_to(join);
+        b.ret();
+        let m = b.finish();
+        let deps = control_dependencies(&m);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].constant, Value::from("ephemeral"));
+        assert_eq!(deps[0].dependent.to_string(), "ephemeral.emptyDirSize");
+    }
+
+    #[test]
+    fn nested_guards_produce_both_dependencies() {
+        let mut b = IrBuilder::new("m");
+        let outer = b.load("backup.enabled");
+        let c1 = b.compare(
+            Cmp::Eq,
+            Operand::Var(outer),
+            Operand::Const(Value::from(true)),
+        );
+        let mid = b.new_block();
+        let join = b.new_block();
+        b.branch(Operand::Var(c1), mid, join);
+        b.switch_to(mid);
+        let inner = b.load("backup.remote");
+        let c2 = b.compare(
+            Cmp::Eq,
+            Operand::Var(inner),
+            Operand::Const(Value::from(true)),
+        );
+        let deep = b.new_block();
+        b.branch(Operand::Var(c2), deep, join);
+        b.switch_to(deep);
+        b.passthrough("backup.bucket", "backup.bucket");
+        b.jump(join);
+        b.switch_to(join);
+        b.ret();
+        let m = b.finish();
+        let deps = control_dependencies(&m);
+        let controllers: Vec<String> = deps
+            .iter()
+            .filter(|d| d.dependent.to_string() == "backup.bucket")
+            .map(|d| d.controller.to_string())
+            .collect();
+        assert!(controllers.contains(&"backup.enabled".to_string()));
+        assert!(controllers.contains(&"backup.remote".to_string()));
+    }
+
+    #[test]
+    fn unreachable_blocks_do_not_panic() {
+        let mut b = IrBuilder::new("m");
+        let dead = b.new_block();
+        b.ret();
+        b.switch_to(dead);
+        b.passthrough("x", "out.x");
+        b.ret();
+        let m = b.finish();
+        let dom = dominators(&m);
+        assert!(!dom.dominates(BlockId(0), dead));
+        assert!(control_dependencies(&m).is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Ergonomic construction of [`IrModule`]s.
+
+use crdspec::{Path, Value};
+
+use crate::ir::{BinOp, Block, BlockId, Cmp, Inst, IrModule, Operand, Terminator, VarId};
+
+/// Builds an [`IrModule`] block by block.
+///
+/// The builder starts positioned in the entry block. `new_block` allocates
+/// further blocks; `switch_to` repositions the cursor; terminator methods
+/// (`branch`, `jump`, `ret`) seal the current block.
+///
+/// # Examples
+///
+/// ```
+/// use opdsl::{IrBuilder, Operand, Cmp};
+/// use crdspec::Value;
+///
+/// let mut b = IrBuilder::new("demo");
+/// let enabled = b.load("spec.backup.enabled");
+/// let on = b.compare(Cmp::Eq, Operand::Var(enabled), Operand::Const(Value::from(true)));
+/// let then_b = b.new_block();
+/// let done = b.new_block();
+/// b.branch(Operand::Var(on), then_b, done);
+/// b.switch_to(then_b);
+/// let sched = b.load("spec.backup.schedule");
+/// b.sink("backup.schedule", Operand::Var(sched));
+/// b.jump(done);
+/// b.switch_to(done);
+/// b.ret();
+/// let module = b.finish();
+/// assert!(module.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct IrBuilder {
+    name: String,
+    blocks: Vec<BlockInProgress>,
+    current: BlockId,
+    next_var: u32,
+}
+
+#[derive(Debug)]
+struct BlockInProgress {
+    insts: Vec<Inst>,
+    term: Option<Terminator>,
+}
+
+impl IrBuilder {
+    /// Creates a builder with an open entry block.
+    pub fn new(name: &str) -> IrBuilder {
+        IrBuilder {
+            name: name.to_string(),
+            blocks: vec![BlockInProgress {
+                insts: Vec::new(),
+                term: None,
+            }],
+            current: BlockId(0),
+            next_var: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    fn cur(&mut self) -> &mut BlockInProgress {
+        let idx = self.current.0 as usize;
+        &mut self.blocks[idx]
+    }
+
+    fn push(&mut self, inst: Inst) {
+        assert!(
+            self.cur().term.is_none(),
+            "instruction appended after terminator in {}",
+            self.current
+        );
+        self.cur().insts.push(inst);
+    }
+
+    /// Allocates a new (empty, unterminated) block without moving the
+    /// cursor.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BlockInProgress {
+            insts: Vec::new(),
+            term: None,
+        });
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Moves the cursor to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already terminated.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            self.blocks[block.0 as usize].term.is_none(),
+            "cannot append to terminated {block}"
+        );
+        self.current = block;
+    }
+
+    /// Emits a property load.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `path` does not parse; paths in operator code are
+    /// literals.
+    pub fn load(&mut self, path: &str) -> VarId {
+        let dst = self.fresh();
+        let path: Path = path.parse().expect("valid property path literal");
+        self.push(Inst::LoadProp { dst, path });
+        dst
+    }
+
+    /// Emits a constant assignment.
+    pub fn constant(&mut self, value: Value) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::Const { dst, value });
+        dst
+    }
+
+    /// Emits a comparison.
+    pub fn compare(&mut self, op: Cmp, lhs: Operand, rhs: Operand) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::Compare { dst, op, lhs, rhs });
+        dst
+    }
+
+    /// Emits a binary operation.
+    pub fn binary(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::Binary { dst, op, lhs, rhs });
+        dst
+    }
+
+    /// Emits a sink write.
+    pub fn sink(&mut self, sink: &str, value: Operand) {
+        self.push(Inst::Sink {
+            sink: sink.to_string(),
+            value,
+        });
+    }
+
+    /// Shorthand: load a property and sink it unconditionally.
+    pub fn passthrough(&mut self, path: &str, sink: &str) {
+        let v = self.load(path);
+        self.sink(sink, Operand::Var(v));
+    }
+
+    /// Shorthand for the pervasive feature-toggle shape: branch on
+    /// `toggle_path == true`; inside, load `paths` and sink them to the
+    /// matching sinks; both arms join and building continues in the join
+    /// block.
+    pub fn guarded_passthrough(&mut self, toggle_path: &str, pairs: &[(&str, &str)]) {
+        let toggle = self.load(toggle_path);
+        let cond = self.compare(
+            Cmp::Eq,
+            Operand::Var(toggle),
+            Operand::Const(Value::from(true)),
+        );
+        let then_b = self.new_block();
+        let join = self.new_block();
+        self.branch(Operand::Var(cond), then_b, join);
+        self.switch_to(then_b);
+        for (path, sink) in pairs {
+            self.passthrough(path, sink);
+        }
+        self.jump(join);
+        self.switch_to(join);
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Operand, then_block: BlockId, else_block: BlockId) {
+        assert!(self.cur().term.is_none(), "block already terminated");
+        self.cur().term = Some(Terminator::Branch {
+            cond,
+            then_block,
+            else_block,
+        });
+    }
+
+    /// Terminates the current block with a jump.
+    pub fn jump(&mut self, target: BlockId) {
+        assert!(self.cur().term.is_none(), "block already terminated");
+        self.cur().term = Some(Terminator::Jump { target });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self) {
+        assert!(self.cur().term.is_none(), "block already terminated");
+        self.cur().term = Some(Terminator::Return);
+    }
+
+    /// Finishes the module. Unterminated blocks become returns.
+    pub fn finish(self) -> IrModule {
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|b| Block {
+                insts: b.insts,
+                term: b.term.unwrap_or(Terminator::Return),
+            })
+            .collect();
+        IrModule {
+            name: self.name,
+            blocks,
+            entry: BlockId(0),
+            var_count: self.next_var,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_modules() {
+        let mut b = IrBuilder::new("t");
+        b.passthrough("spec.replicas", "sts.replicas");
+        b.guarded_passthrough(
+            "spec.backup.enabled",
+            &[("spec.backup.schedule", "backup.schedule")],
+        );
+        b.ret();
+        let m = b.finish();
+        m.validate().unwrap();
+        assert_eq!(m.blocks.len(), 3);
+        assert_eq!(
+            m.sink_names(),
+            vec!["backup.schedule".to_string(), "sts.replicas".to_string()]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "after terminator")]
+    fn cannot_append_after_terminator() {
+        let mut b = IrBuilder::new("t");
+        b.ret();
+        b.load("spec.x");
+    }
+
+    #[test]
+    fn unterminated_blocks_default_to_return() {
+        let mut b = IrBuilder::new("t");
+        b.load("spec.x");
+        let m = b.finish();
+        assert_eq!(m.block(m.entry).term, Terminator::Return);
+    }
+}

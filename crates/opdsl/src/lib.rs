@@ -1,0 +1,25 @@
+//! A reconcile IR for operators, and the static analyses Acto's whitebox
+//! mode runs over it.
+//!
+//! The paper's Acto-□ analyzes operator Go code with `golang.org/x/tools`
+//! SSA and pointer analysis to find control dependencies among CR
+//! properties (§5.2.4). Go static analysis is not available here, so this
+//! crate provides the substitution: operators express their property
+//! plumbing in a small SSA-style IR ([`IrModule`]), which is
+//!
+//! 1. **executed** by the [`interp`] interpreter during reconciliation (the
+//!    IR is the single source of truth for property-to-field mapping), and
+//! 2. **analyzed** by [`analysis`]: CFG construction, iterative dominator
+//!    and postdominator trees, and the paper's control-dependency rule —
+//!    *(p1, φ, c) ←dep p2 iff a predicate φ comparing p1 with c dominates
+//!    every sink of p2 and is not postdominated by it*.
+
+pub mod analysis;
+pub mod builder;
+pub mod interp;
+pub mod ir;
+
+pub use analysis::{control_dependencies, ControlDependency, DomTree};
+pub use builder::IrBuilder;
+pub use interp::{run, ExecError, ExecOutput};
+pub use ir::{BlockId, Cmp, Inst, IrModule, Operand, Terminator, VarId};

@@ -1,0 +1,815 @@
+//! Ground-truth registry of injected operator bugs.
+//!
+//! The paper reports 56 new operator bugs across the eleven evaluated
+//! operators (Table 5), classified as *undesired state* (32), *system error
+//! state* (4), *operator error state* (10), and *recovery failure* (10),
+//! with the consequence profile of Table 6. This module defines the same
+//! population as injected, individually toggleable defects: every bug has a
+//! stable id, a category, consequence tags, the property/transition that
+//! triggers it, and a note on which paper bug it mirrors.
+//!
+//! Operator implementations consult [`BugToggles`] at the exact code site
+//! where the defect lives; disabling a bug yields the fixed behaviour, which
+//! the evaluation uses for regression comparisons.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Root-cause category, matching Table 5's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugCategory {
+    /// The system ends in an undesired state with no explicit error.
+    UndesiredState,
+    /// The managed system enters an explicit runtime-error state.
+    ErrorStateSystem,
+    /// The operator itself crashes or errors.
+    ErrorStateOperator,
+    /// The operator cannot recover the system from an error state.
+    RecoveryFailure,
+}
+
+impl fmt::Display for BugCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BugCategory::UndesiredState => "undesired-state",
+            BugCategory::ErrorStateSystem => "error-state-system",
+            BugCategory::ErrorStateOperator => "error-state-operator",
+            BugCategory::RecoveryFailure => "recovery-failure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Consequence tags, matching Table 6's rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Consequence {
+    /// The managed system is down and may not recover.
+    SystemFailure,
+    /// Reduced fault-tolerance or replication guarantees.
+    ReliabilityIssue,
+    /// Stale credentials, permissive contexts, or exposure.
+    SecurityIssue,
+    /// Missing limits/requests or leaked resources.
+    ResourceIssue,
+    /// Operations can no longer be performed (operator wedged/crashed).
+    OperationOutage,
+    /// The system runs with configuration other than declared.
+    Misconfiguration,
+}
+
+impl fmt::Display for Consequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Consequence::SystemFailure => "system-failure",
+            Consequence::ReliabilityIssue => "reliability-issue",
+            Consequence::SecurityIssue => "security-issue",
+            Consequence::ResourceIssue => "resource-issue",
+            Consequence::OperationOutage => "operation-outage",
+            Consequence::Misconfiguration => "misconfiguration",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One injected bug's ground truth.
+#[derive(Debug, Clone)]
+pub struct BugSpec {
+    /// Stable identifier (e.g. `"ZK-5"`), referenced from operator code.
+    pub id: &'static str,
+    /// Operator the bug lives in (registry name, e.g. `"ZooKeeperOp"`).
+    pub operator: &'static str,
+    /// Root-cause category.
+    pub category: BugCategory,
+    /// Consequences (one or more).
+    pub consequences: &'static [Consequence],
+    /// CRD property whose change triggers the bug.
+    pub trigger_property: &'static str,
+    /// Human description of the trigger transition.
+    pub trigger: &'static str,
+    /// Whether Acto's blackbox mode can trigger it (the paper's single
+    /// Acto-■ miss needs a semantics-requiring scenario on a primitive
+    /// property).
+    pub blackbox_detectable: bool,
+    /// The real bug this mirrors, where applicable.
+    pub mirrors: &'static str,
+}
+
+/// Returns the full ground-truth bug population (56 bugs).
+pub fn all_bugs() -> &'static [BugSpec] {
+    use BugCategory::*;
+    use Consequence::*;
+    const BUGS: &[BugSpec] = &[
+        // ---- CassOp: 2 undesired state, 2 recovery failure. ----
+        BugSpec {
+            id: "CASS-1",
+            operator: "CassOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "podLabels",
+            trigger: "deleting a pod label leaves it on running pods",
+            blackbox_detectable: true,
+            mirrors: "k8ssandra/cass-operator#344",
+        },
+        BugSpec {
+            id: "CASS-2",
+            operator: "CassOp",
+            category: UndesiredState,
+            consequences: &[ReliabilityIssue],
+            trigger_property: "seedLabels",
+            trigger: "seed-label change is not propagated to the seed selection",
+            blackbox_detectable: true,
+            mirrors: "k8ssandra/cass-operator seed-service labels",
+        },
+        BugSpec {
+            id: "CASS-3",
+            operator: "CassOp",
+            category: RecoveryFailure,
+            consequences: &[OperationOutage],
+            trigger_property: "size",
+            trigger: "operator refuses all reconciliation while any pod is unhealthy",
+            blackbox_detectable: true,
+            mirrors: "stability-gate recovery failures (paper §6.1.1)",
+        },
+        BugSpec {
+            id: "CASS-4",
+            operator: "CassOp",
+            category: RecoveryFailure,
+            consequences: &[OperationOutage, ReliabilityIssue],
+            trigger_property: "replaceNodes",
+            trigger: "a wrong pod name in replaceNodes wedges the operator; reverting does not clear it",
+            blackbox_detectable: true,
+            mirrors: "k8ssandra/cass-operator#315",
+        },
+        // ---- CockroachOp: 3 undesired state, 2 operator error. ----
+        BugSpec {
+            id: "CRDB-1",
+            operator: "CockroachOp",
+            category: UndesiredState,
+            consequences: &[SecurityIssue],
+            trigger_property: "ingress.tls.secretName",
+            trigger: "updating the SQL ingress TLS secret is not reflected in the ingress object",
+            blackbox_detectable: true,
+            mirrors: "cockroachdb/cockroach-operator#920",
+        },
+        BugSpec {
+            id: "CRDB-2",
+            operator: "CockroachOp",
+            category: UndesiredState,
+            consequences: &[ResourceIssue],
+            trigger_property: "resources.requests.cpu",
+            trigger: "resource updates are applied to the stateful set but never roll the pods",
+            blackbox_detectable: true,
+            mirrors: "stale-rollout resource bugs",
+        },
+        BugSpec {
+            id: "CRDB-3",
+            operator: "CockroachOp",
+            category: UndesiredState,
+            consequences: &[SecurityIssue],
+            trigger_property: "certRotation",
+            trigger: "rotating TLS does not bump the version nodes serve with (outdated secrets)",
+            blackbox_detectable: true,
+            mirrors: "cockroachdb/cockroach-operator#929-family",
+        },
+        BugSpec {
+            id: "CRDB-4",
+            operator: "CockroachOp",
+            category: ErrorStateOperator,
+            consequences: &[OperationOutage],
+            trigger_property: "image",
+            trigger: "an image reference without a colon panics the parser; the operator crash-loops",
+            blackbox_detectable: true,
+            mirrors: "cockroachdb/cockroach-operator#922",
+        },
+        BugSpec {
+            id: "CRDB-5",
+            operator: "CockroachOp",
+            category: ErrorStateOperator,
+            consequences: &[OperationOutage],
+            trigger_property: "additionalArgs",
+            trigger: "an empty string among additional arguments panics argument parsing",
+            blackbox_detectable: true,
+            mirrors: "index-out-of-range parse crashes (paper §6.1.1)",
+        },
+        // ---- KnativeOp: 1 undesired state, 2 operator error. ----
+        BugSpec {
+            id: "KN-1",
+            operator: "KnativeOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration, ResourceIssue],
+            trigger_property: "ingress.enabled",
+            trigger: "disabling the ingress does not delete the contour deployment",
+            blackbox_detectable: true,
+            mirrors: "knative/operator#1176",
+        },
+        BugSpec {
+            id: "KN-2",
+            operator: "KnativeOp",
+            category: ErrorStateOperator,
+            consequences: &[OperationOutage],
+            trigger_property: "config.@values",
+            trigger: "an empty config value dereferences a nil map and panics",
+            blackbox_detectable: true,
+            mirrors: "nil-map config crashes",
+        },
+        BugSpec {
+            id: "KN-3",
+            operator: "KnativeOp",
+            category: ErrorStateOperator,
+            consequences: &[OperationOutage],
+            trigger_property: "highAvailability.replicas",
+            trigger: "replicas=0 divides by zero when spreading components",
+            blackbox_detectable: true,
+            mirrors: "zero-replica arithmetic crashes",
+        },
+        // ---- OCK/RedisOp: 4 undesired, 3 operator error, 1 recovery. ----
+        BugSpec {
+            id: "RED-OCK-1",
+            operator: "OCK/RedisOp",
+            category: UndesiredState,
+            consequences: &[ResourceIssue],
+            trigger_property: "resources.requests.memory",
+            trigger: "cr.spec.resources is never applied; redis runs with no resource guarantee",
+            blackbox_detectable: true,
+            mirrors: "OT-CONTAINER-KIT/redis-operator#290",
+        },
+        BugSpec {
+            id: "RED-OCK-2",
+            operator: "OCK/RedisOp",
+            category: UndesiredState,
+            consequences: &[ReliabilityIssue],
+            trigger_property: "follower.pdb.enabled",
+            trigger: "the follower PDB field has no effect; no disruption budget is created",
+            blackbox_detectable: true,
+            mirrors: "OT-CONTAINER-KIT/redis-operator#301",
+        },
+        BugSpec {
+            id: "RED-OCK-3",
+            operator: "OCK/RedisOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "securityContext.runAsUser",
+            trigger: "the declared security context is not propagated to pods",
+            blackbox_detectable: true,
+            mirrors: "security-context propagation gaps",
+        },
+        BugSpec {
+            id: "RED-OCK-4",
+            operator: "OCK/RedisOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "nodeSelector.@values",
+            trigger: "removing the node selector leaves the old selector on pods",
+            blackbox_detectable: true,
+            mirrors: "deletion-path omissions (paper §6.1.4)",
+        },
+        BugSpec {
+            id: "RED-OCK-5",
+            operator: "OCK/RedisOp",
+            category: ErrorStateOperator,
+            consequences: &[OperationOutage],
+            trigger_property: "storage.size",
+            trigger: "an unparsable storage quantity (admitted under PLAT-2) panics the operator",
+            blackbox_detectable: true,
+            mirrors: "kubernetes-sigs/controller-tools#665 fallout",
+        },
+        BugSpec {
+            id: "RED-OCK-6",
+            operator: "OCK/RedisOp",
+            category: ErrorStateOperator,
+            consequences: &[OperationOutage],
+            trigger_property: "tls.enabled",
+            trigger: "enabling TLS without a secret name dereferences nil and panics",
+            blackbox_detectable: true,
+            mirrors: "nil-secret TLS crashes",
+        },
+        BugSpec {
+            id: "RED-OCK-7",
+            operator: "OCK/RedisOp",
+            category: ErrorStateOperator,
+            consequences: &[OperationOutage],
+            trigger_property: "config.@values",
+            trigger: "an empty 'save' directive panics configuration rendering",
+            blackbox_detectable: true,
+            mirrors: "config-parse crashes",
+        },
+        BugSpec {
+            id: "RED-OCK-8",
+            operator: "OCK/RedisOp",
+            category: RecoveryFailure,
+            consequences: &[OperationOutage, ReliabilityIssue],
+            trigger_property: "config.@values",
+            trigger: "while any pod crash-loops the operator skips reconciliation, so a bad config cannot be rolled back",
+            blackbox_detectable: true,
+            mirrors: "stability-gate recovery failures",
+        },
+        // ---- OFC/MongoOp: 3 undesired, 1 system error, 2 operator error,
+        // 2 recovery. ----
+        BugSpec {
+            id: "MG-OFC-1",
+            operator: "OFC/MongoOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "additionalMongodConfig.@values",
+            trigger: "config changes update the config map but never restart members (stale running config)",
+            blackbox_detectable: true,
+            mirrors: "stale-config rollouts",
+        },
+        BugSpec {
+            id: "MG-OFC-2",
+            operator: "OFC/MongoOp",
+            category: UndesiredState,
+            consequences: &[ReliabilityIssue],
+            trigger_property: "arbiters",
+            trigger: "scaling arbiters up from a running set is silently ignored",
+            blackbox_detectable: true,
+            mirrors: "mongodb-kubernetes-operator#1024",
+        },
+        BugSpec {
+            id: "MG-OFC-3",
+            operator: "OFC/MongoOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "podLabels",
+            trigger: "removing a pod label is not propagated",
+            blackbox_detectable: true,
+            mirrors: "deletion-path omissions",
+        },
+        BugSpec {
+            id: "MG-OFC-4",
+            operator: "OFC/MongoOp",
+            category: ErrorStateSystem,
+            consequences: &[SystemFailure],
+            trigger_property: "featureCompatibilityVersion",
+            trigger: "an invalid featureCompatibilityVersion is passed through unvalidated; every member crashes",
+            blackbox_detectable: true,
+            mirrors: "mongodb-kubernetes-operator#1118",
+        },
+        BugSpec {
+            id: "MG-OFC-5",
+            operator: "OFC/MongoOp",
+            category: ErrorStateOperator,
+            consequences: &[OperationOutage],
+            trigger_property: "security.auth.users",
+            trigger: "auth enabled with an empty users list indexes users[0] and panics",
+            blackbox_detectable: true,
+            mirrors: "index-out-of-range crashes",
+        },
+        BugSpec {
+            id: "MG-OFC-6",
+            operator: "OFC/MongoOp",
+            category: ErrorStateOperator,
+            consequences: &[OperationOutage],
+            trigger_property: "version",
+            trigger: "a non-semver version string panics version parsing",
+            blackbox_detectable: true,
+            mirrors: "unwrap-on-parse crashes",
+        },
+        BugSpec {
+            id: "MG-OFC-7",
+            operator: "OFC/MongoOp",
+            category: RecoveryFailure,
+            consequences: &[SystemFailure],
+            trigger_property: "featureCompatibilityVersion",
+            trigger: "after the system goes down, the operator waits for health before applying the corrected value — unrecoverable",
+            blackbox_detectable: true,
+            mirrors: "mongodb-kubernetes-operator#1118 (recovery half)",
+        },
+        BugSpec {
+            id: "MG-OFC-8",
+            operator: "OFC/MongoOp",
+            category: RecoveryFailure,
+            consequences: &[ReliabilityIssue],
+            trigger_property: "additionalMongodConfig.@values",
+            trigger: "crash-looping members block the rollback of a corrupted mongod configuration",
+            blackbox_detectable: true,
+            mirrors: "stability-gate recovery failures",
+        },
+        // ---- PCN/MongoOp: 4 undesired, 1 recovery. ----
+        BugSpec {
+            id: "MG-PCN-1",
+            operator: "PCN/MongoOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "backup.schedule",
+            trigger: "the backup schedule is only read when backup is first enabled; later changes are ignored",
+            blackbox_detectable: true,
+            mirrors: "enable-time-only config reads",
+        },
+        BugSpec {
+            id: "MG-PCN-2",
+            operator: "PCN/MongoOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration, ResourceIssue],
+            trigger_property: "pmm.enabled",
+            trigger: "disabling monitoring does not remove the PMM sidecar",
+            blackbox_detectable: true,
+            mirrors: "disable-path omissions",
+        },
+        BugSpec {
+            id: "MG-PCN-3",
+            operator: "PCN/MongoOp",
+            category: UndesiredState,
+            consequences: &[ReliabilityIssue],
+            trigger_property: "secrets.users",
+            trigger: "changing the users secret name does not rotate the credentials in running config",
+            blackbox_detectable: true,
+            mirrors: "credential-rotation gaps",
+        },
+        BugSpec {
+            id: "MG-PCN-4",
+            operator: "PCN/MongoOp",
+            category: UndesiredState,
+            consequences: &[ReliabilityIssue],
+            trigger_property: "pdb.minAvailable",
+            trigger: "the disruption budget is created once and never updated",
+            blackbox_detectable: true,
+            mirrors: "create-only subresources",
+        },
+        BugSpec {
+            id: "MG-PCN-5",
+            operator: "PCN/MongoOp",
+            category: RecoveryFailure,
+            consequences: &[OperationOutage],
+            trigger_property: "configuration.@values",
+            trigger: "a bad configuration crash-loops members; the stability gate then blocks the rollback",
+            blackbox_detectable: true,
+            mirrors: "stability-gate recovery failures",
+        },
+        // ---- RabbitMQOp: 3 undesired. ----
+        BugSpec {
+            id: "RMQ-1",
+            operator: "RabbitMQOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "additionalConfig.@values",
+            trigger: "config-map updates never roll broker pods (stale running config)",
+            blackbox_detectable: true,
+            mirrors: "stale-config rollouts",
+        },
+        BugSpec {
+            id: "RMQ-2",
+            operator: "RabbitMQOp",
+            category: UndesiredState,
+            consequences: &[ReliabilityIssue],
+            trigger_property: "persistence.backend",
+            trigger: "backend migration is silently ignored (the untested operation from §3)",
+            blackbox_detectable: true,
+            mirrors: "untested backend migration (paper Finding 2)",
+        },
+        BugSpec {
+            id: "RMQ-3",
+            operator: "RabbitMQOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "override.serviceType",
+            trigger: "service-type overrides are not applied to the client service",
+            blackbox_detectable: true,
+            mirrors: "override propagation gaps",
+        },
+        // ---- SAH/RedisOp: 2 undesired, 1 system error, 1 recovery. ----
+        BugSpec {
+            id: "RED-SAH-1",
+            operator: "SAH/RedisOp",
+            category: UndesiredState,
+            consequences: &[ReliabilityIssue],
+            trigger_property: "sentinel.replicas",
+            trigger: "sentinel replica changes are ignored after initial deployment",
+            blackbox_detectable: true,
+            mirrors: "spotahome/redis-operator sentinel scaling",
+        },
+        BugSpec {
+            id: "RED-SAH-2",
+            operator: "SAH/RedisOp",
+            category: UndesiredState,
+            consequences: &[ResourceIssue],
+            trigger_property: "exporter.enabled",
+            trigger: "disabling the exporter leaves the sidecar running",
+            blackbox_detectable: true,
+            mirrors: "disable-path omissions",
+        },
+        BugSpec {
+            id: "RED-SAH-3",
+            operator: "SAH/RedisOp",
+            category: ErrorStateSystem,
+            consequences: &[SystemFailure],
+            trigger_property: "redis.replicas",
+            trigger: "scaling redis to zero is accepted and takes the system down",
+            blackbox_detectable: true,
+            mirrors: "missing zero-replica validation",
+        },
+        BugSpec {
+            id: "RED-SAH-4",
+            operator: "SAH/RedisOp",
+            category: RecoveryFailure,
+            consequences: &[OperationOutage, ReliabilityIssue],
+            trigger_property: "redis.replicas",
+            trigger: "with the master down the operator performs no operations, including the rollback",
+            blackbox_detectable: true,
+            mirrors: "stability-gate recovery failures",
+        },
+        // ---- TiDBOp: 2 undesired, 1 system error, 1 recovery. ----
+        BugSpec {
+            id: "TIDB-1",
+            operator: "TiDBOp",
+            category: UndesiredState,
+            consequences: &[ResourceIssue],
+            trigger_property: "tikv.resources.requests.cpu",
+            trigger: "tikv resource updates are dropped",
+            blackbox_detectable: true,
+            mirrors: "component-specific propagation gaps",
+        },
+        BugSpec {
+            id: "TIDB-2",
+            operator: "TiDBOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "pd.maxReplicas",
+            trigger: "pd placement configuration changes are not written to the running config",
+            blackbox_detectable: true,
+            mirrors: "config propagation gaps",
+        },
+        BugSpec {
+            id: "TIDB-3",
+            operator: "TiDBOp",
+            category: ErrorStateSystem,
+            consequences: &[SystemFailure, ReliabilityIssue],
+            trigger_property: "binlog.enabled",
+            trigger: "enabling binlog without a pump cluster restarts tidb into a crash loop",
+            blackbox_detectable: true,
+            mirrors: "pingcap/tidb-operator#4945",
+        },
+        BugSpec {
+            id: "TIDB-4",
+            operator: "TiDBOp",
+            category: RecoveryFailure,
+            consequences: &[OperationOutage, ReliabilityIssue],
+            trigger_property: "binlog.enabled",
+            trigger: "the unhealthy cluster cannot be recovered even with a manual revert",
+            blackbox_detectable: true,
+            mirrors: "pingcap/tidb-operator#4946",
+        },
+        // ---- XtraDBOp: 4 undesired, 1 operator error, 1 recovery. ----
+        BugSpec {
+            id: "PXC-1",
+            operator: "XtraDBOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "pxc.labels",
+            trigger: "deleting a pxc label leaves it on pods",
+            blackbox_detectable: true,
+            mirrors: "deletion-path omissions",
+        },
+        BugSpec {
+            id: "PXC-2",
+            operator: "XtraDBOp",
+            category: UndesiredState,
+            consequences: &[ResourceIssue],
+            trigger_property: "proxysql.enabled",
+            trigger: "disabling proxysql leaves the proxy pods running",
+            blackbox_detectable: true,
+            mirrors: "disable-path omissions",
+        },
+        BugSpec {
+            id: "PXC-3",
+            operator: "XtraDBOp",
+            category: UndesiredState,
+            consequences: &[ReliabilityIssue],
+            trigger_property: "backup.storages.@values",
+            trigger: "removing a backup storage destination is ignored",
+            blackbox_detectable: true,
+            mirrors: "map-entry deletion gaps",
+        },
+        BugSpec {
+            id: "PXC-4",
+            operator: "XtraDBOp",
+            category: UndesiredState,
+            consequences: &[ResourceIssue],
+            trigger_property: "pxc.resources.limits.memory",
+            trigger: "resources are honoured only at creation; updates are dropped",
+            blackbox_detectable: true,
+            mirrors: "create-only subresources",
+        },
+        BugSpec {
+            id: "PXC-5",
+            operator: "XtraDBOp",
+            category: ErrorStateOperator,
+            consequences: &[OperationOutage],
+            trigger_property: "backup.schedule",
+            trigger: "an invalid cron expression panics schedule parsing",
+            blackbox_detectable: true,
+            mirrors: "unwrap-on-parse crashes",
+        },
+        BugSpec {
+            id: "PXC-6",
+            operator: "XtraDBOp",
+            category: RecoveryFailure,
+            consequences: &[OperationOutage],
+            trigger_property: "pxc.configuration.@values",
+            trigger: "crash-looping members block the rollback through the stability gate",
+            blackbox_detectable: true,
+            mirrors: "stability-gate recovery failures",
+        },
+        // ---- ZooKeeperOp: 4 undesired, 1 system error (missed by
+        // Acto-blackbox), 1 recovery. ----
+        BugSpec {
+            id: "ZK-1",
+            operator: "ZooKeeperOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "pod.labels",
+            trigger: "deleting a pod label leaves it on pods",
+            blackbox_detectable: true,
+            mirrors: "deletion-path omissions",
+        },
+        BugSpec {
+            id: "ZK-2",
+            operator: "ZooKeeperOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration],
+            trigger_property: "config.quorumListenOnAllIPs",
+            trigger: "the quorumListenOnAllIPs toggle is never written to the config map",
+            blackbox_detectable: true,
+            mirrors: "config propagation gaps",
+        },
+        BugSpec {
+            id: "ZK-3",
+            operator: "ZooKeeperOp",
+            category: UndesiredState,
+            consequences: &[ReliabilityIssue],
+            trigger_property: "domainName",
+            trigger: "domain-name changes never update the client service",
+            blackbox_detectable: true,
+            mirrors: "service propagation gaps",
+        },
+        BugSpec {
+            id: "ZK-4",
+            operator: "ZooKeeperOp",
+            category: UndesiredState,
+            consequences: &[Misconfiguration, ResourceIssue],
+            trigger_property: "persistence.reclaimPolicy",
+            trigger: "reclaim-policy changes after creation are ignored (volumes leak on delete)",
+            blackbox_detectable: true,
+            mirrors: "create-only subresources",
+        },
+        BugSpec {
+            id: "ZK-5",
+            operator: "ZooKeeperOp",
+            category: ErrorStateSystem,
+            consequences: &[SystemFailure],
+            trigger_property: "clientAccess",
+            trigger: "a privileged port (<1024) makes every member crash on bind; only a semantics-driven port scenario reaches it",
+            blackbox_detectable: false,
+            mirrors: "pravega/zookeeper-operator#526-family; the Acto-blackbox miss (paper §6.1)",
+        },
+        BugSpec {
+            id: "ZK-6",
+            operator: "ZooKeeperOp",
+            category: RecoveryFailure,
+            consequences: &[OperationOutage],
+            trigger_property: "extraConfig.@values",
+            trigger: "with the ensemble unhealthy the operator blocks every operation, including rollback",
+            blackbox_detectable: true,
+            mirrors: "paper Figure 2 (pod-migration wedge)",
+        },
+    ];
+    BUGS
+}
+
+/// Looks up one bug spec by id.
+pub fn bug(id: &str) -> Option<&'static BugSpec> {
+    all_bugs().iter().find(|b| b.id == id)
+}
+
+/// Bugs of one operator.
+pub fn bugs_of(operator: &str) -> Vec<&'static BugSpec> {
+    all_bugs()
+        .iter()
+        .filter(|b| b.operator == operator)
+        .collect()
+}
+
+/// Per-campaign toggles: every bug defaults to **injected**; disabling an id
+/// yields the fixed behaviour at that code site.
+#[derive(Debug, Clone, Default)]
+pub struct BugToggles {
+    disabled: BTreeSet<String>,
+}
+
+impl BugToggles {
+    /// All bugs injected (the evaluation configuration).
+    pub fn all_injected() -> BugToggles {
+        BugToggles::default()
+    }
+
+    /// All bugs fixed.
+    pub fn all_fixed() -> BugToggles {
+        BugToggles {
+            disabled: all_bugs().iter().map(|b| b.id.to_string()).collect(),
+        }
+    }
+
+    /// Disables (fixes) one bug.
+    pub fn fix(&mut self, id: &str) {
+        self.disabled.insert(id.to_string());
+    }
+
+    /// Returns `true` when the bug is injected (operator code takes the
+    /// buggy path).
+    pub fn injected(&self, id: &str) -> bool {
+        !self.disabled.contains(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn population_matches_table5_totals() {
+        let bugs = all_bugs();
+        assert_eq!(bugs.len(), 56);
+        let mut by_cat: BTreeMap<BugCategory, usize> = BTreeMap::new();
+        for b in bugs {
+            *by_cat.entry(b.category).or_default() += 1;
+        }
+        assert_eq!(by_cat[&BugCategory::UndesiredState], 32);
+        assert_eq!(by_cat[&BugCategory::ErrorStateSystem], 4);
+        assert_eq!(by_cat[&BugCategory::ErrorStateOperator], 10);
+        assert_eq!(by_cat[&BugCategory::RecoveryFailure], 10);
+    }
+
+    #[test]
+    fn per_operator_counts_match_table5_rows() {
+        let expect: &[(&str, [usize; 4])] = &[
+            ("CassOp", [2, 0, 0, 2]),
+            ("CockroachOp", [3, 0, 2, 0]),
+            ("KnativeOp", [1, 0, 2, 0]),
+            ("OCK/RedisOp", [4, 0, 3, 1]),
+            ("OFC/MongoOp", [3, 1, 2, 2]),
+            ("PCN/MongoOp", [4, 0, 0, 1]),
+            ("RabbitMQOp", [3, 0, 0, 0]),
+            ("SAH/RedisOp", [2, 1, 0, 1]),
+            ("TiDBOp", [2, 1, 0, 1]),
+            ("XtraDBOp", [4, 0, 1, 1]),
+            ("ZooKeeperOp", [4, 1, 0, 1]),
+        ];
+        for (op, [u, s, o, r]) in expect {
+            let bugs = bugs_of(op);
+            let count = |c: BugCategory| bugs.iter().filter(|b| b.category == c).count();
+            assert_eq!(count(BugCategory::UndesiredState), *u, "{op} undesired");
+            assert_eq!(count(BugCategory::ErrorStateSystem), *s, "{op} system");
+            assert_eq!(count(BugCategory::ErrorStateOperator), *o, "{op} operator");
+            assert_eq!(count(BugCategory::RecoveryFailure), *r, "{op} recovery");
+        }
+    }
+
+    #[test]
+    fn consequence_totals_match_table6() {
+        let mut by_con: BTreeMap<Consequence, usize> = BTreeMap::new();
+        for b in all_bugs() {
+            for c in b.consequences {
+                *by_con.entry(*c).or_default() += 1;
+            }
+        }
+        assert_eq!(by_con[&Consequence::SystemFailure], 5);
+        assert_eq!(by_con[&Consequence::ReliabilityIssue], 15);
+        assert_eq!(by_con[&Consequence::SecurityIssue], 2);
+        assert_eq!(by_con[&Consequence::ResourceIssue], 9);
+        assert_eq!(by_con[&Consequence::OperationOutage], 18);
+        assert_eq!(by_con[&Consequence::Misconfiguration], 15);
+    }
+
+    #[test]
+    fn exactly_one_blackbox_miss() {
+        let misses: Vec<&str> = all_bugs()
+            .iter()
+            .filter(|b| !b.blackbox_detectable)
+            .map(|b| b.id)
+            .collect();
+        assert_eq!(misses, vec!["ZK-5"]);
+    }
+
+    #[test]
+    fn ids_are_unique_and_lookup_works() {
+        let mut ids: Vec<&str> = all_bugs().iter().map(|b| b.id).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+        assert_eq!(bug("ZK-5").unwrap().operator, "ZooKeeperOp");
+        assert!(bug("NOPE").is_none());
+    }
+
+    #[test]
+    fn toggles_default_to_injected() {
+        let mut t = BugToggles::all_injected();
+        assert!(t.injected("ZK-1"));
+        t.fix("ZK-1");
+        assert!(!t.injected("ZK-1"));
+        assert!(t.injected("ZK-2"));
+        let fixed = BugToggles::all_fixed();
+        assert!(all_bugs().iter().all(|b| !fixed.injected(b.id)));
+    }
+}

@@ -1,0 +1,302 @@
+//! Reusable CRD schema fragments.
+//!
+//! Real operators embed the same Kubernetes resource subtrees (resources,
+//! affinity, tolerations, probes, …) into their CRDs; Acto's semantic
+//! inference exploits exactly that recurring structure (paper §5.2.2: 83%
+//! of properties map to Kubernetes resources). These constructors are the
+//! single source of those subtrees for all eleven operators.
+
+use crdspec::{Schema, Semantic, Value};
+
+/// Compute resource requirements: `requests`/`limits` maps of quantities.
+pub fn resources_schema() -> Schema {
+    let quantity = || {
+        Schema::string()
+            .format("quantity")
+            .semantic(Semantic::Quantity)
+            .describe("A Kubernetes resource quantity, e.g. 500m or 1Gi.")
+    };
+    let side = || {
+        Schema::object()
+            .prop("cpu", quantity())
+            .prop("memory", quantity())
+    };
+    Schema::object()
+        .prop("requests", side())
+        .prop("limits", side())
+        .semantic(Semantic::Resources)
+        .describe("Compute resources for the main container.")
+}
+
+/// Affinity rules: required node labels plus pod (anti-)affinity terms.
+pub fn affinity_schema() -> Schema {
+    let term = || {
+        Schema::object()
+            .prop("key", Schema::string())
+            .prop("value", Schema::string())
+            .require("key")
+            .require("value")
+    };
+    Schema::object()
+        .prop("nodeRequired", Schema::array(term()))
+        .prop("podAffinity", Schema::array(term()))
+        .prop("podAntiAffinity", Schema::array(term()))
+        .semantic(Semantic::Affinity)
+        .describe("Scheduling affinity constraints.")
+}
+
+/// Taint tolerations.
+pub fn tolerations_schema() -> Schema {
+    Schema::array(
+        Schema::object()
+            .prop("key", Schema::string())
+            .prop("value", Schema::string())
+            .prop("operator", Schema::string_enum(["Equal", "Exists"]))
+            .require("key"),
+    )
+    .semantic(Semantic::Tolerations)
+    .describe("Node taints the pods tolerate.")
+}
+
+/// A node-selector label map.
+pub fn node_selector_schema() -> Schema {
+    Schema::map(Schema::string())
+        .semantic(Semantic::NodeSelector)
+        .describe("Labels a node must carry to host the pods.")
+}
+
+/// Pod/container security context.
+pub fn security_context_schema() -> Schema {
+    Schema::object()
+        .prop("runAsUser", Schema::integer())
+        .prop("runAsNonRoot", Schema::boolean())
+        .prop("readOnlyRootFilesystem", Schema::boolean())
+        .prop("fsGroup", Schema::integer())
+        .semantic(Semantic::SecurityContext)
+        .describe("Security context applied to pods.")
+}
+
+/// Liveness/readiness probe knobs.
+pub fn probe_schema() -> Schema {
+    Schema::object()
+        .prop("initialDelaySeconds", Schema::integer().min(0).max(3600))
+        .prop("periodSeconds", Schema::integer().min(1).max(3600))
+        .prop("failureThreshold", Schema::integer().min(1).max(100))
+        .semantic(Semantic::Probe)
+        .describe("Health-probe configuration.")
+}
+
+/// Persistent storage configuration.
+pub fn persistence_schema() -> Schema {
+    Schema::object()
+        .prop(
+            "enabled",
+            Schema::boolean()
+                .semantic(Semantic::Toggle)
+                .default_value(Value::Bool(true)),
+        )
+        .prop(
+            "size",
+            Schema::string()
+                .format("quantity")
+                .semantic(Semantic::StorageSize),
+        )
+        .prop(
+            "storageClass",
+            Schema::string().semantic(Semantic::StorageClass),
+        )
+        .prop("reclaimPolicy", Schema::string_enum(["Retain", "Delete"]))
+        .describe("Persistent volume configuration.")
+}
+
+/// Service exposure.
+pub fn service_schema() -> Schema {
+    Schema::object()
+        .prop(
+            "type",
+            Schema::string_enum(["ClusterIP", "NodePort", "LoadBalancer"])
+                .semantic(Semantic::ServiceType),
+        )
+        .prop(
+            "port",
+            Schema::integer().min(1).max(65535).semantic(Semantic::Port),
+        )
+        .describe("Client service exposure.")
+}
+
+/// Backup policy with the conventional `enabled` toggle.
+pub fn backup_schema() -> Schema {
+    Schema::object()
+        .prop(
+            "enabled",
+            Schema::boolean()
+                .semantic(Semantic::Toggle)
+                .default_value(Value::Bool(false)),
+        )
+        .prop(
+            "schedule",
+            Schema::string().format("cron").semantic(Semantic::Schedule),
+        )
+        .prop("destination", Schema::string())
+        .semantic(Semantic::Backup)
+        .describe("Scheduled backup policy.")
+}
+
+/// Pod disruption budget with the conventional `enabled` toggle.
+pub fn pdb_schema() -> Schema {
+    Schema::object()
+        .prop(
+            "enabled",
+            Schema::boolean()
+                .semantic(Semantic::Toggle)
+                .default_value(Value::Bool(false)),
+        )
+        .prop(
+            "minAvailable",
+            Schema::integer()
+                .min(0)
+                .max(100)
+                .semantic(Semantic::PodDisruptionBudget),
+        )
+        .describe("Disruption budget for managed pods.")
+}
+
+/// TLS configuration with the conventional `enabled` toggle.
+pub fn tls_schema() -> Schema {
+    Schema::object()
+        .prop(
+            "enabled",
+            Schema::boolean()
+                .semantic(Semantic::Toggle)
+                .default_value(Value::Bool(false)),
+        )
+        .prop("secretName", Schema::string().semantic(Semantic::SecretRef))
+        .semantic(Semantic::Tls)
+        .describe("TLS for client and peer traffic.")
+}
+
+/// An image reference. Deliberately unconstrained beyond being a string —
+/// operators are expected to validate it (CockroachOp famously did not).
+pub fn image_schema() -> Schema {
+    Schema::string()
+        .semantic(Semantic::Image)
+        .describe("Container image reference, repo:tag.")
+}
+
+/// The standard pod-template fragment embedded by every operator.
+pub fn pod_template_schema() -> Schema {
+    Schema::object()
+        .prop(
+            "labels",
+            Schema::map(Schema::string()).semantic(Semantic::Labels),
+        )
+        .prop(
+            "annotations",
+            Schema::map(Schema::string()).semantic(Semantic::Annotations),
+        )
+        .prop("resources", resources_schema())
+        .prop("affinity", affinity_schema())
+        .prop("tolerations", tolerations_schema())
+        .prop("nodeSelector", node_selector_schema())
+        .prop("securityContext", security_context_schema())
+        .prop(
+            "priorityClassName",
+            Schema::string().semantic(Semantic::PriorityClass),
+        )
+        .prop(
+            "serviceAccountName",
+            Schema::string().semantic(Semantic::ServiceAccount),
+        )
+        .prop(
+            "env",
+            Schema::map(Schema::string()).semantic(Semantic::EnvVars),
+        )
+        .prop("livenessProbe", probe_schema())
+        .prop("readinessProbe", probe_schema())
+        .describe("Pod-level scheduling and runtime settings.")
+}
+
+/// The standard pod-template fragment minus the named child properties —
+/// for operators that expose those knobs as dedicated top-level fields
+/// (leaving both would make one of them dead weight in the interface).
+pub fn pod_template_schema_without(excluded: &[&str]) -> Schema {
+    let full = pod_template_schema();
+    let mut out = Schema::object().describe("Pod-level scheduling and runtime settings.");
+    if let crdspec::SchemaKind::Object { properties, .. } = full.kind {
+        for (name, child) in properties {
+            if !excluded.contains(&name.as_str()) {
+                out = out.prop(&name, child);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdspec::validate;
+
+    #[test]
+    fn fragments_have_semantics_for_inference() {
+        assert_eq!(resources_schema().semantic, Some(Semantic::Resources));
+        assert_eq!(affinity_schema().semantic, Some(Semantic::Affinity));
+        assert_eq!(backup_schema().semantic, Some(Semantic::Backup));
+        let tpl = pod_template_schema();
+        assert!(tpl.property_count() >= 30, "template should be rich");
+    }
+
+    #[test]
+    fn resources_fragment_validates_quantities_structurally() {
+        let schema = resources_schema();
+        let ok = Value::object([("requests", Value::object([("cpu", Value::from("500m"))]))]);
+        assert!(validate(&schema, &ok).is_empty());
+        let unknown = Value::object([("requestz", Value::empty_object())]);
+        assert_eq!(validate(&schema, &unknown).len(), 1);
+    }
+
+    #[test]
+    fn service_ports_are_bounded() {
+        let schema = service_schema();
+        let bad = Value::object([("port", Value::from(0))]);
+        assert_eq!(validate(&schema, &bad).len(), 1);
+        let ok = Value::object([
+            ("port", Value::from(5432)),
+            ("type", Value::from("NodePort")),
+        ]);
+        assert!(validate(&schema, &ok).is_empty());
+    }
+
+    #[test]
+    fn pod_template_accepts_standard_values() {
+        let schema = pod_template_schema();
+        let v = Value::object([
+            (
+                "affinity",
+                Value::object([(
+                    "podAntiAffinity",
+                    Value::array([Value::object([
+                        ("key", Value::from("app")),
+                        ("value", Value::from("zk")),
+                    ])]),
+                )]),
+            ),
+            (
+                "tolerations",
+                Value::array([Value::object([
+                    ("key", Value::from("dedicated")),
+                    ("operator", Value::from("Exists")),
+                ])]),
+            ),
+            (
+                "securityContext",
+                Value::object([("runAsUser", Value::from(1000))]),
+            ),
+        ]);
+        assert!(
+            validate(&schema, &v).is_empty(),
+            "{:?}",
+            validate(&schema, &v)
+        );
+    }
+}

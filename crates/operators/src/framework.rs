@@ -1,0 +1,502 @@
+//! The operator framework: the [`Operator`] trait and the [`Instance`]
+//! harness that deploys an operator with its managed system on a simulated
+//! cluster.
+//!
+//! An [`Instance`] corresponds to what Acto's manifest input deploys
+//! (paper §4 "Usage"): the operator under test, its CRD, and the managed
+//! system, all running against one cluster. The harness drives the
+//! level-triggered reconcile loop, records operator panics as crash loops,
+//! reflects managed-system health into state objects, and implements the
+//! paper's reset-timer convergence.
+
+use crdspec::{Schema, Value};
+use managed::{Health, SystemModel, SystemView};
+use opdsl::IrModule;
+use simkube::cluster::LogLevel;
+use simkube::objects::Kind;
+use simkube::platform::SHARED_OBJECT_PAYLOAD_LIMIT;
+use simkube::store::ObjKey;
+use simkube::{ApiError, ClusterConfig, PlatformBugs, SimCluster};
+
+use crate::bugs::BugToggles;
+
+/// Failure modes of a reconcile invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OperatorError {
+    /// The operator process crashed (Go panic equivalent). The harness
+    /// restarts it; the same declaration crashes it again.
+    Panic(String),
+    /// A retriable error; reconciliation continues next tick.
+    Transient(String),
+}
+
+/// An operator under test.
+pub trait Operator: Send {
+    /// Registry name (Table 4), e.g. `"ZooKeeperOp"`.
+    fn name(&self) -> &'static str;
+
+    /// The managed system's name (matches [`managed::model_for`]).
+    fn system(&self) -> &'static str;
+
+    /// The CRD kind, e.g. `"ZookeeperCluster"`.
+    fn kind(&self) -> &'static str;
+
+    /// The CRD spec schema — the operation interface Acto consumes.
+    fn schema(&self) -> Schema;
+
+    /// The property-plumbing IR analyzed by Acto's whitebox mode.
+    fn ir(&self) -> IrModule;
+
+    /// The initial desired-state declaration (the seed CR every campaign
+    /// starts from).
+    fn initial_cr(&self) -> Value;
+
+    /// Images the operator deploys (registered in the cluster's catalog).
+    fn images(&self) -> Vec<String>;
+
+    /// One reconcile pass: drive the cluster toward the declared state.
+    ///
+    /// `health` is the managed system's current health (operators commonly
+    /// gate operations on it — the double-edged practice behind the
+    /// paper's recovery-failure bugs).
+    fn reconcile(
+        &mut self,
+        cr: &Value,
+        health: &Health,
+        cluster: &mut SimCluster,
+        bugs: &BugToggles,
+    ) -> Result<(), OperatorError>;
+}
+
+/// A deployed operator + managed system on a simulated cluster.
+pub struct Instance {
+    /// The simulated cluster.
+    pub cluster: SimCluster,
+    operator: Box<dyn Operator>,
+    model: Box<dyn SystemModel>,
+    bugs: BugToggles,
+    /// Namespace the instance runs in.
+    pub namespace: String,
+    /// CR (and application) name.
+    pub name: String,
+    /// Times the operator process was restarted after a panic.
+    pub operator_restarts: u32,
+    /// Generation of the declaration that crashed the operator, while the
+    /// crash loop persists.
+    crashed_generation: Option<u64>,
+    /// Latest managed-system health.
+    pub last_health: Health,
+}
+
+/// Namespace every instance is deployed into.
+pub const NAMESPACE: &str = "acto";
+
+/// Name of the CR (and application) under test.
+pub const INSTANCE: &str = "test-cluster";
+
+/// Default reset-timer for convergence, in simulated seconds (the paper
+/// uses three times the system restart time; pod start+ready is 5s here).
+pub const CONVERGE_RESET: u64 = 15;
+
+/// Default convergence budget, in simulated seconds.
+pub const CONVERGE_MAX: u64 = 600;
+
+impl Instance {
+    /// Deploys `operator` on a fresh cluster: registers the CRD and images,
+    /// creates the initial CR, and converges to the initial state.
+    pub fn deploy(
+        operator: Box<dyn Operator>,
+        bugs: BugToggles,
+        platform: PlatformBugs,
+    ) -> Result<Instance, ApiError> {
+        let mut cluster = SimCluster::new(ClusterConfig {
+            bugs: platform,
+            ..ClusterConfig::default()
+        });
+        for image in operator.images() {
+            cluster.add_image(&image);
+        }
+        cluster
+            .api_mut()
+            .register_crd(operator.kind(), operator.schema());
+        let namespace = NAMESPACE.to_string();
+        let name = INSTANCE.to_string();
+        let model = managed::model_for(operator.system());
+        cluster.api_mut().create_custom(
+            &namespace,
+            &name,
+            operator.kind(),
+            operator.initial_cr(),
+            0,
+        )?;
+        let mut instance = Instance {
+            cluster,
+            operator,
+            model,
+            bugs,
+            namespace,
+            name,
+            operator_restarts: 0,
+            crashed_generation: None,
+            last_health: Health::Down("not yet deployed".to_string()),
+        };
+        instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+        Ok(instance)
+    }
+
+    /// The key of the CR object.
+    pub fn cr_key(&self) -> ObjKey {
+        ObjKey::new(
+            Kind::Custom(self.operator.kind().to_string()),
+            &self.namespace,
+            &self.name,
+        )
+    }
+
+    /// The current CR spec.
+    pub fn cr_spec(&self) -> Value {
+        match self.cluster.api().get(&self.cr_key()) {
+            Some(obj) => obj.data.spec_value(),
+            None => Value::Null,
+        }
+    }
+
+    /// The current CR status.
+    pub fn cr_status(&self) -> Value {
+        match self.cluster.api().get(&self.cr_key()) {
+            Some(obj) => obj.data.status_value(),
+            None => Value::Null,
+        }
+    }
+
+    /// The operator under test.
+    pub fn operator(&self) -> &dyn Operator {
+        self.operator.as_ref()
+    }
+
+    /// The active bug toggles.
+    pub fn bugs(&self) -> &BugToggles {
+        &self.bugs
+    }
+
+    /// Submits a new desired-state declaration.
+    pub fn submit(&mut self, spec: Value) -> Result<(), ApiError> {
+        let time = self.cluster.now();
+        self.cluster.api_mut().update_custom(
+            &self.namespace,
+            &self.name,
+            self.operator.kind(),
+            spec,
+            time,
+        )
+    }
+
+    /// Returns `true` while the operator is in a panic crash loop.
+    pub fn operator_crashed(&self) -> bool {
+        self.crashed_generation.is_some()
+    }
+
+    /// Advances the world one simulated second: cluster controllers, the
+    /// managed-system model, and one operator reconcile pass.
+    pub fn tick(&mut self) {
+        self.cluster.step();
+        // Managed-system model observes and may inject crash loops.
+        let health = {
+            let mut view = SystemView::new(&mut self.cluster, &self.namespace, &self.name);
+            self.model.tick(&mut view)
+        };
+        self.last_health = health.clone();
+        // Reflect runtime health into the CR status (the monitoring path
+        // Acto's error oracle reads from state objects).
+        let health_str = match &health {
+            Health::Healthy => "Healthy".to_string(),
+            Health::Degraded(r) => format!("Degraded: {r}"),
+            Health::Down(r) => format!("Down: {r}"),
+        };
+        let key = self.cr_key();
+        let Some(cr_obj) = self.cluster.api().get(&key) else {
+            return;
+        };
+        let generation = cr_obj.meta.generation;
+        let spec = cr_obj.data.spec_value();
+        let mut status = cr_obj.data.status_value();
+        if status.get("systemHealth").and_then(Value::as_str) != Some(health_str.as_str()) {
+            status.set_path(
+                &"systemHealth".parse().expect("path"),
+                Value::from(health_str),
+            );
+            let time = self.cluster.now();
+            let _ = self
+                .cluster
+                .api_mut()
+                .update_custom_status(&key, status, time);
+        }
+        // Operator crash-loop: the offending declaration keeps crashing the
+        // restarted process until a new declaration arrives.
+        if let Some(crashed_gen) = self.crashed_generation {
+            if crashed_gen == generation {
+                return;
+            }
+            self.crashed_generation = None;
+            self.operator_restarts += 1;
+        }
+        // PLAT-3: oversized payloads crash the operator runtime itself.
+        if self.cluster.api().bugs().shared_object_crash {
+            let payload = crdspec::json::to_string(&spec);
+            if payload.len() > SHARED_OBJECT_PAYLOAD_LIMIT {
+                self.record_panic(
+                    generation,
+                    "PLAT-3: declaration payload exceeds shared-object limit".to_string(),
+                );
+                return;
+            }
+        }
+        let result = self
+            .operator
+            .reconcile(&spec, &health, &mut self.cluster, &self.bugs);
+        match result {
+            Ok(()) => {}
+            Err(OperatorError::Transient(msg)) => {
+                let source = self.operator.name();
+                self.cluster.log(LogLevel::Error, source, msg);
+            }
+            Err(OperatorError::Panic(msg)) => {
+                self.record_panic(generation, msg);
+            }
+        }
+    }
+
+    fn record_panic(&mut self, generation: u64, msg: String) {
+        let first = self.crashed_generation != Some(generation);
+        self.crashed_generation = Some(generation);
+        if first {
+            let source = self.operator.name();
+            self.cluster
+                .log(LogLevel::Panic, source, format!("panic: {msg}"));
+        }
+    }
+
+    /// Runs [`Instance::tick`] until no state event occurs for
+    /// `reset_timeout` seconds (paper §5.5), or until `max_seconds` pass.
+    pub fn converge(&mut self, reset_timeout: u64, max_seconds: u64) -> bool {
+        let start = self.cluster.now();
+        let mut last_event_time = start;
+        let mut last_revision = self.cluster.api().store().revision();
+        while self.cluster.now() - start < max_seconds {
+            self.tick();
+            let revision = self.cluster.api().store().revision();
+            if revision != last_revision {
+                last_revision = revision;
+                last_event_time = self.cluster.now();
+            } else if self.cluster.now() - last_event_time >= reset_timeout {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Pods of the instance's namespace that carry an explicit failure
+    /// reason, as `(name, phase, ready, reason)`.
+    pub fn pod_failures(&self) -> Vec<(String, simkube::objects::PodPhase, bool, String)> {
+        self.cluster
+            .pod_summaries(&self.namespace)
+            .into_iter()
+            .filter(|(_, _, _, reason)| !reason.is_empty())
+            .collect()
+    }
+
+    /// Snapshot of all state objects rendered as values, keyed by
+    /// `kind/namespace/name` — the uniform system-state view Acto's oracles
+    /// compare.
+    pub fn state_snapshot(&self) -> std::collections::BTreeMap<String, Value> {
+        self.cluster
+            .api()
+            .store()
+            .iter()
+            .map(|(k, o)| {
+                (
+                    format!("{}/{}/{}", k.kind.name(), k.namespace, k.name),
+                    o.to_value(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crdspec::Schema;
+    use opdsl::IrBuilder;
+    use simkube::meta::LabelSelector;
+    use simkube::meta::ObjectMeta;
+    use simkube::objects::{Container, ObjectData, PodTemplate, StatefulSet};
+
+    /// A minimal operator managing a fake "zookeeper" with one knob.
+    struct ToyOperator;
+
+    impl Operator for ToyOperator {
+        fn name(&self) -> &'static str {
+            "ToyOp"
+        }
+        fn system(&self) -> &'static str {
+            "zookeeper"
+        }
+        fn kind(&self) -> &'static str {
+            "ToyCluster"
+        }
+        fn schema(&self) -> Schema {
+            Schema::object()
+                .prop("replicas", Schema::integer().min(0).max(9))
+                .prop("boom", Schema::boolean())
+        }
+        fn ir(&self) -> IrModule {
+            let mut b = IrBuilder::new("toy");
+            b.passthrough("replicas", "sts.replicas");
+            b.ret();
+            b.finish()
+        }
+        fn initial_cr(&self) -> Value {
+            Value::object([("replicas", Value::from(2))])
+        }
+        fn images(&self) -> Vec<String> {
+            vec!["zk:3.8".to_string()]
+        }
+        fn reconcile(
+            &mut self,
+            cr: &Value,
+            _health: &Health,
+            cluster: &mut SimCluster,
+            _bugs: &BugToggles,
+        ) -> Result<(), OperatorError> {
+            if cr.get("boom").and_then(Value::as_bool) == Some(true) {
+                return Err(OperatorError::Panic("boom requested".to_string()));
+            }
+            let replicas = cr.get("replicas").and_then(Value::as_i64).unwrap_or(1) as i32;
+            let sts = StatefulSet {
+                replicas,
+                selector: LabelSelector::match_labels([("app", "test-cluster")]),
+                template: PodTemplate {
+                    labels: [("app".to_string(), "test-cluster".to_string())]
+                        .into_iter()
+                        .collect(),
+                    containers: vec![Container {
+                        name: "zk".to_string(),
+                        image: "zk:3.8".to_string(),
+                        ..Container::default()
+                    }],
+                    ..PodTemplate::default()
+                },
+                service_name: "test-cluster".to_string(),
+                ..StatefulSet::default()
+            };
+            let time = cluster.now();
+            cluster
+                .api_mut()
+                .apply_object(
+                    ObjectMeta::named("acto", "test-cluster"),
+                    ObjectData::StatefulSet(sts),
+                    time,
+                )
+                .map_err(|e| OperatorError::Transient(e.to_string()))?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn deploy_converges_to_initial_state() {
+        let instance = Instance::deploy(
+            Box::new(ToyOperator),
+            BugToggles::all_injected(),
+            PlatformBugs::none(),
+        )
+        .unwrap();
+        let pods = instance.cluster.pod_summaries("acto");
+        assert_eq!(pods.len(), 2);
+        assert!(instance.last_health.is_healthy());
+        assert_eq!(
+            instance
+                .cr_status()
+                .get("systemHealth")
+                .and_then(Value::as_str),
+            Some("Healthy")
+        );
+    }
+
+    #[test]
+    fn submit_and_reconverge_scales() {
+        let mut instance = Instance::deploy(
+            Box::new(ToyOperator),
+            BugToggles::all_injected(),
+            PlatformBugs::none(),
+        )
+        .unwrap();
+        instance
+            .submit(Value::object([("replicas", Value::from(4))]))
+            .unwrap();
+        assert!(instance.converge(CONVERGE_RESET, CONVERGE_MAX));
+        assert_eq!(instance.cluster.pod_summaries("acto").len(), 4);
+    }
+
+    #[test]
+    fn panic_enters_crash_loop_until_new_declaration() {
+        let mut instance = Instance::deploy(
+            Box::new(ToyOperator),
+            BugToggles::all_injected(),
+            PlatformBugs::none(),
+        )
+        .unwrap();
+        instance
+            .submit(Value::object([
+                ("replicas", Value::from(2)),
+                ("boom", Value::from(true)),
+            ]))
+            .unwrap();
+        instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+        assert!(instance.operator_crashed());
+        assert!(instance
+            .cluster
+            .logs()
+            .iter()
+            .any(|l| l.level == LogLevel::Panic));
+        // A corrected declaration restarts the operator.
+        instance
+            .submit(Value::object([("replicas", Value::from(3))]))
+            .unwrap();
+        assert!(instance.converge(CONVERGE_RESET, CONVERGE_MAX));
+        assert!(!instance.operator_crashed());
+        assert_eq!(instance.operator_restarts, 1);
+        assert_eq!(instance.cluster.pod_summaries("acto").len(), 3);
+    }
+
+    #[test]
+    fn invalid_declaration_rejected_at_api() {
+        let mut instance = Instance::deploy(
+            Box::new(ToyOperator),
+            BugToggles::all_injected(),
+            PlatformBugs::none(),
+        )
+        .unwrap();
+        let err = instance
+            .submit(Value::object([("replicas", Value::from(99))]))
+            .unwrap_err();
+        assert!(matches!(err, ApiError::ValidationFailed(_)));
+    }
+
+    #[test]
+    fn state_snapshot_is_uniform() {
+        let instance = Instance::deploy(
+            Box::new(ToyOperator),
+            BugToggles::all_injected(),
+            PlatformBugs::none(),
+        )
+        .unwrap();
+        let snap = instance.state_snapshot();
+        assert!(snap.keys().any(|k| k.starts_with("Pod/acto/")));
+        assert!(snap.keys().any(|k| k.starts_with("ToyCluster/acto/")));
+        for v in snap.values() {
+            assert!(v.get("spec").is_some());
+            assert!(v.get("metadata").is_some());
+        }
+    }
+}

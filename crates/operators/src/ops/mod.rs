@@ -1,0 +1,13 @@
+//! The eleven evaluated operators.
+
+pub mod cassandra;
+pub mod cockroach;
+pub mod knative;
+pub mod mongodb_ofc;
+pub mod mongodb_pcn;
+pub mod rabbitmq;
+pub mod redis_ock;
+pub mod redis_sah;
+pub mod tidb;
+pub mod xtradb;
+pub mod zookeeper;

@@ -1,0 +1,695 @@
+//! The API server: validated, versioned access to the object store.
+//!
+//! Operators and Acto interact with the cluster exclusively through this
+//! layer, which enforces name rules, CRD schema validation, declaration
+//! admission, and selector immutability — and hosts two of the simulated
+//! platform bugs (PLAT-2 validation mismatch, PLAT-5 selector mutation).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crdspec::{Schema, SchemaKind, Value};
+
+use crate::meta::{validate_name, ObjectMeta};
+use crate::objects::{Kind, ObjectData, StoredObject};
+use crate::platform::{PlatformBugs, ANNOTATION_TRUNCATION_LIMIT};
+use crate::quantity::Quantity;
+use crate::store::{ObjKey, ObjectStore, WatchEvent};
+
+/// Errors surfaced by API operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// The object name violates DNS-1123 rules.
+    InvalidName(String),
+    /// The declaration failed schema validation.
+    ValidationFailed(Vec<String>),
+    /// An admission rule rejected the request.
+    AdmissionDenied(String),
+    /// The target object does not exist.
+    NotFound(String),
+    /// An object with the same key already exists.
+    AlreadyExists(String),
+    /// The CRD kind is not registered.
+    UnknownKind(String),
+    /// An immutable field was modified.
+    Immutable(String),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::InvalidName(m) => write!(f, "invalid name: {m}"),
+            ApiError::ValidationFailed(errs) => {
+                write!(f, "validation failed: {}", errs.join("; "))
+            }
+            ApiError::AdmissionDenied(m) => write!(f, "admission denied: {m}"),
+            ApiError::NotFound(m) => write!(f, "not found: {m}"),
+            ApiError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            ApiError::UnknownKind(m) => write!(f, "unknown kind: {m}"),
+            ApiError::Immutable(m) => write!(f, "field is immutable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// An admission webhook: inspects a custom-resource declaration before it is
+/// persisted. Returning `Err` rejects the request.
+pub type AdmissionHook = fn(&Value) -> Result<(), String>;
+
+/// The API server.
+///
+/// # Examples
+///
+/// ```
+/// use simkube::{ApiServer, PlatformBugs};
+/// use crdspec::{Schema, Value};
+///
+/// let mut api = ApiServer::new(PlatformBugs::none());
+/// api.register_crd("Widget", Schema::object().prop("size", Schema::integer().min(0)));
+/// api.create_custom("default", "w", "Widget", Value::object([("size", Value::from(2))]), 0)
+///     .unwrap();
+/// assert!(api
+///     .create_custom("default", "w2", "Widget", Value::object([("size", Value::from(-1))]), 0)
+///     .is_err());
+/// ```
+#[derive(Debug)]
+pub struct ApiServer {
+    store: ObjectStore,
+    crds: BTreeMap<String, Schema>,
+    admission: BTreeMap<String, Vec<AdmissionHook>>,
+    bugs: PlatformBugs,
+}
+
+impl ApiServer {
+    /// Creates an API server over an empty store.
+    pub fn new(bugs: PlatformBugs) -> ApiServer {
+        ApiServer {
+            store: ObjectStore::new(),
+            crds: BTreeMap::new(),
+            admission: BTreeMap::new(),
+            bugs,
+        }
+    }
+
+    /// The active platform-bug configuration.
+    pub fn bugs(&self) -> PlatformBugs {
+        self.bugs
+    }
+
+    /// Read-only access to the underlying store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Mutable access to the store for controllers (which bypass admission,
+    /// as Kubernetes built-in controllers do).
+    pub fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+
+    /// Registers a CRD kind with its spec schema.
+    pub fn register_crd(&mut self, kind: &str, schema: Schema) {
+        self.crds.insert(kind.to_string(), schema);
+    }
+
+    /// Returns the registered schema for a CRD kind.
+    pub fn crd_schema(&self, kind: &str) -> Option<&Schema> {
+        self.crds.get(kind)
+    }
+
+    /// Registers an admission webhook for a CRD kind.
+    pub fn register_admission(&mut self, kind: &str, hook: AdmissionHook) {
+        self.admission
+            .entry(kind.to_string())
+            .or_default()
+            .push(hook);
+    }
+
+    /// Validates a CR spec against the registered schema, including
+    /// format-specific checks (quantities, durations).
+    fn validate_cr(&self, kind: &str, spec: &Value) -> Result<(), ApiError> {
+        let schema = self
+            .crds
+            .get(kind)
+            .ok_or_else(|| ApiError::UnknownKind(kind.to_string()))?;
+        let mut errors: Vec<String> = crdspec::validate(schema, spec)
+            .into_iter()
+            .map(|e| e.to_string())
+            .collect();
+        // Format checks on string leaves. Under PLAT-2, the declaration
+        // validation uses a looser regex than the unmarshaller, so malformed
+        // quantities pass admission and reach operator code.
+        let mut visit_errors = Vec::new();
+        schema.walk(&crdspec::Path::root(), &mut |path, node| {
+            if let SchemaKind::String {
+                format: Some(f), ..
+            } = &node.kind
+            {
+                if f == "quantity" {
+                    // Check every concrete value reachable at this schema
+                    // path (maps/arrays may hold several).
+                    for (vpath, v) in values_at(spec, path) {
+                        if let Some(s) = v.as_str() {
+                            let ok = if self.bugs.quantity_validation_mismatch {
+                                loose_quantity_regex(s)
+                            } else {
+                                s.parse::<Quantity>().is_ok()
+                            };
+                            if !ok {
+                                visit_errors
+                                    .push(format!("{vpath}: {s:?} is not a valid quantity"));
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        errors.extend(visit_errors);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(ApiError::ValidationFailed(errors))
+        }
+    }
+
+    /// Creates a custom resource.
+    pub fn create_custom(
+        &mut self,
+        namespace: &str,
+        name: &str,
+        kind: &str,
+        spec: Value,
+        time: u64,
+    ) -> Result<ObjKey, ApiError> {
+        validate_name(name).map_err(ApiError::InvalidName)?;
+        self.validate_cr(kind, &spec)?;
+        for hook in self.admission.get(kind).into_iter().flatten() {
+            hook(&spec).map_err(ApiError::AdmissionDenied)?;
+        }
+        self.store
+            .create(
+                ObjectMeta::named(namespace, name),
+                ObjectData::Custom {
+                    kind: kind.to_string(),
+                    spec,
+                    status: Value::empty_object(),
+                },
+                time,
+            )
+            .map_err(ApiError::AlreadyExists)
+    }
+
+    /// Replaces the spec of an existing custom resource (a new desired-state
+    /// declaration).
+    pub fn update_custom(
+        &mut self,
+        namespace: &str,
+        name: &str,
+        kind: &str,
+        spec: Value,
+        time: u64,
+    ) -> Result<(), ApiError> {
+        self.validate_cr(kind, &spec)?;
+        for hook in self.admission.get(kind).into_iter().flatten() {
+            hook(&spec).map_err(ApiError::AdmissionDenied)?;
+        }
+        let key = ObjKey::new(Kind::Custom(kind.to_string()), namespace, name);
+        if self.store.get(&key).is_none() {
+            return Err(ApiError::NotFound(format!("{kind} {namespace}/{name}")));
+        }
+        self.store
+            .update_with(&key, time, |obj| {
+                if let ObjectData::Custom { spec: s, .. } = &mut obj.data {
+                    *s = spec;
+                }
+            })
+            .map_err(ApiError::NotFound)
+    }
+
+    /// Writes the status subresource of a custom resource.
+    pub fn update_custom_status(
+        &mut self,
+        key: &ObjKey,
+        status: Value,
+        time: u64,
+    ) -> Result<(), ApiError> {
+        self.store
+            .update_with(key, time, |obj| {
+                if let ObjectData::Custom { status: s, .. } = &mut obj.data {
+                    *s = status;
+                }
+            })
+            .map_err(ApiError::NotFound)
+    }
+
+    /// Creates a typed (built-in) object, applying metadata hygiene.
+    pub fn create_object(
+        &mut self,
+        mut meta: ObjectMeta,
+        data: ObjectData,
+        time: u64,
+    ) -> Result<ObjKey, ApiError> {
+        validate_name(&meta.name).map_err(ApiError::InvalidName)?;
+        self.truncate_annotations(&mut meta);
+        self.store
+            .create(meta, data, time)
+            .map_err(ApiError::AlreadyExists)
+    }
+
+    /// Upserts a typed object: creates it when missing, otherwise replaces
+    /// its payload (enforcing selector immutability on workloads unless
+    /// PLAT-5 is active). Labels and annotations in `meta` are applied on
+    /// update as well.
+    pub fn apply_object(
+        &mut self,
+        mut meta: ObjectMeta,
+        data: ObjectData,
+        time: u64,
+    ) -> Result<ObjKey, ApiError> {
+        let key = ObjKey::new(data.kind(), &meta.namespace, &meta.name);
+        self.truncate_annotations(&mut meta);
+        if self.store.get(&key).is_none() {
+            return self.create_object(meta, data, time);
+        }
+        if !self.bugs.selector_mutation_allowed {
+            let existing = self.store.get(&key).expect("checked above");
+            let old_sel = selector_of(&existing.data);
+            let new_sel = selector_of(&data);
+            if let (Some(old), Some(new)) = (old_sel, new_sel) {
+                if old != new {
+                    return Err(ApiError::Immutable(format!(
+                        "{} {}/{} selector",
+                        key.kind.name(),
+                        key.namespace,
+                        key.name
+                    )));
+                }
+            }
+        }
+        self.store
+            .update_with(&key, time, |obj| {
+                let mut data = data;
+                preserve_status(&obj.data, &mut data);
+                obj.data = data;
+                // Merge semantics for identifying metadata: apply adds or
+                // overwrites the keys it names and leaves others (e.g.
+                // controller-stamped annotations) in place.
+                for (k, v) in &meta.labels {
+                    obj.meta.labels.insert(k.clone(), v.clone());
+                }
+                for (k, v) in &meta.annotations {
+                    obj.meta.annotations.insert(k.clone(), v.clone());
+                }
+                if !meta.owner_references.is_empty() {
+                    obj.meta.owner_references = meta.owner_references.clone();
+                }
+            })
+            .map_err(ApiError::NotFound)?;
+        Ok(key)
+    }
+
+    fn truncate_annotations(&self, meta: &mut ObjectMeta) {
+        if self.bugs.annotation_truncation {
+            for v in meta.annotations.values_mut() {
+                if v.len() > ANNOTATION_TRUNCATION_LIMIT {
+                    // PLAT-4: silent truncation at the limit.
+                    v.truncate(ANNOTATION_TRUNCATION_LIMIT);
+                }
+            }
+        }
+    }
+
+    /// Deletes an object.
+    pub fn delete_object(&mut self, key: &ObjKey, time: u64) -> Result<StoredObject, ApiError> {
+        self.store
+            .delete(key, time)
+            .ok_or_else(|| ApiError::NotFound(format!("{:?}", key)))
+    }
+
+    /// Fetches an object.
+    pub fn get(&self, key: &ObjKey) -> Option<&StoredObject> {
+        self.store.get(key)
+    }
+
+    /// Lists objects of a kind in a namespace.
+    pub fn list(&self, kind: &Kind, namespace: &str) -> Vec<&StoredObject> {
+        self.store.list(kind, namespace)
+    }
+
+    /// Watch events after a given revision.
+    pub fn events_since(&self, revision: u64) -> &[WatchEvent] {
+        self.store.events_since(revision)
+    }
+}
+
+/// Copies controller-owned status fields from the stored object into a
+/// replacement payload, emulating the status subresource: writers of the
+/// spec cannot clobber status.
+fn preserve_status(old: &ObjectData, new: &mut ObjectData) {
+    match (old, new) {
+        (ObjectData::StatefulSet(o), ObjectData::StatefulSet(n)) => {
+            n.ready_replicas = o.ready_replicas;
+            n.observed_generation = o.observed_generation;
+        }
+        (ObjectData::Deployment(o), ObjectData::Deployment(n)) => {
+            n.ready_replicas = o.ready_replicas;
+            n.observed_generation = o.observed_generation;
+        }
+        (ObjectData::Service(o), ObjectData::Service(n)) => {
+            n.endpoints = o.endpoints.clone();
+        }
+        (ObjectData::PersistentVolumeClaim(o), ObjectData::PersistentVolumeClaim(n)) => {
+            n.phase = o.phase;
+        }
+        (ObjectData::PodDisruptionBudget(o), ObjectData::PodDisruptionBudget(n)) => {
+            n.current_healthy = o.current_healthy;
+        }
+        (ObjectData::Pod(o), ObjectData::Pod(n)) => {
+            n.phase = o.phase;
+            n.ready = o.ready;
+            n.node_name = o.node_name.clone();
+            n.reason = o.reason.clone();
+            n.restarts = o.restarts;
+            n.phase_since = o.phase_since;
+        }
+        (ObjectData::Custom { status: o, .. }, ObjectData::Custom { status: n, .. }) => {
+            *n = o.clone();
+        }
+        _ => {}
+    }
+}
+
+/// Extracts the selector of workload objects for immutability enforcement.
+fn selector_of(data: &ObjectData) -> Option<&crate::meta::LabelSelector> {
+    match data {
+        ObjectData::StatefulSet(s) => Some(&s.selector),
+        ObjectData::Deployment(d) => Some(&d.selector),
+        _ => None,
+    }
+}
+
+/// The loose validation regex of PLAT-2: accepts any sign/digit/dot/exponent
+/// soup with an optional suffix, including strings the parser rejects
+/// (`"1e"`, `"1.2.3Mi"`).
+fn loose_quantity_regex(s: &str) -> bool {
+    if s.is_empty() {
+        return false;
+    }
+    let mut chars = s.chars().peekable();
+    let mut saw_digit = false;
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() {
+            saw_digit = true;
+            chars.next();
+        } else if c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    let suffix: String = chars.collect();
+    saw_digit
+        && (suffix.is_empty()
+            || matches!(
+                suffix.as_str(),
+                "m" | "k" | "M" | "G" | "T" | "P" | "E" | "Ki" | "Mi" | "Gi" | "Ti" | "Pi" | "Ei"
+            ))
+}
+
+/// Returns all concrete values in `root` whose path corresponds to the
+/// schema path `schema_path` (expanding `@items` over array elements and
+/// `@values` over map members).
+fn values_at<'v>(root: &'v Value, schema_path: &crdspec::Path) -> Vec<(crdspec::Path, &'v Value)> {
+    let mut frontier: Vec<(crdspec::Path, &Value)> = vec![(crdspec::Path::root(), root)];
+    for step in schema_path.steps() {
+        let key = match step {
+            crdspec::Step::Key(k) => k.clone(),
+            crdspec::Step::Index(i) => {
+                let mut next = Vec::new();
+                for (p, v) in frontier {
+                    if let Some(arr) = v.as_array() {
+                        if let Some(item) = arr.get(*i) {
+                            next.push((p.child_index(*i), item));
+                        }
+                    }
+                }
+                frontier = next;
+                continue;
+            }
+        };
+        let mut next = Vec::new();
+        for (p, v) in frontier {
+            match key.as_str() {
+                "@items" => {
+                    if let Some(arr) = v.as_array() {
+                        for (i, item) in arr.iter().enumerate() {
+                            next.push((p.child_index(i), item));
+                        }
+                    }
+                }
+                "@values" => {
+                    if let Some(map) = v.as_object() {
+                        for (k, item) in map {
+                            next.push((p.child_key(k), item));
+                        }
+                    }
+                }
+                k => {
+                    if let Some(child) = v.get(k) {
+                        next.push((p.child_key(k), child));
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::LabelSelector;
+    use crate::objects::StatefulSet;
+
+    fn widget_schema() -> Schema {
+        Schema::object()
+            .prop("size", Schema::integer().min(0).max(10))
+            .prop("memory", Schema::string().format("quantity"))
+            .prop("limits", Schema::map(Schema::string().format("quantity")))
+    }
+
+    #[test]
+    fn create_and_update_custom() {
+        let mut api = ApiServer::new(PlatformBugs::none());
+        api.register_crd("Widget", widget_schema());
+        let key = api
+            .create_custom(
+                "ns",
+                "w",
+                "Widget",
+                Value::object([("size", Value::from(3))]),
+                0,
+            )
+            .unwrap();
+        api.update_custom(
+            "ns",
+            "w",
+            "Widget",
+            Value::object([("size", Value::from(5))]),
+            1,
+        )
+        .unwrap();
+        let obj = api.get(&key).unwrap();
+        assert_eq!(obj.data.spec_value().get("size"), Some(&Value::Integer(5)));
+        assert_eq!(obj.meta.generation, 2);
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut api = ApiServer::new(PlatformBugs::none());
+        api.register_crd("Widget", widget_schema());
+        let err = api
+            .create_custom(
+                "ns",
+                "w",
+                "Widget",
+                Value::object([("size", Value::from(99))]),
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ApiError::ValidationFailed(_)));
+        assert!(matches!(
+            api.create_custom("ns", "Bad_Name", "Widget", Value::empty_object(), 0),
+            Err(ApiError::InvalidName(_))
+        ));
+        assert!(matches!(
+            api.create_custom("ns", "w", "Nope", Value::empty_object(), 0),
+            Err(ApiError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn quantity_format_strict_vs_buggy() {
+        // Fixed platform rejects malformed quantities.
+        let mut fixed = ApiServer::new(PlatformBugs::none());
+        fixed.register_crd("Widget", widget_schema());
+        let err = fixed
+            .create_custom(
+                "ns",
+                "w",
+                "Widget",
+                Value::object([("memory", Value::from("1e"))]),
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ApiError::ValidationFailed(_)));
+        // Buggy platform (PLAT-2) lets the same string through.
+        let mut buggy = ApiServer::new(PlatformBugs::all());
+        buggy.register_crd("Widget", widget_schema());
+        assert!(buggy
+            .create_custom(
+                "ns",
+                "w",
+                "Widget",
+                Value::object([("memory", Value::from("1e"))]),
+                0,
+            )
+            .is_ok());
+        // Both reject clearly non-numeric strings.
+        assert!(buggy
+            .create_custom(
+                "ns",
+                "w2",
+                "Widget",
+                Value::object([("memory", Value::from("lots"))]),
+                0,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn quantity_format_checked_inside_maps() {
+        let mut api = ApiServer::new(PlatformBugs::none());
+        api.register_crd("Widget", widget_schema());
+        let err = api
+            .create_custom(
+                "ns",
+                "w",
+                "Widget",
+                Value::object([("limits", Value::object([("cpu", Value::from("abc"))]))]),
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ApiError::ValidationFailed(_)));
+    }
+
+    #[test]
+    fn admission_hooks_run() {
+        fn deny_large(spec: &Value) -> Result<(), String> {
+            match spec.get("size").and_then(Value::as_i64) {
+                Some(s) if s > 5 => Err("too large".to_string()),
+                _ => Ok(()),
+            }
+        }
+        let mut api = ApiServer::new(PlatformBugs::none());
+        api.register_crd("Widget", widget_schema());
+        api.register_admission("Widget", deny_large);
+        assert!(matches!(
+            api.create_custom(
+                "ns",
+                "w",
+                "Widget",
+                Value::object([("size", Value::from(7))]),
+                0
+            ),
+            Err(ApiError::AdmissionDenied(_))
+        ));
+        assert!(api
+            .create_custom(
+                "ns",
+                "w",
+                "Widget",
+                Value::object([("size", Value::from(3))]),
+                0
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn selector_immutability_enforced_when_fixed() {
+        let mut api = ApiServer::new(PlatformBugs::none());
+        let sts = StatefulSet {
+            selector: LabelSelector::match_labels([("app", "a")]),
+            ..StatefulSet::default()
+        };
+        api.apply_object(
+            ObjectMeta::named("ns", "sts"),
+            ObjectData::StatefulSet(sts.clone()),
+            0,
+        )
+        .unwrap();
+        let changed = StatefulSet {
+            selector: LabelSelector::match_labels([("app", "b")]),
+            ..sts
+        };
+        assert!(matches!(
+            api.apply_object(
+                ObjectMeta::named("ns", "sts"),
+                ObjectData::StatefulSet(changed.clone()),
+                1
+            ),
+            Err(ApiError::Immutable(_))
+        ));
+        // Buggy platform allows it (PLAT-5).
+        let mut buggy = ApiServer::new(PlatformBugs::all());
+        buggy
+            .apply_object(
+                ObjectMeta::named("ns", "sts"),
+                ObjectData::StatefulSet(StatefulSet {
+                    selector: LabelSelector::match_labels([("app", "a")]),
+                    ..StatefulSet::default()
+                }),
+                0,
+            )
+            .unwrap();
+        assert!(buggy
+            .apply_object(
+                ObjectMeta::named("ns", "sts"),
+                ObjectData::StatefulSet(changed),
+                1
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn annotations_truncate_under_plat4() {
+        let mut buggy = ApiServer::new(PlatformBugs::all());
+        let huge = "x".repeat(ANNOTATION_TRUNCATION_LIMIT + 10);
+        let meta = ObjectMeta::named("ns", "cm").with_annotation("blob", &huge);
+        let key = buggy
+            .create_object(
+                meta.clone(),
+                ObjectData::ConfigMap(crate::objects::ConfigMap::default()),
+                0,
+            )
+            .unwrap();
+        assert_eq!(
+            buggy.get(&key).unwrap().meta.annotations["blob"].len(),
+            ANNOTATION_TRUNCATION_LIMIT
+        );
+        let mut fixed = ApiServer::new(PlatformBugs::none());
+        let key = fixed
+            .create_object(
+                meta,
+                ObjectData::ConfigMap(crate::objects::ConfigMap::default()),
+                0,
+            )
+            .unwrap();
+        assert_eq!(
+            fixed.get(&key).unwrap().meta.annotations["blob"].len(),
+            huge.len()
+        );
+    }
+}

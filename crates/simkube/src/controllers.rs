@@ -1,0 +1,756 @@
+//! Built-in controllers: stateful sets, deployments, services, disruption
+//! budgets, volume binding, and owner-reference garbage collection.
+//!
+//! Each controller is a pure reconcile function over the object store; the
+//! cluster event loop ([`crate::cluster::SimCluster::step`]) runs them every
+//! tick until the state is quiescent, mirroring how the Kubernetes control
+//! plane converges.
+
+use std::collections::BTreeSet;
+
+use crate::meta::ObjectMeta;
+use crate::objects::{
+    ClaimPhase, Kind, ObjectData, PersistentVolumeClaim, PodPhase, UpdateStrategy,
+};
+use crate::platform::PlatformBugs;
+use crate::store::{ObjKey, ObjectStore};
+
+/// Storage classes the simulated cluster provisions.
+pub const KNOWN_STORAGE_CLASSES: &[&str] = &["standard", "fast", "local"];
+
+/// Runs every built-in controller once. Returns `true` when any change was
+/// made (the loop re-runs until a fixpoint).
+pub fn run_all(store: &mut ObjectStore, time: u64, bugs: PlatformBugs) -> bool {
+    let before = store.revision();
+    reconcile_statefulsets(store, time, bugs);
+    reconcile_deployments(store, time, bugs);
+    bind_claims(store, time);
+    reconcile_services(store, time);
+    reconcile_pdbs(store, time);
+    collect_garbage(store, time);
+    store.revision() != before
+}
+
+/// Reconciles every stateful set: ordered pod creation with stable names,
+/// per-pod volume claims, rolling updates, and scale-down from the highest
+/// ordinal.
+pub fn reconcile_statefulsets(store: &mut ObjectStore, time: u64, bugs: PlatformBugs) {
+    let sts_keys: Vec<ObjKey> = store
+        .list_all(&Kind::StatefulSet)
+        .iter()
+        .map(|o| ObjKey::new(Kind::StatefulSet, &o.meta.namespace, &o.meta.name))
+        .collect();
+    for key in sts_keys {
+        reconcile_one_statefulset(store, &key, time, bugs);
+    }
+}
+
+fn pod_name(sts: &str, ordinal: i32) -> String {
+    format!("{sts}-{ordinal}")
+}
+
+fn claim_name(template: &str, sts: &str, ordinal: i32) -> String {
+    format!("{template}-{sts}-{ordinal}")
+}
+
+/// A stable fingerprint of the pod-affecting parts of a stateful set.
+/// Claim templates are intentionally excluded: volume claim templates are
+/// immutable in Kubernetes and never roll pods.
+fn sts_fingerprint(sts: &crate::objects::StatefulSet) -> String {
+    crate::objects::fnv_fingerprint(&crdspec::json::to_string(&sts.template.to_value()))
+}
+
+/// Fingerprint of a deployment template (no claims).
+fn template_fingerprint(tpl: &crate::objects::PodTemplate) -> String {
+    crate::objects::fnv_fingerprint(&crdspec::json::to_string(&tpl.to_value()))
+}
+
+fn reconcile_one_statefulset(store: &mut ObjectStore, key: &ObjKey, time: u64, bugs: PlatformBugs) {
+    let (sts, owner_uid, namespace, name, generation) = match store.get(key) {
+        Some(obj) => match &obj.data {
+            ObjectData::StatefulSet(s) => (
+                s.clone(),
+                obj.meta.uid,
+                obj.meta.namespace.clone(),
+                obj.meta.name.clone(),
+                obj.meta.generation,
+            ),
+            _ => return,
+        },
+        None => return,
+    };
+    let replicas = sts.replicas.max(0);
+    let fingerprint = sts_fingerprint(&sts);
+
+    // Collect existing pods of this set, by ordinal.
+    let mut existing: Vec<(i32, ObjKey, PodPhase, bool, String)> = Vec::new();
+    for obj in store.list(&Kind::Pod, &namespace) {
+        if let ObjectData::Pod(p) = &obj.data {
+            if let Some(ord) = ordinal_of(&obj.meta.name, &name) {
+                if obj.meta.owner_references.iter().any(|o| o.uid == owner_uid) {
+                    existing.push((
+                        ord,
+                        ObjKey::new(Kind::Pod, &namespace, &obj.meta.name),
+                        p.phase,
+                        p.ready,
+                        obj.meta
+                            .annotations
+                            .get("template-fingerprint")
+                            .cloned()
+                            .unwrap_or_default(),
+                    ));
+                }
+            }
+        }
+    }
+    existing.sort_by_key(|(ord, ..)| *ord);
+
+    // Scale down: delete the highest ordinal beyond the desired count.
+    if let Some((ord, pod_key, ..)) = existing.last() {
+        if *ord >= replicas {
+            let pod_key = pod_key.clone();
+            store.delete(&pod_key, time);
+            update_sts_status(store, key, time, bugs, generation);
+            return; // One change per tick keeps ordering faithful.
+        }
+    }
+
+    // Rolling update: replace one stale pod per tick. A stale pod that is
+    // not running is replaced immediately (it cannot make progress);
+    // otherwise replacement waits for every pod to run and proceeds from
+    // the highest ordinal.
+    if sts.update_strategy == UpdateStrategy::RollingUpdate {
+        if let Some((_, pod_key, ..)) = existing
+            .iter()
+            .find(|(_, _, phase, _, fp)| *fp != fingerprint && *phase != PodPhase::Running)
+        {
+            let pod_key = pod_key.clone();
+            store.delete(&pod_key, time);
+            update_sts_status(store, key, time, bugs, generation);
+            return;
+        }
+        let all_running = existing
+            .iter()
+            .all(|(_, _, phase, ..)| *phase == PodPhase::Running);
+        if all_running && existing.len() == replicas as usize {
+            if let Some((_, pod_key, ..)) = existing
+                .iter()
+                .rev()
+                .find(|(_, _, _, _, fp)| *fp != fingerprint)
+            {
+                let pod_key = pod_key.clone();
+                store.delete(&pod_key, time);
+                update_sts_status(store, key, time, bugs, generation);
+                return;
+            }
+        }
+    }
+
+    // Scale up / replace missing: create the lowest missing ordinal, but
+    // only when all lower ordinals are running and ready (OrderedReady).
+    let have: BTreeSet<i32> = existing.iter().map(|(ord, ..)| *ord).collect();
+    for ordinal in 0..replicas {
+        if have.contains(&ordinal) {
+            continue;
+        }
+        let lower_ready = existing
+            .iter()
+            .filter(|(ord, ..)| *ord < ordinal)
+            .all(|(_, _, phase, ready, _)| *phase == PodPhase::Running && *ready);
+        if !lower_ready {
+            break;
+        }
+        // Create this pod's claims first.
+        for tpl in &sts.claim_templates {
+            let cname = claim_name(&tpl.name, &name, ordinal);
+            let ckey = ObjKey::new(Kind::PersistentVolumeClaim, &namespace, &cname);
+            if store.get(&ckey).is_none() {
+                let claim = PersistentVolumeClaim {
+                    size: tpl.size,
+                    storage_class: tpl.storage_class.clone(),
+                    phase: ClaimPhase::Pending,
+                };
+                let meta = ObjectMeta::named(&namespace, &cname).with_owner(
+                    "StatefulSet",
+                    &name,
+                    owner_uid,
+                );
+                let _ = store.create(meta, ObjectData::PersistentVolumeClaim(claim), time);
+            }
+        }
+        let mut pod = sts.template.make_pod();
+        pod.claims = sts
+            .claim_templates
+            .iter()
+            .map(|tpl| claim_name(&tpl.name, &name, ordinal))
+            .collect();
+        pod.phase_since = time;
+        let mut meta = ObjectMeta::named(&namespace, &pod_name(&name, ordinal)).with_owner(
+            "StatefulSet",
+            &name,
+            owner_uid,
+        );
+        meta.labels = sts.template.labels.clone();
+        meta.annotations = sts.template.annotations.clone();
+        meta.annotations
+            .insert("template-fingerprint".to_string(), fingerprint.clone());
+        let _ = store.create(meta, ObjectData::Pod(pod), time);
+        break; // One pod per tick (OrderedReady).
+    }
+    update_sts_status(store, key, time, bugs, generation);
+}
+
+fn update_sts_status(
+    store: &mut ObjectStore,
+    key: &ObjKey,
+    time: u64,
+    bugs: PlatformBugs,
+    generation: u64,
+) {
+    let (namespace, name, owner_uid, replicas) = match store.get(key) {
+        Some(obj) => match &obj.data {
+            ObjectData::StatefulSet(s) => (
+                obj.meta.namespace.clone(),
+                obj.meta.name.clone(),
+                obj.meta.uid,
+                s.replicas,
+            ),
+            _ => return,
+        },
+        None => return,
+    };
+    let mut ready = 0;
+    let mut current = 0;
+    for obj in store.list(&Kind::Pod, &namespace) {
+        if let ObjectData::Pod(p) = &obj.data {
+            if ordinal_of(&obj.meta.name, &name).is_some()
+                && obj.meta.owner_references.iter().any(|o| o.uid == owner_uid)
+            {
+                current += 1;
+                if p.phase == PodPhase::Running && p.ready {
+                    ready += 1;
+                }
+            }
+        }
+    }
+    let _ = store.update_with(key, time, |obj| {
+        if let ObjectData::StatefulSet(s) = &mut obj.data {
+            s.ready_replicas = ready;
+            // PLAT-6: observedGeneration is bumped before the rollout
+            // completes, so watchers believe convergence happened early.
+            if bugs.premature_observed_generation {
+                s.observed_generation = generation;
+            } else if ready == replicas && current == replicas {
+                s.observed_generation = generation;
+            }
+        }
+    });
+}
+
+/// Extracts the ordinal from a pod name of the form `{set}-{ordinal}`.
+fn ordinal_of(pod_name: &str, sts_name: &str) -> Option<i32> {
+    let rest = pod_name.strip_prefix(sts_name)?.strip_prefix('-')?;
+    rest.parse().ok().filter(|o| *o >= 0)
+}
+
+/// Reconciles every deployment: unordered pod management with rolling
+/// replacement on template change.
+pub fn reconcile_deployments(store: &mut ObjectStore, time: u64, bugs: PlatformBugs) {
+    let keys: Vec<ObjKey> = store
+        .list_all(&Kind::Deployment)
+        .iter()
+        .map(|o| ObjKey::new(Kind::Deployment, &o.meta.namespace, &o.meta.name))
+        .collect();
+    for key in keys {
+        let (dep, owner_uid, namespace, name, generation) = match store.get(&key) {
+            Some(obj) => match &obj.data {
+                ObjectData::Deployment(d) => (
+                    d.clone(),
+                    obj.meta.uid,
+                    obj.meta.namespace.clone(),
+                    obj.meta.name.clone(),
+                    obj.meta.generation,
+                ),
+                _ => continue,
+            },
+            None => continue,
+        };
+        let fingerprint = template_fingerprint(&dep.template);
+        let mut pods: Vec<(ObjKey, PodPhase, bool, String)> = Vec::new();
+        for obj in store.list(&Kind::Pod, &namespace) {
+            if obj.meta.owner_references.iter().any(|o| o.uid == owner_uid) {
+                if let ObjectData::Pod(p) = &obj.data {
+                    pods.push((
+                        ObjKey::new(Kind::Pod, &namespace, &obj.meta.name),
+                        p.phase,
+                        p.ready,
+                        obj.meta
+                            .annotations
+                            .get("template-fingerprint")
+                            .cloned()
+                            .unwrap_or_default(),
+                    ));
+                }
+            }
+        }
+        let replicas = dep.replicas.max(0) as usize;
+        if pods.len() > replicas {
+            // Scale down: delete the lexically last pod.
+            let victim = pods.last().expect("non-empty").0.clone();
+            store.delete(&victim, time);
+        } else if pods.len() < replicas {
+            // Scale up: next free index.
+            let mut idx = 0;
+            loop {
+                let pname = format!("{name}-{idx}");
+                let pkey = ObjKey::new(Kind::Pod, &namespace, &pname);
+                if store.get(&pkey).is_none() {
+                    let mut pod = dep.template.make_pod();
+                    pod.phase_since = time;
+                    let mut meta = ObjectMeta::named(&namespace, &pname).with_owner(
+                        "Deployment",
+                        &name,
+                        owner_uid,
+                    );
+                    meta.labels = dep.template.labels.clone();
+                    meta.annotations
+                        .insert("template-fingerprint".to_string(), fingerprint.clone());
+                    let _ = store.create(meta, ObjectData::Pod(pod), time);
+                    break;
+                }
+                idx += 1;
+            }
+        } else if let Some((stale, ..)) = pods
+            .iter()
+            .find(|(_, phase, _, fp)| *fp != fingerprint && *phase != PodPhase::Running)
+            .or_else(|| pods.iter().find(|(_, _, _, fp)| *fp != fingerprint))
+        {
+            // Rolling replace one stale pod per tick; stale pods that are
+            // stuck (not running) are replaced first.
+            let stale = stale.clone();
+            store.delete(&stale, time);
+        }
+        // Status.
+        let mut ready = 0;
+        for obj in store.list(&Kind::Pod, &namespace) {
+            if obj.meta.owner_references.iter().any(|o| o.uid == owner_uid) {
+                if let ObjectData::Pod(p) = &obj.data {
+                    if p.phase == PodPhase::Running && p.ready {
+                        ready += 1;
+                    }
+                }
+            }
+        }
+        let _ = store.update_with(&key, time, |obj| {
+            if let ObjectData::Deployment(d) = &mut obj.data {
+                d.ready_replicas = ready;
+                if bugs.premature_observed_generation || ready == d.replicas {
+                    d.observed_generation = generation;
+                }
+            }
+        });
+    }
+}
+
+/// Binds pending claims whose storage class the cluster knows how to
+/// provision; unknown classes stay `Pending` forever.
+pub fn bind_claims(store: &mut ObjectStore, time: u64) {
+    let keys: Vec<ObjKey> = store
+        .list_all(&Kind::PersistentVolumeClaim)
+        .iter()
+        .filter(|o| {
+            matches!(
+                &o.data,
+                ObjectData::PersistentVolumeClaim(c)
+                    if c.phase == ClaimPhase::Pending
+                        && KNOWN_STORAGE_CLASSES.contains(&c.storage_class.as_str())
+                        && !c.size.is_negative()
+            )
+        })
+        .map(|o| ObjKey::new(Kind::PersistentVolumeClaim, &o.meta.namespace, &o.meta.name))
+        .collect();
+    for key in keys {
+        let _ = store.update_with(&key, time, |obj| {
+            if let ObjectData::PersistentVolumeClaim(c) = &mut obj.data {
+                c.phase = ClaimPhase::Bound;
+            }
+        });
+    }
+}
+
+/// Refreshes service endpoints from ready pods matching each selector.
+pub fn reconcile_services(store: &mut ObjectStore, time: u64) {
+    let keys: Vec<ObjKey> = store
+        .list_all(&Kind::Service)
+        .iter()
+        .map(|o| ObjKey::new(Kind::Service, &o.meta.namespace, &o.meta.name))
+        .collect();
+    for key in keys {
+        let selector = match store.get(&key) {
+            Some(obj) => match &obj.data {
+                ObjectData::Service(s) => s.selector.clone(),
+                _ => continue,
+            },
+            None => continue,
+        };
+        let mut endpoints: Vec<String> = store
+            .list(&Kind::Pod, &key.namespace)
+            .iter()
+            .filter(|o| {
+                selector.matches(&o.meta.labels)
+                    && matches!(&o.data, ObjectData::Pod(p) if p.phase == PodPhase::Running && p.ready)
+            })
+            .map(|o| o.meta.name.clone())
+            .collect();
+        endpoints.sort();
+        let _ = store.update_with(&key, time, |obj| {
+            if let ObjectData::Service(s) = &mut obj.data {
+                s.endpoints = endpoints;
+            }
+        });
+    }
+}
+
+/// Updates disruption-budget status counts.
+pub fn reconcile_pdbs(store: &mut ObjectStore, time: u64) {
+    let keys: Vec<ObjKey> = store
+        .list_all(&Kind::PodDisruptionBudget)
+        .iter()
+        .map(|o| ObjKey::new(Kind::PodDisruptionBudget, &o.meta.namespace, &o.meta.name))
+        .collect();
+    for key in keys {
+        let selector = match store.get(&key) {
+            Some(obj) => match &obj.data {
+                ObjectData::PodDisruptionBudget(p) => p.selector.clone(),
+                _ => continue,
+            },
+            None => continue,
+        };
+        let healthy = store
+            .list(&Kind::Pod, &key.namespace)
+            .iter()
+            .filter(|o| {
+                selector.matches(&o.meta.labels)
+                    && matches!(&o.data, ObjectData::Pod(p) if p.phase == PodPhase::Running && p.ready)
+            })
+            .count() as i32;
+        let _ = store.update_with(&key, time, |obj| {
+            if let ObjectData::PodDisruptionBudget(p) = &mut obj.data {
+                p.current_healthy = healthy;
+            }
+        });
+    }
+}
+
+/// Deletes objects whose owners no longer exist (cascading deletion).
+pub fn collect_garbage(store: &mut ObjectStore, time: u64) {
+    let live_uids: BTreeSet<u64> = store.iter().map(|(_, o)| o.meta.uid).collect();
+    let orphans: Vec<ObjKey> = store
+        .iter()
+        .filter(|(_, o)| {
+            !o.meta.owner_references.is_empty()
+                && o.meta
+                    .owner_references
+                    .iter()
+                    .all(|r| !live_uids.contains(&r.uid))
+        })
+        .map(|(k, _)| k.clone())
+        .collect();
+    for key in orphans {
+        store.delete(&key, time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::LabelSelector;
+    use crate::objects::{ClaimTemplate, Container, PodTemplate, StatefulSet};
+
+    fn sts(replicas: i32) -> StatefulSet {
+        StatefulSet {
+            replicas,
+            selector: LabelSelector::match_labels([("app", "zk")]),
+            template: PodTemplate {
+                labels: [("app".to_string(), "zk".to_string())]
+                    .into_iter()
+                    .collect(),
+                containers: vec![Container {
+                    name: "zk".to_string(),
+                    image: "zk:3.8".to_string(),
+                    ..Container::default()
+                }],
+                ..PodTemplate::default()
+            },
+            claim_templates: vec![ClaimTemplate {
+                name: "data".to_string(),
+                size: "1Gi".parse().unwrap(),
+                storage_class: "standard".to_string(),
+            }],
+            service_name: "zk-headless".to_string(),
+            ..StatefulSet::default()
+        }
+    }
+
+    fn mark_all_running(store: &mut ObjectStore, time: u64) {
+        let keys: Vec<ObjKey> = store
+            .list_all(&Kind::Pod)
+            .iter()
+            .map(|o| ObjKey::new(Kind::Pod, &o.meta.namespace, &o.meta.name))
+            .collect();
+        for key in keys {
+            store
+                .update_with(&key, time, |o| {
+                    if let ObjectData::Pod(p) = &mut o.data {
+                        p.phase = PodPhase::Running;
+                        p.ready = true;
+                    }
+                })
+                .unwrap();
+        }
+    }
+
+    fn converge(store: &mut ObjectStore, bugs: PlatformBugs) {
+        for t in 0..100 {
+            mark_all_running(store, t);
+            if !run_all(store, t, bugs) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn statefulset_creates_pods_in_order_with_claims() {
+        let mut store = ObjectStore::new();
+        store
+            .create(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(sts(3)),
+                0,
+            )
+            .unwrap();
+        // First tick creates only ordinal 0 (OrderedReady).
+        run_all(&mut store, 1, PlatformBugs::none());
+        assert_eq!(store.list(&Kind::Pod, "ns").len(), 1);
+        assert!(store.get(&ObjKey::new(Kind::Pod, "ns", "zk-0")).is_some());
+        // Pod 1 is not created while pod 0 is pending.
+        run_all(&mut store, 2, PlatformBugs::none());
+        assert_eq!(store.list(&Kind::Pod, "ns").len(), 1);
+        converge(&mut store, PlatformBugs::none());
+        assert_eq!(store.list(&Kind::Pod, "ns").len(), 3);
+        assert_eq!(store.list(&Kind::PersistentVolumeClaim, "ns").len(), 3);
+        assert!(store
+            .get(&ObjKey::new(Kind::PersistentVolumeClaim, "ns", "data-zk-1"))
+            .is_some());
+    }
+
+    #[test]
+    fn statefulset_scales_down_highest_ordinal_first() {
+        let mut store = ObjectStore::new();
+        let key = store
+            .create(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(sts(3)),
+                0,
+            )
+            .unwrap();
+        converge(&mut store, PlatformBugs::none());
+        store
+            .update_with(&key, 50, |o| {
+                if let ObjectData::StatefulSet(s) = &mut o.data {
+                    s.replicas = 1;
+                }
+            })
+            .unwrap();
+        run_all(&mut store, 51, PlatformBugs::none());
+        assert!(store.get(&ObjKey::new(Kind::Pod, "ns", "zk-2")).is_none());
+        assert!(store.get(&ObjKey::new(Kind::Pod, "ns", "zk-1")).is_some());
+        converge(&mut store, PlatformBugs::none());
+        assert_eq!(store.list(&Kind::Pod, "ns").len(), 1);
+    }
+
+    #[test]
+    fn rolling_update_replaces_stale_pods() {
+        let mut store = ObjectStore::new();
+        let key = store
+            .create(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(sts(2)),
+                0,
+            )
+            .unwrap();
+        converge(&mut store, PlatformBugs::none());
+        // Change the image.
+        store
+            .update_with(&key, 60, |o| {
+                if let ObjectData::StatefulSet(s) = &mut o.data {
+                    s.template.containers[0].image = "zk:3.9".to_string();
+                }
+            })
+            .unwrap();
+        run_all(&mut store, 61, PlatformBugs::none());
+        // Highest ordinal replaced first.
+        assert!(store.get(&ObjKey::new(Kind::Pod, "ns", "zk-1")).is_none());
+        converge(&mut store, PlatformBugs::none());
+        for pod in store.list(&Kind::Pod, "ns") {
+            if let ObjectData::Pod(p) = &pod.data {
+                assert_eq!(p.containers[0].image, "zk:3.9");
+            }
+        }
+    }
+
+    #[test]
+    fn observed_generation_premature_under_plat6() {
+        let mut store = ObjectStore::new();
+        store
+            .create(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(sts(3)),
+                0,
+            )
+            .unwrap();
+        // One tick only: rollout far from finished.
+        run_all(&mut store, 1, PlatformBugs::all());
+        let obj = store
+            .get(&ObjKey::new(Kind::StatefulSet, "ns", "zk"))
+            .unwrap();
+        if let ObjectData::StatefulSet(s) = &obj.data {
+            assert_eq!(s.observed_generation, 1, "PLAT-6 reports early");
+            assert_ne!(s.ready_replicas, s.replicas);
+        }
+        // Fixed platform withholds observedGeneration until ready.
+        let mut store = ObjectStore::new();
+        store
+            .create(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(sts(3)),
+                0,
+            )
+            .unwrap();
+        run_all(&mut store, 1, PlatformBugs::none());
+        let obj = store
+            .get(&ObjKey::new(Kind::StatefulSet, "ns", "zk"))
+            .unwrap();
+        if let ObjectData::StatefulSet(s) = &obj.data {
+            assert_eq!(s.observed_generation, 0);
+        }
+    }
+
+    #[test]
+    fn unknown_storage_class_never_binds() {
+        let mut store = ObjectStore::new();
+        store
+            .create(
+                ObjectMeta::named("ns", "claim"),
+                ObjectData::PersistentVolumeClaim(PersistentVolumeClaim {
+                    size: "1Gi".parse().unwrap(),
+                    storage_class: "nonexistent".to_string(),
+                    phase: ClaimPhase::Pending,
+                }),
+                0,
+            )
+            .unwrap();
+        bind_claims(&mut store, 1);
+        if let ObjectData::PersistentVolumeClaim(c) = &store
+            .get(&ObjKey::new(Kind::PersistentVolumeClaim, "ns", "claim"))
+            .unwrap()
+            .data
+        {
+            assert_eq!(c.phase, ClaimPhase::Pending);
+        }
+    }
+
+    #[test]
+    fn garbage_collection_cascades() {
+        let mut store = ObjectStore::new();
+        let owner = store
+            .create(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(sts(1)),
+                0,
+            )
+            .unwrap();
+        converge(&mut store, PlatformBugs::none());
+        assert!(!store.list(&Kind::Pod, "ns").is_empty());
+        store.delete(&owner, 99);
+        collect_garbage(&mut store, 100);
+        assert!(store.list(&Kind::Pod, "ns").is_empty());
+        assert!(store.list(&Kind::PersistentVolumeClaim, "ns").is_empty());
+    }
+
+    #[test]
+    fn deployment_scales_and_reports_status() {
+        let mut store = ObjectStore::new();
+        let dep = crate::objects::Deployment {
+            replicas: 2,
+            selector: LabelSelector::match_labels([("app", "web")]),
+            template: PodTemplate {
+                labels: [("app".to_string(), "web".to_string())]
+                    .into_iter()
+                    .collect(),
+                containers: vec![Container {
+                    name: "web".to_string(),
+                    image: "web:1".to_string(),
+                    ..Container::default()
+                }],
+                ..PodTemplate::default()
+            },
+            ..crate::objects::Deployment::default()
+        };
+        let key = store
+            .create(
+                ObjectMeta::named("ns", "web"),
+                ObjectData::Deployment(dep),
+                0,
+            )
+            .unwrap();
+        converge(&mut store, PlatformBugs::none());
+        assert_eq!(store.list(&Kind::Pod, "ns").len(), 2);
+        if let ObjectData::Deployment(d) = &store.get(&key).unwrap().data {
+            assert_eq!(d.ready_replicas, 2);
+        }
+        // Scale down.
+        store
+            .update_with(&key, 50, |o| {
+                if let ObjectData::Deployment(d) = &mut o.data {
+                    d.replicas = 0;
+                }
+            })
+            .unwrap();
+        converge(&mut store, PlatformBugs::none());
+        assert_eq!(store.list(&Kind::Pod, "ns").len(), 0);
+    }
+
+    #[test]
+    fn services_track_ready_endpoints() {
+        let mut store = ObjectStore::new();
+        let svc = crate::objects::Service {
+            selector: LabelSelector::match_labels([("app", "zk")]),
+            ports: vec![2181],
+            ..crate::objects::Service::default()
+        };
+        let skey = store
+            .create(
+                ObjectMeta::named("ns", "zk-svc"),
+                ObjectData::Service(svc),
+                0,
+            )
+            .unwrap();
+        store
+            .create(
+                ObjectMeta::named("ns", "zk-0").with_label("app", "zk"),
+                ObjectData::Pod(crate::objects::Pod::default()),
+                0,
+            )
+            .unwrap();
+        reconcile_services(&mut store, 1);
+        if let ObjectData::Service(s) = &store.get(&skey).unwrap().data {
+            assert!(s.endpoints.is_empty(), "pending pod is not an endpoint");
+        }
+        mark_all_running(&mut store, 2);
+        reconcile_services(&mut store, 3);
+        if let ObjectData::Service(s) = &store.get(&skey).unwrap().data {
+            assert_eq!(s.endpoints, vec!["zk-0".to_string()]);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! A simulated Kubernetes control plane for the Acto reproduction.
+//!
+//! The paper runs operators against virtualized Kubernetes clusters
+//! (Kind/Minikube/K3d). This crate substitutes a deterministic, in-process
+//! control plane that preserves the behaviours Acto observes:
+//!
+//! - Uniform, interpretable **state objects** with `metadata`/`spec`/`status`
+//!   sections, resource versions, and owner references ([`objects`],
+//!   [`store`]).
+//! - An **API server** with validation, optimistic-concurrency conflicts, and
+//!   admission webhooks ([`api`]).
+//! - A **scheduler** honouring resources, node selectors, affinity rules, and
+//!   taints/tolerations ([`scheduler`]).
+//! - Built-in **controllers** for stateful sets, deployments, services,
+//!   disruption budgets, and owner-reference garbage collection
+//!   ([`controllers`]).
+//! - A **simulated clock** and a discrete event loop with convergence
+//!   detection matching Acto's reset-timer approach ([`cluster`]).
+//! - Six injectable **platform bugs** mirroring the Kubernetes/Go-runtime
+//!   bugs the paper reports ([`platform`]).
+
+pub mod api;
+pub mod cluster;
+pub mod controllers;
+pub mod meta;
+pub mod objects;
+pub mod platform;
+pub mod quantity;
+pub mod resources;
+pub mod scheduler;
+pub mod store;
+
+pub use api::{ApiError, ApiServer};
+pub use cluster::{ClusterConfig, SimCluster};
+pub use meta::{LabelSelector, ObjectMeta, OwnerReference};
+pub use objects::{
+    ConfigMap, Container, Deployment, Ingress, Kind, Node, ObjectData, Pdb, PersistentVolumeClaim,
+    Pod, PodPhase, Secret, Service, StatefulSet, StoredObject,
+};
+pub use platform::PlatformBugs;
+pub use quantity::{Quantity, QuantityError};
+pub use resources::{
+    Affinity, NodeAffinityTerm, PodAffinityTerm, ResourceRequirements, SecurityContext, Taint,
+    TaintEffect, Toleration, TolerationOperator,
+};
+pub use store::{ObjKey, ObjectStore, WatchEvent, WatchEventKind};

@@ -1,0 +1,255 @@
+//! Object metadata: names, labels, annotations, owner references, and label
+//! selectors.
+
+use std::collections::BTreeMap;
+
+use crdspec::Value;
+
+/// A reference from a dependent object to its owner, used by the garbage
+/// collector to cascade deletions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnerReference {
+    /// Kind of the owning object (e.g. `"StatefulSet"`).
+    pub kind: String,
+    /// Name of the owning object.
+    pub name: String,
+    /// Unique id of the owning object.
+    pub uid: u64,
+}
+
+/// Metadata carried by every state object.
+///
+/// # Examples
+///
+/// ```
+/// use simkube::ObjectMeta;
+///
+/// let meta = ObjectMeta::named("default", "zk-0").with_label("app", "zk");
+/// assert_eq!(meta.labels.get("app").map(String::as_str), Some("zk"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObjectMeta {
+    /// Namespace the object lives in.
+    pub namespace: String,
+    /// Object name, unique per kind and namespace.
+    pub name: String,
+    /// Unique id assigned by the store at creation.
+    pub uid: u64,
+    /// Monotonic revision of the last write to this object.
+    pub resource_version: u64,
+    /// Incremented on every `spec` change (not status updates).
+    pub generation: u64,
+    /// Identifying labels.
+    pub labels: BTreeMap<String, String>,
+    /// Non-identifying annotations.
+    pub annotations: BTreeMap<String, String>,
+    /// Owners for garbage collection.
+    pub owner_references: Vec<OwnerReference>,
+    /// Simulated creation timestamp (seconds).
+    pub creation_timestamp: u64,
+    /// Set when deletion has been requested but finalization is pending.
+    pub deletion_timestamp: Option<u64>,
+}
+
+impl ObjectMeta {
+    /// Creates metadata with the given namespace and name.
+    pub fn named(namespace: &str, name: &str) -> ObjectMeta {
+        ObjectMeta {
+            namespace: namespace.to_string(),
+            name: name.to_string(),
+            ..ObjectMeta::default()
+        }
+    }
+
+    /// Adds one label (builder style).
+    pub fn with_label(mut self, key: &str, value: &str) -> ObjectMeta {
+        self.labels.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Adds one annotation (builder style).
+    pub fn with_annotation(mut self, key: &str, value: &str) -> ObjectMeta {
+        self.annotations.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Adds an owner reference (builder style).
+    pub fn with_owner(mut self, kind: &str, name: &str, uid: u64) -> ObjectMeta {
+        self.owner_references.push(OwnerReference {
+            kind: kind.to_string(),
+            name: name.to_string(),
+            uid,
+        });
+        self
+    }
+
+    /// Renders the metadata as a [`Value`] for oracle consumption.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object([
+            ("namespace", Value::from(self.namespace.clone())),
+            ("name", Value::from(self.name.clone())),
+            ("uid", Value::from(self.uid as i64)),
+            ("resourceVersion", Value::from(self.resource_version as i64)),
+            ("generation", Value::from(self.generation as i64)),
+            (
+                "creationTimestamp",
+                Value::from(self.creation_timestamp as i64),
+            ),
+        ]);
+        if !self.labels.is_empty() {
+            v.as_object_mut().expect("object").insert(
+                "labels".to_string(),
+                Value::Object(
+                    self.labels
+                        .iter()
+                        .map(|(k, val)| (k.clone(), Value::from(val.clone())))
+                        .collect(),
+                ),
+            );
+        }
+        if !self.annotations.is_empty() {
+            v.as_object_mut().expect("object").insert(
+                "annotations".to_string(),
+                Value::Object(
+                    self.annotations
+                        .iter()
+                        .map(|(k, val)| (k.clone(), Value::from(val.clone())))
+                        .collect(),
+                ),
+            );
+        }
+        if !self.owner_references.is_empty() {
+            v.as_object_mut().expect("object").insert(
+                "ownerReferences".to_string(),
+                Value::array(self.owner_references.iter().map(|o| {
+                    Value::object([
+                        ("kind", Value::from(o.kind.clone())),
+                        ("name", Value::from(o.name.clone())),
+                        ("uid", Value::from(o.uid as i64)),
+                    ])
+                })),
+            );
+        }
+        if let Some(ts) = self.deletion_timestamp {
+            v.as_object_mut()
+                .expect("object")
+                .insert("deletionTimestamp".to_string(), Value::from(ts as i64));
+        }
+        v
+    }
+}
+
+/// A label selector: a conjunction of exact-match requirements.
+///
+/// # Examples
+///
+/// ```
+/// use simkube::LabelSelector;
+/// use std::collections::BTreeMap;
+///
+/// let sel = LabelSelector::match_labels([("app", "zk")]);
+/// let mut labels = BTreeMap::new();
+/// labels.insert("app".to_string(), "zk".to_string());
+/// labels.insert("tier".to_string(), "db".to_string());
+/// assert!(sel.matches(&labels));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LabelSelector {
+    /// Required exact label matches.
+    pub match_labels: BTreeMap<String, String>,
+}
+
+impl LabelSelector {
+    /// Builds a selector from `(key, value)` pairs.
+    pub fn match_labels<K: Into<String>, V: Into<String>, I: IntoIterator<Item = (K, V)>>(
+        pairs: I,
+    ) -> LabelSelector {
+        LabelSelector {
+            match_labels: pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        }
+    }
+
+    /// Returns `true` when every requirement is satisfied by `labels`.
+    ///
+    /// An empty selector matches nothing, following Kubernetes semantics for
+    /// workload selectors (which require a non-empty selector).
+    pub fn matches(&self, labels: &BTreeMap<String, String>) -> bool {
+        !self.match_labels.is_empty()
+            && self
+                .match_labels
+                .iter()
+                .all(|(k, v)| labels.get(k) == Some(v))
+    }
+}
+
+/// Validates an object name against the DNS-1123 subdomain rules the real
+/// API server enforces.
+pub fn validate_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("name must not be empty".to_string());
+    }
+    if name.len() > 253 {
+        return Err("name longer than 253 characters".to_string());
+    }
+    let ok_char = |c: char| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '.';
+    if !name.chars().all(ok_char) {
+        return Err(format!("name {name:?} contains invalid characters"));
+    }
+    let first = name.chars().next().expect("non-empty");
+    let last = name.chars().last().expect("non-empty");
+    if !first.is_ascii_alphanumeric() || !last.is_ascii_alphanumeric() {
+        return Err(format!("name {name:?} must start and end alphanumeric"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_requires_all_labels() {
+        let sel = LabelSelector::match_labels([("app", "zk"), ("tier", "db")]);
+        let mut labels = BTreeMap::new();
+        labels.insert("app".to_string(), "zk".to_string());
+        assert!(!sel.matches(&labels));
+        labels.insert("tier".to_string(), "db".to_string());
+        assert!(sel.matches(&labels));
+        labels.insert("extra".to_string(), "x".to_string());
+        assert!(sel.matches(&labels));
+    }
+
+    #[test]
+    fn empty_selector_matches_nothing() {
+        let sel = LabelSelector::default();
+        assert!(!sel.matches(&BTreeMap::new()));
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("zk-cluster-0").is_ok());
+        assert!(validate_name("a").is_ok());
+        assert!(validate_name("my.app").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("-bad").is_err());
+        assert!(validate_name("bad-").is_err());
+        assert!(validate_name("Upper").is_err());
+        assert!(validate_name("under_score").is_err());
+        assert!(validate_name(&"x".repeat(300)).is_err());
+    }
+
+    #[test]
+    fn meta_to_value_includes_sections() {
+        let meta = ObjectMeta::named("ns", "obj")
+            .with_label("a", "b")
+            .with_owner("StatefulSet", "parent", 7);
+        let v = meta.to_value();
+        assert_eq!(v.get("name"), Some(&Value::from("obj")));
+        assert!(v.get("labels").is_some());
+        assert!(v.get("ownerReferences").is_some());
+        assert!(v.get("deletionTimestamp").is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! Injectable platform bugs.
+//!
+//! Besides 56 operator bugs, the paper reports six bugs Acto found in
+//! Kubernetes itself and in the Go runtime, affecting multiple operators
+//! (§6.1): wrong or imprecise quantity conversion, incompatibility between
+//! declaration validation and API-server unmarshalling, crashes due to Go's
+//! generated shared objects, and others. This module models six equivalent
+//! platform-level defects behind individual flags so campaigns can run with
+//! a buggy or fixed platform.
+
+/// Flags enabling each simulated platform bug.
+///
+/// All flags default to **enabled** (the evaluation campaigns run against
+/// the buggy platform, as the paper did); [`PlatformBugs::none`] produces a
+/// fixed platform for regression comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatformBugs {
+    /// PLAT-1: `Quantity::value()` converts through a float, truncating
+    /// instead of rounding up and losing precision above 2^53
+    /// (kubernetes#110653).
+    pub quantity_conversion: bool,
+    /// PLAT-2: the generated declaration validation accepts quantity strings
+    /// the unmarshaller rejects, so invalid quantities reach operator code
+    /// (controller-tools#665).
+    pub quantity_validation_mismatch: bool,
+    /// PLAT-3: configuration payloads beyond 1 MiB crash the operator
+    /// runtime (Go cgo shared-object limitation, go-review#418557).
+    pub shared_object_crash: bool,
+    /// PLAT-4: annotations beyond 64 KiB are silently truncated, corrupting
+    /// round-tripped state.
+    pub annotation_truncation: bool,
+    /// PLAT-5: workload selector immutability is not enforced, letting a
+    /// selector update desynchronize pod ownership.
+    pub selector_mutation_allowed: bool,
+    /// PLAT-6: `observedGeneration` is reported before the rollout finishes,
+    /// making convergence appear early.
+    pub premature_observed_generation: bool,
+}
+
+impl Default for PlatformBugs {
+    fn default() -> Self {
+        PlatformBugs::all()
+    }
+}
+
+impl PlatformBugs {
+    /// All platform bugs enabled (the evaluation configuration).
+    pub fn all() -> PlatformBugs {
+        PlatformBugs {
+            quantity_conversion: true,
+            quantity_validation_mismatch: true,
+            shared_object_crash: true,
+            annotation_truncation: true,
+            selector_mutation_allowed: true,
+            premature_observed_generation: true,
+        }
+    }
+
+    /// All platform bugs fixed.
+    pub fn none() -> PlatformBugs {
+        PlatformBugs {
+            quantity_conversion: false,
+            quantity_validation_mismatch: false,
+            shared_object_crash: false,
+            annotation_truncation: false,
+            selector_mutation_allowed: false,
+            premature_observed_generation: false,
+        }
+    }
+
+    /// Stable identifiers of the enabled bugs.
+    pub fn enabled_ids(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.quantity_conversion {
+            out.push("PLAT-1-quantity-conversion");
+        }
+        if self.quantity_validation_mismatch {
+            out.push("PLAT-2-validation-mismatch");
+        }
+        if self.shared_object_crash {
+            out.push("PLAT-3-shared-object-crash");
+        }
+        if self.annotation_truncation {
+            out.push("PLAT-4-annotation-truncation");
+        }
+        if self.selector_mutation_allowed {
+            out.push("PLAT-5-selector-mutation");
+        }
+        if self.premature_observed_generation {
+            out.push("PLAT-6-premature-observed-generation");
+        }
+        out
+    }
+}
+
+/// Maximum configuration payload size under PLAT-3 before the simulated
+/// operator runtime crashes.
+pub const SHARED_OBJECT_PAYLOAD_LIMIT: usize = 1 << 20;
+
+/// Annotation size beyond which PLAT-4 silently truncates.
+pub const ANNOTATION_TRUNCATION_LIMIT: usize = 64 << 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_six() {
+        assert_eq!(PlatformBugs::default().enabled_ids().len(), 6);
+        assert!(PlatformBugs::none().enabled_ids().is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let ids = PlatformBugs::all().enabled_ids();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(ids.len(), dedup.len());
+    }
+}

@@ -1,0 +1,350 @@
+//! Pod scheduling-relevant resource types: compute requirements, affinity,
+//! taints/tolerations, and security contexts.
+
+use std::collections::BTreeMap;
+
+use crdspec::Value;
+
+use crate::quantity::Quantity;
+
+/// Compute resource requests and limits for a container.
+///
+/// # Examples
+///
+/// ```
+/// use simkube::ResourceRequirements;
+///
+/// let r = ResourceRequirements::new()
+///     .request("cpu", "250m")
+///     .limit("memory", "512Mi");
+/// assert!(r.validate().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResourceRequirements {
+    /// Minimum resources the scheduler must reserve.
+    pub requests: BTreeMap<String, Quantity>,
+    /// Maximum resources the container may consume.
+    pub limits: BTreeMap<String, Quantity>,
+}
+
+impl ResourceRequirements {
+    /// Creates empty requirements.
+    pub fn new() -> ResourceRequirements {
+        ResourceRequirements::default()
+    }
+
+    /// Adds a request (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `quantity` is not parseable; requirements built in code
+    /// use literals.
+    pub fn request(mut self, resource: &str, quantity: &str) -> ResourceRequirements {
+        self.requests
+            .insert(resource.to_string(), quantity.parse().expect("quantity"));
+        self
+    }
+
+    /// Adds a limit (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `quantity` is not parseable.
+    pub fn limit(mut self, resource: &str, quantity: &str) -> ResourceRequirements {
+        self.limits
+            .insert(resource.to_string(), quantity.parse().expect("quantity"));
+        self
+    }
+
+    /// Validates internal consistency: no negative amounts, and every
+    /// request must not exceed the matching limit.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        for (name, q) in self.requests.iter().chain(self.limits.iter()) {
+            if q.is_negative() {
+                errors.push(format!("resource {name} is negative"));
+            }
+        }
+        for (name, req) in &self.requests {
+            if let Some(lim) = self.limits.get(name) {
+                if req > lim {
+                    errors.push(format!("request for {name} exceeds limit"));
+                }
+            }
+        }
+        errors
+    }
+
+    /// Returns the effective request for `resource` (falling back to the
+    /// limit, then zero), as the scheduler accounts it.
+    pub fn effective_request(&self, resource: &str) -> Quantity {
+        self.requests
+            .get(resource)
+            .or_else(|| self.limits.get(resource))
+            .copied()
+            .unwrap_or_else(Quantity::zero)
+    }
+
+    /// Renders as a [`Value`].
+    pub fn to_value(&self) -> Value {
+        let render = |m: &BTreeMap<String, Quantity>| {
+            Value::Object(
+                m.iter()
+                    .map(|(k, q)| (k.clone(), Value::from(q.to_string())))
+                    .collect(),
+            )
+        };
+        let mut out = Value::empty_object();
+        if !self.requests.is_empty() {
+            out.as_object_mut()
+                .expect("object")
+                .insert("requests".to_string(), render(&self.requests));
+        }
+        if !self.limits.is_empty() {
+            out.as_object_mut()
+                .expect("object")
+                .insert("limits".to_string(), render(&self.limits));
+        }
+        out
+    }
+}
+
+/// One node-affinity requirement: the node must carry `key=value`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeAffinityTerm {
+    /// Node label key.
+    pub key: String,
+    /// Required node label value.
+    pub value: String,
+}
+
+/// One pod-(anti-)affinity requirement against other pods' labels within a
+/// topology domain (we model a single `kubernetes.io/hostname` topology).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PodAffinityTerm {
+    /// Pod label key to match.
+    pub key: String,
+    /// Pod label value to match.
+    pub value: String,
+}
+
+/// Scheduling affinity rules.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Affinity {
+    /// Required node label matches.
+    pub node_required: Vec<NodeAffinityTerm>,
+    /// Pods we must be co-located with (same node).
+    pub pod_affinity: Vec<PodAffinityTerm>,
+    /// Pods we must not share a node with.
+    pub pod_anti_affinity: Vec<PodAffinityTerm>,
+}
+
+impl Affinity {
+    /// Returns `true` when no rules are present.
+    pub fn is_empty(&self) -> bool {
+        self.node_required.is_empty()
+            && self.pod_affinity.is_empty()
+            && self.pod_anti_affinity.is_empty()
+    }
+
+    /// Renders as a [`Value`].
+    pub fn to_value(&self) -> Value {
+        let term =
+            |k: &str, v: &str| Value::object([("key", Value::from(k)), ("value", Value::from(v))]);
+        Value::object([
+            (
+                "nodeRequired",
+                Value::array(self.node_required.iter().map(|t| term(&t.key, &t.value))),
+            ),
+            (
+                "podAffinity",
+                Value::array(self.pod_affinity.iter().map(|t| term(&t.key, &t.value))),
+            ),
+            (
+                "podAntiAffinity",
+                Value::array(
+                    self.pod_anti_affinity
+                        .iter()
+                        .map(|t| term(&t.key, &t.value)),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The effect of a node taint on pods that do not tolerate it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintEffect {
+    /// New pods are not scheduled onto the node.
+    NoSchedule,
+    /// Scheduling is discouraged (modelled as NoSchedule for determinism).
+    PreferNoSchedule,
+    /// Running pods are evicted as well.
+    NoExecute,
+}
+
+/// A node taint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Taint {
+    /// Taint key.
+    pub key: String,
+    /// Taint value.
+    pub value: String,
+    /// Scheduling effect.
+    pub effect: TaintEffect,
+}
+
+/// How a toleration matches a taint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TolerationOperator {
+    /// Key and value must both match.
+    Equal,
+    /// Any taint with the key is tolerated.
+    Exists,
+}
+
+/// A pod's tolerance of a node taint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Toleration {
+    /// Taint key to tolerate (empty tolerates everything with `Exists`).
+    pub key: String,
+    /// Value to match under [`TolerationOperator::Equal`].
+    pub value: String,
+    /// Matching operator.
+    pub operator: TolerationOperator,
+}
+
+impl Toleration {
+    /// Returns `true` when this toleration covers `taint`.
+    pub fn tolerates(&self, taint: &Taint) -> bool {
+        match self.operator {
+            TolerationOperator::Exists => self.key.is_empty() || self.key == taint.key,
+            TolerationOperator::Equal => self.key == taint.key && self.value == taint.value,
+        }
+    }
+}
+
+/// Pod or container security context (the subset operators configure).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SecurityContext {
+    /// Unix user id to run as.
+    pub run_as_user: Option<i64>,
+    /// Require a non-root user.
+    pub run_as_non_root: bool,
+    /// Mount the root filesystem read-only.
+    pub read_only_root_filesystem: bool,
+    /// Filesystem group for mounted volumes.
+    pub fs_group: Option<i64>,
+}
+
+impl SecurityContext {
+    /// Validates the context, returning the reasons a pod with this context
+    /// would be rejected at admission or fail to start.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        if let Some(uid) = self.run_as_user {
+            if uid < 0 {
+                errors.push(format!("runAsUser {uid} is negative"));
+            }
+            if self.run_as_non_root && uid == 0 {
+                errors.push("runAsNonRoot is set but runAsUser is 0".to_string());
+            }
+        }
+        if let Some(gid) = self.fs_group {
+            if gid < 0 {
+                errors.push(format!("fsGroup {gid} is negative"));
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requirements_validate_bounds() {
+        let ok = ResourceRequirements::new()
+            .request("cpu", "250m")
+            .limit("cpu", "1");
+        assert!(ok.validate().is_empty());
+        let bad = ResourceRequirements::new()
+            .request("cpu", "2")
+            .limit("cpu", "1");
+        assert_eq!(bad.validate().len(), 1);
+        let neg = ResourceRequirements::new().request("memory", "-1Gi");
+        assert_eq!(neg.validate().len(), 1);
+    }
+
+    #[test]
+    fn effective_request_falls_back_to_limit() {
+        let r = ResourceRequirements::new().limit("memory", "512Mi");
+        assert_eq!(r.effective_request("memory"), "512Mi".parse().unwrap());
+        assert_eq!(r.effective_request("cpu"), Quantity::zero());
+    }
+
+    #[test]
+    fn tolerations_match_taints() {
+        let taint = Taint {
+            key: "dedicated".to_string(),
+            value: "db".to_string(),
+            effect: TaintEffect::NoSchedule,
+        };
+        let equal = Toleration {
+            key: "dedicated".to_string(),
+            value: "db".to_string(),
+            operator: TolerationOperator::Equal,
+        };
+        let wrong_value = Toleration {
+            value: "web".to_string(),
+            ..equal.clone()
+        };
+        let exists = Toleration {
+            key: "dedicated".to_string(),
+            value: String::new(),
+            operator: TolerationOperator::Exists,
+        };
+        let wildcard = Toleration {
+            key: String::new(),
+            value: String::new(),
+            operator: TolerationOperator::Exists,
+        };
+        assert!(equal.tolerates(&taint));
+        assert!(!wrong_value.tolerates(&taint));
+        assert!(exists.tolerates(&taint));
+        assert!(wildcard.tolerates(&taint));
+    }
+
+    #[test]
+    fn security_context_validation() {
+        let ok = SecurityContext {
+            run_as_user: Some(1000),
+            run_as_non_root: true,
+            ..SecurityContext::default()
+        };
+        assert!(ok.validate().is_empty());
+        let root_conflict = SecurityContext {
+            run_as_user: Some(0),
+            run_as_non_root: true,
+            ..SecurityContext::default()
+        };
+        assert_eq!(root_conflict.validate().len(), 1);
+        let negative = SecurityContext {
+            run_as_user: Some(-5),
+            fs_group: Some(-1),
+            ..SecurityContext::default()
+        };
+        assert_eq!(negative.validate().len(), 2);
+    }
+
+    #[test]
+    fn to_value_renders_quantities_canonically() {
+        let r = ResourceRequirements::new().request("memory", "1024Mi");
+        let v = r.to_value();
+        assert_eq!(
+            v.get_path(&"requests.memory".parse().unwrap()),
+            Some(&Value::from("1Gi"))
+        );
+    }
+}

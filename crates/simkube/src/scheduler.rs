@@ -1,0 +1,420 @@
+//! The pod scheduler.
+//!
+//! Assigns pending pods to nodes, honouring resource capacity, node
+//! selectors, required node affinity, taints/tolerations, and pod
+//! (anti-)affinity within the hostname topology. Misoperation scenarios in
+//! the paper (unsatisfiable affinity rules, unavailable resources) manifest
+//! here as permanently `Pending` pods with an `Unschedulable` reason.
+
+use std::collections::BTreeMap;
+
+use crate::objects::{Kind, ObjectData, Pod, PodPhase};
+use crate::quantity::Quantity;
+use crate::resources::TaintEffect;
+use crate::store::{ObjKey, ObjectStore};
+
+/// The outcome of one scheduling pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleOutcome {
+    /// Pods bound to nodes this pass, with their node names.
+    pub bound: Vec<(String, String)>,
+    /// Pods that could not be placed, with the reasons.
+    pub unschedulable: Vec<(String, String)>,
+}
+
+/// Runs one scheduling pass over all pending pods in the store.
+pub fn schedule(store: &mut ObjectStore, time: u64) -> ScheduleOutcome {
+    let mut outcome = ScheduleOutcome::default();
+    // Snapshot node state.
+    let nodes: Vec<(String, crate::objects::Node)> = store
+        .list_all(&Kind::Node)
+        .into_iter()
+        .filter_map(|o| match &o.data {
+            ObjectData::Node(n) => Some((o.meta.name.clone(), n.clone())),
+            _ => None,
+        })
+        .collect();
+    // Snapshot current assignments: node -> (used cpu, used memory) and
+    // node -> pod labels (for pod affinity).
+    let mut used: BTreeMap<String, (Quantity, Quantity)> = BTreeMap::new();
+    let mut node_pod_labels: BTreeMap<String, Vec<BTreeMap<String, String>>> = BTreeMap::new();
+    let mut pending: Vec<ObjKey> = Vec::new();
+    for (key, obj) in store.iter() {
+        if let ObjectData::Pod(pod) = &obj.data {
+            match &pod.node_name {
+                Some(node) if pod.phase != PodPhase::Succeeded && pod.phase != PodPhase::Failed => {
+                    let entry = used
+                        .entry(node.clone())
+                        .or_insert((Quantity::zero(), Quantity::zero()));
+                    entry.0 = entry.0 + pod.total_request("cpu");
+                    entry.1 = entry.1 + pod.total_request("memory");
+                    node_pod_labels
+                        .entry(node.clone())
+                        .or_default()
+                        .push(obj.meta.labels.clone());
+                }
+                None if pod.phase == PodPhase::Pending => pending.push(key.clone()),
+                _ => {}
+            }
+        }
+    }
+    // Deterministic order: by key.
+    pending.sort();
+    for key in pending {
+        let (pod, labels) = match store.get(&key) {
+            Some(obj) => match &obj.data {
+                ObjectData::Pod(p) => (p.clone(), obj.meta.labels.clone()),
+                _ => continue,
+            },
+            None => continue,
+        };
+        match place(&pod, &nodes, &used, &node_pod_labels) {
+            Ok(node_name) => {
+                let entry = used
+                    .entry(node_name.clone())
+                    .or_insert((Quantity::zero(), Quantity::zero()));
+                entry.0 = entry.0 + pod.total_request("cpu");
+                entry.1 = entry.1 + pod.total_request("memory");
+                node_pod_labels
+                    .entry(node_name.clone())
+                    .or_default()
+                    .push(labels);
+                store
+                    .update_with(&key, time, |obj| {
+                        if let ObjectData::Pod(p) = &mut obj.data {
+                            p.node_name = Some(node_name.clone());
+                            p.reason = String::new();
+                            p.phase_since = time;
+                        }
+                    })
+                    .expect("pod exists");
+                outcome.bound.push((key.name.clone(), node_name));
+            }
+            Err(reason) => {
+                store
+                    .update_with(&key, time, |obj| {
+                        if let ObjectData::Pod(p) = &mut obj.data {
+                            if p.reason != "Unschedulable" {
+                                p.reason = "Unschedulable".to_string();
+                            }
+                        }
+                    })
+                    .expect("pod exists");
+                outcome.unschedulable.push((key.name.clone(), reason));
+            }
+        }
+    }
+    outcome
+}
+
+/// Attempts to find a node for `pod`. Returns the node name or the reason
+/// no node fits.
+fn place(
+    pod: &Pod,
+    nodes: &[(String, crate::objects::Node)],
+    used: &BTreeMap<String, (Quantity, Quantity)>,
+    node_pod_labels: &BTreeMap<String, Vec<BTreeMap<String, String>>>,
+) -> Result<String, String> {
+    let mut reasons: Vec<String> = Vec::new();
+    let mut candidates: Vec<(&String, Quantity)> = Vec::new();
+    for (name, node) in nodes {
+        if !node.ready {
+            reasons.push(format!("{name}: not ready"));
+            continue;
+        }
+        // Node selector.
+        if !pod
+            .node_selector
+            .iter()
+            .all(|(k, v)| node.labels.get(k) == Some(v))
+        {
+            reasons.push(format!("{name}: node selector mismatch"));
+            continue;
+        }
+        // Required node affinity.
+        if !pod
+            .affinity
+            .node_required
+            .iter()
+            .all(|t| node.labels.get(&t.key) == Some(&t.value))
+        {
+            reasons.push(format!("{name}: node affinity unsatisfied"));
+            continue;
+        }
+        // Taints.
+        let intolerable = node.taints.iter().any(|taint| {
+            matches!(
+                taint.effect,
+                TaintEffect::NoSchedule | TaintEffect::PreferNoSchedule | TaintEffect::NoExecute
+            ) && !pod.tolerations.iter().any(|tol| tol.tolerates(taint))
+        });
+        if intolerable {
+            reasons.push(format!("{name}: untolerated taint"));
+            continue;
+        }
+        // Resources.
+        let (used_cpu, used_mem) = used
+            .get(name)
+            .copied()
+            .unwrap_or((Quantity::zero(), Quantity::zero()));
+        let cap_cpu = node
+            .capacity
+            .get("cpu")
+            .copied()
+            .unwrap_or_else(Quantity::zero);
+        let cap_mem = node
+            .capacity
+            .get("memory")
+            .copied()
+            .unwrap_or_else(Quantity::zero);
+        let need_cpu = pod.total_request("cpu");
+        let need_mem = pod.total_request("memory");
+        if used_cpu + need_cpu > cap_cpu || used_mem + need_mem > cap_mem {
+            reasons.push(format!("{name}: insufficient resources"));
+            continue;
+        }
+        let empty = Vec::new();
+        let labels_here = node_pod_labels.get(name).unwrap_or(&empty);
+        // Pod anti-affinity: no pod on this node may match any term.
+        let anti_violated = pod.affinity.pod_anti_affinity.iter().any(|term| {
+            labels_here
+                .iter()
+                .any(|l| l.get(&term.key) == Some(&term.value))
+        });
+        if anti_violated {
+            reasons.push(format!("{name}: anti-affinity conflict"));
+            continue;
+        }
+        // Pod affinity: every term must match some pod on this node.
+        let affinity_unmet = pod.affinity.pod_affinity.iter().any(|term| {
+            !labels_here
+                .iter()
+                .any(|l| l.get(&term.key) == Some(&term.value))
+        });
+        if affinity_unmet {
+            reasons.push(format!("{name}: pod affinity unmet"));
+            continue;
+        }
+        candidates.push((name, cap_cpu.saturating_sub(&(used_cpu + need_cpu))));
+    }
+    // Most free CPU wins; ties break by name for determinism.
+    candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    match candidates.first() {
+        Some((name, _)) => Ok((*name).clone()),
+        None => Err(if reasons.is_empty() {
+            "no nodes registered".to_string()
+        } else {
+            reasons.join(", ")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::ObjectMeta;
+    use crate::objects::{Container, Node};
+    use crate::resources::{
+        NodeAffinityTerm, PodAffinityTerm, ResourceRequirements, Taint, TaintEffect, Toleration,
+        TolerationOperator,
+    };
+
+    fn add_node(store: &mut ObjectStore, name: &str, cpu: &str, mem: &str) {
+        store
+            .create(
+                ObjectMeta::named("", name),
+                ObjectData::Node(Node::with_capacity(cpu, mem)),
+                0,
+            )
+            .unwrap();
+    }
+
+    fn add_pod(store: &mut ObjectStore, name: &str, cpu: &str, mem: &str) -> ObjKey {
+        let pod = Pod {
+            containers: vec![Container {
+                name: "c".to_string(),
+                image: "img:1".to_string(),
+                resources: ResourceRequirements::new()
+                    .request("cpu", cpu)
+                    .request("memory", mem),
+                ..Container::default()
+            }],
+            ..Pod::default()
+        };
+        store
+            .create(ObjectMeta::named("ns", name), ObjectData::Pod(pod), 0)
+            .unwrap()
+    }
+
+    #[test]
+    fn binds_to_node_with_most_free_cpu() {
+        let mut store = ObjectStore::new();
+        add_node(&mut store, "small", "2", "4Gi");
+        add_node(&mut store, "big", "8", "16Gi");
+        let key = add_pod(&mut store, "p", "1", "1Gi");
+        let outcome = schedule(&mut store, 1);
+        assert_eq!(outcome.bound.len(), 1);
+        let pod = store.get(&key).unwrap();
+        if let ObjectData::Pod(p) = &pod.data {
+            assert_eq!(p.node_name.as_deref(), Some("big"));
+        }
+    }
+
+    #[test]
+    fn respects_capacity_accounting_across_pods() {
+        let mut store = ObjectStore::new();
+        add_node(&mut store, "n1", "2", "4Gi");
+        add_pod(&mut store, "a", "1500m", "1Gi");
+        add_pod(&mut store, "b", "1500m", "1Gi");
+        let outcome = schedule(&mut store, 1);
+        assert_eq!(outcome.bound.len(), 1);
+        assert_eq!(outcome.unschedulable.len(), 1);
+        assert!(outcome.unschedulable[0].1.contains("insufficient"));
+    }
+
+    #[test]
+    fn node_selector_and_affinity_filter() {
+        let mut store = ObjectStore::new();
+        add_node(&mut store, "plain", "4", "8Gi");
+        let key = {
+            let mut pod = Pod::default();
+            pod.node_selector
+                .insert("disk".to_string(), "ssd".to_string());
+            store
+                .create(ObjectMeta::named("ns", "p"), ObjectData::Pod(pod), 0)
+                .unwrap()
+        };
+        let outcome = schedule(&mut store, 1);
+        assert_eq!(outcome.unschedulable.len(), 1);
+        if let ObjectData::Pod(p) = &store.get(&key).unwrap().data {
+            assert_eq!(p.reason, "Unschedulable");
+        }
+        // Label the node and try again.
+        let node_key = ObjKey::new(Kind::Node, "", "plain");
+        store
+            .update_with(&node_key, 2, |o| {
+                if let ObjectData::Node(n) = &mut o.data {
+                    n.labels.insert("disk".to_string(), "ssd".to_string());
+                }
+            })
+            .unwrap();
+        let outcome = schedule(&mut store, 3);
+        assert_eq!(outcome.bound.len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_node_affinity_is_reported() {
+        let mut store = ObjectStore::new();
+        add_node(&mut store, "n1", "4", "8Gi");
+        let mut pod = Pod::default();
+        pod.affinity.node_required.push(NodeAffinityTerm {
+            key: "zone".to_string(),
+            value: "nowhere".to_string(),
+        });
+        store
+            .create(ObjectMeta::named("ns", "p"), ObjectData::Pod(pod), 0)
+            .unwrap();
+        let outcome = schedule(&mut store, 1);
+        assert_eq!(outcome.unschedulable.len(), 1);
+        assert!(outcome.unschedulable[0].1.contains("affinity"));
+    }
+
+    #[test]
+    fn taints_block_unless_tolerated() {
+        let mut store = ObjectStore::new();
+        add_node(&mut store, "t1", "4", "8Gi");
+        let node_key = ObjKey::new(Kind::Node, "", "t1");
+        store
+            .update_with(&node_key, 0, |o| {
+                if let ObjectData::Node(n) = &mut o.data {
+                    n.taints.push(Taint {
+                        key: "dedicated".to_string(),
+                        value: "db".to_string(),
+                        effect: TaintEffect::NoSchedule,
+                    });
+                }
+            })
+            .unwrap();
+        add_pod(&mut store, "p", "100m", "128Mi");
+        let outcome = schedule(&mut store, 1);
+        assert_eq!(outcome.unschedulable.len(), 1);
+        // Tolerating pod schedules.
+        let mut pod = Pod::default();
+        pod.tolerations.push(Toleration {
+            key: "dedicated".to_string(),
+            value: "db".to_string(),
+            operator: TolerationOperator::Equal,
+        });
+        store
+            .create(ObjectMeta::named("ns", "tolerant"), ObjectData::Pod(pod), 0)
+            .unwrap();
+        let outcome = schedule(&mut store, 2);
+        assert!(outcome.bound.iter().any(|(p, _)| p == "tolerant"));
+    }
+
+    #[test]
+    fn anti_affinity_spreads_pods() {
+        let mut store = ObjectStore::new();
+        add_node(&mut store, "n1", "4", "8Gi");
+        add_node(&mut store, "n2", "4", "8Gi");
+        for name in ["zk-0", "zk-1", "zk-2"] {
+            let mut pod = Pod::default();
+            pod.affinity.pod_anti_affinity.push(PodAffinityTerm {
+                key: "app".to_string(),
+                value: "zk".to_string(),
+            });
+            let meta = ObjectMeta::named("ns", name).with_label("app", "zk");
+            store.create(meta, ObjectData::Pod(pod), 0).unwrap();
+        }
+        let outcome = schedule(&mut store, 1);
+        // Two nodes, three pods with anti-affinity: one must stay pending.
+        assert_eq!(outcome.bound.len(), 2);
+        assert_eq!(outcome.unschedulable.len(), 1);
+        assert!(outcome.unschedulable[0].1.contains("anti-affinity"));
+    }
+
+    #[test]
+    fn pod_affinity_requires_co_located_match() {
+        let mut store = ObjectStore::new();
+        add_node(&mut store, "n1", "4", "8Gi");
+        // The dependent pod requires a pod labelled app=primary on the node.
+        let mut pod = Pod::default();
+        pod.affinity.pod_affinity.push(PodAffinityTerm {
+            key: "app".to_string(),
+            value: "primary".to_string(),
+        });
+        store
+            .create(ObjectMeta::named("ns", "dep"), ObjectData::Pod(pod), 0)
+            .unwrap();
+        let outcome = schedule(&mut store, 1);
+        assert_eq!(outcome.unschedulable.len(), 1);
+        // Schedule the primary first, then the dependent fits.
+        let meta = ObjectMeta::named("ns", "primary").with_label("app", "primary");
+        store
+            .create(meta, ObjectData::Pod(Pod::default()), 0)
+            .unwrap();
+        let outcome = schedule(&mut store, 2);
+        assert_eq!(outcome.unschedulable.len(), 1); // dep sorted before primary
+        let outcome = schedule(&mut store, 3);
+        assert!(outcome.bound.iter().any(|(p, _)| p == "dep"));
+        let _ = outcome;
+    }
+
+    #[test]
+    fn not_ready_nodes_excluded() {
+        let mut store = ObjectStore::new();
+        add_node(&mut store, "down", "4", "8Gi");
+        let node_key = ObjKey::new(Kind::Node, "", "down");
+        store
+            .update_with(&node_key, 0, |o| {
+                if let ObjectData::Node(n) = &mut o.data {
+                    n.ready = false;
+                }
+            })
+            .unwrap();
+        add_pod(&mut store, "p", "100m", "128Mi");
+        let outcome = schedule(&mut store, 1);
+        assert_eq!(outcome.unschedulable.len(), 1);
+        assert!(outcome.unschedulable[0].1.contains("not ready"));
+    }
+}

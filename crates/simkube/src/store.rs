@@ -1,0 +1,390 @@
+//! The versioned object store (the simulated `etcd`).
+//!
+//! All state objects live here, keyed by kind/namespace/name, with monotonic
+//! resource versions and an append-only watch-event log. Acto's convergence
+//! detection consumes the event log: the reset timer restarts whenever a new
+//! event appears (paper §5.5).
+
+use std::collections::BTreeMap;
+
+use crate::meta::ObjectMeta;
+use crate::objects::{Kind, ObjectData, StoredObject};
+
+/// Key identifying a stored object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjKey {
+    /// Object kind.
+    pub kind: Kind,
+    /// Namespace.
+    pub namespace: String,
+    /// Name.
+    pub name: String,
+}
+
+impl ObjKey {
+    /// Builds a key.
+    pub fn new(kind: Kind, namespace: &str, name: &str) -> ObjKey {
+        ObjKey {
+            kind,
+            namespace: namespace.to_string(),
+            name: name.to_string(),
+        }
+    }
+}
+
+/// What happened to an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchEventKind {
+    /// Object created.
+    Added,
+    /// Object updated (spec or status).
+    Modified,
+    /// Object removed.
+    Deleted,
+}
+
+/// One entry of the watch-event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchEvent {
+    /// Store revision at which the event happened.
+    pub revision: u64,
+    /// Simulated time of the event.
+    pub time: u64,
+    /// What happened.
+    pub kind: WatchEventKind,
+    /// The object affected.
+    pub key: ObjKey,
+}
+
+/// The versioned object store.
+///
+/// # Examples
+///
+/// ```
+/// use simkube::{ObjectStore, ObjectData, ConfigMap, Kind};
+/// use simkube::meta::ObjectMeta;
+///
+/// let mut store = ObjectStore::new();
+/// store.create(
+///     ObjectMeta::named("default", "conf"),
+///     ObjectData::ConfigMap(ConfigMap::default()),
+///     0,
+/// ).unwrap();
+/// assert_eq!(store.list(&Kind::ConfigMap, "default").len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    objects: BTreeMap<ObjKey, StoredObject>,
+    revision: u64,
+    next_uid: u64,
+    events: Vec<WatchEvent>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> ObjectStore {
+        ObjectStore {
+            objects: BTreeMap::new(),
+            revision: 0,
+            next_uid: 1,
+            events: Vec::new(),
+        }
+    }
+
+    /// Current store revision (advances on every write).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    fn bump(&mut self, kind: WatchEventKind, key: ObjKey, time: u64) {
+        self.revision += 1;
+        self.events.push(WatchEvent {
+            revision: self.revision,
+            time,
+            kind,
+            key,
+        });
+    }
+
+    /// Creates an object, assigning uid and resource version.
+    ///
+    /// Fails if an object with the same key already exists.
+    pub fn create(
+        &mut self,
+        mut meta: ObjectMeta,
+        data: ObjectData,
+        time: u64,
+    ) -> Result<ObjKey, String> {
+        let key = ObjKey::new(data.kind(), &meta.namespace, &meta.name);
+        if self.objects.contains_key(&key) {
+            return Err(format!(
+                "{} {}/{} already exists",
+                key.kind.name(),
+                key.namespace,
+                key.name
+            ));
+        }
+        meta.uid = self.next_uid;
+        self.next_uid += 1;
+        meta.resource_version = self.revision + 1;
+        meta.generation = 1;
+        meta.creation_timestamp = time;
+        self.objects
+            .insert(key.clone(), StoredObject { meta, data });
+        self.bump(WatchEventKind::Added, key.clone(), time);
+        Ok(key)
+    }
+
+    /// Fetches an object by key.
+    pub fn get(&self, key: &ObjKey) -> Option<&StoredObject> {
+        self.objects.get(key)
+    }
+
+    /// Replaces an object's payload. Bumps generation when the spec changed
+    /// and the resource version always.
+    pub fn update(&mut self, key: &ObjKey, data: ObjectData, time: u64) -> Result<(), String> {
+        let obj = self.objects.get_mut(key).ok_or_else(|| {
+            format!(
+                "{} {}/{} not found",
+                key.kind.name(),
+                key.namespace,
+                key.name
+            )
+        })?;
+        let spec_changed = obj.data.spec_value() != data.spec_value();
+        let changed = obj.data != data;
+        obj.data = data;
+        if changed {
+            obj.meta.resource_version = self.revision + 1;
+            if spec_changed {
+                obj.meta.generation += 1;
+            }
+            self.bump(WatchEventKind::Modified, key.clone(), time);
+        }
+        Ok(())
+    }
+
+    /// Mutates an object in place through a closure. No event is recorded
+    /// when the closure leaves the object unchanged.
+    pub fn update_with<F: FnOnce(&mut StoredObject)>(
+        &mut self,
+        key: &ObjKey,
+        time: u64,
+        f: F,
+    ) -> Result<(), String> {
+        let obj = self.objects.get_mut(key).ok_or_else(|| {
+            format!(
+                "{} {}/{} not found",
+                key.kind.name(),
+                key.namespace,
+                key.name
+            )
+        })?;
+        let before_data = obj.data.clone();
+        let before_spec = obj.data.spec_value();
+        let before_meta = obj.meta.clone();
+        f(obj);
+        // Restore store-managed metadata the closure must not forge.
+        obj.meta.uid = before_meta.uid;
+        obj.meta.resource_version = before_meta.resource_version;
+        obj.meta.generation = before_meta.generation;
+        obj.meta.creation_timestamp = before_meta.creation_timestamp;
+        let changed = obj.data != before_data || obj.meta != before_meta;
+        if changed {
+            obj.meta.resource_version = self.revision + 1;
+            if obj.data.spec_value() != before_spec {
+                obj.meta.generation += 1;
+            }
+            self.bump(WatchEventKind::Modified, key.clone(), time);
+        }
+        Ok(())
+    }
+
+    /// Deletes an object, returning it.
+    pub fn delete(&mut self, key: &ObjKey, time: u64) -> Option<StoredObject> {
+        let removed = self.objects.remove(key);
+        if removed.is_some() {
+            self.bump(WatchEventKind::Deleted, key.clone(), time);
+        }
+        removed
+    }
+
+    /// Lists objects of a kind within a namespace, sorted by name.
+    pub fn list(&self, kind: &Kind, namespace: &str) -> Vec<&StoredObject> {
+        self.objects
+            .values()
+            .filter(|o| &o.data.kind() == kind && o.meta.namespace == namespace)
+            .collect()
+    }
+
+    /// Lists objects of a kind across all namespaces.
+    pub fn list_all(&self, kind: &Kind) -> Vec<&StoredObject> {
+        self.objects
+            .values()
+            .filter(|o| &o.data.kind() == kind)
+            .collect()
+    }
+
+    /// Iterates over every stored object.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjKey, &StoredObject)> {
+        self.objects.iter()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Returns watch events with revision greater than `after_revision`.
+    pub fn events_since(&self, after_revision: u64) -> &[WatchEvent] {
+        let start = self
+            .events
+            .partition_point(|e| e.revision <= after_revision);
+        &self.events[start..]
+    }
+
+    /// Takes a deep snapshot of the store (used by the differential oracle
+    /// and for error-state rollback bookkeeping).
+    pub fn snapshot(&self) -> ObjectStore {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{ConfigMap, Pod};
+
+    fn cm(name: &str) -> (ObjectMeta, ObjectData) {
+        (
+            ObjectMeta::named("ns", name),
+            ObjectData::ConfigMap(ConfigMap::default()),
+        )
+    }
+
+    #[test]
+    fn create_assigns_uid_and_version() {
+        let mut store = ObjectStore::new();
+        let (meta, data) = cm("a");
+        let key = store.create(meta, data, 5).unwrap();
+        let obj = store.get(&key).unwrap();
+        assert_eq!(obj.meta.uid, 1);
+        assert_eq!(obj.meta.resource_version, 1);
+        assert_eq!(obj.meta.generation, 1);
+        assert_eq!(obj.meta.creation_timestamp, 5);
+        let (meta2, data2) = cm("b");
+        let key2 = store.create(meta2, data2, 6).unwrap();
+        assert_eq!(store.get(&key2).unwrap().meta.uid, 2);
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut store = ObjectStore::new();
+        let (meta, data) = cm("a");
+        store.create(meta.clone(), data.clone(), 0).unwrap();
+        assert!(store.create(meta, data, 0).is_err());
+    }
+
+    #[test]
+    fn update_bumps_generation_only_on_spec_change() {
+        let mut store = ObjectStore::new();
+        let key = store
+            .create(
+                ObjectMeta::named("ns", "p"),
+                ObjectData::Pod(Pod::default()),
+                0,
+            )
+            .unwrap();
+        // Status-only change: phase.
+        store
+            .update_with(&key, 1, |o| {
+                if let ObjectData::Pod(p) = &mut o.data {
+                    p.phase = crate::objects::PodPhase::Running;
+                }
+            })
+            .unwrap();
+        assert_eq!(store.get(&key).unwrap().meta.generation, 1);
+        // Spec change: new container.
+        store
+            .update_with(&key, 2, |o| {
+                if let ObjectData::Pod(p) = &mut o.data {
+                    p.containers.push(crate::objects::Container::default());
+                }
+            })
+            .unwrap();
+        assert_eq!(store.get(&key).unwrap().meta.generation, 2);
+    }
+
+    #[test]
+    fn noop_update_records_no_event() {
+        let mut store = ObjectStore::new();
+        let (meta, data) = cm("a");
+        let key = store.create(meta, data, 0).unwrap();
+        let before = store.events_since(0).len();
+        store.update_with(&key, 1, |_| {}).unwrap();
+        assert_eq!(store.events_since(0).len(), before);
+    }
+
+    #[test]
+    fn delete_emits_event() {
+        let mut store = ObjectStore::new();
+        let (meta, data) = cm("a");
+        let key = store.create(meta, data, 0).unwrap();
+        assert!(store.delete(&key, 3).is_some());
+        assert!(store.get(&key).is_none());
+        let events = store.events_since(0);
+        assert_eq!(events.last().unwrap().kind, WatchEventKind::Deleted);
+        assert!(store.delete(&key, 3).is_none());
+    }
+
+    #[test]
+    fn events_since_filters_by_revision() {
+        let mut store = ObjectStore::new();
+        for name in ["a", "b", "c"] {
+            let (meta, data) = cm(name);
+            store.create(meta, data, 0).unwrap();
+        }
+        assert_eq!(store.events_since(0).len(), 3);
+        assert_eq!(store.events_since(2).len(), 1);
+        assert_eq!(store.events_since(3).len(), 0);
+    }
+
+    #[test]
+    fn list_is_scoped_and_sorted() {
+        let mut store = ObjectStore::new();
+        let (meta, data) = cm("b");
+        store.create(meta, data, 0).unwrap();
+        let (meta, data) = cm("a");
+        store.create(meta, data, 0).unwrap();
+        store
+            .create(
+                ObjectMeta::named("other", "c"),
+                ObjectData::ConfigMap(ConfigMap::default()),
+                0,
+            )
+            .unwrap();
+        let names: Vec<&str> = store
+            .list(&Kind::ConfigMap, "ns")
+            .iter()
+            .map(|o| o.meta.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(store.list_all(&Kind::ConfigMap).len(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut store = ObjectStore::new();
+        let (meta, data) = cm("a");
+        let key = store.create(meta, data, 0).unwrap();
+        let snap = store.snapshot();
+        store.delete(&key, 1);
+        assert!(snap.get(&key).is_some());
+        assert!(store.get(&key).is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for quantities and the versioned store.
+
+use proptest::prelude::*;
+use simkube::meta::ObjectMeta;
+use simkube::objects::{ConfigMap, Kind, ObjectData};
+use simkube::{ObjectStore, Quantity};
+
+fn arb_quantity_string() -> impl Strategy<Value = String> {
+    let suffix = prop_oneof![
+        Just("".to_string()),
+        Just("m".to_string()),
+        Just("k".to_string()),
+        Just("M".to_string()),
+        Just("G".to_string()),
+        Just("Ki".to_string()),
+        Just("Mi".to_string()),
+        Just("Gi".to_string()),
+        Just("Ti".to_string()),
+    ];
+    (0u64..1_000_000u64, suffix).prop_map(|(n, s)| format!("{n}{s}"))
+}
+
+proptest! {
+    #[test]
+    fn quantity_display_roundtrip(s in arb_quantity_string()) {
+        let q: Quantity = s.parse().expect("generated quantities parse");
+        let round: Quantity = q.to_string().parse().expect("canonical form parses");
+        prop_assert_eq!(q, round);
+    }
+
+    #[test]
+    fn quantity_addition_is_commutative_and_monotone(
+        a in arb_quantity_string(),
+        b in arb_quantity_string(),
+    ) {
+        let qa: Quantity = a.parse().expect("parse a");
+        let qb: Quantity = b.parse().expect("parse b");
+        prop_assert_eq!(qa + qb, qb + qa);
+        prop_assert!(qa + qb >= qa);
+        prop_assert!(qa + qb >= qb);
+        // Subtraction inverts addition.
+        prop_assert_eq!((qa + qb) - qb, qa);
+    }
+
+    #[test]
+    fn quantity_value_rounds_up(millis in 0i64..10_000_000) {
+        let q = Quantity::from_millis(millis);
+        let v = q.value();
+        prop_assert!(i128::from(v) * 1000 >= q.millis());
+        prop_assert!((i128::from(v) - 1) * 1000 < q.millis());
+    }
+
+    #[test]
+    fn store_revisions_are_strictly_monotonic(names in prop::collection::vec("[a-z]{1,8}", 1..20)) {
+        let mut store = ObjectStore::new();
+        let mut last_revision = store.revision();
+        for (i, name) in names.iter().enumerate() {
+            let created = store.create(
+                ObjectMeta::named("ns", name),
+                ObjectData::ConfigMap(ConfigMap::default()),
+                i as u64,
+            );
+            if created.is_ok() {
+                prop_assert!(store.revision() > last_revision);
+                last_revision = store.revision();
+            } else {
+                // Duplicate name: no revision bump.
+                prop_assert_eq!(store.revision(), last_revision);
+            }
+        }
+        // Event log length equals number of successful writes.
+        prop_assert_eq!(store.events_since(0).len() as u64, store.revision());
+    }
+
+    #[test]
+    fn store_snapshot_isolation(names in prop::collection::vec("[a-z]{1,8}", 1..10)) {
+        let mut store = ObjectStore::new();
+        for name in &names {
+            let _ = store.create(
+                ObjectMeta::named("ns", name),
+                ObjectData::ConfigMap(ConfigMap::default()),
+                0,
+            );
+        }
+        let snapshot = store.snapshot();
+        let before = snapshot.len();
+        // Mutating the original never changes the snapshot.
+        for name in &names {
+            store.delete(&simkube::ObjKey::new(Kind::ConfigMap, "ns", name), 1);
+        }
+        prop_assert_eq!(snapshot.len(), before);
+        prop_assert_eq!(store.list(&Kind::ConfigMap, "ns").len(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Minimized bug reproduction (paper §5.4).
+//!
+//! Acto generates a minimized e2e test for every alarm so developers can
+//! reproduce a bug without rerunning the whole campaign. This example
+//! drives CockroachOp into its parser-crash bug through a noisy operation
+//! sequence, minimizes the sequence with delta debugging, and emits the
+//! regression-test code.
+//!
+//! ```sh
+//! cargo run --release --example bug_reproduction
+//! ```
+
+use acto_repro::acto::minimize::{emit_test_code, minimize, replays_alarm};
+use acto_repro::acto::AlarmKind;
+use acto_repro::crdspec::Value;
+use acto_repro::operators::{operator_by_name, BugToggles};
+use acto_repro::simkube::PlatformBugs;
+
+fn main() {
+    // A "campaign tail": three scale changes, a config tweak, and finally
+    // the tagless image reference that crashes the operator (CRDB-4).
+    let base = operator_by_name("CockroachOp").initial_cr();
+    let mut seq = Vec::new();
+    for nodes in [4, 5, 3] {
+        let mut s = base.clone();
+        s.set_path(&"nodes".parse().unwrap(), Value::from(nodes));
+        seq.push(s);
+    }
+    let mut tweaked = base.clone();
+    tweaked.set_path(&"config.cache".parse().unwrap(), Value::from("50%"));
+    seq.push(tweaked);
+    let mut crash = base.clone();
+    crash.set_path(&"image".parse().unwrap(), Value::from("cockroach"));
+    seq.push(crash);
+
+    let bugs = BugToggles::all_injected();
+    println!("Original failing sequence: {} declarations", seq.len());
+    assert!(
+        replays_alarm(
+            "CockroachOp",
+            &bugs,
+            PlatformBugs::none(),
+            &seq,
+            AlarmKind::ErrorCheck
+        ),
+        "the sequence must reproduce the crash"
+    );
+
+    let minimized = minimize(
+        "CockroachOp",
+        &bugs,
+        PlatformBugs::none(),
+        &seq,
+        AlarmKind::ErrorCheck,
+    );
+    println!("Minimized to {} declaration(s).\n", minimized.len());
+
+    let code = emit_test_code("CockroachOp", "repro_crdb_tagless_image_crash", &minimized);
+    println!("Generated regression test:\n\n{code}");
+}

@@ -1,0 +1,28 @@
+//! Workspace façade for the Acto reproduction (SOSP 2023).
+//!
+//! This crate re-exports the public API of every workspace member so the
+//! examples and cross-crate integration tests have a single import root:
+//!
+//! - [`acto`]: the testing technique (campaigns, generators, oracles).
+//! - [`operators`]: the eleven evaluated operators with ground-truth bugs.
+//! - [`managed`]: behavioural models of the nine managed systems.
+//! - [`simkube`]: the simulated Kubernetes control plane.
+//! - [`opdsl`]: the reconcile IR and whitebox analyses.
+//! - [`crdspec`]: schemas, dynamic values, validation, diffing.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use acto_repro::acto::{run_campaign, CampaignConfig, Mode};
+//!
+//! let config = CampaignConfig::evaluation("ZooKeeperOp", Mode::Whitebox);
+//! let result = run_campaign(&config);
+//! println!("{} bugs detected", result.summary.detected_bugs.len());
+//! ```
+
+pub use acto;
+pub use crdspec;
+pub use managed;
+pub use opdsl;
+pub use operators;
+pub use simkube;

@@ -1,0 +1,60 @@
+//! The user-extensible oracle interface (paper §5.3): custom oracles run
+//! on every converged trial and their alarms join the report.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use acto_repro::acto::oracles::{CustomOracle, OracleContext};
+use acto_repro::acto::{run_campaign, Alarm, AlarmKind, CampaignConfig, Mode};
+use acto_repro::operators::Instance;
+
+struct CountingOracle {
+    calls: Arc<AtomicUsize>,
+    fire_on: &'static str,
+}
+
+impl CustomOracle for CountingOracle {
+    fn name(&self) -> &str {
+        "counting"
+    }
+
+    fn check(&self, ctx: &OracleContext<'_>, _instance: &Instance) -> Vec<Alarm> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        if ctx.property.to_string() == self.fire_on {
+            vec![Alarm::new(
+                AlarmKind::ErrorCheck,
+                "domain-specific finding".to_string(),
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[test]
+fn custom_oracles_run_and_their_alarms_are_reported() {
+    let calls = Arc::new(AtomicUsize::new(0));
+    let mut config = CampaignConfig::evaluation("ZooKeeperOp", Mode::Whitebox);
+    config.differential = false;
+    config.max_ops = Some(10);
+    config.custom_oracles.push(Arc::new(CountingOracle {
+        calls: calls.clone(),
+        fire_on: "adminServer.port",
+    }));
+    let result = run_campaign(&config);
+    assert!(
+        calls.load(Ordering::SeqCst) > 0,
+        "the custom oracle must be consulted on converged trials"
+    );
+    let custom_alarms: Vec<&Alarm> = result
+        .trials
+        .iter()
+        .flat_map(|t| &t.alarms)
+        .filter(|a| a.detail.contains("[counting]"))
+        .collect();
+    assert!(
+        !custom_alarms.is_empty(),
+        "custom alarms must appear in trial reports (prefixed with the \
+         oracle name)"
+    );
+}

@@ -1,0 +1,107 @@
+//! Ground-truth integration tests: full Acto campaigns against
+//! representative operators, asserting the paper's headline evaluation
+//! properties (Table 5, §6.3, §6.1.4).
+//!
+//! The full 11-operator × 2-mode matrix runs in release mode via
+//! `cargo run --release -p acto-bench --bin evaluate`; these tests pin the
+//! behaviour for three representative operators so regressions surface in
+//! `cargo test`.
+
+use acto_repro::acto::{run_campaign, CampaignConfig, Mode};
+use acto_repro::operators::{bugs_of, BugToggles};
+use acto_repro::simkube::PlatformBugs;
+
+fn assert_all_bugs_found(operator: &str) {
+    let config = CampaignConfig::evaluation(operator, Mode::Whitebox);
+    let result = run_campaign(&config);
+    let expected: Vec<&str> = bugs_of(operator).iter().map(|b| b.id).collect();
+    for id in &expected {
+        assert!(
+            result.summary.detected_bugs.contains_key(*id),
+            "{operator}: whitebox campaign missed {id}; found {:?}",
+            result.summary.detected_bugs.keys().collect::<Vec<_>>()
+        );
+    }
+    assert_eq!(
+        result.summary.detected_bugs.len(),
+        expected.len(),
+        "{operator}: unexpected extra bug attributions"
+    );
+    assert!(
+        result.summary.false_positives.is_empty(),
+        "{operator}: whitebox false positives: {:?}",
+        result.summary.false_positives
+    );
+    assert_eq!(
+        result.properties_covered, result.properties_total,
+        "{operator}: property coverage must be 100%"
+    );
+}
+
+#[test]
+fn whitebox_finds_every_zookeeper_bug_with_no_false_positives() {
+    assert_all_bugs_found("ZooKeeperOp");
+}
+
+#[test]
+fn whitebox_finds_every_mongodb_bug_with_no_false_positives() {
+    assert_all_bugs_found("OFC/MongoOp");
+}
+
+#[test]
+fn whitebox_finds_every_xtradb_bug_with_no_false_positives() {
+    assert_all_bugs_found("XtraDBOp");
+}
+
+#[test]
+fn blackbox_misses_exactly_the_semantics_requiring_zookeeper_bug() {
+    // Paper §6.1: Acto-blackbox missed one bug, because it cannot infer the
+    // semantics of a primitive property needed to generate a scenario. The
+    // blackbox mode also raises the ephemeral/storageType false alarm
+    // (paper §6.3's example).
+    let config = CampaignConfig::evaluation("ZooKeeperOp", Mode::Blackbox);
+    let result = run_campaign(&config);
+    assert!(
+        !result.summary.detected_bugs.contains_key("ZK-5"),
+        "blackbox must miss ZK-5 (privileged-port scenario needs semantics)"
+    );
+    for id in ["ZK-1", "ZK-2", "ZK-3", "ZK-4", "ZK-6"] {
+        assert!(
+            result.summary.detected_bugs.contains_key(id),
+            "blackbox should still find {id}"
+        );
+    }
+    assert_eq!(
+        result.summary.false_positives.len(),
+        1,
+        "blackbox on ZooKeeperOp raises exactly the ephemeral false alarm: {:?}",
+        result.summary.false_positives
+    );
+    assert!(result.summary.false_positives[0]
+        .1
+        .contains("ephemeral.emptyDirSize"));
+}
+
+#[test]
+fn fixed_operator_raises_no_bug_attributions() {
+    // With every injected bug fixed and the platform fixed, the campaign
+    // must report nothing but (legitimate) misoperation vulnerabilities.
+    let mut config = CampaignConfig::evaluation("ZooKeeperOp", Mode::Whitebox);
+    config.bugs = BugToggles::all_fixed();
+    config.platform = PlatformBugs::none();
+    let result = run_campaign(&config);
+    assert!(
+        result.summary.detected_bugs.is_empty(),
+        "fixed operator flagged: {:?}",
+        result.summary.detected_bugs.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        result.summary.false_positives.is_empty(),
+        "fixed operator false positives: {:?}",
+        result.summary.false_positives
+    );
+    assert!(
+        !result.summary.vulnerabilities.is_empty(),
+        "misoperation vulnerabilities exist regardless of operator bugs"
+    );
+}

@@ -1,0 +1,97 @@
+//! Motivating-study invariants (paper §3, Tables 1-2): the manual e2e
+//! suites cover only a small slice of the interface and of the state
+//! objects, and their assertion mix matches the studied operators.
+
+use acto_repro::operators::existing_tests::{existing_suite, tested_properties, AssertionKind};
+use acto_repro::operators::registry::{all_operators, operator_by_name};
+use acto_repro::operators::{BugToggles, Instance};
+use acto_repro::simkube::PlatformBugs;
+
+const STUDIED: [&str; 4] = ["KnativeOp", "PCN/MongoOp", "RabbitMQOp", "ZooKeeperOp"];
+
+#[test]
+fn manual_suites_cover_a_small_property_fraction() {
+    for name in STUDIED {
+        let suite = existing_suite(name);
+        let tested = tested_properties(&suite).len();
+        let total = operator_by_name(name).schema().property_count();
+        let pct = 100.0 * tested as f64 / total as f64;
+        assert!(
+            pct < 20.0,
+            "{name}: manual suites should cover a small fraction, got {pct:.1}%"
+        );
+        assert!(tested >= 1);
+    }
+}
+
+#[test]
+fn manual_suites_assert_few_state_object_fields() {
+    for name in STUDIED {
+        let suite = existing_suite(name);
+        let asserted: usize = suite
+            .iter()
+            .flat_map(|t| &t.assertions)
+            .map(|a| a.asserted_fields)
+            .sum();
+        let instance = Instance::deploy(
+            operator_by_name(name),
+            BugToggles::all_injected(),
+            PlatformBugs::none(),
+        )
+        .expect("deploy");
+        let total: usize = instance
+            .state_snapshot()
+            .values()
+            .map(|v| v.leaf_paths().len())
+            .sum();
+        let pct = 100.0 * asserted as f64 / total as f64;
+        assert!(
+            pct <= 11.0,
+            "{name}: field coverage should stay in the paper's 0.24-10.9% \
+             band, got {pct:.2}%"
+        );
+    }
+}
+
+#[test]
+fn behaviour_assertions_are_scarce_where_the_paper_found_them_scarce() {
+    // Paper Finding 4: KnativeOp and ZooKeeperOp tests have no behaviour
+    // assertions at all.
+    for name in ["KnativeOp", "ZooKeeperOp"] {
+        let behaviour = existing_suite(name)
+            .iter()
+            .flat_map(|t| &t.assertions)
+            .filter(|a| a.kind == AssertionKind::SystemBehavior)
+            .count();
+        assert_eq!(behaviour, 0, "{name} has no behaviour assertions");
+    }
+}
+
+#[test]
+fn most_detected_bugs_touch_properties_manual_suites_skip() {
+    // Paper §6.1.4: in 38 of 56 detected bugs the related property is
+    // uncovered by existing tests.
+    let mut untouched = 0usize;
+    let mut total = 0usize;
+    for info in all_operators() {
+        let manual: Vec<String> = tested_properties(&existing_suite(info.name))
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        for bug in acto_repro::operators::bugs_of(info.name) {
+            total += 1;
+            if !manual
+                .iter()
+                .any(|m| bug.trigger_property.starts_with(m.as_str()))
+            {
+                untouched += 1;
+            }
+        }
+    }
+    assert_eq!(total, 56);
+    assert!(
+        untouched * 2 > total,
+        "most bug-triggering properties should be untested by manual \
+         suites ({untouched}/{total})"
+    );
+}

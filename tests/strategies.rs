@@ -1,0 +1,42 @@
+//! Figure 4 invariants: the three test-exploration strategies form a
+//! detection hierarchy on the ZooKeeper operator.
+
+use acto_repro::acto::{run_campaign, CampaignConfig, Mode, Strategy};
+
+fn bugs_with(strategy: Strategy) -> Vec<String> {
+    let mut config = CampaignConfig::evaluation("ZooKeeperOp", Mode::Whitebox);
+    config.strategy = strategy;
+    let result = run_campaign(&config);
+    result.summary.detected_bugs.keys().cloned().collect()
+}
+
+#[test]
+fn strategies_form_a_detection_hierarchy() {
+    let single = bugs_with(Strategy::SingleOperation);
+    let sequence = bugs_with(Strategy::OperationSequence);
+    let full = bugs_with(Strategy::Full);
+
+    // The single-operation strategy misses the deletion-path bug (ZK-1
+    // needs add-then-delete across operations) and the recovery bug.
+    assert!(
+        !single.contains(&"ZK-1".to_string()),
+        "single-op should miss the label-deletion bug: {single:?}"
+    );
+    assert!(!single.contains(&"ZK-6".to_string()));
+
+    // The sequence strategy adds the stateful bug but still cannot see
+    // recovery failures.
+    assert!(
+        sequence.contains(&"ZK-1".to_string()),
+        "sequence should find the label-deletion bug: {sequence:?}"
+    );
+    assert!(!sequence.contains(&"ZK-6".to_string()));
+
+    // Only the recovery strategy reveals the rollback-blocking bug.
+    assert!(
+        full.contains(&"ZK-6".to_string()),
+        "full strategy should find the recovery bug: {full:?}"
+    );
+    assert!(single.len() <= sequence.len());
+    assert!(sequence.len() < full.len());
+}
