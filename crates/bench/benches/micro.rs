@@ -115,7 +115,7 @@ fn bench_oracles(c: &mut Criterion) {
         b.iter(|| {
             raw.values()
                 .map(|v| acto::oracles::mask_value(black_box(v)))
-                .count()
+                .collect::<Vec<_>>()
         })
     });
 }
@@ -135,6 +135,7 @@ fn bench_campaign(c: &mut Criterion) {
                 strategy: acto::Strategy::Full,
                 window: None,
                 custom_oracles: Vec::new(),
+                faults: Default::default(),
             };
             black_box(acto::run_campaign(&config).trials.len())
         })

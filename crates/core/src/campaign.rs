@@ -51,6 +51,9 @@ pub struct CampaignConfig {
     /// User-provided domain-specific oracles, run on every converged trial
     /// after the built-in ones.
     pub custom_oracles: Vec<std::sync::Arc<dyn crate::oracles::CustomOracle>>,
+    /// Faults injected against the freshly deployed system before the plan
+    /// runs (an error-state campaign start). Empty = no injection.
+    pub faults: simkube::FaultPlan,
 }
 
 impl std::fmt::Debug for CampaignConfig {
@@ -63,6 +66,7 @@ impl std::fmt::Debug for CampaignConfig {
             .field("strategy", &self.strategy)
             .field("window", &self.window)
             .field("custom_oracles", &self.custom_oracles.len())
+            .field("faults", &self.faults.len())
             .finish()
     }
 }
@@ -93,6 +97,7 @@ impl CampaignConfig {
             strategy: Strategy::Full,
             window: None,
             custom_oracles: Vec::new(),
+            faults: simkube::FaultPlan::default(),
         }
     }
 }
@@ -123,6 +128,48 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
+    /// Renders everything the campaign observed — trials, outcomes, fault
+    /// events, alarms — excluding wall-clock timing. Two runs with the same
+    /// configuration (including the fault plan) produce byte-identical
+    /// transcripts; a determinism check is one string comparison.
+    pub fn transcript(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "operator: {}", self.operator);
+        let _ = writeln!(out, "mode: {}", self.mode.name());
+        let _ = writeln!(
+            out,
+            "properties: {}/{}",
+            self.properties_covered, self.properties_total
+        );
+        let _ = writeln!(out, "sim-seconds: {}", self.sim_seconds);
+        let _ = writeln!(out, "resets: {}", self.resets);
+        for trial in &self.trials {
+            let _ = writeln!(
+                out,
+                "trial #{} property={} scenario={} outcome={:?} rollback={:?} sim={}",
+                trial.op.index,
+                trial.op.property,
+                trial.op.scenario,
+                trial.outcome,
+                trial.rollback_recovered,
+                trial.sim_seconds
+            );
+            let _ = writeln!(out, "  declaration: {}", crdspec::json::to_string(&trial.declaration));
+            for event in &trial.fault_events {
+                let _ = writeln!(out, "  {event}");
+            }
+            for alarm in &trial.alarms {
+                let _ = writeln!(out, "  alarm {}: {}", alarm.kind.name(), alarm.detail);
+            }
+        }
+        for (bug, kinds) in &self.summary.detected_bugs {
+            let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+            let _ = writeln!(out, "detected: {bug} via {}", names.join(","));
+        }
+        out
+    }
+
     /// For each alarmed trial, the declaration sequence reproducing it
     /// (every executed declaration up to and including the trial's own).
     /// Feed a sequence to [`crate::minimize::minimize`] to shrink it and to
@@ -331,7 +378,7 @@ fn acknowledged(instance: &Instance) -> bool {
         .status_value()
         .get("observedGeneration")
         .and_then(Value::as_i64)
-        .map_or(false, |og| og >= generation)
+        .is_some_and(|og| og >= generation)
 }
 
 fn deploy_instance(config: &CampaignConfig) -> Instance {
@@ -373,6 +420,57 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     );
     let raw_final_state = instance.state_snapshot();
     let deterministic_fields = oracles::field_determinism(&raw_final_state);
+
+    // Error-state campaign start: fire the configured fault plan against
+    // the freshly deployed system, then require the operator to restore it
+    // (Figure 4c taken down to the platform layer).
+    if !config.faults.is_empty() {
+        let pre_fault = masked_snapshot(&instance);
+        let t_start = instance.cluster.now();
+        let horizon = config.faults.horizon();
+        instance.cluster.install_fault_plan(config.faults.clone());
+        for _ in 0..horizon {
+            instance.tick();
+        }
+        let converged = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+        let healthy = !matches!(instance.last_health, managed::Health::Down(_))
+            && !instance.operator_crashed()
+            && acknowledged(&instance)
+            && instance.pod_failures().is_empty();
+        let after = masked_snapshot(&instance);
+        let burst_alarms = collapse(oracles::recovery_check(
+            &pre_fault, &after, healthy, converged,
+        ));
+        let recovered = burst_alarms.is_empty();
+        let outcome = if recovered {
+            TrialOutcome::Converged
+        } else {
+            TrialOutcome::ErrorState("failed to recover from injected faults".to_string())
+        };
+        trials.push(Trial {
+            op: PlannedOp {
+                index: 0,
+                property: Path::root(),
+                scenario: "fault-burst",
+                value: Value::Null,
+                dependency_assignments: Vec::new(),
+                expectation: Expectation::NormalTransition,
+            },
+            declaration: instance.cr_spec(),
+            outcome,
+            alarms: burst_alarms,
+            rollback_recovered: Some(recovered),
+            sim_seconds: instance.cluster.now() - t_start,
+            fault_events: instance.cluster.fault_events(),
+        });
+        if !recovered {
+            // The damaged cluster would contaminate the plan: reset.
+            sim_seconds += instance.cluster.now();
+            instance = deploy_instance(config);
+            last_good = instance.cr_spec();
+            resets += 1;
+        }
+    }
 
     // Test partitioning: replace the plan prefix with one jump operation.
     let (skip, take) = config.window.unwrap_or((0, plan.len()));
@@ -424,6 +522,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
                 alarms: Vec::new(),
                 rollback_recovered: None,
                 sim_seconds: 0,
+                fault_events: Vec::new(),
             });
             continue;
         }
@@ -598,6 +697,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
             alarms,
             rollback_recovered,
             sim_seconds: trial_sim,
+            fault_events: Vec::new(),
         });
     }
     sim_seconds += instance.cluster.now();
@@ -806,6 +906,7 @@ mod tests {
             strategy: Strategy::Full,
             window: None,
             custom_oracles: Vec::new(),
+            faults: Default::default(),
         };
         let result = run_campaign(&config);
         let seqs = result.reproduction_sequences();
@@ -831,6 +932,7 @@ mod tests {
             strategy: Strategy::Full,
             window: None,
             custom_oracles: Vec::new(),
+            faults: Default::default(),
         };
         let result = run_campaign(&config);
         assert!(!result.trials.is_empty());

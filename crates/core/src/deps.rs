@@ -124,9 +124,7 @@ pub fn satisfy(deps: &[Dependency], property: &Path) -> Vec<(Path, Value)> {
         if &dep.controller == property {
             continue;
         }
-        let in_scope = if dep.scope.is_root() {
-            true
-        } else if dep.scope == *property {
+        let in_scope = if dep.scope.is_root() || dep.scope == *property {
             true
         } else {
             property.starts_with(&dep.scope) && property.len() > dep.scope.len()

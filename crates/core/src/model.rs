@@ -97,6 +97,9 @@ pub struct Trial {
     pub rollback_recovered: Option<bool>,
     /// Simulated seconds consumed by this trial (convergence time).
     pub sim_seconds: u64,
+    /// Transcript lines for faults injected during this trial (empty for
+    /// fault-free trials).
+    pub fault_events: Vec<String>,
 }
 
 #[cfg(test)]

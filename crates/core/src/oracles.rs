@@ -37,6 +37,9 @@ pub enum AlarmKind {
     DifferentialRollback,
     /// Regular error check (exception, error code, crash, timeout).
     ErrorCheck,
+    /// Recovery oracle: the system failed to re-converge to its pre-fault
+    /// state after injected faults cleared.
+    Recovery,
 }
 
 impl AlarmKind {
@@ -47,6 +50,7 @@ impl AlarmKind {
             AlarmKind::DifferentialNormal => "differential-normal",
             AlarmKind::DifferentialRollback => "differential-rollback",
             AlarmKind::ErrorCheck => "error-check",
+            AlarmKind::Recovery => "recovery",
         }
     }
 }
@@ -507,6 +511,61 @@ pub fn differential_rollback(
     alarms
 }
 
+/// Recovery oracle for error-state campaign starts: after injected faults
+/// fire and clear, the operator must restore the managed system to the
+/// state it held before the faults — same objects, same deterministic
+/// fields, healthy and converged.
+pub fn recovery_check(
+    before_fault: &StateSnapshot,
+    after_recovery: &StateSnapshot,
+    healthy: bool,
+    converged: bool,
+) -> Vec<Alarm> {
+    let mut alarms = Vec::new();
+    if !converged {
+        alarms.push(Alarm::new(
+            AlarmKind::Recovery,
+            "system did not converge after faults cleared".to_string(),
+        ));
+    }
+    if !healthy {
+        alarms.push(Alarm::new(
+            AlarmKind::Recovery,
+            "system still unhealthy after faults cleared".to_string(),
+        ));
+    }
+    for (id, before) in before_fault {
+        if id.starts_with("PersistentVolumeClaim/") {
+            continue;
+        }
+        match after_recovery.get(id) {
+            Some(after) => {
+                for entry in diff(before, after) {
+                    alarms.push(Alarm::new(
+                        AlarmKind::Recovery,
+                        format!("{id} {}: not restored after faults", entry.path),
+                    ));
+                }
+            }
+            None => {
+                alarms.push(Alarm::new(
+                    AlarmKind::Recovery,
+                    format!("{id} lost across fault recovery"),
+                ));
+            }
+        }
+    }
+    for id in after_recovery.keys() {
+        if !before_fault.contains_key(id) && !id.starts_with("PersistentVolumeClaim/") {
+            alarms.push(Alarm::new(
+                AlarmKind::Recovery,
+                format!("{id} appeared during fault recovery"),
+            ));
+        }
+    }
+    alarms
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -698,6 +757,43 @@ mod tests {
         let alarms = differential_rollback(&before, &after_ok, false);
         assert_eq!(alarms.len(), 1);
         assert!(alarms[0].detail.contains("unhealthy"));
+    }
+
+    #[test]
+    fn recovery_oracle_requires_full_restoration() {
+        let before = snapshot(&[
+            (
+                "StatefulSet/acto/app",
+                obj(Value::object([("replicas", Value::from(3))])),
+            ),
+            (
+                "PersistentVolumeClaim/acto/data-app-0",
+                obj(Value::empty_object()),
+            ),
+        ]);
+        // Full restoration (PVC drift is tolerated in both directions).
+        let mut after_ok = before.clone();
+        after_ok.remove("PersistentVolumeClaim/acto/data-app-0");
+        after_ok.insert(
+            "PersistentVolumeClaim/acto/data-app-1".to_string(),
+            obj(Value::empty_object()),
+        );
+        assert!(recovery_check(&before, &after_ok, true, true).is_empty());
+        // Field drift alarms.
+        let after_drift = snapshot(&[(
+            "StatefulSet/acto/app",
+            obj(Value::object([("replicas", Value::from(2))])),
+        )]);
+        let alarms = recovery_check(&before, &after_drift, true, true);
+        assert_eq!(alarms.len(), 1);
+        assert!(alarms[0].detail.contains("not restored"));
+        // Lost and spurious objects alarm.
+        let after_changed = snapshot(&[("Deployment/acto/ghost", obj(Value::empty_object()))]);
+        let alarms = recovery_check(&before, &after_changed, true, true);
+        assert_eq!(alarms.len(), 2);
+        // Unhealthy or non-converged ends alarm even when state matches.
+        assert_eq!(recovery_check(&before, &before, false, true).len(), 1);
+        assert_eq!(recovery_check(&before, &before, true, false).len(), 1);
     }
 
     #[test]

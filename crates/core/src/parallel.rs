@@ -146,6 +146,7 @@ mod tests {
             strategy: crate::campaign::Strategy::Full,
             window: None,
             custom_oracles: Vec::new(),
+            faults: Default::default(),
         }
     }
 

@@ -59,7 +59,7 @@ fn oracle_compatible(category: BugCategory, oracle: AlarmKind) -> bool {
         BugCategory::ErrorStateOperator => oracle == AlarmKind::ErrorCheck,
         BugCategory::RecoveryFailure => matches!(
             oracle,
-            AlarmKind::DifferentialRollback | AlarmKind::ErrorCheck
+            AlarmKind::DifferentialRollback | AlarmKind::ErrorCheck | AlarmKind::Recovery
         ),
     }
 }
@@ -145,10 +145,14 @@ pub fn attribute(operator: &str, trial: &Trial, alarm: &Alarm) -> Attribution {
             return Attribution::OperatorBug(bug.id.to_string());
         }
     }
-    // Rollback failures are global operator behaviour (stability gates): a
-    // recovery-failure bug manifests for whichever property produced the
-    // error state. Fall back to the operator's recovery-failure bug.
-    if alarm.kind == AlarmKind::DifferentialRollback {
+    // Rollback and fault-recovery failures are global operator behaviour
+    // (stability gates): a recovery-failure bug manifests for whichever
+    // property produced the error state. Fall back to the operator's
+    // recovery-failure bug.
+    if matches!(
+        alarm.kind,
+        AlarmKind::DifferentialRollback | AlarmKind::Recovery
+    ) {
         if let Some(bug) = bugs::bugs_of(operator)
             .into_iter()
             .find(|b| b.category == BugCategory::RecoveryFailure)
@@ -300,6 +304,7 @@ mod tests {
             alarms: Vec::new(),
             rollback_recovered: None,
             sim_seconds: 0,
+            fault_events: Vec::new(),
         }
     }
 
@@ -354,12 +359,10 @@ mod tests {
 
     #[test]
     fn property_matching_covers_composites_and_leaves() {
-        assert!(
-            property_matches(
-                &"follower.pdb.minAvailable".parse().unwrap(),
-                "follower.pdb.enabled"
-            ) == false
-        );
+        assert!(!property_matches(
+            &"follower.pdb.minAvailable".parse().unwrap(),
+            "follower.pdb.enabled"
+        ));
         assert!(property_matches(
             &"follower.pdb".parse().unwrap(),
             "follower.pdb.enabled"

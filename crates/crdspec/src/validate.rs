@@ -523,7 +523,7 @@ fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, String> {
                     Some(&c) => {
                         *pos += 1;
                         if chars.get(*pos) == Some(&'-')
-                            && chars.get(*pos + 1).map_or(false, |&n| n != ']')
+                            && chars.get(*pos + 1).is_some_and(|&n| n != ']')
                         {
                             let hi = chars[*pos + 1];
                             *pos += 2;

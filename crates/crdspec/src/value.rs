@@ -21,9 +21,10 @@ use crate::path::{Path, Step};
 /// let v = Value::object([("replicas", Value::from(3))]);
 /// assert_eq!(v.get_path(&"replicas".parse().unwrap()), Some(&Value::Integer(3)));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// JSON `null`.
+    #[default]
     Null,
     /// A boolean.
     Bool(bool),
@@ -294,12 +295,6 @@ impl Value {
             }
             _ => {}
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 

@@ -38,15 +38,15 @@ pub use view::{Health, PodView, SystemModel, SystemView};
 /// Panics on an unknown system name; the set of systems is closed.
 pub fn model_for(system: &str) -> Box<dyn SystemModel> {
     match system {
-        "zookeeper" => Box::new(zookeeper::ZooKeeperModel::default()),
-        "redis" => Box::new(redis::RedisModel::default()),
-        "mongodb" => Box::new(mongodb::MongoDbModel::default()),
-        "cassandra" => Box::new(cassandra::CassandraModel::default()),
-        "cockroachdb" => Box::new(cockroach::CockroachModel::default()),
-        "tidb" => Box::new(tidb::TiDbModel::default()),
-        "rabbitmq" => Box::new(rabbitmq::RabbitMqModel::default()),
-        "xtradb" => Box::new(xtradb::XtraDbModel::default()),
-        "knative" => Box::new(knative::KnativeModel::default()),
+        "zookeeper" => Box::new(zookeeper::ZooKeeperModel),
+        "redis" => Box::new(redis::RedisModel),
+        "mongodb" => Box::new(mongodb::MongoDbModel),
+        "cassandra" => Box::new(cassandra::CassandraModel),
+        "cockroachdb" => Box::new(cockroach::CockroachModel),
+        "tidb" => Box::new(tidb::TiDbModel),
+        "rabbitmq" => Box::new(rabbitmq::RabbitMqModel),
+        "xtradb" => Box::new(xtradb::XtraDbModel),
+        "knative" => Box::new(knative::KnativeModel),
         other => panic!("unknown managed system {other:?}"),
     }
 }

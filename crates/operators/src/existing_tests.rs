@@ -101,7 +101,7 @@ fn profile(operator: &str, tests: usize) -> SuiteProfile {
             asserted_fields: 1,
         },
         _ => SuiteProfile {
-            tested_properties: (tests / 6).max(1).min(12),
+            tested_properties: (tests / 6).clamp(1, 12),
             multi_op_tests: tests / 5,
             multi_ops: 2,
             assertions: (tests, tests * 2, tests / 2),

@@ -231,6 +231,22 @@ impl Instance {
                 .api_mut()
                 .update_custom_status(&key, status, time);
         }
+        // An injected watch blackout starves the operator of events: no
+        // reconcile runs until watches resume.
+        if self.cluster.watch_blackout_active() {
+            return;
+        }
+        // An injected transient reconcile error aborts this pass before the
+        // operator runs. Logged at warning level from a neutral source so
+        // the error-check oracle doesn't attribute it to the operator.
+        if self.cluster.take_injected_reconcile_error() {
+            self.cluster.log(
+                LogLevel::Warn,
+                "fault-injector",
+                "injected transient reconcile error".to_string(),
+            );
+            return;
+        }
         // Operator crash-loop: the offending declaration keeps crashing the
         // restarted process until a new declaration arrives.
         if let Some(crashed_gen) = self.crashed_generation {

@@ -39,6 +39,7 @@ fn component_schema(max: i64) -> Schema {
 }
 
 impl TiDbOp {
+    #[allow(clippy::too_many_arguments)]
     fn apply_component(
         &self,
         cluster: &mut SimCluster,
@@ -380,7 +381,7 @@ mod tests {
             ))
             .unwrap();
         if let ObjectData::ConfigMap(c) = &cm.data {
-            assert!(c.data.get("maxReplicas").is_none());
+            assert!(!c.data.contains_key("maxReplicas"));
         }
         let mut fixed = BugToggles::all_injected();
         fixed.fix("TIDB-2");

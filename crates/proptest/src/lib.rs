@@ -1,0 +1,217 @@
+//! An offline, dependency-free subset of the `proptest` API.
+//!
+//! The workspace builds in environments without crates.io access, so this
+//! crate reimplements exactly the surface its property tests use:
+//! [`Strategy`] with `prop_map`/`prop_recursive`/`boxed`, [`Just`], ranges,
+//! `any::<T>()`, regex-like string strategies, `prop::collection::{vec,
+//! btree_map}`, tuple strategies, and the `proptest!`, `prop_oneof!`,
+//! `prop_assert!`, `prop_assert_eq!`, and `prop_assert_ne!` macros.
+//!
+//! Generation is deterministic: every `proptest!` test derives its RNG seed
+//! from the test's module path and name, so failures reproduce exactly on
+//! re-run. There is no shrinking; failing cases report the case number.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The `prop` namespace mirrored from upstream (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+
+/// Runs one test closure over `cases` generated inputs.
+///
+/// This is the engine behind the [`proptest!`] macro; tests do not call it
+/// directly.
+pub fn run_cases<S: Strategy, F: FnMut(S::Value) -> TestCaseResult>(
+    seed_name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut test: F,
+) {
+    let mut rng = test_runner::TestRng::deterministic(seed_name);
+    for case in 0..config.cases {
+        let input = strategy.generate(&mut rng);
+        let rendered = format!("{input:?}");
+        if let Err(err) = test(input) {
+            panic!(
+                "proptest case {case}/{} failed: {err}\n    input: {rendered}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// The `proptest!` macro: runs each enclosed test function over generated
+/// inputs. Supports an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let __strategy = ($($strat,)*);
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__config,
+                    &__strategy,
+                    |__input| {
+                        let ($($arg,)*) = __input;
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies with a common value type. Weighted arms
+/// (`w => strat`) are accepted; weights scale the arm's selection odds.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the enclosing property test case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = crate::collection::vec(0i64..100, 1..8);
+        let mut a = Vec::new();
+        crate::run_cases("seed", &ProptestConfig::with_cases(16), &strat, |v| {
+            a.push(v);
+            Ok(())
+        });
+        let mut b = Vec::new();
+        crate::run_cases("seed", &ProptestConfig::with_cases(16), &strat, |v| {
+            b.push(v);
+            Ok(())
+        });
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        crate::run_cases("other-seed", &ProptestConfig::with_cases(16), &strat, |v| {
+            c.push(v);
+            Ok(())
+        });
+        assert_ne!(a, c, "different seed names diverge");
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..17, y in 0u8..4, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn regex_strategies_match_shape(s in "[a-z]{1,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn oneof_and_collections(v in prop::collection::vec(prop_oneof![Just(1i64), Just(2i64)], 0..5)) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|x| *x == 1 || *x == 2));
+        }
+    }
+}

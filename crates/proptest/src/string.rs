@@ -1,0 +1,187 @@
+//! Regex-literal string strategies: `"[a-z]{1,8}"` as a `Strategy<Value =
+//! String>`.
+//!
+//! Supports the subset of regex syntax the workspace uses: literal
+//! characters, `\`-escapes, character classes with `a-z` ranges (a `-` at
+//! the start or end of a class is literal), `.` (printable ASCII), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, and `+` (the unbounded forms cap
+//! at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+struct Piece {
+    /// The characters this piece may emit.
+    choices: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '.' => (' '..='~').collect(),
+            '\\' => vec![chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))],
+            other => vec![other],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                parse_counts(&mut chars, pattern)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        };
+        assert!(
+            !choices.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        pieces.push(Piece { choices, min, max });
+    }
+    pieces
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<char> {
+    let mut choices = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            Some(c) => c,
+            None => panic!("unterminated character class in pattern {pattern:?}"),
+        };
+        // `a-z` is a range unless the `-` is the last class member.
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&end) if end != ']' => {
+                    chars.next();
+                    chars.next();
+                    assert!(c <= end, "inverted range {c}-{end} in pattern {pattern:?}");
+                    choices.extend(c..=end);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        choices.push(c);
+    }
+    choices
+}
+
+fn parse_counts(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (u32, u32) {
+    let mut min = 0u32;
+    let mut max = None;
+    let mut saw_comma = false;
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(',') => saw_comma = true,
+            Some(d) if d.is_ascii_digit() => {
+                let digit = d as u32 - '0' as u32;
+                if saw_comma {
+                    max = Some(max.unwrap_or(0) * 10 + digit);
+                } else {
+                    min = min * 10 + digit;
+                }
+            }
+            other => panic!("bad quantifier {other:?} in pattern {pattern:?}"),
+        }
+    }
+    let max = if saw_comma {
+        max.unwrap_or(min + UNBOUNDED_CAP)
+    } else {
+        min
+    };
+    assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+    (min, max)
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(self) {
+            let reps = piece.min + rng.below(u64::from(piece.max - piece.min + 1)) as u32;
+            for _ in 0..reps {
+                out.push(piece.choices[rng.below(piece.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn classes_ranges_and_quantifiers() {
+        let mut rng = TestRng::from_seed(21);
+        let strat = "[a-zA-Z][a-zA-Z0-9_-]{0,8}";
+        for _ in 0..300 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=9).contains(&s.len()));
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::from_seed(22);
+        let strat = "[a-zA-Z0-9 _.:/-]{0,20}";
+        let mut saw_dash = false;
+        for _ in 0..2000 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() <= 20);
+            saw_dash |= s.contains('-');
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.:/-".contains(c)));
+        }
+        assert!(saw_dash, "literal dash must be generable");
+    }
+
+    #[test]
+    fn exact_counts() {
+        let mut rng = TestRng::from_seed(23);
+        let s = "[a-z]{1,8}".generate(&mut rng);
+        assert!((1..=8).contains(&s.len()));
+        let t = "x{3}".generate(&mut rng);
+        assert_eq!(t, "xxx");
+    }
+}

@@ -33,6 +33,9 @@ pub enum ApiError {
     UnknownKind(String),
     /// An immutable field was modified.
     Immutable(String),
+    /// The write lost an optimistic-concurrency race (or a fault plan
+    /// injected a synthetic conflict). Retryable.
+    Conflict(String),
 }
 
 impl fmt::Display for ApiError {
@@ -47,6 +50,7 @@ impl fmt::Display for ApiError {
             ApiError::AlreadyExists(m) => write!(f, "already exists: {m}"),
             ApiError::UnknownKind(m) => write!(f, "unknown kind: {m}"),
             ApiError::Immutable(m) => write!(f, "field is immutable: {m}"),
+            ApiError::Conflict(m) => write!(f, "write conflict: {m}"),
         }
     }
 }
@@ -79,6 +83,9 @@ pub struct ApiServer {
     crds: BTreeMap<String, Schema>,
     admission: BTreeMap<String, Vec<AdmissionHook>>,
     bugs: PlatformBugs,
+    /// Writes remaining that will fail with [`ApiError::Conflict`]
+    /// (armed by fault injection).
+    injected_conflicts: u32,
 }
 
 impl ApiServer {
@@ -89,7 +96,14 @@ impl ApiServer {
             crds: BTreeMap::new(),
             admission: BTreeMap::new(),
             bugs,
+            injected_conflicts: 0,
         }
+    }
+
+    /// Arms `count` synthetic write conflicts: the next `count` calls to
+    /// [`ApiServer::apply_object`] fail with [`ApiError::Conflict`].
+    pub fn inject_conflicts(&mut self, count: u32) {
+        self.injected_conflicts += count;
     }
 
     /// The active platform-bug configuration.
@@ -268,6 +282,15 @@ impl ApiServer {
         time: u64,
     ) -> Result<ObjKey, ApiError> {
         let key = ObjKey::new(data.kind(), &meta.namespace, &meta.name);
+        if self.injected_conflicts > 0 {
+            self.injected_conflicts -= 1;
+            return Err(ApiError::Conflict(format!(
+                "{} {}/{}: resource version changed",
+                key.kind.name(),
+                key.namespace,
+                key.name
+            )));
+        }
         self.truncate_annotations(&mut meta);
         if self.store.get(&key).is_none() {
             return self.create_object(meta, data, time);

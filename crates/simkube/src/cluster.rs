@@ -92,6 +92,8 @@ pub struct SimCluster {
     /// Pods forced into a crash loop by the managed-system model, with the
     /// reason (`pod name -> reason`).
     crashing: std::collections::BTreeMap<String, String>,
+    /// Installed fault plan, if any.
+    faults: Option<crate::faults::FaultInjector>,
 }
 
 impl SimCluster {
@@ -104,6 +106,7 @@ impl SimCluster {
             logs: Vec::new(),
             image_catalog: config.image_catalog.into_iter().collect(),
             crashing: std::collections::BTreeMap::new(),
+            faults: None,
         };
         for (i, (name, cpu, memory)) in config.nodes.into_iter().enumerate() {
             let mut node = Node::with_capacity(&cpu, &memory);
@@ -207,10 +210,57 @@ impl SimCluster {
     pub fn step(&mut self) {
         self.time += 1;
         let time = self.time;
+        // Installed faults fire before anything else reacts: the rest of
+        // the tick then observes (and may start repairing) the damage.
+        if let Some(injector) = &mut self.faults {
+            let conflicts = injector.apply_due(&mut self.api, time);
+            if conflicts > 0 {
+                self.api.inject_conflicts(conflicts);
+            }
+        }
         let bugs = self.api.bugs();
-        crate::controllers::run_all(self.api.store_mut(), time, bugs);
+        if !self.watch_blackout_active() {
+            crate::controllers::run_all(self.api.store_mut(), time, bugs);
+        }
         scheduler::schedule(self.api.store_mut(), time);
         self.advance_pods();
+    }
+
+    /// Installs a fault plan; its offsets are relative to the current
+    /// simulated time. Replaces any previously installed plan.
+    pub fn install_fault_plan(&mut self, plan: crate::faults::FaultPlan) {
+        self.faults = Some(crate::faults::FaultInjector::new(plan, self.time));
+    }
+
+    /// Returns `true` while an injected watch blackout suppresses the
+    /// built-in controllers and operator watches.
+    pub fn watch_blackout_active(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.blackout_active(self.time))
+    }
+
+    /// Consumes one injected transient reconcile error, if armed.
+    pub fn take_injected_reconcile_error(&mut self) -> bool {
+        self.faults
+            .as_mut()
+            .is_some_and(|f| f.take_reconcile_error())
+    }
+
+    /// Returns `true` once every installed fault has fired and lapsed
+    /// (vacuously true with no plan installed).
+    pub fn faults_exhausted(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_none_or(|f| f.exhausted(self.time))
+    }
+
+    /// Transcript lines for every fault applied so far.
+    pub fn fault_events(&self) -> Vec<String> {
+        self.faults
+            .as_ref()
+            .map(|f| f.events().iter().map(|e| e.render()).collect())
+            .unwrap_or_default()
     }
 
     /// Advances pod lifecycle: image pulls, container start, readiness,

@@ -238,9 +238,7 @@ fn update_sts_status(
             s.ready_replicas = ready;
             // PLAT-6: observedGeneration is bumped before the rollout
             // completes, so watchers believe convergence happened early.
-            if bugs.premature_observed_generation {
-                s.observed_generation = generation;
-            } else if ready == replicas && current == replicas {
+            if bugs.premature_observed_generation || (ready == replicas && current == replicas) {
                 s.observed_generation = generation;
             }
         }

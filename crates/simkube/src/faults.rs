@@ -1,0 +1,530 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! Acto starts campaigns from error states (Figure 4c) by driving the
+//! system into trouble and checking that the operator recovers. This
+//! module supplies the trouble: a [`FaultPlan`] is an explicit, ordered
+//! schedule of perturbations — node crashes and restarts, pod kills and
+//! evictions, API-server write conflicts, watch blackouts, transient
+//! reconcile errors, and configuration corruption — applied at fixed
+//! simulated times relative to plan installation. Plans are either built
+//! by hand or derived from a seed via [`FaultPlan::generate`]; either way
+//! every trial replays bit-for-bit from `(seed, plan)` because nothing in
+//! the pipeline consults a wall clock or an ambient RNG.
+
+use std::collections::BTreeMap;
+
+use crate::objects::{Kind, ObjectData, PodPhase};
+use crate::store::ObjKey;
+
+/// One perturbation of the simulated world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The node goes not-ready for `down_for` seconds; its pods fail and
+    /// are released for rescheduling (the paper's pod-migration trigger).
+    NodeCrash {
+        /// Node name (e.g. `"node-1"`).
+        node: String,
+        /// Seconds until the node returns.
+        down_for: u64,
+    },
+    /// The pod object is deleted outright; its owning controller recreates
+    /// it.
+    PodKill {
+        /// Namespace of the pod.
+        namespace: String,
+        /// Pod name.
+        pod: String,
+    },
+    /// The pod fails in place (kubelet eviction) and restarts on its node.
+    PodEvict {
+        /// Namespace of the pod.
+        namespace: String,
+        /// Pod name.
+        pod: String,
+    },
+    /// The next `count` object writes through the API server fail with a
+    /// resource-version conflict (an optimistic-concurrency race).
+    ApiConflicts {
+        /// Number of writes to reject.
+        count: u32,
+    },
+    /// Watch events stop flowing for `duration` seconds: built-in
+    /// controllers and the operator see a frozen world.
+    WatchBlackout {
+        /// Seconds of blackout.
+        duration: u64,
+    },
+    /// The next `count` operator reconcile passes fail transiently before
+    /// running (a flaky API client).
+    ReconcileError {
+        /// Number of reconciles to fail.
+        count: u32,
+    },
+    /// A key of a ConfigMap is overwritten behind the operator's back —
+    /// the error state a correct operator repairs on its next reconcile.
+    ConfigCorrupt {
+        /// Namespace of the config map.
+        namespace: String,
+        /// Config-map name.
+        configmap: String,
+        /// Data key to overwrite.
+        key: String,
+        /// Value to plant.
+        value: String,
+    },
+}
+
+impl Fault {
+    /// Seconds the fault keeps acting after it fires.
+    fn duration(&self) -> u64 {
+        match self {
+            Fault::NodeCrash { down_for, .. } => *down_for,
+            Fault::WatchBlackout { duration } => *duration,
+            _ => 0,
+        }
+    }
+
+    /// Human-readable one-line rendering, as used in fault-event logs.
+    pub fn describe(&self) -> String {
+        match self {
+            Fault::NodeCrash { node, down_for } => {
+                format!("node {node} crashed (down for {down_for}s)")
+            }
+            Fault::PodKill { namespace, pod } => format!("pod {namespace}/{pod} killed"),
+            Fault::PodEvict { namespace, pod } => format!("pod {namespace}/{pod} evicted"),
+            Fault::ApiConflicts { count } => {
+                format!("next {count} api writes will conflict")
+            }
+            Fault::WatchBlackout { duration } => format!("watch blackout for {duration}s"),
+            Fault::ReconcileError { count } => {
+                format!("next {count} reconciles fail transiently")
+            }
+            Fault::ConfigCorrupt {
+                namespace,
+                configmap,
+                key,
+                value,
+            } => format!("configmap {namespace}/{configmap}: {key} corrupted to {value:?}"),
+        }
+    }
+}
+
+/// A fault scheduled at a time relative to plan installation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedFault {
+    /// Seconds after [`crate::SimCluster::install_fault_plan`] at which the
+    /// fault fires.
+    pub at: u64,
+    /// The fault.
+    pub fault: Fault,
+}
+
+/// Bounds for seed-derived plan generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultProfile {
+    /// Namespace pod/config faults target.
+    pub namespace: String,
+    /// Pod name prefix; pods are `{prefix}-{ordinal}`.
+    pub pod_prefix: String,
+    /// Number of cluster nodes (`node-0` .. `node-{n-1}`).
+    pub nodes: u32,
+    /// Number of pods assumed to exist.
+    pub pods: u32,
+    /// Upper bound on faults per plan (at least one is generated).
+    pub max_faults: u32,
+    /// Faults fire within `[1, window]` seconds of installation.
+    pub window: u64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> FaultProfile {
+        FaultProfile {
+            namespace: "acto".to_string(),
+            pod_prefix: "test-cluster".to_string(),
+            nodes: 4,
+            pods: 3,
+            max_faults: 4,
+            window: 30,
+        }
+    }
+}
+
+/// An ordered fault schedule. Empty plans are inert.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    faults: Vec<TimedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Appends a fault firing `at` seconds after installation.
+    pub fn push(&mut self, at: u64, fault: Fault) -> &mut FaultPlan {
+        self.faults.push(TimedFault { at, fault });
+        self.faults.sort_by_key(|f| f.at);
+        self
+    }
+
+    /// Returns `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The scheduled faults in firing order.
+    pub fn faults(&self) -> &[TimedFault] {
+        &self.faults
+    }
+
+    /// Seconds after installation by which every fault has fired and every
+    /// timed effect (node downtime, blackout) has lapsed, plus a small
+    /// settling margin.
+    pub fn horizon(&self) -> u64 {
+        self.faults
+            .iter()
+            .map(|f| f.at + f.fault.duration())
+            .max()
+            .map(|end| end + 5)
+            .unwrap_or(0)
+    }
+
+    /// Derives a plan from a seed: same `(seed, profile)` always yields the
+    /// same plan, different seeds almost always differ.
+    pub fn generate(seed: u64, profile: &FaultProfile) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed);
+        let count = 1 + rng.below(u64::from(profile.max_faults.max(1)));
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let at = 1 + rng.below(profile.window.max(1));
+            let node = format!("node-{}", rng.below(u64::from(profile.nodes.max(1))));
+            let pod = format!(
+                "{}-{}",
+                profile.pod_prefix,
+                rng.below(u64::from(profile.pods.max(1)))
+            );
+            let fault = match rng.below(6) {
+                0 => Fault::NodeCrash {
+                    node,
+                    down_for: 5 + rng.below(15),
+                },
+                1 => Fault::PodKill {
+                    namespace: profile.namespace.clone(),
+                    pod,
+                },
+                2 => Fault::PodEvict {
+                    namespace: profile.namespace.clone(),
+                    pod,
+                },
+                3 => Fault::ApiConflicts {
+                    count: 1 + rng.below(3) as u32,
+                },
+                4 => Fault::WatchBlackout {
+                    duration: 3 + rng.below(10),
+                },
+                _ => Fault::ReconcileError {
+                    count: 1 + rng.below(3) as u32,
+                },
+            };
+            plan.push(at, fault);
+        }
+        plan
+    }
+}
+
+/// One applied fault, for trial transcripts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulated time the fault fired.
+    pub time: u64,
+    /// What happened.
+    pub description: String,
+}
+
+impl FaultEvent {
+    /// Renders the event as a transcript line.
+    pub fn render(&self) -> String {
+        format!("t={} fault: {}", self.time, self.description)
+    }
+}
+
+/// Runtime state of an installed plan, owned by the cluster.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: Vec<TimedFault>,
+    installed_at: u64,
+    next: usize,
+    /// Crashed nodes and the time each returns.
+    node_down_until: BTreeMap<String, u64>,
+    watch_blackout_until: u64,
+    pending_reconcile_errors: u32,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Installs a plan at the given simulated time.
+    pub fn new(plan: FaultPlan, now: u64) -> FaultInjector {
+        FaultInjector {
+            plan: plan.faults,
+            installed_at: now,
+            next: 0,
+            node_down_until: BTreeMap::new(),
+            watch_blackout_until: 0,
+            pending_reconcile_errors: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Returns `true` while watch events are suppressed.
+    pub fn blackout_active(&self, now: u64) -> bool {
+        now < self.watch_blackout_until
+    }
+
+    /// Consumes one pending injected reconcile error, if any.
+    pub fn take_reconcile_error(&mut self) -> bool {
+        if self.pending_reconcile_errors > 0 {
+            self.pending_reconcile_errors -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applied faults so far, in order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Returns `true` once every scheduled fault has fired and no timed
+    /// effect remains active.
+    pub fn exhausted(&self, now: u64) -> bool {
+        self.next >= self.plan.len()
+            && self.node_down_until.is_empty()
+            && !self.blackout_active(now)
+    }
+
+    /// Applies everything due at `now`: restores returned nodes, then fires
+    /// scheduled faults. Returns the number of injected-conflict writes to
+    /// arm (the API server holds that counter).
+    pub(crate) fn apply_due(&mut self, api: &mut crate::api::ApiServer, now: u64) -> u32 {
+        // Nodes whose downtime lapsed come back ready.
+        let returned: Vec<String> = self
+            .node_down_until
+            .iter()
+            .filter(|(_, until)| **until <= now)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in returned {
+            self.node_down_until.remove(&name);
+            let key = ObjKey::new(Kind::Node, "", &name);
+            let _ = api.store_mut().update_with(&key, now, |o| {
+                if let ObjectData::Node(n) = &mut o.data {
+                    n.ready = true;
+                }
+            });
+            self.events.push(FaultEvent {
+                time: now,
+                description: format!("node {name} restored"),
+            });
+        }
+        let mut conflicts = 0u32;
+        while self.next < self.plan.len() && self.installed_at + self.plan[self.next].at <= now {
+            let timed = self.plan[self.next].clone();
+            self.next += 1;
+            self.events.push(FaultEvent {
+                time: now,
+                description: timed.fault.describe(),
+            });
+            match timed.fault {
+                Fault::NodeCrash { node, down_for } => {
+                    // Overlapping crashes of the same node extend the
+                    // outage; a shorter re-crash never revives it early.
+                    let until = self
+                        .node_down_until
+                        .get(&node)
+                        .copied()
+                        .unwrap_or(0)
+                        .max(now + down_for.max(1));
+                    self.node_down_until.insert(node.clone(), until);
+                    let key = ObjKey::new(Kind::Node, "", &node);
+                    let _ = api.store_mut().update_with(&key, now, |o| {
+                        if let ObjectData::Node(n) = &mut o.data {
+                            n.ready = false;
+                        }
+                    });
+                    // Pods on the node fail and are released so the
+                    // scheduler can place them elsewhere.
+                    let victims: Vec<ObjKey> = api
+                        .store()
+                        .list_all(&Kind::Pod)
+                        .iter()
+                        .filter(|o| match &o.data {
+                            ObjectData::Pod(p) => p.node_name.as_deref() == Some(node.as_str()),
+                            _ => false,
+                        })
+                        .map(|o| ObjKey::new(Kind::Pod, &o.meta.namespace, &o.meta.name))
+                        .collect();
+                    for key in victims {
+                        let _ = api.store_mut().update_with(&key, now, |o| {
+                            if let ObjectData::Pod(p) = &mut o.data {
+                                p.phase = PodPhase::Failed;
+                                p.reason = "NodeFailure".to_string();
+                                p.ready = false;
+                                p.node_name = None;
+                                p.phase_since = now;
+                            }
+                        });
+                    }
+                }
+                Fault::PodKill { namespace, pod } => {
+                    let key = ObjKey::new(Kind::Pod, &namespace, &pod);
+                    let _ = api.store_mut().delete(&key, now);
+                }
+                Fault::PodEvict { namespace, pod } => {
+                    let key = ObjKey::new(Kind::Pod, &namespace, &pod);
+                    let _ = api.store_mut().update_with(&key, now, |o| {
+                        if let ObjectData::Pod(p) = &mut o.data {
+                            p.phase = PodPhase::Failed;
+                            p.reason = "Evicted".to_string();
+                            p.ready = false;
+                            p.phase_since = now;
+                        }
+                    });
+                }
+                Fault::ApiConflicts { count } => conflicts += count,
+                Fault::WatchBlackout { duration } => {
+                    self.watch_blackout_until =
+                        self.watch_blackout_until.max(now + duration.max(1));
+                }
+                Fault::ReconcileError { count } => {
+                    self.pending_reconcile_errors += count;
+                }
+                Fault::ConfigCorrupt {
+                    namespace,
+                    configmap,
+                    key,
+                    value,
+                } => {
+                    let obj_key = ObjKey::new(Kind::ConfigMap, &namespace, &configmap);
+                    let _ = api.store_mut().update_with(&obj_key, now, |o| {
+                        if let ObjectData::ConfigMap(c) = &mut o.data {
+                            c.data.insert(key.clone(), value.clone());
+                        }
+                    });
+                }
+            }
+        }
+        conflicts
+    }
+}
+
+/// A tiny splitmix64 generator: deterministic, allocation-free, and
+/// independent of any external RNG crate.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let profile = FaultProfile::default();
+        for seed in 0..50u64 {
+            assert_eq!(
+                FaultPlan::generate(seed, &profile),
+                FaultPlan::generate(seed, &profile)
+            );
+        }
+    }
+
+    #[test]
+    fn differing_seeds_produce_differing_schedules() {
+        let profile = FaultProfile::default();
+        let plans: Vec<FaultPlan> = (0..8u64)
+            .map(|s| FaultPlan::generate(s, &profile))
+            .collect();
+        let distinct = plans
+            .iter()
+            .filter(|p| **p != plans[0])
+            .count();
+        assert!(distinct > 0, "eight consecutive seeds collide entirely");
+    }
+
+    #[test]
+    fn plans_sort_by_firing_time_and_compute_horizons() {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            10,
+            Fault::NodeCrash {
+                node: "node-0".to_string(),
+                down_for: 20,
+            },
+        );
+        plan.push(2, Fault::ApiConflicts { count: 1 });
+        assert_eq!(plan.faults()[0].at, 2);
+        assert_eq!(plan.horizon(), 35, "10 + 20 + settle margin");
+        assert_eq!(FaultPlan::new().horizon(), 0);
+    }
+
+    #[test]
+    fn generated_faults_fire_within_the_window() {
+        let profile = FaultProfile::default();
+        for seed in 0..50u64 {
+            let plan = FaultPlan::generate(seed, &profile);
+            assert!(!plan.is_empty());
+            assert!(plan.len() <= profile.max_faults as usize);
+            for f in plan.faults() {
+                assert!((1..=profile.window).contains(&f.at));
+            }
+        }
+    }
+
+    #[test]
+    fn injector_tracks_reconcile_errors_and_blackouts() {
+        let mut plan = FaultPlan::new();
+        plan.push(1, Fault::ReconcileError { count: 2 });
+        plan.push(1, Fault::WatchBlackout { duration: 3 });
+        let mut api = crate::api::ApiServer::new(crate::platform::PlatformBugs::none());
+        let mut inj = FaultInjector::new(plan, 0);
+        assert!(!inj.blackout_active(0));
+        let conflicts = inj.apply_due(&mut api, 1);
+        assert_eq!(conflicts, 0);
+        assert!(inj.blackout_active(2));
+        assert!(!inj.blackout_active(4));
+        assert!(inj.take_reconcile_error());
+        assert!(inj.take_reconcile_error());
+        assert!(!inj.take_reconcile_error());
+        assert!(inj.exhausted(4));
+        assert_eq!(inj.events().len(), 2);
+    }
+}

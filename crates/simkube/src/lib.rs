@@ -18,10 +18,14 @@
 //!   detection matching Acto's reset-timer approach ([`cluster`]).
 //! - Six injectable **platform bugs** mirroring the Kubernetes/Go-runtime
 //!   bugs the paper reports ([`platform`]).
+//! - Deterministic, seed-driven **fault injection** — node crashes, pod
+//!   kills/evictions, write conflicts, watch blackouts, transient reconcile
+//!   errors — scheduled from explicit plans ([`faults`]).
 
 pub mod api;
 pub mod cluster;
 pub mod controllers;
+pub mod faults;
 pub mod meta;
 pub mod objects;
 pub mod platform;
@@ -32,6 +36,7 @@ pub mod store;
 
 pub use api::{ApiError, ApiServer};
 pub use cluster::{ClusterConfig, SimCluster};
+pub use faults::{Fault, FaultEvent, FaultInjector, FaultPlan, FaultProfile, TimedFault};
 pub use meta::{LabelSelector, ObjectMeta, OwnerReference};
 pub use objects::{
     ConfigMap, Container, Deployment, Ingress, Kind, Node, ObjectData, Pdb, PersistentVolumeClaim,

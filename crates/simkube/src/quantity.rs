@@ -249,7 +249,7 @@ impl FromStr for Quantity {
                 && !s[i + c.len_utf8()..]
                     .chars()
                     .next()
-                    .map_or(false, |n| n.is_ascii_digit() || n == '-' || n == '+')
+                    .is_some_and(|n| n.is_ascii_digit() || n == '-' || n == '+')
             {
                 split = i;
                 break;

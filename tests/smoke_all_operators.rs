@@ -17,6 +17,7 @@ fn smoke(operator: &str, mode: Mode) {
         strategy: Strategy::Full,
         window: None,
         custom_oracles: Vec::new(),
+        faults: Default::default(),
     };
     let result = run_campaign(&config);
     assert!(
