@@ -1,0 +1,60 @@
+//! Scaling of the work-stealing parallel runner (paper §5.5, Table 8's
+//! parallelization claim): the same campaign at 1/2/4/8 workers over two
+//! operators. The interesting numbers are simulated (makespan vs total
+//! sim-seconds, printed by `cargo run --bin parallel_scaling`); this bench
+//! tracks the real wall-clock of the runner itself, including planning,
+//! segmentation, and snapshot traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use acto::parallel::{run_work_stealing_with, SnapshotDepot, DEFAULT_SEGMENT_OPS};
+use acto::{CampaignConfig, Mode};
+
+fn scaling_config(operator: &str) -> CampaignConfig {
+    let mut config = CampaignConfig::evaluation(operator, Mode::Whitebox);
+    // The bench measures runner overhead and scheduling, not full nightly
+    // campaigns: a bounded plan keeps one iteration in the seconds range.
+    config.max_ops = Some(24);
+    config.differential = false;
+    config
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    for operator in ["RabbitMQOp", "ZooKeeperOp"] {
+        let config = scaling_config(operator);
+        let mut group = c.benchmark_group(&format!("parallel-scaling/{operator}"));
+        group.sample_size(10);
+        for workers in [1usize, 2, 4, 8] {
+            // A fresh depot per measurement: the steady-state (warm-depot)
+            // path is covered by the `depot-warm` case below.
+            group.bench_function(&format!("{workers}-workers"), |b| {
+                b.iter(|| {
+                    let depot = SnapshotDepot::new();
+                    black_box(run_work_stealing_with(
+                        black_box(&config),
+                        workers,
+                        DEFAULT_SEGMENT_OPS,
+                        &depot,
+                    ))
+                })
+            });
+        }
+        let warm = SnapshotDepot::new();
+        let _ = run_work_stealing_with(&config, 4, DEFAULT_SEGMENT_OPS, &warm);
+        group.bench_function("4-workers-depot-warm", |b| {
+            b.iter(|| {
+                black_box(run_work_stealing_with(
+                    black_box(&config),
+                    4,
+                    DEFAULT_SEGMENT_OPS,
+                    &warm,
+                ))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

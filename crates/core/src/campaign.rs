@@ -10,12 +10,13 @@
 //! a fresh cluster at the last good declaration and continues.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crdspec::{Path, Schema, SchemaKind, Value};
 use opdsl::IrModule;
 use operators::bugs::BugToggles;
-use operators::{operator_by_name, Instance, CONVERGE_MAX, CONVERGE_RESET};
+use operators::{operator_by_name, Instance, InstanceCheckpoint, CONVERGE_MAX, CONVERGE_RESET};
 use simkube::PlatformBugs;
 
 use crate::deps::{infer_dependencies, satisfy};
@@ -116,7 +117,17 @@ pub struct CampaignResult {
     /// Properties covered by at least one operation.
     pub properties_covered: usize,
     /// Total simulated seconds across all clusters used (execution time).
+    /// Always equals `setup_sim_seconds` plus the sum of every trial's
+    /// `sim_seconds` — the accounting is strictly delta-based, so no span
+    /// is ever billed twice.
     pub sim_seconds: u64,
+    /// Simulated seconds not attributable to any single trial: the initial
+    /// deployment (or checkpoint restore), the partition jump, and any
+    /// residual overhead after the last trial.
+    pub setup_sim_seconds: u64,
+    /// Convergence waits issued (trial convergence, rollbacks, resets,
+    /// differential references, the fault burst).
+    pub convergence_waits: usize,
     /// Wall-clock time spent planning/generating operations.
     pub gen_duration: Duration,
     /// Times the campaign had to reset onto a fresh cluster.
@@ -143,6 +154,7 @@ impl CampaignResult {
             self.properties_covered, self.properties_total
         );
         let _ = writeln!(out, "sim-seconds: {}", self.sim_seconds);
+        let _ = writeln!(out, "setup-sim-seconds: {}", self.setup_sim_seconds);
         let _ = writeln!(out, "resets: {}", self.resets);
         for trial in &self.trials {
             let _ = writeln!(
@@ -188,6 +200,14 @@ impl CampaignResult {
     }
 }
 
+/// Process-wide count of [`plan_campaign`] invocations.
+///
+/// Planning is deterministic but not free; the parallel runner shares one
+/// immutable plan across every worker, so a multi-worker run must add
+/// exactly one to this counter regardless of worker count.
+/// `tests/plan_once.rs` pins that contract.
+pub static PLAN_COMPUTATIONS: AtomicUsize = AtomicUsize::new(0);
+
 /// Plans a campaign: one scenario list per property, in deterministic
 /// order, with dependency assignments resolved against an evolving working
 /// declaration.
@@ -199,6 +219,7 @@ pub fn plan_campaign(
     images: &[String],
     instance: &str,
 ) -> Vec<PlannedOp> {
+    PLAN_COMPUTATIONS.fetch_add(1, Ordering::Relaxed);
     let semantics = crate::semantics::infer_semantics(schema, ir, mode);
     let deps = infer_dependencies(schema, ir, mode);
     let mut plan: Vec<PlannedOp> = Vec::new();
@@ -390,23 +411,118 @@ fn deploy_instance(config: &CampaignConfig) -> Instance {
     .expect("initial deployment")
 }
 
-/// Runs a full campaign for one operator.
+/// Delta-based simulated-time meter across cluster replacements.
+///
+/// Only the simulated seconds elapsed while the campaign *owned* a cluster
+/// count: a fresh deployment is adopted at clock zero (its deployment
+/// convergence is billed), a checkpoint-restored cluster at its restore
+/// time (the checkpoint's already-billed history is not). Retiring a
+/// cluster banks its span. The total is therefore a sum of disjoint
+/// deltas — never the absolute clock — which is what keeps resets,
+/// rollbacks, and differential references from double-counting.
+struct SimMeter {
+    banked: u64,
+    adopted_at: u64,
+}
+
+impl SimMeter {
+    fn new(instance: &Instance, fresh: bool) -> SimMeter {
+        let mut meter = SimMeter {
+            banked: 0,
+            adopted_at: 0,
+        };
+        meter.adopt(instance, fresh);
+        meter
+    }
+
+    /// Starts metering `instance`. `fresh` means the cluster was deployed
+    /// from nothing, so its whole history is billed to this campaign.
+    fn adopt(&mut self, instance: &Instance, fresh: bool) {
+        self.adopted_at = if fresh { 0 } else { instance.cluster.now() };
+    }
+
+    /// Banks the span of a cluster about to be replaced.
+    fn retire(&mut self, instance: &Instance) {
+        self.banked += instance.cluster.now() - self.adopted_at;
+    }
+
+    /// Credits simulated seconds spent on a side cluster (the differential
+    /// oracle's fresh reference).
+    fn bank(&mut self, sim: u64) {
+        self.banked += sim;
+    }
+
+    /// Total simulated seconds consumed so far, including the live span of
+    /// the current cluster.
+    fn total(&self, instance: &Instance) -> u64 {
+        self.banked + (instance.cluster.now() - self.adopted_at)
+    }
+}
+
+/// Obtains a campaign cluster: restores the deploy-converged base
+/// checkpoint when one is available (a snapshot restore costs zero
+/// simulated seconds), otherwise deploys from scratch. Returns the
+/// instance and whether it was freshly deployed.
+fn acquire_instance(
+    config: &CampaignConfig,
+    base: Option<&InstanceCheckpoint>,
+) -> (Instance, bool) {
+    match base {
+        Some(cp) => (
+            Instance::from_checkpoint(operator_by_name(&config.operator), config.bugs.clone(), cp),
+            false,
+        ),
+        None => (deploy_instance(config), true),
+    }
+}
+
+/// Runs a full campaign for one operator: plans once, then executes.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let operator = operator_by_name(&config.operator);
-    let schema = operator.schema();
-    let ir = operator.ir();
     let gen_start = Instant::now();
     let plan = plan_campaign(
-        &schema,
-        Some(&ir),
+        &operator.schema(),
+        Some(&operator.ir()),
         config.mode,
         &operator.initial_cr(),
         &operator.images(),
         operators::INSTANCE,
     );
     let gen_duration = gen_start.elapsed();
-    let mut instance = deploy_instance(config);
-    let mut sim_seconds: u64 = 0;
+    run_campaign_with(config, &plan, gen_duration, None, None)
+}
+
+/// Executes a campaign over an externally computed `plan`.
+///
+/// The work-stealing runner calls this once per segment with the shared
+/// plan (planned exactly once per run), a `base` checkpoint of the
+/// deploy-converged initial state (restored for every reset and
+/// differential reference instead of paying for a redeployment), and a
+/// `start` checkpoint of the converged prefix state for the segment's
+/// window (skipping both the deployment and the jump operation).
+/// `None` everywhere gives the sequential behaviour of [`run_campaign`].
+pub fn run_campaign_with(
+    config: &CampaignConfig,
+    plan: &[PlannedOp],
+    gen_duration: Duration,
+    base: Option<&InstanceCheckpoint>,
+    start: Option<&InstanceCheckpoint>,
+) -> CampaignResult {
+    let operator = operator_by_name(&config.operator);
+    let schema = operator.schema();
+    let (mut instance, fresh) = match start {
+        Some(cp) => (
+            Instance::from_checkpoint(operator_by_name(&config.operator), config.bugs.clone(), cp),
+            false,
+        ),
+        None => acquire_instance(config, base),
+    };
+    let mut meter = SimMeter::new(&instance, fresh);
+    // Sim-seconds attributed so far (setup + pushed trials). Spans are
+    // measured from here so nothing is counted twice and nothing is lost.
+    let mut span_start = meter.total(&instance);
+    let mut trial_sim_total: u64 = 0;
+    let mut convergence_waits = 0usize;
     let mut resets = 0usize;
     let mut last_good = instance.cr_spec();
     let mut trials: Vec<Trial> = Vec::new();
@@ -420,19 +536,22 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     );
     let raw_final_state = instance.state_snapshot();
     let deterministic_fields = oracles::field_determinism(&raw_final_state);
+    let (skip, take) = config.window.unwrap_or((0, plan.len()));
 
     // Error-state campaign start: fire the configured fault plan against
     // the freshly deployed system, then require the operator to restore it
-    // (Figure 4c taken down to the platform layer).
-    if !config.faults.is_empty() {
+    // (Figure 4c taken down to the platform layer). The burst belongs to
+    // the campaign as a whole, so a windowed run only executes it for the
+    // segment that starts at the plan's beginning.
+    if !config.faults.is_empty() && skip == 0 {
         let pre_fault = masked_snapshot(&instance);
-        let t_start = instance.cluster.now();
         let horizon = config.faults.horizon();
         instance.cluster.install_fault_plan(config.faults.clone());
         for _ in 0..horizon {
             instance.tick();
         }
         let converged = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+        convergence_waits += 1;
         let healthy = !matches!(instance.last_health, managed::Health::Down(_))
             && !instance.operator_crashed()
             && acknowledged(&instance)
@@ -447,6 +566,19 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         } else {
             TrialOutcome::ErrorState("failed to recover from injected faults".to_string())
         };
+        let declaration = instance.cr_spec();
+        let fault_events = instance.cluster.fault_events();
+        if !recovered {
+            // The damaged cluster would contaminate the plan: reset.
+            meter.retire(&instance);
+            let (next, next_fresh) = acquire_instance(config, base);
+            instance = next;
+            meter.adopt(&instance, next_fresh);
+            last_good = instance.cr_spec();
+            resets += 1;
+        }
+        let sim = meter.total(&instance) - span_start;
+        trial_sim_total += sim;
         trials.push(Trial {
             op: PlannedOp {
                 index: 0,
@@ -456,34 +588,31 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
                 dependency_assignments: Vec::new(),
                 expectation: Expectation::NormalTransition,
             },
-            declaration: instance.cr_spec(),
+            declaration,
             outcome,
             alarms: burst_alarms,
             rollback_recovered: Some(recovered),
-            sim_seconds: instance.cluster.now() - t_start,
-            fault_events: instance.cluster.fault_events(),
+            sim_seconds: sim,
+            fault_events,
         });
-        if !recovered {
-            // The damaged cluster would contaminate the plan: reset.
-            sim_seconds += instance.cluster.now();
-            instance = deploy_instance(config);
-            last_good = instance.cr_spec();
-            resets += 1;
-        }
     }
 
-    // Test partitioning: replace the plan prefix with one jump operation.
-    let (skip, take) = config.window.unwrap_or((0, plan.len()));
-    if skip > 0 {
+    // Test partitioning: replace the plan prefix with one jump operation —
+    // unless the caller already handed us a converged prefix checkpoint.
+    if start.is_none() && skip > 0 {
         let mut jump = operator.initial_cr();
         for op in plan.iter().take(skip) {
             apply_op(&mut jump, op);
         }
         if instance.submit(jump.clone()).is_ok() {
             let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+            convergence_waits += 1;
             last_good = jump;
         }
     }
+    // Everything billed before the first planned trial is setup.
+    let mut setup_sim_seconds = meter.total(&instance) - trial_sim_total;
+    span_start = meter.total(&instance);
 
     for planned in plan.iter().skip(skip).take(take) {
         if let Some(max) = config.max_ops {
@@ -494,8 +623,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         // Build the new declaration. The single-operation strategy always
         // starts from the initial state; the others chain.
         if config.strategy == Strategy::SingleOperation {
-            sim_seconds += instance.cluster.now();
-            instance = deploy_instance(config);
+            meter.retire(&instance);
+            let (next, next_fresh) = acquire_instance(config, base);
+            instance = next;
+            meter.adopt(&instance, next_fresh);
             last_good = instance.cr_spec();
         }
         let mut spec = instance.cr_spec();
@@ -515,19 +646,22 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         let pre_state = masked_snapshot(&instance);
         let t_start = instance.cluster.now();
         if let Err(err) = instance.submit(spec.clone()) {
+            let sim = meter.total(&instance) - span_start;
+            span_start += sim;
+            trial_sim_total += sim;
             trials.push(Trial {
                 op: planned.clone(),
                 declaration: spec,
                 outcome: TrialOutcome::RejectedByApi(err.to_string()),
                 alarms: Vec::new(),
                 rollback_recovered: None,
-                sim_seconds: 0,
+                sim_seconds: sim,
                 fault_events: Vec::new(),
             });
             continue;
         }
         let converged = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
-        let trial_sim = instance.cluster.now() - t_start;
+        convergence_waits += 1;
         let mut alarms: Vec<Alarm> = Vec::new();
         let post_state = masked_snapshot(&instance);
         let crashed = instance.operator_crashed();
@@ -615,8 +749,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
                     }
                 }
                 if config.differential {
-                    let (fresh_state, fresh_sim) = fresh_reference(config, &spec);
-                    sim_seconds += fresh_sim;
+                    let (fresh_state, fresh_sim, fresh_waits) =
+                        fresh_reference(config, &spec, base);
+                    meter.bank(fresh_sim);
+                    convergence_waits += fresh_waits;
                     if let Some(fresh_state) = fresh_state {
                         alarms.extend(collapse(differential_normal(&post_state, &fresh_state)));
                     }
@@ -629,15 +765,19 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
             // one so the declared state matches what the system runs.
             let _ = instance.submit(last_good.clone());
             let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+            convergence_waits += 1;
         }
         let mut rollback_recovered = None;
         if outcome.is_error() && config.strategy != Strategy::Full {
             // Without the recovery strategy the campaign simply resets.
-            sim_seconds += instance.cluster.now();
-            instance = deploy_instance(config);
+            meter.retire(&instance);
+            let (next, next_fresh) = acquire_instance(config, base);
+            instance = next;
+            meter.adopt(&instance, next_fresh);
             if config.strategy == Strategy::OperationSequence {
                 let _ = instance.submit(last_good.clone());
                 let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+                convergence_waits += 1;
             } else {
                 last_good = instance.cr_spec();
             }
@@ -646,9 +786,8 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
             // Error-state recovery (Figure 4c): roll back to the previous
             // good declaration and verify restoration.
             let rollback_ok = instance.submit(last_good.clone()).is_ok();
-            let rb_start = instance.cluster.now();
             let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
-            sim_seconds += instance.cluster.now() - rb_start;
+            convergence_waits += 1;
             // Rollback must clear the *error* state; a pre-existing
             // degradation is judged by the state comparison instead.
             let healthy = !matches!(instance.last_health, managed::Health::Down(_))
@@ -669,11 +808,14 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
                 // Recovered: continue from the restored state.
             } else {
                 alarms.extend(rb_alarms);
-                // Reset onto a fresh cluster at the last good declaration.
-                sim_seconds += instance.cluster.now();
-                instance = deploy_instance(config);
+                // Reset onto a clean cluster at the last good declaration.
+                meter.retire(&instance);
+                let (next, next_fresh) = acquire_instance(config, base);
+                instance = next;
+                meter.adopt(&instance, next_fresh);
                 let _ = instance.submit(last_good.clone());
                 let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+                convergence_waits += 1;
                 resets += 1;
             }
         } else if outcome == TrialOutcome::Converged {
@@ -681,26 +823,39 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
             if !alarms.is_empty() {
                 // A detected defect may leave residue (stale objects, stale
                 // labels) that would contaminate later trials: reset onto a
-                // fresh cluster at the current declaration.
-                sim_seconds += instance.cluster.now();
-                instance = deploy_instance(config);
+                // clean cluster at the current declaration.
+                meter.retire(&instance);
+                let (next, next_fresh) = acquire_instance(config, base);
+                instance = next;
+                meter.adopt(&instance, next_fresh);
                 let _ = instance.submit(last_good.clone());
                 let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+                convergence_waits += 1;
                 resets += 1;
             }
         }
 
+        // The trial's span covers everything it caused — convergence,
+        // rollback, differential reference, and any reset — so the
+        // campaign total decomposes exactly into setup + trials.
+        let sim = meter.total(&instance) - span_start;
+        span_start += sim;
+        trial_sim_total += sim;
         trials.push(Trial {
             op: planned.clone(),
             declaration: spec,
             outcome,
             alarms,
             rollback_recovered,
-            sim_seconds: trial_sim,
+            sim_seconds: sim,
             fault_events: Vec::new(),
         });
     }
-    sim_seconds += instance.cluster.now();
+    // Residual overhead (e.g. a skipped no-op after a single-operation
+    // reset) is unattributable to a trial: fold it into setup.
+    setup_sim_seconds += meter.total(&instance) - span_start;
+    let sim_seconds = meter.total(&instance);
+    debug_assert_eq!(sim_seconds, setup_sim_seconds + trial_sim_total);
 
     let summary = summarize(&config.operator, &trials);
     CampaignResult {
@@ -710,6 +865,8 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         properties_covered: covered_count(&schema, &covered),
         trials,
         sim_seconds,
+        setup_sim_seconds,
+        convergence_waits,
         gen_duration,
         resets,
         summary,
@@ -769,20 +926,23 @@ fn collapse(alarms: Vec<Alarm>) -> Vec<Alarm> {
 }
 
 /// Builds the fresh-deployment reference state for the differential oracle
-/// (`S_0 --D--> S'_i`). Returns `None` when the fresh run itself fails to
-/// accept the declaration.
+/// (`S_0 --D--> S'_i`), restoring the deploy-converged base checkpoint
+/// when one is available instead of paying for a full redeployment.
+/// Returns the masked reference state (`None` when the reference run
+/// rejects the declaration), the simulated seconds consumed, and the
+/// convergence waits issued.
 fn fresh_reference(
     config: &CampaignConfig,
     declaration: &Value,
-) -> (Option<oracles::StateSnapshot>, u64) {
-    let mut fresh = deploy_instance(config);
+    base: Option<&InstanceCheckpoint>,
+) -> (Option<oracles::StateSnapshot>, u64, usize) {
+    let (mut fresh, deployed) = acquire_instance(config, base);
+    let t0 = if deployed { 0 } else { fresh.cluster.now() };
     if fresh.submit(declaration.clone()).is_err() {
-        let sim = fresh.cluster.now();
-        return (None, sim);
+        return (None, fresh.cluster.now() - t0, 0);
     }
     let _ = fresh.converge(CONVERGE_RESET, CONVERGE_MAX);
-    let sim = fresh.cluster.now();
-    (Some(masked_snapshot(&fresh)), sim)
+    (Some(masked_snapshot(&fresh)), fresh.cluster.now() - t0, 1)
 }
 
 #[cfg(test)]
@@ -938,5 +1098,65 @@ mod tests {
         assert!(!result.trials.is_empty());
         assert!(result.trials.len() <= 6);
         assert!(result.sim_seconds > 0);
+    }
+
+    /// The regression for the double-counting bug: some paths used to add
+    /// the absolute cluster clock to the campaign total while others added
+    /// deltas, so totals drifted above the sum of their parts. The meter
+    /// is strictly delta-based, making the decomposition exact.
+    #[test]
+    fn sim_seconds_decompose_into_setup_plus_trials() {
+        for (operator, faults, strategy) in [
+            ("ZooKeeperOp", false, Strategy::Full),
+            ("RabbitMQOp", true, Strategy::Full),
+            ("ZooKeeperOp", false, Strategy::SingleOperation),
+        ] {
+            let config = CampaignConfig {
+                operator: operator.to_string(),
+                mode: Mode::Whitebox,
+                bugs: BugToggles::all_injected(),
+                platform: PlatformBugs::none(),
+                max_ops: Some(8),
+                differential: true,
+                strategy,
+                window: None,
+                custom_oracles: Vec::new(),
+                faults: if faults {
+                    simkube::FaultPlan::generate(7, &simkube::FaultProfile::default())
+                } else {
+                    Default::default()
+                },
+            };
+            let result = run_campaign(&config);
+            let trial_sum: u64 = result.trials.iter().map(|t| t.sim_seconds).sum();
+            assert_eq!(
+                result.sim_seconds,
+                result.setup_sim_seconds + trial_sum,
+                "{operator} {strategy:?}: total must equal setup + Σ trials"
+            );
+            assert!(result.setup_sim_seconds > 0, "deployment is never free");
+            assert!(result.convergence_waits >= result.trials.len() - 1);
+        }
+    }
+
+    /// A windowed run must bill the jump to setup and each windowed trial
+    /// only once (the old accounting double-counted rollback spans).
+    #[test]
+    fn windowed_sim_seconds_decompose_exactly() {
+        let config = CampaignConfig {
+            operator: "ZooKeeperOp".to_string(),
+            mode: Mode::Whitebox,
+            bugs: BugToggles::all_injected(),
+            platform: PlatformBugs::none(),
+            max_ops: None,
+            differential: false,
+            strategy: Strategy::Full,
+            window: Some((5, 4)),
+            custom_oracles: Vec::new(),
+            faults: Default::default(),
+        };
+        let result = run_campaign(&config);
+        let trial_sum: u64 = result.trials.iter().map(|t| t.sim_seconds).sum();
+        assert_eq!(result.sim_seconds, result.setup_sim_seconds + trial_sum);
     }
 }

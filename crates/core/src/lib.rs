@@ -29,7 +29,8 @@
 //!   the regular error checks (§5.3).
 //! - [`minimize`]: alarm reproduction — delta-debugging a failing campaign
 //!   prefix into a minimal e2e test and emitting its code (§5.4).
-//! - [`parallel`]: test partitioning across workers (§5.5).
+//! - [`parallel`]: work-stealing test partitioning across workers with a
+//!   shared plan and checkpoint-based jump-state reuse (§5.5).
 //! - [`report`]: alarms, ground-truth attribution, and campaign summaries
 //!   consumed by the evaluation benches (§6).
 
@@ -43,10 +44,17 @@ pub mod parallel;
 pub mod report;
 pub mod semantics;
 
-pub use campaign::{plan_campaign, run_campaign, CampaignConfig, CampaignResult, Strategy};
+pub use campaign::{
+    plan_campaign, run_campaign, run_campaign_with, CampaignConfig, CampaignResult, Strategy,
+    PLAN_COMPUTATIONS,
+};
 pub use deps::{infer_dependencies, Dependency};
 pub use gen::{generator_catalog, scenarios_for, GenContext, Scenario};
 pub use model::{Expectation, Mode, PlannedOp, Trial, TrialOutcome};
 pub use oracles::{AlarmKind, CustomOracle, OracleContext};
+pub use parallel::{
+    declaration_after_prefix, run_partitioned, run_work_stealing, run_work_stealing_with,
+    FailedSegment, ParallelResult, SnapshotDepot, WorkerStats, DEFAULT_SEGMENT_OPS,
+};
 pub use report::{Alarm, Attribution, CampaignSummary};
 pub use semantics::infer_semantics;

@@ -1,131 +1,501 @@
-//! Test parallelization (paper §5.5).
+//! Work-stealing test parallelization (paper §5.5).
 //!
 //! Acto partitions an operation sequence into segments and runs them in
-//! parallel: segment `k` starts on a fresh cluster with a single jump
-//! operation `S_0 → S_i` (submitting the declaration the sequential
-//! campaign would have reached), then executes its slice. Each worker gets
-//! its own simulated cluster; workers are real threads.
+//! parallel: segment `k` starts on a clean cluster with a single jump
+//! operation `S_0 → S_k` (submitting the declaration the sequential
+//! campaign would have reached), then executes its slice.
+//!
+//! The runner here improves on static partitioning in three ways:
+//!
+//! - **Plan once.** The campaign plan is computed a single time and shared
+//!   immutably (`Arc`) across workers; segment jump declarations are one
+//!   fold over that plan, not a re-plan per worker.
+//! - **Work stealing.** The plan is cut into fixed-size segments
+//!   ([`DEFAULT_SEGMENT_OPS`] operations each) claimed through a shared
+//!   atomic cursor, so a worker that drew cheap segments keeps pulling
+//!   work instead of idling. Segmentation is independent of the worker
+//!   count, which is what keeps trials identical for any number of
+//!   workers.
+//! - **Snapshot reuse.** A deploy-converged base checkpoint is restored —
+//!   at zero simulated cost — wherever the sequential campaign would
+//!   redeploy: segment starts, mid-campaign resets, and differential
+//!   references. Converged prefix states live in a [`SnapshotDepot`];
+//!   a depot miss falls back to the jump declaration and deposits the
+//!   result for later runs over the same plan.
+//!
+//! Determinism: segment `k`'s start state is always the *canonical* prefix
+//! state — restore(base), submit jump `J_k`, converge — whether it comes
+//! from the depot or is rebuilt, so alarms, trials, and transcripts are
+//! byte-identical for every worker count.
 
-use std::time::Instant;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use crdspec::Value;
-use operators::operator_by_name;
+use crdspec::{Path, Value};
+use operators::{operator_by_name, Instance, InstanceCheckpoint, CONVERGE_MAX, CONVERGE_RESET};
 
-use crate::campaign::{plan_campaign, run_campaign, CampaignConfig, CampaignResult};
-use crate::model::Trial;
+use crate::campaign::{
+    apply_op, plan_campaign, run_campaign_with, CampaignConfig, CampaignResult,
+};
+use crate::model::{Expectation, Mode, PlannedOp, Trial, TrialOutcome};
+use crate::oracles::AlarmKind;
+use crate::report::{summarize, Alarm, CampaignSummary};
 
-/// The result of a partitioned campaign.
+/// Planned operations per work-stealing segment. Small enough to balance
+/// load across workers, large enough that the per-segment jump is
+/// amortized over real trials.
+pub const DEFAULT_SEGMENT_OPS: usize = 8;
+
+/// Per-worker execution statistics.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Segments this worker claimed and ran.
+    pub segments_executed: usize,
+    /// Claims outside the worker's static share — the segments it would
+    /// *not* have run under even `(skip, take)` chunking.
+    pub steals: usize,
+    /// Segment starts served from the snapshot depot instead of being
+    /// rebuilt via the jump declaration.
+    pub depot_hits: usize,
+    /// Simulated seconds this worker consumed (jump building plus segment
+    /// execution).
+    pub sim_seconds: u64,
+    /// Convergence waits this worker issued.
+    pub convergence_waits: usize,
+    /// Real time from worker start to running out of segments.
+    pub wall: Duration,
+}
+
+/// A segment whose worker panicked. The panic is captured per segment: the
+/// remaining segments (and workers) keep running, and the segment is
+/// recorded as a failed trial instead of sinking the whole run.
+#[derive(Debug, Clone)]
+pub struct FailedSegment {
+    /// Segment index, in plan order.
+    pub segment: usize,
+    /// Plan window of the segment.
+    pub skip: usize,
+    /// Plan window of the segment.
+    pub take: usize,
+    /// Rendered panic payload.
+    pub panic: String,
+}
+
+/// Memoized canonical prefix checkpoints, keyed by plan prefix length.
+///
+/// Entries are *canonical*: always the state produced by restoring the
+/// deploy-converged base and converging the jump declaration, never a
+/// worker's private end state — so serving a hit cannot change any trial.
+/// Share one depot across runs over the same configuration (the scaling
+/// bench runs 1/2/4/8 workers) to pay each jump once.
+#[derive(Debug, Default)]
+pub struct SnapshotDepot {
+    slots: Mutex<BTreeMap<usize, Arc<InstanceCheckpoint>>>,
+}
+
+impl SnapshotDepot {
+    /// An empty depot.
+    pub fn new() -> SnapshotDepot {
+        SnapshotDepot::default()
+    }
+
+    fn get(&self, skip: usize) -> Option<Arc<InstanceCheckpoint>> {
+        self.slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&skip)
+            .cloned()
+    }
+
+    fn put(&self, skip: usize, cp: Arc<InstanceCheckpoint>) {
+        self.slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(skip)
+            .or_insert(cp);
+    }
+
+    /// Number of memoized prefix states.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the depot holds no states.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The result of a parallel campaign.
 #[derive(Debug)]
 pub struct ParallelResult {
-    /// Worker count used.
+    /// Operator name.
+    pub operator: String,
+    /// Mode used.
+    pub mode: Mode,
+    /// Worker count used (clamped to the segment count).
     pub workers: usize,
-    /// Trials from all workers, in partition order.
+    /// Planned operations per segment.
+    pub segment_ops: usize,
+    /// Number of segments the plan was cut into.
+    pub segments: usize,
+    /// Trials from all segments, in plan order — identical for any worker
+    /// count.
     pub trials: Vec<Trial>,
-    /// Total simulated machine-seconds across workers (compute cost).
+    /// Total simulated machine-seconds across base deployment, jump
+    /// building, and all segments (compute cost).
     pub total_sim_seconds: u64,
     /// Maximum simulated seconds of any single worker (wall-clock bound).
     pub makespan_sim_seconds: u64,
-    /// Real time the partitioned run took.
-    pub wall: std::time::Duration,
+    /// Simulated seconds spent deploying the shared base checkpoint.
+    pub base_sim_seconds: u64,
+    /// Wall-clock time spent planning (done once, not per worker).
+    pub gen_duration: Duration,
+    /// Real time the parallel run took.
+    pub wall: Duration,
+    /// Per-worker statistics.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Segments whose execution panicked.
+    pub failed_segments: Vec<FailedSegment>,
+    /// Attributed findings over all trials.
+    pub summary: CampaignSummary,
 }
 
-/// Computes the declaration reached after applying a plan prefix, used as
-/// the jump operation for a partition.
-pub fn declaration_after_prefix(config: &CampaignConfig, prefix_len: usize) -> Value {
-    let operator = operator_by_name(&config.operator);
-    let schema = operator.schema();
-    let ir = operator.ir();
-    let plan = plan_campaign(
-        &schema,
-        Some(&ir),
-        config.mode,
-        &operator.initial_cr(),
-        &operator.images(),
-        operators::INSTANCE,
-    );
-    let mut working = operator.initial_cr();
+impl ParallelResult {
+    /// Renders everything the run observed — trials, outcomes, alarms,
+    /// detected bugs — excluding scheduling-dependent quantities (worker
+    /// stats, wall clock, sim totals). Two runs over the same
+    /// configuration produce byte-identical transcripts for *any* worker
+    /// count; the determinism check is one string comparison.
+    pub fn transcript(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "operator: {}", self.operator);
+        let _ = writeln!(out, "mode: {}", self.mode.name());
+        let _ = writeln!(out, "segments: {} x {} ops", self.segments, self.segment_ops);
+        for trial in &self.trials {
+            let _ = writeln!(
+                out,
+                "trial #{} property={} scenario={} outcome={:?} rollback={:?} sim={}",
+                trial.op.index,
+                trial.op.property,
+                trial.op.scenario,
+                trial.outcome,
+                trial.rollback_recovered,
+                trial.sim_seconds
+            );
+            let _ = writeln!(
+                out,
+                "  declaration: {}",
+                crdspec::json::to_string(&trial.declaration)
+            );
+            for alarm in &trial.alarms {
+                let _ = writeln!(out, "  alarm {}: {}", alarm.kind.name(), alarm.detail);
+            }
+        }
+        for (bug, kinds) in &self.summary.detected_bugs {
+            let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+            let _ = writeln!(out, "detected: {bug} via {}", names.join(","));
+        }
+        out
+    }
+}
+
+/// Computes the declaration reached after applying a plan prefix — the
+/// jump operation for a partition. A pure fold over the shared plan: it
+/// cannot re-plan, so callers are forced to plan exactly once.
+pub fn declaration_after_prefix(initial: &Value, plan: &[PlannedOp], prefix_len: usize) -> Value {
+    let mut working = initial.clone();
     for op in plan.iter().take(prefix_len) {
-        for (p, v) in &op.dependency_assignments {
-            working.set_path(&schema_to_value_path(p), v.clone());
-        }
-        let target = schema_to_value_path(&op.property);
-        if op.value.is_null() {
-            working.remove_path(&target);
-        } else {
-            working.set_path(&target, op.value.clone());
-        }
+        apply_op(&mut working, op);
     }
     working
 }
 
-fn schema_to_value_path(p: &crdspec::Path) -> crdspec::Path {
-    let mut steps = Vec::new();
-    for step in p.steps() {
-        match step {
-            crdspec::Step::Key(k) if k == "@items" => steps.push(crdspec::Step::Index(0)),
-            crdspec::Step::Key(k) if k == "@values" => {}
-            other => steps.push(other.clone()),
-        }
-    }
-    crdspec::Path::from_steps(steps)
+/// Runs a campaign across `workers` threads with work stealing and
+/// [`DEFAULT_SEGMENT_OPS`]-operation segments.
+pub fn run_work_stealing(config: &CampaignConfig, workers: usize) -> ParallelResult {
+    run_work_stealing_with(config, workers, DEFAULT_SEGMENT_OPS, &SnapshotDepot::new())
 }
 
-/// Runs a campaign partitioned over `workers` threads.
-///
-/// Each worker executes a contiguous slice of the plan via
-/// [`run_campaign`] with a bounded operation window; the partition jump is
-/// approximated by starting each worker's campaign at the prefix
-/// declaration.
-pub fn run_partitioned(config: &CampaignConfig, workers: usize) -> ParallelResult {
+/// Runs a campaign across `workers` threads, claiming `segment_ops`-sized
+/// plan segments through a shared cursor and reusing prefix states from
+/// `depot`.
+pub fn run_work_stealing_with(
+    config: &CampaignConfig,
+    workers: usize,
+    segment_ops: usize,
+    depot: &SnapshotDepot,
+) -> ParallelResult {
     let start = Instant::now();
     let operator = operator_by_name(&config.operator);
-    let schema = operator.schema();
-    let ir = operator.ir();
-    let plan_len = plan_campaign(
-        &schema,
-        Some(&ir),
+    let gen_start = Instant::now();
+    let plan: Arc<Vec<PlannedOp>> = Arc::new(plan_campaign(
+        &operator.schema(),
+        Some(&operator.ir()),
         config.mode,
         &operator.initial_cr(),
         &operator.images(),
         operators::INSTANCE,
+    ));
+    let gen_duration = gen_start.elapsed();
+
+    // `max_ops` bounds the planned operations considered; applying it to
+    // the shared plan before segmentation keeps it worker-count-agnostic.
+    let plan_len = config
+        .max_ops
+        .map_or(plan.len(), |max| plan.len().min(max));
+    let segment_ops = segment_ops.max(1);
+
+    // Fixed-size segments, independent of the worker count. The last
+    // segment absorbs the remainder, so no segment is ever empty and no
+    // worker deploys a cluster for zero work.
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    let mut cut = 0;
+    while cut < plan_len {
+        let take = segment_ops.min(plan_len - cut);
+        segments.push((cut, take));
+        cut += take;
+    }
+    assert!(
+        segments.iter().all(|&(_, take)| take > 0),
+        "segmentation must never produce an empty segment"
+    );
+    let workers = workers.max(1).min(segments.len().max(1));
+
+    // Deploy the shared base once and checkpoint it: every reset and
+    // differential reference in every segment restores this snapshot
+    // instead of paying for a redeployment.
+    let base_instance = Instance::deploy(
+        operator_by_name(&config.operator),
+        config.bugs.clone(),
+        config.platform,
     )
-    .len();
-    let workers = workers.max(1).min(plan_len.max(1));
-    let chunk = plan_len.div_ceil(workers);
-    let mut results: Vec<CampaignResult> = Vec::new();
+    .expect("initial deployment");
+    let base_sim_seconds = base_instance.cluster.now();
+    let base = Arc::new(base_instance.checkpoint());
+    depot.put(0, Arc::clone(&base));
+
+    let initial_cr = operator.initial_cr();
+    let cursor = AtomicUsize::new(0);
+    let seg_trials: Mutex<BTreeMap<usize, Vec<Trial>>> = Mutex::new(BTreeMap::new());
+    let failed: Mutex<Vec<FailedSegment>> = Mutex::new(Vec::new());
+    let stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::new());
+    // A worker's static share under even chunking; claims outside it are
+    // counted as steals.
+    let static_chunk = segments.len().div_ceil(workers);
+
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..workers {
             let config = config.clone();
+            let plan = Arc::clone(&plan);
+            let base = Arc::clone(&base);
+            let initial_cr = initial_cr.clone();
+            let (cursor, seg_trials, failed, stats) = (&cursor, &seg_trials, &failed, &stats);
+            let segments = &segments;
             handles.push(scope.spawn(move || {
-                let skip = w * chunk;
-                let take = chunk.min(plan_len.saturating_sub(skip));
-                run_campaign_slice(&config, skip, take)
+                let worker_start = Instant::now();
+                let mut my = WorkerStats {
+                    worker: w,
+                    segments_executed: 0,
+                    steals: 0,
+                    depot_hits: 0,
+                    sim_seconds: 0,
+                    convergence_waits: 0,
+                    wall: Duration::ZERO,
+                };
+                loop {
+                    let seg = cursor.fetch_add(1, Ordering::SeqCst);
+                    if seg >= segments.len() {
+                        break;
+                    }
+                    if seg / static_chunk != w {
+                        my.steals += 1;
+                    }
+                    let (skip, take) = segments[seg];
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        run_segment(
+                            &config, &plan, &initial_cr, &base, depot, skip, take, &mut my,
+                        )
+                    }));
+                    match outcome {
+                        Ok(result) => {
+                            my.sim_seconds += result.sim_seconds;
+                            my.convergence_waits += result.convergence_waits;
+                            seg_trials
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .insert(seg, result.trials);
+                        }
+                        Err(payload) => {
+                            let panic = panic_message(payload.as_ref());
+                            failed.lock().unwrap_or_else(|e| e.into_inner()).push(
+                                FailedSegment {
+                                    segment: seg,
+                                    skip,
+                                    take,
+                                    panic: panic.clone(),
+                                },
+                            );
+                            seg_trials
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .insert(seg, vec![panicked_segment_trial(seg, skip, &panic)]);
+                        }
+                    }
+                    my.segments_executed += 1;
+                }
+                my.wall = worker_start.elapsed();
+                stats.lock().unwrap_or_else(|e| e.into_inner()).push(my);
             }));
         }
         for h in handles {
-            results.push(h.join().expect("worker thread"));
+            if h.join().is_err() {
+                // Segment panics are captured inside the worker loop, so a
+                // join error means the bookkeeping itself died; note it and
+                // let the remaining workers finish.
+                failed
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(FailedSegment {
+                        segment: usize::MAX,
+                        skip: 0,
+                        take: 0,
+                        panic: "worker thread aborted outside segment execution".to_string(),
+                    });
+            }
         }
     });
-    let total_sim_seconds = results.iter().map(|r| r.sim_seconds).sum();
-    let makespan_sim_seconds = results.iter().map(|r| r.sim_seconds).max().unwrap_or(0);
-    let trials = results.into_iter().flat_map(|r| r.trials).collect();
+
+    let mut worker_stats = stats.into_inner().unwrap_or_else(|e| e.into_inner());
+    worker_stats.sort_by_key(|s| s.worker);
+    let failed_segments = failed.into_inner().unwrap_or_else(|e| e.into_inner());
+    let trials: Vec<Trial> = seg_trials
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_values()
+        .flatten()
+        .collect();
+    let total_sim_seconds =
+        base_sim_seconds + worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
+    let makespan_sim_seconds = worker_stats
+        .iter()
+        .map(|s| s.sim_seconds)
+        .max()
+        .unwrap_or(0);
+    let summary = summarize(&config.operator, &trials);
     ParallelResult {
+        operator: config.operator.clone(),
+        mode: config.mode,
         workers,
+        segment_ops,
+        segments: segments.len(),
         trials,
         total_sim_seconds,
         makespan_sim_seconds,
+        base_sim_seconds,
+        gen_duration,
         wall: start.elapsed(),
+        worker_stats,
+        failed_segments,
+        summary,
     }
 }
 
-/// Runs only a slice of the campaign plan: the worker body of
-/// [`run_partitioned`]. The prefix collapses into one jump declaration.
-fn run_campaign_slice(config: &CampaignConfig, skip: usize, take: usize) -> CampaignResult {
-    let mut sliced = config.clone();
-    sliced.window = Some((skip, take));
-    sliced.max_ops = None;
-    run_campaign(&sliced)
+/// Backwards-compatible entry point: a partitioned run is now a
+/// work-stealing run (static chunks were both load-imbalanced and spawned
+/// zero-work clusters whenever `plan_len % workers != 0`).
+pub fn run_partitioned(config: &CampaignConfig, workers: usize) -> ParallelResult {
+    run_work_stealing(config, workers)
+}
+
+/// Executes one plan segment from its canonical prefix state.
+#[allow(clippy::too_many_arguments)]
+fn run_segment(
+    config: &CampaignConfig,
+    plan: &[PlannedOp],
+    initial_cr: &Value,
+    base: &Arc<InstanceCheckpoint>,
+    depot: &SnapshotDepot,
+    skip: usize,
+    take: usize,
+    my: &mut WorkerStats,
+) -> CampaignResult {
+    let start_cp = match depot.get(skip) {
+        Some(cp) => {
+            my.depot_hits += 1;
+            cp
+        }
+        None => {
+            // Build the canonical prefix state: restore the base (free),
+            // converge the jump declaration, checkpoint, deposit.
+            let jump = declaration_after_prefix(initial_cr, plan, skip);
+            let mut instance = Instance::from_checkpoint(
+                operator_by_name(&config.operator),
+                config.bugs.clone(),
+                base,
+            );
+            let t0 = instance.cluster.now();
+            if instance.submit(jump).is_ok() {
+                let _ = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+                my.convergence_waits += 1;
+            }
+            my.sim_seconds += instance.cluster.now() - t0;
+            let cp = Arc::new(instance.checkpoint());
+            depot.put(skip, Arc::clone(&cp));
+            cp
+        }
+    };
+    let mut seg_config = config.clone();
+    seg_config.window = Some((skip, take));
+    seg_config.max_ops = None;
+    run_campaign_with(
+        &seg_config,
+        plan,
+        Duration::ZERO,
+        Some(base),
+        Some(&start_cp),
+    )
+}
+
+/// Synthesizes a failed trial for a panicked segment, so the loss is
+/// visible in the trial stream instead of silently shrinking coverage.
+fn panicked_segment_trial(segment: usize, skip: usize, panic: &str) -> Trial {
+    Trial {
+        op: PlannedOp {
+            index: skip,
+            property: Path::root(),
+            scenario: "worker-panic",
+            value: Value::Null,
+            dependency_assignments: Vec::new(),
+            expectation: Expectation::NormalTransition,
+        },
+        declaration: Value::Null,
+        outcome: TrialOutcome::ErrorState(format!("segment {segment} worker panicked")),
+        alarms: vec![Alarm::new(
+            AlarmKind::ErrorCheck,
+            format!("worker panic in segment {segment}: {panic}"),
+        )],
+        rollback_recovered: None,
+        sim_seconds: 0,
+        fault_events: Vec::new(),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -152,21 +522,110 @@ mod tests {
 
     #[test]
     fn prefix_declaration_reflects_plan() {
-        let config = quick_config();
-        let d0 = declaration_after_prefix(&config, 0);
         let op = operator_by_name("RabbitMQOp");
+        let plan = plan_campaign(
+            &op.schema(),
+            Some(&op.ir()),
+            Mode::Whitebox,
+            &op.initial_cr(),
+            &op.images(),
+            operators::INSTANCE,
+        );
+        let d0 = declaration_after_prefix(&op.initial_cr(), &plan, 0);
         assert_eq!(d0, op.initial_cr());
-        let d3 = declaration_after_prefix(&config, 3);
+        let d3 = declaration_after_prefix(&op.initial_cr(), &plan, 3);
         assert_ne!(d3, d0);
     }
 
     #[test]
     fn partitioned_run_covers_all_windows() {
         let mut config = quick_config();
-        config.max_ops = None;
+        config.max_ops = Some(24);
         let result = run_partitioned(&config, 3);
         assert_eq!(result.workers, 3);
         assert!(result.total_sim_seconds >= result.makespan_sim_seconds);
         assert!(!result.trials.is_empty());
+        assert!(result.failed_segments.is_empty());
+    }
+
+    #[test]
+    fn no_empty_segments_and_every_worker_works() {
+        // 10 ops at 4 per segment leaves a 2-op remainder: the old static
+        // chunking would have spawned a zero-work worker here.
+        let mut config = quick_config();
+        config.max_ops = Some(10);
+        let depot = SnapshotDepot::new();
+        let result = run_work_stealing_with(&config, 5, 4, &depot);
+        assert_eq!(result.segments, 3);
+        assert_eq!(result.workers, 3, "workers clamp to the segment count");
+        for s in &result.worker_stats {
+            assert!(
+                s.segments_executed > 0,
+                "worker {} deployed for zero work",
+                s.worker
+            );
+        }
+        let executed: usize = result.worker_stats.iter().map(|s| s.segments_executed).sum();
+        assert_eq!(executed, result.segments);
+    }
+
+    #[test]
+    fn trials_are_in_plan_order() {
+        let mut config = quick_config();
+        config.max_ops = Some(20);
+        let result = run_work_stealing(&config, 4);
+        let indices: Vec<usize> = result.trials.iter().map(|t| t.op.index).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted, "trials must be assembled in plan order");
+    }
+
+    #[test]
+    fn depot_serves_repeat_runs() {
+        let mut config = quick_config();
+        config.max_ops = Some(16);
+        let depot = SnapshotDepot::new();
+        let first = run_work_stealing_with(&config, 2, 8, &depot);
+        assert_eq!(depot.len(), first.segments, "every prefix is deposited");
+        let second = run_work_stealing_with(&config, 2, 8, &depot);
+        let hits: usize = second.worker_stats.iter().map(|s| s.depot_hits).sum();
+        assert_eq!(hits, second.segments, "repeat runs restore every prefix");
+        assert_eq!(first.transcript(), second.transcript());
+    }
+
+    #[test]
+    fn worker_panics_are_captured_not_fatal() {
+        #[derive(Debug)]
+        struct Bomb;
+        impl crate::oracles::CustomOracle for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn check(
+                &self,
+                _ctx: &crate::oracles::OracleContext<'_>,
+                _instance: &Instance,
+            ) -> Vec<Alarm> {
+                panic!("oracle exploded");
+            }
+        }
+        let mut config = quick_config();
+        config.max_ops = Some(12);
+        config.custom_oracles = vec![std::sync::Arc::new(Bomb)];
+        let result = run_work_stealing(&config, 2);
+        assert!(
+            !result.failed_segments.is_empty(),
+            "the panicking oracle must surface as failed segments"
+        );
+        for f in &result.failed_segments {
+            assert!(f.panic.contains("oracle exploded"), "panic: {}", f.panic);
+        }
+        // Panicked segments leave failed trials, not silent gaps.
+        assert!(result
+            .trials
+            .iter()
+            .any(|t| t.op.scenario == "worker-panic"));
+        // Surviving workers still report stats.
+        assert_eq!(result.worker_stats.len(), result.workers);
     }
 }

@@ -282,6 +282,51 @@ pub fn render_summary(operator: &str, summary: &CampaignSummary) -> String {
     out
 }
 
+/// Renders a parallel run: headline speedup numbers plus one line per
+/// worker with its scheduling statistics.
+pub fn render_parallel(result: &crate::parallel::ParallelResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {} ({}; {} workers, {} segments x {} ops) ==\n",
+        result.operator,
+        result.mode.name(),
+        result.workers,
+        result.segments,
+        result.segment_ops
+    ));
+    out.push_str(&format!(
+        "sim-seconds: total {} (base {}), makespan {}\n",
+        result.total_sim_seconds, result.base_sim_seconds, result.makespan_sim_seconds
+    ));
+    out.push_str(&format!(
+        "trials: {}; failed segments: {}; wall: {:.2?} (planning {:.2?})\n",
+        result.trials.len(),
+        result.failed_segments.len(),
+        result.wall,
+        result.gen_duration
+    ));
+    out.push_str("worker  segments  steals  depot-hits  sim-seconds  conv-waits  wall\n");
+    for s in &result.worker_stats {
+        out.push_str(&format!(
+            "{:>6}  {:>8}  {:>6}  {:>10}  {:>11}  {:>10}  {:.2?}\n",
+            s.worker,
+            s.segments_executed,
+            s.steals,
+            s.depot_hits,
+            s.sim_seconds,
+            s.convergence_waits,
+            s.wall
+        ));
+    }
+    for f in &result.failed_segments {
+        out.push_str(&format!(
+            "failed segment {} (skip {}, take {}): {}\n",
+            f.segment, f.skip, f.take, f.panic
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -77,7 +77,7 @@ pub type AdmissionHook = fn(&Value) -> Result<(), String>;
 ///     .create_custom("default", "w2", "Widget", Value::object([("size", Value::from(-1))]), 0)
 ///     .is_err());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ApiServer {
     store: ObjectStore,
     crds: BTreeMap<String, Schema>,
@@ -109,6 +109,19 @@ impl ApiServer {
     /// The active platform-bug configuration.
     pub fn bugs(&self) -> PlatformBugs {
         self.bugs
+    }
+
+    /// Deep snapshot of the API server, built on [`ObjectStore::snapshot`]:
+    /// the versioned store plus registered CRDs, admission hooks, bug
+    /// configuration, and pending injected conflicts.
+    pub fn snapshot(&self) -> ApiServer {
+        ApiServer {
+            store: self.store.snapshot(),
+            crds: self.crds.clone(),
+            admission: self.admission.clone(),
+            bugs: self.bugs,
+            injected_conflicts: self.injected_conflicts,
+        }
     }
 
     /// Read-only access to the underlying store.

@@ -72,6 +72,36 @@ impl Default for ClusterConfig {
     }
 }
 
+/// A deep, resumable snapshot of a [`SimCluster`] at an instant.
+///
+/// Built on [`crate::store::ObjectStore::snapshot`] (via
+/// [`crate::api::ApiServer::snapshot`]), plus the simulated clock, the log
+/// buffer, the image catalog, crash-loop conditions, and any mid-flight
+/// fault-injector state. The scheduler and the built-in controllers are
+/// stateless functions over the store, so nothing else needs capturing:
+/// restoring a checkpoint and stepping forward replays bit-for-bit what the
+/// original cluster would have done.
+///
+/// Checkpoints power Acto's test partitioning (paper §5.5): a parallel
+/// worker starting plan segment `k` restores the converged prefix state
+/// instead of redeploying and re-converging from scratch.
+#[derive(Debug, Clone)]
+pub struct ClusterCheckpoint {
+    api: ApiServer,
+    time: u64,
+    logs: Vec<LogEntry>,
+    image_catalog: BTreeSet<String>,
+    crashing: std::collections::BTreeMap<String, String>,
+    faults: Option<crate::faults::FaultInjector>,
+}
+
+impl ClusterCheckpoint {
+    /// Simulated time at which the checkpoint was taken.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+}
+
 /// The simulated cluster.
 ///
 /// # Examples
@@ -131,6 +161,44 @@ impl SimCluster {
     /// Current simulated time in seconds.
     pub fn now(&self) -> u64 {
         self.time
+    }
+
+    /// Takes a cheap deep snapshot of the whole cluster (store, clock,
+    /// logs, catalog, crash conditions, fault state). See
+    /// [`ClusterCheckpoint`].
+    pub fn checkpoint(&self) -> ClusterCheckpoint {
+        ClusterCheckpoint {
+            api: self.api.snapshot(),
+            time: self.time,
+            logs: self.logs.clone(),
+            image_catalog: self.image_catalog.clone(),
+            crashing: self.crashing.clone(),
+            faults: self.faults.clone(),
+        }
+    }
+
+    /// Rewinds (or fast-forwards) this cluster to a checkpoint. All state —
+    /// including the simulated clock — becomes exactly what
+    /// [`SimCluster::checkpoint`] captured.
+    pub fn restore(&mut self, cp: &ClusterCheckpoint) {
+        self.api = cp.api.snapshot();
+        self.time = cp.time;
+        self.logs = cp.logs.clone();
+        self.image_catalog = cp.image_catalog.clone();
+        self.crashing = cp.crashing.clone();
+        self.faults = cp.faults.clone();
+    }
+
+    /// Builds a new cluster directly from a checkpoint.
+    pub fn from_checkpoint(cp: &ClusterCheckpoint) -> SimCluster {
+        SimCluster {
+            api: cp.api.snapshot(),
+            time: cp.time,
+            logs: cp.logs.clone(),
+            image_catalog: cp.image_catalog.clone(),
+            crashing: cp.crashing.clone(),
+            faults: cp.faults.clone(),
+        }
     }
 
     /// The API server.
@@ -605,6 +673,88 @@ mod tests {
         }
         assert_eq!(zones.len(), 2, "two availability zones");
         assert_eq!(ssd, 2, "two ssd nodes");
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_bit_for_bit() {
+        let mut cluster = SimCluster::new(test_config());
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(make_sts(2, "zk:3.8")),
+                0,
+            )
+            .unwrap();
+        assert!(cluster.run_until_converged(10, 600));
+        let cp = cluster.checkpoint();
+        assert_eq!(cp.time(), cluster.now());
+
+        // Two futures from the same checkpoint must be identical.
+        let mut a = SimCluster::from_checkpoint(&cp);
+        let mut b = SimCluster::from_checkpoint(&cp);
+        assert_eq!(a.now(), cluster.now());
+        for c in [&mut a, &mut b] {
+            let t = c.now();
+            c.api_mut()
+                .apply_object(
+                    ObjectMeta::named("ns", "zk"),
+                    ObjectData::StatefulSet(make_sts(4, "zk:3.8")),
+                    t,
+                )
+                .unwrap();
+            assert!(c.run_until_converged(10, 600));
+        }
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.pod_summaries("ns"), b.pod_summaries("ns"));
+        assert_eq!(a.api().store().revision(), b.api().store().revision());
+        assert_eq!(a.logs(), b.logs());
+
+        // Restoring rolls the original back: the scale-up never happened.
+        let t = cluster.now();
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(make_sts(4, "zk:3.8")),
+                t,
+            )
+            .unwrap();
+        cluster.run_until_converged(10, 600);
+        assert_eq!(cluster.pod_summaries("ns").len(), 4);
+        cluster.restore(&cp);
+        assert_eq!(cluster.pod_summaries("ns").len(), 2);
+        assert_eq!(cluster.now(), cp.time());
+    }
+
+    #[test]
+    fn checkpoint_captures_crash_conditions_and_faults() {
+        let mut cluster = SimCluster::new(test_config());
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(make_sts(1, "zk:3.8")),
+                0,
+            )
+            .unwrap();
+        assert!(cluster.run_until_converged(10, 300));
+        cluster.set_crashing("zk-0", "wedged");
+        let mut plan = crate::faults::FaultPlan::new();
+        plan.push(5, crate::faults::Fault::WatchBlackout { duration: 30 });
+        cluster.install_fault_plan(plan);
+        let cp = cluster.checkpoint();
+        let mut copy = SimCluster::from_checkpoint(&cp);
+        assert_eq!(
+            copy.crashing().collect::<Vec<_>>(),
+            cluster.crashing().collect::<Vec<_>>()
+        );
+        // The restored fault plan fires on schedule.
+        for _ in 0..6 {
+            copy.step();
+        }
+        assert!(copy.watch_blackout_active());
+        assert!(!copy.faults_exhausted());
     }
 
     #[test]

@@ -254,8 +254,9 @@ impl FaultEvent {
     }
 }
 
-/// Runtime state of an installed plan, owned by the cluster.
-#[derive(Debug)]
+/// Runtime state of an installed plan, owned by the cluster. `Clone` so a
+/// cluster checkpoint can capture mid-plan injection state exactly.
+#[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: Vec<TimedFault>,
     installed_at: u64,

@@ -35,7 +35,7 @@ pub mod scheduler;
 pub mod store;
 
 pub use api::{ApiError, ApiServer};
-pub use cluster::{ClusterConfig, SimCluster};
+pub use cluster::{ClusterCheckpoint, ClusterConfig, SimCluster};
 pub use faults::{Fault, FaultEvent, FaultInjector, FaultPlan, FaultProfile, TimedFault};
 pub use meta::{LabelSelector, ObjectMeta, OwnerReference};
 pub use objects::{
