@@ -9,8 +9,9 @@
 //! recovery-failure bug) or the operator crashes, the campaign resets onto
 //! a fresh cluster at the last good declaration and continues.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crdspec::{Path, Schema, SchemaKind, Value};
@@ -136,6 +137,14 @@ pub struct CampaignResult {
     pub summary: CampaignSummary,
     /// Deterministic vs masked leaf-field counts of the final state.
     pub deterministic_fields: (usize, usize),
+    /// Differential references served from the [`FreshRefCache`]. Cache
+    /// hits replay the stored sim-seconds/waits accounting of the original
+    /// run, so these counters never appear in the transcript — transcripts
+    /// are invariant to cache state and worker count.
+    pub ref_cache_hits: usize,
+    /// Differential references computed and inserted into the cache (or
+    /// computed uncached when no cache was supplied).
+    pub ref_cache_misses: usize,
 }
 
 impl CampaignResult {
@@ -489,7 +498,8 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         operators::INSTANCE,
     );
     let gen_duration = gen_start.elapsed();
-    run_campaign_with(config, &plan, gen_duration, None, None)
+    let ref_cache = FreshRefCache::new();
+    run_campaign_with(config, &plan, gen_duration, None, None, Some(&ref_cache))
 }
 
 /// Executes a campaign over an externally computed `plan`.
@@ -501,12 +511,17 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
 /// `start` checkpoint of the converged prefix state for the segment's
 /// window (skipping both the deployment and the jump operation).
 /// `None` everywhere gives the sequential behaviour of [`run_campaign`].
+///
+/// `ref_cache` shares differential-oracle reference runs across trials
+/// (and, when the parallel runner passes one cache to every segment,
+/// across workers); `None` recomputes every reference.
 pub fn run_campaign_with(
     config: &CampaignConfig,
     plan: &[PlannedOp],
     gen_duration: Duration,
     base: Option<&InstanceCheckpoint>,
     start: Option<&InstanceCheckpoint>,
+    ref_cache: Option<&FreshRefCache>,
 ) -> CampaignResult {
     let operator = operator_by_name(&config.operator);
     let schema = operator.schema();
@@ -524,6 +539,8 @@ pub fn run_campaign_with(
     let mut trial_sim_total: u64 = 0;
     let mut convergence_waits = 0usize;
     let mut resets = 0usize;
+    let mut ref_cache_hits = 0usize;
+    let mut ref_cache_misses = 0usize;
     let mut last_good = instance.cr_spec();
     let mut trials: Vec<Trial> = Vec::new();
     let mut covered: BTreeSet<Path> = BTreeSet::new();
@@ -547,9 +564,7 @@ pub fn run_campaign_with(
         let pre_fault = masked_snapshot(&instance);
         let horizon = config.faults.horizon();
         instance.cluster.install_fault_plan(config.faults.clone());
-        for _ in 0..horizon {
-            instance.tick();
-        }
+        instance.advance(horizon);
         let converged = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
         convergence_waits += 1;
         let healthy = !matches!(instance.last_health, managed::Health::Down(_))
@@ -749,12 +764,16 @@ pub fn run_campaign_with(
                     }
                 }
                 if config.differential {
-                    let (fresh_state, fresh_sim, fresh_waits) =
-                        fresh_reference(config, &spec, base);
-                    meter.bank(fresh_sim);
-                    convergence_waits += fresh_waits;
-                    if let Some(fresh_state) = fresh_state {
-                        alarms.extend(collapse(differential_normal(&post_state, &fresh_state)));
+                    let (reference, hit) = fresh_reference(config, &spec, base, ref_cache);
+                    if hit {
+                        ref_cache_hits += 1;
+                    } else {
+                        ref_cache_misses += 1;
+                    }
+                    meter.bank(reference.sim_seconds);
+                    convergence_waits += reference.convergence_waits;
+                    if let Some(fresh_state) = &reference.state {
+                        alarms.extend(collapse(differential_normal(&post_state, fresh_state)));
                     }
                 }
             }
@@ -871,6 +890,8 @@ pub fn run_campaign_with(
         resets,
         summary,
         deterministic_fields,
+        ref_cache_hits,
+        ref_cache_misses,
     }
 }
 
@@ -925,24 +946,97 @@ fn collapse(alarms: Vec<Alarm>) -> Vec<Alarm> {
     )]
 }
 
+/// A fully computed differential reference: the masked reference state
+/// (`None` when the reference run rejects the declaration) plus the exact
+/// sim-seconds/convergence-waits accounting of the run that produced it.
+#[derive(Debug)]
+struct CachedReference {
+    state: Option<oracles::StateSnapshot>,
+    sim_seconds: u64,
+    convergence_waits: usize,
+}
+
+/// Content-addressed cache of the differential oracle's fresh references
+/// (paper §5.4): a reference run depends only on the submitted declaration
+/// (reference clusters always start from the same deploy-converged state),
+/// so it is keyed by the declaration's canonical JSON rendering — shared
+/// across trials of one campaign and across parallel workers, alongside
+/// [`crate::parallel::SnapshotDepot`].
+///
+/// A hit replays the stored accounting verbatim, so results — transcripts
+/// included — are invariant to cache state, sharing, and worker count.
+#[derive(Debug, Default)]
+pub struct FreshRefCache {
+    entries: Mutex<BTreeMap<String, Arc<CachedReference>>>,
+}
+
+impl FreshRefCache {
+    /// Creates an empty cache.
+    pub fn new() -> FreshRefCache {
+        FreshRefCache::default()
+    }
+
+    /// Number of distinct declarations cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("ref cache lock").len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<CachedReference>> {
+        self.entries.lock().expect("ref cache lock").get(key).cloned()
+    }
+
+    fn insert(&self, key: String, entry: Arc<CachedReference>) {
+        self.entries
+            .lock()
+            .expect("ref cache lock")
+            .entry(key)
+            .or_insert(entry);
+    }
+}
+
 /// Builds the fresh-deployment reference state for the differential oracle
 /// (`S_0 --D--> S'_i`), restoring the deploy-converged base checkpoint
-/// when one is available instead of paying for a full redeployment.
-/// Returns the masked reference state (`None` when the reference run
-/// rejects the declaration), the simulated seconds consumed, and the
-/// convergence waits issued.
+/// when one is available instead of paying for a full redeployment, and
+/// consulting `cache` first. Returns the reference plus whether it was a
+/// cache hit.
 fn fresh_reference(
     config: &CampaignConfig,
     declaration: &Value,
     base: Option<&InstanceCheckpoint>,
-) -> (Option<oracles::StateSnapshot>, u64, usize) {
+    cache: Option<&FreshRefCache>,
+) -> (Arc<CachedReference>, bool) {
+    let key = cache.map(|_| crdspec::json::to_string(declaration));
+    if let (Some(cache), Some(key)) = (cache, &key) {
+        if let Some(hit) = cache.get(key) {
+            return (hit, true);
+        }
+    }
     let (mut fresh, deployed) = acquire_instance(config, base);
     let t0 = if deployed { 0 } else { fresh.cluster.now() };
-    if fresh.submit(declaration.clone()).is_err() {
-        return (None, fresh.cluster.now() - t0, 0);
+    let entry = if fresh.submit(declaration.clone()).is_err() {
+        CachedReference {
+            state: None,
+            sim_seconds: fresh.cluster.now() - t0,
+            convergence_waits: 0,
+        }
+    } else {
+        let _ = fresh.converge(CONVERGE_RESET, CONVERGE_MAX);
+        CachedReference {
+            state: Some(masked_snapshot(&fresh)),
+            sim_seconds: fresh.cluster.now() - t0,
+            convergence_waits: 1,
+        }
+    };
+    let entry = Arc::new(entry);
+    if let (Some(cache), Some(key)) = (cache, key) {
+        cache.insert(key, Arc::clone(&entry));
     }
-    let _ = fresh.converge(CONVERGE_RESET, CONVERGE_MAX);
-    (Some(masked_snapshot(&fresh)), fresh.cluster.now() - t0, 1)
+    (entry, false)
 }
 
 #[cfg(test)]

@@ -45,8 +45,8 @@ pub mod report;
 pub mod semantics;
 
 pub use campaign::{
-    plan_campaign, run_campaign, run_campaign_with, CampaignConfig, CampaignResult, Strategy,
-    PLAN_COMPUTATIONS,
+    plan_campaign, run_campaign, run_campaign_with, CampaignConfig, CampaignResult, FreshRefCache,
+    Strategy, PLAN_COMPUTATIONS,
 };
 pub use deps::{infer_dependencies, Dependency};
 pub use gen::{generator_catalog, scenarios_for, GenContext, Scenario};

@@ -38,7 +38,7 @@ use crdspec::{Path, Value};
 use operators::{operator_by_name, Instance, InstanceCheckpoint, CONVERGE_MAX, CONVERGE_RESET};
 
 use crate::campaign::{
-    apply_op, plan_campaign, run_campaign_with, CampaignConfig, CampaignResult,
+    apply_op, plan_campaign, run_campaign_with, CampaignConfig, CampaignResult, FreshRefCache,
 };
 use crate::model::{Expectation, Mode, PlannedOp, Trial, TrialOutcome};
 use crate::oracles::AlarmKind;
@@ -67,6 +67,11 @@ pub struct WorkerStats {
     pub sim_seconds: u64,
     /// Convergence waits this worker issued.
     pub convergence_waits: usize,
+    /// Differential references this worker served from the shared
+    /// fresh-reference cache.
+    pub ref_cache_hits: usize,
+    /// Differential references this worker computed and cached.
+    pub ref_cache_misses: usize,
     /// Real time from worker start to running out of segments.
     pub wall: Duration,
 }
@@ -282,6 +287,9 @@ pub fn run_work_stealing_with(
     depot.put(0, Arc::clone(&base));
 
     let initial_cr = operator.initial_cr();
+    // One fresh-reference cache for the whole run: reference runs depend
+    // only on the declaration, so workers share them like depot snapshots.
+    let ref_cache = FreshRefCache::new();
     let cursor = AtomicUsize::new(0);
     let seg_trials: Mutex<BTreeMap<usize, Vec<Trial>>> = Mutex::new(BTreeMap::new());
     let failed: Mutex<Vec<FailedSegment>> = Mutex::new(Vec::new());
@@ -298,6 +306,7 @@ pub fn run_work_stealing_with(
             let base = Arc::clone(&base);
             let initial_cr = initial_cr.clone();
             let (cursor, seg_trials, failed, stats) = (&cursor, &seg_trials, &failed, &stats);
+            let ref_cache = &ref_cache;
             let segments = &segments;
             handles.push(scope.spawn(move || {
                 let worker_start = Instant::now();
@@ -308,6 +317,8 @@ pub fn run_work_stealing_with(
                     depot_hits: 0,
                     sim_seconds: 0,
                     convergence_waits: 0,
+                    ref_cache_hits: 0,
+                    ref_cache_misses: 0,
                     wall: Duration::ZERO,
                 };
                 loop {
@@ -321,13 +332,16 @@ pub fn run_work_stealing_with(
                     let (skip, take) = segments[seg];
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         run_segment(
-                            &config, &plan, &initial_cr, &base, depot, skip, take, &mut my,
+                            &config, &plan, &initial_cr, &base, depot, ref_cache, skip, take,
+                            &mut my,
                         )
                     }));
                     match outcome {
                         Ok(result) => {
                             my.sim_seconds += result.sim_seconds;
                             my.convergence_waits += result.convergence_waits;
+                            my.ref_cache_hits += result.ref_cache_hits;
+                            my.ref_cache_misses += result.ref_cache_misses;
                             seg_trials
                                 .lock()
                                 .unwrap_or_else(|e| e.into_inner())
@@ -423,6 +437,7 @@ fn run_segment(
     initial_cr: &Value,
     base: &Arc<InstanceCheckpoint>,
     depot: &SnapshotDepot,
+    ref_cache: &FreshRefCache,
     skip: usize,
     take: usize,
     my: &mut WorkerStats,
@@ -461,6 +476,7 @@ fn run_segment(
         Duration::ZERO,
         Some(base),
         Some(&start_cp),
+        Some(ref_cache),
     )
 }
 

@@ -305,14 +305,18 @@ pub fn render_parallel(result: &crate::parallel::ParallelResult) -> String {
         result.wall,
         result.gen_duration
     ));
-    out.push_str("worker  segments  steals  depot-hits  sim-seconds  conv-waits  wall\n");
+    out.push_str(
+        "worker  segments  steals  depot-hits  ref-hits  ref-misses  sim-seconds  conv-waits  wall\n",
+    );
     for s in &result.worker_stats {
         out.push_str(&format!(
-            "{:>6}  {:>8}  {:>6}  {:>10}  {:>11}  {:>10}  {:.2?}\n",
+            "{:>6}  {:>8}  {:>6}  {:>10}  {:>8}  {:>10}  {:>11}  {:>10}  {:.2?}\n",
             s.worker,
             s.segments_executed,
             s.steals,
             s.depot_hits,
+            s.ref_cache_hits,
+            s.ref_cache_misses,
             s.sim_seconds,
             s.convergence_waits,
             s.wall

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use crdspec::{Path, Value};
+use crdspec::Value;
 use simkube::meta::{LabelSelector, ObjectMeta};
 use simkube::objects::{
     ClaimTemplate, ConfigMap, Container, Ingress, Kind, ObjectData, Pdb, PodTemplate, Service,
@@ -18,29 +18,65 @@ use simkube::{Quantity, SimCluster};
 
 use crate::framework::OperatorError;
 
+/// Borrowed lookup of a dotted path (with optional `[i]` indices), walking
+/// the value directly instead of allocating a parsed `crdspec::Path`.
+/// These helpers run on every reconcile pass of every operator, so the
+/// parse would dominate the lookup. Matches `path.parse::<Path>()` +
+/// `Value::get_path` on well-formed paths and returns `None` on
+/// malformed ones.
+fn lookup<'v>(cr: &'v Value, path: &str) -> Option<&'v Value> {
+    let mut cur = cr;
+    if path.is_empty() {
+        return Some(cur);
+    }
+    for seg in path.split('.') {
+        let (key, mut rest) = match seg.find('[') {
+            Some(pos) => (&seg[..pos], &seg[pos..]),
+            None => (seg, ""),
+        };
+        if key.is_empty() && rest.is_empty() {
+            return None; // empty segment: leading/trailing/double dot
+        }
+        if !key.is_empty() {
+            cur = cur.get(key)?;
+        }
+        while let Some(inner) = rest.strip_prefix('[') {
+            let end = inner.find(']')?;
+            let idx: usize = inner[..end].parse().ok()?;
+            cur = cur.as_array()?.get(idx)?;
+            rest = &inner[end + 1..];
+        }
+        if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(cur)
+}
+
+/// Borrowed read of the value at a dotted path (see [`str_at`] for the
+/// path grammar).
+pub fn value_at<'v>(cr: &'v Value, path: &str) -> Option<&'v Value> {
+    lookup(cr, path)
+}
+
 /// Reads a string at a dotted path of the CR spec.
 pub fn str_at(cr: &Value, path: &str) -> Option<String> {
-    cr.get_path(&path.parse().ok()?)
-        .and_then(Value::as_str)
-        .map(str::to_string)
+    lookup(cr, path).and_then(Value::as_str).map(str::to_string)
 }
 
 /// Reads an integer at a dotted path.
 pub fn i64_at(cr: &Value, path: &str) -> Option<i64> {
-    cr.get_path(&path.parse().ok()?).and_then(Value::as_i64)
+    lookup(cr, path).and_then(Value::as_i64)
 }
 
 /// Reads a boolean at a dotted path.
 pub fn bool_at(cr: &Value, path: &str) -> Option<bool> {
-    cr.get_path(&path.parse().ok()?).and_then(Value::as_bool)
+    lookup(cr, path).and_then(Value::as_bool)
 }
 
 /// Reads a string map at a dotted path.
 pub fn map_at(cr: &Value, path: &str) -> BTreeMap<String, String> {
-    let Ok(p) = path.parse::<Path>() else {
-        return BTreeMap::new();
-    };
-    match cr.get_path(&p) {
+    match lookup(cr, path) {
         Some(Value::Object(m)) => m
             .iter()
             .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())))
@@ -65,9 +101,14 @@ pub fn cron_is_valid(expr: &str) -> bool {
 /// Parses the standard resources fragment at `base` into requirements.
 pub fn resources_at(cr: &Value, base: &str) -> ResourceRequirements {
     let mut out = ResourceRequirements::default();
+    let root = lookup(cr, base);
     for (section, target) in [("requests", 0usize), ("limits", 1usize)] {
         for resource in ["cpu", "memory"] {
-            if let Some(s) = str_at(cr, &format!("{base}.{section}.{resource}")) {
+            let s = root
+                .and_then(|r| r.get(section))
+                .and_then(|r| r.get(resource))
+                .and_then(Value::as_str);
+            if let Some(s) = s {
                 if let Ok(q) = s.parse::<Quantity>() {
                     if target == 0 {
                         out.requests.insert(resource.to_string(), q);
@@ -84,10 +125,7 @@ pub fn resources_at(cr: &Value, base: &str) -> ResourceRequirements {
 /// Parses the standard affinity fragment at `base`.
 pub fn affinity_at(cr: &Value, base: &str) -> Affinity {
     let terms = |section: &str| -> Vec<(String, String)> {
-        let Ok(p) = format!("{base}.{section}").parse::<Path>() else {
-            return Vec::new();
-        };
-        match cr.get_path(&p) {
+        match lookup(cr, base).and_then(|r| r.get(section)) {
             Some(Value::Array(items)) => items
                 .iter()
                 .filter_map(|t| {
@@ -118,10 +156,7 @@ pub fn affinity_at(cr: &Value, base: &str) -> Affinity {
 
 /// Parses the tolerations fragment at `base`.
 pub fn tolerations_at(cr: &Value, base: &str) -> Vec<Toleration> {
-    let Ok(p) = base.parse::<Path>() else {
-        return Vec::new();
-    };
-    match cr.get_path(&p) {
+    match lookup(cr, base) {
         Some(Value::Array(items)) => items
             .iter()
             .filter_map(|t| {

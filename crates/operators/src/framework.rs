@@ -113,6 +113,12 @@ pub struct Instance {
     crashed_generation: Option<u64>,
     /// Latest managed-system health.
     pub last_health: Health,
+    /// Rendered CR spec keyed by CR generation. Pure derived cache
+    /// (`spec_value` is a deterministic render and the generation bumps
+    /// exactly when the spec changes), so it is not checkpointed.
+    spec_cache: Option<(u64, Value)>,
+    /// Serialized length of the cached spec (the PLAT-3 payload check).
+    payload_len_cache: usize,
 }
 
 /// Namespace every instance is deployed into.
@@ -166,6 +172,8 @@ impl Instance {
             operator_restarts: 0,
             crashed_generation: None,
             last_health: Health::Down("not yet deployed".to_string()),
+            spec_cache: None,
+            payload_len_cache: 0,
         };
         instance.converge(CONVERGE_RESET, CONVERGE_MAX);
         Ok(instance)
@@ -203,6 +211,8 @@ impl Instance {
             operator_restarts: cp.operator_restarts,
             crashed_generation: cp.crashed_generation,
             last_health: cp.last_health.clone(),
+            spec_cache: None,
+            payload_len_cache: 0,
         }
     }
 
@@ -280,9 +290,14 @@ impl Instance {
             return;
         };
         let generation = cr_obj.meta.generation;
-        let spec = cr_obj.data.spec_value();
-        let mut status = cr_obj.data.status_value();
-        if status.get("systemHealth").and_then(Value::as_str) != Some(health_str.as_str()) {
+        // Compare against the stored status in place; the status value is
+        // only rendered (and written back) when the health actually moved.
+        let stored_health = cr_obj
+            .data
+            .status_field("systemHealth")
+            .and_then(Value::as_str);
+        if stored_health != Some(health_str.as_str()) {
+            let mut status = cr_obj.data.status_value();
             status.set_path(
                 &"systemHealth".parse().expect("path"),
                 Value::from(health_str),
@@ -318,20 +333,32 @@ impl Instance {
             self.crashed_generation = None;
             self.operator_restarts += 1;
         }
-        // PLAT-3: oversized payloads crash the operator runtime itself.
-        if self.cluster.api().bugs().shared_object_crash {
-            let payload = crdspec::json::to_string(&spec);
-            if payload.len() > SHARED_OBJECT_PAYLOAD_LIMIT {
-                self.record_panic(
-                    generation,
-                    "PLAT-3: declaration payload exceeds shared-object limit".to_string(),
-                );
+        // The rendered spec is a pure function of the CR spec, and the
+        // generation bumps exactly when the spec changes — cache the render
+        // (and the PLAT-3 payload length) per generation instead of
+        // rebuilding the value tree every reconcile pass.
+        if self.spec_cache.as_ref().map(|(g, _)| *g) != Some(generation) {
+            let Some(obj) = self.cluster.api().get(&key) else {
                 return;
-            }
+            };
+            let spec = obj.data.spec_value();
+            self.payload_len_cache = crdspec::json::to_string(&spec).len();
+            self.spec_cache = Some((generation, spec));
         }
+        // PLAT-3: oversized payloads crash the operator runtime itself.
+        if self.cluster.api().bugs().shared_object_crash
+            && self.payload_len_cache > SHARED_OBJECT_PAYLOAD_LIMIT
+        {
+            self.record_panic(
+                generation,
+                "PLAT-3: declaration payload exceeds shared-object limit".to_string(),
+            );
+            return;
+        }
+        let spec = &self.spec_cache.as_ref().expect("populated above").1;
         let result = self
             .operator
-            .reconcile(&spec, &health, &mut self.cluster, &self.bugs);
+            .reconcile(spec, &health, &mut self.cluster, &self.bugs);
         match result {
             Ok(()) => {}
             Err(OperatorError::Transient(msg)) => {
@@ -354,12 +381,32 @@ impl Instance {
         }
     }
 
+    /// Observable fingerprint of the whole instance: the cluster's
+    /// quiescence fingerprint plus operator-side state a tick can change.
+    /// Two equal fingerprints around a tick prove it was a no-op (operators
+    /// and models are deterministic functions of this state, never of the
+    /// clock), which lets the event-driven engine fast-forward.
+    fn fingerprint(&self) -> (simkube::ClusterFingerprint, Option<u64>, u32, Health) {
+        (
+            self.cluster.quiescence_fingerprint(),
+            self.crashed_generation,
+            self.operator_restarts,
+            self.last_health.clone(),
+        )
+    }
+
     /// Runs [`Instance::tick`] until no state event occurs for
     /// `reset_timeout` seconds (paper §5.5), or until `max_seconds` pass.
+    ///
+    /// In event-driven mode the clock jumps over provably idle spans, so
+    /// the convergence (or timeout) timestamp matches the ticked loop's
+    /// exactly.
     pub fn converge(&mut self, reset_timeout: u64, max_seconds: u64) -> bool {
         let start = self.cluster.now();
         let mut last_event_time = start;
         let mut last_revision = self.cluster.api().store().revision();
+        let ticked = simkube::ticked_engine();
+        let mut fingerprint = self.fingerprint();
         while self.cluster.now() - start < max_seconds {
             self.tick();
             let revision = self.cluster.api().store().revision();
@@ -369,8 +416,49 @@ impl Instance {
             } else if self.cluster.now() - last_event_time >= reset_timeout {
                 return true;
             }
+            if !ticked {
+                let after = self.fingerprint();
+                if after == fingerprint {
+                    let mut target = (last_event_time + reset_timeout).min(start + max_seconds);
+                    if let Some(wake) = self.cluster.next_wakeup() {
+                        target = target.min(wake);
+                    }
+                    if target > self.cluster.now() + 1 {
+                        self.cluster.fast_forward_to(target - 1);
+                    }
+                } else {
+                    fingerprint = after;
+                }
+            }
         }
         false
+    }
+
+    /// Advances exactly `seconds` simulated seconds (e.g. a fault-plan
+    /// horizon), fast-forwarding over provably idle spans in event-driven
+    /// mode. Ends with the clock at `now + seconds` in both engines.
+    pub fn advance(&mut self, seconds: u64) {
+        let end = self.cluster.now() + seconds;
+        let ticked = simkube::ticked_engine();
+        let mut fingerprint = self.fingerprint();
+        while self.cluster.now() < end {
+            self.tick();
+            if ticked {
+                continue;
+            }
+            let after = self.fingerprint();
+            if after == fingerprint {
+                let mut target = end;
+                if let Some(wake) = self.cluster.next_wakeup() {
+                    target = target.min(wake);
+                }
+                if target > self.cluster.now() + 1 {
+                    self.cluster.fast_forward_to(target - 1);
+                }
+            } else {
+                fingerprint = after;
+            }
+        }
     }
 
     /// Pods of the instance's namespace that carry an explicit failure

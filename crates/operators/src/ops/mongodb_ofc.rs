@@ -219,8 +219,7 @@ impl Operator for MongoOfcOp {
         let mut admin_user = String::new();
         let mut user_names: Vec<String> = Vec::new();
         if bool_at(cr, "security.auth.enabled").unwrap_or(false) {
-            let users = cr
-                .get_path(&"security.auth.users".parse().expect("path"))
+            let users = value_at(cr, "security.auth.users")
                 .and_then(Value::as_array)
                 .unwrap_or(&[]);
             user_names = users

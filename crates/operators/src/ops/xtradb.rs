@@ -249,9 +249,7 @@ impl Operator for XtraDbOp {
                 entries.insert("backupDestination".to_string(), dest);
             }
         }
-        if let Some(Value::Object(storages)) =
-            cr.get_path(&"backup.storages".parse().expect("path"))
-        {
+        if let Some(Value::Object(storages)) = value_at(cr, "backup.storages") {
             for (name, st) in storages {
                 let ty = st.get("type").and_then(Value::as_str).unwrap_or("s3");
                 let bucket = st.get("bucket").and_then(Value::as_str).unwrap_or("");

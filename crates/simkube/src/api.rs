@@ -106,6 +106,11 @@ impl ApiServer {
         self.injected_conflicts += count;
     }
 
+    /// Synthetic write conflicts still armed.
+    pub fn pending_conflicts(&self) -> u32 {
+        self.injected_conflicts
+    }
+
     /// The active platform-bug configuration.
     pub fn bugs(&self) -> PlatformBugs {
         self.bugs

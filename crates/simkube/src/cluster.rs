@@ -7,10 +7,26 @@
 //! convergence detection ([`SimCluster::run_until_converged`]) implements
 //! the paper's reset timer (§5.5): the timer restarts on every observed
 //! state event and convergence is declared when it expires.
+//!
+//! # The event-driven step engine
+//!
+//! By default the cluster runs an event-driven engine: controllers and the
+//! scheduler only re-run when one of their input kinds changed since their
+//! last run ([`crate::controllers::run_all_dirty`]), and once a tick changes
+//! nothing observable ([`SimCluster::quiescence_fingerprint`]) the clock
+//! jumps straight to the next timer wakeup ([`SimCluster::next_wakeup`]: pod
+//! start/readiness deadlines, fault firings, node returns, blackout expiry)
+//! or to the reset-timer expiry, instead of ticking through idle seconds.
+//! Every skipped tick is provably a no-op, so sim timestamps, logs, and
+//! watch events are byte-identical to the legacy ticked loop, which remains
+//! available behind [`set_ticked_engine`] for equivalence testing.
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::api::ApiServer;
+use crate::controllers::ControllerCursors;
 use crate::meta::ObjectMeta;
 use crate::objects::{Kind, Node, ObjectData, PodPhase};
 use crate::platform::PlatformBugs;
@@ -22,6 +38,82 @@ pub const POD_START_DELAY: u64 = 3;
 
 /// Seconds a running pod takes to pass readiness.
 pub const POD_READY_DELAY: u64 = 2;
+
+/// Watch events retained below the current revision before the event log is
+/// compacted (event-driven mode only; far above any consumer's look-back).
+pub const EVENT_LOG_KEEP: u64 = 256;
+
+thread_local! {
+    static TICKED_ENGINE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Selects the legacy ticked loop (`true`) or the event-driven engine
+/// (`false`, the default) for clusters stepped on this thread. Exists for
+/// the equivalence harness and the `step_engine` bench baseline.
+pub fn set_ticked_engine(enabled: bool) {
+    TICKED_ENGINE.with(|f| f.set(enabled));
+}
+
+/// Returns `true` when the legacy ticked loop is selected on this thread.
+pub fn ticked_engine() -> bool {
+    TICKED_ENGINE.with(|f| f.get())
+}
+
+static TICKS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+static TICKS_SKIPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(ticks_executed, ticks_skipped)` across all clusters, for
+/// benches. Skipped ticks are simulated seconds the engine fast-forwarded
+/// over without executing.
+pub fn engine_counters() -> (u64, u64) {
+    (
+        TICKS_EXECUTED.load(Ordering::Relaxed),
+        TICKS_SKIPPED.load(Ordering::Relaxed),
+    )
+}
+
+/// Dirty-tracking state of the event-driven engine: reconcile-queue cursors
+/// plus tick accounting. Timer wakeups are derived on demand from object
+/// and injector state ([`SimCluster::next_wakeup`]), so cursors are the
+/// engine's only persistent state and checkpointing this struct captures
+/// the whole engine.
+#[derive(Debug, Clone, Default)]
+pub struct StepEngine {
+    cursors: ControllerCursors,
+    ticks_executed: u64,
+    ticks_skipped: u64,
+}
+
+/// Lifecycle transition decided for one pod by the read pass of
+/// [`SimCluster::advance_pods`], applied by the mutation pass.
+#[derive(Debug)]
+enum PodAction {
+    /// Enter (or stay in) a crash loop; `already` suppresses the restart
+    /// counter bump and the log line.
+    CrashLoop { already: bool, msg: String },
+    /// Record a stuck reason (config error, unbound volume).
+    SetReason(&'static str),
+    /// Record ImagePullBackOff, logging on the first occurrence.
+    ImagePull { log: Option<String> },
+    /// Pending pod finished its start delay.
+    Start,
+    /// Running pod passed readiness.
+    MarkReady,
+    /// Failed pod with no crash condition restarts.
+    Restart,
+}
+
+/// Observable-state fingerprint used by the engine's no-op detection: two
+/// equal fingerprints around a tick prove the tick changed nothing any
+/// oracle, transcript, or controller can see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterFingerprint {
+    revision: u64,
+    logs: usize,
+    crash_epoch: u64,
+    pending_conflicts: u32,
+    faults: Option<(usize, u32, u64, usize)>,
+}
 
 /// Log severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,9 +168,11 @@ impl Default for ClusterConfig {
 ///
 /// Built on [`crate::store::ObjectStore::snapshot`] (via
 /// [`crate::api::ApiServer::snapshot`]), plus the simulated clock, the log
-/// buffer, the image catalog, crash-loop conditions, and any mid-flight
-/// fault-injector state. The scheduler and the built-in controllers are
-/// stateless functions over the store, so nothing else needs capturing:
+/// buffer, the image catalog, crash-loop conditions, any mid-flight
+/// fault-injector state, and the step engine's reconcile cursors
+/// ([`StepEngine`]; timer wakeups are derived from object state, so the
+/// cursors are the engine's only persistent state). The scheduler and the
+/// built-in controllers are otherwise stateless functions over the store:
 /// restoring a checkpoint and stepping forward replays bit-for-bit what the
 /// original cluster would have done.
 ///
@@ -93,6 +187,8 @@ pub struct ClusterCheckpoint {
     image_catalog: BTreeSet<String>,
     crashing: std::collections::BTreeMap<String, String>,
     faults: Option<crate::faults::FaultInjector>,
+    engine: StepEngine,
+    crash_epoch: u64,
 }
 
 impl ClusterCheckpoint {
@@ -124,6 +220,11 @@ pub struct SimCluster {
     crashing: std::collections::BTreeMap<String, String>,
     /// Installed fault plan, if any.
     faults: Option<crate::faults::FaultInjector>,
+    /// Event-driven engine state (reconcile cursors, tick accounting).
+    engine: StepEngine,
+    /// Bumped whenever a crash condition actually changes. Crash-map edits
+    /// write no store event, so the quiescence fingerprint needs this.
+    crash_epoch: u64,
 }
 
 impl SimCluster {
@@ -137,6 +238,8 @@ impl SimCluster {
             image_catalog: config.image_catalog.into_iter().collect(),
             crashing: std::collections::BTreeMap::new(),
             faults: None,
+            engine: StepEngine::default(),
+            crash_epoch: 0,
         };
         for (i, (name, cpu, memory)) in config.nodes.into_iter().enumerate() {
             let mut node = Node::with_capacity(&cpu, &memory);
@@ -174,6 +277,8 @@ impl SimCluster {
             image_catalog: self.image_catalog.clone(),
             crashing: self.crashing.clone(),
             faults: self.faults.clone(),
+            engine: self.engine.clone(),
+            crash_epoch: self.crash_epoch,
         }
     }
 
@@ -187,6 +292,8 @@ impl SimCluster {
         self.image_catalog = cp.image_catalog.clone();
         self.crashing = cp.crashing.clone();
         self.faults = cp.faults.clone();
+        self.engine = cp.engine.clone();
+        self.crash_epoch = cp.crash_epoch;
     }
 
     /// Builds a new cluster directly from a checkpoint.
@@ -198,6 +305,8 @@ impl SimCluster {
             image_catalog: cp.image_catalog.clone(),
             crashing: cp.crashing.clone(),
             faults: cp.faults.clone(),
+            engine: cp.engine.clone(),
+            crash_epoch: cp.crash_epoch,
         }
     }
 
@@ -260,13 +369,19 @@ impl SimCluster {
     /// binlog pump cluster is missing"). Cleared with
     /// [`SimCluster::clear_crash`].
     pub fn set_crashing(&mut self, pod_name: &str, reason: &str) {
-        self.crashing
+        let prev = self
+            .crashing
             .insert(pod_name.to_string(), reason.to_string());
+        if prev.as_deref() != Some(reason) {
+            self.crash_epoch += 1;
+        }
     }
 
     /// Clears a crash-loop condition.
     pub fn clear_crash(&mut self, pod_name: &str) {
-        self.crashing.remove(pod_name);
+        if self.crashing.remove(pod_name).is_some() {
+            self.crash_epoch += 1;
+        }
     }
 
     /// Returns crash conditions currently in force.
@@ -276,6 +391,7 @@ impl SimCluster {
 
     /// Advances the world by one simulated second.
     pub fn step(&mut self) {
+        let ticked = ticked_engine();
         self.time += 1;
         let time = self.time;
         // Installed faults fire before anything else reacts: the rest of
@@ -288,10 +404,101 @@ impl SimCluster {
         }
         let bugs = self.api.bugs();
         if !self.watch_blackout_active() {
-            crate::controllers::run_all(self.api.store_mut(), time, bugs);
+            if ticked {
+                crate::controllers::run_all(self.api.store_mut(), time, bugs);
+            } else {
+                crate::controllers::run_all_dirty(
+                    self.api.store_mut(),
+                    time,
+                    bugs,
+                    &mut self.engine.cursors,
+                );
+            }
         }
-        scheduler::schedule(self.api.store_mut(), time);
+        let schedule_due = ticked
+            || self
+                .api
+                .store()
+                .kinds_dirty_since(&[Kind::Pod, Kind::Node], self.engine.cursors.scheduler);
+        if schedule_due {
+            if !ticked {
+                self.engine.cursors.scheduler = self.api.store().revision();
+            }
+            scheduler::schedule(self.api.store_mut(), time);
+        }
         self.advance_pods();
+        self.engine.ticks_executed += 1;
+        TICKS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+        if !ticked {
+            let floor = self.api.store().revision().saturating_sub(EVENT_LOG_KEEP);
+            if floor > self.api.store().events_floor() {
+                self.api.store_mut().compact_events(floor);
+            }
+        }
+    }
+
+    /// Fingerprint of everything a tick can observably change. See
+    /// [`ClusterFingerprint`].
+    pub fn quiescence_fingerprint(&self) -> ClusterFingerprint {
+        ClusterFingerprint {
+            revision: self.api.store().revision(),
+            logs: self.logs.len(),
+            crash_epoch: self.crash_epoch,
+            pending_conflicts: self.api.pending_conflicts(),
+            faults: self.faults.as_ref().map(|f| f.fingerprint()),
+        }
+    }
+
+    /// Earliest future time at which a purely time-based transition can
+    /// fire: a scheduled pod finishing its start delay, a running pod
+    /// passing readiness, or fault-injector timers (next firing, node
+    /// return, blackout expiry). `None` when no timer is pending — any
+    /// further change must come from a store event. Conservative early
+    /// wakeups are safe: the woken tick is simply another no-op.
+    pub fn next_wakeup(&self) -> Option<u64> {
+        let now = self.time;
+        let mut wake: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if t > now {
+                wake = Some(wake.map_or(t, |w: u64| w.min(t)));
+            }
+        };
+        if let Some(f) = &self.faults {
+            if let Some(t) = f.next_wakeup(now) {
+                consider(t);
+            }
+        }
+        for obj in self.api.store().list_all(&Kind::Pod) {
+            if let ObjectData::Pod(p) = &obj.data {
+                match p.phase {
+                    PodPhase::Pending if p.node_name.is_some() => {
+                        consider(p.phase_since + POD_START_DELAY);
+                    }
+                    PodPhase::Running if !p.ready => {
+                        consider(p.phase_since + POD_READY_DELAY);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        wake
+    }
+
+    /// Jumps the clock to `target` without executing the intervening ticks.
+    /// Only sound when every skipped tick is provably a no-op (unchanged
+    /// fingerprint and no timer wakeup before `target`).
+    pub fn fast_forward_to(&mut self, target: u64) {
+        if target > self.time {
+            let skipped = target - self.time;
+            self.engine.ticks_skipped += skipped;
+            TICKS_SKIPPED.fetch_add(skipped, Ordering::Relaxed);
+            self.time = target;
+        }
+    }
+
+    /// `(ticks_executed, ticks_skipped)` for this cluster since creation.
+    pub fn engine_stats(&self) -> (u64, u64) {
+        (self.engine.ticks_executed, self.engine.ticks_skipped)
     }
 
     /// Installs a fault plan; its offsets are relative to the current
@@ -333,129 +540,154 @@ impl SimCluster {
 
     /// Advances pod lifecycle: image pulls, container start, readiness,
     /// crash loops.
+    ///
+    /// Runs in two passes — a read-only pass over pod references deciding
+    /// each pod's transition, then a mutation pass applying them — so no pod
+    /// is ever cloned. Decisions depend only on the decided pod itself plus
+    /// claims/images/crash conditions, never on other pods, so batching the
+    /// reads is equivalent to the old interleaved read-mutate loop.
     fn advance_pods(&mut self) {
         let time = self.time;
-        let pod_keys: Vec<ObjKey> = self
+        let decisions: Vec<(ObjKey, PodAction)> = self
             .api
             .store()
             .list_all(&Kind::Pod)
             .iter()
-            .map(|o| ObjKey::new(Kind::Pod, &o.meta.namespace, &o.meta.name))
-            .collect();
-        for key in pod_keys {
-            let (pod, name) = match self.api.store().get(&key) {
-                Some(obj) => match &obj.data {
-                    ObjectData::Pod(p) => (p.clone(), obj.meta.name.clone()),
-                    _ => continue,
-                },
-                None => continue,
-            };
-            // Crash condition set by the managed-system model wins.
-            if let Some(reason) = self.crashing.get(&name).cloned() {
-                let msg = format!("pod {name} crash-looping: {reason}");
-                let already = pod.phase == PodPhase::Failed && pod.reason == "CrashLoopBackOff";
-                let _ = self.api.store_mut().update_with(&key, time, |o| {
-                    if let ObjectData::Pod(p) = &mut o.data {
-                        p.phase = PodPhase::Failed;
-                        p.reason = "CrashLoopBackOff".to_string();
-                        p.ready = false;
-                        if !already {
-                            p.restarts += 1;
-                            p.phase_since = time;
-                        }
-                    }
-                });
-                if !already {
-                    self.log(LogLevel::Error, "kubelet", msg);
+            .filter_map(|obj| {
+                let ObjectData::Pod(pod) = &obj.data else {
+                    return None;
+                };
+                let name = &obj.meta.name;
+                let key = ObjKey::new(Kind::Pod, &obj.meta.namespace, name);
+                // Crash condition set by the managed-system model wins.
+                if let Some(reason) = self.crashing.get(name) {
+                    let already =
+                        pod.phase == PodPhase::Failed && pod.reason == "CrashLoopBackOff";
+                    return Some((
+                        key,
+                        PodAction::CrashLoop {
+                            already,
+                            msg: format!("pod {name} crash-looping: {reason}"),
+                        },
+                    ));
                 }
-                continue;
-            }
-            match pod.phase {
-                PodPhase::Pending => {
-                    let Some(_node) = pod.node_name.as_ref() else {
-                        continue;
-                    };
-                    // Security context must be valid.
-                    let mut sec_errors = pod.security.validate();
-                    for c in &pod.containers {
-                        sec_errors.extend(c.security.validate());
-                    }
-                    if !sec_errors.is_empty() {
-                        let _ = self.api.store_mut().update_with(&key, time, |o| {
-                            if let ObjectData::Pod(p) = &mut o.data {
-                                p.reason = "CreateContainerConfigError".to_string();
-                            }
-                        });
-                        continue;
-                    }
-                    // All claims must be bound.
-                    let unbound = pod.claims.iter().any(|cname| {
-                        match self.api.store().get(&ObjKey::new(
-                            Kind::PersistentVolumeClaim,
-                            &key.namespace,
-                            cname,
-                        )) {
-                            Some(obj) => !matches!(
-                                &obj.data,
-                                ObjectData::PersistentVolumeClaim(c)
-                                    if c.phase == crate::objects::ClaimPhase::Bound
-                            ),
-                            None => true,
+                let action = match pod.phase {
+                    PodPhase::Pending => {
+                        pod.node_name.as_ref()?;
+                        // Security context must be valid.
+                        let mut sec_errors = pod.security.validate();
+                        for c in &pod.containers {
+                            sec_errors.extend(c.security.validate());
                         }
-                    });
-                    if unbound {
-                        let _ = self.api.store_mut().update_with(&key, time, |o| {
-                            if let ObjectData::Pod(p) = &mut o.data {
-                                p.reason = "WaitingForVolume".to_string();
+                        if !sec_errors.is_empty() {
+                            PodAction::SetReason("CreateContainerConfigError")
+                        } else if pod.claims.iter().any(|cname| {
+                            // All claims must be bound.
+                            match self.api.store().get(&ObjKey::new(
+                                Kind::PersistentVolumeClaim,
+                                &obj.meta.namespace,
+                                cname,
+                            )) {
+                                Some(c) => !matches!(
+                                    &c.data,
+                                    ObjectData::PersistentVolumeClaim(c)
+                                        if c.phase == crate::objects::ClaimPhase::Bound
+                                ),
+                                None => true,
                             }
-                        });
-                        continue;
-                    }
-                    // Images must exist.
-                    let missing: Vec<String> = pod
-                        .containers
-                        .iter()
-                        .filter(|c| !self.image_exists(&c.image))
-                        .map(|c| c.image.clone())
-                        .collect();
-                    if !missing.is_empty() {
-                        let first_time = pod.reason != "ImagePullBackOff";
-                        let _ = self.api.store_mut().update_with(&key, time, |o| {
-                            if let ObjectData::Pod(p) = &mut o.data {
-                                p.reason = "ImagePullBackOff".to_string();
+                        }) {
+                            PodAction::SetReason("WaitingForVolume")
+                        } else {
+                            // Images must exist.
+                            let missing: Vec<&str> = pod
+                                .containers
+                                .iter()
+                                .filter(|c| !self.image_exists(&c.image))
+                                .map(|c| c.image.as_str())
+                                .collect();
+                            if !missing.is_empty() {
+                                PodAction::ImagePull {
+                                    log: (pod.reason != "ImagePullBackOff").then(|| {
+                                        format!(
+                                            "pod {name}: failed to pull {}",
+                                            missing.join(", ")
+                                        )
+                                    }),
+                                }
+                            } else if time.saturating_sub(pod.phase_since) >= POD_START_DELAY {
+                                // Start after the pull/start delay.
+                                PodAction::Start
+                            } else {
+                                return None;
                             }
-                        });
-                        if first_time {
-                            self.log(
-                                LogLevel::Error,
-                                "kubelet",
-                                format!("pod {name}: failed to pull {}", missing.join(", ")),
-                            );
                         }
-                        continue;
                     }
-                    // Start after the pull/start delay.
-                    if time.saturating_sub(pod.phase_since) >= POD_START_DELAY {
-                        let _ = self.api.store_mut().update_with(&key, time, |o| {
-                            if let ObjectData::Pod(p) = &mut o.data {
-                                p.phase = PodPhase::Running;
-                                p.reason = String::new();
+                    PodPhase::Running => {
+                        if !pod.ready && time.saturating_sub(pod.phase_since) >= POD_READY_DELAY {
+                            PodAction::MarkReady
+                        } else {
+                            return None;
+                        }
+                    }
+                    // Crash condition cleared: restart the container.
+                    PodPhase::Failed => PodAction::Restart,
+                    PodPhase::Succeeded => return None,
+                };
+                Some((key, action))
+            })
+            .collect();
+        for (key, action) in decisions {
+            match action {
+                PodAction::CrashLoop { already, msg } => {
+                    let _ = self.api.store_mut().update_with(&key, time, |o| {
+                        if let ObjectData::Pod(p) = &mut o.data {
+                            p.phase = PodPhase::Failed;
+                            p.reason = "CrashLoopBackOff".to_string();
+                            p.ready = false;
+                            if !already {
+                                p.restarts += 1;
                                 p.phase_since = time;
                             }
-                        });
+                        }
+                    });
+                    if !already {
+                        self.log(LogLevel::Error, "kubelet", msg);
                     }
                 }
-                PodPhase::Running => {
-                    if !pod.ready && time.saturating_sub(pod.phase_since) >= POD_READY_DELAY {
-                        let _ = self.api.store_mut().update_with(&key, time, |o| {
-                            if let ObjectData::Pod(p) = &mut o.data {
-                                p.ready = true;
-                            }
-                        });
+                PodAction::SetReason(reason) => {
+                    let _ = self.api.store_mut().update_with(&key, time, |o| {
+                        if let ObjectData::Pod(p) = &mut o.data {
+                            p.reason = reason.to_string();
+                        }
+                    });
+                }
+                PodAction::ImagePull { log } => {
+                    let _ = self.api.store_mut().update_with(&key, time, |o| {
+                        if let ObjectData::Pod(p) = &mut o.data {
+                            p.reason = "ImagePullBackOff".to_string();
+                        }
+                    });
+                    if let Some(msg) = log {
+                        self.log(LogLevel::Error, "kubelet", msg);
                     }
                 }
-                PodPhase::Failed => {
-                    // Crash condition cleared: restart the container.
+                PodAction::Start => {
+                    let _ = self.api.store_mut().update_with(&key, time, |o| {
+                        if let ObjectData::Pod(p) = &mut o.data {
+                            p.phase = PodPhase::Running;
+                            p.reason = String::new();
+                            p.phase_since = time;
+                        }
+                    });
+                }
+                PodAction::MarkReady => {
+                    let _ = self.api.store_mut().update_with(&key, time, |o| {
+                        if let ObjectData::Pod(p) = &mut o.data {
+                            p.ready = true;
+                        }
+                    });
+                }
+                PodAction::Restart => {
                     let _ = self.api.store_mut().update_with(&key, time, |o| {
                         if let ObjectData::Pod(p) = &mut o.data {
                             p.phase = PodPhase::Pending;
@@ -464,7 +696,6 @@ impl SimCluster {
                         }
                     });
                 }
-                PodPhase::Succeeded => {}
             }
         }
     }
@@ -473,11 +704,17 @@ impl SimCluster {
     /// seconds (the paper's reset-timer convergence), or `max_seconds`
     /// elapse.
     ///
-    /// Returns `true` on convergence, `false` on timeout.
+    /// Returns `true` on convergence, `false` on timeout. In event-driven
+    /// mode, once a tick changes nothing observable the clock jumps to the
+    /// earlier of the next timer wakeup and the reset-timer expiry; since
+    /// every skipped tick is a provable no-op, the convergence (or timeout)
+    /// timestamp is identical to the ticked loop's.
     pub fn run_until_converged(&mut self, reset_timeout: u64, max_seconds: u64) -> bool {
         let deadline = self.time + max_seconds;
         let mut last_event_time = self.time;
         let mut last_revision = self.api.store().revision();
+        let ticked = ticked_engine();
+        let mut fingerprint = self.quiescence_fingerprint();
         while self.time < deadline {
             self.step();
             let revision = self.api.store().revision();
@@ -486,6 +723,23 @@ impl SimCluster {
                 last_event_time = self.time;
             } else if self.time - last_event_time >= reset_timeout {
                 return true;
+            }
+            if !ticked {
+                let after = self.quiescence_fingerprint();
+                if after == fingerprint {
+                    // A fully-no-op tick: every tick until the next timer
+                    // wakeup is identical, so land the next step() exactly
+                    // on the first tick that can matter.
+                    let mut target = (last_event_time + reset_timeout).min(deadline);
+                    if let Some(wake) = self.next_wakeup() {
+                        target = target.min(wake);
+                    }
+                    if target > self.time + 1 {
+                        self.fast_forward_to(target - 1);
+                    }
+                } else {
+                    fingerprint = after;
+                }
             }
         }
         false
@@ -755,6 +1009,194 @@ mod tests {
         }
         assert!(copy.watch_blackout_active());
         assert!(!copy.faults_exhausted());
+    }
+
+    /// Runs the same scenario under both engines and asserts identical
+    /// observable state, clock included.
+    fn assert_engines_agree(scenario: impl Fn(&mut SimCluster)) {
+        let run = |ticked: bool| {
+            let was = ticked_engine();
+            set_ticked_engine(ticked);
+            let mut cluster = SimCluster::new(test_config());
+            scenario(&mut cluster);
+            set_ticked_engine(was);
+            cluster
+        };
+        let ticked = run(true);
+        let event = run(false);
+        assert_eq!(ticked.now(), event.now(), "clocks diverged");
+        assert_eq!(
+            ticked.api().store().revision(),
+            event.api().store().revision(),
+            "revisions diverged"
+        );
+        assert_eq!(ticked.logs(), event.logs(), "logs diverged");
+        assert_eq!(ticked.pod_summaries("ns"), event.pod_summaries("ns"));
+        assert_eq!(ticked.fault_events(), event.fault_events());
+    }
+
+    #[test]
+    fn event_engine_matches_ticked_loop_on_rollout_and_crash() {
+        assert_engines_agree(|cluster| {
+            cluster
+                .api_mut()
+                .apply_object(
+                    ObjectMeta::named("ns", "zk"),
+                    ObjectData::StatefulSet(make_sts(3, "zk:3.8")),
+                    0,
+                )
+                .unwrap();
+            assert!(cluster.run_until_converged(10, 600));
+            cluster.set_crashing("zk-0", "wedged");
+            assert!(cluster.run_until_converged(10, 300));
+            cluster.clear_crash("zk-0");
+            assert!(cluster.run_until_converged(10, 300));
+            let t = cluster.now();
+            cluster
+                .api_mut()
+                .apply_object(
+                    ObjectMeta::named("ns", "zk"),
+                    ObjectData::StatefulSet(make_sts(1, "zk:3.9")),
+                    t,
+                )
+                .unwrap();
+            assert!(cluster.run_until_converged(10, 600));
+        });
+    }
+
+    #[test]
+    fn event_engine_matches_ticked_loop_under_faults() {
+        assert_engines_agree(|cluster| {
+            cluster
+                .api_mut()
+                .apply_object(
+                    ObjectMeta::named("ns", "zk"),
+                    ObjectData::StatefulSet(make_sts(2, "zk:3.8")),
+                    0,
+                )
+                .unwrap();
+            assert!(cluster.run_until_converged(10, 600));
+            let mut plan = crate::faults::FaultPlan::new();
+            plan.push(
+                3,
+                crate::faults::Fault::PodKill {
+                    namespace: "ns".to_string(),
+                    pod: "zk-1".to_string(),
+                },
+            );
+            plan.push(
+                9,
+                crate::faults::Fault::NodeCrash {
+                    node: "node-0".to_string(),
+                    down_for: 25,
+                },
+            );
+            plan.push(17, crate::faults::Fault::WatchBlackout { duration: 12 });
+            cluster.install_fault_plan(plan);
+            cluster.run_until_converged(15, 300);
+        });
+    }
+
+    #[test]
+    fn event_engine_matches_ticked_loop_on_timeouts() {
+        assert_engines_agree(|cluster| {
+            cluster
+                .api_mut()
+                .apply_object(
+                    ObjectMeta::named("ns", "zk"),
+                    ObjectData::StatefulSet(make_sts(1, "zk:missing")),
+                    0,
+                )
+                .unwrap();
+            // Converges (stuck but quiet), then a short window that times out.
+            assert!(cluster.run_until_converged(10, 300));
+            assert!(!cluster.run_until_converged(10, 7));
+        });
+    }
+
+    #[test]
+    fn fast_forward_skips_most_idle_ticks() {
+        let mut cluster = SimCluster::new(test_config());
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(make_sts(3, "zk:3.8")),
+                0,
+            )
+            .unwrap();
+        assert!(cluster.run_until_converged(15, 600));
+        let (executed, skipped) = cluster.engine_stats();
+        assert_eq!(executed + skipped, cluster.now(), "accounting covers clock");
+        // At minimum the 15-second reset tail collapses into one executed
+        // tick plus one fast-forward (pod start/ready gaps skip more).
+        assert!(
+            skipped >= 14,
+            "skipped only {skipped} of {} simulated seconds",
+            cluster.now()
+        );
+    }
+
+    #[test]
+    fn checkpoint_carries_engine_state() {
+        let mut cluster = SimCluster::new(test_config());
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named("ns", "zk"),
+                ObjectData::StatefulSet(make_sts(2, "zk:3.8")),
+                0,
+            )
+            .unwrap();
+        assert!(cluster.run_until_converged(10, 600));
+        let cp = cluster.checkpoint();
+        let copy = SimCluster::from_checkpoint(&cp);
+        assert_eq!(copy.engine_stats(), cluster.engine_stats());
+        assert_eq!(copy.engine.cursors, cluster.engine.cursors);
+        assert_eq!(copy.crash_epoch, cluster.crash_epoch);
+    }
+
+    #[test]
+    fn compaction_bounds_event_log_without_changing_replay() {
+        let mut cluster = SimCluster::new(test_config());
+        // Scale repeatedly so the store accumulates far more than
+        // EVENT_LOG_KEEP events.
+        for round in 0..20 {
+            for replicas in [4, 1] {
+                let t = cluster.now();
+                cluster
+                    .api_mut()
+                    .apply_object(
+                        ObjectMeta::named("ns", "zk"),
+                        ObjectData::StatefulSet(make_sts(replicas, "zk:3.8")),
+                        t,
+                    )
+                    .unwrap();
+                assert!(cluster.run_until_converged(10, 600), "round {round}");
+            }
+        }
+        let store = cluster.api().store();
+        assert!(store.revision() > EVENT_LOG_KEEP, "scenario too small");
+        assert!(store.events_floor() > 0, "nothing was compacted");
+        assert!(store.events_len() as u64 <= EVENT_LOG_KEEP + 1);
+        // A checkpoint taken from the compacted cluster still replays
+        // bit-for-bit against an uncompacted (ticked) twin.
+        assert_engines_agree(|c| {
+            for replicas in [3, 1, 4, 1, 4, 1, 4, 1, 4, 3] {
+                let t = c.now();
+                c.api_mut()
+                    .apply_object(
+                        ObjectMeta::named("ns", "zk"),
+                        ObjectData::StatefulSet(make_sts(replicas, "zk:3.8")),
+                        t,
+                    )
+                    .unwrap();
+                assert!(c.run_until_converged(10, 600));
+            }
+            let cp = c.checkpoint();
+            let restored = SimCluster::from_checkpoint(&cp);
+            assert_eq!(restored.pod_summaries("ns"), c.pod_summaries("ns"));
+        });
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! tick until the state is quiescent, mirroring how the Kubernetes control
 //! plane converges.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::meta::ObjectMeta;
 use crate::objects::{
@@ -22,8 +22,12 @@ pub const KNOWN_STORAGE_CLASSES: &[&str] = &["standard", "fast", "local"];
 /// made (the loop re-runs until a fixpoint).
 pub fn run_all(store: &mut ObjectStore, time: u64, bugs: PlatformBugs) -> bool {
     let before = store.revision();
-    reconcile_statefulsets(store, time, bugs);
-    reconcile_deployments(store, time, bugs);
+    // A throwaway memo: fingerprints are computed at most once per object
+    // per tick, exactly the legacy per-tick cost. Cross-tick reuse is an
+    // event-engine optimisation ([`run_all_dirty`]).
+    let mut memo = TemplateFpMemo::new();
+    reconcile_statefulsets(store, time, bugs, &mut memo);
+    reconcile_deployments(store, time, bugs, &mut memo);
     bind_claims(store, time);
     reconcile_services(store, time);
     reconcile_pdbs(store, time);
@@ -31,17 +35,113 @@ pub fn run_all(store: &mut ObjectStore, time: u64, bugs: PlatformBugs) -> bool {
     store.revision() != before
 }
 
+/// Template-fingerprint memo keyed by object uid: an entry is valid while
+/// the object's generation is unchanged, because generation bumps exactly
+/// when the spec — which contains the pod template — changes
+/// ([`ObjectStore::update`]). Uids are never reused, so a stale entry can
+/// only miss, never alias.
+pub(crate) type TemplateFpMemo = BTreeMap<u64, (u64, String)>;
+
+/// Returns the memoized fingerprint for `(uid, generation)`, computing and
+/// caching it on miss.
+fn memoized_fingerprint(
+    memo: &mut TemplateFpMemo,
+    uid: u64,
+    generation: u64,
+    compute: impl FnOnce() -> String,
+) -> String {
+    match memo.get(&uid) {
+        Some((gen, fp)) if *gen == generation => fp.clone(),
+        _ => {
+            let fp = compute();
+            memo.insert(uid, (generation, fp.clone()));
+            fp
+        }
+    }
+}
+
+/// Store-revision cursors recording, per controller, the revision *before*
+/// its last run. A controller is dirty — and re-runs — when any of its input
+/// kinds changed after its cursor, which includes its own writes (matching
+/// the one-change-per-tick pacing of the ticked loop). Stale-low cursors are
+/// always safe: they only cause extra (no-op) runs, never missed ones.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ControllerCursors {
+    pub(crate) statefulsets: u64,
+    pub(crate) deployments: u64,
+    pub(crate) claims: u64,
+    pub(crate) services: u64,
+    pub(crate) pdbs: u64,
+    pub(crate) garbage: u64,
+    /// Pod/Node cursor for [`crate::scheduler::schedule`], kept here so one
+    /// struct checkpoints the whole reconcile queue.
+    pub(crate) scheduler: u64,
+    /// Cross-tick template-fingerprint memo (see [`TemplateFpMemo`]). Pure
+    /// cache: its contents never affect behaviour, only whether a
+    /// fingerprint is recomputed.
+    pub(crate) template_fps: TemplateFpMemo,
+}
+
+/// Like [`run_all`] but skips controllers whose input kinds are unchanged
+/// since their cursor. Controllers are deterministic functions of the store
+/// (time is only a write timestamp) and suppress no-op writes, so a clean
+/// controller would provably write nothing — skipping it is behaviour
+/// preserving.
+pub fn run_all_dirty(
+    store: &mut ObjectStore,
+    time: u64,
+    bugs: PlatformBugs,
+    cursors: &mut ControllerCursors,
+) -> bool {
+    let before = store.revision();
+    if store.kinds_dirty_since(
+        &[Kind::StatefulSet, Kind::Pod, Kind::PersistentVolumeClaim],
+        cursors.statefulsets,
+    ) {
+        cursors.statefulsets = store.revision();
+        reconcile_statefulsets(store, time, bugs, &mut cursors.template_fps);
+    }
+    if store.kinds_dirty_since(&[Kind::Deployment, Kind::Pod], cursors.deployments) {
+        cursors.deployments = store.revision();
+        reconcile_deployments(store, time, bugs, &mut cursors.template_fps);
+    }
+    if store.kinds_dirty_since(&[Kind::PersistentVolumeClaim], cursors.claims) {
+        cursors.claims = store.revision();
+        bind_claims(store, time);
+    }
+    if store.kinds_dirty_since(&[Kind::Service, Kind::Pod], cursors.services) {
+        cursors.services = store.revision();
+        reconcile_services(store, time);
+    }
+    if store.kinds_dirty_since(&[Kind::PodDisruptionBudget, Kind::Pod], cursors.pdbs) {
+        cursors.pdbs = store.revision();
+        reconcile_pdbs(store, time);
+    }
+    // Garbage collection watches owner references on every kind: gate on the
+    // full store revision rather than a kind set.
+    if store.revision() > cursors.garbage {
+        cursors.garbage = store.revision();
+        collect_garbage(store, time);
+    }
+    store.revision() != before
+}
+
 /// Reconciles every stateful set: ordered pod creation with stable names,
 /// per-pod volume claims, rolling updates, and scale-down from the highest
 /// ordinal.
-pub fn reconcile_statefulsets(store: &mut ObjectStore, time: u64, bugs: PlatformBugs) {
+pub fn reconcile_statefulsets(
+    store: &mut ObjectStore,
+    time: u64,
+    bugs: PlatformBugs,
+    memo: &mut TemplateFpMemo,
+) {
     let sts_keys: Vec<ObjKey> = store
         .list_all(&Kind::StatefulSet)
         .iter()
         .map(|o| ObjKey::new(Kind::StatefulSet, &o.meta.namespace, &o.meta.name))
         .collect();
     for key in sts_keys {
-        reconcile_one_statefulset(store, &key, time, bugs);
+        reconcile_one_statefulset(store, &key, time, bugs, memo);
     }
 }
 
@@ -65,7 +165,13 @@ fn template_fingerprint(tpl: &crate::objects::PodTemplate) -> String {
     crate::objects::fnv_fingerprint(&crdspec::json::to_string(&tpl.to_value()))
 }
 
-fn reconcile_one_statefulset(store: &mut ObjectStore, key: &ObjKey, time: u64, bugs: PlatformBugs) {
+fn reconcile_one_statefulset(
+    store: &mut ObjectStore,
+    key: &ObjKey,
+    time: u64,
+    bugs: PlatformBugs,
+    memo: &mut TemplateFpMemo,
+) {
     let (sts, owner_uid, namespace, name, generation) = match store.get(key) {
         Some(obj) => match &obj.data {
             ObjectData::StatefulSet(s) => (
@@ -80,7 +186,7 @@ fn reconcile_one_statefulset(store: &mut ObjectStore, key: &ObjKey, time: u64, b
         None => return,
     };
     let replicas = sts.replicas.max(0);
-    let fingerprint = sts_fingerprint(&sts);
+    let fingerprint = memoized_fingerprint(memo, owner_uid, generation, || sts_fingerprint(&sts));
 
     // Collect existing pods of this set, by ordinal.
     let mut existing: Vec<(i32, ObjKey, PodPhase, bool, String)> = Vec::new();
@@ -253,7 +359,12 @@ fn ordinal_of(pod_name: &str, sts_name: &str) -> Option<i32> {
 
 /// Reconciles every deployment: unordered pod management with rolling
 /// replacement on template change.
-pub fn reconcile_deployments(store: &mut ObjectStore, time: u64, bugs: PlatformBugs) {
+pub fn reconcile_deployments(
+    store: &mut ObjectStore,
+    time: u64,
+    bugs: PlatformBugs,
+    memo: &mut TemplateFpMemo,
+) {
     let keys: Vec<ObjKey> = store
         .list_all(&Kind::Deployment)
         .iter()
@@ -273,7 +384,8 @@ pub fn reconcile_deployments(store: &mut ObjectStore, time: u64, bugs: PlatformB
             },
             None => continue,
         };
-        let fingerprint = template_fingerprint(&dep.template);
+        let fingerprint =
+            memoized_fingerprint(memo, owner_uid, generation, || template_fingerprint(&dep.template));
         let mut pods: Vec<(ObjKey, PodPhase, bool, String)> = Vec::new();
         for obj in store.list(&Kind::Pod, &namespace) {
             if obj.meta.owner_references.iter().any(|o| o.uid == owner_uid) {

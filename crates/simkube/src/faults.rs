@@ -310,6 +310,39 @@ impl FaultInjector {
             && !self.blackout_active(now)
     }
 
+    /// Earliest future time (strictly after `now`) at which injector state
+    /// changes on its own: the next scheduled fault firing, a crashed node
+    /// returning, or a watch blackout lapsing. `None` when fully quiescent.
+    pub(crate) fn next_wakeup(&self, now: u64) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if t > now {
+                wake = Some(wake.map_or(t, |w: u64| w.min(t)));
+            }
+        };
+        if let Some(timed) = self.plan.get(self.next) {
+            consider(self.installed_at + timed.at);
+        }
+        for &until in self.node_down_until.values() {
+            consider(until);
+        }
+        consider(self.watch_blackout_until);
+        wake
+    }
+
+    /// Observable-state fingerprint for the engine's no-op detection. Every
+    /// state mutation in `apply_due` pushes a [`FaultEvent`], so
+    /// `events.len()` covers node crash/restore transitions; the remaining
+    /// fields cover effects consumed outside `apply_due`.
+    pub(crate) fn fingerprint(&self) -> (usize, u32, u64, usize) {
+        (
+            self.next,
+            self.pending_reconcile_errors,
+            self.watch_blackout_until,
+            self.events.len(),
+        )
+    }
+
     /// Applies everything due at `now`: restores returned nodes, then fires
     /// scheduled faults. Returns the number of injected-conflict writes to
     /// arm (the API server holds that counter).

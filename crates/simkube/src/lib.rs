@@ -35,7 +35,11 @@ pub mod scheduler;
 pub mod store;
 
 pub use api::{ApiError, ApiServer};
-pub use cluster::{ClusterCheckpoint, ClusterConfig, SimCluster};
+pub use cluster::{
+    engine_counters, set_ticked_engine, ticked_engine, ClusterCheckpoint, ClusterConfig,
+    ClusterFingerprint, SimCluster, StepEngine,
+};
+pub use controllers::ControllerCursors;
 pub use faults::{Fault, FaultEvent, FaultInjector, FaultPlan, FaultProfile, TimedFault};
 pub use meta::{LabelSelector, ObjectMeta, OwnerReference};
 pub use objects::{

@@ -5,7 +5,7 @@
 //! detection consumes the event log: the reset timer restarts whenever a new
 //! event appears (paper §5.5).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::meta::ObjectMeta;
 use crate::objects::{Kind, ObjectData, StoredObject};
@@ -78,6 +78,15 @@ pub struct ObjectStore {
     revision: u64,
     next_uid: u64,
     events: Vec<WatchEvent>,
+    /// Secondary index: keys grouped by kind, so `list`/`list_all` do not
+    /// scan unrelated objects. `ObjKey` orders by (kind, namespace, name),
+    /// so iterating a per-kind set preserves the primary map's order.
+    by_kind: BTreeMap<Kind, BTreeSet<ObjKey>>,
+    /// Highest revision at which each kind last changed. Drives the
+    /// event-driven engine's dirty checks (`kinds_dirty_since`).
+    kind_revision: BTreeMap<Kind, u64>,
+    /// Events at or below this revision have been compacted away.
+    events_floor: u64,
 }
 
 impl ObjectStore {
@@ -88,6 +97,9 @@ impl ObjectStore {
             revision: 0,
             next_uid: 1,
             events: Vec::new(),
+            by_kind: BTreeMap::new(),
+            kind_revision: BTreeMap::new(),
+            events_floor: 0,
         }
     }
 
@@ -98,12 +110,20 @@ impl ObjectStore {
 
     fn bump(&mut self, kind: WatchEventKind, key: ObjKey, time: u64) {
         self.revision += 1;
+        self.kind_revision.insert(key.kind.clone(), self.revision);
         self.events.push(WatchEvent {
             revision: self.revision,
             time,
             kind,
             key,
         });
+    }
+
+    /// Returns `true` when any of `kinds` changed after revision `cursor`.
+    pub fn kinds_dirty_since(&self, kinds: &[Kind], cursor: u64) -> bool {
+        kinds
+            .iter()
+            .any(|k| self.kind_revision.get(k).is_some_and(|r| *r > cursor))
     }
 
     /// Creates an object, assigning uid and resource version.
@@ -131,6 +151,10 @@ impl ObjectStore {
         meta.creation_timestamp = time;
         self.objects
             .insert(key.clone(), StoredObject { meta, data });
+        self.by_kind
+            .entry(key.kind.clone())
+            .or_default()
+            .insert(key.clone());
         self.bump(WatchEventKind::Added, key.clone(), time);
         Ok(key)
     }
@@ -151,10 +175,13 @@ impl ObjectStore {
                 key.name
             )
         })?;
-        let spec_changed = obj.data.spec_value() != data.spec_value();
+        // Cheap structural equality first: an unchanged payload implies an
+        // unchanged spec, so the (allocating) spec rendering only runs for
+        // actual modifications.
         let changed = obj.data != data;
-        obj.data = data;
         if changed {
+            let spec_changed = obj.data.spec_value() != data.spec_value();
+            obj.data = data;
             obj.meta.resource_version = self.revision + 1;
             if spec_changed {
                 obj.meta.generation += 1;
@@ -181,7 +208,6 @@ impl ObjectStore {
             )
         })?;
         let before_data = obj.data.clone();
-        let before_spec = obj.data.spec_value();
         let before_meta = obj.meta.clone();
         f(obj);
         // Restore store-managed metadata the closure must not forge.
@@ -192,7 +218,8 @@ impl ObjectStore {
         let changed = obj.data != before_data || obj.meta != before_meta;
         if changed {
             obj.meta.resource_version = self.revision + 1;
-            if obj.data.spec_value() != before_spec {
+            // Spec rendering allocates; only needed once a change is known.
+            if obj.data.spec_value() != before_data.spec_value() {
                 obj.meta.generation += 1;
             }
             self.bump(WatchEventKind::Modified, key.clone(), time);
@@ -204,6 +231,9 @@ impl ObjectStore {
     pub fn delete(&mut self, key: &ObjKey, time: u64) -> Option<StoredObject> {
         let removed = self.objects.remove(key);
         if removed.is_some() {
+            if let Some(keys) = self.by_kind.get_mut(&key.kind) {
+                keys.remove(key);
+            }
             self.bump(WatchEventKind::Deleted, key.clone(), time);
         }
         removed
@@ -211,18 +241,22 @@ impl ObjectStore {
 
     /// Lists objects of a kind within a namespace, sorted by name.
     pub fn list(&self, kind: &Kind, namespace: &str) -> Vec<&StoredObject> {
-        self.objects
-            .values()
-            .filter(|o| &o.data.kind() == kind && o.meta.namespace == namespace)
+        let Some(keys) = self.by_kind.get(kind) else {
+            return Vec::new();
+        };
+        let start = ObjKey::new(kind.clone(), namespace, "");
+        keys.range(start..)
+            .take_while(|k| k.namespace == namespace)
+            .filter_map(|k| self.objects.get(k))
             .collect()
     }
 
     /// Lists objects of a kind across all namespaces.
     pub fn list_all(&self, kind: &Kind) -> Vec<&StoredObject> {
-        self.objects
-            .values()
-            .filter(|o| &o.data.kind() == kind)
-            .collect()
+        let Some(keys) = self.by_kind.get(kind) else {
+            return Vec::new();
+        };
+        keys.iter().filter_map(|k| self.objects.get(k)).collect()
     }
 
     /// Iterates over every stored object.
@@ -241,11 +275,39 @@ impl ObjectStore {
     }
 
     /// Returns watch events with revision greater than `after_revision`.
+    ///
+    /// Events at or below [`ObjectStore::events_floor`] may have been
+    /// compacted away; asking for them returns only what survives.
     pub fn events_since(&self, after_revision: u64) -> &[WatchEvent] {
         let start = self
             .events
             .partition_point(|e| e.revision <= after_revision);
         &self.events[start..]
+    }
+
+    /// Drops watch events with revision at or below `below_revision`,
+    /// returning how many were dropped. Object state, revisions, and uid
+    /// assignment are untouched — only the log shrinks.
+    pub fn compact_events(&mut self, below_revision: u64) -> usize {
+        let cut = self
+            .events
+            .partition_point(|e| e.revision <= below_revision);
+        if cut == 0 {
+            return 0;
+        }
+        self.events_floor = self.events[cut - 1].revision;
+        self.events.drain(..cut);
+        cut
+    }
+
+    /// Highest revision whose event has been compacted away (0 = none).
+    pub fn events_floor(&self) -> u64 {
+        self.events_floor
+    }
+
+    /// Number of events currently retained in the log.
+    pub fn events_len(&self) -> usize {
+        self.events.len()
     }
 
     /// Takes a deep snapshot of the store (used by the differential oracle
@@ -375,6 +437,73 @@ mod tests {
             .collect();
         assert_eq!(names, vec!["a", "b"]);
         assert_eq!(store.list_all(&Kind::ConfigMap).len(), 3);
+    }
+
+    #[test]
+    fn kind_index_survives_create_delete_snapshot() {
+        let mut store = ObjectStore::new();
+        let (meta, data) = cm("a");
+        let key = store.create(meta, data, 0).unwrap();
+        store
+            .create(
+                ObjectMeta::named("ns", "p"),
+                ObjectData::Pod(Pod::default()),
+                0,
+            )
+            .unwrap();
+        assert_eq!(store.list_all(&Kind::ConfigMap).len(), 1);
+        assert_eq!(store.list_all(&Kind::Pod).len(), 1);
+        let snap = store.snapshot();
+        store.delete(&key, 1);
+        assert!(store.list_all(&Kind::ConfigMap).is_empty());
+        assert!(store.list(&Kind::ConfigMap, "ns").is_empty());
+        assert_eq!(snap.list_all(&Kind::ConfigMap).len(), 1);
+        // Recreating after delete re-registers the key.
+        let (meta, data) = cm("a");
+        store.create(meta, data, 2).unwrap();
+        assert_eq!(store.list(&Kind::ConfigMap, "ns").len(), 1);
+    }
+
+    #[test]
+    fn kinds_dirty_since_tracks_per_kind_revisions() {
+        let mut store = ObjectStore::new();
+        let (meta, data) = cm("a");
+        let key = store.create(meta, data, 0).unwrap(); // rev 1, ConfigMap
+        store
+            .create(
+                ObjectMeta::named("ns", "p"),
+                ObjectData::Pod(Pod::default()),
+                0,
+            )
+            .unwrap(); // rev 2, Pod
+        assert!(store.kinds_dirty_since(&[Kind::ConfigMap], 0));
+        assert!(!store.kinds_dirty_since(&[Kind::ConfigMap], 1));
+        assert!(store.kinds_dirty_since(&[Kind::Pod], 1));
+        assert!(!store.kinds_dirty_since(&[Kind::Pod, Kind::ConfigMap], 2));
+        assert!(!store.kinds_dirty_since(&[Kind::Node], 0));
+        store.delete(&key, 1); // rev 3, ConfigMap
+        assert!(store.kinds_dirty_since(&[Kind::ConfigMap], 2));
+    }
+
+    #[test]
+    fn compaction_drops_old_events_only() {
+        let mut store = ObjectStore::new();
+        for name in ["a", "b", "c", "d"] {
+            let (meta, data) = cm(name);
+            store.create(meta, data, 0).unwrap();
+        }
+        assert_eq!(store.compact_events(2), 2);
+        assert_eq!(store.events_floor(), 2);
+        assert_eq!(store.events_len(), 2);
+        // Consumers above the floor see exactly what they saw before.
+        assert_eq!(store.events_since(2).len(), 2);
+        assert_eq!(store.events_since(3).len(), 1);
+        // Revision and object state are untouched.
+        assert_eq!(store.revision(), 4);
+        assert_eq!(store.len(), 4);
+        // Compacting below the floor is a no-op.
+        assert_eq!(store.compact_events(1), 0);
+        assert_eq!(store.events_floor(), 2);
     }
 
     #[test]
