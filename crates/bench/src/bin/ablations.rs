@@ -95,11 +95,21 @@ fn ablation_masking() {
         .sum();
     let masked_a: acto::oracles::StateSnapshot = raw_a
         .iter()
-        .map(|(k, v)| (k.clone(), mask_value(v)))
+        .map(|(k, v)| {
+            (
+                k.clone(),
+                acto::oracles::SnapEntry::from_value(mask_value(v)),
+            )
+        })
         .collect();
     let masked_b: acto::oracles::StateSnapshot = raw_b
         .iter()
-        .map(|(k, v)| (k.clone(), mask_value(v)))
+        .map(|(k, v)| {
+            (
+                k.clone(),
+                acto::oracles::SnapEntry::from_value(mask_value(v)),
+            )
+        })
         .collect();
     let masked_alarms = differential_normal(&masked_b, &masked_a).len();
     println!(

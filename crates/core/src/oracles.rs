@@ -19,10 +19,12 @@
 //!   state, rolling back to `D_{i-1}` must restore the pre-error state.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 use crdspec::{diff, DiffKind, Path, Value};
 use operators::Instance;
 use simkube::cluster::LogLevel;
+use simkube::StoredObject;
 
 use crate::report::Alarm;
 
@@ -72,8 +74,80 @@ pub const MASKED_FIELDS: &[&str] = &[
     "claims",
 ];
 
-/// A state snapshot: object id (`kind/ns/name`) to rendered value.
-pub type StateSnapshot = BTreeMap<String, Value>;
+/// One object in a state snapshot: the shared store handle plus a lazily
+/// rendered masked value.
+///
+/// Two entries holding the same `Arc` are *known identical* without
+/// rendering anything — the store never mutates a shared object in place
+/// (writes allocate a fresh `Arc`, and no-op updates restore the original
+/// handle), so pointer equality implies value equality. That makes
+/// [`SnapEntry::same_object`] a sound fast path for the differential
+/// oracles: diff cost scales with the delta between two snapshots, not with
+/// cluster size.
+///
+/// The converse does not hold — distinct handles may still render equal —
+/// so every comparison falls back to the masked values on pointer
+/// inequality.
+#[derive(Debug, Clone)]
+pub struct SnapEntry {
+    /// The store handle; `None` for entries built directly from values
+    /// (tests, replay tooling).
+    handle: Option<Arc<StoredObject>>,
+    /// Masked rendering, computed on first use.
+    masked: OnceLock<Value>,
+}
+
+impl SnapEntry {
+    /// Wraps a shared store handle; the masked value renders lazily.
+    pub fn from_handle(handle: Arc<StoredObject>) -> SnapEntry {
+        SnapEntry {
+            handle: Some(handle),
+            masked: OnceLock::new(),
+        }
+    }
+
+    /// Wraps an already-rendered value verbatim (no masking is applied).
+    pub fn from_value(value: Value) -> SnapEntry {
+        let masked = OnceLock::new();
+        let _ = masked.set(value);
+        SnapEntry {
+            handle: None,
+            masked,
+        }
+    }
+
+    /// The masked rendering of this object.
+    pub fn masked(&self) -> &Value {
+        self.masked.get_or_init(|| {
+            let obj = self
+                .handle
+                .as_ref()
+                .expect("SnapEntry has neither handle nor value");
+            mask_value(&obj.to_value())
+        })
+    }
+
+    /// `true` when both entries hold the same store object by pointer
+    /// identity — a proof of equality that skips rendering and diffing.
+    pub fn same_object(&self, other: &SnapEntry) -> bool {
+        match (&self.handle, &other.handle) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq for SnapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_object(other) || self.masked() == other.masked()
+    }
+}
+
+/// A state snapshot: object id (`kind/ns/name`) to its [`SnapEntry`].
+pub type StateSnapshot = BTreeMap<String, SnapEntry>;
+
+/// An unmasked snapshot: object id to raw rendered value.
+pub type RawSnapshot = BTreeMap<String, Value>;
 
 /// A user-provided, domain-specific oracle (paper §5.3: "Acto also has an
 /// interface to allow users to add custom oracles, e.g. domain-specific
@@ -120,19 +194,21 @@ pub fn mask_value(v: &Value) -> Value {
     }
 }
 
-/// Takes a masked snapshot of an instance's state objects.
+/// Takes a masked snapshot of an instance's state objects. O(objects)
+/// refcount bumps — masked values render lazily, only for objects an
+/// oracle actually needs to compare by value.
 pub fn masked_snapshot(instance: &Instance) -> StateSnapshot {
     instance
-        .state_snapshot()
+        .state_handles()
         .into_iter()
-        .map(|(k, v)| (k, mask_value(&v)))
+        .map(|(k, h)| (k, SnapEntry::from_handle(h)))
         .collect()
 }
 
 /// Counts the deterministic (kept) and masked leaf fields of a snapshot —
 /// the denominator behind the paper's "71.4%–80.5% of all fields are
 /// deterministic".
-pub fn field_determinism(snapshot_raw: &StateSnapshot) -> (usize, usize) {
+pub fn field_determinism(snapshot_raw: &RawSnapshot) -> (usize, usize) {
     let mut kept = 0usize;
     let mut masked = 0usize;
     for v in snapshot_raw.values() {
@@ -203,13 +279,17 @@ pub fn operator_rejected(instance: &Instance, since: u64) -> bool {
 /// state transition. Compares masked pre/post states excluding the CR
 /// itself.
 pub fn transition_occurred(ctx: &OracleContext<'_>) -> bool {
-    let strip = |s: &StateSnapshot| -> StateSnapshot {
-        s.iter()
-            .filter(|(k, _)| !k.starts_with(ctx.cr_id))
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
-    };
-    strip(ctx.pre_state) != strip(ctx.post_state)
+    let pre = ctx
+        .pre_state
+        .iter()
+        .filter(|(k, _)| !k.starts_with(ctx.cr_id));
+    let post = ctx
+        .post_state
+        .iter()
+        .filter(|(k, _)| !k.starts_with(ctx.cr_id));
+    // SnapEntry equality short-circuits on shared handles, so unchanged
+    // objects compare without rendering.
+    !pre.eq(post)
 }
 
 /// Values compare as consistent when they are structurally equal, equal as
@@ -271,7 +351,7 @@ fn candidate_fields<'s>(
 ) -> Vec<(&'s str, Path, &'s Value)> {
     let needle = key.to_ascii_lowercase();
     let mut out = Vec::new();
-    for (obj_id, obj) in snapshot {
+    for (obj_id, entry) in snapshot {
         // The CR itself, cluster infrastructure (nodes), and retained
         // volume claims (platform-kept artifacts of past declarations) are
         // not reflections of the current declaration; claim templates on
@@ -283,7 +363,7 @@ fn candidate_fields<'s>(
             continue;
         }
         for section in ["spec", "metadata"] {
-            let Some(root) = obj.get(section) else {
+            let Some(root) = entry.masked().get(section) else {
                 continue;
             };
             for leaf in root.leaf_paths() {
@@ -434,7 +514,11 @@ pub fn differential_normal(campaign: &StateSnapshot, fresh: &StateSnapshot) -> V
         }
         match fresh.get(id) {
             Some(fresh_obj) => {
-                for entry in diff(campaign_obj, fresh_obj) {
+                // Shared handle ⇒ identical objects: skip without rendering.
+                if campaign_obj.same_object(fresh_obj) {
+                    continue;
+                }
+                for entry in diff(campaign_obj.masked(), fresh_obj.masked()) {
                     let detail = match &entry.kind {
                         DiffKind::Changed { left, right } => format!(
                             "{id} {}: history-reached {} vs fresh {}",
@@ -491,7 +575,11 @@ pub fn differential_rollback(
         }
         match after_rollback.get(id) {
             Some(after) => {
-                for entry in diff(before, after) {
+                // Shared handle ⇒ restored exactly: skip without rendering.
+                if before.same_object(after) {
+                    continue;
+                }
+                for entry in diff(before.masked(), after.masked()) {
                     alarms.push(Alarm::new(
                         AlarmKind::DifferentialRollback,
                         format!("{id} {}: not restored by rollback", entry.path),
@@ -540,7 +628,11 @@ pub fn recovery_check(
         }
         match after_recovery.get(id) {
             Some(after) => {
-                for entry in diff(before, after) {
+                // Shared handle ⇒ recovered exactly: skip without rendering.
+                if before.same_object(after) {
+                    continue;
+                }
+                for entry in diff(before.masked(), after.masked()) {
                     alarms.push(Alarm::new(
                         AlarmKind::Recovery,
                         format!("{id} {}: not restored after faults", entry.path),
@@ -571,6 +663,13 @@ mod tests {
     use super::*;
 
     fn snapshot(entries: &[(&str, Value)]) -> StateSnapshot {
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), SnapEntry::from_value(v.clone())))
+            .collect()
+    }
+
+    fn raw_snapshot(entries: &[(&str, Value)]) -> RawSnapshot {
         entries
             .iter()
             .map(|(k, v)| (k.to_string(), v.clone()))
@@ -776,7 +875,7 @@ mod tests {
         after_ok.remove("PersistentVolumeClaim/acto/data-app-0");
         after_ok.insert(
             "PersistentVolumeClaim/acto/data-app-1".to_string(),
-            obj(Value::empty_object()),
+            SnapEntry::from_value(obj(Value::empty_object())),
         );
         assert!(recovery_check(&before, &after_ok, true, true).is_empty());
         // Field drift alarms.
@@ -927,7 +1026,7 @@ mod tests {
 
     #[test]
     fn field_determinism_counts() {
-        let raw = snapshot(&[(
+        let raw = raw_snapshot(&[(
             "Pod/acto/p",
             Value::object([
                 (

@@ -72,6 +72,13 @@ pub struct WorkerStats {
     pub ref_cache_hits: usize,
     /// Differential references this worker computed and cached.
     pub ref_cache_misses: usize,
+    /// Objects in this worker's segment-start checkpoints that were shared
+    /// with other snapshots (summed over segment starts) — payload the CoW
+    /// store did *not* duplicate for this worker.
+    pub restored_objects_shared: usize,
+    /// Objects in this worker's segment-start checkpoints that were
+    /// uniquely owned (summed over segment starts).
+    pub restored_objects_owned: usize,
     /// Real time from worker start to running out of segments.
     pub wall: Duration,
 }
@@ -130,6 +137,22 @@ impl SnapshotDepot {
         self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
+    /// Sharing accounting over every resident snapshot: objects shared
+    /// with at least one other snapshot versus uniquely owned, summed
+    /// across slots. With the CoW store, resident snapshots that differ
+    /// only in a few objects keep almost everything in the shared column.
+    pub fn sharing_stats(&self) -> (usize, usize) {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let mut shared = 0;
+        let mut owned = 0;
+        for cp in slots.values() {
+            let (s, o) = cp.sharing_stats();
+            shared += s;
+            owned += o;
+        }
+        (shared, owned)
+    }
+
     /// Whether the depot holds no states.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -167,6 +190,13 @@ pub struct ParallelResult {
     pub worker_stats: Vec<WorkerStats>,
     /// Segments whose execution panicked.
     pub failed_segments: Vec<FailedSegment>,
+    /// Prefix snapshots resident in the depot when the run finished.
+    pub depot_snapshots: usize,
+    /// Objects across resident depot snapshots shared with other
+    /// snapshots (structural sharing kept them deduplicated).
+    pub depot_shared_objects: usize,
+    /// Objects across resident depot snapshots that are uniquely owned.
+    pub depot_owned_objects: usize,
     /// Attributed findings over all trials.
     pub summary: CampaignSummary,
 }
@@ -319,6 +349,8 @@ pub fn run_work_stealing_with(
                     convergence_waits: 0,
                     ref_cache_hits: 0,
                     ref_cache_misses: 0,
+                    restored_objects_shared: 0,
+                    restored_objects_owned: 0,
                     wall: Duration::ZERO,
                 };
                 loop {
@@ -404,6 +436,8 @@ pub fn run_work_stealing_with(
         .max()
         .unwrap_or(0);
     let summary = summarize(&config.operator, &trials);
+    let depot_snapshots = depot.len();
+    let (depot_shared_objects, depot_owned_objects) = depot.sharing_stats();
     ParallelResult {
         operator: config.operator.clone(),
         mode: config.mode,
@@ -418,6 +452,9 @@ pub fn run_work_stealing_with(
         wall: start.elapsed(),
         worker_stats,
         failed_segments,
+        depot_snapshots,
+        depot_shared_objects,
+        depot_owned_objects,
         summary,
     }
 }
@@ -467,6 +504,9 @@ fn run_segment(
             cp
         }
     };
+    let (shared, owned) = start_cp.sharing_stats();
+    my.restored_objects_shared += shared;
+    my.restored_objects_owned += owned;
     let mut seg_config = config.clone();
     seg_config.window = Some((skip, take));
     seg_config.max_ops = None;

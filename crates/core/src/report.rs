@@ -305,12 +305,16 @@ pub fn render_parallel(result: &crate::parallel::ParallelResult) -> String {
         result.wall,
         result.gen_duration
     ));
+    out.push_str(&format!(
+        "depot: {} resident snapshots; objects shared {} / uniquely owned {}\n",
+        result.depot_snapshots, result.depot_shared_objects, result.depot_owned_objects
+    ));
     out.push_str(
-        "worker  segments  steals  depot-hits  ref-hits  ref-misses  sim-seconds  conv-waits  wall\n",
+        "worker  segments  steals  depot-hits  ref-hits  ref-misses  sim-seconds  conv-waits  objs-shared  objs-owned  wall\n",
     );
     for s in &result.worker_stats {
         out.push_str(&format!(
-            "{:>6}  {:>8}  {:>6}  {:>10}  {:>8}  {:>10}  {:>11}  {:>10}  {:.2?}\n",
+            "{:>6}  {:>8}  {:>6}  {:>10}  {:>8}  {:>10}  {:>11}  {:>10}  {:>11}  {:>10}  {:.2?}\n",
             s.worker,
             s.segments_executed,
             s.steals,
@@ -319,6 +323,8 @@ pub fn render_parallel(result: &crate::parallel::ParallelResult) -> String {
             s.ref_cache_misses,
             s.sim_seconds,
             s.convergence_waits,
+            s.restored_objects_shared,
+            s.restored_objects_owned,
             s.wall
         ));
     }

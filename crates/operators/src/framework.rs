@@ -68,9 +68,10 @@ pub trait Operator: Send {
     ) -> Result<(), OperatorError>;
 }
 
-/// A resumable deep snapshot of a deployed [`Instance`]: the cluster
-/// checkpoint plus the harness state around it (restart count, crash-loop
-/// generation, last observed health).
+/// A resumable copy-on-write snapshot of a deployed [`Instance`]: the
+/// cluster checkpoint (shared handles, not a traversal) plus the harness
+/// state around it (restart count, crash-loop generation, last observed
+/// health).
 ///
 /// Operators and managed-system models are stateless unit structs — all of
 /// their observable behaviour is a function of the cluster state — so a
@@ -92,6 +93,18 @@ impl InstanceCheckpoint {
     /// Simulated time at which the checkpoint was taken.
     pub fn time(&self) -> u64 {
         self.cluster.time()
+    }
+
+    /// Objects shared with other snapshots versus uniquely owned by this
+    /// checkpoint: `(shared, uniquely_owned)`. See
+    /// [`simkube::ObjectStore::sharing_stats`].
+    pub fn sharing_stats(&self) -> (usize, usize) {
+        self.cluster.sharing_stats()
+    }
+
+    /// Number of objects captured by this checkpoint.
+    pub fn object_count(&self) -> usize {
+        self.cluster.object_count()
     }
 }
 
@@ -179,7 +192,9 @@ impl Instance {
         Ok(instance)
     }
 
-    /// Takes a deep snapshot of the instance (cluster + harness state).
+    /// Takes a cheap copy-on-write checkpoint of the instance (cluster +
+    /// harness state): cluster state is captured as shared handles, not a
+    /// traversal. See [`simkube::SimCluster::checkpoint`].
     pub fn checkpoint(&self) -> InstanceCheckpoint {
         InstanceCheckpoint {
             cluster: self.cluster.checkpoint(),
@@ -483,6 +498,25 @@ impl Instance {
                 (
                     format!("{}/{}/{}", k.kind.name(), k.namespace, k.name),
                     o.to_value(),
+                )
+            })
+            .collect()
+    }
+
+    /// Snapshot of all state objects as shared handles, keyed like
+    /// [`Instance::state_snapshot`]. Oracles use the handles to prune
+    /// unchanged objects by pointer identity before rendering values.
+    pub fn state_handles(
+        &self,
+    ) -> std::collections::BTreeMap<String, std::sync::Arc<simkube::StoredObject>> {
+        self.cluster
+            .api()
+            .store()
+            .iter_shared()
+            .map(|(k, o)| {
+                (
+                    format!("{}/{}/{}", k.kind.name(), k.namespace, k.name),
+                    std::sync::Arc::clone(o),
                 )
             })
             .collect()

@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crdspec::{Schema, SchemaKind, Value};
 
@@ -80,8 +81,11 @@ pub type AdmissionHook = fn(&Value) -> Result<(), String>;
 #[derive(Debug, Clone)]
 pub struct ApiServer {
     store: ObjectStore,
-    crds: BTreeMap<String, Schema>,
-    admission: BTreeMap<String, Vec<AdmissionHook>>,
+    /// Registered CRD schemas; shared between snapshots (registration after
+    /// deployment is rare, so the whole map is copy-on-write).
+    crds: Arc<BTreeMap<String, Schema>>,
+    /// Admission webhooks, shared between snapshots like `crds`.
+    admission: Arc<BTreeMap<String, Vec<AdmissionHook>>>,
     bugs: PlatformBugs,
     /// Writes remaining that will fail with [`ApiError::Conflict`]
     /// (armed by fault injection).
@@ -93,8 +97,8 @@ impl ApiServer {
     pub fn new(bugs: PlatformBugs) -> ApiServer {
         ApiServer {
             store: ObjectStore::new(),
-            crds: BTreeMap::new(),
-            admission: BTreeMap::new(),
+            crds: Arc::new(BTreeMap::new()),
+            admission: Arc::new(BTreeMap::new()),
             bugs,
             injected_conflicts: 0,
         }
@@ -116,14 +120,16 @@ impl ApiServer {
         self.bugs
     }
 
-    /// Deep snapshot of the API server, built on [`ObjectStore::snapshot`]:
-    /// the versioned store plus registered CRDs, admission hooks, bug
-    /// configuration, and pending injected conflicts.
+    /// Copy-on-write snapshot of the API server, built on
+    /// [`ObjectStore::snapshot`]: the versioned store plus registered CRDs,
+    /// admission hooks, bug configuration, and pending injected conflicts.
+    /// All of it is shared handles — the snapshot costs a few refcount
+    /// bumps, not a traversal of cluster state.
     pub fn snapshot(&self) -> ApiServer {
         ApiServer {
             store: self.store.snapshot(),
-            crds: self.crds.clone(),
-            admission: self.admission.clone(),
+            crds: Arc::clone(&self.crds),
+            admission: Arc::clone(&self.admission),
             bugs: self.bugs,
             injected_conflicts: self.injected_conflicts,
         }
@@ -142,7 +148,7 @@ impl ApiServer {
 
     /// Registers a CRD kind with its spec schema.
     pub fn register_crd(&mut self, kind: &str, schema: Schema) {
-        self.crds.insert(kind.to_string(), schema);
+        Arc::make_mut(&mut self.crds).insert(kind.to_string(), schema);
     }
 
     /// Returns the registered schema for a CRD kind.
@@ -152,7 +158,7 @@ impl ApiServer {
 
     /// Registers an admission webhook for a CRD kind.
     pub fn register_admission(&mut self, kind: &str, hook: AdmissionHook) {
-        self.admission
+        Arc::make_mut(&mut self.admission)
             .entry(kind.to_string())
             .or_default()
             .push(hook);
@@ -365,6 +371,9 @@ impl ApiServer {
     pub fn delete_object(&mut self, key: &ObjKey, time: u64) -> Result<StoredObject, ApiError> {
         self.store
             .delete(key, time)
+            // The handle is usually unique once removed from the map; a
+            // clone only happens when a snapshot still shares the object.
+            .map(|obj| Arc::try_unwrap(obj).unwrap_or_else(|shared| (*shared).clone()))
             .ok_or_else(|| ApiError::NotFound(format!("{:?}", key)))
     }
 

@@ -24,6 +24,7 @@
 use std::cell::Cell;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::api::ApiServer;
 use crate::controllers::ControllerCursors;
@@ -183,7 +184,8 @@ impl Default for ClusterConfig {
 pub struct ClusterCheckpoint {
     api: ApiServer,
     time: u64,
-    logs: Vec<LogEntry>,
+    /// Shared with the live cluster until either side logs again.
+    logs: Arc<Vec<LogEntry>>,
     image_catalog: BTreeSet<String>,
     crashing: std::collections::BTreeMap<String, String>,
     faults: Option<crate::faults::FaultInjector>,
@@ -195,6 +197,18 @@ impl ClusterCheckpoint {
     /// Simulated time at which the checkpoint was taken.
     pub fn time(&self) -> u64 {
         self.time
+    }
+
+    /// Objects shared with other snapshots versus uniquely owned by this
+    /// checkpoint: `(shared, uniquely_owned)`. See
+    /// [`crate::store::ObjectStore::sharing_stats`].
+    pub fn sharing_stats(&self) -> (usize, usize) {
+        self.api.store().sharing_stats()
+    }
+
+    /// Number of objects captured by this checkpoint.
+    pub fn object_count(&self) -> usize {
+        self.api.store().len()
     }
 }
 
@@ -213,7 +227,9 @@ impl ClusterCheckpoint {
 pub struct SimCluster {
     api: ApiServer,
     time: u64,
-    logs: Vec<LogEntry>,
+    /// Copy-on-write log buffer: checkpoints share it until the cluster
+    /// logs again, at which point only this side pays for the copy.
+    logs: Arc<Vec<LogEntry>>,
     image_catalog: BTreeSet<String>,
     /// Pods forced into a crash loop by the managed-system model, with the
     /// reason (`pod name -> reason`).
@@ -234,7 +250,7 @@ impl SimCluster {
         let mut cluster = SimCluster {
             api: ApiServer::new(config.bugs),
             time: 0,
-            logs: Vec::new(),
+            logs: Arc::new(Vec::new()),
             image_catalog: config.image_catalog.into_iter().collect(),
             crashing: std::collections::BTreeMap::new(),
             faults: None,
@@ -266,9 +282,10 @@ impl SimCluster {
         self.time
     }
 
-    /// Takes a cheap deep snapshot of the whole cluster (store, clock,
-    /// logs, catalog, crash conditions, fault state). See
-    /// [`ClusterCheckpoint`].
+    /// Takes an O(1) copy-on-write checkpoint of the whole cluster (store,
+    /// clock, logs, catalog, crash conditions, fault state, engine
+    /// cursors): the store and log buffer are shared handles, only the
+    /// small scalar state is copied eagerly. See [`ClusterCheckpoint`].
     pub fn checkpoint(&self) -> ClusterCheckpoint {
         ClusterCheckpoint {
             api: self.api.snapshot(),
@@ -344,8 +361,9 @@ impl SimCluster {
 
     /// Appends a log entry.
     pub fn log(&mut self, level: LogLevel, source: &str, message: impl Into<String>) {
-        self.logs.push(LogEntry {
-            time: self.time,
+        let time = self.time;
+        Arc::make_mut(&mut self.logs).push(LogEntry {
+            time,
             level,
             source: source.to_string(),
             message: message.into(),

@@ -29,6 +29,7 @@ pub mod faults;
 pub mod meta;
 pub mod objects;
 pub mod platform;
+pub mod pmap;
 pub mod quantity;
 pub mod resources;
 pub mod scheduler;

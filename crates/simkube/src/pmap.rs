@@ -1,0 +1,461 @@
+//! Persistent ordered map with structural sharing.
+//!
+//! A hand-rolled B-tree whose nodes live behind `Arc`, so cloning the map is
+//! an O(1) pointer bump and every clone shares the entire tree. Mutation uses
+//! `Arc::make_mut` to copy only the nodes along the root-to-leaf path that is
+//! actually touched (O(log n) small nodes), leaving the rest of the tree
+//! shared with older clones. This is what makes `ObjectStore::snapshot`
+//! cheap: a snapshot and its parent diverge lazily, one path at a time.
+//!
+//! Deliberate simplifications, fine for our workload:
+//! - no underflow rebalancing on `remove`: emptied nodes are pruned and the
+//!   root collapses, so the tree height never grows on delete, it just may
+//!   stay taller than strictly necessary until enough keys are removed;
+//! - iteration order is the key order (`K: Ord`), same as `BTreeMap`.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Max entries per leaf / max children per branch before a split.
+const MAX_ENTRIES: usize = 16;
+
+/// Result of a recursive insert: the replaced value, if any, plus an
+/// optional split (separator key and the new right sibling).
+type InsertResult<K, V> = (Option<V>, Option<(K, Arc<Node<K, V>>)>);
+
+#[derive(Clone)]
+enum Node<K, V> {
+    Leaf(Vec<(K, V)>),
+    Branch {
+        /// `keys[i]` is the minimum key reachable under `children[i + 1]`.
+        keys: Vec<K>,
+        children: Vec<Arc<Node<K, V>>>,
+    },
+}
+
+/// Persistent ordered map: `clone()` is O(1), writes copy only the touched
+/// root-to-leaf path.
+pub struct PMap<K, V> {
+    root: Option<Arc<Node<K, V>>>,
+    len: usize,
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    fn clone(&self) -> Self {
+        PMap { root: self.root.clone(), len: self.len }
+    }
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        PMap { root: None, len: 0 }
+    }
+}
+
+impl<K: Ord + Clone + std::fmt::Debug, V: Clone + std::fmt::Debug> std::fmt::Debug for PMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> PMap<K, V> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = self.root.as_deref()?;
+        loop {
+            match node {
+                Node::Leaf(entries) => {
+                    return entries
+                        .binary_search_by(|(k, _)| k.cmp(key))
+                        .ok()
+                        .map(|i| &entries[i].1);
+                }
+                Node::Branch { keys, children } => {
+                    let idx = keys.partition_point(|sep| sep <= key);
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Mutable access to a value; copies the path to the value's leaf if it
+    /// is shared with another clone of the map. A miss copies nothing.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        // Probe first so a miss never triggers a path copy.
+        if !self.contains_key(key) {
+            return None;
+        }
+        let root = self.root.as_mut()?;
+        Some(Self::get_mut_rec(root, key))
+    }
+
+    /// Descends with `Arc::make_mut` per level. The key must exist.
+    fn get_mut_rec<'a>(node: &'a mut Arc<Node<K, V>>, key: &K) -> &'a mut V {
+        match Arc::make_mut(node) {
+            Node::Leaf(entries) => {
+                let i = entries
+                    .binary_search_by(|(k, _)| k.cmp(key))
+                    .expect("get_mut_rec: key checked present");
+                &mut entries[i].1
+            }
+            Node::Branch { keys, children } => {
+                let idx = keys.partition_point(|sep| sep <= key);
+                Self::get_mut_rec(&mut children[idx], key)
+            }
+        }
+    }
+
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.root.as_mut() {
+            None => {
+                self.root = Some(Arc::new(Node::Leaf(vec![(key, value)])));
+                self.len = 1;
+                None
+            }
+            Some(root) => {
+                let (replaced, split) = Self::insert_rec(root, key, value);
+                if let Some((sep, right)) = split {
+                    let left = self.root.take().unwrap();
+                    self.root = Some(Arc::new(Node::Branch {
+                        keys: vec![sep],
+                        children: vec![left, right],
+                    }));
+                }
+                if replaced.is_none() {
+                    self.len += 1;
+                }
+                replaced
+            }
+        }
+    }
+
+    /// Returns (replaced value, optional split: (separator, new right sibling)).
+    fn insert_rec(node: &mut Arc<Node<K, V>>, key: K, value: V) -> InsertResult<K, V> {
+        match Arc::make_mut(node) {
+            Node::Leaf(entries) => match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => (Some(std::mem::replace(&mut entries[i].1, value)), None),
+                Err(i) => {
+                    entries.insert(i, (key, value));
+                    if entries.len() > MAX_ENTRIES {
+                        let right = entries.split_off(entries.len() / 2);
+                        let sep = right[0].0.clone();
+                        (None, Some((sep, Arc::new(Node::Leaf(right)))))
+                    } else {
+                        (None, None)
+                    }
+                }
+            },
+            Node::Branch { keys, children } => {
+                let idx = keys.partition_point(|sep| *sep <= key);
+                let (replaced, split) = Self::insert_rec(&mut children[idx], key, value);
+                if let Some((sep, right)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if children.len() > MAX_ENTRIES + 1 {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid + 1);
+                        let sep_up = keys.pop().unwrap();
+                        let right_children = children.split_off(mid + 1);
+                        let sibling = Arc::new(Node::Branch {
+                            keys: right_keys,
+                            children: right_children,
+                        });
+                        return (replaced, Some((sep_up, sibling)));
+                    }
+                }
+                (replaced, None)
+            }
+        }
+    }
+
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let root = self.root.as_mut()?;
+        let (removed, now_empty) = Self::remove_rec(root, key);
+        if removed.is_some() {
+            self.len -= 1;
+            if now_empty {
+                self.root = None;
+            } else if let Node::Branch { children, .. } = &**self.root.as_ref().unwrap() {
+                if children.len() == 1 {
+                    let only = children[0].clone();
+                    self.root = Some(only);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Returns (removed value, whether this node is now empty).
+    fn remove_rec(node: &mut Arc<Node<K, V>>, key: &K) -> (Option<V>, bool) {
+        // Probe before make_mut so a miss leaves sharing intact.
+        let hit = match &**node {
+            Node::Leaf(entries) => entries.binary_search_by(|(k, _)| k.cmp(key)).is_ok(),
+            Node::Branch { .. } => true,
+        };
+        if !hit {
+            return (None, false);
+        }
+        match Arc::make_mut(node) {
+            Node::Leaf(entries) => {
+                let i = match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                    Ok(i) => i,
+                    Err(_) => return (None, false),
+                };
+                let (_, v) = entries.remove(i);
+                (Some(v), entries.is_empty())
+            }
+            Node::Branch { keys, children } => {
+                let idx = keys.partition_point(|sep| sep <= key);
+                let (removed, child_empty) = Self::remove_rec(&mut children[idx], key);
+                if removed.is_some() && child_empty {
+                    children.remove(idx);
+                    if !keys.is_empty() {
+                        keys.remove(idx.saturating_sub(1));
+                    }
+                }
+                (removed, children.is_empty())
+            }
+        }
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.as_deref() {
+            stack.push((root, 0));
+        }
+        Iter { stack }
+    }
+
+    /// Iterate entries starting from the first key for which `f` returns
+    /// `Ordering::Equal` or `Ordering::Greater` (i.e. `f(k) = k.cmp(bound)`
+    /// yields the usual lower-bound scan from `bound`).
+    pub fn range_from_by<F: FnMut(&K) -> Ordering>(&self, mut f: F) -> Iter<'_, K, V> {
+        let mut stack = Vec::new();
+        let mut node = match self.root.as_deref() {
+            Some(root) => root,
+            None => return Iter { stack },
+        };
+        loop {
+            match node {
+                Node::Leaf(entries) => {
+                    let idx = entries.partition_point(|(k, _)| f(k) == Ordering::Less);
+                    stack.push((node, idx));
+                    return Iter { stack };
+                }
+                Node::Branch { keys, children } => {
+                    let idx = keys.partition_point(|sep| f(sep) != Ordering::Greater);
+                    stack.push((node, idx + 1));
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Counts values shared with other clones of the map versus uniquely
+    /// owned: `(shared, owned)`. A value is shared when any ancestor node is
+    /// referenced by more than one tree version (structural sharing), or
+    /// when `value_shared` reports the value itself as shared (e.g. an `Arc`
+    /// payload still referenced by a diverged snapshot).
+    pub fn sharing_stats<F: Fn(&V) -> bool>(&self, value_shared: F) -> (usize, usize) {
+        fn walk<K, V, F: Fn(&V) -> bool>(
+            node: &Arc<Node<K, V>>,
+            ancestor_shared: bool,
+            value_shared: &F,
+            shared: &mut usize,
+            owned: &mut usize,
+        ) {
+            let node_shared = ancestor_shared || Arc::strong_count(node) > 1;
+            match &**node {
+                Node::Leaf(entries) => {
+                    for (_, v) in entries {
+                        if node_shared || value_shared(v) {
+                            *shared += 1;
+                        } else {
+                            *owned += 1;
+                        }
+                    }
+                }
+                Node::Branch { children, .. } => {
+                    for child in children {
+                        walk(child, node_shared, value_shared, shared, owned);
+                    }
+                }
+            }
+        }
+        let mut shared = 0;
+        let mut owned = 0;
+        if let Some(root) = &self.root {
+            walk(root, false, &value_shared, &mut shared, &mut owned);
+        }
+        (shared, owned)
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+/// In-order iterator over a [`PMap`].
+pub struct Iter<'a, K, V> {
+    /// Stack of (node, next child/entry index to visit).
+    stack: Vec<(&'a Node<K, V>, usize)>,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (node, idx) = {
+                let last = self.stack.last_mut()?;
+                let out = (last.0, last.1);
+                last.1 += 1;
+                out
+            };
+            match node {
+                Node::Leaf(entries) => {
+                    if let Some((k, v)) = entries.get(idx) {
+                        return Some((k, v));
+                    }
+                    self.stack.pop();
+                }
+                Node::Branch { children, .. } => {
+                    if let Some(child) = children.get(idx) {
+                        self.stack.push((child, 0));
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = PMap::new();
+        // 7 is coprime with 199, so i*7 % 199 enumerates all 199 keys once.
+        for i in 0..199u32 {
+            assert_eq!(m.insert(i * 7 % 199, i), None);
+        }
+        assert_eq!(m.len(), 199);
+        for i in 0..199u32 {
+            assert!(m.contains_key(&(i * 7 % 199)), "missing key {i}");
+        }
+        assert_eq!(m.remove(&0), Some(0));
+        assert_eq!(m.remove(&0), None);
+        assert_eq!(m.len(), 198);
+    }
+
+    #[test]
+    fn matches_btreemap_model_under_random_ops() {
+        let mut m: PMap<u64, u64> = PMap::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for step in 0..5000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 257;
+            match x % 3 {
+                0 | 1 => {
+                    assert_eq!(m.insert(key, step), model.insert(key, step));
+                }
+                _ => {
+                    assert_eq!(m.remove(&key), model.remove(&key));
+                }
+            }
+            assert_eq!(m.len(), model.len());
+        }
+        let got: Vec<_> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clone_is_independent_and_shares_structure() {
+        let mut a: PMap<u32, String> = PMap::new();
+        for i in 0..100 {
+            a.insert(i, format!("v{i}"));
+        }
+        let b = a.clone();
+        a.insert(7, "changed".into());
+        a.remove(&50);
+        assert_eq!(b.get(&7).unwrap(), "v7");
+        assert!(b.contains_key(&50));
+        assert_eq!(a.get(&7).unwrap(), "changed");
+        assert!(!a.contains_key(&50));
+        assert_eq!(b.len(), 100);
+        assert_eq!(a.len(), 99);
+    }
+
+    #[test]
+    fn range_from_by_is_a_lower_bound_scan() {
+        let mut m: PMap<u32, u32> = PMap::new();
+        for i in (0..300).step_by(3) {
+            m.insert(i, i);
+        }
+        for bound in [0u32, 1, 2, 3, 149, 150, 298, 299, 1000] {
+            let got: Vec<u32> = m.range_from_by(|k| k.cmp(&bound)).map(|(k, _)| *k).collect();
+            let want: Vec<u32> = (0..300).step_by(3).filter(|k| *k >= bound).collect();
+            assert_eq!(got, want, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn get_mut_copies_only_on_hit() {
+        let mut a: PMap<u32, u32> = PMap::new();
+        for i in 0..50 {
+            a.insert(i, i);
+        }
+        let b = a.clone();
+        // Miss: no CoW, roots stay shared.
+        assert!(a.get_mut(&999).is_none());
+        assert!(Arc::ptr_eq(a.root.as_ref().unwrap(), b.root.as_ref().unwrap()));
+        // Hit: path copied, value changed only in `a`.
+        *a.get_mut(&10).unwrap() = 777;
+        assert_eq!(*b.get(&10).unwrap(), 10);
+        assert_eq!(*a.get(&10).unwrap(), 777);
+    }
+
+    #[test]
+    fn iter_order_after_heavy_deletes() {
+        let mut m: PMap<u32, u32> = PMap::new();
+        for i in 0..500 {
+            m.insert(i, i);
+        }
+        for i in 0..500 {
+            if i % 5 != 0 {
+                assert_eq!(m.remove(&i), Some(i));
+            }
+        }
+        let got: Vec<u32> = m.iter().map(|(k, _)| *k).collect();
+        let want: Vec<u32> = (0..500).filter(|i| i % 5 == 0).collect();
+        assert_eq!(got, want);
+    }
+}

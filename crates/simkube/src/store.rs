@@ -4,11 +4,19 @@
 //! resource versions and an append-only watch-event log. Acto's convergence
 //! detection consumes the event log: the reset timer restarts whenever a new
 //! event appears (paper §5.5).
+//!
+//! Storage is copy-on-write: objects are held as `Arc<StoredObject>` inside a
+//! persistent [`PMap`], so [`ObjectStore::snapshot`] is an O(1) handle copy
+//! and a snapshot shares every object and every tree node with its parent
+//! until one of them writes. A write copies only the touched root-to-leaf
+//! path plus the single object payload being changed.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::meta::ObjectMeta;
 use crate::objects::{Kind, ObjectData, StoredObject};
+use crate::pmap::PMap;
 
 /// Key identifying a stored object.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -29,6 +37,16 @@ impl ObjKey {
             namespace: namespace.to_string(),
             name: name.to_string(),
         }
+    }
+
+    /// Compares against borrowed parts in the same order as the derived
+    /// `Ord` (kind, then namespace, then name), so range scans need no
+    /// throwaway `ObjKey` allocation.
+    pub fn cmp_parts(&self, kind: &Kind, namespace: &str, name: &str) -> std::cmp::Ordering {
+        self.kind
+            .cmp(kind)
+            .then_with(|| self.namespace.as_str().cmp(namespace))
+            .then_with(|| self.name.as_str().cmp(name))
     }
 }
 
@@ -74,14 +92,14 @@ pub struct WatchEvent {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ObjectStore {
-    objects: BTreeMap<ObjKey, StoredObject>,
+    /// Persistent map: clones share structure, writes copy the touched path.
+    /// The map's (kind, namespace, name) key order doubles as the per-kind
+    /// index — `list`/`list_all` are contiguous range scans.
+    objects: PMap<ObjKey, Arc<StoredObject>>,
     revision: u64,
     next_uid: u64,
-    events: Vec<WatchEvent>,
-    /// Secondary index: keys grouped by kind, so `list`/`list_all` do not
-    /// scan unrelated objects. `ObjKey` orders by (kind, namespace, name),
-    /// so iterating a per-kind set preserves the primary map's order.
-    by_kind: BTreeMap<Kind, BTreeSet<ObjKey>>,
+    /// Watch-event log, shared between snapshots until one side appends.
+    events: Arc<Vec<WatchEvent>>,
     /// Highest revision at which each kind last changed. Drives the
     /// event-driven engine's dirty checks (`kinds_dirty_since`).
     kind_revision: BTreeMap<Kind, u64>,
@@ -93,11 +111,10 @@ impl ObjectStore {
     /// Creates an empty store.
     pub fn new() -> ObjectStore {
         ObjectStore {
-            objects: BTreeMap::new(),
+            objects: PMap::new(),
             revision: 0,
             next_uid: 1,
-            events: Vec::new(),
-            by_kind: BTreeMap::new(),
+            events: Arc::new(Vec::new()),
             kind_revision: BTreeMap::new(),
             events_floor: 0,
         }
@@ -108,10 +125,18 @@ impl ObjectStore {
         self.revision
     }
 
+    /// Records a write: advances the revision, marks the kind dirty, and
+    /// appends a watch event. The key is moved into the event (no clone);
+    /// the kind is cloned only the first time that kind is ever written.
     fn bump(&mut self, kind: WatchEventKind, key: ObjKey, time: u64) {
         self.revision += 1;
-        self.kind_revision.insert(key.kind.clone(), self.revision);
-        self.events.push(WatchEvent {
+        match self.kind_revision.get_mut(&key.kind) {
+            Some(rev) => *rev = self.revision,
+            None => {
+                self.kind_revision.insert(key.kind.clone(), self.revision);
+            }
+        }
+        Arc::make_mut(&mut self.events).push(WatchEvent {
             revision: self.revision,
             time,
             kind,
@@ -150,24 +175,25 @@ impl ObjectStore {
         meta.generation = 1;
         meta.creation_timestamp = time;
         self.objects
-            .insert(key.clone(), StoredObject { meta, data });
-        self.by_kind
-            .entry(key.kind.clone())
-            .or_default()
-            .insert(key.clone());
+            .insert(key.clone(), Arc::new(StoredObject { meta, data }));
         self.bump(WatchEventKind::Added, key.clone(), time);
         Ok(key)
     }
 
     /// Fetches an object by key.
     pub fn get(&self, key: &ObjKey) -> Option<&StoredObject> {
+        self.objects.get(key).map(|obj| &**obj)
+    }
+
+    /// Fetches the shared handle for an object by key.
+    pub fn get_shared(&self, key: &ObjKey) -> Option<&Arc<StoredObject>> {
         self.objects.get(key)
     }
 
     /// Replaces an object's payload. Bumps generation when the spec changed
     /// and the resource version always.
     pub fn update(&mut self, key: &ObjKey, data: ObjectData, time: u64) -> Result<(), String> {
-        let obj = self.objects.get_mut(key).ok_or_else(|| {
+        let cur = self.objects.get(key).ok_or_else(|| {
             format!(
                 "{} {}/{} not found",
                 key.kind.name(),
@@ -177,29 +203,35 @@ impl ObjectStore {
         })?;
         // Cheap structural equality first: an unchanged payload implies an
         // unchanged spec, so the (allocating) spec rendering only runs for
-        // actual modifications.
-        let changed = obj.data != data;
-        if changed {
-            let spec_changed = obj.data.spec_value() != data.spec_value();
-            obj.data = data;
-            obj.meta.resource_version = self.revision + 1;
-            if spec_changed {
-                obj.meta.generation += 1;
-            }
-            self.bump(WatchEventKind::Modified, key.clone(), time);
+        // actual modifications — and a no-op never copies the tree path.
+        if cur.data == data {
+            return Ok(());
         }
+        let spec_changed = cur.data.spec_value() != data.spec_value();
+        let mut meta = cur.meta.clone();
+        meta.resource_version = self.revision + 1;
+        if spec_changed {
+            meta.generation += 1;
+        }
+        // A replacement gets a fresh Arc instead of mutating in place, so
+        // snapshots holding the old handle are untouched.
+        *self.objects.get_mut(key).expect("checked above") = Arc::new(StoredObject { meta, data });
+        self.bump(WatchEventKind::Modified, key.clone(), time);
         Ok(())
     }
 
     /// Mutates an object in place through a closure. No event is recorded
-    /// when the closure leaves the object unchanged.
+    /// when the closure leaves the object unchanged; in that case the
+    /// original shared handle is restored, so a no-op never breaks
+    /// `Arc::ptr_eq`-based sharing with snapshots.
     pub fn update_with<F: FnOnce(&mut StoredObject)>(
         &mut self,
         key: &ObjKey,
         time: u64,
         f: F,
     ) -> Result<(), String> {
-        let obj = self.objects.get_mut(key).ok_or_else(|| {
+        let next_rv = self.revision + 1;
+        let slot = self.objects.get_mut(key).ok_or_else(|| {
             format!(
                 "{} {}/{} not found",
                 key.kind.name(),
@@ -207,61 +239,72 @@ impl ObjectStore {
                 key.name
             )
         })?;
-        let before_data = obj.data.clone();
-        let before_meta = obj.meta.clone();
+        let before = Arc::clone(slot);
+        let obj = Arc::make_mut(slot);
         f(obj);
         // Restore store-managed metadata the closure must not forge.
-        obj.meta.uid = before_meta.uid;
-        obj.meta.resource_version = before_meta.resource_version;
-        obj.meta.generation = before_meta.generation;
-        obj.meta.creation_timestamp = before_meta.creation_timestamp;
-        let changed = obj.data != before_data || obj.meta != before_meta;
-        if changed {
-            obj.meta.resource_version = self.revision + 1;
-            // Spec rendering allocates; only needed once a change is known.
-            if obj.data.spec_value() != before_data.spec_value() {
-                obj.meta.generation += 1;
-            }
-            self.bump(WatchEventKind::Modified, key.clone(), time);
+        obj.meta.uid = before.meta.uid;
+        obj.meta.resource_version = before.meta.resource_version;
+        obj.meta.generation = before.meta.generation;
+        obj.meta.creation_timestamp = before.meta.creation_timestamp;
+        let changed = obj.data != before.data || obj.meta != before.meta;
+        if !changed {
+            // Put the shared handle back: callers comparing by pointer
+            // (oracle pruning, sharing stats) must see a no-op as a no-op.
+            *slot = before;
+            return Ok(());
         }
+        obj.meta.resource_version = next_rv;
+        // Spec rendering allocates; only needed once a change is known.
+        if obj.data.spec_value() != before.data.spec_value() {
+            obj.meta.generation += 1;
+        }
+        self.bump(WatchEventKind::Modified, key.clone(), time);
         Ok(())
     }
 
-    /// Deletes an object, returning it.
-    pub fn delete(&mut self, key: &ObjKey, time: u64) -> Option<StoredObject> {
-        let removed = self.objects.remove(key);
-        if removed.is_some() {
-            if let Some(keys) = self.by_kind.get_mut(&key.kind) {
-                keys.remove(key);
-            }
-            self.bump(WatchEventKind::Deleted, key.clone(), time);
-        }
-        removed
+    /// Deletes an object, returning its shared handle.
+    pub fn delete(&mut self, key: &ObjKey, time: u64) -> Option<Arc<StoredObject>> {
+        let removed = self.objects.remove(key)?;
+        self.bump(WatchEventKind::Deleted, key.clone(), time);
+        Some(removed)
     }
 
     /// Lists objects of a kind within a namespace, sorted by name.
     pub fn list(&self, kind: &Kind, namespace: &str) -> Vec<&StoredObject> {
-        let Some(keys) = self.by_kind.get(kind) else {
-            return Vec::new();
-        };
-        let start = ObjKey::new(kind.clone(), namespace, "");
-        keys.range(start..)
-            .take_while(|k| k.namespace == namespace)
-            .filter_map(|k| self.objects.get(k))
+        self.objects
+            .range_from_by(|k| k.cmp_parts(kind, namespace, ""))
+            .take_while(|(k, _)| &k.kind == kind && k.namespace == namespace)
+            .map(|(_, obj)| &**obj)
             .collect()
     }
 
     /// Lists objects of a kind across all namespaces.
     pub fn list_all(&self, kind: &Kind) -> Vec<&StoredObject> {
-        let Some(keys) = self.by_kind.get(kind) else {
-            return Vec::new();
-        };
-        keys.iter().filter_map(|k| self.objects.get(k)).collect()
+        self.objects
+            .range_from_by(|k| k.cmp_parts(kind, "", ""))
+            .take_while(|(k, _)| &k.kind == kind)
+            .map(|(_, obj)| &**obj)
+            .collect()
     }
 
     /// Iterates over every stored object.
     pub fn iter(&self) -> impl Iterator<Item = (&ObjKey, &StoredObject)> {
+        self.objects.iter().map(|(k, obj)| (k, &**obj))
+    }
+
+    /// Iterates over every stored object as a shared handle.
+    pub fn iter_shared(&self) -> impl Iterator<Item = (&ObjKey, &Arc<StoredObject>)> {
         self.objects.iter()
+    }
+
+    /// Counts objects shared with at least one snapshot versus uniquely
+    /// owned by this store: `(shared, uniquely_owned)`. An object counts as
+    /// shared when it sits under a tree node still referenced by another
+    /// snapshot, or when its payload `Arc` itself is multiply referenced.
+    pub fn sharing_stats(&self) -> (usize, usize) {
+        self.objects
+            .sharing_stats(|obj| Arc::strong_count(obj) > 1)
     }
 
     /// Number of stored objects.
@@ -287,7 +330,8 @@ impl ObjectStore {
 
     /// Drops watch events with revision at or below `below_revision`,
     /// returning how many were dropped. Object state, revisions, and uid
-    /// assignment are untouched — only the log shrinks.
+    /// assignment are untouched — only the log shrinks. Snapshots holding
+    /// the shared log are unaffected (the log is copy-on-write).
     pub fn compact_events(&mut self, below_revision: u64) -> usize {
         let cut = self
             .events
@@ -296,7 +340,7 @@ impl ObjectStore {
             return 0;
         }
         self.events_floor = self.events[cut - 1].revision;
-        self.events.drain(..cut);
+        Arc::make_mut(&mut self.events).drain(..cut);
         cut
     }
 
@@ -310,10 +354,31 @@ impl ObjectStore {
         self.events.len()
     }
 
-    /// Takes a deep snapshot of the store (used by the differential oracle
-    /// and for error-state rollback bookkeeping).
+    /// Takes an O(1) copy-on-write snapshot of the store. The snapshot and
+    /// the live store share every object payload, tree node, and the event
+    /// log; either side pays for a copy only along the paths it later
+    /// writes. Used by the differential oracle, checkpoints, and
+    /// error-state rollback bookkeeping.
     pub fn snapshot(&self) -> ObjectStore {
         self.clone()
+    }
+
+    /// Materializes a fully independent deep copy: every object payload and
+    /// the event log are re-allocated, sharing nothing with `self`. Only
+    /// used as the pre-CoW baseline in benchmarks.
+    pub fn deep_clone(&self) -> ObjectStore {
+        let mut objects = PMap::new();
+        for (key, obj) in self.objects.iter() {
+            objects.insert(key.clone(), Arc::new((**obj).clone()));
+        }
+        ObjectStore {
+            objects,
+            revision: self.revision,
+            next_uid: self.next_uid,
+            events: Arc::new((*self.events).clone()),
+            kind_revision: self.kind_revision.clone(),
+            events_floor: self.events_floor,
+        }
     }
 }
 
@@ -390,6 +455,56 @@ mod tests {
         let before = store.events_since(0).len();
         store.update_with(&key, 1, |_| {}).unwrap();
         assert_eq!(store.events_since(0).len(), before);
+    }
+
+    #[test]
+    fn noop_update_preserves_shared_handle() {
+        let mut store = ObjectStore::new();
+        let (meta, data) = cm("a");
+        let key = store.create(meta, data, 0).unwrap();
+        let snap = store.snapshot();
+        store.update_with(&key, 1, |_| {}).unwrap();
+        // The no-op restored the original Arc: snapshot and store still
+        // share the payload, which is what makes ptr_eq pruning sound.
+        assert!(Arc::ptr_eq(
+            store.get_shared(&key).unwrap(),
+            snap.get_shared(&key).unwrap()
+        ));
+        // A real change replaces the handle in the store only.
+        store
+            .update_with(&key, 2, |o| {
+                if let ObjectData::ConfigMap(c) = &mut o.data {
+                    c.data.insert("k".into(), "v".into());
+                }
+            })
+            .unwrap();
+        assert!(!Arc::ptr_eq(
+            store.get_shared(&key).unwrap(),
+            snap.get_shared(&key).unwrap()
+        ));
+    }
+
+    #[test]
+    fn sharing_stats_tracks_divergence() {
+        let mut store = ObjectStore::new();
+        for name in ["a", "b", "c"] {
+            let (meta, data) = cm(name);
+            store.create(meta, data, 0).unwrap();
+        }
+        assert_eq!(store.sharing_stats(), (0, 3));
+        let snap = store.snapshot();
+        assert_eq!(store.sharing_stats(), (3, 0));
+        let key = ObjKey::new(Kind::ConfigMap, "ns", "b");
+        store
+            .update_with(&key, 1, |o| {
+                if let ObjectData::ConfigMap(c) = &mut o.data {
+                    c.data.insert("k".into(), "v".into());
+                }
+            })
+            .unwrap();
+        assert_eq!(store.sharing_stats(), (2, 1));
+        drop(snap);
+        assert_eq!(store.sharing_stats(), (0, 3));
     }
 
     #[test]
@@ -507,6 +622,22 @@ mod tests {
     }
 
     #[test]
+    fn compaction_does_not_leak_into_snapshots() {
+        let mut store = ObjectStore::new();
+        for name in ["a", "b", "c", "d"] {
+            let (meta, data) = cm(name);
+            store.create(meta, data, 0).unwrap();
+        }
+        let snap = store.snapshot();
+        store.compact_events(3);
+        // The snapshot still owns the uncompacted log.
+        assert_eq!(snap.events_len(), 4);
+        assert_eq!(snap.events_floor(), 0);
+        assert_eq!(snap.events_since(0).len(), 4);
+        assert_eq!(store.events_len(), 1);
+    }
+
+    #[test]
     fn snapshot_is_independent() {
         let mut store = ObjectStore::new();
         let (meta, data) = cm("a");
@@ -515,5 +646,20 @@ mod tests {
         store.delete(&key, 1);
         assert!(snap.get(&key).is_some());
         assert!(store.get(&key).is_none());
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let mut store = ObjectStore::new();
+        let (meta, data) = cm("a");
+        let key = store.create(meta, data, 0).unwrap();
+        let deep = store.deep_clone();
+        assert!(!Arc::ptr_eq(
+            store.get_shared(&key).unwrap(),
+            deep.get_shared(&key).unwrap()
+        ));
+        assert_eq!(deep.revision(), store.revision());
+        assert_eq!(deep.events_len(), store.events_len());
+        assert_eq!(store.sharing_stats(), (0, 1));
     }
 }
