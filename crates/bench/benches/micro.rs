@@ -136,6 +136,7 @@ fn bench_campaign(c: &mut Criterion) {
                 window: None,
                 custom_oracles: Vec::new(),
                 faults: Default::default(),
+                crash_sweep: false,
             };
             black_box(acto::run_campaign(&config).trials.len())
         })

@@ -56,6 +56,11 @@ pub struct CampaignConfig {
     /// Faults injected against the freshly deployed system before the plan
     /// runs (an error-state campaign start). Empty = no injection.
     pub faults: simkube::FaultPlan,
+    /// Crash-point sweep: after every converged transition, replay it from
+    /// an O(1) restored checkpoint crashing the operator at each write
+    /// boundary `k ∈ 1..=W` (where `W` is the uninterrupted run's write
+    /// count) and require reconvergence to the reference end state.
+    pub crash_sweep: bool,
 }
 
 impl std::fmt::Debug for CampaignConfig {
@@ -69,6 +74,7 @@ impl std::fmt::Debug for CampaignConfig {
             .field("window", &self.window)
             .field("custom_oracles", &self.custom_oracles.len())
             .field("faults", &self.faults.len())
+            .field("crash_sweep", &self.crash_sweep)
             .finish()
     }
 }
@@ -100,9 +106,15 @@ impl CampaignConfig {
             window: None,
             custom_oracles: Vec::new(),
             faults: simkube::FaultPlan::default(),
+            crash_sweep: false,
         }
     }
 }
+
+/// Downtime of a sweep-injected operator crash, in simulated seconds. Kept
+/// strictly below [`CONVERGE_RESET`] so the process restarts before the
+/// reset timer could declare convergence with the operator dead.
+pub(crate) const CRASH_DOWN_FOR: u64 = 5;
 
 /// The result of one campaign.
 #[derive(Debug)]
@@ -145,6 +157,8 @@ pub struct CampaignResult {
     /// Differential references computed and inserted into the cache (or
     /// computed uncached when no cache was supplied).
     pub ref_cache_misses: usize,
+    /// Crash boundaries replayed across all trials (0 with the sweep off).
+    pub crash_points_swept: u64,
 }
 
 impl CampaignResult {
@@ -177,6 +191,9 @@ impl CampaignResult {
                 trial.sim_seconds
             );
             let _ = writeln!(out, "  declaration: {}", crdspec::json::to_string(&trial.declaration));
+            if trial.crash_points_swept > 0 {
+                let _ = writeln!(out, "  crash-sweep: {} boundaries", trial.crash_points_swept);
+            }
             for event in &trial.fault_events {
                 let _ = writeln!(out, "  {event}");
             }
@@ -541,6 +558,7 @@ pub fn run_campaign_with(
     let mut resets = 0usize;
     let mut ref_cache_hits = 0usize;
     let mut ref_cache_misses = 0usize;
+    let mut crash_points_total: u64 = 0;
     let mut last_good = instance.cr_spec();
     let mut trials: Vec<Trial> = Vec::new();
     let mut covered: BTreeSet<Path> = BTreeSet::new();
@@ -609,6 +627,7 @@ pub fn run_campaign_with(
             rollback_recovered: Some(recovered),
             sim_seconds: sim,
             fault_events,
+            crash_points_swept: 0,
         });
     }
 
@@ -659,6 +678,8 @@ pub fn run_campaign_with(
         }
         covered.insert(planned.property.clone());
         let pre_state = masked_snapshot(&instance);
+        let sweep_cp = config.crash_sweep.then(|| instance.checkpoint());
+        let writes_before = instance.operator_writes();
         let t_start = instance.cluster.now();
         if let Err(err) = instance.submit(spec.clone()) {
             let sim = meter.total(&instance) - span_start;
@@ -672,6 +693,7 @@ pub fn run_campaign_with(
                 rollback_recovered: None,
                 sim_seconds: sim,
                 fault_events: Vec::new(),
+                crash_points_swept: 0,
             });
             continue;
         }
@@ -679,6 +701,7 @@ pub fn run_campaign_with(
         convergence_waits += 1;
         let mut alarms: Vec<Alarm> = Vec::new();
         let post_state = masked_snapshot(&instance);
+        let writes_after = instance.operator_writes();
         let crashed = instance.operator_crashed();
         let system_down = matches!(instance.last_health, managed::Health::Down(_));
         let pod_errors = instance.pod_failures();
@@ -694,11 +717,25 @@ pub fn run_campaign_with(
                     .unwrap_or_else(|| "panic".to_string()),
             )
         } else if !converged {
-            alarms.push(Alarm::new(
-                AlarmKind::ErrorCheck,
-                "state did not converge within budget".to_string(),
-            ));
-            TrialOutcome::ConvergenceTimeout
+            // Trial watchdog: classify the exhausted budget by whether the
+            // operator was writing at all during the window.
+            let writes_during = writes_after - writes_before;
+            if writes_during > 0 {
+                alarms.push(Alarm::new(
+                    AlarmKind::ErrorCheck,
+                    format!(
+                        "livelock: convergence budget exhausted with the operator still writing ({writes_during} writes)"
+                    ),
+                ));
+                TrialOutcome::Livelock
+            } else {
+                alarms.push(Alarm::new(
+                    AlarmKind::ErrorCheck,
+                    "stuck: convergence budget exhausted with no operator writes at all"
+                        .to_string(),
+                ));
+                TrialOutcome::Stuck
+            }
         } else if system_down || !pod_errors.is_empty() {
             alarms.extend(error_checks(&instance, t_start));
             TrialOutcome::ErrorState(
@@ -854,9 +891,54 @@ pub fn run_campaign_with(
             }
         }
 
+        // Crash-point sweep: the converged live run is the uninterrupted
+        // reference — it fixes both the write count `W` and the expected
+        // masked end state. Each boundary replays from the pre-submit
+        // checkpoint (an O(1) restore, no redeployment), dies after its
+        // k-th state-changing write, rides out the downtime, and must
+        // reconverge to the reference.
+        let mut crash_points_swept = 0u32;
+        if outcome == TrialOutcome::Converged {
+            if let Some(cp) = &sweep_cp {
+                for k in 1..=(writes_after - writes_before) {
+                    let mut replay = Instance::from_checkpoint(
+                        operator_by_name(&config.operator),
+                        config.bugs.clone(),
+                        cp,
+                    );
+                    let t0 = replay.cluster.now();
+                    replay
+                        .cluster
+                        .api_mut()
+                        .arm_operator_crash(k as u32, CRASH_DOWN_FOR);
+                    if replay.submit(spec.clone()).is_err() {
+                        continue;
+                    }
+                    let replay_converged = replay.converge(CONVERGE_RESET, CONVERGE_MAX);
+                    convergence_waits += 1;
+                    let healthy = !matches!(replay.last_health, managed::Health::Down(_))
+                        && !replay.operator_crashed()
+                        && acknowledged(&replay)
+                        && replay.pod_failures().is_empty();
+                    let after = masked_snapshot(&replay);
+                    alarms.extend(collapse(oracles::crash_consistency_check(
+                        k as u32,
+                        &post_state,
+                        &after,
+                        healthy,
+                        replay_converged,
+                    )));
+                    meter.bank(replay.cluster.now() - t0);
+                    crash_points_swept += 1;
+                }
+                crash_points_total += u64::from(crash_points_swept);
+            }
+        }
+
         // The trial's span covers everything it caused — convergence,
-        // rollback, differential reference, and any reset — so the
-        // campaign total decomposes exactly into setup + trials.
+        // rollback, differential reference, crash-point replays, and any
+        // reset — so the campaign total decomposes exactly into setup +
+        // trials.
         let sim = meter.total(&instance) - span_start;
         span_start += sim;
         trial_sim_total += sim;
@@ -868,6 +950,7 @@ pub fn run_campaign_with(
             rollback_recovered,
             sim_seconds: sim,
             fault_events: Vec::new(),
+            crash_points_swept,
         });
     }
     // Residual overhead (e.g. a skipped no-op after a single-operation
@@ -892,6 +975,7 @@ pub fn run_campaign_with(
         deterministic_fields,
         ref_cache_hits,
         ref_cache_misses,
+        crash_points_swept: crash_points_total,
     }
 }
 
@@ -1161,6 +1245,7 @@ mod tests {
             window: None,
             custom_oracles: Vec::new(),
             faults: Default::default(),
+            crash_sweep: false,
         };
         let result = run_campaign(&config);
         let seqs = result.reproduction_sequences();
@@ -1187,6 +1272,7 @@ mod tests {
             window: None,
             custom_oracles: Vec::new(),
             faults: Default::default(),
+            crash_sweep: false,
         };
         let result = run_campaign(&config);
         assert!(!result.trials.is_empty());
@@ -1220,6 +1306,7 @@ mod tests {
                 } else {
                     Default::default()
                 },
+                crash_sweep: false,
             };
             let result = run_campaign(&config);
             let trial_sum: u64 = result.trials.iter().map(|t| t.sim_seconds).sum();
@@ -1248,6 +1335,7 @@ mod tests {
             window: Some((5, 4)),
             custom_oracles: Vec::new(),
             faults: Default::default(),
+            crash_sweep: false,
         };
         let result = run_campaign(&config);
         let trial_sum: u64 = result.trials.iter().map(|t| t.sim_seconds).sum();

@@ -57,6 +57,8 @@ pub fn replays_alarm(
     };
     let pre = strip(crate::oracles::masked_snapshot(&instance));
     let prev_spec = instance.cr_spec();
+    let sweep_cp = (kind == AlarmKind::CrashConsistency).then(|| instance.checkpoint());
+    let writes_before = instance.operator_writes();
     if instance.submit(last.clone()).is_err() {
         return false;
     }
@@ -73,6 +75,33 @@ pub fn replays_alarm(
             // Reproduction signal: the final declaration leaves the system
             // state untouched or the declaration round-trip mismatches.
             pre == post && prev_spec != *last
+        }
+        AlarmKind::CrashConsistency => {
+            // Reproduction signal: re-sweep the final transition's write
+            // boundaries; the alarm reproduces when any crashed replay
+            // fails to reconverge to the uninterrupted end state.
+            let Some(cp) = sweep_cp else { return false };
+            if !converged {
+                return false;
+            }
+            let writes_after = instance.operator_writes();
+            for k in 1..=(writes_after - writes_before) {
+                let mut replay =
+                    Instance::from_checkpoint(operator_by_name(operator), bugs.clone(), &cp);
+                replay
+                    .cluster
+                    .api_mut()
+                    .arm_operator_crash(k as u32, crate::campaign::CRASH_DOWN_FOR);
+                if replay.submit(last.clone()).is_err() {
+                    continue;
+                }
+                let reconverged = replay.converge(CONVERGE_RESET, CONVERGE_MAX);
+                let after = strip(crate::oracles::masked_snapshot(&replay));
+                if !reconverged || after != post {
+                    return true;
+                }
+            }
+            false
         }
         // Recovery alarms (fault bursts) share the rollback signal: an
         // error state the prior declaration fails to clear.

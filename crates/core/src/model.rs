@@ -65,19 +65,26 @@ pub enum TrialOutcome {
     ErrorState(String),
     /// The operator process crashed.
     OperatorCrash(String),
-    /// The system did not converge within the budget.
-    ConvergenceTimeout,
+    /// The convergence budget ran out while the operator was still issuing
+    /// state-changing writes: the system never quiesces (the watchdog's
+    /// livelock classification).
+    Livelock,
+    /// The convergence budget ran out with no operator writes at all: the
+    /// operator is wedged and nothing is moving (the watchdog's stuck
+    /// classification).
+    Stuck,
 }
 
 impl TrialOutcome {
     /// Returns `true` when the outcome is an explicit error state (system
-    /// error or operator crash or timeout).
+    /// error, operator crash, or an exhausted convergence budget).
     pub fn is_error(&self) -> bool {
         matches!(
             self,
             TrialOutcome::ErrorState(_)
                 | TrialOutcome::OperatorCrash(_)
-                | TrialOutcome::ConvergenceTimeout
+                | TrialOutcome::Livelock
+                | TrialOutcome::Stuck
         )
     }
 }
@@ -100,6 +107,9 @@ pub struct Trial {
     /// Transcript lines for faults injected during this trial (empty for
     /// fault-free trials).
     pub fault_events: Vec<String>,
+    /// Crash boundaries replayed by the crash-point sweep for this trial
+    /// (0 when the sweep is off or the trial did not converge).
+    pub crash_points_swept: u32,
 }
 
 #[cfg(test)]
@@ -110,7 +120,8 @@ mod tests {
     fn outcome_error_classification() {
         assert!(TrialOutcome::ErrorState("x".to_string()).is_error());
         assert!(TrialOutcome::OperatorCrash("x".to_string()).is_error());
-        assert!(TrialOutcome::ConvergenceTimeout.is_error());
+        assert!(TrialOutcome::Livelock.is_error());
+        assert!(TrialOutcome::Stuck.is_error());
         assert!(!TrialOutcome::Converged.is_error());
         assert!(!TrialOutcome::RejectedByApi("x".to_string()).is_error());
         assert!(!TrialOutcome::RejectedByOperator.is_error());

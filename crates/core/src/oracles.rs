@@ -42,6 +42,10 @@ pub enum AlarmKind {
     /// Recovery oracle: the system failed to re-converge to its pre-fault
     /// state after injected faults cleared.
     Recovery,
+    /// Crash-consistency oracle: after an operator crash at write boundary
+    /// *k* plus a restart, the system failed to reconverge to the
+    /// uninterrupted reference end state.
+    CrashConsistency,
 }
 
 impl AlarmKind {
@@ -53,6 +57,7 @@ impl AlarmKind {
             AlarmKind::DifferentialRollback => "differential-rollback",
             AlarmKind::ErrorCheck => "error-check",
             AlarmKind::Recovery => "recovery",
+            AlarmKind::CrashConsistency => "crash-consistency",
         }
     }
 }
@@ -658,6 +663,85 @@ pub fn recovery_check(
     alarms
 }
 
+/// Crash-consistency oracle: a reconcile pass interrupted by a process
+/// crash after its *k*-th state-changing write, followed by a restart, must
+/// still reconverge to the same masked end state as the uninterrupted
+/// reference run — level-triggered reconciliation promises exactly that.
+///
+/// Divergence attributes to non-idempotent or non-atomic reconcile logic
+/// (a half-applied pass the restarted process cannot complete or repair).
+/// The `same_object` fast path is sound here for the same reason as in the
+/// differential oracles: the replay's store descends from the same
+/// checkpoint as the reference's, so shared handles prove equality and diff
+/// cost scales with the crash-induced delta, not with cluster size.
+pub fn crash_consistency_check(
+    crash_at: u32,
+    reference: &StateSnapshot,
+    after_restart: &StateSnapshot,
+    healthy: bool,
+    converged: bool,
+) -> Vec<Alarm> {
+    let mut alarms = Vec::new();
+    if !converged {
+        alarms.push(Alarm::new(
+            AlarmKind::CrashConsistency,
+            format!("crash at write {crash_at}: system did not reconverge after restart"),
+        ));
+    }
+    if !healthy {
+        alarms.push(Alarm::new(
+            AlarmKind::CrashConsistency,
+            format!("crash at write {crash_at}: system still unhealthy after restart"),
+        ));
+    }
+    for (id, reference_obj) in reference {
+        if id.starts_with("PersistentVolumeClaim/") {
+            continue;
+        }
+        match after_restart.get(id) {
+            Some(after) => {
+                // Shared handle ⇒ reconverged exactly: skip without
+                // rendering.
+                if reference_obj.same_object(after) {
+                    continue;
+                }
+                for entry in diff(reference_obj.masked(), after.masked()) {
+                    let detail = match &entry.kind {
+                        DiffKind::Changed { left, right } => format!(
+                            "crash at write {crash_at}: {id} {} diverged: reference {} vs after restart {}",
+                            entry.path, left, right
+                        ),
+                        DiffKind::OnlyLeft(v) => format!(
+                            "crash at write {crash_at}: {id} {} missing after restart (reference has {v})",
+                            entry.path
+                        ),
+                        DiffKind::OnlyRight(v) => format!(
+                            "crash at write {crash_at}: {id} {} only after restart = {v}",
+                            entry.path
+                        ),
+                    };
+                    alarms.push(Alarm::new(AlarmKind::CrashConsistency, detail));
+                }
+            }
+            None => {
+                alarms.push(Alarm::new(
+                    AlarmKind::CrashConsistency,
+                    format!("crash at write {crash_at}: {id} lost across crash/restart"),
+                ));
+            }
+        }
+    }
+    for id in after_restart.keys() {
+        if !reference.contains_key(id) && !id.starts_with("PersistentVolumeClaim/") {
+            alarms.push(Alarm::new(
+                AlarmKind::CrashConsistency,
+                format!("crash at write {crash_at}: {id} appeared only in the crashed run"),
+            ));
+        }
+    }
+    alarms
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -893,6 +977,45 @@ mod tests {
         // Unhealthy or non-converged ends alarm even when state matches.
         assert_eq!(recovery_check(&before, &before, false, true).len(), 1);
         assert_eq!(recovery_check(&before, &before, true, false).len(), 1);
+    }
+
+    #[test]
+    fn crash_consistency_flags_divergence_and_tolerates_pvcs() {
+        let reference = snapshot(&[
+            (
+                "StatefulSet/acto/app",
+                obj(Value::object([("replicas", Value::from(3))])),
+            ),
+            (
+                "PersistentVolumeClaim/acto/data-app-0",
+                obj(Value::empty_object()),
+            ),
+        ]);
+        // Exact reconvergence (modulo PVC drift) is silent.
+        let mut after_ok = reference.clone();
+        after_ok.remove("PersistentVolumeClaim/acto/data-app-0");
+        assert!(crash_consistency_check(2, &reference, &after_ok, true, true).is_empty());
+        // Field drift alarms with the crash boundary in the detail.
+        let after_drift = snapshot(&[(
+            "StatefulSet/acto/app",
+            obj(Value::object([("replicas", Value::from(2))])),
+        )]);
+        let alarms = crash_consistency_check(2, &reference, &after_drift, true, true);
+        assert_eq!(alarms.len(), 1);
+        assert!(alarms[0].detail.contains("crash at write 2"));
+        // Lost and spurious objects alarm.
+        let after_changed = snapshot(&[("ConfigMap/acto/zk-init-bad", obj(Value::empty_object()))]);
+        let alarms = crash_consistency_check(1, &reference, &after_changed, true, true);
+        assert_eq!(alarms.len(), 2);
+        // Unhealthy or non-reconverged ends alarm even when state matches.
+        assert_eq!(
+            crash_consistency_check(1, &reference, &reference, false, true).len(),
+            1
+        );
+        assert_eq!(
+            crash_consistency_check(1, &reference, &reference, true, false).len(),
+            1
+        );
     }
 
     #[test]

@@ -79,13 +79,20 @@ pub struct WorkerStats {
     /// Objects in this worker's segment-start checkpoints that were
     /// uniquely owned (summed over segment starts).
     pub restored_objects_owned: usize,
+    /// Crash boundaries replayed by this worker's segments (0 with the
+    /// crash-point sweep off).
+    pub crash_points_swept: u64,
     /// Real time from worker start to running out of segments.
     pub wall: Duration,
 }
 
 /// A segment whose worker panicked. The panic is captured per segment: the
-/// remaining segments (and workers) keep running, and the segment is
-/// recorded as a failed trial instead of sinking the whole run.
+/// remaining segments (and workers) keep running. A failed segment is
+/// retried once on a fresh checkpoint restore; if the retry also panics the
+/// segment is *quarantined* — recorded as a failed trial instead of sinking
+/// the whole run. A segment that recovered on retry is still listed here
+/// (with `quarantined = false`) so the flake is visible, but its trials are
+/// the normal ones.
 #[derive(Debug, Clone)]
 pub struct FailedSegment {
     /// Segment index, in plan order.
@@ -94,8 +101,10 @@ pub struct FailedSegment {
     pub skip: usize,
     /// Plan window of the segment.
     pub take: usize,
-    /// Rendered panic payload.
+    /// Rendered panic payload (of the last attempt).
     pub panic: String,
+    /// Whether the retry also failed and the segment was quarantined.
+    pub quarantined: bool,
 }
 
 /// Memoized canonical prefix checkpoints, keyed by plan prefix length.
@@ -351,6 +360,7 @@ pub fn run_work_stealing_with(
                     ref_cache_misses: 0,
                     restored_objects_shared: 0,
                     restored_objects_owned: 0,
+                    crash_points_swept: 0,
                     wall: Duration::ZERO,
                 };
                 loop {
@@ -362,31 +372,60 @@ pub fn run_work_stealing_with(
                         my.steals += 1;
                     }
                     let (skip, take) = segments[seg];
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        run_segment(
-                            &config, &plan, &initial_cr, &base, depot, ref_cache, skip, take,
-                            &mut my,
-                        )
-                    }));
+                    let mut attempt = || {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            run_segment(
+                                &config, &plan, &initial_cr, &base, depot, ref_cache, skip,
+                                take, &mut my,
+                            )
+                        }))
+                    };
+                    let outcome = match attempt() {
+                        Ok(result) => Ok(result),
+                        Err(payload) => {
+                            // Graceful degradation: retry the segment once
+                            // on a fresh checkpoint restore (run_segment
+                            // always starts from the canonical prefix
+                            // snapshot, so the retry sees pristine state).
+                            // A second panic quarantines the segment.
+                            let first = panic_message(payload.as_ref());
+                            match attempt() {
+                                Ok(result) => {
+                                    failed.lock().unwrap_or_else(|e| e.into_inner()).push(
+                                        FailedSegment {
+                                            segment: seg,
+                                            skip,
+                                            take,
+                                            panic: first,
+                                            quarantined: false,
+                                        },
+                                    );
+                                    Ok(result)
+                                }
+                                Err(payload) => Err(panic_message(payload.as_ref())),
+                            }
+                        }
+                    };
                     match outcome {
                         Ok(result) => {
                             my.sim_seconds += result.sim_seconds;
                             my.convergence_waits += result.convergence_waits;
                             my.ref_cache_hits += result.ref_cache_hits;
                             my.ref_cache_misses += result.ref_cache_misses;
+                            my.crash_points_swept += result.crash_points_swept;
                             seg_trials
                                 .lock()
                                 .unwrap_or_else(|e| e.into_inner())
                                 .insert(seg, result.trials);
                         }
-                        Err(payload) => {
-                            let panic = panic_message(payload.as_ref());
+                        Err(panic) => {
                             failed.lock().unwrap_or_else(|e| e.into_inner()).push(
                                 FailedSegment {
                                     segment: seg,
                                     skip,
                                     take,
                                     panic: panic.clone(),
+                                    quarantined: true,
                                 },
                             );
                             seg_trials
@@ -414,6 +453,7 @@ pub fn run_work_stealing_with(
                         skip: 0,
                         take: 0,
                         panic: "worker thread aborted outside segment execution".to_string(),
+                        quarantined: true,
                     });
             }
         }
@@ -541,6 +581,7 @@ fn panicked_segment_trial(segment: usize, skip: usize, panic: &str) -> Trial {
         rollback_recovered: None,
         sim_seconds: 0,
         fault_events: Vec::new(),
+        crash_points_swept: 0,
     }
 }
 
@@ -573,6 +614,7 @@ mod tests {
             window: None,
             custom_oracles: Vec::new(),
             faults: Default::default(),
+            crash_sweep: false,
         }
     }
 
@@ -675,6 +717,10 @@ mod tests {
         );
         for f in &result.failed_segments {
             assert!(f.panic.contains("oracle exploded"), "panic: {}", f.panic);
+            assert!(
+                f.quarantined,
+                "a deterministic panic must fail the retry too and quarantine"
+            );
         }
         // Panicked segments leave failed trials, not silent gaps.
         assert!(result
@@ -683,5 +729,44 @@ mod tests {
             .any(|t| t.op.scenario == "worker-panic"));
         // Surviving workers still report stats.
         assert_eq!(result.worker_stats.len(), result.workers);
+    }
+
+    #[test]
+    fn flaky_segment_recovers_on_retry_without_losing_trials() {
+        #[derive(Debug)]
+        struct FlakyBomb(std::sync::atomic::AtomicBool);
+        impl crate::oracles::CustomOracle for FlakyBomb {
+            fn name(&self) -> &str {
+                "flaky-bomb"
+            }
+            fn check(
+                &self,
+                _ctx: &crate::oracles::OracleContext<'_>,
+                _instance: &Instance,
+            ) -> Vec<Alarm> {
+                if !self.0.swap(true, Ordering::SeqCst) {
+                    panic!("transient oracle failure");
+                }
+                Vec::new()
+            }
+        }
+        let mut config = quick_config();
+        config.max_ops = Some(8);
+        config.custom_oracles = vec![std::sync::Arc::new(FlakyBomb(
+            std::sync::atomic::AtomicBool::new(false),
+        ))];
+        let result = run_work_stealing(&config, 1);
+        // The one-shot panic is recorded but not quarantined, and the
+        // retry delivers the segment's real trials.
+        assert_eq!(result.failed_segments.len(), 1);
+        assert!(!result.failed_segments[0].quarantined);
+        assert!(result.failed_segments[0]
+            .panic
+            .contains("transient oracle failure"));
+        assert!(result
+            .trials
+            .iter()
+            .all(|t| t.op.scenario != "worker-panic"));
+        assert!(!result.trials.is_empty());
     }
 }

@@ -95,6 +95,21 @@ pub fn attribute(operator: &str, trial: &Trial, alarm: &Alarm) -> Attribution {
     {
         return Attribution::PlatformBug("PLAT-4".to_string());
     }
+    // Crash-consistency alarms come only from the crash-point sweep, and
+    // the only ground-truth source of crash divergence is the seeded
+    // non-idempotent-create bug (its on-by-request marker objects carry
+    // the `zk-init-` prefix; a wedged retry loop also shows up as a
+    // reconvergence failure). Anything else is unattributed.
+    if alarm.kind == AlarmKind::CrashConsistency {
+        if operator == "ZooKeeperOp"
+            && (alarm.detail.contains("zk-init-")
+                || alarm.detail.contains("did not reconverge")
+                || alarm.detail.contains("still unhealthy"))
+        {
+            return Attribution::OperatorBug(bugs::SEEDED_NONIDEMPOTENT_CREATE.to_string());
+        }
+        return Attribution::FalsePositive;
+    }
     // Injected operator bugs. Operator-crash categories additionally
     // require a panic signature so that e.g. an unpullable image (a
     // misoperation) is not confused with a parser crash on the same
@@ -310,11 +325,11 @@ pub fn render_parallel(result: &crate::parallel::ParallelResult) -> String {
         result.depot_snapshots, result.depot_shared_objects, result.depot_owned_objects
     ));
     out.push_str(
-        "worker  segments  steals  depot-hits  ref-hits  ref-misses  sim-seconds  conv-waits  objs-shared  objs-owned  wall\n",
+        "worker  segments  steals  depot-hits  ref-hits  ref-misses  sim-seconds  conv-waits  objs-shared  objs-owned  crash-swept  wall\n",
     );
     for s in &result.worker_stats {
         out.push_str(&format!(
-            "{:>6}  {:>8}  {:>6}  {:>10}  {:>8}  {:>10}  {:>11}  {:>10}  {:>11}  {:>10}  {:.2?}\n",
+            "{:>6}  {:>8}  {:>6}  {:>10}  {:>8}  {:>10}  {:>11}  {:>10}  {:>11}  {:>10}  {:>11}  {:.2?}\n",
             s.worker,
             s.segments_executed,
             s.steals,
@@ -325,14 +340,22 @@ pub fn render_parallel(result: &crate::parallel::ParallelResult) -> String {
             s.convergence_waits,
             s.restored_objects_shared,
             s.restored_objects_owned,
+            s.crash_points_swept,
             s.wall
         ));
     }
     for f in &result.failed_segments {
-        out.push_str(&format!(
-            "failed segment {} (skip {}, take {}): {}\n",
-            f.segment, f.skip, f.take, f.panic
-        ));
+        if f.quarantined {
+            out.push_str(&format!(
+                "quarantined segment {} (skip {}, take {}): failed twice, last panic: {}\n",
+                f.segment, f.skip, f.take, f.panic
+            ));
+        } else {
+            out.push_str(&format!(
+                "failed segment {} (skip {}, take {}): recovered on retry, first panic: {}\n",
+                f.segment, f.skip, f.take, f.panic
+            ));
+        }
     }
     out
 }
@@ -360,6 +383,7 @@ mod tests {
             rollback_recovered: None,
             sim_seconds: 0,
             fault_events: Vec::new(),
+            crash_points_swept: 0,
         }
     }
 
@@ -445,6 +469,37 @@ mod tests {
         assert!(summary.false_positives.is_empty());
         let text = render_summary("ZooKeeperOp", &summary);
         assert!(text.contains("ZK-1"));
+    }
+
+    #[test]
+    fn crash_consistency_attributes_seeded_bug_by_signature() {
+        let t = trial("replicas", Expectation::NormalTransition);
+        let alarm = Alarm::new(
+            AlarmKind::CrashConsistency,
+            "crash at write 2: ConfigMap/acto/zk-init-0011223344556677 lost across crash/restart"
+                .to_string(),
+        );
+        assert_eq!(
+            attribute("ZooKeeperOp", &t, &alarm),
+            Attribution::OperatorBug(bugs::SEEDED_NONIDEMPOTENT_CREATE.to_string())
+        );
+        let alarm = Alarm::new(
+            AlarmKind::CrashConsistency,
+            "crash at write 1: system did not reconverge after restart".to_string(),
+        );
+        assert_eq!(
+            attribute("ZooKeeperOp", &t, &alarm),
+            Attribution::OperatorBug(bugs::SEEDED_NONIDEMPOTENT_CREATE.to_string())
+        );
+        // Other operators have no seeded crash bug: unattributed.
+        let alarm = Alarm::new(
+            AlarmKind::CrashConsistency,
+            "crash at write 1: Pod/acto/x lost across crash/restart".to_string(),
+        );
+        assert_eq!(
+            attribute("RabbitMQOp", &t, &alarm),
+            Attribution::FalsePositive
+        );
     }
 
     #[test]

@@ -689,11 +689,22 @@ pub fn bugs_of(operator: &str) -> Vec<&'static BugSpec> {
         .collect()
 }
 
+/// Stable id of the seeded crash-consistency bug: a non-idempotent,
+/// non-atomic initialization sequence in `ZooKeeperOp` (a bare create
+/// followed by a completion stamp) that wedges forever when the operator
+/// process dies between the two writes. Unlike the ground-truth population
+/// above it is **off by default** and opted into with [`BugToggles::seed`];
+/// it exists to prove the crash-consistency oracle fires, so it is not part
+/// of [`all_bugs`] (whose totals are pinned to the paper's tables).
+pub const SEEDED_NONIDEMPOTENT_CREATE: &str = "SEED-CRASH-1";
+
 /// Per-campaign toggles: every bug defaults to **injected**; disabling an id
-/// yields the fixed behaviour at that code site.
+/// yields the fixed behaviour at that code site. Seeded crash-point bugs
+/// work the other way around: off unless explicitly seeded.
 #[derive(Debug, Clone, Default)]
 pub struct BugToggles {
     disabled: BTreeSet<String>,
+    seeded: BTreeSet<String>,
 }
 
 impl BugToggles {
@@ -706,6 +717,7 @@ impl BugToggles {
     pub fn all_fixed() -> BugToggles {
         BugToggles {
             disabled: all_bugs().iter().map(|b| b.id.to_string()).collect(),
+            seeded: BTreeSet::new(),
         }
     }
 
@@ -718,6 +730,17 @@ impl BugToggles {
     /// buggy path).
     pub fn injected(&self, id: &str) -> bool {
         !self.disabled.contains(id)
+    }
+
+    /// Opts into a seeded (default-off) bug, e.g.
+    /// [`SEEDED_NONIDEMPOTENT_CREATE`].
+    pub fn seed(&mut self, id: &str) {
+        self.seeded.insert(id.to_string());
+    }
+
+    /// Returns `true` when a seeded bug was opted into.
+    pub fn seeded(&self, id: &str) -> bool {
+        self.seeded.contains(id)
     }
 }
 
@@ -811,5 +834,15 @@ mod tests {
         assert!(t.injected("ZK-2"));
         let fixed = BugToggles::all_fixed();
         assert!(all_bugs().iter().all(|b| !fixed.injected(b.id)));
+    }
+
+    #[test]
+    fn seeded_bugs_are_off_by_default_and_outside_the_population() {
+        let mut t = BugToggles::all_injected();
+        assert!(!t.seeded(SEEDED_NONIDEMPOTENT_CREATE));
+        t.seed(SEEDED_NONIDEMPOTENT_CREATE);
+        assert!(t.seeded(SEEDED_NONIDEMPOTENT_CREATE));
+        // The seeded bug must not perturb the pinned ground truth.
+        assert!(bug(SEEDED_NONIDEMPOTENT_CREATE).is_none());
     }
 }

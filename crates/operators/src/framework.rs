@@ -66,6 +66,26 @@ pub trait Operator: Send {
         cluster: &mut SimCluster,
         bugs: &BugToggles,
     ) -> Result<(), OperatorError>;
+
+    /// Called when the operator "process" restarts after a crash-point
+    /// firing: drop any in-memory state, as a real process death would.
+    /// Operators in this repo are stateless unit structs rebuilt from the
+    /// registry constructor, so the default is a no-op; stateful operators
+    /// must override it.
+    fn restart(&mut self) {}
+}
+
+/// One crash-point firing observed by the harness: the operator process
+/// died mid-pass and restarted after its downtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Simulated time the crash fired (the dying pass's tick).
+    pub time: u64,
+    /// Cumulative state-changing operator writes at the moment of death —
+    /// the crash boundary `k` in a sweep's terms.
+    pub writes_total: u64,
+    /// Simulated time the process restarts.
+    pub restart_at: u64,
 }
 
 /// A resumable copy-on-write snapshot of a deployed [`Instance`]: the
@@ -86,6 +106,8 @@ pub struct InstanceCheckpoint {
     name: String,
     operator_restarts: u32,
     crashed_generation: Option<u64>,
+    operator_down_until: Option<u64>,
+    crash_log: Vec<CrashEvent>,
     last_health: Health,
 }
 
@@ -124,6 +146,11 @@ pub struct Instance {
     /// Generation of the declaration that crashed the operator, while the
     /// crash loop persists.
     crashed_generation: Option<u64>,
+    /// While a fired crash point keeps the operator process down: the
+    /// simulated time it restarts.
+    operator_down_until: Option<u64>,
+    /// Crash/restart transcript: every crash-point firing observed so far.
+    crash_log: Vec<CrashEvent>,
     /// Latest managed-system health.
     pub last_health: Health,
     /// Rendered CR spec keyed by CR generation. Pure derived cache
@@ -184,6 +211,8 @@ impl Instance {
             name,
             operator_restarts: 0,
             crashed_generation: None,
+            operator_down_until: None,
+            crash_log: Vec::new(),
             last_health: Health::Down("not yet deployed".to_string()),
             spec_cache: None,
             payload_len_cache: 0,
@@ -202,6 +231,8 @@ impl Instance {
             name: self.name.clone(),
             operator_restarts: self.operator_restarts,
             crashed_generation: self.crashed_generation,
+            operator_down_until: self.operator_down_until,
+            crash_log: self.crash_log.clone(),
             last_health: self.last_health.clone(),
         }
     }
@@ -225,6 +256,8 @@ impl Instance {
             name: cp.name.clone(),
             operator_restarts: cp.operator_restarts,
             crashed_generation: cp.crashed_generation,
+            operator_down_until: cp.operator_down_until,
+            crash_log: cp.crash_log.clone(),
             last_health: cp.last_health.clone(),
             spec_cache: None,
             payload_len_cache: 0,
@@ -283,6 +316,25 @@ impl Instance {
         self.crashed_generation.is_some()
     }
 
+    /// Returns `true` while the operator process is down after a
+    /// crash-point firing (it restarts once the downtime lapses).
+    pub fn operator_down(&self) -> bool {
+        self.operator_down_until.is_some()
+    }
+
+    /// The crash/restart transcript: every crash-point firing observed so
+    /// far, oldest first.
+    pub fn crash_transcript(&self) -> &[CrashEvent] {
+        &self.crash_log
+    }
+
+    /// Cumulative state-changing writes the operator has issued across all
+    /// reconcile passes (no-op writes don't count; see
+    /// [`simkube::ApiServer::operator_writes`]).
+    pub fn operator_writes(&self) -> u64 {
+        self.cluster.api().operator_writes()
+    }
+
     /// Advances the world one simulated second: cluster controllers, the
     /// managed-system model, and one operator reconcile pass.
     pub fn tick(&mut self) {
@@ -328,6 +380,23 @@ impl Instance {
         if self.cluster.watch_blackout_active() {
             return;
         }
+        // A fired crash point keeps the operator process dead: no reconcile
+        // passes run until the downtime lapses, then the process restarts
+        // with its in-memory state dropped.
+        if let Some(until) = self.operator_down_until {
+            if self.cluster.now() < until {
+                return;
+            }
+            self.operator_down_until = None;
+            self.operator.restart();
+            self.operator_restarts += 1;
+            self.spec_cache = None;
+            self.cluster.log(
+                LogLevel::Warn,
+                "crash-point",
+                "operator process restarted".to_string(),
+            );
+        }
         // An injected transient reconcile error aborts this pass before the
         // operator runs. Logged at warning level from a neutral source so
         // the error-check oracle doesn't attribute it to the operator.
@@ -371,9 +440,29 @@ impl Instance {
             return;
         }
         let spec = &self.spec_cache.as_ref().expect("populated above").1;
+        self.cluster.api_mut().begin_operator_pass();
         let result = self
             .operator
             .reconcile(spec, &health, &mut self.cluster, &self.bugs);
+        if let Some(down_for) = self.cluster.api_mut().end_operator_pass() {
+            // An armed crash point fired mid-pass: the process is dead, so
+            // the pass's outcome (transient error, panic) never surfaces.
+            let now = self.cluster.now();
+            let until = now + down_for;
+            let writes = self.cluster.api().operator_writes();
+            self.operator_down_until = Some(until);
+            self.crash_log.push(CrashEvent {
+                time: now,
+                writes_total: writes,
+                restart_at: until,
+            });
+            self.cluster.log(
+                LogLevel::Warn,
+                "crash-point",
+                format!("operator process crashed after write {writes}; restart at t={until}"),
+            );
+            return;
+        }
         match result {
             Ok(()) => {}
             Err(OperatorError::Transient(msg)) => {
@@ -401,11 +490,22 @@ impl Instance {
     /// Two equal fingerprints around a tick prove it was a no-op (operators
     /// and models are deterministic functions of this state, never of the
     /// clock), which lets the event-driven engine fast-forward.
-    fn fingerprint(&self) -> (simkube::ClusterFingerprint, Option<u64>, u32, Health) {
+    fn fingerprint(
+        &self,
+    ) -> (
+        simkube::ClusterFingerprint,
+        Option<u64>,
+        u32,
+        Option<u64>,
+        usize,
+        Health,
+    ) {
         (
             self.cluster.quiescence_fingerprint(),
             self.crashed_generation,
             self.operator_restarts,
+            self.operator_down_until,
+            self.crash_log.len(),
             self.last_health.clone(),
         )
     }
@@ -428,7 +528,11 @@ impl Instance {
             if revision != last_revision {
                 last_revision = revision;
                 last_event_time = self.cluster.now();
-            } else if self.cluster.now() - last_event_time >= reset_timeout {
+            } else if self.cluster.now() - last_event_time >= reset_timeout
+                && self.operator_down_until.is_none()
+            {
+                // A dead operator process is not a converged system, even if
+                // nothing has moved for a full reset window.
                 return true;
             }
             if !ticked {
@@ -437,6 +541,10 @@ impl Instance {
                     let mut target = (last_event_time + reset_timeout).min(start + max_seconds);
                     if let Some(wake) = self.cluster.next_wakeup() {
                         target = target.min(wake);
+                    }
+                    if let Some(down) = self.operator_down_until {
+                        // The restart tick is observable; never skip it.
+                        target = target.min(down);
                     }
                     if target > self.cluster.now() + 1 {
                         self.cluster.fast_forward_to(target - 1);
@@ -466,6 +574,9 @@ impl Instance {
                 let mut target = end;
                 if let Some(wake) = self.cluster.next_wakeup() {
                     target = target.min(wake);
+                }
+                if let Some(down) = self.operator_down_until {
+                    target = target.min(down);
                 }
                 if target > self.cluster.now() + 1 {
                     self.cluster.fast_forward_to(target - 1);
@@ -736,6 +847,67 @@ mod tests {
         assert!(restored.converge(CONVERGE_RESET, CONVERGE_MAX));
         assert!(!restored.operator_crashed());
         assert_eq!(restored.operator_restarts, 1);
+    }
+
+    #[test]
+    fn crash_point_aborts_pass_and_restarts_after_downtime() {
+        let mut instance = Instance::deploy(
+            Box::new(ToyOperator),
+            BugToggles::all_injected(),
+            PlatformBugs::none(),
+        )
+        .unwrap();
+        let restarts_before = instance.operator_restarts;
+        // Kill the process at its next state-changing write, down for 5s.
+        instance.cluster.api_mut().arm_operator_crash(1, 5);
+        instance
+            .submit(Value::object([("replicas", Value::from(4))]))
+            .unwrap();
+        assert!(instance.converge(CONVERGE_RESET, CONVERGE_MAX));
+        // The crash fired, the process restarted, and the system still
+        // reached the declared state.
+        assert_eq!(instance.crash_transcript().len(), 1);
+        assert!(!instance.operator_down());
+        assert_eq!(instance.operator_restarts, restarts_before + 1);
+        assert_eq!(instance.cluster.pod_summaries("acto").len(), 4);
+        let event = &instance.crash_transcript()[0];
+        assert_eq!(event.restart_at, event.time + 5);
+        assert!(instance
+            .cluster
+            .logs()
+            .iter()
+            .any(|l| l.source == "crash-point" && l.message.contains("restarted")));
+    }
+
+    #[test]
+    fn checkpoint_preserves_crash_point_downtime() {
+        let mut instance = Instance::deploy(
+            Box::new(ToyOperator),
+            BugToggles::all_injected(),
+            PlatformBugs::none(),
+        )
+        .unwrap();
+        instance.cluster.api_mut().arm_operator_crash(1, 50);
+        instance
+            .submit(Value::object([("replicas", Value::from(4))]))
+            .unwrap();
+        // Tick until the crash fires, then checkpoint mid-downtime.
+        while instance.crash_transcript().is_empty() {
+            instance.tick();
+        }
+        assert!(instance.operator_down());
+        let cp = instance.checkpoint();
+        let mut restored =
+            Instance::from_checkpoint(Box::new(ToyOperator), BugToggles::all_injected(), &cp);
+        assert!(restored.operator_down());
+        assert_eq!(restored.crash_transcript(), instance.crash_transcript());
+        // Both futures ride out the downtime identically.
+        for inst in [&mut instance, &mut restored] {
+            assert!(inst.converge(CONVERGE_RESET, CONVERGE_MAX));
+        }
+        assert_eq!(instance.cluster.now(), restored.cluster.now());
+        assert_eq!(instance.state_snapshot(), restored.state_snapshot());
+        assert_eq!(instance.operator_restarts, restored.operator_restarts);
     }
 
     #[test]

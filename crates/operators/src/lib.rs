@@ -18,7 +18,7 @@ pub mod registry;
 
 pub use bugs::{all_bugs, bug, bugs_of, BugCategory, BugSpec, BugToggles, Consequence};
 pub use framework::{
-    Instance, InstanceCheckpoint, Operator, OperatorError, CONVERGE_MAX, CONVERGE_RESET, INSTANCE,
-    NAMESPACE,
+    CrashEvent, Instance, InstanceCheckpoint, Operator, OperatorError, CONVERGE_MAX,
+    CONVERGE_RESET, INSTANCE, NAMESPACE,
 };
 pub use registry::{operator_by_name, operator_names, OperatorInfo};

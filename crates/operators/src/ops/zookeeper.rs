@@ -15,11 +15,11 @@ use managed::Health;
 use opdsl::{Cmp, IrBuilder, IrModule, Operand};
 use simkube::cluster::LogLevel;
 use simkube::meta::{LabelSelector, ObjectMeta};
-use simkube::objects::{ClaimTemplate, Kind, ObjectData, PodPhase, Service, ServiceType};
+use simkube::objects::{ClaimTemplate, ConfigMap, Kind, ObjectData, PodPhase, Service, ServiceType};
 use simkube::store::ObjKey;
 use simkube::SimCluster;
 
-use crate::bugs::BugToggles;
+use crate::bugs::{BugToggles, SEEDED_NONIDEMPOTENT_CREATE};
 use crate::common::*;
 use crate::crd_parts::*;
 use crate::framework::{Operator, OperatorError, INSTANCE, NAMESPACE};
@@ -46,6 +46,64 @@ impl ZooKeeperOp {
             .api()
             .get(&ObjKey::new(Kind::StatefulSet, NAMESPACE, INSTANCE))
             .is_some()
+    }
+
+    /// Deterministic FNV-1a fingerprint of the canonical spec rendering,
+    /// naming the per-declaration init marker.
+    fn spec_fingerprint(cr: &Value) -> u64 {
+        let json = crdspec::json::to_string(cr);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+
+    /// SEED-CRASH-1 ([`SEEDED_NONIDEMPOTENT_CREATE`]): per-declaration
+    /// initialization modeled as a bare create followed by a separate
+    /// completion stamp. The sequence is neither atomic nor idempotent: if
+    /// the process dies between the two writes, the retry after restart
+    /// blindly re-creates the marker, wedges on `AlreadyExists` forever, and
+    /// the declared change behind it is never applied.
+    fn seeded_init_marker(
+        &self,
+        cr: &Value,
+        cluster: &mut SimCluster,
+    ) -> Result<(), OperatorError> {
+        let marker = format!("zk-init-{:016x}", Self::spec_fingerprint(cr));
+        let key = ObjKey::new(Kind::ConfigMap, NAMESPACE, &marker);
+        let done = cluster
+            .api()
+            .get(&key)
+            .map(|o| o.meta.annotations.contains_key("complete"))
+            .unwrap_or(false);
+        if done {
+            return Ok(());
+        }
+        let time = cluster.now();
+        cluster
+            .api_mut()
+            .create_object(
+                ObjectMeta::named(NAMESPACE, &marker),
+                ObjectData::ConfigMap(ConfigMap {
+                    data: BTreeMap::new(),
+                }),
+                time,
+            )
+            .map_err(|e| OperatorError::Transient(format!("init marker: {e}")))?;
+        let time = cluster.now();
+        cluster
+            .api_mut()
+            .apply_object(
+                ObjectMeta::named(NAMESPACE, &marker).with_annotation("complete", "true"),
+                ObjectData::ConfigMap(ConfigMap {
+                    data: BTreeMap::new(),
+                }),
+                time,
+            )
+            .map_err(|e| OperatorError::Transient(format!("init marker stamp: {e}")))?;
+        Ok(())
     }
 }
 
@@ -217,6 +275,11 @@ impl Operator for ZooKeeperOp {
         // rollback Acto issues) while any member is in a failed state.
         if bugs.injected("ZK-6") && Self::sts_exists(cluster) && Self::has_failed_pod(cluster) {
             return Ok(());
+        }
+        // The seeded crash-consistency bug runs before the main writes, so a
+        // wedged init marker blocks the declared change from ever landing.
+        if bugs.seeded(SEEDED_NONIDEMPOTENT_CREATE) {
+            self.seeded_init_marker(cr, cluster)?;
         }
         let replicas = i64_at(cr, "replicas").unwrap_or(3).clamp(0, 7) as i32;
         let image = str_at(cr, "image").unwrap_or_else(|| "zookeeper:3.8".to_string());

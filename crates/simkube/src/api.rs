@@ -37,6 +37,10 @@ pub enum ApiError {
     /// The write lost an optimistic-concurrency race (or a fault plan
     /// injected a synthetic conflict). Retryable.
     Conflict(String),
+    /// The operator process died at an armed crash point earlier in this
+    /// reconcile pass; the write (and every later write of the pass) is
+    /// rejected.
+    OperatorCrashed(String),
 }
 
 impl fmt::Display for ApiError {
@@ -52,6 +56,7 @@ impl fmt::Display for ApiError {
             ApiError::UnknownKind(m) => write!(f, "unknown kind: {m}"),
             ApiError::Immutable(m) => write!(f, "field is immutable: {m}"),
             ApiError::Conflict(m) => write!(f, "write conflict: {m}"),
+            ApiError::OperatorCrashed(m) => write!(f, "operator crashed: {m}"),
         }
     }
 }
@@ -90,6 +95,22 @@ pub struct ApiServer {
     /// Writes remaining that will fail with [`ApiError::Conflict`]
     /// (armed by fault injection).
     injected_conflicts: u32,
+    /// True while an operator reconcile pass is in flight (bracketed by
+    /// [`ApiServer::begin_operator_pass`]/[`ApiServer::end_operator_pass`]);
+    /// only writes inside the bracket are subject to crash points.
+    in_operator_pass: bool,
+    /// Cumulative state-changing writes issued by operator passes. Only
+    /// writes that advance the store revision count, which keeps the
+    /// counter identical between the ticked and event-driven engines: a
+    /// no-op pass the event engine fast-forwards over would not have
+    /// moved it anyway.
+    operator_writes: u64,
+    /// Armed crash point: state-changing operator writes remaining until
+    /// the process "dies", and how long it then stays down.
+    crash_armed: Option<(u32, u64)>,
+    /// A crash point fired during the current pass: the down duration,
+    /// consumed by [`ApiServer::end_operator_pass`].
+    crash_fired: Option<u64>,
 }
 
 impl ApiServer {
@@ -101,6 +122,10 @@ impl ApiServer {
             admission: Arc::new(BTreeMap::new()),
             bugs,
             injected_conflicts: 0,
+            in_operator_pass: false,
+            operator_writes: 0,
+            crash_armed: None,
+            crash_fired: None,
         }
     }
 
@@ -115,6 +140,69 @@ impl ApiServer {
         self.injected_conflicts
     }
 
+    /// Arms a crash point: the operator process dies immediately after
+    /// its `at_write`-th state-changing write (counted from now, across
+    /// passes), then stays down for `down_for` simulated seconds. Writes
+    /// the dying pass issues after the firing fail with
+    /// [`ApiError::OperatorCrashed`].
+    pub fn arm_operator_crash(&mut self, at_write: u32, down_for: u64) {
+        self.crash_armed = Some((at_write.max(1), down_for));
+    }
+
+    /// The armed crash point, if any: `(writes remaining, down duration)`.
+    pub fn armed_operator_crash(&self) -> Option<(u32, u64)> {
+        self.crash_armed
+    }
+
+    /// Cumulative state-changing writes issued by operator passes.
+    pub fn operator_writes(&self) -> u64 {
+        self.operator_writes
+    }
+
+    /// Opens an operator reconcile pass: writes until the matching
+    /// [`ApiServer::end_operator_pass`] count toward armed crash points.
+    pub fn begin_operator_pass(&mut self) {
+        self.in_operator_pass = true;
+    }
+
+    /// Closes the current operator pass, returning the down duration when
+    /// a crash point fired inside it.
+    pub fn end_operator_pass(&mut self) -> Option<u64> {
+        self.in_operator_pass = false;
+        self.crash_fired.take()
+    }
+
+    /// Write-interposition head: rejects writes of a pass whose process
+    /// already died at a crash point. The message closure only runs on
+    /// rejection, keeping the healthy path allocation-free.
+    fn check_pass_alive(&self, what: impl FnOnce() -> String) -> Result<(), ApiError> {
+        if self.in_operator_pass && self.crash_fired.is_some() {
+            return Err(ApiError::OperatorCrashed(what()));
+        }
+        Ok(())
+    }
+
+    /// Write-interposition tail: counts the write if it advanced the
+    /// store revision and fires an armed crash point when the countdown
+    /// reaches zero — so crash-at-`k` means writes `1..=k` landed and
+    /// everything after is rejected. Counting only revision-advancing
+    /// writes keeps the counter identical between the ticked and
+    /// event-driven engines: a no-op pass the event engine fast-forwards
+    /// over would not have moved it anyway.
+    fn note_operator_write(&mut self, rev_before: u64) {
+        if self.in_operator_pass && self.store.revision() != rev_before {
+            self.operator_writes += 1;
+            if let Some((remaining, down_for)) = self.crash_armed {
+                if remaining <= 1 {
+                    self.crash_armed = None;
+                    self.crash_fired = Some(down_for);
+                } else {
+                    self.crash_armed = Some((remaining - 1, down_for));
+                }
+            }
+        }
+    }
+
     /// The active platform-bug configuration.
     pub fn bugs(&self) -> PlatformBugs {
         self.bugs
@@ -122,9 +210,10 @@ impl ApiServer {
 
     /// Copy-on-write snapshot of the API server, built on
     /// [`ObjectStore::snapshot`]: the versioned store plus registered CRDs,
-    /// admission hooks, bug configuration, and pending injected conflicts.
-    /// All of it is shared handles — the snapshot costs a few refcount
-    /// bumps, not a traversal of cluster state.
+    /// admission hooks, bug configuration, pending injected conflicts, and
+    /// the crash-point interposer state. All of it is shared handles or
+    /// scalars — the snapshot costs a few refcount bumps, not a traversal
+    /// of cluster state.
     pub fn snapshot(&self) -> ApiServer {
         ApiServer {
             store: self.store.snapshot(),
@@ -132,6 +221,10 @@ impl ApiServer {
             admission: Arc::clone(&self.admission),
             bugs: self.bugs,
             injected_conflicts: self.injected_conflicts,
+            in_operator_pass: self.in_operator_pass,
+            operator_writes: self.operator_writes,
+            crash_armed: self.crash_armed,
+            crash_fired: self.crash_fired,
         }
     }
 
@@ -220,22 +313,28 @@ impl ApiServer {
         spec: Value,
         time: u64,
     ) -> Result<ObjKey, ApiError> {
-        validate_name(name).map_err(ApiError::InvalidName)?;
-        self.validate_cr(kind, &spec)?;
-        for hook in self.admission.get(kind).into_iter().flatten() {
-            hook(&spec).map_err(ApiError::AdmissionDenied)?;
-        }
-        self.store
-            .create(
-                ObjectMeta::named(namespace, name),
-                ObjectData::Custom {
-                    kind: kind.to_string(),
-                    spec,
-                    status: Value::empty_object(),
-                },
-                time,
-            )
-            .map_err(ApiError::AlreadyExists)
+        self.check_pass_alive(|| format!("create {kind} {namespace}/{name}"))?;
+        let rev = self.store.revision();
+        let result = (|| {
+            validate_name(name).map_err(ApiError::InvalidName)?;
+            self.validate_cr(kind, &spec)?;
+            for hook in self.admission.get(kind).into_iter().flatten() {
+                hook(&spec).map_err(ApiError::AdmissionDenied)?;
+            }
+            self.store
+                .create(
+                    ObjectMeta::named(namespace, name),
+                    ObjectData::Custom {
+                        kind: kind.to_string(),
+                        spec,
+                        status: Value::empty_object(),
+                    },
+                    time,
+                )
+                .map_err(ApiError::AlreadyExists)
+        })();
+        self.note_operator_write(rev);
+        result
     }
 
     /// Replaces the spec of an existing custom resource (a new desired-state
@@ -248,21 +347,27 @@ impl ApiServer {
         spec: Value,
         time: u64,
     ) -> Result<(), ApiError> {
-        self.validate_cr(kind, &spec)?;
-        for hook in self.admission.get(kind).into_iter().flatten() {
-            hook(&spec).map_err(ApiError::AdmissionDenied)?;
-        }
-        let key = ObjKey::new(Kind::Custom(kind.to_string()), namespace, name);
-        if self.store.get(&key).is_none() {
-            return Err(ApiError::NotFound(format!("{kind} {namespace}/{name}")));
-        }
-        self.store
-            .update_with(&key, time, |obj| {
-                if let ObjectData::Custom { spec: s, .. } = &mut obj.data {
-                    *s = spec;
-                }
-            })
-            .map_err(ApiError::NotFound)
+        self.check_pass_alive(|| format!("update {kind} {namespace}/{name}"))?;
+        let rev = self.store.revision();
+        let result = (|| {
+            self.validate_cr(kind, &spec)?;
+            for hook in self.admission.get(kind).into_iter().flatten() {
+                hook(&spec).map_err(ApiError::AdmissionDenied)?;
+            }
+            let key = ObjKey::new(Kind::Custom(kind.to_string()), namespace, name);
+            if self.store.get(&key).is_none() {
+                return Err(ApiError::NotFound(format!("{kind} {namespace}/{name}")));
+            }
+            self.store
+                .update_with(&key, time, |obj| {
+                    if let ObjectData::Custom { spec: s, .. } = &mut obj.data {
+                        *s = spec;
+                    }
+                })
+                .map_err(ApiError::NotFound)
+        })();
+        self.note_operator_write(rev);
+        result
     }
 
     /// Writes the status subresource of a custom resource.
@@ -272,17 +377,45 @@ impl ApiServer {
         status: Value,
         time: u64,
     ) -> Result<(), ApiError> {
-        self.store
+        self.check_pass_alive(|| format!("status {}/{}", key.namespace, key.name))?;
+        let rev = self.store.revision();
+        let result = self
+            .store
             .update_with(key, time, |obj| {
                 if let ObjectData::Custom { status: s, .. } = &mut obj.data {
                     *s = status;
                 }
             })
-            .map_err(ApiError::NotFound)
+            .map_err(ApiError::NotFound);
+        self.note_operator_write(rev);
+        result
     }
 
     /// Creates a typed (built-in) object, applying metadata hygiene.
     pub fn create_object(
+        &mut self,
+        meta: ObjectMeta,
+        data: ObjectData,
+        time: u64,
+    ) -> Result<ObjKey, ApiError> {
+        self.check_pass_alive(|| {
+            format!(
+                "create {} {}/{}",
+                data.kind().name(),
+                meta.namespace,
+                meta.name
+            )
+        })?;
+        let rev = self.store.revision();
+        let result = self.create_object_inner(meta, data, time);
+        self.note_operator_write(rev);
+        result
+    }
+
+    /// [`ApiServer::create_object`] without write interposition, for
+    /// internal reuse ([`ApiServer::apply_object`]'s create path, which is
+    /// already interposed) — a single upsert must count as one write.
+    fn create_object_inner(
         &mut self,
         mut meta: ObjectMeta,
         data: ObjectData,
@@ -301,11 +434,32 @@ impl ApiServer {
     /// update as well.
     pub fn apply_object(
         &mut self,
-        mut meta: ObjectMeta,
+        meta: ObjectMeta,
         data: ObjectData,
         time: u64,
     ) -> Result<ObjKey, ApiError> {
         let key = ObjKey::new(data.kind(), &meta.namespace, &meta.name);
+        self.check_pass_alive(|| {
+            format!(
+                "apply {} {}/{}",
+                key.kind.name(),
+                key.namespace,
+                key.name
+            )
+        })?;
+        let rev = self.store.revision();
+        let result = self.apply_object_inner(key, meta, data, time);
+        self.note_operator_write(rev);
+        result
+    }
+
+    fn apply_object_inner(
+        &mut self,
+        key: ObjKey,
+        mut meta: ObjectMeta,
+        data: ObjectData,
+        time: u64,
+    ) -> Result<ObjKey, ApiError> {
         if self.injected_conflicts > 0 {
             self.injected_conflicts -= 1;
             return Err(ApiError::Conflict(format!(
@@ -317,7 +471,9 @@ impl ApiServer {
         }
         self.truncate_annotations(&mut meta);
         if self.store.get(&key).is_none() {
-            return self.create_object(meta, data, time);
+            // Already interposed by the caller: a create-through-apply is
+            // one upsert, so it must count as one write, not two.
+            return self.create_object_inner(meta, data, time);
         }
         if !self.bugs.selector_mutation_allowed {
             let existing = self.store.get(&key).expect("checked above");
@@ -369,12 +525,19 @@ impl ApiServer {
 
     /// Deletes an object.
     pub fn delete_object(&mut self, key: &ObjKey, time: u64) -> Result<StoredObject, ApiError> {
-        self.store
+        self.check_pass_alive(|| {
+            format!("delete {} {}/{}", key.kind.name(), key.namespace, key.name)
+        })?;
+        let rev = self.store.revision();
+        let result = self
+            .store
             .delete(key, time)
             // The handle is usually unique once removed from the map; a
             // clone only happens when a snapshot still shares the object.
             .map(|obj| Arc::try_unwrap(obj).unwrap_or_else(|shared| (*shared).clone()))
-            .ok_or_else(|| ApiError::NotFound(format!("{:?}", key)))
+            .ok_or_else(|| ApiError::NotFound(format!("{:?}", key)));
+        self.note_operator_write(rev);
+        result
     }
 
     /// Fetches an object.
@@ -711,6 +874,60 @@ mod tests {
                 1
             )
             .is_ok());
+    }
+
+    #[test]
+    fn crash_point_fires_at_exact_write_boundary() {
+        let mut api = ApiServer::new(PlatformBugs::none());
+        // Writes outside an operator pass never count.
+        api.create_object(
+            ObjectMeta::named("ns", "outside"),
+            ObjectData::ConfigMap(crate::objects::ConfigMap::default()),
+            0,
+        )
+        .unwrap();
+        assert_eq!(api.operator_writes(), 0);
+
+        api.arm_operator_crash(2, 7);
+        api.begin_operator_pass();
+        api.create_object(
+            ObjectMeta::named("ns", "a"),
+            ObjectData::ConfigMap(crate::objects::ConfigMap::default()),
+            1,
+        )
+        .unwrap();
+        // A no-op apply does not advance the revision, so it is not a
+        // write boundary and cannot fire the crash point.
+        api.apply_object(
+            ObjectMeta::named("ns", "a"),
+            ObjectData::ConfigMap(crate::objects::ConfigMap::default()),
+            1,
+        )
+        .unwrap();
+        assert_eq!(api.operator_writes(), 1);
+        // Write 2 lands, then the process dies: write 3 is rejected.
+        api.create_object(
+            ObjectMeta::named("ns", "b"),
+            ObjectData::ConfigMap(crate::objects::ConfigMap::default()),
+            1,
+        )
+        .unwrap();
+        let err = api
+            .create_object(
+                ObjectMeta::named("ns", "c"),
+                ObjectData::ConfigMap(crate::objects::ConfigMap::default()),
+                1,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ApiError::OperatorCrashed(_)));
+        assert_eq!(api.end_operator_pass(), Some(7));
+        assert_eq!(api.operator_writes(), 2);
+        assert!(api.get(&ObjKey::new(Kind::ConfigMap, "ns", "b")).is_some());
+        assert!(api.get(&ObjKey::new(Kind::ConfigMap, "ns", "c")).is_none());
+        // The crash state rides snapshots byte-for-byte.
+        let snap = api.snapshot();
+        assert_eq!(snap.operator_writes(), 2);
+        assert_eq!(snap.armed_operator_crash(), None);
     }
 
     #[test]

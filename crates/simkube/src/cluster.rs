@@ -114,6 +114,11 @@ pub struct ClusterFingerprint {
     crash_epoch: u64,
     pending_conflicts: u32,
     faults: Option<(usize, u32, u64, usize)>,
+    /// Crash-point interposer state: `(operator_writes, armed crash
+    /// point)`. The write counter only advances with the store revision,
+    /// so including it never blocks fast-forward; the armed countdown
+    /// keeps a pending crash point from being skipped over.
+    crash_points: (u64, Option<(u32, u64)>),
 }
 
 /// Log severity.
@@ -464,6 +469,7 @@ impl SimCluster {
             crash_epoch: self.crash_epoch,
             pending_conflicts: self.api.pending_conflicts(),
             faults: self.faults.as_ref().map(|f| f.fingerprint()),
+            crash_points: (self.api.operator_writes(), self.api.armed_operator_crash()),
         }
     }
 

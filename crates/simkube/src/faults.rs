@@ -60,6 +60,20 @@ pub enum Fault {
         /// Number of reconciles to fail.
         count: u32,
     },
+    /// The operator process dies immediately after its `at_write`-th
+    /// state-changing API write (counted from the firing time, across
+    /// reconcile passes); the rest of the dying pass is rejected with
+    /// [`crate::ApiError::OperatorCrashed`] and the process stays down for
+    /// `down_for` seconds before restarting with its in-memory state
+    /// dropped. Explicit-schedule only: [`FaultPlan::generate`] never
+    /// draws it, because crash points are usually swept systematically by
+    /// the campaign layer instead of sampled.
+    OperatorCrash {
+        /// State-changing operator writes until the process dies.
+        at_write: u32,
+        /// Seconds the process stays down after the crash.
+        down_for: u64,
+    },
     /// A key of a ConfigMap is overwritten behind the operator's back —
     /// the error state a correct operator repairs on its next reconcile.
     ConfigCorrupt {
@@ -80,6 +94,7 @@ impl Fault {
         match self {
             Fault::NodeCrash { down_for, .. } => *down_for,
             Fault::WatchBlackout { duration } => *duration,
+            Fault::OperatorCrash { down_for, .. } => *down_for,
             _ => 0,
         }
     }
@@ -98,6 +113,9 @@ impl Fault {
             Fault::WatchBlackout { duration } => format!("watch blackout for {duration}s"),
             Fault::ReconcileError { count } => {
                 format!("next {count} reconciles fail transiently")
+            }
+            Fault::OperatorCrash { at_write, down_for } => {
+                format!("operator process dies after write {at_write} (down for {down_for}s)")
             }
             Fault::ConfigCorrupt {
                 namespace,
@@ -438,6 +456,12 @@ impl FaultInjector {
                 }
                 Fault::ReconcileError { count } => {
                     self.pending_reconcile_errors += count;
+                }
+                Fault::OperatorCrash { at_write, down_for } => {
+                    // The API server owns the countdown; the FaultEvent
+                    // pushed above keeps the arming visible to the
+                    // engine's fingerprint.
+                    api.arm_operator_crash(at_write, down_for);
                 }
                 Fault::ConfigCorrupt {
                     namespace,

@@ -22,6 +22,7 @@ fn config(bugs: BugToggles, faults: FaultPlan) -> CampaignConfig {
         window: None,
         custom_oracles: Vec::new(),
         faults,
+        crash_sweep: false,
     }
 }
 

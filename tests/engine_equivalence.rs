@@ -44,6 +44,7 @@ fn config(operator: &str, max_ops: usize, faults: FaultPlan) -> CampaignConfig {
         window: None,
         custom_oracles: Vec::new(),
         faults,
+        crash_sweep: false,
     }
 }
 

@@ -22,6 +22,7 @@ fn faulted_config(plan: FaultPlan) -> CampaignConfig {
         window: None,
         custom_oracles: Vec::new(),
         faults: plan,
+        crash_sweep: false,
     }
 }
 

@@ -25,6 +25,7 @@ fn config(operator: &str, bugs: BugToggles, faults: FaultPlan) -> CampaignConfig
         window: None,
         custom_oracles: Vec::new(),
         faults,
+        crash_sweep: false,
     }
 }
 

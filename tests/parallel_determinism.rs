@@ -24,6 +24,7 @@ fn config(operator: &str, max_ops: usize) -> CampaignConfig {
         window: None,
         custom_oracles: Vec::new(),
         faults: Default::default(),
+        crash_sweep: false,
     }
 }
 

@@ -18,6 +18,7 @@ fn smoke(operator: &str, mode: Mode) {
         window: None,
         custom_oracles: Vec::new(),
         faults: Default::default(),
+        crash_sweep: false,
     };
     let result = run_campaign(&config);
     assert!(
