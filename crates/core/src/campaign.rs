@@ -109,6 +109,29 @@ impl CampaignConfig {
             crash_sweep: false,
         }
     }
+
+    /// The fuzzing configuration: a base for [`crate::fuzz::run_fuzz`]
+    /// executions. Bugs and platform default to fixed/clean so coverage
+    /// novelty reflects the *inputs* the fuzzer mutates, not background
+    /// noise; the efficacy suite seeds ground-truth bugs explicitly. The
+    /// differential oracle stays off by default (the fuzzer's per-input
+    /// crash-consistency reference plays the same role); `strategy`,
+    /// `window`, and `crash_sweep` are ignored by the fuzz executor.
+    pub fn fuzz(operator: &str, mode: Mode) -> CampaignConfig {
+        CampaignConfig {
+            operator: operator.to_string(),
+            mode,
+            bugs: BugToggles::all_fixed(),
+            platform: PlatformBugs::none(),
+            max_ops: None,
+            differential: false,
+            strategy: Strategy::OperationSequence,
+            window: None,
+            custom_oracles: Vec::new(),
+            faults: simkube::FaultPlan::default(),
+            crash_sweep: false,
+        }
+    }
 }
 
 /// Downtime of a sweep-injected operator crash, in simulated seconds. Kept
@@ -402,7 +425,7 @@ pub fn apply_op(working: &mut Value, op: &PlannedOp) {
 
 /// Converts a schema path into a concrete value path (`@items` becomes
 /// index 0; `@values` is dropped, addressing the map itself).
-fn value_path(schema_path: &Path) -> Path {
+pub(crate) fn value_path(schema_path: &Path) -> Path {
     let mut steps = Vec::new();
     for step in schema_path.steps() {
         match step {
@@ -416,7 +439,7 @@ fn value_path(schema_path: &Path) -> Path {
 
 /// Returns `true` when the operator has acknowledged the current
 /// generation in the CR status.
-fn acknowledged(instance: &Instance) -> bool {
+pub(crate) fn acknowledged(instance: &Instance) -> bool {
     let Some(obj) = instance.cluster.api().get(&instance.cr_key()) else {
         return true;
     };
@@ -489,7 +512,7 @@ impl SimMeter {
 /// checkpoint when one is available (a snapshot restore costs zero
 /// simulated seconds), otherwise deploys from scratch. Returns the
 /// instance and whether it was freshly deployed.
-fn acquire_instance(
+pub(crate) fn acquire_instance(
     config: &CampaignConfig,
     base: Option<&InstanceCheckpoint>,
 ) -> (Instance, bool) {
@@ -991,7 +1014,7 @@ fn covered_count(schema: &Schema, covered: &BTreeSet<Path>) -> usize {
 
 /// Normalizes a declaration for no-op comparison: empty containers carry
 /// no meaning.
-fn normalized(v: &Value) -> Value {
+pub(crate) fn normalized(v: &Value) -> Value {
     fn strip(v: &Value) -> Option<Value> {
         match v {
             Value::Object(m) => {
@@ -1014,7 +1037,7 @@ fn normalized(v: &Value) -> Value {
 
 /// Collapses a burst of same-oracle field-level alarms into one alarm per
 /// trial (a test failure, in the paper's counting), keeping sample details.
-fn collapse(alarms: Vec<Alarm>) -> Vec<Alarm> {
+pub(crate) fn collapse(alarms: Vec<Alarm>) -> Vec<Alarm> {
     if alarms.len() <= 1 {
         return alarms;
     }
@@ -1034,10 +1057,10 @@ fn collapse(alarms: Vec<Alarm>) -> Vec<Alarm> {
 /// (`None` when the reference run rejects the declaration) plus the exact
 /// sim-seconds/convergence-waits accounting of the run that produced it.
 #[derive(Debug)]
-struct CachedReference {
-    state: Option<oracles::StateSnapshot>,
-    sim_seconds: u64,
-    convergence_waits: usize,
+pub(crate) struct CachedReference {
+    pub(crate) state: Option<oracles::StateSnapshot>,
+    pub(crate) sim_seconds: u64,
+    pub(crate) convergence_waits: usize,
 }
 
 /// Content-addressed cache of the differential oracle's fresh references
@@ -1088,7 +1111,7 @@ impl FreshRefCache {
 /// when one is available instead of paying for a full redeployment, and
 /// consulting `cache` first. Returns the reference plus whether it was a
 /// cache hit.
-fn fresh_reference(
+pub(crate) fn fresh_reference(
     config: &CampaignConfig,
     declaration: &Value,
     base: Option<&InstanceCheckpoint>,

@@ -1,0 +1,1756 @@
+//! Coverage-guided greybox fuzzing over campaign inputs (ROADMAP item 1).
+//!
+//! Acto enumerates its operation and fault spaces up front, which caps how
+//! much observable territory a campaign reaches per CPU-hour. This module
+//! *searches* that space instead: a fuzz input is a `(seed, op-sequence,
+//! fault plan, crash point)` tuple, executed by forking the simulated
+//! cluster from the deploy-converged [`SnapshotDepot`] checkpoint (an O(1)
+//! CoW restore — never a redeployment), and observed through a
+//! [`CoverageMap`] keyed on masked-state buckets, state-transition edges,
+//! trial-outcome classes, alarm kinds, and crash-boundary verdicts. Inputs
+//! that reached novel territory enter a deterministic [`Corpus`]; a
+//! seeded-RNG mutator (splice, insert/delete/replace ops, fault-timing
+//! perturbation, crash-write re-arming, havoc) breeds children from corpus
+//! parents. Batches run through the work-stealing
+//! [`crate::parallel::steal_map`] executor and merge in input order at
+//! batch boundaries, so the whole campaign — transcript, corpus, and
+//! coverage map — is byte-identical across repeat runs and for *any*
+//! worker count.
+//!
+//! The pure-random baseline ([`run_random`]) draws inputs from Acto's
+//! enumerated space: op sequences from the planned pool and fault plans
+//! from [`FaultPlan::generate`], which deliberately never draws
+//! `OperatorCrash` (crash points are swept systematically in Acto, not
+//! sampled). Crash arming therefore enters only through the guided
+//! mutator, exactly the kind of input composition enumeration misses.
+//!
+//! Determinism contract: every random decision flows from one
+//! [`SplitMix64`] stream advanced on the coordinating thread; execution of
+//! one input is a pure function of `(config, input)` (reference caches
+//! replay their stored sim-second accounting on hits); and per-worker
+//! results merge at batch barriers in input order. Same config + same seed
+//! ⇒ byte-identical [`FuzzResult::transcript`] at 1, 2, or any number of
+//! workers, and any saved corpus entry replays bit-for-bit.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crdspec::{Path, Value};
+use operators::{operator_by_name, Instance, InstanceCheckpoint, CONVERGE_MAX, CONVERGE_RESET};
+use simkube::{FaultPlan, FaultProfile, SplitMix64};
+
+use crate::campaign::{
+    acknowledged, apply_op, collapse, fresh_reference, normalized, plan_campaign, value_path,
+    CampaignConfig, FreshRefCache, CRASH_DOWN_FOR,
+};
+use crate::model::{Expectation, Mode, PlannedOp, Trial, TrialOutcome};
+use crate::oracles::{
+    self, consistency_check, error_checks, masked_snapshot, transition_occurred, AlarmKind,
+    OracleContext, StateSnapshot,
+};
+use crate::parallel::{steal_map, SnapshotDepot, WorkerStats};
+use crate::report::{summarize, Alarm, CampaignSummary};
+
+/// One fuzz input: everything that determines an execution.
+///
+/// `ops` are indices into the shared planned-op pool (the same pool a
+/// campaign would execute in order), so every input stays schema-valid by
+/// construction and converts back to a declaration sequence that
+/// [`crate::minimize`] can consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzInput {
+    /// Input-identity salt drawn from the mutator stream. Execution does
+    /// not consult it (runs are deterministic without ambient randomness);
+    /// it keeps otherwise-identical children distinguishable in the corpus.
+    pub seed: u64,
+    /// Operation sequence as indices into the planned-op pool.
+    pub ops: Vec<usize>,
+    /// Fault burst fired against the deployed system before the ops run.
+    pub faults: FaultPlan,
+    /// Operator crash armed before submitting the op at position `.0`,
+    /// firing after the `.1`-th state-changing write.
+    pub crash: Option<(usize, u32)>,
+}
+
+impl FuzzInput {
+    /// Canonical JSON rendering — the corpus (de)serialization format and
+    /// the dedup key for the fuzzer's seen-set.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("seed", Value::Integer(self.seed as i64)),
+            (
+                "ops",
+                Value::array(self.ops.iter().map(|&i| Value::Integer(i as i64))),
+            ),
+            ("faults", self.faults.to_value()),
+        ];
+        if let Some((pos, at_write)) = self.crash {
+            fields.push((
+                "crash",
+                Value::object([
+                    ("pos", Value::Integer(pos as i64)),
+                    ("at_write", Value::Integer(i64::from(at_write))),
+                ]),
+            ));
+        }
+        Value::object(fields)
+    }
+
+    /// Parses an input from [`FuzzInput::to_value`]'s rendering.
+    pub fn from_value(value: &Value) -> Result<FuzzInput, String> {
+        let seed = value
+            .get("seed")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| "input missing integer field \"seed\"".to_string())?
+            as u64;
+        let ops = value
+            .get("ops")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "input missing array field \"ops\"".to_string())?
+            .iter()
+            .map(|v| {
+                v.as_i64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| "op index must be a non-negative integer".to_string())
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+        let faults = value
+            .get("faults")
+            .ok_or_else(|| "input missing field \"faults\"".to_string())
+            .and_then(FaultPlan::from_value)?;
+        let crash = match value.get("crash") {
+            None => None,
+            Some(c) => {
+                let pos = c
+                    .get("pos")
+                    .and_then(Value::as_i64)
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| "crash missing integer field \"pos\"".to_string())?;
+                let at_write = c
+                    .get("at_write")
+                    .and_then(Value::as_i64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| "crash missing integer field \"at_write\"".to_string())?;
+                Some((pos, at_write))
+            }
+        };
+        Ok(FuzzInput {
+            seed,
+            ops,
+            faults,
+            crash,
+        })
+    }
+
+    /// The input's canonical dedup key.
+    pub fn key(&self) -> String {
+        crdspec::json::to_string(&self.to_value())
+    }
+
+    /// The declaration sequence this input submits — the exact format
+    /// [`crate::minimize::replays_alarm`] and delta debugging consume.
+    pub fn declarations(&self, pool: &[PlannedOp], initial_cr: &Value) -> Vec<Value> {
+        let mut working = initial_cr.clone();
+        let mut out = Vec::new();
+        if pool.is_empty() {
+            return out;
+        }
+        for &idx in &self.ops {
+            apply_op(&mut working, &pool[idx % pool.len()]);
+            out.push(working.clone());
+        }
+        out
+    }
+}
+
+/// One unit of observable territory.
+///
+/// State hashes come from [`observable_hash`]: the masked rendering of
+/// every non-CR state object plus the cluster fingerprint's repeatable
+/// components (`ClusterFingerprint::coverage_hash`). The CR itself is
+/// excluded — it echoes the submitted declaration, and hashing the input
+/// back into the coverage signal would make every distinct input trivially
+/// "novel".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CoverageFeature {
+    /// A masked-state bucket the system converged into.
+    State(u64),
+    /// An ordered state transition `pre → post`. Order-sensitive:
+    /// `Edge(a, b)` and `Edge(b, a)` are different territory.
+    Edge(u64, u64),
+    /// A trial-outcome class (payload-free, so two distinct rejection
+    /// messages are one behaviour).
+    Outcome(&'static str),
+    /// An alarm kind fired by some oracle.
+    Alarm(&'static str),
+    /// A crash boundary `k` with its replay verdict (`consistent`,
+    /// `diverged`, or `unfired` when the run never reached write `k`).
+    CrashBoundary(u32, &'static str),
+}
+
+impl CoverageFeature {
+    /// Stable one-line rendering, used in transcripts and corpus files.
+    pub fn render(&self) -> String {
+        match self {
+            CoverageFeature::State(h) => format!("state:{h:016x}"),
+            CoverageFeature::Edge(a, b) => format!("edge:{a:016x}->{b:016x}"),
+            CoverageFeature::Outcome(c) => format!("outcome:{c}"),
+            CoverageFeature::Alarm(k) => format!("alarm:{k}"),
+            CoverageFeature::CrashBoundary(k, v) => format!("crash:{k}:{v}"),
+        }
+    }
+
+    fn class(&self) -> &'static str {
+        match self {
+            CoverageFeature::State(_) => "state",
+            CoverageFeature::Edge(..) => "edge",
+            CoverageFeature::Outcome(_) => "outcome",
+            CoverageFeature::Alarm(_) => "alarm",
+            CoverageFeature::CrashBoundary(..) => "crash-boundary",
+        }
+    }
+}
+
+/// The global novelty set. Observation is idempotent (a feature counts
+/// once, ever) and merge is a commutative set union, so per-worker maps
+/// merged at batch boundaries equal one map fed sequentially.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    features: BTreeSet<CoverageFeature>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Records one feature; `true` iff it was novel.
+    pub fn observe(&mut self, feature: CoverageFeature) -> bool {
+        self.features.insert(feature)
+    }
+
+    /// Records a batch in order, returning the novel ones (first sighting
+    /// wins; a feature repeated within `features` is novel once).
+    pub fn observe_all(&mut self, features: &[CoverageFeature]) -> Vec<CoverageFeature> {
+        features
+            .iter()
+            .filter(|f| self.features.insert(**f))
+            .copied()
+            .collect()
+    }
+
+    /// Whether the feature has been observed.
+    pub fn contains(&self, feature: &CoverageFeature) -> bool {
+        self.features.contains(feature)
+    }
+
+    /// Set-union merge; commutative and idempotent.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        self.features.extend(other.features.iter().copied());
+    }
+
+    /// Distinct features observed.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Distinct features per class (`state`, `edge`, `outcome`, `alarm`,
+    /// `crash-boundary`).
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for f in &self.features {
+            *counts.entry(f.class()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Deterministic rendering of the whole map (sorted), for transcript
+    /// equality checks.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for f in &self.features {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A corpus entry: an input that reached novel territory, with its lineage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Dense id (index into the corpus).
+    pub id: usize,
+    /// Parent entry id, `None` for fresh random inputs.
+    pub parent: Option<usize>,
+    /// Mutation that produced this input from its parent.
+    pub mutation: String,
+    /// Global execution index at which the input ran.
+    pub exec: usize,
+    /// The input itself.
+    pub input: FuzzInput,
+    /// Rendered features this input observed first.
+    pub new_features: Vec<String>,
+}
+
+/// The deterministic corpus: every input that extended coverage, in
+/// discovery order. Serializable so runs are resumable and entries replay
+/// bit-for-bit in later processes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Corpus {
+    /// Operator the corpus was grown against.
+    pub operator: String,
+    /// Entries in discovery order; `entries[i].id == i`.
+    pub entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// Serializes the corpus to pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        let entries = Value::array(self.entries.iter().map(|e| {
+            Value::object([
+                ("id", Value::Integer(e.id as i64)),
+                (
+                    "parent",
+                    e.parent
+                        .map_or(Value::Null, |p| Value::Integer(p as i64)),
+                ),
+                ("mutation", Value::String(e.mutation.clone())),
+                ("exec", Value::Integer(e.exec as i64)),
+                ("input", e.input.to_value()),
+                (
+                    "new_features",
+                    Value::array(e.new_features.iter().map(|f| Value::String(f.clone()))),
+                ),
+            ])
+        }));
+        let root = Value::object([
+            ("version", Value::Integer(1)),
+            ("operator", Value::String(self.operator.clone())),
+            ("entries", entries),
+        ]);
+        crdspec::json::to_string_pretty(&root)
+    }
+
+    /// Parses a corpus from [`Corpus::to_json_string`]'s rendering.
+    pub fn from_json_str(s: &str) -> Result<Corpus, String> {
+        let root = crdspec::json::from_str(s).map_err(|e| format!("corpus parse: {e:?}"))?;
+        let operator = root
+            .get("operator")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "corpus missing string field \"operator\"".to_string())?
+            .to_string();
+        let mut entries = Vec::new();
+        for (i, e) in root
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "corpus missing array field \"entries\"".to_string())?
+            .iter()
+            .enumerate()
+        {
+            let id = e
+                .get("id")
+                .and_then(Value::as_i64)
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| format!("entry {i} missing id"))?;
+            let parent = match e.get("parent") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_i64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| format!("entry {i}: bad parent"))?,
+                ),
+            };
+            let mutation = e
+                .get("mutation")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("entry {i} missing mutation"))?
+                .to_string();
+            let exec = e
+                .get("exec")
+                .and_then(Value::as_i64)
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| format!("entry {i} missing exec"))?;
+            let input = e
+                .get("input")
+                .ok_or_else(|| format!("entry {i} missing input"))
+                .and_then(FuzzInput::from_value)?;
+            let new_features = e
+                .get("new_features")
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|v| v.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default();
+            entries.push(CorpusEntry {
+                id,
+                parent,
+                mutation,
+                exec,
+                input,
+                new_features,
+            });
+        }
+        Ok(Corpus { operator, entries })
+    }
+}
+
+/// Fuzzing-campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// The underlying campaign configuration (operator, mode, bug toggles,
+    /// platform, differential oracle). `strategy`, `window`, `max_ops`, and
+    /// `crash_sweep` are not consulted by the fuzz executor.
+    pub campaign: CampaignConfig,
+    /// Master seed: the only source of randomness in the run.
+    pub seed: u64,
+    /// Total execution budget.
+    pub execs: usize,
+    /// Executions per round — the deterministic merge barrier. Guidance
+    /// feedback (corpus growth) takes effect between rounds.
+    pub batch: usize,
+    /// Worker threads for batch execution.
+    pub workers: usize,
+    /// Fresh random inputs draw 1..=`max_seq` ops; mutation may deepen
+    /// sequences up to `2 * max_seq`.
+    pub max_seq: usize,
+    /// Crash boundaries are armed in `1..=crash_writes_max`.
+    pub crash_writes_max: u32,
+    /// Profile for seed-derived fault-plan generation.
+    pub fault_profile: FaultProfile,
+}
+
+impl FuzzConfig {
+    /// A small default configuration for the given operator: whitebox
+    /// mode, bugs fixed, clean platform.
+    pub fn new(operator: &str) -> FuzzConfig {
+        FuzzConfig {
+            campaign: CampaignConfig::fuzz(operator, Mode::Whitebox),
+            seed: 0xAC70,
+            execs: 64,
+            batch: 16,
+            workers: 2,
+            max_seq: 5,
+            crash_writes_max: 4,
+            fault_profile: FaultProfile::default(),
+        }
+    }
+}
+
+/// One executed input, as recorded in the result.
+#[derive(Debug, Clone)]
+pub struct ExecRecord {
+    /// Global execution index.
+    pub index: usize,
+    /// The input that ran.
+    pub input: FuzzInput,
+    /// How the input was produced (`fresh`, `random`, `replay`, or a
+    /// mutation name).
+    pub mutation: String,
+    /// Corpus id of the parent, if mutated.
+    pub parent: Option<usize>,
+    /// Trials the execution produced, in order.
+    pub trials: Vec<Trial>,
+    /// Features this execution observed first (in observation order).
+    pub novel: Vec<CoverageFeature>,
+    /// Simulated seconds the execution consumed (including any reference
+    /// runs it caused).
+    pub sim_seconds: u64,
+}
+
+/// The result of a fuzzing campaign.
+#[derive(Debug)]
+pub struct FuzzResult {
+    /// Operator under test.
+    pub operator: String,
+    /// Mode used.
+    pub mode: Mode,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Executions performed (excluding corpus replays during a resume).
+    pub execs: usize,
+    /// Merge rounds performed.
+    pub rounds: usize,
+    /// Final coverage map.
+    pub coverage: CoverageMap,
+    /// Final corpus.
+    pub corpus: Corpus,
+    /// Every execution, in order.
+    pub records: Vec<ExecRecord>,
+    /// Attributed findings over all trials.
+    pub summary: CampaignSummary,
+    /// Total simulated seconds (base deployment + all executions).
+    pub total_sim_seconds: u64,
+    /// Simulated seconds spent deploying the shared base checkpoint.
+    pub base_sim_seconds: u64,
+    /// Per-worker scheduling statistics (depot hits, reference-cache
+    /// hits/misses, sim seconds), accumulated across batches.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Real time the run took.
+    pub wall: Duration,
+}
+
+impl FuzzResult {
+    /// Renders everything the run observed — inputs, trials, alarms,
+    /// corpus, coverage — excluding scheduling-dependent quantities
+    /// (worker stats, wall clock). Two runs over the same configuration
+    /// produce byte-identical transcripts for *any* worker count.
+    pub fn transcript(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "operator: {}", self.operator);
+        let _ = writeln!(out, "mode: {}", self.mode.name());
+        let _ = writeln!(out, "seed: {:#x}", self.seed);
+        let _ = writeln!(out, "execs: {} in {} rounds", self.execs, self.rounds);
+        for record in &self.records {
+            let _ = writeln!(
+                out,
+                "exec #{} via {} (parent {:?}) input={}",
+                record.index,
+                record.mutation,
+                record.parent,
+                record.input.key()
+            );
+            for trial in &record.trials {
+                let _ = writeln!(
+                    out,
+                    "  trial #{} property={} scenario={} outcome={:?} sim={}",
+                    trial.op.index,
+                    trial.op.property,
+                    trial.op.scenario,
+                    trial.outcome,
+                    trial.sim_seconds
+                );
+                let _ = writeln!(
+                    out,
+                    "    declaration: {}",
+                    crdspec::json::to_string(&trial.declaration)
+                );
+                for alarm in &trial.alarms {
+                    let _ = writeln!(out, "    alarm {}: {}", alarm.kind.name(), alarm.detail);
+                }
+            }
+            for f in &record.novel {
+                let _ = writeln!(out, "  novel {}", f.render());
+            }
+        }
+        for entry in &self.corpus.entries {
+            let _ = writeln!(
+                out,
+                "corpus #{} parent={:?} via {} at exec {}: {}",
+                entry.id,
+                entry.parent,
+                entry.mutation,
+                entry.exec,
+                entry.input.key()
+            );
+        }
+        let _ = writeln!(out, "coverage ({} features):", self.coverage.len());
+        out.push_str(&self.coverage.digest());
+        for (bug, kinds) in &self.summary.detected_bugs {
+            let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+            let _ = writeln!(out, "detected: {bug} via {}", names.join(","));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Input generation and mutation
+// ---------------------------------------------------------------------------
+
+/// Draws a fresh input from the enumerated space: 1..=`max_seq` pool ops,
+/// a generated fault plan on a coin flip, and no crash point —
+/// [`FaultPlan::generate`] never draws `OperatorCrash`, so crash arming is
+/// exclusive to the guided mutator by construction.
+pub(crate) fn random_input(rng: &mut SplitMix64, pool_len: usize, cfg: &FuzzConfig) -> FuzzInput {
+    let len = 1 + rng.below(cfg.max_seq.max(1) as u64) as usize;
+    let ops = (0..len)
+        .map(|_| rng.below(pool_len.max(1) as u64) as usize)
+        .collect();
+    let faults = if rng.below(2) == 0 {
+        FaultPlan::generate(rng.next_u64(), &cfg.fault_profile)
+    } else {
+        FaultPlan::default()
+    };
+    FuzzInput {
+        seed: rng.next_u64(),
+        ops,
+        faults,
+        crash: None,
+    }
+}
+
+/// Rebuilds a fault plan from an edited fault list.
+fn rebuild_plan(faults: Vec<(u64, simkube::Fault)>) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for (at, fault) in faults {
+        plan.push(at, fault);
+    }
+    plan
+}
+
+/// Breeds a child from `parent` (and `donor`, for splicing). Every child
+/// stays schema-valid by construction: op indices are drawn below
+/// `pool_len`, sequences stay non-empty and bounded by `2 * max_seq`, and
+/// crash positions are clamped into the sequence after any length edit —
+/// so any corpus entry can be shrunk and replayed by `minimize`.
+pub(crate) fn mutate_input(
+    parent: &FuzzInput,
+    donor: &FuzzInput,
+    rng: &mut SplitMix64,
+    pool_len: usize,
+    cfg: &FuzzConfig,
+) -> (FuzzInput, &'static str) {
+    let mut input = parent.clone();
+    input.seed = rng.next_u64();
+    let pool_len = pool_len.max(1) as u64;
+    let max_len = (cfg.max_seq * 4).max(1);
+    let crash_max = cfg.crash_writes_max.max(1);
+    let name = match rng.below(12) {
+        0 => {
+            // Concatenate the whole parent with a donor suffix: sequence
+            // depth compounds across generations, which is the engine of
+            // corpus-driven exploration — every op past the shared prefix
+            // executes from a state no fresh random draw starts in.
+            let cut = rng.below(donor.ops.len() as u64 + 1) as usize;
+            let mut ops = input.ops.clone();
+            ops.extend(donor.ops[cut..].iter().copied());
+            ops.truncate(max_len);
+            input.ops = ops;
+            "splice"
+        }
+        1 | 2 => {
+            // Insert a short run of ops (deepening gets double weight).
+            let at = rng.below(input.ops.len() as u64 + 1) as usize;
+            let run = 1 + rng.below(4) as usize;
+            for i in 0..run {
+                let op = rng.below(pool_len) as usize;
+                if input.ops.len() < max_len {
+                    input.ops.insert(at + i, op);
+                } else {
+                    let slot = (at + i).min(input.ops.len() - 1);
+                    input.ops[slot] = op;
+                }
+            }
+            "insert-op"
+        }
+        3 => {
+            if input.ops.len() > 1 {
+                let at = rng.below(input.ops.len() as u64) as usize;
+                input.ops.remove(at);
+                "delete-op"
+            } else {
+                input.ops[0] = rng.below(pool_len) as usize;
+                "replace-op"
+            }
+        }
+        4 => {
+            let at = rng.below(input.ops.len() as u64) as usize;
+            input.ops[at] = rng.below(pool_len) as usize;
+            "replace-op"
+        }
+        6 => {
+            if input.faults.is_empty() {
+                input.faults = FaultPlan::generate(rng.next_u64(), &cfg.fault_profile);
+                "add-fault"
+            } else {
+                // Shift every firing time by ±1..=3s (floor 1s): the same
+                // trouble, differently interleaved with recovery.
+                let edited = input
+                    .faults
+                    .faults()
+                    .iter()
+                    .map(|t| {
+                        let shift = 1 + rng.below(3);
+                        let at = if rng.below(2) == 0 {
+                            t.at.saturating_sub(shift).max(1)
+                        } else {
+                            t.at + shift
+                        };
+                        (at, t.fault.clone())
+                    })
+                    .collect();
+                input.faults = rebuild_plan(edited);
+                "perturb-fault-timing"
+            }
+        }
+        7 => {
+            // Merge in one generated fault at a fresh firing time.
+            let single = FaultProfile {
+                max_faults: 1,
+                ..cfg.fault_profile.clone()
+            };
+            let extra = FaultPlan::generate(rng.next_u64(), &single);
+            let mut edited: Vec<(u64, simkube::Fault)> = input
+                .faults
+                .faults()
+                .iter()
+                .map(|t| (t.at, t.fault.clone()))
+                .collect();
+            edited.extend(extra.faults().iter().map(|t| (t.at, t.fault.clone())));
+            input.faults = rebuild_plan(edited);
+            "add-fault"
+        }
+        9 | 10 => {
+            // (Re-)arm the operator crash: double weight, because crash
+            // boundaries are exactly the territory enumeration never
+            // samples. Faults are dropped so the crash-consistency oracle
+            // can compare against the uninterrupted reference of the same
+            // sequence — a concurrent fault burst would confound the
+            // comparison. The crash point is biased into the first half of
+            // the sequence: everything after the restart executes in the
+            // post-crash epoch — structurally distinct recovery territory —
+            // so an early crash leaves a longer suffix to wander it.
+            let half = (input.ops.len() as u64).div_ceil(2);
+            let pos = rng.below(half) as usize;
+            // Low write-counts fire far more often (an op has to perform at
+            // least k writes for the crash to trigger), so k is the min of
+            // two draws: still covers every boundary, weighted toward ones
+            // that actually detonate.
+            let k = 1 + rng
+                .below(u64::from(crash_max))
+                .min(rng.below(u64::from(crash_max))) as u32;
+            input.crash = Some((pos, k));
+            input.faults = FaultPlan::default();
+            "arm-crash"
+        }
+        _ => {
+            // Havoc (triple weight — by measure the highest novelty yield
+            // per exec): rewrite about half the ops, possibly extend the
+            // sequence, re-roll faults on a coin flip, toggle the crash
+            // point on a die roll.
+            for op in input.ops.iter_mut() {
+                if rng.below(2) == 0 {
+                    *op = rng.below(pool_len) as usize;
+                }
+            }
+            let extend = rng.below(6) as usize;
+            for _ in 0..extend {
+                if input.ops.len() < max_len {
+                    input.ops.push(rng.below(pool_len) as usize);
+                }
+            }
+            if rng.below(2) == 0 {
+                input.faults = if rng.below(2) == 0 {
+                    FaultPlan::generate(rng.next_u64(), &cfg.fault_profile)
+                } else {
+                    FaultPlan::default()
+                };
+            }
+            match rng.below(3) {
+                0 => {
+                    let half = (input.ops.len() as u64).div_ceil(2);
+                    let pos = rng.below(half) as usize;
+                    input.crash = Some((pos, 1 + rng.below(u64::from(crash_max)) as u32));
+                    input.faults = FaultPlan::default();
+                }
+                1 => input.crash = None,
+                _ => {}
+            }
+            "havoc"
+        }
+    };
+    if let Some((pos, k)) = input.crash {
+        input.crash = if input.ops.is_empty() {
+            None
+        } else {
+            Some((pos.min(input.ops.len() - 1), k.clamp(1, crash_max)))
+        };
+    }
+    (input, name)
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// A cached crash-consistency reference: the uninterrupted run of one op
+/// sequence (no faults, no crash) from the shared base checkpoint. Keyed
+/// by the sequence alone; a hit replays the stored sim-second accounting
+/// verbatim, so transcripts are invariant to cache state and worker count.
+#[derive(Debug)]
+struct SeqReference {
+    state: StateSnapshot,
+    healthy: bool,
+    converged: bool,
+    sim_seconds: u64,
+    convergence_waits: usize,
+}
+
+/// Cross-worker cache of [`SeqReference`]s.
+#[derive(Debug, Default)]
+pub struct SeqRefCache {
+    entries: Mutex<BTreeMap<String, Arc<SeqReference>>>,
+}
+
+impl SeqRefCache {
+    fn new() -> SeqRefCache {
+        SeqRefCache::default()
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<SeqReference>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: String, entry: Arc<SeqReference>) {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key)
+            .or_insert(entry);
+    }
+}
+
+/// Everything one sequence execution observed.
+struct SeqRun {
+    trials: Vec<Trial>,
+    features: Vec<CoverageFeature>,
+    final_state: StateSnapshot,
+    healthy: bool,
+    converged: bool,
+    /// Sim seconds of this cluster plus any differential references.
+    sim_seconds: u64,
+    convergence_waits: usize,
+}
+
+/// One executed fuzz input.
+struct FuzzExec {
+    trials: Vec<Trial>,
+    features: Vec<CoverageFeature>,
+    sim_seconds: u64,
+}
+
+/// Shared immutable context for executions.
+struct ExecCtx<'a> {
+    config: &'a CampaignConfig,
+    pool: &'a [PlannedOp],
+    base: &'a Arc<InstanceCheckpoint>,
+    depot: &'a SnapshotDepot,
+    seq_refs: &'a SeqRefCache,
+    ref_cache: &'a FreshRefCache,
+}
+
+/// Hash of the system's *structural* observable state: which objects
+/// exist, their status sections (replica readiness, pod phases, health
+/// conditions), and the cluster fingerprint's repeatable components.
+///
+/// Spec sections are deliberately excluded: operators mirror the submitted
+/// declaration into child specs (ConfigMap data, StatefulSet templates),
+/// so hashing them would make the state bucket an injective echo of the
+/// input — every distinct declaration would be "novel territory" and
+/// coverage would say nothing beyond input count. Status sections are what
+/// the *system* did in response; that is the territory worth bucketing,
+/// and it is what lets undirected sampling saturate while genuinely new
+/// behaviour (scale transitions, degradations, wedged retry loops, crash
+/// epochs) keeps minting buckets.
+fn observable_hash(instance: &Instance, cr_id: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mix = |bytes: &[u8], h: &mut u64| {
+        for b in bytes {
+            *h ^= u64::from(*b);
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (key, entry) in masked_snapshot(instance) {
+        if key == cr_id {
+            continue;
+        }
+        mix(normalize_key(&key).as_bytes(), &mut h);
+        if let Some(status) = entry.masked().get("status") {
+            mix(crdspec::json::to_string(status).as_bytes(), &mut h);
+        }
+    }
+    h ^ instance
+        .cluster
+        .quiescence_fingerprint()
+        .coverage_hash()
+}
+
+/// Collapses content-addressed object names into one bucket: a trailing
+/// `-<hex>` segment of eight or more hex digits is a digest of the input
+/// (e.g. the operator's `zk-init-<declaration-hash>` marker ConfigMaps),
+/// so keeping it verbatim would leak the declaration back into the state
+/// bucket through the key. Ordinal suffixes (`test-cluster-2`) survive —
+/// replica identity is genuine structure.
+fn normalize_key(key: &str) -> String {
+    match key.rsplit_once('-') {
+        Some((head, tail))
+            if tail.len() >= 8 && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            format!("{head}-#")
+        }
+        _ => key.to_string(),
+    }
+}
+
+/// Runs one op sequence (with optional fault burst and armed crash) from
+/// the shared base checkpoint. A pure function of its arguments: every
+/// trial, feature, and sim-second is reproducible bit-for-bit.
+fn execute_sequence(
+    ctx: &ExecCtx<'_>,
+    ops: &[usize],
+    faults: &FaultPlan,
+    crash: Option<(usize, u32)>,
+    my: &mut WorkerStats,
+) -> SeqRun {
+    let config = ctx.config;
+    let cp = ctx.depot.get(0).unwrap_or_else(|| Arc::clone(ctx.base));
+    my.depot_hits += 1;
+    let (shared, owned) = cp.sharing_stats();
+    my.restored_objects_shared += shared;
+    my.restored_objects_owned += owned;
+    let mut instance =
+        Instance::from_checkpoint(operator_by_name(&config.operator), config.bugs.clone(), &cp);
+    let t0 = instance.cluster.now();
+    let mut banked: u64 = 0;
+    let mut banked_at_span: u64 = 0;
+    let mut span_start = t0;
+    let mut convergence_waits = 0usize;
+    let mut trials: Vec<Trial> = Vec::new();
+    let mut features: Vec<CoverageFeature> = Vec::new();
+    let cr_id = format!(
+        "{}/{}/{}",
+        instance.operator().kind(),
+        instance.namespace,
+        instance.name
+    );
+    let mut prev_hash = observable_hash(&instance, &cr_id);
+    let mut last_good = instance.cr_spec();
+
+    // Span accounting: each trial is billed everything it caused since the
+    // previous trial, including banked reference runs.
+    let take_span = |instance: &Instance, banked: &mut u64, span_start: &mut u64, banked_at_span: &mut u64| {
+        let sim = (instance.cluster.now() - *span_start) + (*banked - *banked_at_span);
+        *span_start = instance.cluster.now();
+        *banked_at_span = *banked;
+        sim
+    };
+
+    // Fault burst before the ops, mirroring the campaign's error-state
+    // start — but without resetting on a failed recovery: a damaged
+    // cluster is territory, not contamination, when the goal is coverage.
+    if !faults.is_empty() {
+        let pre_fault = masked_snapshot(&instance);
+        let horizon = faults.horizon();
+        instance.cluster.install_fault_plan(faults.clone());
+        instance.advance(horizon);
+        let converged = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+        convergence_waits += 1;
+        let healthy = !matches!(instance.last_health, managed::Health::Down(_))
+            && !instance.operator_crashed()
+            && acknowledged(&instance)
+            && instance.pod_failures().is_empty();
+        let after = masked_snapshot(&instance);
+        let alarms = collapse(oracles::recovery_check(&pre_fault, &after, healthy, converged));
+        let recovered = alarms.is_empty();
+        let outcome = if recovered {
+            TrialOutcome::Converged
+        } else {
+            TrialOutcome::ErrorState("failed to recover from injected faults".to_string())
+        };
+        features.push(CoverageFeature::Outcome(outcome.class_name()));
+        for alarm in &alarms {
+            features.push(CoverageFeature::Alarm(alarm.kind.name()));
+        }
+        let h = observable_hash(&instance, &cr_id);
+        features.push(CoverageFeature::State(h));
+        features.push(CoverageFeature::Edge(prev_hash, h));
+        prev_hash = h;
+        let sim = take_span(&instance, &mut banked, &mut span_start, &mut banked_at_span);
+        trials.push(Trial {
+            op: PlannedOp {
+                index: trials.len(),
+                property: Path::root(),
+                scenario: "fault-burst",
+                value: Value::Null,
+                dependency_assignments: Vec::new(),
+                expectation: Expectation::NormalTransition,
+            },
+            declaration: instance.cr_spec(),
+            outcome,
+            alarms,
+            rollback_recovered: Some(recovered),
+            sim_seconds: sim,
+            fault_events: instance.cluster.fault_events(),
+            crash_points_swept: 0,
+        });
+    }
+
+    for (pos, &op_index) in ops.iter().enumerate() {
+        if ctx.pool.is_empty() {
+            break;
+        }
+        let planned = &ctx.pool[op_index % ctx.pool.len()];
+        if let Some((crash_pos, k)) = crash {
+            if crash_pos == pos {
+                instance
+                    .cluster
+                    .api_mut()
+                    .arm_operator_crash(k, CRASH_DOWN_FOR);
+            }
+        }
+        let mut spec = instance.cr_spec();
+        apply_op(&mut spec, planned);
+        if normalized(&spec) == normalized(&instance.cr_spec()) {
+            continue;
+        }
+        let pre_state = masked_snapshot(&instance);
+        let writes_before = instance.operator_writes();
+        let t_start = instance.cluster.now();
+        if let Err(err) = instance.submit(spec.clone()) {
+            let outcome = TrialOutcome::RejectedByApi(err.to_string());
+            features.push(CoverageFeature::Outcome(outcome.class_name()));
+            let sim = take_span(&instance, &mut banked, &mut span_start, &mut banked_at_span);
+            trials.push(Trial {
+                op: PlannedOp {
+                    index: trials.len(),
+                    ..planned.clone()
+                },
+                declaration: spec,
+                outcome,
+                alarms: Vec::new(),
+                rollback_recovered: None,
+                sim_seconds: sim,
+                fault_events: Vec::new(),
+                crash_points_swept: 0,
+            });
+            continue;
+        }
+        let converged = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+        convergence_waits += 1;
+        let mut alarms: Vec<Alarm> = Vec::new();
+        let post_state = masked_snapshot(&instance);
+        let writes_after = instance.operator_writes();
+        let crashed = instance.operator_crashed();
+        let system_down = matches!(instance.last_health, managed::Health::Down(_));
+        let pod_errors = instance.pod_failures();
+        let stalled = !crashed && !acknowledged(&instance);
+        let rejected = oracles::operator_rejected(&instance, t_start);
+
+        let outcome = if crashed {
+            alarms.extend(error_checks(&instance, t_start));
+            TrialOutcome::OperatorCrash(
+                alarms
+                    .first()
+                    .map(|a| a.detail.clone())
+                    .unwrap_or_else(|| "panic".to_string()),
+            )
+        } else if !converged {
+            let writes_during = writes_after - writes_before;
+            if writes_during > 0 {
+                alarms.push(Alarm::new(
+                    AlarmKind::ErrorCheck,
+                    format!(
+                        "livelock: convergence budget exhausted with the operator still writing ({writes_during} writes)"
+                    ),
+                ));
+                TrialOutcome::Livelock
+            } else {
+                alarms.push(Alarm::new(
+                    AlarmKind::ErrorCheck,
+                    "stuck: convergence budget exhausted with no operator writes at all"
+                        .to_string(),
+                ));
+                TrialOutcome::Stuck
+            }
+        } else if system_down || !pod_errors.is_empty() {
+            alarms.extend(error_checks(&instance, t_start));
+            TrialOutcome::ErrorState(
+                instance
+                    .last_health
+                    .reason()
+                    .unwrap_or("pods in error state")
+                    .to_string(),
+            )
+        } else if stalled {
+            alarms.push(Alarm::new(
+                AlarmKind::ErrorCheck,
+                "operator stalled: declaration never acknowledged".to_string(),
+            ));
+            TrialOutcome::ErrorState("operator stalled".to_string())
+        } else if rejected {
+            TrialOutcome::RejectedByOperator
+        } else {
+            TrialOutcome::Converged
+        };
+
+        if outcome == TrialOutcome::Converged {
+            if let managed::Health::Degraded(reason) = &instance.last_health {
+                alarms.push(Alarm::new(
+                    AlarmKind::ErrorCheck,
+                    format!("managed system degraded: {reason}"),
+                ));
+            }
+            let target = value_path(&planned.property);
+            let previous = last_good.get_path(&target).cloned();
+            let ctx_oracle = OracleContext {
+                property: &planned.property,
+                declared: &planned.value,
+                declaration: &spec,
+                pre_state: &pre_state,
+                post_state: &post_state,
+                cr_id: &cr_id,
+            };
+            // Unlike the planned campaign, a mutated sequence may
+            // legitimately re-apply a value the system already holds, so
+            // "no state transition" is expected noise here, not an alarm:
+            // the consistency oracle runs only when a transition occurred
+            // (or the op is a misoperation probe).
+            if planned.expectation != Expectation::NormalTransition
+                || transition_occurred(&ctx_oracle)
+            {
+                alarms.extend(consistency_check(&ctx_oracle, previous.as_ref()));
+                if config.differential {
+                    let (reference, hit) =
+                        fresh_reference(config, &spec, Some(ctx.base), Some(ctx.ref_cache));
+                    if hit {
+                        my.ref_cache_hits += 1;
+                    } else {
+                        my.ref_cache_misses += 1;
+                    }
+                    banked += reference.sim_seconds;
+                    convergence_waits += reference.convergence_waits;
+                    if let Some(fresh_state) = &reference.state {
+                        alarms.extend(collapse(oracles::differential_normal(
+                            &post_state,
+                            fresh_state,
+                        )));
+                    }
+                }
+            }
+            last_good = spec.clone();
+        }
+
+        features.push(CoverageFeature::Outcome(outcome.class_name()));
+        for alarm in &alarms {
+            features.push(CoverageFeature::Alarm(alarm.kind.name()));
+        }
+        let h = observable_hash(&instance, &cr_id);
+        features.push(CoverageFeature::State(h));
+        features.push(CoverageFeature::Edge(prev_hash, h));
+        prev_hash = h;
+        let sim = take_span(&instance, &mut banked, &mut span_start, &mut banked_at_span);
+        trials.push(Trial {
+            op: PlannedOp {
+                index: trials.len(),
+                ..planned.clone()
+            },
+            declaration: spec,
+            outcome,
+            alarms,
+            rollback_recovered: None,
+            sim_seconds: sim,
+            fault_events: Vec::new(),
+            crash_points_swept: 0,
+        });
+    }
+
+    // Final settle: quiesce the cluster once more so the end state (and
+    // the crash-consistency comparison against it) is taken at rest. A
+    // wedged run fails this converge — that *is* the signal.
+    let final_converged = instance.converge(CONVERGE_RESET, CONVERGE_MAX);
+    convergence_waits += 1;
+    let healthy = !matches!(instance.last_health, managed::Health::Down(_))
+        && !instance.operator_crashed()
+        && acknowledged(&instance)
+        && instance.pod_failures().is_empty();
+    let h = observable_hash(&instance, &cr_id);
+    if h != prev_hash {
+        features.push(CoverageFeature::State(h));
+        features.push(CoverageFeature::Edge(prev_hash, h));
+    }
+    let final_state = masked_snapshot(&instance);
+    let sim_seconds = (instance.cluster.now() - t0) + banked;
+    SeqRun {
+        trials,
+        features,
+        final_state,
+        healthy,
+        converged: final_converged,
+        sim_seconds,
+        convergence_waits,
+    }
+}
+
+/// Executes one fuzz input: the sequence itself, plus — when a crash point
+/// is armed and no faults interfere — the crash-consistency comparison
+/// against the uninterrupted reference run of the same sequence.
+fn execute_input(ctx: &ExecCtx<'_>, input: &FuzzInput, my: &mut WorkerStats) -> FuzzExec {
+    let mut run = execute_sequence(ctx, &input.ops, &input.faults, input.crash, my);
+    my.convergence_waits += run.convergence_waits;
+    let mut trials = std::mem::take(&mut run.trials);
+    let mut features = std::mem::take(&mut run.features);
+    let mut sim_seconds = run.sim_seconds;
+
+    if let Some((_, k)) = input.crash {
+        if input.faults.is_empty() {
+            // Reference: the same ops, uninterrupted, from the same base
+            // checkpoint. Content-addressed by the op sequence and shared
+            // across workers; a hit replays the stored accounting so the
+            // transcript is cache- and worker-invariant.
+            let key = crdspec::json::to_string(&Value::array(
+                input.ops.iter().map(|&i| Value::Integer(i as i64)),
+            ));
+            let (reference, hit) = match ctx.seq_refs.get(&key) {
+                Some(r) => (r, true),
+                None => {
+                    let mut scratch = WorkerStats::new(usize::MAX);
+                    let r = execute_sequence(ctx, &input.ops, &FaultPlan::default(), None, &mut scratch);
+                    let entry = Arc::new(SeqReference {
+                        state: r.final_state,
+                        healthy: r.healthy,
+                        converged: r.converged,
+                        sim_seconds: r.sim_seconds,
+                        convergence_waits: r.convergence_waits,
+                    });
+                    ctx.seq_refs.insert(key.clone(), Arc::clone(&entry));
+                    // Reference forks also restore from the depot; fold the
+                    // scratch stats into the executing worker's.
+                    my.depot_hits += scratch.depot_hits;
+                    my.restored_objects_shared += scratch.restored_objects_shared;
+                    my.restored_objects_owned += scratch.restored_objects_owned;
+                    (entry, false)
+                }
+            };
+            if hit {
+                my.ref_cache_hits += 1;
+            } else {
+                my.ref_cache_misses += 1;
+            }
+            my.convergence_waits += reference.convergence_waits;
+            sim_seconds += reference.sim_seconds;
+            // Health/convergence are judged *relative to the reference*:
+            // the oracle asks whether the crash changed the outcome, so a
+            // sequence that wedges even without a crash (a misoperation
+            // probe) must not alarm here.
+            let healthy = run.healthy || !reference.healthy;
+            let converged = run.converged || !reference.converged;
+            let alarms = collapse(oracles::crash_consistency_check(
+                k,
+                &reference.state,
+                &run.final_state,
+                healthy,
+                converged,
+            ));
+            // An armed boundary past the run's total writes never fires:
+            // distinct, shallower territory than a consistent replay.
+            let fired = instance_crash_fired(&run);
+            let verdict = if !fired {
+                "unfired"
+            } else if alarms.is_empty() {
+                "consistent"
+            } else {
+                "diverged"
+            };
+            features.push(CoverageFeature::CrashBoundary(k, verdict));
+            for alarm in &alarms {
+                features.push(CoverageFeature::Alarm(alarm.kind.name()));
+            }
+            let outcome = if alarms.is_empty() {
+                TrialOutcome::Converged
+            } else {
+                TrialOutcome::ErrorState("crash-consistency divergence".to_string())
+            };
+            trials.push(Trial {
+                op: PlannedOp {
+                    index: trials.len(),
+                    property: Path::root(),
+                    scenario: "crash-boundary",
+                    value: Value::Integer(i64::from(k)),
+                    dependency_assignments: Vec::new(),
+                    expectation: Expectation::NormalTransition,
+                },
+                declaration: Value::Null,
+                outcome,
+                alarms,
+                rollback_recovered: None,
+                sim_seconds: reference.sim_seconds,
+                fault_events: Vec::new(),
+                crash_points_swept: 1,
+            });
+        }
+    }
+    my.sim_seconds += sim_seconds;
+    FuzzExec {
+        trials,
+        features,
+        sim_seconds,
+    }
+}
+
+/// Whether the armed crash actually fired during the run: the restart
+/// leaves its mark as an operator-crash epoch bump, visible through the
+/// crashed run's trial outcomes and restart counter. Detection here is
+/// conservative — any crash-coloured outcome or a non-converged wedge
+/// counts as fired.
+fn instance_crash_fired(run: &SeqRun) -> bool {
+    !run.converged
+        || run.trials.iter().any(|t| {
+            matches!(
+                t.outcome,
+                TrialOutcome::OperatorCrash(_) | TrialOutcome::Livelock | TrialOutcome::Stuck
+            ) || t.op.scenario == "fault-burst" && t.outcome.is_error()
+        })
+        || !run.healthy
+}
+
+// ---------------------------------------------------------------------------
+// The fuzz loop
+// ---------------------------------------------------------------------------
+
+/// Input-generation policy for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Guidance {
+    /// Corpus-driven mutation with a fresh-input fraction.
+    Coverage,
+    /// Every input drawn fresh from the enumerated space.
+    Random,
+}
+
+/// A generated candidate awaiting execution.
+struct Candidate {
+    input: FuzzInput,
+    mutation: &'static str,
+    parent: Option<usize>,
+}
+
+/// Runs a coverage-guided fuzzing campaign.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzResult {
+    run_fuzz_with(config, Guidance::Coverage, None)
+}
+
+/// Runs the equal-budget pure-random baseline: same executor, same
+/// coverage accounting, but every input is drawn fresh from the enumerated
+/// space — no corpus, no mutation, no crash arming.
+pub fn run_random(config: &FuzzConfig) -> FuzzResult {
+    run_fuzz_with(config, Guidance::Random, None)
+}
+
+/// Resumes a fuzzing campaign from a saved corpus: every saved entry is
+/// replayed first (rebuilding the coverage map and seeding the population;
+/// replays are not charged to `config.execs`), then the guided loop
+/// continues for the configured budget.
+pub fn run_fuzz_resumed(config: &FuzzConfig, saved: &Corpus) -> FuzzResult {
+    run_fuzz_with(config, Guidance::Coverage, Some(saved))
+}
+
+/// Replays exactly the saved corpus entries — no mutation, no budget —
+/// and returns the resulting records, coverage, and rebuilt corpus.
+/// Deterministic for any worker count; the round-trip check in CI compares
+/// transcripts of replays at different worker counts.
+pub fn replay_corpus(config: &FuzzConfig, saved: &Corpus) -> FuzzResult {
+    run_replay(config, saved)
+}
+
+/// Shared run scaffolding: plan the pool, deploy the base checkpoint, set
+/// up the caches, and hand a closure the execution context.
+struct RunState {
+    pool: Vec<PlannedOp>,
+    base: Arc<InstanceCheckpoint>,
+    depot: SnapshotDepot,
+    seq_refs: SeqRefCache,
+    ref_cache: FreshRefCache,
+    base_sim_seconds: u64,
+    coverage: CoverageMap,
+    corpus: Corpus,
+    records: Vec<ExecRecord>,
+    worker_stats: Vec<WorkerStats>,
+}
+
+impl RunState {
+    fn new(cfg: &FuzzConfig) -> RunState {
+        let operator = operator_by_name(&cfg.campaign.operator);
+        let pool = plan_campaign(
+            &operator.schema(),
+            Some(&operator.ir()),
+            cfg.campaign.mode,
+            &operator.initial_cr(),
+            &operator.images(),
+            operators::INSTANCE,
+        );
+        let base_instance = Instance::deploy(
+            operator_by_name(&cfg.campaign.operator),
+            cfg.campaign.bugs.clone(),
+            cfg.campaign.platform,
+        )
+        .expect("initial deployment");
+        let base_sim_seconds = base_instance.cluster.now();
+        let base = Arc::new(base_instance.checkpoint());
+        let depot = SnapshotDepot::new();
+        depot.put(0, Arc::clone(&base));
+        RunState {
+            pool,
+            base,
+            depot,
+            seq_refs: SeqRefCache::new(),
+            ref_cache: FreshRefCache::new(),
+            base_sim_seconds,
+            coverage: CoverageMap::new(),
+            corpus: Corpus {
+                operator: cfg.campaign.operator.clone(),
+                entries: Vec::new(),
+            },
+            records: Vec::new(),
+            worker_stats: (0..cfg.workers.max(1)).map(WorkerStats::new).collect(),
+        }
+    }
+
+    fn ctx<'a>(&'a self, cfg: &'a FuzzConfig) -> ExecCtx<'a> {
+        ExecCtx {
+            config: &cfg.campaign,
+            pool: &self.pool,
+            base: &self.base,
+            depot: &self.depot,
+            seq_refs: &self.seq_refs,
+            ref_cache: &self.ref_cache,
+        }
+    }
+
+    /// Executes a batch through the work-stealing runner and merges the
+    /// results in input order — the deterministic barrier.
+    fn run_batch(&mut self, cfg: &FuzzConfig, batch: Vec<Candidate>, grow_corpus: bool) {
+        let ctx = self.ctx(cfg);
+        let (execs, batch_stats) = steal_map(&batch, cfg.workers.max(1), |_, cand, my| {
+            execute_input(&ctx, &cand.input, my)
+        });
+        // `ctx` borrows self immutably; end the borrow before merging.
+        let _ = ctx;
+        let n_workers = self.worker_stats.len();
+        for s in batch_stats {
+            let acc = &mut self.worker_stats[s.worker % n_workers];
+            acc.segments_executed += s.segments_executed;
+            acc.steals += s.steals;
+            acc.depot_hits += s.depot_hits;
+            acc.sim_seconds += s.sim_seconds;
+            acc.convergence_waits += s.convergence_waits;
+            acc.ref_cache_hits += s.ref_cache_hits;
+            acc.ref_cache_misses += s.ref_cache_misses;
+            acc.restored_objects_shared += s.restored_objects_shared;
+            acc.restored_objects_owned += s.restored_objects_owned;
+            acc.crash_points_swept += s.crash_points_swept;
+            acc.wall += s.wall;
+        }
+        for (cand, exec) in batch.into_iter().zip(execs) {
+            let index = self.records.len();
+            let novel = self.coverage.observe_all(&exec.features);
+            if grow_corpus && !novel.is_empty() {
+                self.corpus.entries.push(CorpusEntry {
+                    id: self.corpus.entries.len(),
+                    parent: cand.parent,
+                    mutation: cand.mutation.to_string(),
+                    exec: index,
+                    input: cand.input.clone(),
+                    new_features: novel.iter().map(CoverageFeature::render).collect(),
+                });
+            }
+            self.records.push(ExecRecord {
+                index,
+                input: cand.input,
+                mutation: cand.mutation.to_string(),
+                parent: cand.parent,
+                trials: exec.trials,
+                novel,
+                sim_seconds: exec.sim_seconds,
+            });
+        }
+    }
+
+    fn finish(self, cfg: &FuzzConfig, execs: usize, rounds: usize, start: Instant) -> FuzzResult {
+        let all_trials: Vec<Trial> = self
+            .records
+            .iter()
+            .flat_map(|r| r.trials.iter().cloned())
+            .collect();
+        let summary = summarize(&cfg.campaign.operator, &all_trials);
+        let total_sim_seconds = self.base_sim_seconds
+            + self.worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
+        FuzzResult {
+            operator: cfg.campaign.operator.clone(),
+            mode: cfg.campaign.mode,
+            seed: cfg.seed,
+            execs,
+            rounds,
+            coverage: self.coverage,
+            corpus: self.corpus,
+            records: self.records,
+            summary,
+            total_sim_seconds,
+            base_sim_seconds: self.base_sim_seconds,
+            worker_stats: self.worker_stats,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+fn run_fuzz_with(cfg: &FuzzConfig, guidance: Guidance, resume: Option<&Corpus>) -> FuzzResult {
+    let start = Instant::now();
+    let mut state = RunState::new(cfg);
+    let pool_len = state.pool.len().max(1);
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut rounds = 0usize;
+
+    // Resume: replay the saved corpus to rebuild coverage and seed the
+    // population. Replays run through the same deterministic batch path
+    // but are not charged to the exec budget.
+    if let Some(saved) = resume {
+        let replays: Vec<Candidate> = saved
+            .entries
+            .iter()
+            .map(|e| {
+                seen.insert(e.input.key());
+                Candidate {
+                    input: e.input.clone(),
+                    mutation: "replay",
+                    parent: e.parent,
+                }
+            })
+            .collect();
+        if !replays.is_empty() {
+            state.run_batch(cfg, replays, true);
+            rounds += 1;
+        }
+    }
+
+    let mut executed = 0usize;
+    while executed < cfg.execs {
+        let batch_n = cfg.batch.max(1).min(cfg.execs - executed);
+        let mut batch: Vec<Candidate> = Vec::new();
+        let mut redraws = 0usize;
+        while batch.len() < batch_n {
+            let (input, mutation, parent) = match guidance {
+                Guidance::Random => (random_input(&mut rng, pool_len, cfg), "random", None),
+                Guidance::Coverage => {
+                    if state.corpus.entries.is_empty() || rng.below(16) == 0 {
+                        (random_input(&mut rng, pool_len, cfg), "fresh", None)
+                    } else {
+                        // Parent biased toward the newest half of the
+                        // corpus (fresh territory compounds); donor drawn
+                        // uniformly for splices.
+                        let n = state.corpus.entries.len();
+                        let half = n.div_ceil(2);
+                        let pi = n - 1 - rng.below(half as u64) as usize;
+                        let di = rng.below(n as u64) as usize;
+                        let donor = state.corpus.entries[di].input.clone();
+                        let parent_entry = &state.corpus.entries[pi];
+                        let (child, name) =
+                            mutate_input(&parent_entry.input, &donor, &mut rng, pool_len, cfg);
+                        (child, name, Some(parent_entry.id))
+                    }
+                }
+            };
+            // The guided loop never wastes budget re-executing an input it
+            // has already run (bounded redraws keep generation total); the
+            // random baseline takes whatever it draws.
+            let key = input.key();
+            if guidance == Guidance::Coverage && seen.contains(&key) && redraws < 6 {
+                redraws += 1;
+                continue;
+            }
+            redraws = 0;
+            seen.insert(key);
+            batch.push(Candidate {
+                input,
+                mutation,
+                parent,
+            });
+        }
+        state.run_batch(cfg, batch, guidance == Guidance::Coverage);
+        executed += batch_n;
+        rounds += 1;
+    }
+    state.finish(cfg, executed, rounds, start)
+}
+
+fn run_replay(cfg: &FuzzConfig, saved: &Corpus) -> FuzzResult {
+    let start = Instant::now();
+    let mut state = RunState::new(cfg);
+    let replays: Vec<Candidate> = saved
+        .entries
+        .iter()
+        .map(|e| Candidate {
+            input: e.input.clone(),
+            mutation: "replay",
+            parent: e.parent,
+        })
+        .collect();
+    let n = replays.len();
+    if !replays.is_empty() {
+        state.run_batch(cfg, replays, true);
+    }
+    state.finish(cfg, n, 1, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_fingerprint_never_counts_twice() {
+        let mut map = CoverageMap::new();
+        assert!(map.observe(CoverageFeature::State(42)));
+        assert!(!map.observe(CoverageFeature::State(42)));
+        assert_eq!(map.len(), 1);
+        let novel = map.observe_all(&[
+            CoverageFeature::State(42),
+            CoverageFeature::State(7),
+            CoverageFeature::State(7),
+        ]);
+        assert_eq!(novel, vec![CoverageFeature::State(7)]);
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn transition_edges_are_order_sensitive() {
+        let mut map = CoverageMap::new();
+        assert!(map.observe(CoverageFeature::Edge(1, 2)));
+        assert!(map.observe(CoverageFeature::Edge(2, 1)), "reverse edge is new territory");
+        assert!(!map.observe(CoverageFeature::Edge(1, 2)));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent() {
+        let mut a = CoverageMap::new();
+        a.observe(CoverageFeature::State(1));
+        a.observe(CoverageFeature::Outcome("converged"));
+        let mut b = CoverageMap::new();
+        b.observe(CoverageFeature::State(2));
+        b.observe(CoverageFeature::Outcome("converged"));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.len(), 3);
+        let before = ab.clone();
+        ab.merge(&b);
+        assert_eq!(ab, before, "merging a subset changes nothing");
+    }
+
+    #[test]
+    fn coverage_counts_bucket_by_class() {
+        let mut map = CoverageMap::new();
+        map.observe(CoverageFeature::State(1));
+        map.observe(CoverageFeature::State(2));
+        map.observe(CoverageFeature::Edge(1, 2));
+        map.observe(CoverageFeature::CrashBoundary(3, "diverged"));
+        let counts = map.counts();
+        assert_eq!(counts.get("state"), Some(&2));
+        assert_eq!(counts.get("edge"), Some(&1));
+        assert_eq!(counts.get("crash-boundary"), Some(&1));
+        assert_eq!(counts.get("outcome"), None);
+    }
+
+    #[test]
+    fn input_round_trips_through_json() {
+        let mut faults = FaultPlan::new();
+        faults.push(
+            3,
+            simkube::Fault::NodeCrash {
+                node: "node-1".to_string(),
+                down_for: 9,
+            },
+        );
+        let input = FuzzInput {
+            seed: u64::MAX - 5,
+            ops: vec![0, 17, 3],
+            faults,
+            crash: Some((1, 2)),
+        };
+        let parsed = FuzzInput::from_value(&input.to_value()).expect("round trip");
+        assert_eq!(parsed, input);
+        // And through the corpus container.
+        let corpus = Corpus {
+            operator: "ZooKeeperOp".to_string(),
+            entries: vec![CorpusEntry {
+                id: 0,
+                parent: None,
+                mutation: "fresh".to_string(),
+                exec: 4,
+                input,
+                new_features: vec!["state:0000000000000001".to_string()],
+            }],
+        };
+        let parsed = Corpus::from_json_str(&corpus.to_json_string()).expect("corpus round trip");
+        assert_eq!(parsed, corpus);
+    }
+
+    /// Shrink-safety: every mutated input must stay consumable — op
+    /// indices inside the pool, sequences non-empty and bounded, crash
+    /// points inside the sequence — so `minimize` can replay and shrink
+    /// any corpus entry's declaration sequence.
+    #[test]
+    fn mutated_inputs_stay_schema_valid() {
+        let cfg = FuzzConfig::new("ZooKeeperOp");
+        let operator = operator_by_name("ZooKeeperOp");
+        let pool = plan_campaign(
+            &operator.schema(),
+            Some(&operator.ir()),
+            Mode::Whitebox,
+            &operator.initial_cr(),
+            &operator.images(),
+            operators::INSTANCE,
+        );
+        let initial = operator.initial_cr();
+        let mut rng = SplitMix64::new(7);
+        let mut current = random_input(&mut rng, pool.len(), &cfg);
+        for step in 0..300 {
+            let donor = random_input(&mut rng, pool.len(), &cfg);
+            let (child, name) = mutate_input(&current, &donor, &mut rng, pool.len(), &cfg);
+            assert!(!child.ops.is_empty(), "step {step} ({name}): empty sequence");
+            assert!(
+                child.ops.len() <= cfg.max_seq * 4,
+                "step {step} ({name}): sequence over bound"
+            );
+            assert!(
+                child.ops.iter().all(|&i| i < pool.len()),
+                "step {step} ({name}): op index out of pool"
+            );
+            if let Some((pos, k)) = child.crash {
+                assert!(pos < child.ops.len(), "step {step} ({name}): crash past end");
+                assert!(
+                    (1..=cfg.crash_writes_max).contains(&k),
+                    "step {step} ({name}): crash boundary out of range"
+                );
+            }
+            let decls = child.declarations(&pool, &initial);
+            assert_eq!(decls.len(), child.ops.len());
+            assert!(
+                decls.iter().all(Value::is_object),
+                "step {step} ({name}): non-object declaration"
+            );
+            current = child;
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let cfg = FuzzConfig::new("ZooKeeperOp");
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        let parent = random_input(&mut a, 50, &cfg);
+        let parent2 = random_input(&mut b, 50, &cfg);
+        assert_eq!(parent, parent2);
+        let donor = random_input(&mut a, 50, &cfg);
+        let donor2 = random_input(&mut b, 50, &cfg);
+        let (x, nx) = mutate_input(&parent, &donor, &mut a, 50, &cfg);
+        let (y, ny) = mutate_input(&parent2, &donor2, &mut b, 50, &cfg);
+        assert_eq!(x, y);
+        assert_eq!(nx, ny);
+    }
+}

@@ -31,11 +31,15 @@
 //!   prefix into a minimal e2e test and emitting its code (§5.4).
 //! - [`parallel`]: work-stealing test partitioning across workers with a
 //!   shared plan and checkpoint-based jump-state reuse (§5.5).
+//! - [`fuzz`]: coverage-guided greybox exploration of the campaign input
+//!   space `(op-sequence, fault plan, crash point)` over snapshot forking,
+//!   with a deterministic, resumable corpus.
 //! - [`report`]: alarms, ground-truth attribution, and campaign summaries
 //!   consumed by the evaluation benches (§6).
 
 pub mod campaign;
 pub mod deps;
+pub mod fuzz;
 pub mod gen;
 pub mod minimize;
 pub mod model;
@@ -49,6 +53,10 @@ pub use campaign::{
     Strategy, PLAN_COMPUTATIONS,
 };
 pub use deps::{infer_dependencies, Dependency};
+pub use fuzz::{
+    replay_corpus, run_fuzz, run_fuzz_resumed, run_random, Corpus, CorpusEntry, CoverageFeature,
+    CoverageMap, ExecRecord, FuzzConfig, FuzzInput, FuzzResult,
+};
 pub use gen::{generator_catalog, scenarios_for, GenContext, Scenario};
 pub use model::{Expectation, Mode, PlannedOp, Trial, TrialOutcome};
 pub use oracles::{AlarmKind, CustomOracle, OracleContext};

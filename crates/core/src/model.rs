@@ -87,6 +87,21 @@ impl TrialOutcome {
                 | TrialOutcome::Stuck
         )
     }
+
+    /// The outcome's payload-free class name — a stable label for coverage
+    /// bucketing (two distinct rejection messages are the same behaviour
+    /// class) and for compact transcripts.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            TrialOutcome::RejectedByApi(_) => "rejected-by-api",
+            TrialOutcome::RejectedByOperator => "rejected-by-operator",
+            TrialOutcome::Converged => "converged",
+            TrialOutcome::ErrorState(_) => "error-state",
+            TrialOutcome::OperatorCrash(_) => "operator-crash",
+            TrialOutcome::Livelock => "livelock",
+            TrialOutcome::Stuck => "stuck",
+        }
+    }
 }
 
 /// One executed trial: a planned operation plus everything observed.

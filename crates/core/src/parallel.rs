@@ -86,6 +86,82 @@ pub struct WorkerStats {
     pub wall: Duration,
 }
 
+impl WorkerStats {
+    /// Zeroed statistics for a worker about to start.
+    pub fn new(worker: usize) -> WorkerStats {
+        WorkerStats {
+            worker,
+            segments_executed: 0,
+            steals: 0,
+            depot_hits: 0,
+            sim_seconds: 0,
+            convergence_waits: 0,
+            ref_cache_hits: 0,
+            ref_cache_misses: 0,
+            restored_objects_shared: 0,
+            restored_objects_owned: 0,
+            crash_points_swept: 0,
+            wall: Duration::ZERO,
+        }
+    }
+}
+
+/// Generic work-stealing executor: `workers` threads claim items from a
+/// shared atomic cursor and run `f(index, item, stats)` on each. Results
+/// come back in *item order* regardless of which worker ran what, so
+/// callers that fold over them stay deterministic for any worker count —
+/// the same claim-by-cursor discipline the segment runner uses, reusable
+/// by the fuzzer's per-batch execution.
+///
+/// `f` must not panic: unlike segment execution (which quarantines), a
+/// panic here propagates out of the scope and aborts the run.
+pub fn steal_map<T, R, F>(items: &[T], workers: usize, f: F) -> (Vec<R>, Vec<WorkerStats>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &mut WorkerStats) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<BTreeMap<usize, R>> = Mutex::new(BTreeMap::new());
+    let stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::new());
+    let static_chunk = items.len().div_ceil(workers).max(1);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (cursor, results, stats, f) = (&cursor, &results, &stats, &f);
+            scope.spawn(move || {
+                let worker_start = Instant::now();
+                let mut my = WorkerStats::new(w);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::SeqCst);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if i / static_chunk != w {
+                        my.steals += 1;
+                    }
+                    let r = f(i, &items[i], &mut my);
+                    my.segments_executed += 1;
+                    results
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(i, r);
+                }
+                my.wall = worker_start.elapsed();
+                stats.lock().unwrap_or_else(|e| e.into_inner()).push(my);
+            });
+        }
+    });
+    let mut worker_stats = stats.into_inner().unwrap_or_else(|e| e.into_inner());
+    worker_stats.sort_by_key(|s| s.worker);
+    let results = results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_values()
+        .collect();
+    (results, worker_stats)
+}
+
 /// A segment whose worker panicked. The panic is captured per segment: the
 /// remaining segments (and workers) keep running. A failed segment is
 /// retried once on a fresh checkpoint restore; if the retry also panics the
@@ -125,7 +201,8 @@ impl SnapshotDepot {
         SnapshotDepot::default()
     }
 
-    fn get(&self, skip: usize) -> Option<Arc<InstanceCheckpoint>> {
+    /// The memoized checkpoint for a prefix length, if deposited.
+    pub fn get(&self, skip: usize) -> Option<Arc<InstanceCheckpoint>> {
         self.slots
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -133,7 +210,9 @@ impl SnapshotDepot {
             .cloned()
     }
 
-    fn put(&self, skip: usize, cp: Arc<InstanceCheckpoint>) {
+    /// Deposits a canonical prefix checkpoint; an existing entry wins (the
+    /// first deposit is already canonical).
+    pub fn put(&self, skip: usize, cp: Arc<InstanceCheckpoint>) {
         self.slots
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -349,20 +428,7 @@ pub fn run_work_stealing_with(
             let segments = &segments;
             handles.push(scope.spawn(move || {
                 let worker_start = Instant::now();
-                let mut my = WorkerStats {
-                    worker: w,
-                    segments_executed: 0,
-                    steals: 0,
-                    depot_hits: 0,
-                    sim_seconds: 0,
-                    convergence_waits: 0,
-                    ref_cache_hits: 0,
-                    ref_cache_misses: 0,
-                    restored_objects_shared: 0,
-                    restored_objects_owned: 0,
-                    crash_points_swept: 0,
-                    wall: Duration::ZERO,
-                };
+                let mut my = WorkerStats::new(w);
                 loop {
                     let seg = cursor.fetch_add(1, Ordering::SeqCst);
                     if seg >= segments.len() {

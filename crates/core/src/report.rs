@@ -297,6 +297,66 @@ pub fn render_summary(operator: &str, summary: &CampaignSummary) -> String {
     out
 }
 
+/// Renders the per-worker scheduling table shared by the parallel and
+/// fuzzing reports: one line per worker with its segment, steal, cache,
+/// and time accounting.
+pub fn render_worker_stats(stats: &[crate::parallel::WorkerStats]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "worker  segments  steals  depot-hits  ref-hits  ref-misses  sim-seconds  conv-waits  objs-shared  objs-owned  crash-swept  wall\n",
+    );
+    for s in stats {
+        out.push_str(&format!(
+            "{:>6}  {:>8}  {:>6}  {:>10}  {:>8}  {:>10}  {:>11}  {:>10}  {:>11}  {:>10}  {:>11}  {:.2?}\n",
+            s.worker,
+            s.segments_executed,
+            s.steals,
+            s.depot_hits,
+            s.ref_cache_hits,
+            s.ref_cache_misses,
+            s.sim_seconds,
+            s.convergence_waits,
+            s.restored_objects_shared,
+            s.restored_objects_owned,
+            s.crash_points_swept,
+            s.wall
+        ));
+    }
+    out
+}
+
+/// Renders a fuzzing campaign: budget and corpus headline, coverage
+/// breakdown by feature class, the findings summary, and the same
+/// per-worker scheduling table as [`render_parallel`] — with the fuzzer's
+/// checkpoint-fork and reference-cache counters threaded through, so cache
+/// activity under fuzz never prints as zeros.
+pub fn render_fuzz(result: &crate::fuzz::FuzzResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {} ({}; fuzz seed {:#x}) ==\n",
+        result.operator,
+        result.mode.name(),
+        result.seed
+    ));
+    out.push_str(&format!(
+        "execs: {} in {} rounds; corpus: {} entries; coverage: {} features\n",
+        result.execs,
+        result.rounds,
+        result.corpus.entries.len(),
+        result.coverage.len()
+    ));
+    let counts = result.coverage.counts();
+    let breakdown: Vec<String> = counts.iter().map(|(k, v)| format!("{k} {v}")).collect();
+    out.push_str(&format!("coverage by class: {}\n", breakdown.join(", ")));
+    out.push_str(&format!(
+        "sim-seconds: total {} (base {}); wall: {:.2?}\n",
+        result.total_sim_seconds, result.base_sim_seconds, result.wall
+    ));
+    out.push_str(&render_summary(&result.operator, &result.summary));
+    out.push_str(&render_worker_stats(&result.worker_stats));
+    out
+}
+
 /// Renders a parallel run: headline speedup numbers plus one line per
 /// worker with its scheduling statistics.
 pub fn render_parallel(result: &crate::parallel::ParallelResult) -> String {
@@ -324,26 +384,7 @@ pub fn render_parallel(result: &crate::parallel::ParallelResult) -> String {
         "depot: {} resident snapshots; objects shared {} / uniquely owned {}\n",
         result.depot_snapshots, result.depot_shared_objects, result.depot_owned_objects
     ));
-    out.push_str(
-        "worker  segments  steals  depot-hits  ref-hits  ref-misses  sim-seconds  conv-waits  objs-shared  objs-owned  crash-swept  wall\n",
-    );
-    for s in &result.worker_stats {
-        out.push_str(&format!(
-            "{:>6}  {:>8}  {:>6}  {:>10}  {:>8}  {:>10}  {:>11}  {:>10}  {:>11}  {:>10}  {:>11}  {:.2?}\n",
-            s.worker,
-            s.segments_executed,
-            s.steals,
-            s.depot_hits,
-            s.ref_cache_hits,
-            s.ref_cache_misses,
-            s.sim_seconds,
-            s.convergence_waits,
-            s.restored_objects_shared,
-            s.restored_objects_owned,
-            s.crash_points_swept,
-            s.wall
-        ));
-    }
+    out.push_str(&render_worker_stats(&result.worker_stats));
     for f in &result.failed_segments {
         if f.quarantined {
             out.push_str(&format!(

@@ -73,6 +73,16 @@ pub fn engine_counters() -> (u64, u64) {
     )
 }
 
+static CHECKPOINT_FORKS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of clusters materialized from checkpoints
+/// ([`SimCluster::from_checkpoint`] and [`SimCluster::restore`]). The fuzz
+/// bench uses the delta across a run to prove fork-from-checkpoint — not
+/// redeploy — is the hot path.
+pub fn checkpoint_forks() -> u64 {
+    CHECKPOINT_FORKS.load(Ordering::Relaxed)
+}
+
 /// Dirty-tracking state of the event-driven engine: reconcile-queue cursors
 /// plus tick accounting. Timer wakeups are derived on demand from object
 /// and injector state ([`SimCluster::next_wakeup`]), so cursors are the
@@ -119,6 +129,50 @@ pub struct ClusterFingerprint {
     /// so including it never blocks fast-forward; the armed countdown
     /// keeps a pending crash point from being skipped over.
     crash_points: (u64, Option<(u32, u64)>),
+}
+
+impl ClusterFingerprint {
+    /// Hash of the fingerprint's *repeatable* components, for coverage
+    /// bucketing in the fuzzer. Monotonic counters (store revision, log
+    /// length, cumulative operator writes, fault-event count) are excluded
+    /// — they grow with execution history, so hashing them would make every
+    /// execution trivially "novel" and collapse coverage guidance into pure
+    /// random search. What remains distinguishes genuinely different
+    /// quiescent conditions: crash epoch, pending injected conflicts,
+    /// fault-injector progress, and any armed crash point.
+    pub fn coverage_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        let mut mix = |n: u64| {
+            for byte in n.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.crash_epoch);
+        mix(u64::from(self.pending_conflicts));
+        // The fault injector's cursor and blackout deadline are excluded on
+        // purpose: the cursor tracks plan length and the deadline is an
+        // absolute sim-time, so hashing either would mint a "novel" bucket
+        // for every distinct fault plan — trivial novelty that says nothing
+        // about the observable system. Only undrained transient errors
+        // (pending work the operator still owes) are territory.
+        match &self.faults {
+            None => mix(0),
+            Some((_next, errors, _blackout, _events)) => {
+                mix(1);
+                mix(u64::from(*errors));
+            }
+        }
+        match self.crash_points.1 {
+            None => mix(0),
+            Some((at_write, down_for)) => {
+                mix(1);
+                mix(u64::from(at_write));
+                mix(down_for);
+            }
+        }
+        h
+    }
 }
 
 /// Log severity.
@@ -308,6 +362,7 @@ impl SimCluster {
     /// including the simulated clock — becomes exactly what
     /// [`SimCluster::checkpoint`] captured.
     pub fn restore(&mut self, cp: &ClusterCheckpoint) {
+        CHECKPOINT_FORKS.fetch_add(1, Ordering::Relaxed);
         self.api = cp.api.snapshot();
         self.time = cp.time;
         self.logs = cp.logs.clone();
@@ -320,6 +375,7 @@ impl SimCluster {
 
     /// Builds a new cluster directly from a checkpoint.
     pub fn from_checkpoint(cp: &ClusterCheckpoint) -> SimCluster {
+        CHECKPOINT_FORKS.fetch_add(1, Ordering::Relaxed);
         SimCluster {
             api: cp.api.snapshot(),
             time: cp.time,

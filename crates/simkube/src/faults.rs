@@ -13,6 +13,8 @@
 
 use std::collections::BTreeMap;
 
+use crdspec::Value;
+
 use crate::objects::{Kind, ObjectData, PodPhase};
 use crate::store::ObjKey;
 
@@ -123,6 +125,117 @@ impl Fault {
                 key,
                 value,
             } => format!("configmap {namespace}/{configmap}: {key} corrupted to {value:?}"),
+        }
+    }
+
+    /// Serializes the fault to a tagged [`Value`] object, the inverse of
+    /// [`Fault::from_value`]. Used by the fuzzer's corpus format so saved
+    /// inputs replay bit-for-bit across processes.
+    pub fn to_value(&self) -> Value {
+        let int = |n: u64| Value::Integer(n as i64);
+        match self {
+            Fault::NodeCrash { node, down_for } => Value::object([
+                ("type", Value::String("NodeCrash".to_string())),
+                ("node", Value::String(node.clone())),
+                ("down_for", int(*down_for)),
+            ]),
+            Fault::PodKill { namespace, pod } => Value::object([
+                ("type", Value::String("PodKill".to_string())),
+                ("namespace", Value::String(namespace.clone())),
+                ("pod", Value::String(pod.clone())),
+            ]),
+            Fault::PodEvict { namespace, pod } => Value::object([
+                ("type", Value::String("PodEvict".to_string())),
+                ("namespace", Value::String(namespace.clone())),
+                ("pod", Value::String(pod.clone())),
+            ]),
+            Fault::ApiConflicts { count } => Value::object([
+                ("type", Value::String("ApiConflicts".to_string())),
+                ("count", int(u64::from(*count))),
+            ]),
+            Fault::WatchBlackout { duration } => Value::object([
+                ("type", Value::String("WatchBlackout".to_string())),
+                ("duration", int(*duration)),
+            ]),
+            Fault::ReconcileError { count } => Value::object([
+                ("type", Value::String("ReconcileError".to_string())),
+                ("count", int(u64::from(*count))),
+            ]),
+            Fault::OperatorCrash { at_write, down_for } => Value::object([
+                ("type", Value::String("OperatorCrash".to_string())),
+                ("at_write", int(u64::from(*at_write))),
+                ("down_for", int(*down_for)),
+            ]),
+            Fault::ConfigCorrupt {
+                namespace,
+                configmap,
+                key,
+                value,
+            } => Value::object([
+                ("type", Value::String("ConfigCorrupt".to_string())),
+                ("namespace", Value::String(namespace.clone())),
+                ("configmap", Value::String(configmap.clone())),
+                ("key", Value::String(key.clone())),
+                ("value", Value::String(value.clone())),
+            ]),
+        }
+    }
+
+    /// Parses a fault from the tagged object produced by
+    /// [`Fault::to_value`].
+    pub fn from_value(value: &Value) -> Result<Fault, String> {
+        let str_field = |name: &str| -> Result<String, String> {
+            value
+                .get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("fault missing string field {name:?}"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            value
+                .get(name)
+                .and_then(Value::as_i64)
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| format!("fault missing integer field {name:?}"))
+        };
+        let u32_field = |name: &str| -> Result<u32, String> {
+            u64_field(name).and_then(|n| {
+                u32::try_from(n).map_err(|_| format!("fault field {name:?} out of range"))
+            })
+        };
+        match str_field("type")?.as_str() {
+            "NodeCrash" => Ok(Fault::NodeCrash {
+                node: str_field("node")?,
+                down_for: u64_field("down_for")?,
+            }),
+            "PodKill" => Ok(Fault::PodKill {
+                namespace: str_field("namespace")?,
+                pod: str_field("pod")?,
+            }),
+            "PodEvict" => Ok(Fault::PodEvict {
+                namespace: str_field("namespace")?,
+                pod: str_field("pod")?,
+            }),
+            "ApiConflicts" => Ok(Fault::ApiConflicts {
+                count: u32_field("count")?,
+            }),
+            "WatchBlackout" => Ok(Fault::WatchBlackout {
+                duration: u64_field("duration")?,
+            }),
+            "ReconcileError" => Ok(Fault::ReconcileError {
+                count: u32_field("count")?,
+            }),
+            "OperatorCrash" => Ok(Fault::OperatorCrash {
+                at_write: u32_field("at_write")?,
+                down_for: u64_field("down_for")?,
+            }),
+            "ConfigCorrupt" => Ok(Fault::ConfigCorrupt {
+                namespace: str_field("namespace")?,
+                configmap: str_field("configmap")?,
+                key: str_field("key")?,
+                value: str_field("value")?,
+            }),
+            other => Err(format!("unknown fault type {other:?}")),
         }
     }
 }
@@ -253,6 +366,38 @@ impl FaultPlan {
             plan.push(at, fault);
         }
         plan
+    }
+
+    /// Serializes the plan as an array of `{at, fault}` objects, the
+    /// inverse of [`FaultPlan::from_value`].
+    pub fn to_value(&self) -> Value {
+        Value::array(self.faults.iter().map(|timed| {
+            Value::object([
+                ("at", Value::Integer(timed.at as i64)),
+                ("fault", timed.fault.to_value()),
+            ])
+        }))
+    }
+
+    /// Parses a plan from the array produced by [`FaultPlan::to_value`].
+    pub fn from_value(value: &Value) -> Result<FaultPlan, String> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| "fault plan must be an array".to_string())?;
+        let mut plan = FaultPlan::new();
+        for item in items {
+            let at = item
+                .get("at")
+                .and_then(Value::as_i64)
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| "timed fault missing integer field \"at\"".to_string())?;
+            let fault = item
+                .get("fault")
+                .ok_or_else(|| "timed fault missing field \"fault\"".to_string())
+                .and_then(Fault::from_value)?;
+            plan.push(at, fault);
+        }
+        Ok(plan)
     }
 }
 
@@ -483,20 +628,24 @@ impl FaultInjector {
 }
 
 /// A tiny splitmix64 generator: deterministic, allocation-free, and
-/// independent of any external RNG crate.
+/// independent of any external RNG crate. Public because the fuzzer's
+/// mutation engine draws from the same generator family, keeping every
+/// random decision in the workspace attributable to an explicit seed.
 #[derive(Debug, Clone)]
-struct SplitMix64 {
+pub struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> SplitMix64 {
+    /// Seeds a generator; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
         SplitMix64 {
             state: seed ^ 0x9e37_79b9_7f4a_7c15,
         }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -505,7 +654,7 @@ impl SplitMix64 {
     }
 
     /// Uniform value in `[0, bound)`; `bound` must be nonzero.
-    fn below(&mut self, bound: u64) -> u64 {
+    pub fn below(&mut self, bound: u64) -> u64 {
         ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 }
@@ -565,6 +714,63 @@ mod tests {
                 assert!((1..=profile.window).contains(&f.at));
             }
         }
+    }
+
+    #[test]
+    fn every_fault_variant_round_trips_through_value() {
+        let faults = [
+            Fault::NodeCrash {
+                node: "node-2".to_string(),
+                down_for: 11,
+            },
+            Fault::PodKill {
+                namespace: "acto".to_string(),
+                pod: "test-cluster-0".to_string(),
+            },
+            Fault::PodEvict {
+                namespace: "acto".to_string(),
+                pod: "test-cluster-1".to_string(),
+            },
+            Fault::ApiConflicts { count: 3 },
+            Fault::WatchBlackout { duration: 7 },
+            Fault::ReconcileError { count: 2 },
+            Fault::OperatorCrash {
+                at_write: 4,
+                down_for: 5,
+            },
+            Fault::ConfigCorrupt {
+                namespace: "acto".to_string(),
+                configmap: "cm".to_string(),
+                key: "k".to_string(),
+                value: "v".to_string(),
+            },
+        ];
+        let mut plan = FaultPlan::new();
+        for (i, fault) in faults.iter().enumerate() {
+            assert_eq!(
+                Fault::from_value(&fault.to_value()).as_ref(),
+                Ok(fault),
+                "variant {i} must survive the round trip"
+            );
+            plan.push(1 + i as u64, fault.clone());
+        }
+        // The whole plan round-trips too, including firing times and order.
+        let parsed = FaultPlan::from_value(&plan.to_value()).expect("plan round trip");
+        assert_eq!(parsed, plan);
+        // Generated plans (the fuzzer's fresh-input source) round-trip for
+        // arbitrary seeds.
+        let profile = FaultProfile::default();
+        for seed in 0..20u64 {
+            let plan = FaultPlan::generate(seed, &profile);
+            assert_eq!(FaultPlan::from_value(&plan.to_value()), Ok(plan));
+        }
+        // Malformed inputs fail loudly instead of defaulting.
+        assert!(Fault::from_value(&Value::object([(
+            "type",
+            Value::String("Nonsense".to_string())
+        )]))
+        .is_err());
+        assert!(FaultPlan::from_value(&Value::Null).is_err());
     }
 
     #[test]
