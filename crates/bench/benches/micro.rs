@@ -126,7 +126,7 @@ fn bench_campaign(c: &mut Criterion) {
     group.bench_function("short-zookeeper-campaign", |b| {
         b.iter(|| {
             let config = acto::CampaignConfig {
-                operator: "ZooKeeperOp".to_string(),
+                operators: vec!["ZooKeeperOp".to_string()],
                 mode: Mode::Whitebox,
                 bugs: operators::bugs::BugToggles::all_injected(),
                 platform: simkube::PlatformBugs::none(),

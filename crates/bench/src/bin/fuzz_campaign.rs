@@ -82,7 +82,7 @@ fn main() {
     cfg.campaign.bugs.seed(SEEDED_NONIDEMPOTENT_CREATE);
     let forks_before = checkpoint_forks();
     let guided_start = Instant::now();
-    let guided = run_fuzz(&cfg);
+    let guided = run_fuzz(&cfg).expect("fuzz config");
     let guided_wall = guided_start.elapsed();
     let fork_delta = checkpoint_forks() - forks_before;
     if (fork_delta as usize) < execs {
@@ -94,7 +94,7 @@ fn main() {
     // Equal-budget pure-random baseline: same executor, same coverage
     // accounting, inputs drawn fresh from the enumerated space.
     let random_start = Instant::now();
-    let random = run_random(&cfg);
+    let random = run_random(&cfg).expect("fuzz config");
     let random_wall = random_start.elapsed();
     if random.records.len() != guided.records.len() {
         failures.push(format!(
@@ -146,7 +146,7 @@ fn main() {
             if parsed != guided.corpus {
                 failures.push("corpus changed across the JSON round trip".to_string());
             }
-            let replayed = replay_corpus(&cfg, &parsed);
+            let replayed = replay_corpus(&cfg, &parsed).expect("fuzz config");
             if replayed.coverage.digest() != guided.coverage.digest() {
                 failures.push(
                     "replaying the round-tripped corpus did not reproduce its coverage"
@@ -159,8 +159,8 @@ fn main() {
     // Determinism across worker counts (the full 1/2/4 matrix is pinned
     // by tests/fuzz_determinism.rs; the bench keeps the 1-vs-2 check on
     // the exact benchmark configuration).
-    let solo = run_fuzz(&fuzz_config(execs.min(48), 0xD00D, 1));
-    let duo = run_fuzz(&fuzz_config(execs.min(48), 0xD00D, 2));
+    let solo = run_fuzz(&fuzz_config(execs.min(48), 0xD00D, 1)).expect("fuzz config");
+    let duo = run_fuzz(&fuzz_config(execs.min(48), 0xD00D, 2)).expect("fuzz config");
     if solo.transcript() != duo.transcript() {
         failures.push("1-worker and 2-worker transcripts diverged".to_string());
     }

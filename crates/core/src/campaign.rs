@@ -32,8 +32,10 @@ use crate::report::{summarize, Alarm, CampaignSummary};
 /// Campaign configuration.
 #[derive(Clone)]
 pub struct CampaignConfig {
-    /// Operator under test (registry name).
-    pub operator: String,
+    /// Operators under test (registry names), in deployment order. A
+    /// single-element vector is the classic single-operator campaign; two
+    /// or more compose onto one shared cluster ([`crate::compose`]).
+    pub operators: Vec<String>,
     /// Blackbox or whitebox mode.
     pub mode: Mode,
     /// Injected-bug toggles.
@@ -66,7 +68,7 @@ pub struct CampaignConfig {
 impl std::fmt::Debug for CampaignConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CampaignConfig")
-            .field("operator", &self.operator)
+            .field("operators", &self.operators)
             .field("mode", &self.mode)
             .field("max_ops", &self.max_ops)
             .field("differential", &self.differential)
@@ -96,7 +98,7 @@ impl CampaignConfig {
     /// differential oracle on.
     pub fn evaluation(operator: &str, mode: Mode) -> CampaignConfig {
         CampaignConfig {
-            operator: operator.to_string(),
+            operators: vec![operator.to_string()],
             mode,
             bugs: BugToggles::all_injected(),
             platform: PlatformBugs::all(),
@@ -119,7 +121,7 @@ impl CampaignConfig {
     /// `window`, and `crash_sweep` are ignored by the fuzz executor.
     pub fn fuzz(operator: &str, mode: Mode) -> CampaignConfig {
         CampaignConfig {
-            operator: operator.to_string(),
+            operators: vec![operator.to_string()],
             mode,
             bugs: BugToggles::all_fixed(),
             platform: PlatformBugs::none(),
@@ -131,6 +133,36 @@ impl CampaignConfig {
             faults: simkube::FaultPlan::default(),
             crash_sweep: false,
         }
+    }
+
+    /// A composed-campaign configuration: two or more operators deployed
+    /// onto one shared cluster, clean bugs/platform by default so any
+    /// composition alarm reflects genuine cross-operator interference.
+    pub fn composed<S: AsRef<str>>(operators: &[S], mode: Mode) -> CampaignConfig {
+        CampaignConfig {
+            operators: operators.iter().map(|s| s.as_ref().to_string()).collect(),
+            mode,
+            bugs: BugToggles::all_fixed(),
+            platform: PlatformBugs::none(),
+            max_ops: None,
+            differential: false,
+            strategy: Strategy::OperationSequence,
+            window: None,
+            custom_oracles: Vec::new(),
+            faults: simkube::FaultPlan::default(),
+            crash_sweep: false,
+        }
+    }
+
+    /// The primary (first) operator — what the single-operator runners
+    /// deploy. Composed runners iterate [`Self::operators`] in order.
+    pub fn operator(&self) -> &str {
+        self.operators.first().map(String::as_str).unwrap_or("")
+    }
+
+    /// Display label for reports: registry names joined with `+`.
+    pub fn operators_label(&self) -> String {
+        self.operators.join("+")
     }
 }
 
@@ -453,7 +485,7 @@ pub(crate) fn acknowledged(instance: &Instance) -> bool {
 
 fn deploy_instance(config: &CampaignConfig) -> Instance {
     Instance::deploy(
-        operator_by_name(&config.operator),
+        operator_by_name(config.operator()),
         config.bugs.clone(),
         config.platform,
     )
@@ -518,7 +550,7 @@ pub(crate) fn acquire_instance(
 ) -> (Instance, bool) {
     match base {
         Some(cp) => (
-            Instance::from_checkpoint(operator_by_name(&config.operator), config.bugs.clone(), cp),
+            Instance::from_checkpoint(operator_by_name(config.operator()), config.bugs.clone(), cp),
             false,
         ),
         None => (deploy_instance(config), true),
@@ -527,7 +559,7 @@ pub(crate) fn acquire_instance(
 
 /// Runs a full campaign for one operator: plans once, then executes.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
-    let operator = operator_by_name(&config.operator);
+    let operator = operator_by_name(config.operator());
     let gen_start = Instant::now();
     let plan = plan_campaign(
         &operator.schema(),
@@ -563,11 +595,11 @@ pub fn run_campaign_with(
     start: Option<&InstanceCheckpoint>,
     ref_cache: Option<&FreshRefCache>,
 ) -> CampaignResult {
-    let operator = operator_by_name(&config.operator);
+    let operator = operator_by_name(config.operator());
     let schema = operator.schema();
     let (mut instance, fresh) = match start {
         Some(cp) => (
-            Instance::from_checkpoint(operator_by_name(&config.operator), config.bugs.clone(), cp),
+            Instance::from_checkpoint(operator_by_name(config.operator()), config.bugs.clone(), cp),
             false,
         ),
         None => acquire_instance(config, base),
@@ -925,7 +957,7 @@ pub fn run_campaign_with(
             if let Some(cp) = &sweep_cp {
                 for k in 1..=(writes_after - writes_before) {
                     let mut replay = Instance::from_checkpoint(
-                        operator_by_name(&config.operator),
+                        operator_by_name(config.operator()),
                         config.bugs.clone(),
                         cp,
                     );
@@ -982,9 +1014,9 @@ pub fn run_campaign_with(
     let sim_seconds = meter.total(&instance);
     debug_assert_eq!(sim_seconds, setup_sim_seconds + trial_sim_total);
 
-    let summary = summarize(&config.operator, &trials);
+    let summary = summarize(config.operator(), &trials);
     CampaignResult {
-        operator: config.operator.clone(),
+        operator: config.operator().to_string(),
         mode: config.mode,
         properties_total: schema.property_count(),
         properties_covered: covered_count(&schema, &covered),
@@ -1258,7 +1290,7 @@ mod tests {
     #[test]
     fn reproduction_sequences_accumulate_history() {
         let config = CampaignConfig {
-            operator: "CockroachOp".to_string(),
+            operators: vec!["CockroachOp".to_string()],
             mode: Mode::Whitebox,
             bugs: BugToggles::all_injected(),
             platform: PlatformBugs::none(),
@@ -1285,7 +1317,7 @@ mod tests {
     #[test]
     fn short_campaign_executes_and_reports() {
         let config = CampaignConfig {
-            operator: "ZooKeeperOp".to_string(),
+            operators: vec!["ZooKeeperOp".to_string()],
             mode: Mode::Whitebox,
             bugs: BugToggles::all_injected(),
             platform: PlatformBugs::none(),
@@ -1315,7 +1347,7 @@ mod tests {
             ("ZooKeeperOp", false, Strategy::SingleOperation),
         ] {
             let config = CampaignConfig {
-                operator: operator.to_string(),
+                operators: vec![operator.to_string()],
                 mode: Mode::Whitebox,
                 bugs: BugToggles::all_injected(),
                 platform: PlatformBugs::none(),
@@ -1348,7 +1380,7 @@ mod tests {
     #[test]
     fn windowed_sim_seconds_decompose_exactly() {
         let config = CampaignConfig {
-            operator: "ZooKeeperOp".to_string(),
+            operators: vec!["ZooKeeperOp".to_string()],
             mode: Mode::Whitebox,
             bugs: BugToggles::all_injected(),
             platform: PlatformBugs::none(),

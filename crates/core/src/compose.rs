@@ -1,0 +1,1219 @@
+//! Multi-operator composition campaigns: an ordered set of operators
+//! deployed onto one shared simulated cluster, driven by one interleaved
+//! plan, and judged by cross-operator oracles.
+//!
+//! Acto (§3) tests one operator at a time; real clusters run many side by
+//! side, and a whole class of bugs — overly broad garbage collection,
+//! shared-node starvation, recovery-ordering collateral — only exists in
+//! that setting. A composed campaign takes [`CampaignConfig::operators`]
+//! with two or more registry names, deploys them into one
+//! [`operators::Composition`], and interleaves each member's planned
+//! operations round-robin so every trial executes against whatever state
+//! the *other* members have accumulated. After every transition the
+//! [`crate::oracles::composition_check`] oracle inspects the interference
+//! log and every bystander member.
+//!
+//! The composed runners mirror the single-operator family:
+//! [`run_composed_campaign`] is the sequential executor,
+//! [`run_composed_work_stealing`] cuts the interleaved plan into fixed
+//! segments claimed through [`steal_map`] with whole-composition
+//! checkpoints in a [`SnapshotDepot`], and [`run_composed_fuzz`] explores
+//! op-sequence interleavings coverage-guided over snapshot forking.
+//! Composed campaigns do not run the differential or crash-sweep oracles
+//! (both are defined against a single fresh instance); fault plans and
+//! crash arming are likewise stripped from composed fuzz inputs — the
+//! input space here is the interleaving itself.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crdspec::Value;
+use operators::{
+    try_operator_by_name, Composition, CompositionCheckpoint, Operator, CONVERGE_MAX,
+    CONVERGE_RESET,
+};
+use simkube::{FaultPlan, SplitMix64};
+
+use crate::campaign::{apply_op, collapse, normalized, plan_campaign, CampaignConfig};
+use crate::fuzz::{
+    mutate_input, normalize_key, random_input, Corpus, CorpusEntry, CoverageFeature, CoverageMap,
+    FuzzConfig, FuzzInput,
+};
+use crate::model::{Mode, PlannedOp, Trial, TrialOutcome};
+use crate::oracles::{self, masked_snapshot, AlarmKind};
+use crate::parallel::{steal_map, SnapshotDepot, WorkerStats, DEFAULT_SEGMENT_OPS};
+use crate::report::{merge_summaries, summarize, Alarm, CampaignSummary};
+
+/// One entry of an interleaved composed plan: a planned operation plus the
+/// member it targets. `op.index` is the *global* interleaved index.
+#[derive(Debug, Clone)]
+pub struct ComposedOp {
+    /// Member the operation targets (index into
+    /// [`CampaignConfig::operators`]).
+    pub member: usize,
+    /// Registry name of the member's operator.
+    pub operator: String,
+    /// The planned operation, with its global interleaved index.
+    pub op: PlannedOp,
+}
+
+/// Builds the interleaved composed plan: each member's campaign is planned
+/// independently (exactly as a single-operator run would), then the
+/// per-member plans are merged round-robin — member 0's first op, member
+/// 1's first op, …, member 0's second op — so consecutive trials alternate
+/// actors and every operation lands on state shaped by the others.
+///
+/// Errors at the configuration boundary: no operators configured, or a
+/// name outside the registry (the message lists the valid names).
+pub fn plan_composed(config: &CampaignConfig) -> Result<Vec<ComposedOp>, String> {
+    if config.operators.is_empty() {
+        return Err(format!(
+            "composed campaign has no operators; valid operators: {:?}",
+            operators::operator_names()
+        ));
+    }
+    let mut per_member: Vec<std::vec::IntoIter<PlannedOp>> = Vec::new();
+    for name in &config.operators {
+        let op = resolve_operator(name)?;
+        per_member.push(
+            plan_campaign(
+                &op.schema(),
+                Some(&op.ir()),
+                config.mode,
+                &op.initial_cr(),
+                &op.images(),
+                operators::INSTANCE,
+            )
+            .into_iter(),
+        );
+    }
+    let mut plan: Vec<ComposedOp> = Vec::new();
+    let mut exhausted = false;
+    while !exhausted {
+        exhausted = true;
+        for (member, ops) in per_member.iter_mut().enumerate() {
+            if let Some(mut op) = ops.next() {
+                exhausted = false;
+                op.index = plan.len();
+                plan.push(ComposedOp {
+                    member,
+                    operator: config.operators[member].clone(),
+                    op,
+                });
+            }
+        }
+    }
+    Ok(plan)
+}
+
+fn resolve_operator(name: &str) -> Result<Box<dyn Operator>, String> {
+    try_operator_by_name(name).ok_or_else(|| {
+        format!(
+            "unknown operator {name:?}; valid operators: {:?}",
+            operators::operator_names()
+        )
+    })
+}
+
+fn build_operators(names: &[String]) -> Result<Vec<Box<dyn Operator>>, String> {
+    names.iter().map(|n| resolve_operator(n)).collect()
+}
+
+/// One executed composed trial.
+#[derive(Debug, Clone)]
+pub struct ComposedTrial {
+    /// Global interleaved plan index.
+    pub index: usize,
+    /// Member the trial acted on.
+    pub member: usize,
+    /// Registry name of the acting member's operator.
+    pub operator: String,
+    /// The operation, as planned.
+    pub op: PlannedOp,
+    /// The declaration submitted to the acting member.
+    pub declaration: Value,
+    /// How the trial ended.
+    pub outcome: TrialOutcome,
+    /// Alarms raised (composition oracle plus the shared error ladder).
+    pub alarms: Vec<Alarm>,
+    /// Whether a rollback after an error state restored health.
+    pub rollback_recovered: Option<bool>,
+    /// Simulated seconds the trial consumed.
+    pub sim_seconds: u64,
+    /// Cross-member interference observed during the trial, rendered.
+    pub interference: Vec<String>,
+}
+
+impl ComposedTrial {
+    /// Projects the composed trial onto the single-operator [`Trial`]
+    /// shape, for attribution and summary reuse.
+    pub fn as_trial(&self) -> Trial {
+        Trial {
+            op: self.op.clone(),
+            declaration: self.declaration.clone(),
+            outcome: self.outcome.clone(),
+            alarms: self.alarms.clone(),
+            rollback_recovered: self.rollback_recovered,
+            sim_seconds: self.sim_seconds,
+            fault_events: Vec::new(),
+            crash_points_swept: 0,
+        }
+    }
+}
+
+/// Attributed findings over composed trials: each member's trials are
+/// summarized against *that member's* ground truth, then merged — so a
+/// TiDB-seeded alarm raised while RabbitMQ was acting still lands on the
+/// TiDB bug.
+pub fn summarize_composed(operators: &[String], trials: &[ComposedTrial]) -> CampaignSummary {
+    let parts = operators.iter().enumerate().map(|(i, name)| {
+        let member_trials: Vec<Trial> = trials
+            .iter()
+            .filter(|t| t.member == i)
+            .map(ComposedTrial::as_trial)
+            .collect();
+        summarize(name, &member_trials)
+    });
+    merge_summaries(parts)
+}
+
+/// The result of a composed campaign (sequential or one parallel segment).
+#[derive(Debug)]
+pub struct ComposedResult {
+    /// Operators under test, in deployment order.
+    pub operators: Vec<String>,
+    /// Mode used.
+    pub mode: Mode,
+    /// Executed trials, in interleaved plan order.
+    pub trials: Vec<ComposedTrial>,
+    /// Simulated seconds consumed after acquisition (deployment included
+    /// only for fresh sequential runs).
+    pub sim_seconds: u64,
+    /// Convergence waits issued.
+    pub convergence_waits: usize,
+    /// Total cross-member interference events observed.
+    pub interference_events: usize,
+    /// Attributed findings over all trials.
+    pub summary: CampaignSummary,
+    /// Wall-clock time spent planning.
+    pub gen_duration: Duration,
+}
+
+fn render_composed_trials(out: &mut String, trials: &[ComposedTrial]) {
+    use std::fmt::Write;
+    for trial in trials {
+        let _ = writeln!(
+            out,
+            "trial #{} member={} operator={} property={} scenario={} outcome={:?} rollback={:?} sim={}",
+            trial.index,
+            trial.member,
+            trial.operator,
+            trial.op.property,
+            trial.op.scenario,
+            trial.outcome,
+            trial.rollback_recovered,
+            trial.sim_seconds
+        );
+        let _ = writeln!(
+            out,
+            "  declaration: {}",
+            crdspec::json::to_string(&trial.declaration)
+        );
+        for line in &trial.interference {
+            let _ = writeln!(out, "  interference {line}");
+        }
+        for alarm in &trial.alarms {
+            let _ = writeln!(out, "  alarm {}: {}", alarm.kind.name(), alarm.detail);
+        }
+    }
+}
+
+fn render_detected(out: &mut String, summary: &CampaignSummary) {
+    use std::fmt::Write;
+    for (bug, kinds) in &summary.detected_bugs {
+        let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        let _ = writeln!(out, "detected: {bug} via {}", names.join(","));
+    }
+}
+
+impl ComposedResult {
+    /// Renders everything the run observed, excluding scheduling-dependent
+    /// quantities — the determinism check is one string comparison.
+    pub fn transcript(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "operators: {}", self.operators.join("+"));
+        let _ = writeln!(out, "mode: {}", self.mode.name());
+        render_composed_trials(&mut out, &self.trials);
+        render_detected(&mut out, &self.summary);
+        out
+    }
+}
+
+/// Runs a full composed campaign sequentially: plans each member once,
+/// interleaves, deploys the composition, executes.
+pub fn run_composed_campaign(config: &CampaignConfig) -> Result<ComposedResult, String> {
+    let gen_start = Instant::now();
+    let plan = plan_composed(config)?;
+    let gen_duration = gen_start.elapsed();
+    run_composed_with(config, &plan, gen_duration, None, None)
+}
+
+/// Reads every member's shadow health (valid while parked: `last_health`
+/// is a plain struct field).
+fn member_healths(comp: &Composition) -> Vec<managed::Health> {
+    comp.members().iter().map(|m| m.last_health.clone()).collect()
+}
+
+fn acquire_composition(
+    config: &CampaignConfig,
+    base: Option<&CompositionCheckpoint>,
+) -> Result<Composition, String> {
+    let ops = build_operators(&config.operators)?;
+    match base {
+        Some(cp) => Ok(Composition::from_checkpoint(ops, &config.bugs, cp)),
+        None => Composition::deploy(ops, config.bugs.clone(), config.platform)
+            .map_err(|e| format!("composed deployment failed: {e:?}")),
+    }
+}
+
+/// Executes a composed campaign over an externally computed interleaved
+/// `plan`. Mirrors [`crate::campaign::run_campaign_with`]: `base` is the
+/// deploy-converged composition checkpoint (restored for resets), `start`
+/// the converged prefix state for the segment's window. `None` everywhere
+/// gives the sequential behaviour of [`run_composed_campaign`].
+pub fn run_composed_with(
+    config: &CampaignConfig,
+    plan: &[ComposedOp],
+    gen_duration: Duration,
+    base: Option<&CompositionCheckpoint>,
+    start: Option<&CompositionCheckpoint>,
+) -> Result<ComposedResult, String> {
+    let mut comp = match start {
+        Some(cp) => {
+            let ops = build_operators(&config.operators)?;
+            Composition::from_checkpoint(ops, &config.bugs, cp)
+        }
+        None => acquire_composition(config, base)?,
+    };
+    let n = comp.member_count();
+    let t0 = comp.now();
+    let mut convergence_waits = 0usize;
+    let mut interference_events = 0usize;
+    let mut trials: Vec<ComposedTrial> = Vec::new();
+    let mut span_start = t0;
+    let mut current: Vec<Value> = (0..n).map(|i| comp.with_member(i, |m| m.cr_spec())).collect();
+    let mut last_good = current.clone();
+    let (skip, take) = config.window.unwrap_or((0, plan.len()));
+
+    // Deploy-time interference (a seeded GC fires from the very first
+    // reconcile) belongs to the campaign as a whole: only the segment that
+    // starts at the plan's beginning turns it into a trial; later windows
+    // drain and discard so their trials stay window-local and
+    // worker-count-agnostic.
+    let carried = comp.drain_interference();
+    if skip == 0 && !carried.is_empty() {
+        let healths = member_healths(&comp);
+        let alarms = collapse(oracles::composition_check(
+            &comp,
+            &carried,
+            0,
+            &healths,
+            &BTreeSet::new(),
+        ));
+        interference_events += carried.len();
+        let unhealthy = comp.members().iter().any(|m| !m.last_health.is_healthy());
+        let outcome = if unhealthy {
+            TrialOutcome::ErrorState("member unhealthy after composed deploy".to_string())
+        } else {
+            TrialOutcome::Converged
+        };
+        let sim = comp.now() - span_start;
+        span_start = comp.now();
+        trials.push(ComposedTrial {
+            index: 0,
+            member: 0,
+            operator: config.operator().to_string(),
+            op: PlannedOp {
+                index: 0,
+                property: crdspec::Path::root(),
+                scenario: "composed-deploy",
+                value: Value::Null,
+                dependency_assignments: Vec::new(),
+                expectation: crate::model::Expectation::NormalTransition,
+            },
+            declaration: current[0].clone(),
+            outcome,
+            alarms,
+            rollback_recovered: None,
+            sim_seconds: sim,
+            interference: carried.iter().map(|e| e.render()).collect(),
+        });
+    }
+
+    for planned in plan.iter().skip(skip).take(take) {
+        if let Some(max) = config.max_ops {
+            if trials.len() >= max {
+                break;
+            }
+        }
+        let m = planned.member;
+        let mut spec = current[m].clone();
+        apply_op(&mut spec, &planned.op);
+        if normalized(&spec) == normalized(&current[m]) {
+            continue;
+        }
+        let healths_before = member_healths(&comp);
+        let unschedulable_before = oracles::unschedulable_pods(&comp);
+        let writes_before = comp.with_member(m, |mm| mm.operator_writes());
+        let t_start = comp.now();
+        if let Err(err) = comp.submit(m, spec.clone()) {
+            let drained = comp.drain_interference();
+            interference_events += drained.len();
+            let sim = comp.now() - span_start;
+            span_start = comp.now();
+            trials.push(ComposedTrial {
+                index: planned.op.index,
+                member: m,
+                operator: planned.operator.clone(),
+                op: planned.op.clone(),
+                declaration: spec,
+                outcome: TrialOutcome::RejectedByApi(err.to_string()),
+                alarms: Vec::new(),
+                rollback_recovered: None,
+                sim_seconds: sim,
+                interference: drained.iter().map(|e| e.render()).collect(),
+            });
+            continue;
+        }
+        current[m] = spec.clone();
+        let converged = comp.converge(CONVERGE_RESET, CONVERGE_MAX);
+        convergence_waits += 1;
+        let drained = comp.drain_interference();
+        interference_events += drained.len();
+        let mut rendered: Vec<String> = drained.iter().map(|e| e.render()).collect();
+        let mut alarms = collapse(oracles::composition_check(
+            &comp,
+            &drained,
+            m,
+            &healths_before,
+            &unschedulable_before,
+        ));
+        let (crashed, writes_after, pod_errors, acked, rejected) = comp.with_member(m, |mm| {
+            (
+                mm.operator_crashed(),
+                mm.operator_writes(),
+                mm.pod_failures(),
+                crate::campaign::acknowledged(mm),
+                oracles::operator_rejected(mm, t_start),
+            )
+        });
+        let system_down = matches!(
+            comp.members()[m].last_health,
+            managed::Health::Down(_)
+        );
+        let stalled = !crashed && !acked;
+        let outcome = if crashed {
+            alarms.extend(comp.with_member(m, |mm| oracles::error_checks(mm, t_start)));
+            TrialOutcome::OperatorCrash(
+                alarms
+                    .first()
+                    .map(|a| a.detail.clone())
+                    .unwrap_or_else(|| "panic".to_string()),
+            )
+        } else if !converged {
+            let writes_during = writes_after - writes_before;
+            if writes_during > 0 {
+                alarms.push(Alarm::new(
+                    AlarmKind::ErrorCheck,
+                    format!(
+                        "livelock: convergence budget exhausted with the operator still writing ({writes_during} writes)"
+                    ),
+                ));
+                TrialOutcome::Livelock
+            } else {
+                alarms.push(Alarm::new(
+                    AlarmKind::ErrorCheck,
+                    "stuck: convergence budget exhausted with no operator writes at all"
+                        .to_string(),
+                ));
+                TrialOutcome::Stuck
+            }
+        } else if system_down || !pod_errors.is_empty() {
+            alarms.extend(comp.with_member(m, |mm| oracles::error_checks(mm, t_start)));
+            TrialOutcome::ErrorState(
+                comp.members()[m]
+                    .last_health
+                    .reason()
+                    .unwrap_or("pods in error state")
+                    .to_string(),
+            )
+        } else if stalled {
+            alarms.push(Alarm::new(
+                AlarmKind::ErrorCheck,
+                "operator stalled: declaration never acknowledged".to_string(),
+            ));
+            TrialOutcome::ErrorState("operator stalled".to_string())
+        } else if rejected {
+            TrialOutcome::RejectedByOperator
+        } else {
+            if let managed::Health::Degraded(reason) = &comp.members()[m].last_health {
+                alarms.push(Alarm::new(
+                    AlarmKind::ErrorCheck,
+                    format!("managed system degraded: {reason}"),
+                ));
+            }
+            TrialOutcome::Converged
+        };
+
+        let mut rollback_recovered = None;
+        if outcome == TrialOutcome::Converged {
+            last_good[m] = spec.clone();
+        } else {
+            // Error or refusal: restore the acting member's last good
+            // declaration so the composition continues from declared =
+            // running. The rollback's own interference is judged too — a
+            // recovery that tramples a sibling is collateral damage.
+            let rollback_ok = comp.submit(m, last_good[m].clone()).is_ok();
+            let _ = comp.converge(CONVERGE_RESET, CONVERGE_MAX);
+            convergence_waits += 1;
+            current[m] = last_good[m].clone();
+            let rb_drained = comp.drain_interference();
+            interference_events += rb_drained.len();
+            rendered.extend(rb_drained.iter().map(|e| e.render()));
+            alarms.extend(collapse(oracles::composition_check(
+                &comp,
+                &rb_drained,
+                m,
+                &healths_before,
+                &unschedulable_before,
+            )));
+            if outcome.is_error() {
+                let healthy = rollback_ok
+                    && comp.members()[m].last_health.is_healthy()
+                    && comp.with_member(m, |mm| {
+                        !mm.operator_crashed()
+                            && crate::campaign::acknowledged(mm)
+                            && mm.pod_failures().is_empty()
+                    });
+                rollback_recovered = Some(healthy);
+            }
+        }
+
+        let sim = comp.now() - span_start;
+        span_start = comp.now();
+        trials.push(ComposedTrial {
+            index: planned.op.index,
+            member: m,
+            operator: planned.operator.clone(),
+            op: planned.op.clone(),
+            declaration: spec,
+            outcome,
+            alarms,
+            rollback_recovered,
+            sim_seconds: sim,
+            interference: rendered,
+        });
+    }
+
+    let summary = summarize_composed(&config.operators, &trials);
+    Ok(ComposedResult {
+        operators: config.operators.clone(),
+        mode: config.mode,
+        trials,
+        sim_seconds: comp.now() - t0,
+        convergence_waits,
+        interference_events,
+        summary,
+        gen_duration,
+    })
+}
+
+/// The result of a parallel composed campaign.
+#[derive(Debug)]
+pub struct ComposedParallelResult {
+    /// Operators under test, in deployment order.
+    pub operators: Vec<String>,
+    /// Mode used.
+    pub mode: Mode,
+    /// Worker count used (clamped to the segment count).
+    pub workers: usize,
+    /// Planned operations per segment.
+    pub segment_ops: usize,
+    /// Number of segments the interleaved plan was cut into.
+    pub segments: usize,
+    /// Trials from all segments, in interleaved plan order — identical for
+    /// any worker count.
+    pub trials: Vec<ComposedTrial>,
+    /// Total simulated seconds (base deployment + all segments).
+    pub total_sim_seconds: u64,
+    /// Simulated seconds spent deploying the shared base composition.
+    pub base_sim_seconds: u64,
+    /// Wall-clock time spent planning (done once).
+    pub gen_duration: Duration,
+    /// Real time the run took.
+    pub wall: Duration,
+    /// Per-worker scheduling statistics.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Prefix snapshots resident in the depot when the run finished.
+    pub depot_snapshots: usize,
+    /// Objects across resident depot snapshots shared with other snapshots.
+    pub depot_shared_objects: usize,
+    /// Objects across resident depot snapshots uniquely owned.
+    pub depot_owned_objects: usize,
+    /// Total cross-member interference events observed.
+    pub interference_events: usize,
+    /// Attributed findings over all trials.
+    pub summary: CampaignSummary,
+}
+
+impl ComposedParallelResult {
+    /// Renders everything the run observed, excluding scheduling-dependent
+    /// quantities; byte-identical for any worker count.
+    pub fn transcript(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "operators: {}", self.operators.join("+"));
+        let _ = writeln!(out, "mode: {}", self.mode.name());
+        let _ = writeln!(out, "segments: {} x {} ops", self.segments, self.segment_ops);
+        render_composed_trials(&mut out, &self.trials);
+        render_detected(&mut out, &self.summary);
+        out
+    }
+}
+
+/// Runs a composed campaign across `workers` threads with work stealing
+/// and [`DEFAULT_SEGMENT_OPS`]-operation segments.
+pub fn run_composed_work_stealing(
+    config: &CampaignConfig,
+    workers: usize,
+) -> Result<ComposedParallelResult, String> {
+    run_composed_work_stealing_with(config, workers, DEFAULT_SEGMENT_OPS, &SnapshotDepot::new())
+}
+
+/// Runs a composed campaign across `workers` threads, claiming
+/// `segment_ops`-sized slices of the interleaved plan through [`steal_map`]
+/// and reusing whole-composition prefix checkpoints from `depot`.
+///
+/// Determinism mirrors the single-operator runner: segment `k`'s start
+/// state is always the canonical prefix state — restore the
+/// deploy-converged base, submit every member's folded jump declaration,
+/// converge once — whether served from the depot or rebuilt, so trials and
+/// transcripts are byte-identical for every worker count.
+pub fn run_composed_work_stealing_with(
+    config: &CampaignConfig,
+    workers: usize,
+    segment_ops: usize,
+    depot: &SnapshotDepot<CompositionCheckpoint>,
+) -> Result<ComposedParallelResult, String> {
+    let start = Instant::now();
+    let gen_start = Instant::now();
+    let plan = plan_composed(config)?;
+    let gen_duration = gen_start.elapsed();
+    let initial_crs: Vec<Value> = config
+        .operators
+        .iter()
+        .map(|n| resolve_operator(n).map(|op| op.initial_cr()))
+        .collect::<Result<_, _>>()?;
+
+    let plan_len = config.max_ops.map_or(plan.len(), |max| plan.len().min(max));
+    let segment_ops = segment_ops.max(1);
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    let mut cut = 0;
+    while cut < plan_len {
+        let take = segment_ops.min(plan_len - cut);
+        segments.push((cut, take));
+        cut += take;
+    }
+    let workers = workers.max(1).min(segments.len().max(1));
+
+    // Deploy the shared base composition once; every segment start and
+    // depot miss restores this snapshot instead of redeploying N systems.
+    let mut base_comp = acquire_composition(config, None)?;
+    let base_sim_seconds = base_comp.now();
+    let base = Arc::new(base_comp.checkpoint());
+    depot.put(0, Arc::clone(&base));
+    drop(base_comp);
+
+    let (seg_results, mut worker_stats) = steal_map(&segments, workers, |_, &(skip, take), my| {
+        let start_cp = match depot.get(skip) {
+            Some(cp) => {
+                my.depot_hits += 1;
+                cp
+            }
+            None => {
+                // Canonical prefix state: restore the base, fold each
+                // member's ops within plan[..skip] from its initial CR,
+                // submit every changed member's jump, converge once.
+                match build_composed_prefix(config, &plan, &initial_crs, &base, skip, my) {
+                    Ok(cp) => {
+                        let cp = Arc::new(cp);
+                        depot.put(skip, Arc::clone(&cp));
+                        cp
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        let (shared, owned) = start_cp.sharing_stats();
+        my.restored_objects_shared += shared;
+        my.restored_objects_owned += owned;
+        let mut seg_config = config.clone();
+        seg_config.window = Some((skip, take));
+        seg_config.max_ops = None;
+        let result =
+            run_composed_with(&seg_config, &plan, Duration::ZERO, Some(&base), Some(&start_cp))?;
+        my.sim_seconds += result.sim_seconds;
+        my.convergence_waits += result.convergence_waits;
+        Ok(result)
+    });
+    worker_stats.sort_by_key(|s| s.worker);
+
+    let mut trials: Vec<ComposedTrial> = Vec::new();
+    let mut interference_events = 0usize;
+    for seg in seg_results {
+        let seg = seg?;
+        interference_events += seg.interference_events;
+        trials.extend(seg.trials);
+    }
+    let summary = summarize_composed(&config.operators, &trials);
+    let total_sim_seconds =
+        base_sim_seconds + worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
+    let (depot_shared_objects, depot_owned_objects) = depot.sharing_stats();
+    Ok(ComposedParallelResult {
+        operators: config.operators.clone(),
+        mode: config.mode,
+        workers,
+        segment_ops,
+        segments: segments.len(),
+        trials,
+        total_sim_seconds,
+        base_sim_seconds,
+        gen_duration,
+        wall: start.elapsed(),
+        worker_stats,
+        depot_snapshots: depot.len(),
+        depot_shared_objects,
+        depot_owned_objects,
+        interference_events,
+        summary,
+    })
+}
+
+/// Builds the canonical composed prefix checkpoint for `skip`: restore the
+/// base composition, submit each member's jump declaration (the fold of
+/// that member's operations within `plan[..skip]` over its initial CR),
+/// converge the whole composition once, checkpoint.
+fn build_composed_prefix(
+    config: &CampaignConfig,
+    plan: &[ComposedOp],
+    initial_crs: &[Value],
+    base: &CompositionCheckpoint,
+    skip: usize,
+    my: &mut WorkerStats,
+) -> Result<CompositionCheckpoint, String> {
+    let ops = build_operators(&config.operators)?;
+    let mut comp = Composition::from_checkpoint(ops, &config.bugs, base);
+    let t0 = comp.now();
+    let mut changed = false;
+    for (member, initial) in initial_crs.iter().enumerate() {
+        let mut jump = initial.clone();
+        for c in plan.iter().take(skip).filter(|c| c.member == member) {
+            apply_op(&mut jump, &c.op);
+        }
+        let current = comp.with_member(member, |m| m.cr_spec());
+        if normalized(&jump) != normalized(&current) && comp.submit(member, jump).is_ok() {
+            changed = true;
+        }
+    }
+    if changed {
+        let _ = comp.converge(CONVERGE_RESET, CONVERGE_MAX);
+        my.convergence_waits += 1;
+    }
+    // Prefix-building interference is not window-local: discard it so the
+    // checkpoint matches the state a depot hit would serve.
+    let _ = comp.drain_interference();
+    my.sim_seconds += comp.now() - t0;
+    Ok(comp.checkpoint())
+}
+
+// ---------------------------------------------------------------------------
+// Composed fuzzing
+// ---------------------------------------------------------------------------
+
+/// Hash of the whole composition's structural observable state: every
+/// object in the shared store (seen through member 0's whole-store
+/// enumeration) except the members' own CR objects, status sections only,
+/// XOR-mixed with the shared cluster's quiescence fingerprint — the
+/// composed analogue of the single-instance observable hash.
+fn composed_observable_hash(comp: &mut Composition, cr_ids: &[String]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mix = |bytes: &[u8], h: &mut u64| {
+        for b in bytes {
+            *h ^= u64::from(*b);
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let snap = comp.with_member(0, |m| masked_snapshot(m));
+    for (key, entry) in snap {
+        if cr_ids.contains(&key) {
+            continue;
+        }
+        mix(normalize_key(&key).as_bytes(), &mut h);
+        if let Some(status) = entry.masked().get("status") {
+            mix(crdspec::json::to_string(status).as_bytes(), &mut h);
+        }
+    }
+    h ^ comp.cluster().quiescence_fingerprint().coverage_hash()
+}
+
+fn composition_cr_ids(comp: &Composition) -> Vec<String> {
+    comp.members()
+        .iter()
+        .map(|m| format!("{}/{}/{}", m.operator().kind(), m.namespace, m.name))
+        .collect()
+}
+
+/// One executed composed fuzz input.
+#[derive(Debug, Clone)]
+pub struct ComposedExecRecord {
+    /// Global execution index.
+    pub index: usize,
+    /// The input that ran (faults and crash always empty — composed fuzz
+    /// explores interleavings only).
+    pub input: FuzzInput,
+    /// How the input was produced.
+    pub mutation: String,
+    /// Corpus id of the parent, if mutated.
+    pub parent: Option<usize>,
+    /// Trials the execution produced, in order.
+    pub trials: Vec<ComposedTrial>,
+    /// Features this execution observed first.
+    pub novel: Vec<CoverageFeature>,
+    /// Simulated seconds the execution consumed.
+    pub sim_seconds: u64,
+}
+
+/// The result of a composed fuzzing campaign.
+#[derive(Debug)]
+pub struct ComposedFuzzResult {
+    /// Operators under test, in deployment order.
+    pub operators: Vec<String>,
+    /// Mode used.
+    pub mode: Mode,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Executions performed.
+    pub execs: usize,
+    /// Merge rounds performed.
+    pub rounds: usize,
+    /// Final coverage map.
+    pub coverage: CoverageMap,
+    /// Final corpus.
+    pub corpus: Corpus,
+    /// Every execution, in order.
+    pub records: Vec<ComposedExecRecord>,
+    /// Attributed findings over all trials.
+    pub summary: CampaignSummary,
+    /// Total simulated seconds (base deployment + all executions).
+    pub total_sim_seconds: u64,
+    /// Simulated seconds spent deploying the shared base composition.
+    pub base_sim_seconds: u64,
+    /// Per-worker scheduling statistics.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Real time the run took.
+    pub wall: Duration,
+}
+
+impl ComposedFuzzResult {
+    /// Renders everything the run observed, excluding scheduling-dependent
+    /// quantities; byte-identical for any worker count.
+    pub fn transcript(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "operators: {}", self.operators.join("+"));
+        let _ = writeln!(out, "mode: {}", self.mode.name());
+        let _ = writeln!(out, "seed: {:#x}", self.seed);
+        let _ = writeln!(out, "execs: {} in {} rounds", self.execs, self.rounds);
+        for record in &self.records {
+            let _ = writeln!(
+                out,
+                "exec #{} via {} (parent {:?}) input={}",
+                record.index,
+                record.mutation,
+                record.parent,
+                record.input.key()
+            );
+            render_composed_trials(&mut out, &record.trials);
+            for f in &record.novel {
+                let _ = writeln!(out, "  novel {}", f.render());
+            }
+        }
+        for entry in &self.corpus.entries {
+            let _ = writeln!(
+                out,
+                "corpus #{} parent={:?} via {} at exec {}: {}",
+                entry.id,
+                entry.parent,
+                entry.mutation,
+                entry.exec,
+                entry.input.key()
+            );
+        }
+        let _ = writeln!(out, "coverage ({} features):", self.coverage.len());
+        out.push_str(&self.coverage.digest());
+        render_detected(&mut out, &self.summary);
+        out
+    }
+}
+
+struct ComposedExec {
+    trials: Vec<ComposedTrial>,
+    features: Vec<CoverageFeature>,
+    sim_seconds: u64,
+}
+
+/// Executes one composed op-index sequence from the shared base
+/// checkpoint. A pure function of its arguments.
+fn execute_composed_sequence(
+    config: &CampaignConfig,
+    plan: &[ComposedOp],
+    base: &CompositionCheckpoint,
+    ops: &[usize],
+    my: &mut WorkerStats,
+) -> Result<ComposedExec, String> {
+    let operators = build_operators(&config.operators)?;
+    let mut comp = Composition::from_checkpoint(operators, &config.bugs, base);
+    my.depot_hits += 1;
+    let (shared, owned) = base.sharing_stats();
+    my.restored_objects_shared += shared;
+    my.restored_objects_owned += owned;
+    let t0 = comp.now();
+    // Deploy-time interference is part of the base state, identical for
+    // every execution: drain it so per-op scoping starts clean.
+    let _ = comp.drain_interference();
+    let n = comp.member_count();
+    let cr_ids = composition_cr_ids(&comp);
+    let mut current: Vec<Value> = (0..n).map(|i| comp.with_member(i, |m| m.cr_spec())).collect();
+    let mut trials: Vec<ComposedTrial> = Vec::new();
+    let mut features: Vec<CoverageFeature> = Vec::new();
+    let mut prev_hash = composed_observable_hash(&mut comp, &cr_ids);
+    let mut span_start = t0;
+
+    for &op_index in ops {
+        if plan.is_empty() {
+            break;
+        }
+        let planned = &plan[op_index % plan.len()];
+        let m = planned.member;
+        let mut spec = current[m].clone();
+        apply_op(&mut spec, &planned.op);
+        if normalized(&spec) == normalized(&current[m]) {
+            continue;
+        }
+        let healths_before = member_healths(&comp);
+        let unschedulable_before = oracles::unschedulable_pods(&comp);
+        let writes_before = comp.with_member(m, |mm| mm.operator_writes());
+        if let Err(err) = comp.submit(m, spec.clone()) {
+            let outcome = TrialOutcome::RejectedByApi(err.to_string());
+            features.push(CoverageFeature::Outcome(outcome.class_name()));
+            let sim = comp.now() - span_start;
+            span_start = comp.now();
+            trials.push(ComposedTrial {
+                index: trials.len(),
+                member: m,
+                operator: planned.operator.clone(),
+                op: PlannedOp {
+                    index: trials.len(),
+                    ..planned.op.clone()
+                },
+                declaration: spec,
+                outcome,
+                alarms: Vec::new(),
+                rollback_recovered: None,
+                sim_seconds: sim,
+                interference: Vec::new(),
+            });
+            continue;
+        }
+        current[m] = spec.clone();
+        let converged = comp.converge(CONVERGE_RESET, CONVERGE_MAX);
+        my.convergence_waits += 1;
+        let drained = comp.drain_interference();
+        let mut alarms = collapse(oracles::composition_check(
+            &comp,
+            &drained,
+            m,
+            &healths_before,
+            &unschedulable_before,
+        ));
+        let (crashed, writes_after, pod_errors, acked) = comp.with_member(m, |mm| {
+            (
+                mm.operator_crashed(),
+                mm.operator_writes(),
+                mm.pod_failures(),
+                crate::campaign::acknowledged(mm),
+            )
+        });
+        let system_down = matches!(comp.members()[m].last_health, managed::Health::Down(_));
+        let outcome = if crashed {
+            TrialOutcome::OperatorCrash("operator crashed".to_string())
+        } else if !converged {
+            if writes_after - writes_before > 0 {
+                TrialOutcome::Livelock
+            } else {
+                TrialOutcome::Stuck
+            }
+        } else if system_down || !pod_errors.is_empty() {
+            TrialOutcome::ErrorState(
+                comp.members()[m]
+                    .last_health
+                    .reason()
+                    .unwrap_or("pods in error state")
+                    .to_string(),
+            )
+        } else if !acked {
+            TrialOutcome::ErrorState("operator stalled".to_string())
+        } else {
+            TrialOutcome::Converged
+        };
+        if outcome == TrialOutcome::Livelock {
+            alarms.push(Alarm::new(
+                AlarmKind::ErrorCheck,
+                format!(
+                    "livelock: convergence budget exhausted with the operator still writing ({} writes)",
+                    writes_after - writes_before
+                ),
+            ));
+        }
+        features.push(CoverageFeature::Outcome(outcome.class_name()));
+        for alarm in &alarms {
+            features.push(CoverageFeature::Alarm(alarm.kind.name()));
+        }
+        let h = composed_observable_hash(&mut comp, &cr_ids);
+        features.push(CoverageFeature::State(h));
+        features.push(CoverageFeature::Edge(prev_hash, h));
+        prev_hash = h;
+        let sim = comp.now() - span_start;
+        span_start = comp.now();
+        trials.push(ComposedTrial {
+            index: trials.len(),
+            member: m,
+            operator: planned.operator.clone(),
+            op: PlannedOp {
+                index: trials.len(),
+                ..planned.op.clone()
+            },
+            declaration: spec,
+            outcome,
+            alarms,
+            rollback_recovered: None,
+            sim_seconds: sim,
+            interference: drained.iter().map(|e| e.render()).collect(),
+        });
+    }
+
+    // Final settle: quiesce once more so the end state is taken at rest.
+    let _ = comp.converge(CONVERGE_RESET, CONVERGE_MAX);
+    my.convergence_waits += 1;
+    let h = composed_observable_hash(&mut comp, &cr_ids);
+    if h != prev_hash {
+        features.push(CoverageFeature::State(h));
+        features.push(CoverageFeature::Edge(prev_hash, h));
+    }
+    let sim_seconds = comp.now() - t0;
+    my.sim_seconds += sim_seconds;
+    Ok(ComposedExec {
+        trials,
+        features,
+        sim_seconds,
+    })
+}
+
+/// Runs a coverage-guided fuzzing campaign over a composition: the input
+/// space is op-index sequences into the *interleaved* composed plan, so a
+/// mutated sequence reorders which member acts when — the territory being
+/// explored is the interleaving itself. Fault plans and crash arming are
+/// stripped from every generated input (both are single-instance
+/// machinery); generation otherwise reuses the single-operator mutators.
+pub fn run_composed_fuzz(cfg: &FuzzConfig) -> Result<ComposedFuzzResult, String> {
+    let start = Instant::now();
+    let config = &cfg.campaign;
+    let plan = plan_composed(config)?;
+    if plan.is_empty() {
+        return Err(
+            "composed fuzz operation pool is empty: planning produced no operations".to_string(),
+        );
+    }
+    let mut base_comp = acquire_composition(config, None)?;
+    let base_sim_seconds = base_comp.now();
+    let base = base_comp.checkpoint();
+    drop(base_comp);
+
+    let pool_len = plan.len();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut coverage = CoverageMap::new();
+    let mut corpus = Corpus {
+        operator: config.operators_label(),
+        entries: Vec::new(),
+    };
+    let mut records: Vec<ComposedExecRecord> = Vec::new();
+    let mut worker_stats: Vec<WorkerStats> =
+        (0..cfg.workers.max(1)).map(WorkerStats::new).collect();
+    let mut rounds = 0usize;
+    let mut executed = 0usize;
+
+    while executed < cfg.execs {
+        let batch_n = cfg.batch.max(1).min(cfg.execs - executed);
+        let mut batch: Vec<(FuzzInput, &'static str, Option<usize>)> = Vec::new();
+        let mut redraws = 0usize;
+        while batch.len() < batch_n {
+            let (mut input, mutation, parent) = if corpus.entries.is_empty() || rng.below(16) == 0 {
+                (random_input(&mut rng, pool_len, cfg), "fresh", None)
+            } else {
+                let n = corpus.entries.len();
+                let half = n.div_ceil(2);
+                let pi = n - 1 - rng.below(half as u64) as usize;
+                let di = rng.below(n as u64) as usize;
+                let donor = corpus.entries[di].input.clone();
+                let parent_entry = &corpus.entries[pi];
+                let (child, name) =
+                    mutate_input(&parent_entry.input, &donor, &mut rng, pool_len, cfg);
+                (child, name, Some(parent_entry.id))
+            };
+            // Interleaving-only input space: strip single-instance
+            // machinery the generators may have attached.
+            input.faults = FaultPlan::default();
+            input.crash = None;
+            let key = input.key();
+            if seen.contains(&key) && redraws < 6 {
+                redraws += 1;
+                continue;
+            }
+            redraws = 0;
+            seen.insert(key);
+            batch.push((input, mutation, parent));
+        }
+        let (execs, batch_stats) = steal_map(&batch, cfg.workers.max(1), |_, cand, my| {
+            execute_composed_sequence(config, &plan, &base, &cand.0.ops, my)
+        });
+        let n_workers = worker_stats.len();
+        for s in batch_stats {
+            let acc = &mut worker_stats[s.worker % n_workers];
+            acc.segments_executed += s.segments_executed;
+            acc.steals += s.steals;
+            acc.depot_hits += s.depot_hits;
+            acc.sim_seconds += s.sim_seconds;
+            acc.convergence_waits += s.convergence_waits;
+            acc.ref_cache_hits += s.ref_cache_hits;
+            acc.ref_cache_misses += s.ref_cache_misses;
+            acc.restored_objects_shared += s.restored_objects_shared;
+            acc.crash_points_swept += s.crash_points_swept;
+            acc.restored_objects_owned += s.restored_objects_owned;
+            acc.wall += s.wall;
+        }
+        for ((input, mutation, parent), exec) in batch.into_iter().zip(execs) {
+            let exec = exec?;
+            let index = records.len();
+            let novel = coverage.observe_all(&exec.features);
+            if !novel.is_empty() {
+                corpus.entries.push(CorpusEntry {
+                    id: corpus.entries.len(),
+                    parent,
+                    mutation: mutation.to_string(),
+                    exec: index,
+                    input: input.clone(),
+                    new_features: novel.iter().map(CoverageFeature::render).collect(),
+                });
+            }
+            records.push(ComposedExecRecord {
+                index,
+                input,
+                mutation: mutation.to_string(),
+                parent,
+                trials: exec.trials,
+                novel,
+                sim_seconds: exec.sim_seconds,
+            });
+        }
+        executed += batch_n;
+        rounds += 1;
+    }
+
+    let all_trials: Vec<ComposedTrial> = records
+        .iter()
+        .flat_map(|r| r.trials.iter().cloned())
+        .collect();
+    let summary = summarize_composed(&config.operators, &all_trials);
+    let total_sim_seconds =
+        base_sim_seconds + worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
+    Ok(ComposedFuzzResult {
+        operators: config.operators.clone(),
+        mode: config.mode,
+        seed: cfg.seed,
+        execs: executed,
+        rounds,
+        coverage,
+        corpus,
+        records,
+        summary,
+        total_sim_seconds,
+        base_sim_seconds,
+        worker_stats,
+        wall: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_alternates_members_and_indexes_globally() {
+        let config = CampaignConfig::composed(&["ZooKeeperOp", "RabbitMQOp"], Mode::Whitebox);
+        let plan = plan_composed(&config).expect("plans");
+        assert!(!plan.is_empty());
+        for (i, c) in plan.iter().enumerate() {
+            assert_eq!(c.op.index, i, "global index must be the plan position");
+        }
+        // Both members appear, and the head alternates strictly while both
+        // pools have ops left.
+        assert_eq!(plan[0].member, 0);
+        assert_eq!(plan[1].member, 1);
+        assert_eq!(plan[2].member, 0);
+        assert!(plan.iter().any(|c| c.member == 1));
+        assert_eq!(plan[0].operator, "ZooKeeperOp");
+        assert_eq!(plan[1].operator, "RabbitMQOp");
+    }
+
+    #[test]
+    fn unknown_member_is_a_config_error() {
+        let config = CampaignConfig::composed(&["ZooKeeperOp", "NoSuchOp"], Mode::Whitebox);
+        let err = plan_composed(&config).unwrap_err();
+        assert!(err.contains("NoSuchOp"), "error names the bad member: {err}");
+        assert!(err.contains("ZooKeeperOp"), "error lists valid names: {err}");
+    }
+
+    #[test]
+    fn composed_campaign_runs_clean_with_bugs_off() {
+        let mut config = CampaignConfig::composed(&["ZooKeeperOp", "RabbitMQOp"], Mode::Whitebox);
+        config.max_ops = Some(6);
+        let result = run_composed_campaign(&config).expect("runs");
+        assert!(!result.trials.is_empty());
+        assert_eq!(result.operators, vec!["ZooKeeperOp", "RabbitMQOp"]);
+        assert!(
+            result.trials.iter().all(|t| t.alarms.is_empty()),
+            "bugs-off composed run must stay silent: {:?}",
+            result
+                .trials
+                .iter()
+                .flat_map(|t| &t.alarms)
+                .collect::<Vec<_>>()
+        );
+        // Both members acted.
+        assert!(result.trials.iter().any(|t| t.member == 0));
+        assert!(result.trials.iter().any(|t| t.member == 1));
+    }
+}

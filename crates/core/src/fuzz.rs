@@ -421,7 +421,8 @@ pub struct FuzzConfig {
     /// Worker threads for batch execution.
     pub workers: usize,
     /// Fresh random inputs draw 1..=`max_seq` ops; mutation may deepen
-    /// sequences up to `2 * max_seq`.
+    /// sequences up to `4 * max_seq` (splices and insertions compound
+    /// across generations, and clamp at that growth bound).
     pub max_seq: usize,
     /// Crash boundaries are armed in `1..=crash_writes_max`.
     pub crash_writes_max: u32,
@@ -601,7 +602,7 @@ fn rebuild_plan(faults: Vec<(u64, simkube::Fault)>) -> FaultPlan {
 
 /// Breeds a child from `parent` (and `donor`, for splicing). Every child
 /// stays schema-valid by construction: op indices are drawn below
-/// `pool_len`, sequences stay non-empty and bounded by `2 * max_seq`, and
+/// `pool_len`, sequences stay non-empty and bounded by `4 * max_seq`, and
 /// crash positions are clamped into the sequence after any length edit —
 /// so any corpus entry can be shrunk and replayed by `minimize`.
 pub(crate) fn mutate_input(
@@ -767,6 +768,13 @@ pub(crate) fn mutate_input(
             Some((pos.min(input.ops.len() - 1), k.clamp(1, crash_max)))
         };
     }
+    debug_assert!(
+        !input.ops.is_empty() && input.ops.len() <= max_len.max(parent.ops.len()),
+        "mutated sequence must stay non-empty and within the 4*max_seq growth bound \
+         (len {} vs bound {max_len}, parent {})",
+        input.ops.len(),
+        parent.ops.len()
+    );
     (input, name)
 }
 
@@ -886,7 +894,7 @@ fn observable_hash(instance: &Instance, cr_id: &str) -> u64 {
 /// so keeping it verbatim would leak the declaration back into the state
 /// bucket through the key. Ordinal suffixes (`test-cluster-2`) survive —
 /// replica identity is genuine structure.
-fn normalize_key(key: &str) -> String {
+pub(crate) fn normalize_key(key: &str) -> String {
     match key.rsplit_once('-') {
         Some((head, tail))
             if tail.len() >= 8 && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
@@ -914,7 +922,7 @@ fn execute_sequence(
     my.restored_objects_shared += shared;
     my.restored_objects_owned += owned;
     let mut instance =
-        Instance::from_checkpoint(operator_by_name(&config.operator), config.bugs.clone(), &cp);
+        Instance::from_checkpoint(operator_by_name(config.operator()), config.bugs.clone(), &cp);
     let t0 = instance.cluster.now();
     let mut banked: u64 = 0;
     let mut banked_at_span: u64 = 0;
@@ -1329,31 +1337,51 @@ struct Candidate {
 }
 
 /// Runs a coverage-guided fuzzing campaign.
-pub fn run_fuzz(config: &FuzzConfig) -> FuzzResult {
+///
+/// Errors at the configuration boundary: an operator name outside the
+/// registry (the message lists the valid names) or an empty operation
+/// pool.
+pub fn run_fuzz(config: &FuzzConfig) -> Result<FuzzResult, String> {
     run_fuzz_with(config, Guidance::Coverage, None)
 }
 
 /// Runs the equal-budget pure-random baseline: same executor, same
 /// coverage accounting, but every input is drawn fresh from the enumerated
-/// space — no corpus, no mutation, no crash arming.
-pub fn run_random(config: &FuzzConfig) -> FuzzResult {
+/// space — no corpus, no mutation, no crash arming. Errors like
+/// [`run_fuzz`].
+pub fn run_random(config: &FuzzConfig) -> Result<FuzzResult, String> {
     run_fuzz_with(config, Guidance::Random, None)
 }
 
 /// Resumes a fuzzing campaign from a saved corpus: every saved entry is
 /// replayed first (rebuilding the coverage map and seeding the population;
 /// replays are not charged to `config.execs`), then the guided loop
-/// continues for the configured budget.
-pub fn run_fuzz_resumed(config: &FuzzConfig, saved: &Corpus) -> FuzzResult {
+/// continues for the configured budget. Errors like [`run_fuzz`].
+pub fn run_fuzz_resumed(config: &FuzzConfig, saved: &Corpus) -> Result<FuzzResult, String> {
     run_fuzz_with(config, Guidance::Coverage, Some(saved))
 }
 
 /// Replays exactly the saved corpus entries — no mutation, no budget —
 /// and returns the resulting records, coverage, and rebuilt corpus.
 /// Deterministic for any worker count; the round-trip check in CI compares
-/// transcripts of replays at different worker counts.
-pub fn replay_corpus(config: &FuzzConfig, saved: &Corpus) -> FuzzResult {
+/// transcripts of replays at different worker counts. Errors like
+/// [`run_fuzz`].
+pub fn replay_corpus(config: &FuzzConfig, saved: &Corpus) -> Result<FuzzResult, String> {
     run_replay(config, saved)
+}
+
+/// Rejects an empty planned-op pool at the run boundary. Op indices are
+/// taken modulo the pool length, so an empty pool would otherwise be
+/// masked by the defensive `max(1)` clamps in input generation and every
+/// execution would silently run zero operations.
+fn ensure_pool(pool: &[PlannedOp]) -> Result<(), String> {
+    if pool.is_empty() {
+        return Err(
+            "fuzz operation pool is empty: planning produced no operations to index into"
+                .to_string(),
+        );
+    }
+    Ok(())
 }
 
 /// Shared run scaffolding: plan the pool, deploy the base checkpoint, set
@@ -1372,8 +1400,14 @@ struct RunState {
 }
 
 impl RunState {
-    fn new(cfg: &FuzzConfig) -> RunState {
-        let operator = operator_by_name(&cfg.campaign.operator);
+    fn new(cfg: &FuzzConfig) -> Result<RunState, String> {
+        let name = cfg.campaign.operator();
+        let operator = operators::try_operator_by_name(name).ok_or_else(|| {
+            format!(
+                "unknown operator {name:?}; valid operators: {:?}",
+                operators::operator_names()
+            )
+        })?;
         let pool = plan_campaign(
             &operator.schema(),
             Some(&operator.ir()),
@@ -1382,17 +1416,18 @@ impl RunState {
             &operator.images(),
             operators::INSTANCE,
         );
+        ensure_pool(&pool)?;
         let base_instance = Instance::deploy(
-            operator_by_name(&cfg.campaign.operator),
+            operator,
             cfg.campaign.bugs.clone(),
             cfg.campaign.platform,
         )
-        .expect("initial deployment");
+        .map_err(|e| format!("initial deployment failed: {e:?}"))?;
         let base_sim_seconds = base_instance.cluster.now();
         let base = Arc::new(base_instance.checkpoint());
         let depot = SnapshotDepot::new();
         depot.put(0, Arc::clone(&base));
-        RunState {
+        Ok(RunState {
             pool,
             base,
             depot,
@@ -1401,12 +1436,12 @@ impl RunState {
             base_sim_seconds,
             coverage: CoverageMap::new(),
             corpus: Corpus {
-                operator: cfg.campaign.operator.clone(),
+                operator: cfg.campaign.operator().to_string(),
                 entries: Vec::new(),
             },
             records: Vec::new(),
             worker_stats: (0..cfg.workers.max(1)).map(WorkerStats::new).collect(),
-        }
+        })
     }
 
     fn ctx<'a>(&'a self, cfg: &'a FuzzConfig) -> ExecCtx<'a> {
@@ -1475,11 +1510,11 @@ impl RunState {
             .iter()
             .flat_map(|r| r.trials.iter().cloned())
             .collect();
-        let summary = summarize(&cfg.campaign.operator, &all_trials);
+        let summary = summarize(cfg.campaign.operator(), &all_trials);
         let total_sim_seconds = self.base_sim_seconds
             + self.worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
         FuzzResult {
-            operator: cfg.campaign.operator.clone(),
+            operator: cfg.campaign.operator().to_string(),
             mode: cfg.campaign.mode,
             seed: cfg.seed,
             execs,
@@ -1496,9 +1531,13 @@ impl RunState {
     }
 }
 
-fn run_fuzz_with(cfg: &FuzzConfig, guidance: Guidance, resume: Option<&Corpus>) -> FuzzResult {
+fn run_fuzz_with(
+    cfg: &FuzzConfig,
+    guidance: Guidance,
+    resume: Option<&Corpus>,
+) -> Result<FuzzResult, String> {
     let start = Instant::now();
-    let mut state = RunState::new(cfg);
+    let mut state = RunState::new(cfg)?;
     let pool_len = state.pool.len().max(1);
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let mut rng = SplitMix64::new(cfg.seed);
@@ -1573,12 +1612,12 @@ fn run_fuzz_with(cfg: &FuzzConfig, guidance: Guidance, resume: Option<&Corpus>) 
         executed += batch_n;
         rounds += 1;
     }
-    state.finish(cfg, executed, rounds, start)
+    Ok(state.finish(cfg, executed, rounds, start))
 }
 
-fn run_replay(cfg: &FuzzConfig, saved: &Corpus) -> FuzzResult {
+fn run_replay(cfg: &FuzzConfig, saved: &Corpus) -> Result<FuzzResult, String> {
     let start = Instant::now();
-    let mut state = RunState::new(cfg);
+    let mut state = RunState::new(cfg)?;
     let replays: Vec<Candidate> = saved
         .entries
         .iter()
@@ -1592,12 +1631,42 @@ fn run_replay(cfg: &FuzzConfig, saved: &Corpus) -> FuzzResult {
     if !replays.is_empty() {
         state.run_batch(cfg, replays, true);
     }
-    state.finish(cfg, n, 1, start)
+    Ok(state.finish(cfg, n, 1, start))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn unknown_operator_is_a_config_error_not_a_panic() {
+        let mut cfg = FuzzConfig::new("ZooKeeperOp");
+        cfg.execs = 1;
+        cfg.campaign.operators = vec!["NoSuchOp".to_string()];
+        let err = run_fuzz(&cfg).unwrap_err();
+        assert!(err.contains("NoSuchOp"), "error names the bad operator: {err}");
+        assert!(
+            err.contains("ZooKeeperOp"),
+            "error lists valid registry names: {err}"
+        );
+    }
+
+    #[test]
+    fn empty_pool_is_rejected_up_front() {
+        let err = ensure_pool(&[]).unwrap_err();
+        assert!(err.contains("empty"), "error explains the empty pool: {err}");
+        // A real operator always plans a non-empty pool; the guard passes.
+        let op = operator_by_name("ZooKeeperOp");
+        let pool = plan_campaign(
+            &op.schema(),
+            Some(&op.ir()),
+            Mode::Blackbox,
+            &op.initial_cr(),
+            &op.images(),
+            operators::INSTANCE,
+        );
+        assert!(ensure_pool(&pool).is_ok());
+    }
 
     #[test]
     fn same_fingerprint_never_counts_twice() {

@@ -31,6 +31,9 @@
 //!   prefix into a minimal e2e test and emitting its code (§5.4).
 //! - [`parallel`]: work-stealing test partitioning across workers with a
 //!   shared plan and checkpoint-based jump-state reuse (§5.5).
+//! - [`compose`]: multi-operator composition campaigns — 2+ operators on
+//!   one shared cluster with an interleaved plan, cross-operator oracles,
+//!   and composed work-stealing/fuzzing runners.
 //! - [`fuzz`]: coverage-guided greybox exploration of the campaign input
 //!   space `(op-sequence, fault plan, crash point)` over snapshot forking,
 //!   with a deterministic, resumable corpus.
@@ -38,6 +41,7 @@
 //!   consumed by the evaluation benches (§6).
 
 pub mod campaign;
+pub mod compose;
 pub mod deps;
 pub mod fuzz;
 pub mod gen;
@@ -51,6 +55,11 @@ pub mod semantics;
 pub use campaign::{
     plan_campaign, run_campaign, run_campaign_with, CampaignConfig, CampaignResult, FreshRefCache,
     Strategy, PLAN_COMPUTATIONS,
+};
+pub use compose::{
+    plan_composed, run_composed_campaign, run_composed_fuzz, run_composed_with,
+    run_composed_work_stealing, run_composed_work_stealing_with, ComposedExecRecord, ComposedFuzzResult,
+    ComposedOp, ComposedParallelResult, ComposedResult, ComposedTrial,
 };
 pub use deps::{infer_dependencies, Dependency};
 pub use fuzz::{

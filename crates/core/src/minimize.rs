@@ -103,6 +103,10 @@ pub fn replays_alarm(
             }
             false
         }
+        // Composition alarms need the whole multi-operator harness to
+        // reproduce; single-instance minimization cannot re-run them, so
+        // the sequence is left unminimized.
+        AlarmKind::Composition => false,
         // Recovery alarms (fault bursts) share the rollback signal: an
         // error state the prior declaration fails to clear.
         AlarmKind::DifferentialRollback | AlarmKind::Recovery => {

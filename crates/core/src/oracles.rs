@@ -18,11 +18,12 @@
 //! - **Differential oracle for rollback transitions**: after an error
 //!   state, rolling back to `D_{i-1}` must restore the pre-error state.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, OnceLock};
 
 use crdspec::{diff, DiffKind, Path, Value};
-use operators::Instance;
+use managed::Health;
+use operators::{Composition, Instance, InterferenceEvent};
 use simkube::cluster::LogLevel;
 use simkube::StoredObject;
 
@@ -46,6 +47,10 @@ pub enum AlarmKind {
     /// *k* plus a restart, the system failed to reconverge to the
     /// uninterrupted reference end state.
     CrashConsistency,
+    /// Composition oracle: operators sharing one cluster reached into each
+    /// other's namespaces, starved each other on shared nodes, or degraded
+    /// a bystander member during another member's transition.
+    Composition,
 }
 
 impl AlarmKind {
@@ -58,6 +63,7 @@ impl AlarmKind {
             AlarmKind::ErrorCheck => "error-check",
             AlarmKind::Recovery => "recovery",
             AlarmKind::CrashConsistency => "crash-consistency",
+            AlarmKind::Composition => "composition",
         }
     }
 }
@@ -740,6 +746,116 @@ pub fn crash_consistency_check(
         }
     }
     alarms
+}
+
+/// Composition oracle: cross-operator checks over a multi-operator
+/// composition after one member's transition converged (or failed to).
+///
+/// Three classes of violation:
+/// - **Garbage-collection interference**: a member deleted an object in
+///   another member's namespace (e.g. an overly broad cleanup pass
+///   collecting a sibling's live configuration — the seeded
+///   `SEED-COMPOSE-1` shape).
+/// - **Write interference**: a member created or modified objects in a
+///   sibling's namespace through the shared control plane.
+/// - **Recovery-ordering / collateral damage**: a bystander member whose
+///   declaration the trial did not touch left `Healthy` during the acting
+///   member's transition, or a bystander member's pod *newly* became
+///   `Unschedulable` on the shared nodes during that transition. The
+///   acting member starving its own pods is the single-operator error
+///   ladder's territory (a misoperation probe requesting absurd resources
+///   must not read as cross-operator interference), and a condition that
+///   predates the transition was already reported when it arose —
+///   `unschedulable_before` (see [`unschedulable_pods`]) carries the
+///   pre-transition set.
+pub fn composition_check(
+    comp: &Composition,
+    interference: &[InterferenceEvent],
+    acting_member: usize,
+    healths_before: &[Health],
+    unschedulable_before: &BTreeSet<(String, String)>,
+) -> Vec<Alarm> {
+    let mut alarms = Vec::new();
+    // Interference repeats every reconcile pass while the conflict
+    // persists; alarm once per (actor, object, verb).
+    let mut seen: BTreeSet<(&str, &str, bool)> = BTreeSet::new();
+    for ev in interference {
+        if !seen.insert((&ev.actor, &ev.key, ev.deleted)) {
+            continue;
+        }
+        let (class, action) = if ev.deleted {
+            ("cross-operator GC", "deleted")
+        } else {
+            ("cross-operator write", "wrote")
+        };
+        alarms.push(Alarm::new(
+            AlarmKind::Composition,
+            format!(
+                "{class}: {} {action} {} owned by the {} member",
+                ev.actor, ev.key, ev.victim_namespace
+            ),
+        ));
+    }
+    // Bystander health: a member whose declaration was untouched must not
+    // leave Healthy during another member's transition (a dependency of
+    // its managed system recovered in the wrong order, or not at all).
+    for (i, member) in comp.members().iter().enumerate() {
+        if i == acting_member {
+            continue;
+        }
+        let was_healthy = healths_before
+            .get(i)
+            .map(Health::is_healthy)
+            .unwrap_or(true);
+        if was_healthy && !member.last_health.is_healthy() {
+            alarms.push(Alarm::new(
+                AlarmKind::Composition,
+                format!(
+                    "collateral damage: member {i} ({}) went {:?} during a transition on member {acting_member}",
+                    member.operator().name(),
+                    member.last_health
+                ),
+            ));
+        }
+    }
+    // Shared-node starvation: a bystander pod that was scheduled (or
+    // absent) before this transition and sits Unschedulable after it —
+    // the acting member's requests squeezed a sibling off the shared
+    // nodes.
+    for (i, member) in comp.members().iter().enumerate() {
+        if i == acting_member {
+            continue;
+        }
+        for (name, _, _, reason) in comp.cluster().pod_summaries(&member.namespace) {
+            if reason == "Unschedulable"
+                && !unschedulable_before.contains(&(member.namespace.clone(), name.clone()))
+            {
+                alarms.push(Alarm::new(
+                    AlarmKind::Composition,
+                    format!(
+                        "shared-node interference: pod {}/{name} of member {i} unschedulable on the shared cluster",
+                        member.namespace
+                    ),
+                ));
+            }
+        }
+    }
+    alarms
+}
+
+/// The set of `(namespace, pod name)` pairs currently Unschedulable across
+/// all members — captured before a transition so [`composition_check`]
+/// alarms only on conditions that transition created.
+pub fn unschedulable_pods(comp: &Composition) -> BTreeSet<(String, String)> {
+    let mut set = BTreeSet::new();
+    for member in comp.members() {
+        for (name, _, _, reason) in comp.cluster().pod_summaries(&member.namespace) {
+            if reason == "Unschedulable" {
+                set.insert((member.namespace.clone(), name));
+            }
+        }
+    }
+    set
 }
 
 #[cfg(test)]

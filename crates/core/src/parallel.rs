@@ -183,6 +183,28 @@ pub struct FailedSegment {
     pub quarantined: bool,
 }
 
+/// Copy-on-write checkpoints that can report their structural-sharing
+/// accounting. Implemented by the single-operator [`InstanceCheckpoint`]
+/// and the composed [`operators::CompositionCheckpoint`], so one
+/// [`SnapshotDepot`] serves both runner families.
+pub trait CheckpointSharing {
+    /// Objects shared with at least one other snapshot versus uniquely
+    /// owned.
+    fn sharing_stats(&self) -> (usize, usize);
+}
+
+impl CheckpointSharing for InstanceCheckpoint {
+    fn sharing_stats(&self) -> (usize, usize) {
+        InstanceCheckpoint::sharing_stats(self)
+    }
+}
+
+impl CheckpointSharing for operators::CompositionCheckpoint {
+    fn sharing_stats(&self) -> (usize, usize) {
+        operators::CompositionCheckpoint::sharing_stats(self)
+    }
+}
+
 /// Memoized canonical prefix checkpoints, keyed by plan prefix length.
 ///
 /// Entries are *canonical*: always the state produced by restoring the
@@ -190,19 +212,31 @@ pub struct FailedSegment {
 /// worker's private end state — so serving a hit cannot change any trial.
 /// Share one depot across runs over the same configuration (the scaling
 /// bench runs 1/2/4/8 workers) to pay each jump once.
-#[derive(Debug, Default)]
-pub struct SnapshotDepot {
-    slots: Mutex<BTreeMap<usize, Arc<InstanceCheckpoint>>>,
+///
+/// Generic over the checkpoint type: single-operator runs store
+/// [`InstanceCheckpoint`]s (the default), composed runs store whole
+/// [`operators::CompositionCheckpoint`]s.
+#[derive(Debug)]
+pub struct SnapshotDepot<T = InstanceCheckpoint> {
+    slots: Mutex<BTreeMap<usize, Arc<T>>>,
 }
 
-impl SnapshotDepot {
+impl<T> Default for SnapshotDepot<T> {
+    fn default() -> SnapshotDepot<T> {
+        SnapshotDepot {
+            slots: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl<T> SnapshotDepot<T> {
     /// An empty depot.
-    pub fn new() -> SnapshotDepot {
+    pub fn new() -> SnapshotDepot<T> {
         SnapshotDepot::default()
     }
 
     /// The memoized checkpoint for a prefix length, if deposited.
-    pub fn get(&self, skip: usize) -> Option<Arc<InstanceCheckpoint>> {
+    pub fn get(&self, skip: usize) -> Option<Arc<T>> {
         self.slots
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -212,7 +246,7 @@ impl SnapshotDepot {
 
     /// Deposits a canonical prefix checkpoint; an existing entry wins (the
     /// first deposit is already canonical).
-    pub fn put(&self, skip: usize, cp: Arc<InstanceCheckpoint>) {
+    pub fn put(&self, skip: usize, cp: Arc<T>) {
         self.slots
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -225,6 +259,13 @@ impl SnapshotDepot {
         self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
+    /// Whether the depot holds no states.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: CheckpointSharing> SnapshotDepot<T> {
     /// Sharing accounting over every resident snapshot: objects shared
     /// with at least one other snapshot versus uniquely owned, summed
     /// across slots. With the CoW store, resident snapshots that differ
@@ -239,11 +280,6 @@ impl SnapshotDepot {
             owned += o;
         }
         (shared, owned)
-    }
-
-    /// Whether the depot holds no states.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
     }
 }
 
@@ -356,7 +392,7 @@ pub fn run_work_stealing_with(
     depot: &SnapshotDepot,
 ) -> ParallelResult {
     let start = Instant::now();
-    let operator = operator_by_name(&config.operator);
+    let operator = operator_by_name(config.operator());
     let gen_start = Instant::now();
     let plan: Arc<Vec<PlannedOp>> = Arc::new(plan_campaign(
         &operator.schema(),
@@ -395,7 +431,7 @@ pub fn run_work_stealing_with(
     // differential reference in every segment restores this snapshot
     // instead of paying for a redeployment.
     let base_instance = Instance::deploy(
-        operator_by_name(&config.operator),
+        operator_by_name(config.operator()),
         config.bugs.clone(),
         config.platform,
     )
@@ -541,11 +577,11 @@ pub fn run_work_stealing_with(
         .map(|s| s.sim_seconds)
         .max()
         .unwrap_or(0);
-    let summary = summarize(&config.operator, &trials);
+    let summary = summarize(config.operator(), &trials);
     let depot_snapshots = depot.len();
     let (depot_shared_objects, depot_owned_objects) = depot.sharing_stats();
     ParallelResult {
-        operator: config.operator.clone(),
+        operator: config.operator().to_string(),
         mode: config.mode,
         workers,
         segment_ops,
@@ -595,7 +631,7 @@ fn run_segment(
             // converge the jump declaration, checkpoint, deposit.
             let jump = declaration_after_prefix(initial_cr, plan, skip);
             let mut instance = Instance::from_checkpoint(
-                operator_by_name(&config.operator),
+                operator_by_name(config.operator()),
                 config.bugs.clone(),
                 base,
             );
@@ -670,7 +706,7 @@ mod tests {
 
     fn quick_config() -> CampaignConfig {
         CampaignConfig {
-            operator: "RabbitMQOp".to_string(),
+            operators: vec!["RabbitMQOp".to_string()],
             mode: Mode::Whitebox,
             bugs: BugToggles::all_injected(),
             platform: PlatformBugs::none(),

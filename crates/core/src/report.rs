@@ -100,6 +100,17 @@ pub fn attribute(operator: &str, trial: &Trial, alarm: &Alarm) -> Attribution {
     // non-idempotent-create bug (its on-by-request marker objects carry
     // the `zk-init-` prefix; a wedged retry loop also shows up as a
     // reconvergence failure). Anything else is unattributed.
+    // Composition alarms come only from multi-operator campaigns, and the
+    // only ground-truth source of cross-namespace reach is the seeded
+    // cross-operator GC in TiDBOp (its footprint is a raw deletion in a
+    // sibling's namespace; the livelock it induces also surfaces as
+    // collateral churn). Anything else is unattributed.
+    if alarm.kind == AlarmKind::Composition {
+        if alarm.detail.contains("cross-operator GC: TiDBOp") {
+            return Attribution::OperatorBug(bugs::SEEDED_CROSS_OPERATOR_GC.to_string());
+        }
+        return Attribution::FalsePositive;
+    }
     if alarm.kind == AlarmKind::CrashConsistency {
         if operator == "ZooKeeperOp"
             && (alarm.detail.contains("zk-init-")
@@ -245,6 +256,26 @@ pub fn summarize(operator: &str, trials: &[Trial]) -> CampaignSummary {
         }
     }
     summary
+}
+
+/// Merges per-member summaries into one composed summary, field-wise:
+/// detected-bug oracle sets union per bug id, platform bugs and
+/// vulnerabilities union, false positives and counters accumulate.
+pub fn merge_summaries<I: IntoIterator<Item = CampaignSummary>>(parts: I) -> CampaignSummary {
+    let mut merged = CampaignSummary::default();
+    for part in parts {
+        for (bug, kinds) in part.detected_bugs {
+            merged.detected_bugs.entry(bug).or_default().extend(kinds);
+        }
+        merged
+            .detected_platform_bugs
+            .extend(part.detected_platform_bugs);
+        merged.vulnerabilities.extend(part.vulnerabilities);
+        merged.false_positives.extend(part.false_positives);
+        merged.total_alarms += part.total_alarms;
+        merged.failed_trials += part.failed_trials;
+    }
+    merged
 }
 
 /// Ground-truth bugs of an operator that a mode can detect at all.
@@ -398,6 +429,87 @@ pub fn render_parallel(result: &crate::parallel::ParallelResult) -> String {
             ));
         }
     }
+    out
+}
+
+/// Renders a sequential composed campaign: the operator set headline,
+/// interference and convergence accounting, and the merged findings.
+pub fn render_composed(result: &crate::compose::ComposedResult) -> String {
+    let label = result.operators.join("+");
+    let mut out = String::new();
+    out.push_str(&format!("== {} ({}; composed) ==\n", label, result.mode.name()));
+    out.push_str(&format!(
+        "trials: {}; interference events: {}; convergence waits: {}\n",
+        result.trials.len(),
+        result.interference_events,
+        result.convergence_waits
+    ));
+    out.push_str(&format!(
+        "sim-seconds: {}; planning: {:.2?}\n",
+        result.sim_seconds, result.gen_duration
+    ));
+    out.push_str(&render_summary(&label, &result.summary));
+    out
+}
+
+/// Renders a parallel composed run: headline scheduling numbers, the depot
+/// sharing statistics, the per-worker table, and the merged findings.
+pub fn render_composed_parallel(result: &crate::compose::ComposedParallelResult) -> String {
+    let label = result.operators.join("+");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {} ({}; composed, {} workers, {} segments x {} ops) ==\n",
+        label,
+        result.mode.name(),
+        result.workers,
+        result.segments,
+        result.segment_ops
+    ));
+    out.push_str(&format!(
+        "sim-seconds: total {} (base {}); wall: {:.2?} (planning {:.2?})\n",
+        result.total_sim_seconds, result.base_sim_seconds, result.wall, result.gen_duration
+    ));
+    out.push_str(&format!(
+        "trials: {}; interference events: {}\n",
+        result.trials.len(),
+        result.interference_events
+    ));
+    out.push_str(&format!(
+        "depot: {} resident snapshots; objects shared {} / uniquely owned {}\n",
+        result.depot_snapshots, result.depot_shared_objects, result.depot_owned_objects
+    ));
+    out.push_str(&render_summary(&label, &result.summary));
+    out.push_str(&render_worker_stats(&result.worker_stats));
+    out
+}
+
+/// Renders a composed fuzzing campaign: budget and corpus headline,
+/// coverage breakdown, merged findings, and the worker table.
+pub fn render_composed_fuzz(result: &crate::compose::ComposedFuzzResult) -> String {
+    let label = result.operators.join("+");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {} ({}; composed fuzz seed {:#x}) ==\n",
+        label,
+        result.mode.name(),
+        result.seed
+    ));
+    out.push_str(&format!(
+        "execs: {} in {} rounds; corpus: {} entries; coverage: {} features\n",
+        result.execs,
+        result.rounds,
+        result.corpus.entries.len(),
+        result.coverage.len()
+    ));
+    let counts = result.coverage.counts();
+    let breakdown: Vec<String> = counts.iter().map(|(k, v)| format!("{k} {v}")).collect();
+    out.push_str(&format!("coverage by class: {}\n", breakdown.join(", ")));
+    out.push_str(&format!(
+        "sim-seconds: total {} (base {}); wall: {:.2?}\n",
+        result.total_sim_seconds, result.base_sim_seconds, result.wall
+    ));
+    out.push_str(&render_summary(&label, &result.summary));
+    out.push_str(&render_worker_stats(&result.worker_stats));
     out
 }
 

@@ -146,14 +146,17 @@ impl<'a> SystemView<'a> {
         self.config().get(key).cloned()
     }
 
-    /// Marks a pod as crash-looping for a system-semantic reason.
+    /// Marks a pod as crash-looping for a system-semantic reason. The
+    /// condition is scoped to this view's namespace.
     pub fn crash_pod(&mut self, pod: &str, reason: &str) {
-        self.cluster.set_crashing(pod, reason);
+        let namespace = self.namespace.clone();
+        self.cluster.set_crashing(&namespace, pod, reason);
     }
 
     /// Clears a crash-loop condition.
     pub fn clear_crash(&mut self, pod: &str) {
-        self.cluster.clear_crash(pod);
+        let namespace = self.namespace.clone();
+        self.cluster.clear_crash(&namespace, pod);
     }
 
     /// Runs a closure over the underlying object store (read-only). Models

@@ -133,7 +133,7 @@ mod tests {
         let mut model = ZooKeeperModel;
         let mut view = SystemView::new(&mut c, "ns", "zk");
         model.tick(&mut view);
-        assert!(c.crashing().any(|(pod, _)| pod == "zk-1"));
+        assert!(c.crashing().any(|(pod, _)| pod == "ns/zk-1"));
     }
 
     #[test]

@@ -698,6 +698,17 @@ pub fn bugs_of(operator: &str) -> Vec<&'static BugSpec> {
 /// of [`all_bugs`] (whose totals are pinned to the paper's tables).
 pub const SEEDED_NONIDEMPOTENT_CREATE: &str = "SEED-CRASH-1";
 
+/// Stable id of the seeded cross-operator composition bug: an overly broad
+/// garbage-collection pass in `TiDBOp` that, whenever no pump cluster is
+/// configured, enumerates ConfigMaps across **all** namespaces and deletes
+/// any `*-config` outside its own — clobbering configuration owned by other
+/// operators sharing the cluster. A single-operator cluster never notices
+/// (there is nothing foreign to delete); under composition the victim
+/// operator recreates its config every pass and the pair livelocks. Off by
+/// default and opted into with [`BugToggles::seed`]; it exists to prove the
+/// composition oracle fires, so it is not part of [`all_bugs`].
+pub const SEEDED_CROSS_OPERATOR_GC: &str = "SEED-COMPOSE-1";
+
 /// Per-campaign toggles: every bug defaults to **injected**; disabling an id
 /// yields the fixed behaviour at that code site. Seeded crash-point bugs
 /// work the other way around: off unless explicitly seeded.

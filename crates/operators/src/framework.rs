@@ -221,6 +221,49 @@ impl Instance {
         Ok(instance)
     }
 
+    /// Deploys `operator` into an existing cluster under `namespace` — the
+    /// multi-operator composition path. Registers the CRD and images and
+    /// creates the initial CR, but does not converge: the composition
+    /// converges all members together against the shared cluster.
+    pub fn deploy_into(
+        operator: Box<dyn Operator>,
+        bugs: BugToggles,
+        mut cluster: SimCluster,
+        namespace: &str,
+    ) -> Result<Instance, ApiError> {
+        for image in operator.images() {
+            cluster.add_image(&image);
+        }
+        cluster
+            .api_mut()
+            .register_crd(operator.kind(), operator.schema());
+        let name = INSTANCE.to_string();
+        let model = managed::model_for(operator.system());
+        let time = cluster.now();
+        cluster.api_mut().create_custom(
+            namespace,
+            &name,
+            operator.kind(),
+            operator.initial_cr(),
+            time,
+        )?;
+        Ok(Instance {
+            cluster,
+            operator,
+            model,
+            bugs,
+            namespace: namespace.to_string(),
+            name,
+            operator_restarts: 0,
+            crashed_generation: None,
+            operator_down_until: None,
+            crash_log: Vec::new(),
+            last_health: Health::Down("not yet deployed".to_string()),
+            spec_cache: None,
+            payload_len_cache: 0,
+        })
+    }
+
     /// Takes a cheap copy-on-write checkpoint of the instance (cluster +
     /// harness state): cluster state is captured as shared handles, not a
     /// traversal. See [`simkube::SimCluster::checkpoint`].
@@ -322,6 +365,12 @@ impl Instance {
         self.operator_down_until.is_some()
     }
 
+    /// Simulated time the downed operator process restarts, if any — the
+    /// composition's fast-forward must never skip a member's restart tick.
+    pub(crate) fn operator_down_at(&self) -> Option<u64> {
+        self.operator_down_until
+    }
+
     /// The crash/restart transcript: every crash-point firing observed so
     /// far, oldest first.
     pub fn crash_transcript(&self) -> &[CrashEvent] {
@@ -339,6 +388,38 @@ impl Instance {
     /// managed-system model, and one operator reconcile pass.
     pub fn tick(&mut self) {
         self.cluster.step();
+        self.post_step();
+    }
+
+    /// Everything a tick does after the cluster step: the managed-system
+    /// model, health reflection into the CR status, and one operator
+    /// reconcile pass. Split from [`Instance::tick`] so a multi-operator
+    /// composition can run one shared cluster step and then each member's
+    /// post-step in deterministic order.
+    ///
+    /// When the instance lives in a namespace other than the default
+    /// [`NAMESPACE`] (composition members beyond the first), keyed store
+    /// operations naming the default namespace are aliased to the member's
+    /// namespace for the duration — operators hard-code the default
+    /// namespace, and the alias re-scopes their keyed reads and writes
+    /// without touching raw enumeration (raw reach across namespaces is
+    /// exactly what the composition oracle watches).
+    pub(crate) fn post_step(&mut self) {
+        let aliased = self.namespace != NAMESPACE;
+        if aliased {
+            let ns = self.namespace.clone();
+            self.cluster
+                .api_mut()
+                .store_mut()
+                .set_ns_alias(NAMESPACE, &ns);
+        }
+        self.post_step_inner();
+        if aliased {
+            self.cluster.api_mut().store_mut().clear_ns_alias();
+        }
+    }
+
+    fn post_step_inner(&mut self) {
         // Managed-system model observes and may inject crash loops.
         let health = {
             let mut view = SystemView::new(&mut self.cluster, &self.namespace, &self.name);
@@ -490,7 +571,7 @@ impl Instance {
     /// Two equal fingerprints around a tick prove it was a no-op (operators
     /// and models are deterministic functions of this state, never of the
     /// clock), which lets the event-driven engine fast-forward.
-    fn fingerprint(
+    pub(crate) fn fingerprint(
         &self,
     ) -> (
         simkube::ClusterFingerprint,

@@ -10,6 +10,7 @@
 
 pub mod bugs;
 pub mod common;
+pub mod compose;
 pub mod crd_parts;
 pub mod existing_tests;
 pub mod framework;
@@ -17,8 +18,11 @@ pub mod ops;
 pub mod registry;
 
 pub use bugs::{all_bugs, bug, bugs_of, BugCategory, BugSpec, BugToggles, Consequence};
+pub use compose::{
+    member_namespace, Composition, CompositionCheckpoint, InterferenceEvent,
+};
 pub use framework::{
     CrashEvent, Instance, InstanceCheckpoint, Operator, OperatorError, CONVERGE_MAX,
     CONVERGE_RESET, INSTANCE, NAMESPACE,
 };
-pub use registry::{operator_by_name, operator_names, OperatorInfo};
+pub use registry::{operator_by_name, operator_names, try_operator_by_name, OperatorInfo};

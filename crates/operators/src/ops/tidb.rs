@@ -280,6 +280,30 @@ impl Operator for TiDbOp {
                 NAMESPACE,
                 &format!("{INSTANCE}-pump"),
             );
+            // SEED-COMPOSE-1 (seeded, default off): with no pump cluster
+            // the operator "cleans up" binlog bookkeeping by enumerating
+            // every ConfigMap on the cluster and deleting any `*-config`
+            // outside its own namespace. Alone on a cluster this is dead
+            // code; composed with another operator it garbage-collects the
+            // neighbour's live configuration.
+            if bugs.seeded(crate::bugs::SEEDED_CROSS_OPERATOR_GC) {
+                let victims: Vec<ObjKey> = cluster
+                    .api()
+                    .store()
+                    .iter()
+                    .filter(|(k, _)| {
+                        matches!(k.kind, Kind::ConfigMap)
+                            && k.namespace != NAMESPACE
+                            && !k.namespace.is_empty()
+                            && k.name.ends_with("-config")
+                    })
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                let time = cluster.now();
+                for key in victims {
+                    let _ = cluster.api_mut().delete_object(&key, time);
+                }
+            }
         }
 
         if let Some(reclaim) = str_at(cr, "persistence.reclaimPolicy") {

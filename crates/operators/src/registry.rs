@@ -139,14 +139,13 @@ pub fn operator_info(name: &str) -> Option<&'static OperatorInfo> {
     all_operators().iter().find(|o| o.name == name)
 }
 
-/// Instantiates an operator by registry name.
-///
-/// # Panics
-///
-/// Panics on an unknown name; the set of evaluated operators is closed.
-pub fn operator_by_name(name: &str) -> Box<dyn Operator> {
-    match name {
-        "CassOp" => Box::new(ops::cassandra::CassOp),
+/// Instantiates an operator by registry name, or `None` for a name outside
+/// the closed set of evaluated operators. Configuration boundaries
+/// (campaign and fuzz entry points) use this to reject typos with an error
+/// listing the valid names instead of aborting mid-run.
+pub fn try_operator_by_name(name: &str) -> Option<Box<dyn Operator>> {
+    Some(match name {
+        "CassOp" => Box::new(ops::cassandra::CassOp) as Box<dyn Operator>,
         "CockroachOp" => Box::new(ops::cockroach::CockroachOp),
         "KnativeOp" => Box::new(ops::knative::KnativeOp),
         "OCK/RedisOp" => Box::new(ops::redis_ock::RedisOckOp),
@@ -157,8 +156,20 @@ pub fn operator_by_name(name: &str) -> Box<dyn Operator> {
         "TiDBOp" => Box::new(ops::tidb::TiDbOp),
         "XtraDBOp" => Box::new(ops::xtradb::XtraDbOp),
         "ZooKeeperOp" => Box::new(ops::zookeeper::ZooKeeperOp),
-        other => panic!("unknown operator {other:?}"),
-    }
+        _ => return None,
+    })
+}
+
+/// Instantiates an operator by registry name.
+///
+/// # Panics
+///
+/// Panics on an unknown name; the set of evaluated operators is closed.
+/// Use [`try_operator_by_name`] where an unknown name is user input rather
+/// than a programming error.
+pub fn operator_by_name(name: &str) -> Box<dyn Operator> {
+    try_operator_by_name(name)
+        .unwrap_or_else(|| panic!("unknown operator {name:?}; valid: {:?}", operator_names()))
 }
 
 #[cfg(test)]
@@ -166,6 +177,17 @@ mod tests {
     use super::*;
     use crate::bugs;
     use crdspec::validate;
+
+    #[test]
+    fn unknown_names_are_fallible_not_fatal() {
+        assert!(try_operator_by_name("ZooKeeperOp").is_some());
+        assert!(try_operator_by_name("NoSuchOp").is_none());
+        assert!(try_operator_by_name("").is_none());
+        assert!(try_operator_by_name("zookeeperop").is_none());
+        for name in operator_names() {
+            assert_eq!(try_operator_by_name(name).expect("registered").name(), name);
+        }
+    }
 
     #[test]
     fn registry_has_eleven_operators() {

@@ -291,7 +291,7 @@ pub struct SimCluster {
     logs: Arc<Vec<LogEntry>>,
     image_catalog: BTreeSet<String>,
     /// Pods forced into a crash loop by the managed-system model, with the
-    /// reason (`pod name -> reason`).
+    /// reason (`"namespace/pod name" -> reason`).
     crashing: std::collections::BTreeMap<String, String>,
     /// Installed fault plan, if any.
     faults: Option<crate::faults::FaultInjector>,
@@ -446,24 +446,30 @@ impl SimCluster {
 
     /// Marks a pod as crash-looping for a managed-system reason (e.g. "the
     /// binlog pump cluster is missing"). Cleared with
-    /// [`SimCluster::clear_crash`].
-    pub fn set_crashing(&mut self, pod_name: &str, reason: &str) {
+    /// [`SimCluster::clear_crash`]. Conditions are namespace-qualified so
+    /// same-named pods under different operators never share crash state.
+    pub fn set_crashing(&mut self, namespace: &str, pod_name: &str, reason: &str) {
         let prev = self
             .crashing
-            .insert(pod_name.to_string(), reason.to_string());
+            .insert(format!("{namespace}/{pod_name}"), reason.to_string());
         if prev.as_deref() != Some(reason) {
             self.crash_epoch += 1;
         }
     }
 
     /// Clears a crash-loop condition.
-    pub fn clear_crash(&mut self, pod_name: &str) {
-        if self.crashing.remove(pod_name).is_some() {
+    pub fn clear_crash(&mut self, namespace: &str, pod_name: &str) {
+        if self
+            .crashing
+            .remove(&format!("{namespace}/{pod_name}"))
+            .is_some()
+        {
             self.crash_epoch += 1;
         }
     }
 
-    /// Returns crash conditions currently in force.
+    /// Returns crash conditions currently in force, keyed
+    /// `"namespace/pod name"`.
     pub fn crashing(&self) -> impl Iterator<Item = (&String, &String)> {
         self.crashing.iter()
     }
@@ -640,7 +646,8 @@ impl SimCluster {
                 let name = &obj.meta.name;
                 let key = ObjKey::new(Kind::Pod, &obj.meta.namespace, name);
                 // Crash condition set by the managed-system model wins.
-                if let Some(reason) = self.crashing.get(name) {
+                let crash_key = format!("{}/{name}", obj.meta.namespace);
+                if let Some(reason) = self.crashing.get(&crash_key) {
                     let already =
                         pod.phase == PodPhase::Failed && pod.reason == "CrashLoopBackOff";
                     return Some((
@@ -925,13 +932,13 @@ mod tests {
             )
             .unwrap();
         assert!(cluster.run_until_converged(10, 300));
-        cluster.set_crashing("zk-0", "missing pump cluster");
+        cluster.set_crashing("ns", "zk-0", "missing pump cluster");
         assert!(cluster.run_until_converged(10, 300));
         let pods = cluster.pod_summaries("ns");
         assert_eq!(pods[0].1, PodPhase::Failed);
         assert_eq!(pods[0].3, "CrashLoopBackOff");
         // Clearing the condition lets the pod restart and recover.
-        cluster.clear_crash("zk-0");
+        cluster.clear_crash("ns", "zk-0");
         assert!(cluster.run_until_converged(10, 300));
         let pods = cluster.pod_summaries("ns");
         assert_eq!(pods[0].1, PodPhase::Running);
@@ -972,7 +979,7 @@ mod tests {
         assert!(cluster.run_until_converged(10, 300));
         // A permanently crashing pod flaps between Failed and Pending,
         // producing endless events.
-        cluster.set_crashing("zk-0", "flap");
+        cluster.set_crashing("ns", "zk-0", "flap");
         // It still "converges" in the sense that the crash state is sticky;
         // verify the reset timer actually waits for quiet.
         let t0 = cluster.now();
@@ -1073,7 +1080,7 @@ mod tests {
             )
             .unwrap();
         assert!(cluster.run_until_converged(10, 300));
-        cluster.set_crashing("zk-0", "wedged");
+        cluster.set_crashing("ns", "zk-0", "wedged");
         let mut plan = crate::faults::FaultPlan::new();
         plan.push(5, crate::faults::Fault::WatchBlackout { duration: 30 });
         cluster.install_fault_plan(plan);
@@ -1127,9 +1134,9 @@ mod tests {
                 )
                 .unwrap();
             assert!(cluster.run_until_converged(10, 600));
-            cluster.set_crashing("zk-0", "wedged");
+            cluster.set_crashing("ns", "zk-0", "wedged");
             assert!(cluster.run_until_converged(10, 300));
-            cluster.clear_crash("zk-0");
+            cluster.clear_crash("ns", "zk-0");
             assert!(cluster.run_until_converged(10, 300));
             let t = cluster.now();
             cluster

@@ -105,6 +105,16 @@ pub struct ObjectStore {
     kind_revision: BTreeMap<Kind, u64>,
     /// Events at or below this revision have been compacted away.
     events_floor: u64,
+    /// Namespace alias `(from, to)`: while set, *keyed* operations naming
+    /// the `from` namespace are transparently redirected to `to`. The
+    /// composition harness brackets each member operator's reconcile pass
+    /// with an alias from the conventional deployment namespace to the
+    /// member's own, so operator code with the namespace baked in lands in
+    /// its member sandbox instead of a sibling's. Raw enumeration
+    /// ([`ObjectStore::iter`], [`ObjectStore::list_all`]) is deliberately
+    /// not aliased — cross-namespace reach through those is exactly what
+    /// the composition oracle watches for.
+    ns_alias: Option<(String, String)>,
 }
 
 impl ObjectStore {
@@ -117,6 +127,39 @@ impl ObjectStore {
             events: Arc::new(Vec::new()),
             kind_revision: BTreeMap::new(),
             events_floor: 0,
+            ns_alias: None,
+        }
+    }
+
+    /// Installs a namespace alias: keyed operations naming `from` are
+    /// redirected to `to` until [`ObjectStore::clear_ns_alias`].
+    pub fn set_ns_alias(&mut self, from: &str, to: &str) {
+        self.ns_alias = Some((from.to_string(), to.to_string()));
+    }
+
+    /// Removes the namespace alias.
+    pub fn clear_ns_alias(&mut self) {
+        self.ns_alias = None;
+    }
+
+    /// Resolves a namespace through the alias (identity when unset).
+    fn resolve_ns<'n>(&'n self, namespace: &'n str) -> &'n str {
+        match &self.ns_alias {
+            Some((from, to)) if namespace == from => to,
+            _ => namespace,
+        }
+    }
+
+    /// Resolves a key through the alias. Borrows on the (overwhelmingly
+    /// common) unaliased path; allocates only when a redirect applies.
+    fn resolve_key<'k>(&self, key: &'k ObjKey) -> std::borrow::Cow<'k, ObjKey> {
+        match &self.ns_alias {
+            Some((from, to)) if key.namespace == *from => std::borrow::Cow::Owned(ObjKey::new(
+                key.kind.clone(),
+                to,
+                &key.name,
+            )),
+            _ => std::borrow::Cow::Borrowed(key),
         }
     }
 
@@ -160,6 +203,11 @@ impl ObjectStore {
         data: ObjectData,
         time: u64,
     ) -> Result<ObjKey, String> {
+        if let Some((from, to)) = &self.ns_alias {
+            if meta.namespace == *from {
+                meta.namespace = to.clone();
+            }
+        }
         let key = ObjKey::new(data.kind(), &meta.namespace, &meta.name);
         if self.objects.contains_key(&key) {
             return Err(format!(
@@ -182,17 +230,19 @@ impl ObjectStore {
 
     /// Fetches an object by key.
     pub fn get(&self, key: &ObjKey) -> Option<&StoredObject> {
-        self.objects.get(key).map(|obj| &**obj)
+        self.objects.get(&*self.resolve_key(key)).map(|obj| &**obj)
     }
 
     /// Fetches the shared handle for an object by key.
     pub fn get_shared(&self, key: &ObjKey) -> Option<&Arc<StoredObject>> {
-        self.objects.get(key)
+        self.objects.get(&*self.resolve_key(key))
     }
 
     /// Replaces an object's payload. Bumps generation when the spec changed
     /// and the resource version always.
     pub fn update(&mut self, key: &ObjKey, data: ObjectData, time: u64) -> Result<(), String> {
+        let resolved = self.resolve_key(key);
+        let key = &*resolved;
         let cur = self.objects.get(key).ok_or_else(|| {
             format!(
                 "{} {}/{} not found",
@@ -230,6 +280,8 @@ impl ObjectStore {
         time: u64,
         f: F,
     ) -> Result<(), String> {
+        let resolved = self.resolve_key(key);
+        let key = &*resolved;
         let next_rv = self.revision + 1;
         let slot = self.objects.get_mut(key).ok_or_else(|| {
             format!(
@@ -265,6 +317,8 @@ impl ObjectStore {
 
     /// Deletes an object, returning its shared handle.
     pub fn delete(&mut self, key: &ObjKey, time: u64) -> Option<Arc<StoredObject>> {
+        let resolved = self.resolve_key(key);
+        let key = &*resolved;
         let removed = self.objects.remove(key)?;
         self.bump(WatchEventKind::Deleted, key.clone(), time);
         Some(removed)
@@ -272,6 +326,7 @@ impl ObjectStore {
 
     /// Lists objects of a kind within a namespace, sorted by name.
     pub fn list(&self, kind: &Kind, namespace: &str) -> Vec<&StoredObject> {
+        let namespace = self.resolve_ns(namespace);
         self.objects
             .range_from_by(|k| k.cmp_parts(kind, namespace, ""))
             .take_while(|(k, _)| &k.kind == kind && k.namespace == namespace)
@@ -378,6 +433,7 @@ impl ObjectStore {
             events: Arc::new((*self.events).clone()),
             kind_revision: self.kind_revision.clone(),
             events_floor: self.events_floor,
+            ns_alias: self.ns_alias.clone(),
         }
     }
 }

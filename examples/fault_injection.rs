@@ -12,7 +12,7 @@ use acto_repro::simkube::{Fault, FaultPlan, FaultProfile, PlatformBugs};
 
 fn config(bugs: BugToggles, faults: FaultPlan) -> CampaignConfig {
     CampaignConfig {
-        operator: "ZooKeeperOp".to_string(),
+        operators: vec!["ZooKeeperOp".to_string()],
         mode: Mode::Whitebox,
         bugs,
         platform: PlatformBugs::none(),

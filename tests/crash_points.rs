@@ -17,7 +17,7 @@ use proptest::prelude::*;
 
 fn sweep_config(operator: &str, max_ops: usize, bugs: BugToggles) -> CampaignConfig {
     CampaignConfig {
-        operator: operator.to_string(),
+        operators: vec![operator.to_string()],
         mode: Mode::Whitebox,
         bugs,
         platform: PlatformBugs::none(),

@@ -34,7 +34,7 @@ fn run_both(config: &CampaignConfig) -> (CampaignResult, CampaignResult) {
 
 fn config(operator: &str, max_ops: usize, faults: FaultPlan) -> CampaignConfig {
     CampaignConfig {
-        operator: operator.to_string(),
+        operators: vec![operator.to_string()],
         mode: Mode::Whitebox,
         bugs: BugToggles::all_injected(),
         platform: PlatformBugs::none(),

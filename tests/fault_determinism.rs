@@ -12,7 +12,7 @@ use proptest::prelude::*;
 
 fn faulted_config(plan: FaultPlan) -> CampaignConfig {
     CampaignConfig {
-        operator: "ZooKeeperOp".to_string(),
+        operators: vec!["ZooKeeperOp".to_string()],
         mode: Mode::Whitebox,
         bugs: BugToggles::all_injected(),
         platform: PlatformBugs::none(),

@@ -14,7 +14,7 @@ use acto_repro::simkube::{Fault, FaultPlan, PlatformBugs};
 
 fn config(operator: &str, bugs: BugToggles, faults: FaultPlan) -> CampaignConfig {
     CampaignConfig {
-        operator: operator.to_string(),
+        operators: vec![operator.to_string()],
         mode: Mode::Whitebox,
         bugs,
         platform: PlatformBugs::none(),

@@ -22,19 +22,19 @@ fn small_config(seed: u64, workers: usize) -> FuzzConfig {
 
 #[test]
 fn fuzz_is_deterministic_across_repeats_and_worker_counts() {
-    let reference = run_fuzz(&small_config(0xF5ED, 1));
+    let reference = run_fuzz(&small_config(0xF5ED, 1)).expect("fuzz config");
     assert!(!reference.records.is_empty());
     assert!(
         !reference.corpus.entries.is_empty(),
         "a fresh run must bank at least the first input's territory"
     );
     // Repeat at the same worker count: byte-identical.
-    let repeat = run_fuzz(&small_config(0xF5ED, 1));
+    let repeat = run_fuzz(&small_config(0xF5ED, 1)).expect("fuzz config");
     assert_eq!(reference.transcript(), repeat.transcript());
     // Transcript, corpus serialization, and coverage digest are all
     // invariant to the worker count.
     for workers in [2, 4] {
-        let run = run_fuzz(&small_config(0xF5ED, workers));
+        let run = run_fuzz(&small_config(0xF5ED, workers)).expect("fuzz config");
         assert_eq!(
             reference.transcript(),
             run.transcript(),
@@ -59,7 +59,7 @@ fn fuzz_report_threads_cache_counters_through() {
     // worker-stats table under fuzz must show real depot activity — the
     // regression here was rendering all-zero cache columns because the
     // fuzz loop never filled the counters the parallel report reads.
-    let result = run_fuzz(&small_config(0xCACE, 2));
+    let result = run_fuzz(&small_config(0xCACE, 2)).expect("fuzz config");
     let depot_hits: usize = result.worker_stats.iter().map(|s| s.depot_hits).sum();
     assert!(
         depot_hits >= result.execs,
@@ -82,15 +82,15 @@ fn fuzz_report_threads_cache_counters_through() {
 
 #[test]
 fn corpus_replay_is_worker_invariant() {
-    let grown = run_fuzz(&small_config(0xC0FF, 2));
+    let grown = run_fuzz(&small_config(0xC0FF, 2)).expect("fuzz config");
     // Serialize → deserialize → replay: the round-tripped corpus must
     // reproduce its coverage bit-for-bit at every worker count.
     let saved = Corpus::from_json_str(&grown.corpus.to_json_string()).expect("corpus round trip");
     assert_eq!(saved, grown.corpus);
-    let reference = replay_corpus(&small_config(0xC0FF, 1), &saved);
+    let reference = replay_corpus(&small_config(0xC0FF, 1), &saved).expect("fuzz config");
     assert_eq!(reference.records.len(), saved.entries.len());
     for workers in [2, 4] {
-        let replay = replay_corpus(&small_config(0xC0FF, workers), &saved);
+        let replay = replay_corpus(&small_config(0xC0FF, workers), &saved).expect("fuzz config");
         assert_eq!(
             reference.transcript(),
             replay.transcript(),
@@ -114,8 +114,8 @@ proptest! {
         let mut b_cfg = small_config(seed, workers);
         b_cfg.execs = 12;
         b_cfg.batch = 6;
-        let a = run_fuzz(&a_cfg);
-        let b = run_fuzz(&b_cfg);
+        let a = run_fuzz(&a_cfg).expect("fuzz config");
+        let b = run_fuzz(&b_cfg).expect("fuzz config");
         prop_assert_eq!(a.transcript(), b.transcript());
         prop_assert_eq!(a.corpus.to_json_string(), b.corpus.to_json_string());
         prop_assert_eq!(a.coverage.digest(), b.coverage.digest());

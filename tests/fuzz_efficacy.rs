@@ -28,7 +28,7 @@ fn guided_fuzzer_finds_the_seeded_crash_bug_where_random_does_not() {
     let mut cfg = budget_config(0xB16);
     cfg.campaign.bugs.seed(SEEDED_NONIDEMPOTENT_CREATE);
 
-    let guided = run_fuzz(&cfg);
+    let guided = run_fuzz(&cfg).expect("fuzz config");
     let crash_alarms = guided
         .records
         .iter()
@@ -54,7 +54,7 @@ fn guided_fuzzer_finds_the_seeded_crash_bug_where_random_does_not() {
     // fault plans come from the enumerated generator), so the seeded bug —
     // which only manifests when a crash lands between the init-marker
     // create and its completion stamp — is unreachable for it.
-    let random = run_random(&cfg);
+    let random = run_random(&cfg).expect("fuzz config");
     assert_eq!(random.records.len(), guided.records.len(), "equal budgets");
     assert!(
         !random
@@ -71,7 +71,7 @@ fn fuzzer_sweeps_clean_with_bugs_off() {
     // silent. (Other alarm kinds are allowed — generated fault bursts may
     // legitimately expose recovery weaknesses — but nothing may attribute
     // to the seeded crash bug, and no crash boundary may diverge.)
-    let result = run_fuzz(&budget_config(0xB16));
+    let result = run_fuzz(&budget_config(0xB16)).expect("fuzz config");
     let crash_alarms: Vec<String> = result
         .records
         .iter()

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 
 fn config(operator: &str, max_ops: usize) -> CampaignConfig {
     CampaignConfig {
-        operator: operator.to_string(),
+        operators: vec![operator.to_string()],
         mode: Mode::Whitebox,
         bugs: BugToggles::all_injected(),
         platform: PlatformBugs::none(),

@@ -17,7 +17,7 @@ use acto_repro::simkube::PlatformBugs;
 #[test]
 fn multi_worker_run_plans_exactly_once() {
     let config = CampaignConfig {
-        operator: "ZooKeeperOp".to_string(),
+        operators: vec!["ZooKeeperOp".to_string()],
         mode: Mode::Whitebox,
         bugs: BugToggles::all_injected(),
         platform: PlatformBugs::none(),

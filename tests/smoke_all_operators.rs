@@ -8,7 +8,7 @@ use acto_repro::simkube::PlatformBugs;
 
 fn smoke(operator: &str, mode: Mode) {
     let config = CampaignConfig {
-        operator: operator.to_string(),
+        operators: vec![operator.to_string()],
         mode,
         bugs: BugToggles::all_injected(),
         platform: PlatformBugs::none(),
