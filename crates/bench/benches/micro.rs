@@ -137,6 +137,7 @@ fn bench_campaign(c: &mut Criterion) {
                 custom_oracles: Vec::new(),
                 faults: Default::default(),
                 crash_sweep: false,
+                topology: None,
             };
             black_box(acto::run_campaign(&config).trials.len())
         })

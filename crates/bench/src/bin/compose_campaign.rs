@@ -66,7 +66,10 @@ fn main() {
     seeded_config.bugs.seed(bugs::SEEDED_CROSS_OPERATOR_GC);
     seeded_config.max_ops = Some(max_ops.unwrap_or(24).min(24));
     let seeded_detected = match run_composed_campaign(&seeded_config) {
-        Ok(r) => r.summary.detected_bugs.contains_key(bugs::SEEDED_CROSS_OPERATOR_GC),
+        Ok(r) => r
+            .summary
+            .detected_bugs
+            .contains_key(bugs::SEEDED_CROSS_OPERATOR_GC),
         Err(e) => {
             failures.push(format!("seeded composed campaign refused to run: {e}"));
             false
@@ -87,8 +90,12 @@ fn main() {
     let mut parallel_json: Vec<String> = Vec::new();
     let mut reference_transcript: Option<String> = None;
     for &workers in &WORKER_COUNTS {
-        match run_composed_work_stealing_with(&composed_config, workers, DEFAULT_SEGMENT_OPS, &depot)
-        {
+        match run_composed_work_stealing_with(
+            &composed_config,
+            workers,
+            DEFAULT_SEGMENT_OPS,
+            &depot,
+        ) {
             Ok(run) => {
                 let transcript = run.transcript();
                 match &reference_transcript {
@@ -160,7 +167,15 @@ fn main() {
         "{}",
         render_table(
             &format!("composed work stealing: {}", PAIR.join("+")),
-            &["workers", "segments", "trials", "total sim", "depot hits", "snapshots", "wall"],
+            &[
+                "workers",
+                "segments",
+                "trials",
+                "total sim",
+                "depot hits",
+                "snapshots",
+                "wall"
+            ],
             &parallel_rows,
         )
     );

@@ -149,8 +149,7 @@ fn main() {
             let replayed = replay_corpus(&cfg, &parsed).expect("fuzz config");
             if replayed.coverage.digest() != guided.coverage.digest() {
                 failures.push(
-                    "replaying the round-tripped corpus did not reproduce its coverage"
-                        .to_string(),
+                    "replaying the round-tripped corpus did not reproduce its coverage".to_string(),
                 );
             }
         }

@@ -84,7 +84,11 @@ fn main() {
                         "{:.2}",
                         sequential_total as f64 / r.makespan_sim_seconds.max(1) as f64
                     ),
-                    r.worker_stats.iter().map(|s| s.steals).sum::<usize>().to_string(),
+                    r.worker_stats
+                        .iter()
+                        .map(|s| s.steals)
+                        .sum::<usize>()
+                        .to_string(),
                     format!("{:.2?}", r.wall),
                 ]
             })
@@ -92,10 +96,19 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &format!("parallel scaling: {operator} ({} ops/segment)", DEFAULT_SEGMENT_OPS),
+                &format!(
+                    "parallel scaling: {operator} ({} ops/segment)",
+                    DEFAULT_SEGMENT_OPS
+                ),
                 &[
-                    "workers", "segments", "trials", "total sim", "makespan", "speedup",
-                    "steals", "wall",
+                    "workers",
+                    "segments",
+                    "trials",
+                    "total sim",
+                    "makespan",
+                    "speedup",
+                    "steals",
+                    "wall",
                 ],
                 &rows,
             )

@@ -167,8 +167,14 @@ fn main() {
         render_table(
             "snapshot+restore: copy-on-write vs deep clone",
             &[
-                "operator", "objects", "iters", "cow ns/pair", "deep ns/pair", "speedup",
-                "trials", "campaign wall",
+                "operator",
+                "objects",
+                "iters",
+                "cow ns/pair",
+                "deep ns/pair",
+                "speedup",
+                "trials",
+                "campaign wall",
             ],
             &rows,
         )

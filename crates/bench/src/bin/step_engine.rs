@@ -65,7 +65,11 @@ fn run_engine(config: &CampaignConfig, ticked: bool) -> EngineRun {
 
 fn main() {
     let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
-    let budget = if quick { WALL_BUDGET_QUICK } else { WALL_BUDGET_FULL };
+    let budget = if quick {
+        WALL_BUDGET_QUICK
+    } else {
+        WALL_BUDGET_FULL
+    };
     let mut failures: Vec<String> = Vec::new();
     let mut json_entries: Vec<String> = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -113,9 +117,15 @@ fn main() {
                 run.result.sim_seconds.to_string(),
                 run.ticks_executed.to_string(),
                 simulated.to_string(),
-                format!("{}/{}", run.result.ref_cache_hits, run.result.ref_cache_misses),
+                format!(
+                    "{}/{}",
+                    run.result.ref_cache_hits, run.result.ref_cache_misses
+                ),
                 format!("{:.2?}", run.wall),
-                format!("{:.2}", ticked.wall.as_secs_f64() / run.wall.as_secs_f64().max(1e-9)),
+                format!(
+                    "{:.2}",
+                    ticked.wall.as_secs_f64() / run.wall.as_secs_f64().max(1e-9)
+                ),
             ]);
             json_entries.push(format!(
                 concat!(
@@ -149,8 +159,15 @@ fn main() {
         render_table(
             "step engine: ticked loop vs event-driven",
             &[
-                "operator", "engine", "trials", "sim sec", "ticks run", "ticks total",
-                "cache h/m", "wall", "speedup",
+                "operator",
+                "engine",
+                "trials",
+                "sim sec",
+                "ticks run",
+                "ticks total",
+                "cache h/m",
+                "wall",
+                "speedup",
             ],
             &rows,
         )

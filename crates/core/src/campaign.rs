@@ -63,6 +63,11 @@ pub struct CampaignConfig {
     /// boundary `k ∈ 1..=W` (where `W` is the uninterrupted run's write
     /// count) and require reconvergence to the reference end state.
     pub crash_sweep: bool,
+    /// Generated node topology for the campaign cluster (`None` = the
+    /// default 4-node cluster). Lets a campaign run against a
+    /// production-sized cluster — thousands of nodes, tens of thousands of
+    /// background pods — which the indexed engine steps at O(changed) cost.
+    pub topology: Option<simkube::NodeTopology>,
 }
 
 impl std::fmt::Debug for CampaignConfig {
@@ -109,6 +114,7 @@ impl CampaignConfig {
             custom_oracles: Vec::new(),
             faults: simkube::FaultPlan::default(),
             crash_sweep: false,
+            topology: None,
         }
     }
 
@@ -132,6 +138,7 @@ impl CampaignConfig {
             custom_oracles: Vec::new(),
             faults: simkube::FaultPlan::default(),
             crash_sweep: false,
+            topology: None,
         }
     }
 
@@ -151,6 +158,7 @@ impl CampaignConfig {
             custom_oracles: Vec::new(),
             faults: simkube::FaultPlan::default(),
             crash_sweep: false,
+            topology: None,
         }
     }
 
@@ -245,9 +253,17 @@ impl CampaignResult {
                 trial.rollback_recovered,
                 trial.sim_seconds
             );
-            let _ = writeln!(out, "  declaration: {}", crdspec::json::to_string(&trial.declaration));
+            let _ = writeln!(
+                out,
+                "  declaration: {}",
+                crdspec::json::to_string(&trial.declaration)
+            );
             if trial.crash_points_swept > 0 {
-                let _ = writeln!(out, "  crash-sweep: {} boundaries", trial.crash_points_swept);
+                let _ = writeln!(
+                    out,
+                    "  crash-sweep: {} boundaries",
+                    trial.crash_points_swept
+                );
             }
             for event in &trial.fault_events {
                 let _ = writeln!(out, "  {event}");
@@ -484,10 +500,11 @@ pub(crate) fn acknowledged(instance: &Instance) -> bool {
 }
 
 fn deploy_instance(config: &CampaignConfig) -> Instance {
-    Instance::deploy(
+    Instance::deploy_on(
         operator_by_name(config.operator()),
         config.bugs.clone(),
         config.platform,
+        config.topology.clone(),
     )
     .expect("initial deployment")
 }
@@ -604,6 +621,14 @@ pub fn run_campaign_with(
         ),
         None => acquire_instance(config, base),
     };
+    // Sequential runs reset by restoring the deploy-converged state —
+    // exactly the parallel runner's shared base checkpoint — instead of
+    // paying a full redeployment per reset, which is prohibitive on
+    // production-sized clusters. The restore replays bit-for-bit, so
+    // transcripts are unchanged.
+    let local_base: Option<InstanceCheckpoint> =
+        (base.is_none() && start.is_none() && fresh).then(|| instance.checkpoint());
+    let base = base.or(local_base.as_ref());
     let mut meter = SimMeter::new(&instance, fresh);
     // Sim-seconds attributed so far (setup + pushed trials). Spans are
     // measured from here so nothing is counted twice and nothing is lost.
@@ -1126,7 +1151,11 @@ impl FreshRefCache {
     }
 
     fn get(&self, key: &str) -> Option<Arc<CachedReference>> {
-        self.entries.lock().expect("ref cache lock").get(key).cloned()
+        self.entries
+            .lock()
+            .expect("ref cache lock")
+            .get(key)
+            .cloned()
     }
 
     fn insert(&self, key: String, entry: Arc<CachedReference>) {
@@ -1301,6 +1330,7 @@ mod tests {
             custom_oracles: Vec::new(),
             faults: Default::default(),
             crash_sweep: false,
+            topology: None,
         };
         let result = run_campaign(&config);
         let seqs = result.reproduction_sequences();
@@ -1328,6 +1358,7 @@ mod tests {
             custom_oracles: Vec::new(),
             faults: Default::default(),
             crash_sweep: false,
+            topology: None,
         };
         let result = run_campaign(&config);
         assert!(!result.trials.is_empty());
@@ -1362,6 +1393,7 @@ mod tests {
                     Default::default()
                 },
                 crash_sweep: false,
+                topology: None,
             };
             let result = run_campaign(&config);
             let trial_sum: u64 = result.trials.iter().map(|t| t.sim_seconds).sum();
@@ -1391,6 +1423,7 @@ mod tests {
             custom_oracles: Vec::new(),
             faults: Default::default(),
             crash_sweep: false,
+            topology: None,
         };
         let result = run_campaign(&config);
         let trial_sum: u64 = result.trials.iter().map(|t| t.sim_seconds).sum();

@@ -37,11 +37,11 @@ use simkube::{FaultPlan, SplitMix64};
 
 use crate::campaign::{apply_op, collapse, normalized, plan_campaign, CampaignConfig};
 use crate::fuzz::{
-    mutate_input, normalize_key, random_input, Corpus, CorpusEntry, CoverageFeature, CoverageMap,
-    FuzzConfig, FuzzInput,
+    mutate_input, random_input, Corpus, CorpusEntry, CoverageFeature, CoverageMap, FuzzConfig,
+    FuzzInput,
 };
 use crate::model::{Mode, PlannedOp, Trial, TrialOutcome};
-use crate::oracles::{self, masked_snapshot, AlarmKind};
+use crate::oracles::{self, AlarmKind};
 use crate::parallel::{steal_map, SnapshotDepot, WorkerStats, DEFAULT_SEGMENT_OPS};
 use crate::report::{merge_summaries, summarize, Alarm, CampaignSummary};
 
@@ -263,7 +263,10 @@ pub fn run_composed_campaign(config: &CampaignConfig) -> Result<ComposedResult, 
 /// Reads every member's shadow health (valid while parked: `last_health`
 /// is a plain struct field).
 fn member_healths(comp: &Composition) -> Vec<managed::Health> {
-    comp.members().iter().map(|m| m.last_health.clone()).collect()
+    comp.members()
+        .iter()
+        .map(|m| m.last_health.clone())
+        .collect()
 }
 
 fn acquire_composition(
@@ -273,8 +276,13 @@ fn acquire_composition(
     let ops = build_operators(&config.operators)?;
     match base {
         Some(cp) => Ok(Composition::from_checkpoint(ops, &config.bugs, cp)),
-        None => Composition::deploy(ops, config.bugs.clone(), config.platform)
-            .map_err(|e| format!("composed deployment failed: {e:?}")),
+        None => Composition::deploy_on(
+            ops,
+            config.bugs.clone(),
+            config.platform,
+            config.topology.clone(),
+        )
+        .map_err(|e| format!("composed deployment failed: {e:?}")),
     }
 }
 
@@ -303,7 +311,9 @@ pub fn run_composed_with(
     let mut interference_events = 0usize;
     let mut trials: Vec<ComposedTrial> = Vec::new();
     let mut span_start = t0;
-    let mut current: Vec<Value> = (0..n).map(|i| comp.with_member(i, |m| m.cr_spec())).collect();
+    let mut current: Vec<Value> = (0..n)
+        .map(|i| comp.with_member(i, |m| m.cr_spec()))
+        .collect();
     let mut last_good = current.clone();
     let (skip, take) = config.window.unwrap_or((0, plan.len()));
 
@@ -409,10 +419,7 @@ pub fn run_composed_with(
                 oracles::operator_rejected(mm, t_start),
             )
         });
-        let system_down = matches!(
-            comp.members()[m].last_health,
-            managed::Health::Down(_)
-        );
+        let system_down = matches!(comp.members()[m].last_health, managed::Health::Down(_));
         let stalled = !crashed && !acked;
         let outcome = if crashed {
             alarms.extend(comp.with_member(m, |mm| oracles::error_checks(mm, t_start)));
@@ -576,7 +583,11 @@ impl ComposedParallelResult {
         let mut out = String::new();
         let _ = writeln!(out, "operators: {}", self.operators.join("+"));
         let _ = writeln!(out, "mode: {}", self.mode.name());
-        let _ = writeln!(out, "segments: {} x {} ops", self.segments, self.segment_ops);
+        let _ = writeln!(
+            out,
+            "segments: {} x {} ops",
+            self.segments, self.segment_ops
+        );
         render_composed_trials(&mut out, &self.trials);
         render_detected(&mut out, &self.summary);
         out
@@ -662,8 +673,13 @@ pub fn run_composed_work_stealing_with(
         let mut seg_config = config.clone();
         seg_config.window = Some((skip, take));
         seg_config.max_ops = None;
-        let result =
-            run_composed_with(&seg_config, &plan, Duration::ZERO, Some(&base), Some(&start_cp))?;
+        let result = run_composed_with(
+            &seg_config,
+            &plan,
+            Duration::ZERO,
+            Some(&base),
+            Some(&start_cp),
+        )?;
         my.sim_seconds += result.sim_seconds;
         my.convergence_waits += result.convergence_waits;
         Ok(result)
@@ -743,29 +759,30 @@ fn build_composed_prefix(
 // ---------------------------------------------------------------------------
 
 /// Hash of the whole composition's structural observable state: every
-/// object in the shared store (seen through member 0's whole-store
-/// enumeration) except the members' own CR objects, status sections only,
-/// XOR-mixed with the shared cluster's quiescence fingerprint — the
-/// composed analogue of the single-instance observable hash.
+/// object in the shared store except the members' own CR objects, status
+/// sections only, XOR-mixed with the shared cluster's quiescence
+/// fingerprint — the composed analogue of the single-instance observable
+/// hash, on the same memoized per-object digests
+/// ([`crate::fuzz::entry_digest`]), so recomputing it costs O(changed).
 fn composed_observable_hash(comp: &mut Composition, cr_ids: &[String]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mix = |bytes: &[u8], h: &mut u64| {
-        for b in bytes {
-            *h ^= u64::from(*b);
-            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    let store_digest = comp.with_member(0, |m| {
+        let store = m.cluster.api().store();
+        let mut h = store.digest_sum(&crate::fuzz::entry_digest);
+        // Each member's CR entry subtracts back out of the commutative sum.
+        for cr_id in cr_ids {
+            let mut parts = cr_id.splitn(3, '/');
+            let (Some(kind), Some(ns), Some(name)) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let key = simkube::ObjKey::new(simkube::Kind::Custom(kind.to_string()), ns, name);
+            if let Some(obj) = store.get_shared(&key) {
+                h = h.wrapping_sub(crate::fuzz::entry_digest(&key, obj));
+            }
         }
-    };
-    let snap = comp.with_member(0, |m| masked_snapshot(m));
-    for (key, entry) in snap {
-        if cr_ids.contains(&key) {
-            continue;
-        }
-        mix(normalize_key(&key).as_bytes(), &mut h);
-        if let Some(status) = entry.masked().get("status") {
-            mix(crdspec::json::to_string(status).as_bytes(), &mut h);
-        }
-    }
-    h ^ comp.cluster().quiescence_fingerprint().coverage_hash()
+        h
+    });
+    store_digest ^ comp.cluster().quiescence_fingerprint().coverage_hash()
 }
 
 fn composition_cr_ids(comp: &Composition) -> Vec<String> {
@@ -895,7 +912,9 @@ fn execute_composed_sequence(
     let _ = comp.drain_interference();
     let n = comp.member_count();
     let cr_ids = composition_cr_ids(&comp);
-    let mut current: Vec<Value> = (0..n).map(|i| comp.with_member(i, |m| m.cr_spec())).collect();
+    let mut current: Vec<Value> = (0..n)
+        .map(|i| comp.with_member(i, |m| m.cr_spec()))
+        .collect();
     let mut trials: Vec<ComposedTrial> = Vec::new();
     let mut features: Vec<CoverageFeature> = Vec::new();
     let mut prev_hash = composed_observable_hash(&mut comp, &cr_ids);
@@ -1192,8 +1211,14 @@ mod tests {
     fn unknown_member_is_a_config_error() {
         let config = CampaignConfig::composed(&["ZooKeeperOp", "NoSuchOp"], Mode::Whitebox);
         let err = plan_composed(&config).unwrap_err();
-        assert!(err.contains("NoSuchOp"), "error names the bad member: {err}");
-        assert!(err.contains("ZooKeeperOp"), "error lists valid names: {err}");
+        assert!(
+            err.contains("NoSuchOp"),
+            "error names the bad member: {err}"
+        );
+        assert!(
+            err.contains("ZooKeeperOp"),
+            "error lists valid names: {err}"
+        );
     }
 
     #[test]

@@ -319,8 +319,7 @@ impl Corpus {
                 ("id", Value::Integer(e.id as i64)),
                 (
                     "parent",
-                    e.parent
-                        .map_or(Value::Null, |p| Value::Integer(p as i64)),
+                    e.parent.map_or(Value::Null, |p| Value::Integer(p as i64)),
                 ),
                 ("mutation", Value::String(e.mutation.clone())),
                 ("exec", Value::Integer(e.exec as i64)),
@@ -866,26 +865,60 @@ struct ExecCtx<'a> {
 /// behaviour (scale transitions, degradations, wedged retry loops, crash
 /// epochs) keeps minting buckets.
 fn observable_hash(instance: &Instance, cr_id: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mix = |bytes: &[u8], h: &mut u64| {
-        for b in bytes {
-            *h ^= u64::from(*b);
-            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    for (key, entry) in masked_snapshot(instance) {
-        if key == cr_id {
-            continue;
-        }
-        mix(normalize_key(&key).as_bytes(), &mut h);
-        if let Some(status) = entry.masked().get("status") {
-            mix(crdspec::json::to_string(status).as_bytes(), &mut h);
-        }
+    let store = instance.cluster.api().store();
+    let mut h = store.digest_sum(&entry_digest);
+    // The CR's own entry subtracts straight back out of the commutative
+    // sum, mirroring the old snapshot loop's `key == cr_id` skip.
+    let cr_key = instance.cr_key();
+    debug_assert_eq!(
+        cr_id,
+        format!(
+            "{}/{}/{}",
+            cr_key.kind.name(),
+            cr_key.namespace,
+            cr_key.name
+        )
+    );
+    if let Some(obj) = store.get_shared(&cr_key) {
+        h = h.wrapping_sub(entry_digest(&cr_key, obj));
     }
-    h ^ instance
-        .cluster
-        .quiescence_fingerprint()
-        .coverage_hash()
+    h ^ instance.cluster.quiescence_fingerprint().coverage_hash()
+}
+
+/// Per-object digest backing [`observable_hash`]: FNV-1a over the
+/// normalized object id and the masked status rendering, passed through a
+/// splitmix64 finalizer so the store's commutative wrapping-add combine
+/// ([`simkube::ObjectStore::digest_sum`]) still separates entries. The
+/// store memoizes these per B-tree node, so after the first render only
+/// objects on mutated root-to-leaf paths are re-rendered — the hash of a
+/// 100k-object store costs O(changed), not O(total).
+///
+/// Spec sections are deliberately excluded, exactly as before: status is
+/// what the *system* did; hashing specs would make every distinct
+/// declaration trivially "novel" (see the doc comment above).
+pub(crate) fn entry_digest(
+    key: &simkube::ObjKey,
+    obj: &std::sync::Arc<simkube::StoredObject>,
+) -> u64 {
+    let fnv = |mut h: u64, bytes: &[u8]| -> u64 {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    };
+    let id = format!("{}/{}/{}", key.kind.name(), key.namespace, key.name);
+    let mut h = fnv(0xcbf2_9ce4_8422_2325u64, normalize_key(&id).as_bytes());
+    if let Some(status) = oracles::mask_value(&obj.to_value()).get("status") {
+        h = fnv(h, crdspec::json::to_string(status).as_bytes());
+    }
+    // splitmix64 finalizer: without it, wrapping-add of raw FNV values
+    // would let near-identical entries cancel.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
 }
 
 /// Collapses content-addressed object names into one bucket: a trailing
@@ -896,9 +929,7 @@ fn observable_hash(instance: &Instance, cr_id: &str) -> u64 {
 /// replica identity is genuine structure.
 pub(crate) fn normalize_key(key: &str) -> String {
     match key.rsplit_once('-') {
-        Some((head, tail))
-            if tail.len() >= 8 && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
-        {
+        Some((head, tail)) if tail.len() >= 8 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
             format!("{head}-#")
         }
         _ => key.to_string(),
@@ -921,8 +952,11 @@ fn execute_sequence(
     let (shared, owned) = cp.sharing_stats();
     my.restored_objects_shared += shared;
     my.restored_objects_owned += owned;
-    let mut instance =
-        Instance::from_checkpoint(operator_by_name(config.operator()), config.bugs.clone(), &cp);
+    let mut instance = Instance::from_checkpoint(
+        operator_by_name(config.operator()),
+        config.bugs.clone(),
+        &cp,
+    );
     let t0 = instance.cluster.now();
     let mut banked: u64 = 0;
     let mut banked_at_span: u64 = 0;
@@ -941,12 +975,13 @@ fn execute_sequence(
 
     // Span accounting: each trial is billed everything it caused since the
     // previous trial, including banked reference runs.
-    let take_span = |instance: &Instance, banked: &mut u64, span_start: &mut u64, banked_at_span: &mut u64| {
-        let sim = (instance.cluster.now() - *span_start) + (*banked - *banked_at_span);
-        *span_start = instance.cluster.now();
-        *banked_at_span = *banked;
-        sim
-    };
+    let take_span =
+        |instance: &Instance, banked: &mut u64, span_start: &mut u64, banked_at_span: &mut u64| {
+            let sim = (instance.cluster.now() - *span_start) + (*banked - *banked_at_span);
+            *span_start = instance.cluster.now();
+            *banked_at_span = *banked;
+            sim
+        };
 
     // Fault burst before the ops, mirroring the campaign's error-state
     // start — but without resetting on a failed recovery: a damaged
@@ -963,7 +998,9 @@ fn execute_sequence(
             && acknowledged(&instance)
             && instance.pod_failures().is_empty();
         let after = masked_snapshot(&instance);
-        let alarms = collapse(oracles::recovery_check(&pre_fault, &after, healthy, converged));
+        let alarms = collapse(oracles::recovery_check(
+            &pre_fault, &after, healthy, converged,
+        ));
         let recovered = alarms.is_empty();
         let outcome = if recovered {
             TrialOutcome::Converged
@@ -1217,7 +1254,13 @@ fn execute_input(ctx: &ExecCtx<'_>, input: &FuzzInput, my: &mut WorkerStats) -> 
                 Some(r) => (r, true),
                 None => {
                     let mut scratch = WorkerStats::new(usize::MAX);
-                    let r = execute_sequence(ctx, &input.ops, &FaultPlan::default(), None, &mut scratch);
+                    let r = execute_sequence(
+                        ctx,
+                        &input.ops,
+                        &FaultPlan::default(),
+                        None,
+                        &mut scratch,
+                    );
                     let entry = Arc::new(SeqReference {
                         state: r.final_state,
                         healthy: r.healthy,
@@ -1417,10 +1460,11 @@ impl RunState {
             operators::INSTANCE,
         );
         ensure_pool(&pool)?;
-        let base_instance = Instance::deploy(
+        let base_instance = Instance::deploy_on(
             operator,
             cfg.campaign.bugs.clone(),
             cfg.campaign.platform,
+            cfg.campaign.topology.clone(),
         )
         .map_err(|e| format!("initial deployment failed: {e:?}"))?;
         let base_sim_seconds = base_instance.cluster.now();
@@ -1511,8 +1555,8 @@ impl RunState {
             .flat_map(|r| r.trials.iter().cloned())
             .collect();
         let summary = summarize(cfg.campaign.operator(), &all_trials);
-        let total_sim_seconds = self.base_sim_seconds
-            + self.worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
+        let total_sim_seconds =
+            self.base_sim_seconds + self.worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
         FuzzResult {
             operator: cfg.campaign.operator().to_string(),
             mode: cfg.campaign.mode,
@@ -1644,7 +1688,10 @@ mod tests {
         cfg.execs = 1;
         cfg.campaign.operators = vec!["NoSuchOp".to_string()];
         let err = run_fuzz(&cfg).unwrap_err();
-        assert!(err.contains("NoSuchOp"), "error names the bad operator: {err}");
+        assert!(
+            err.contains("NoSuchOp"),
+            "error names the bad operator: {err}"
+        );
         assert!(
             err.contains("ZooKeeperOp"),
             "error lists valid registry names: {err}"
@@ -1654,7 +1701,10 @@ mod tests {
     #[test]
     fn empty_pool_is_rejected_up_front() {
         let err = ensure_pool(&[]).unwrap_err();
-        assert!(err.contains("empty"), "error explains the empty pool: {err}");
+        assert!(
+            err.contains("empty"),
+            "error explains the empty pool: {err}"
+        );
         // A real operator always plans a non-empty pool; the guard passes.
         let op = operator_by_name("ZooKeeperOp");
         let pool = plan_campaign(
@@ -1687,7 +1737,10 @@ mod tests {
     fn transition_edges_are_order_sensitive() {
         let mut map = CoverageMap::new();
         assert!(map.observe(CoverageFeature::Edge(1, 2)));
-        assert!(map.observe(CoverageFeature::Edge(2, 1)), "reverse edge is new territory");
+        assert!(
+            map.observe(CoverageFeature::Edge(2, 1)),
+            "reverse edge is new territory"
+        );
         assert!(!map.observe(CoverageFeature::Edge(1, 2)));
         assert_eq!(map.len(), 2);
     }
@@ -1781,7 +1834,10 @@ mod tests {
         for step in 0..300 {
             let donor = random_input(&mut rng, pool.len(), &cfg);
             let (child, name) = mutate_input(&current, &donor, &mut rng, pool.len(), &cfg);
-            assert!(!child.ops.is_empty(), "step {step} ({name}): empty sequence");
+            assert!(
+                !child.ops.is_empty(),
+                "step {step} ({name}): empty sequence"
+            );
             assert!(
                 child.ops.len() <= cfg.max_seq * 4,
                 "step {step} ({name}): sequence over bound"
@@ -1791,7 +1847,10 @@ mod tests {
                 "step {step} ({name}): op index out of pool"
             );
             if let Some((pos, k)) = child.crash {
-                assert!(pos < child.ops.len(), "step {step} ({name}): crash past end");
+                assert!(
+                    pos < child.ops.len(),
+                    "step {step} ({name}): crash past end"
+                );
                 assert!(
                     (1..=cfg.crash_writes_max).contains(&k),
                     "step {step} ({name}): crash boundary out of range"

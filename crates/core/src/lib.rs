@@ -58,8 +58,8 @@ pub use campaign::{
 };
 pub use compose::{
     plan_composed, run_composed_campaign, run_composed_fuzz, run_composed_with,
-    run_composed_work_stealing, run_composed_work_stealing_with, ComposedExecRecord, ComposedFuzzResult,
-    ComposedOp, ComposedParallelResult, ComposedResult, ComposedTrial,
+    run_composed_work_stealing, run_composed_work_stealing_with, ComposedExecRecord,
+    ComposedFuzzResult, ComposedOp, ComposedParallelResult, ComposedResult, ComposedTrial,
 };
 pub use deps::{infer_dependencies, Dependency};
 pub use fuzz::{

@@ -336,7 +336,11 @@ impl ParallelResult {
         let mut out = String::new();
         let _ = writeln!(out, "operator: {}", self.operator);
         let _ = writeln!(out, "mode: {}", self.mode.name());
-        let _ = writeln!(out, "segments: {} x {} ops", self.segments, self.segment_ops);
+        let _ = writeln!(
+            out,
+            "segments: {} x {} ops",
+            self.segments, self.segment_ops
+        );
         for trial in &self.trials {
             let _ = writeln!(
                 out,
@@ -406,9 +410,7 @@ pub fn run_work_stealing_with(
 
     // `max_ops` bounds the planned operations considered; applying it to
     // the shared plan before segmentation keeps it worker-count-agnostic.
-    let plan_len = config
-        .max_ops
-        .map_or(plan.len(), |max| plan.len().min(max));
+    let plan_len = config.max_ops.map_or(plan.len(), |max| plan.len().min(max));
     let segment_ops = segment_ops.max(1);
 
     // Fixed-size segments, independent of the worker count. The last
@@ -430,10 +432,11 @@ pub fn run_work_stealing_with(
     // Deploy the shared base once and checkpoint it: every reset and
     // differential reference in every segment restores this snapshot
     // instead of paying for a redeployment.
-    let base_instance = Instance::deploy(
+    let base_instance = Instance::deploy_on(
         operator_by_name(config.operator()),
         config.bugs.clone(),
         config.platform,
+        config.topology.clone(),
     )
     .expect("initial deployment");
     let base_sim_seconds = base_instance.cluster.now();
@@ -444,7 +447,12 @@ pub fn run_work_stealing_with(
     // One fresh-reference cache for the whole run: reference runs depend
     // only on the declaration, so workers share them like depot snapshots.
     let ref_cache = FreshRefCache::new();
-    let cursor = AtomicUsize::new(0);
+    // Each worker is pre-assigned its own first segment (workers are
+    // clamped to the segment count, so segment `w` always exists); the
+    // shared cursor hands out the rest. Guarantees every spawned worker
+    // executes at least one segment even when segments finish faster than
+    // threads spawn, instead of relying on timing.
+    let cursor = AtomicUsize::new(workers);
     let seg_trials: Mutex<BTreeMap<usize, Vec<Trial>>> = Mutex::new(BTreeMap::new());
     let failed: Mutex<Vec<FailedSegment>> = Mutex::new(Vec::new());
     let stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::new());
@@ -465,8 +473,12 @@ pub fn run_work_stealing_with(
             handles.push(scope.spawn(move || {
                 let worker_start = Instant::now();
                 let mut my = WorkerStats::new(w);
+                let mut preassigned = Some(w);
                 loop {
-                    let seg = cursor.fetch_add(1, Ordering::SeqCst);
+                    let seg = match preassigned.take() {
+                        Some(seg) => seg,
+                        None => cursor.fetch_add(1, Ordering::SeqCst),
+                    };
                     if seg >= segments.len() {
                         break;
                     }
@@ -477,8 +489,15 @@ pub fn run_work_stealing_with(
                     let mut attempt = || {
                         catch_unwind(AssertUnwindSafe(|| {
                             run_segment(
-                                &config, &plan, &initial_cr, &base, depot, ref_cache, skip,
-                                take, &mut my,
+                                &config,
+                                &plan,
+                                &initial_cr,
+                                &base,
+                                depot,
+                                ref_cache,
+                                skip,
+                                take,
+                                &mut my,
                             )
                         }))
                     };
@@ -521,15 +540,16 @@ pub fn run_work_stealing_with(
                                 .insert(seg, result.trials);
                         }
                         Err(panic) => {
-                            failed.lock().unwrap_or_else(|e| e.into_inner()).push(
-                                FailedSegment {
+                            failed
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(FailedSegment {
                                     segment: seg,
                                     skip,
                                     take,
                                     panic: panic.clone(),
                                     quarantined: true,
-                                },
-                            );
+                                });
                             seg_trials
                                 .lock()
                                 .unwrap_or_else(|e| e.into_inner())
@@ -717,6 +737,7 @@ mod tests {
             custom_oracles: Vec::new(),
             faults: Default::default(),
             crash_sweep: false,
+            topology: None,
         }
     }
 
@@ -765,7 +786,11 @@ mod tests {
                 s.worker
             );
         }
-        let executed: usize = result.worker_stats.iter().map(|s| s.segments_executed).sum();
+        let executed: usize = result
+            .worker_stats
+            .iter()
+            .map(|s| s.segments_executed)
+            .sum();
         assert_eq!(executed, result.segments);
     }
 

@@ -437,7 +437,11 @@ pub fn render_parallel(result: &crate::parallel::ParallelResult) -> String {
 pub fn render_composed(result: &crate::compose::ComposedResult) -> String {
     let label = result.operators.join("+");
     let mut out = String::new();
-    out.push_str(&format!("== {} ({}; composed) ==\n", label, result.mode.name()));
+    out.push_str(&format!(
+        "== {} ({}; composed) ==\n",
+        label,
+        result.mode.name()
+    ));
     out.push_str(&format!(
         "trials: {}; interference events: {}; convergence waits: {}\n",
         result.trials.len(),

@@ -133,7 +133,9 @@ mod tests {
         let mut model = ZooKeeperModel;
         let mut view = SystemView::new(&mut c, "ns", "zk");
         model.tick(&mut view);
-        assert!(c.crashing().any(|(pod, _)| pod == "ns/zk-1"));
+        assert!(c
+            .crashing()
+            .any(|((ns, pod), _)| ns == "ns" && pod == "zk-1"));
     }
 
     #[test]

@@ -20,7 +20,9 @@ use simkube::store::WatchEventKind;
 use simkube::{ApiError, ClusterConfig, PlatformBugs, SimCluster};
 
 use crate::bugs::BugToggles;
-use crate::framework::{Instance, InstanceCheckpoint, Operator, CONVERGE_MAX, CONVERGE_RESET, NAMESPACE};
+use crate::framework::{
+    Instance, InstanceCheckpoint, Operator, CONVERGE_MAX, CONVERGE_RESET, NAMESPACE,
+};
 
 /// Namespace of composition member `index`: the first member keeps the
 /// conventional [`NAMESPACE`]; later members get `{NAMESPACE}{index}`.
@@ -122,9 +124,28 @@ impl Composition {
         bugs: BugToggles,
         platform: PlatformBugs,
     ) -> Result<Composition, ApiError> {
-        assert!(!operators.is_empty(), "composition needs at least one operator");
+        Self::deploy_on(operators, bugs, platform, None)
+    }
+
+    /// Like [`Composition::deploy`], but the shared cluster is built from a
+    /// generated node topology (see [`Instance::deploy_on`]).
+    pub fn deploy_on(
+        operators: Vec<Box<dyn Operator>>,
+        bugs: BugToggles,
+        platform: PlatformBugs,
+        topology: Option<simkube::NodeTopology>,
+    ) -> Result<Composition, ApiError> {
+        assert!(
+            !operators.is_empty(),
+            "composition needs at least one operator"
+        );
         let mut ops = operators.into_iter();
-        let first = Instance::deploy(ops.next().expect("non-empty"), bugs.clone(), platform)?;
+        let first = Instance::deploy_on(
+            ops.next().expect("non-empty"),
+            bugs.clone(),
+            platform,
+            topology,
+        )?;
         let mut members = vec![first];
         let mut cluster = mem::replace(&mut members[0].cluster, placeholder_cluster());
         for (i, op) in ops.enumerate() {
@@ -385,18 +406,16 @@ mod tests {
         let mut comp = compose(&["ZooKeeperOp", "RabbitMQOp"], BugToggles::all_injected());
         let pods_before = comp.cluster().pod_summaries("acto1").len();
         // Scale member 1 up by one replica; member 0 must be untouched.
-        let mut spec = comp.members()[1]
-            .cr_spec()
-            .clone();
+        let mut spec = comp.members()[1].cr_spec().clone();
         let replicas = spec.get("replicas").and_then(Value::as_i64).unwrap_or(3);
-        spec.set_path(&"replicas".parse().expect("path"), Value::from(replicas + 1));
+        spec.set_path(
+            &"replicas".parse().expect("path"),
+            Value::from(replicas + 1),
+        );
         let snapshot_before = comp.cluster().pod_summaries("acto");
         comp.submit(1, spec).expect("valid declaration");
         assert!(comp.converge(CONVERGE_RESET, CONVERGE_MAX));
-        assert_eq!(
-            comp.cluster().pod_summaries("acto1").len(),
-            pods_before + 1
-        );
+        assert_eq!(comp.cluster().pod_summaries("acto1").len(), pods_before + 1);
         assert_eq!(comp.cluster().pod_summaries("acto"), snapshot_before);
         assert!(comp.interference().is_empty());
     }
@@ -407,7 +426,10 @@ mod tests {
         let cp = comp.checkpoint();
         assert_eq!(cp.member_count(), 2);
         let mut restored = Composition::from_checkpoint(
-            vec![operator_by_name("ZooKeeperOp"), operator_by_name("RabbitMQOp")],
+            vec![
+                operator_by_name("ZooKeeperOp"),
+                operator_by_name("RabbitMQOp"),
+            ],
             &BugToggles::all_injected(),
             &cp,
         );

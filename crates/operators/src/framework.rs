@@ -182,8 +182,21 @@ impl Instance {
         bugs: BugToggles,
         platform: PlatformBugs,
     ) -> Result<Instance, ApiError> {
+        Self::deploy_on(operator, bugs, platform, None)
+    }
+
+    /// Like [`Instance::deploy`], but on a generated node topology
+    /// (production-sized clusters: thousands of nodes, optional background
+    /// pods). `None` keeps the default 4-node cluster.
+    pub fn deploy_on(
+        operator: Box<dyn Operator>,
+        bugs: BugToggles,
+        platform: PlatformBugs,
+        topology: Option<simkube::NodeTopology>,
+    ) -> Result<Instance, ApiError> {
         let mut cluster = SimCluster::new(ClusterConfig {
             bugs: platform,
+            topology,
             ..ClusterConfig::default()
         });
         for image in operator.images() {
@@ -680,12 +693,16 @@ impl Instance {
 
     /// Snapshot of all state objects rendered as values, keyed by
     /// `kind/namespace/name` — the uniform system-state view Acto's oracles
-    /// compare.
+    /// compare. Background scale-workload pods
+    /// ([`simkube::BACKGROUND_NAMESPACE`]) are inert cluster scaffolding —
+    /// no operator manages them — so they are excluded, keeping oracle cost
+    /// proportional to operator state rather than cluster size.
     pub fn state_snapshot(&self) -> std::collections::BTreeMap<String, Value> {
         self.cluster
             .api()
             .store()
             .iter()
+            .filter(|(k, _)| k.namespace != simkube::BACKGROUND_NAMESPACE)
             .map(|(k, o)| {
                 (
                     format!("{}/{}/{}", k.kind.name(), k.namespace, k.name),
@@ -696,8 +713,9 @@ impl Instance {
     }
 
     /// Snapshot of all state objects as shared handles, keyed like
-    /// [`Instance::state_snapshot`]. Oracles use the handles to prune
-    /// unchanged objects by pointer identity before rendering values.
+    /// [`Instance::state_snapshot`] (background scale-workload pods
+    /// excluded the same way). Oracles use the handles to prune unchanged
+    /// objects by pointer identity before rendering values.
     pub fn state_handles(
         &self,
     ) -> std::collections::BTreeMap<String, std::sync::Arc<simkube::StoredObject>> {
@@ -705,6 +723,7 @@ impl Instance {
             .api()
             .store()
             .iter_shared()
+            .filter(|(k, _)| k.namespace != simkube::BACKGROUND_NAMESPACE)
             .map(|(k, o)| {
                 (
                     format!("{}/{}/{}", k.kind.name(), k.namespace, k.name),

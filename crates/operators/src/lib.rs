@@ -18,9 +18,7 @@ pub mod ops;
 pub mod registry;
 
 pub use bugs::{all_bugs, bug, bugs_of, BugCategory, BugSpec, BugToggles, Consequence};
-pub use compose::{
-    member_namespace, Composition, CompositionCheckpoint, InterferenceEvent,
-};
+pub use compose::{member_namespace, Composition, CompositionCheckpoint, InterferenceEvent};
 pub use framework::{
     CrashEvent, Instance, InstanceCheckpoint, Operator, OperatorError, CONVERGE_MAX,
     CONVERGE_RESET, INSTANCE, NAMESPACE,

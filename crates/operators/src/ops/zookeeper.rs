@@ -15,7 +15,9 @@ use managed::Health;
 use opdsl::{Cmp, IrBuilder, IrModule, Operand};
 use simkube::cluster::LogLevel;
 use simkube::meta::{LabelSelector, ObjectMeta};
-use simkube::objects::{ClaimTemplate, ConfigMap, Kind, ObjectData, PodPhase, Service, ServiceType};
+use simkube::objects::{
+    ClaimTemplate, ConfigMap, Kind, ObjectData, PodPhase, Service, ServiceType,
+};
 use simkube::store::ObjKey;
 use simkube::SimCluster;
 

@@ -59,7 +59,8 @@ pub trait Strategy {
         let leaf = self.boxed();
         let mut level = leaf.clone();
         for _ in 0..depth {
-            level = Union::new_weighted(vec![(1, leaf.clone()), (2, recurse(level).boxed())]).boxed();
+            level =
+                Union::new_weighted(vec![(1, leaf.clone()), (2, recurse(level).boxed())]).boxed();
         }
         level
     }

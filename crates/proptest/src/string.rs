@@ -60,10 +60,7 @@ fn parse(pattern: &str) -> Vec<Piece> {
     pieces
 }
 
-fn parse_class(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-    pattern: &str,
-) -> Vec<char> {
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
     let mut choices = Vec::new();
     loop {
         let c = match chars.next() {
@@ -94,10 +91,7 @@ fn parse_class(
     choices
 }
 
-fn parse_counts(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-    pattern: &str,
-) -> (u32, u32) {
+fn parse_counts(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> (u32, u32) {
     let mut min = 0u32;
     let mut max = None;
     let mut saw_comma = false;

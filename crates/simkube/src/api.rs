@@ -440,12 +440,7 @@ impl ApiServer {
     ) -> Result<ObjKey, ApiError> {
         let key = ObjKey::new(data.kind(), &meta.namespace, &meta.name);
         self.check_pass_alive(|| {
-            format!(
-                "apply {} {}/{}",
-                key.kind.name(),
-                key.namespace,
-                key.name
-            )
+            format!("apply {} {}/{}", key.kind.name(), key.namespace, key.name)
         })?;
         let rev = self.store.revision();
         let result = self.apply_object_inner(key, meta, data, time);

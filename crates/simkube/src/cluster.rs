@@ -22,17 +22,18 @@
 //! available behind [`set_ticked_engine`] for equivalence testing.
 
 use std::cell::Cell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::api::ApiServer;
 use crate::controllers::ControllerCursors;
 use crate::meta::ObjectMeta;
-use crate::objects::{Kind, Node, ObjectData, PodPhase};
+use crate::objects::{Container, Kind, Node, ObjectData, Pod, PodPhase, StoredObject};
 use crate::platform::PlatformBugs;
+use crate::pmap::PMap;
 use crate::scheduler;
-use crate::store::ObjKey;
+use crate::store::{ObjKey, ObjectStore};
 
 /// Seconds a scheduled pod takes to pull its image and start containers.
 pub const POD_START_DELAY: u64 = 3;
@@ -83,25 +84,222 @@ pub fn checkpoint_forks() -> u64 {
     CHECKPOINT_FORKS.load(Ordering::Relaxed)
 }
 
-/// Dirty-tracking state of the event-driven engine: reconcile-queue cursors
-/// plus tick accounting. Timer wakeups are derived on demand from object
-/// and injector state ([`SimCluster::next_wakeup`]), so cursors are the
-/// engine's only persistent state and checkpointing this struct captures
-/// the whole engine.
+/// Dirty-tracking state of the event-driven engine: reconcile-queue cursors,
+/// tick accounting, and the maintained indexes that make steady-state step
+/// cost proportional to what changed (scheduler index, pod-deadline timer
+/// index, dirty-pod cursor, waiter sets). Every index is a pure function of
+/// store content plus its `synced` revision, kept current by replaying the
+/// store's watch-event log, so checkpointing this struct (an O(1) persistent
+///-map clone) captures the whole engine and restored clusters replay
+/// bit-for-bit.
 #[derive(Debug, Clone, Default)]
 pub struct StepEngine {
     cursors: ControllerCursors,
     ticks_executed: u64,
     ticks_skipped: u64,
+    /// Incremental scheduler index (event-driven mode only).
+    sched: scheduler::SchedIndex,
+    /// `(deadline, pod)` timer index backing [`SimCluster::next_wakeup`]
+    /// and the due-timer part of the dirty-pod set.
+    timers: PodTimers,
+    /// Store revision up to which [`SimCluster::advance_pods`] has already
+    /// observed pod events; only pods with events past it are revisited.
+    pod_cursor: u64,
+    /// Pods that must be revisited regardless of store events (crash
+    /// conditions toggle without a store write).
+    forced_dirty: BTreeSet<ObjKey>,
+    /// Pods last seen blocked on an unbound claim: revisited whenever any
+    /// PVC event lands.
+    vol_waiters: PMap<ObjKey, ()>,
+    /// Pods last seen in ImagePullBackOff: revisited whenever the image
+    /// catalog changes.
+    image_waiters: PMap<ObjKey, ()>,
+    /// Catalog epoch the waiter pass last observed.
+    image_epoch_seen: u64,
+}
+
+/// Timer index over `(deadline, pod key)`: every pod sitting in a timed
+/// phase (Pending-and-bound waiting out [`POD_START_DELAY`], Running-not-
+/// ready waiting out [`POD_READY_DELAY`]) appears exactly once, keyed by
+/// the absolute sim-time at which its transition fires. Synchronized from
+/// the store's watch-event log (full rebuild when the log was compacted
+/// past `synced`), so [`SimCluster::next_wakeup`] reads the earliest
+/// deadline in O(log n) instead of scanning every pod.
+#[derive(Debug, Clone, Default)]
+pub struct PodTimers {
+    synced: u64,
+    by_deadline: PMap<(u64, ObjKey), ()>,
+    per_pod: PMap<ObjKey, u64>,
+}
+
+impl PodTimers {
+    /// The deadline rule. Must mirror the legacy full scan in
+    /// [`SimCluster::next_wakeup`] exactly: a pod has a timer iff the scan
+    /// would consider it.
+    fn deadline_for(pod: &Pod) -> Option<u64> {
+        match pod.phase {
+            PodPhase::Pending if pod.node_name.is_some() => Some(pod.phase_since + POD_START_DELAY),
+            PodPhase::Running if !pod.ready => Some(pod.phase_since + POD_READY_DELAY),
+            _ => None,
+        }
+    }
+
+    /// Brings the index up to the store's current revision by replaying
+    /// pod events, or rebuilding from a full scan if the event log was
+    /// compacted past our cursor.
+    fn sync(&mut self, store: &ObjectStore) {
+        if store.revision() == self.synced {
+            return;
+        }
+        if store.events_floor() > self.synced {
+            self.rebuild(store);
+            return;
+        }
+        let events = store.events_since(self.synced);
+        // Refreshing reads *current* store state, so each key needs exactly
+        // one refresh no matter how often it recurs in the batch; a reverse
+        // scan with a seen-set keeps that O(batch log batch) even when one
+        // tick touches every pod (e.g. a 20k-pod start-delay burst).
+        let mut seen: BTreeSet<&ObjKey> = BTreeSet::new();
+        for event in events.iter().rev() {
+            if event.key.kind != Kind::Pod {
+                continue;
+            }
+            if !seen.insert(&event.key) {
+                continue;
+            }
+            // The dedup keeps only each key's last event, whose payload is
+            // exactly the object's current state — no store descent needed.
+            self.refresh(&event.key, event.obj.as_deref());
+        }
+        self.synced = store.revision();
+    }
+
+    fn rebuild(&mut self, store: &ObjectStore) {
+        *self = PodTimers::default();
+        for (key, obj) in store.iter() {
+            if let ObjectData::Pod(p) = &obj.data {
+                if let Some(d) = Self::deadline_for(p) {
+                    self.per_pod.insert(key.clone(), d);
+                    self.by_deadline.insert((d, key.clone()), ());
+                }
+            }
+        }
+        self.synced = store.revision();
+    }
+
+    fn refresh(&mut self, key: &ObjKey, current_obj: Option<&StoredObject>) {
+        let current = current_obj.and_then(|obj| match &obj.data {
+            ObjectData::Pod(p) => Self::deadline_for(p),
+            _ => None,
+        });
+        let cached = self.per_pod.get(key).copied();
+        if cached == current {
+            return;
+        }
+        if let Some(d) = cached {
+            self.by_deadline.remove(&(d, key.clone()));
+            self.per_pod.remove(key);
+        }
+        if let Some(d) = current {
+            self.by_deadline.insert((d, key.clone()), ());
+            self.per_pod.insert(key.clone(), d);
+        }
+    }
+
+    /// Earliest deadline strictly after `now`, if any.
+    fn next_after(&self, now: u64) -> Option<u64> {
+        self.by_deadline
+            .range_from_by(|k| {
+                if k.0 <= now {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            })
+            .next()
+            .map(|(k, _)| k.0)
+    }
+
+    /// Pod keys whose deadline is at or before `now` (due or overdue).
+    fn due_keys(&self, now: u64) -> impl Iterator<Item = &ObjKey> {
+        self.by_deadline
+            .iter()
+            .take_while(move |(k, _)| k.0 <= now)
+            .map(|(k, _)| &k.1)
+    }
+}
+
+/// Crash conditions keyed `(namespace, pod name)`, stored as a sorted vec
+/// so the per-pod lookup in [`SimCluster::advance_pods`] is a zero-
+/// allocation binary search on borrowed strings (the old `BTreeMap<String,
+/// String>` keyed `"ns/name"` allocated a fresh key per pod per tick).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct CrashMap {
+    entries: Vec<((String, String), String)>,
+}
+
+impl CrashMap {
+    fn position(&self, namespace: &str, pod_name: &str) -> Result<usize, usize> {
+        self.entries.binary_search_by(|((ns, name), _)| {
+            (ns.as_str(), name.as_str()).cmp(&(namespace, pod_name))
+        })
+    }
+
+    fn get(&self, namespace: &str, pod_name: &str) -> Option<&str> {
+        self.position(namespace, pod_name)
+            .ok()
+            .map(|i| self.entries[i].1.as_str())
+    }
+
+    /// Returns the previous reason, like `BTreeMap::insert`.
+    fn insert(&mut self, namespace: &str, pod_name: &str, reason: &str) -> Option<String> {
+        match self.position(namespace, pod_name) {
+            Ok(i) => Some(std::mem::replace(
+                &mut self.entries[i].1,
+                reason.to_string(),
+            )),
+            Err(i) => {
+                self.entries.insert(
+                    i,
+                    (
+                        (namespace.to_string(), pod_name.to_string()),
+                        reason.to_string(),
+                    ),
+                );
+                None
+            }
+        }
+    }
+
+    fn remove(&mut self, namespace: &str, pod_name: &str) -> Option<String> {
+        self.position(namespace, pod_name)
+            .ok()
+            .map(|i| self.entries.remove(i).1)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&(String, String), &String)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
 }
 
 /// Lifecycle transition decided for one pod by the read pass of
 /// [`SimCluster::advance_pods`], applied by the mutation pass.
 #[derive(Debug)]
+/// How a dirty pod's current object is obtained in the decide pass:
+/// `Event` carries the post-write handle from the pod's last watch event
+/// (`None` when that event was a deletion); `Probe` means the pod is dirty
+/// for a non-event reason (timer due, waiter refresh, forced) and must be
+/// read from the store.
+enum DirtySource {
+    Event(Option<Arc<StoredObject>>),
+    Probe,
+}
+
 enum PodAction {
     /// Enter (or stay in) a crash loop; `already` suppresses the restart
     /// counter bump and the log line.
-    CrashLoop { already: bool, msg: String },
+    CrashLoop { already: bool, msg: Option<String> },
     /// Record a stuck reason (config error, unbound volume).
     SetReason(&'static str),
     /// Record ImagePullBackOff, logging on the first occurrence.
@@ -201,6 +399,48 @@ pub struct LogEntry {
     pub message: String,
 }
 
+/// Generated node topology for production-sized clusters: `count` uniform
+/// nodes spread round-robin across `zones` availability zones, optionally
+/// pre-populated with inert background pods that load the scheduler and
+/// store the way a busy shared cluster would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeTopology {
+    /// Number of nodes to generate (`node-00000`, `node-00001`, ...).
+    pub nodes: usize,
+    /// Per-node CPU capacity (e.g. `"16"`).
+    pub cpu: String,
+    /// Per-node memory capacity (e.g. `"64Gi"`).
+    pub memory: String,
+    /// Availability zones; node `i` gets label `zone=zone-{i % zones}`.
+    pub zones: usize,
+    /// Background pods (`bg-000000`, ... in namespace `"background"`) to
+    /// seed, each requesting 50m CPU / 64Mi memory. They schedule and run
+    /// like any workload but live in their own namespace, so per-namespace
+    /// controller scans stay small while the scheduler, timer index, and
+    /// fingerprint paths all carry the full population.
+    pub background_pods: usize,
+}
+
+impl NodeTopology {
+    /// A `count`-node topology with the default node shape (16 CPU / 64Gi,
+    /// two zones, no background pods).
+    pub fn new(count: usize) -> NodeTopology {
+        NodeTopology {
+            nodes: count,
+            cpu: "16".to_string(),
+            memory: "64Gi".to_string(),
+            zones: 2,
+            background_pods: 0,
+        }
+    }
+}
+
+/// Namespace that generated background pods live in.
+pub const BACKGROUND_NAMESPACE: &str = "background";
+
+/// Image used by generated background pods (auto-added to the catalog).
+pub const BACKGROUND_IMAGE: &str = "pause:3.9";
+
 /// Static configuration of a simulated cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -210,6 +450,9 @@ pub struct ClusterConfig {
     pub image_catalog: Vec<String>,
     /// Platform-bug configuration.
     pub bugs: PlatformBugs,
+    /// Generated large-cluster topology. When set, replaces `nodes` and may
+    /// seed background pods; when `None` the explicit `nodes` list is used.
+    pub topology: Option<NodeTopology>,
 }
 
 impl Default for ClusterConfig {
@@ -220,6 +463,7 @@ impl Default for ClusterConfig {
                 .collect(),
             image_catalog: Vec::new(),
             bugs: PlatformBugs::all(),
+            topology: None,
         }
     }
 }
@@ -246,7 +490,8 @@ pub struct ClusterCheckpoint {
     /// Shared with the live cluster until either side logs again.
     logs: Arc<Vec<LogEntry>>,
     image_catalog: BTreeSet<String>,
-    crashing: std::collections::BTreeMap<String, String>,
+    catalog_epoch: u64,
+    crashing: CrashMap,
     faults: Option<crate::faults::FaultInjector>,
     engine: StepEngine,
     crash_epoch: u64,
@@ -290,9 +535,13 @@ pub struct SimCluster {
     /// logs again, at which point only this side pays for the copy.
     logs: Arc<Vec<LogEntry>>,
     image_catalog: BTreeSet<String>,
+    /// Bumped whenever the image catalog actually changes; lets the dirty
+    /// pod pass revisit ImagePullBackOff waiters only when a pull could
+    /// newly succeed.
+    catalog_epoch: u64,
     /// Pods forced into a crash loop by the managed-system model, with the
-    /// reason (`"namespace/pod name" -> reason`).
-    crashing: std::collections::BTreeMap<String, String>,
+    /// reason, keyed `(namespace, pod name)`.
+    crashing: CrashMap,
     /// Installed fault plan, if any.
     faults: Option<crate::faults::FaultInjector>,
     /// Event-driven engine state (reconcile cursors, tick accounting).
@@ -311,11 +560,16 @@ impl SimCluster {
             time: 0,
             logs: Arc::new(Vec::new()),
             image_catalog: config.image_catalog.into_iter().collect(),
-            crashing: std::collections::BTreeMap::new(),
+            catalog_epoch: 0,
+            crashing: CrashMap::default(),
             faults: None,
             engine: StepEngine::default(),
             crash_epoch: 0,
         };
+        if let Some(topology) = config.topology {
+            cluster.seed_topology(&topology);
+            return cluster;
+        }
         for (i, (name, cpu, memory)) in config.nodes.into_iter().enumerate() {
             let mut node = Node::with_capacity(&cpu, &memory);
             // Deterministic topology labels so selector/affinity scenarios
@@ -336,6 +590,53 @@ impl SimCluster {
         cluster
     }
 
+    /// Registers a generated [`NodeTopology`]: uniform nodes spread across
+    /// zones, plus optional inert background pods in
+    /// [`BACKGROUND_NAMESPACE`].
+    fn seed_topology(&mut self, topology: &NodeTopology) {
+        let zones = topology.zones.max(1);
+        for i in 0..topology.nodes {
+            let mut node = Node::with_capacity(&topology.cpu, &topology.memory);
+            node.labels
+                .insert("zone".to_string(), format!("zone-{}", i % zones));
+            if i < 2 {
+                node.labels.insert("disk".to_string(), "ssd".to_string());
+            }
+            self.api
+                .store_mut()
+                .create(
+                    ObjectMeta::named("", &format!("node-{i:05}")),
+                    ObjectData::Node(node),
+                    0,
+                )
+                .expect("node creation");
+        }
+        if topology.background_pods > 0 {
+            self.image_catalog.insert(BACKGROUND_IMAGE.to_string());
+            for i in 0..topology.background_pods {
+                let pod = Pod {
+                    containers: vec![Container {
+                        name: "bg".to_string(),
+                        image: BACKGROUND_IMAGE.to_string(),
+                        resources: crate::resources::ResourceRequirements::new()
+                            .request("cpu", "50m")
+                            .request("memory", "64Mi"),
+                        ..Container::default()
+                    }],
+                    ..Pod::default()
+                };
+                self.api
+                    .store_mut()
+                    .create(
+                        ObjectMeta::named(BACKGROUND_NAMESPACE, &format!("bg-{i:06}")),
+                        ObjectData::Pod(pod),
+                        0,
+                    )
+                    .expect("background pod creation");
+            }
+        }
+    }
+
     /// Current simulated time in seconds.
     pub fn now(&self) -> u64 {
         self.time
@@ -351,6 +652,7 @@ impl SimCluster {
             time: self.time,
             logs: self.logs.clone(),
             image_catalog: self.image_catalog.clone(),
+            catalog_epoch: self.catalog_epoch,
             crashing: self.crashing.clone(),
             faults: self.faults.clone(),
             engine: self.engine.clone(),
@@ -367,6 +669,7 @@ impl SimCluster {
         self.time = cp.time;
         self.logs = cp.logs.clone();
         self.image_catalog = cp.image_catalog.clone();
+        self.catalog_epoch = cp.catalog_epoch;
         self.crashing = cp.crashing.clone();
         self.faults = cp.faults.clone();
         self.engine = cp.engine.clone();
@@ -381,6 +684,7 @@ impl SimCluster {
             time: cp.time,
             logs: cp.logs.clone(),
             image_catalog: cp.image_catalog.clone(),
+            catalog_epoch: cp.catalog_epoch,
             crashing: cp.crashing.clone(),
             faults: cp.faults.clone(),
             engine: cp.engine.clone(),
@@ -400,7 +704,9 @@ impl SimCluster {
 
     /// Registers an image as pullable.
     pub fn add_image(&mut self, image: &str) {
-        self.image_catalog.insert(image.to_string());
+        if self.image_catalog.insert(image.to_string()) {
+            self.catalog_epoch += 1;
+        }
     }
 
     /// Returns `true` when the image can be pulled. Images with an explicit
@@ -449,28 +755,28 @@ impl SimCluster {
     /// [`SimCluster::clear_crash`]. Conditions are namespace-qualified so
     /// same-named pods under different operators never share crash state.
     pub fn set_crashing(&mut self, namespace: &str, pod_name: &str, reason: &str) {
-        let prev = self
-            .crashing
-            .insert(format!("{namespace}/{pod_name}"), reason.to_string());
+        let prev = self.crashing.insert(namespace, pod_name, reason);
         if prev.as_deref() != Some(reason) {
             self.crash_epoch += 1;
+            self.engine
+                .forced_dirty
+                .insert(ObjKey::new(Kind::Pod, namespace, pod_name));
         }
     }
 
     /// Clears a crash-loop condition.
     pub fn clear_crash(&mut self, namespace: &str, pod_name: &str) {
-        if self
-            .crashing
-            .remove(&format!("{namespace}/{pod_name}"))
-            .is_some()
-        {
+        if self.crashing.remove(namespace, pod_name).is_some() {
             self.crash_epoch += 1;
+            self.engine
+                .forced_dirty
+                .insert(ObjKey::new(Kind::Pod, namespace, pod_name));
         }
     }
 
     /// Returns crash conditions currently in force, keyed
-    /// `"namespace/pod name"`.
-    pub fn crashing(&self) -> impl Iterator<Item = (&String, &String)> {
+    /// `(namespace, pod name)`.
+    pub fn crashing(&self) -> impl Iterator<Item = (&(String, String), &String)> {
         self.crashing.iter()
     }
 
@@ -506,15 +812,21 @@ impl SimCluster {
                 .store()
                 .kinds_dirty_since(&[Kind::Pod, Kind::Node], self.engine.cursors.scheduler);
         if schedule_due {
-            if !ticked {
+            if ticked {
+                scheduler::schedule(self.api.store_mut(), time);
+            } else {
                 self.engine.cursors.scheduler = self.api.store().revision();
+                scheduler::schedule_indexed(self.api.store_mut(), time, &mut self.engine.sched);
             }
-            scheduler::schedule(self.api.store_mut(), time);
         }
         self.advance_pods();
         self.engine.ticks_executed += 1;
         TICKS_EXECUTED.fetch_add(1, Ordering::Relaxed);
         if !ticked {
+            // Absorb this tick's own writes into the timer index while the
+            // events are still in the log, then compact; `next_wakeup` only
+            // trusts a fully-synced index.
+            self.engine.timers.sync(self.api.store());
             let floor = self.api.store().revision().saturating_sub(EVENT_LOG_KEEP);
             if floor > self.api.store().events_floor() {
                 self.api.store_mut().compact_events(floor);
@@ -554,16 +866,18 @@ impl SimCluster {
                 consider(t);
             }
         }
-        for obj in self.api.store().list_all(&Kind::Pod) {
-            if let ObjectData::Pod(p) = &obj.data {
-                match p.phase {
-                    PodPhase::Pending if p.node_name.is_some() => {
-                        consider(p.phase_since + POD_START_DELAY);
+        if !ticked_engine() && self.engine.timers.synced == self.api.store().revision() {
+            // The timer index is current: the earliest future deadline is
+            // one ordered lookup instead of an all-pods scan.
+            if let Some(t) = self.engine.timers.next_after(now) {
+                consider(t);
+            }
+        } else {
+            for obj in self.api.store().list_all(&Kind::Pod) {
+                if let ObjectData::Pod(p) = &obj.data {
+                    if let Some(d) = PodTimers::deadline_for(p) {
+                        consider(d);
                     }
-                    PodPhase::Running if !p.ready => {
-                        consider(p.phase_since + POD_READY_DELAY);
-                    }
-                    _ => {}
                 }
             }
         }
@@ -611,9 +925,7 @@ impl SimCluster {
     /// Returns `true` once every installed fault has fired and lapsed
     /// (vacuously true with no plan installed).
     pub fn faults_exhausted(&self) -> bool {
-        self.faults
-            .as_ref()
-            .is_none_or(|f| f.exhausted(self.time))
+        self.faults.as_ref().is_none_or(|f| f.exhausted(self.time))
     }
 
     /// Transcript lines for every fault applied so far.
@@ -624,105 +936,215 @@ impl SimCluster {
             .unwrap_or_default()
     }
 
+    /// Decides the lifecycle transition (if any) for one pod. Reads only
+    /// the pod itself plus claims/images/crash conditions, never other
+    /// pods.
+    fn decide_pod(&self, obj: &StoredObject, time: u64) -> Option<PodAction> {
+        let ObjectData::Pod(pod) = &obj.data else {
+            return None;
+        };
+        let name = &obj.meta.name;
+        // Crash condition set by the managed-system model wins.
+        if let Some(reason) = self.crashing.get(&obj.meta.namespace, name) {
+            let already = pod.phase == PodPhase::Failed && pod.reason == "CrashLoopBackOff";
+            // The message is only logged on the first transition; skip the
+            // allocation on the (hot) steady-state revisits.
+            return Some(PodAction::CrashLoop {
+                already,
+                msg: (!already).then(|| format!("pod {name} crash-looping: {reason}")),
+            });
+        }
+        let action = match pod.phase {
+            PodPhase::Pending => {
+                pod.node_name.as_ref()?;
+                // Security context must be valid.
+                let mut sec_errors = pod.security.validate();
+                for c in &pod.containers {
+                    sec_errors.extend(c.security.validate());
+                }
+                if !sec_errors.is_empty() {
+                    PodAction::SetReason("CreateContainerConfigError")
+                } else if pod.claims.iter().any(|cname| {
+                    // All claims must be bound.
+                    match self.api.store().get(&ObjKey::new(
+                        Kind::PersistentVolumeClaim,
+                        &obj.meta.namespace,
+                        cname,
+                    )) {
+                        Some(c) => !matches!(
+                            &c.data,
+                            ObjectData::PersistentVolumeClaim(c)
+                                if c.phase == crate::objects::ClaimPhase::Bound
+                        ),
+                        None => true,
+                    }
+                }) {
+                    PodAction::SetReason("WaitingForVolume")
+                } else {
+                    // Images must exist.
+                    let missing: Vec<&str> = pod
+                        .containers
+                        .iter()
+                        .filter(|c| !self.image_exists(&c.image))
+                        .map(|c| c.image.as_str())
+                        .collect();
+                    if !missing.is_empty() {
+                        PodAction::ImagePull {
+                            log: (pod.reason != "ImagePullBackOff").then(|| {
+                                format!("pod {name}: failed to pull {}", missing.join(", "))
+                            }),
+                        }
+                    } else if time.saturating_sub(pod.phase_since) >= POD_START_DELAY {
+                        // Start after the pull/start delay.
+                        PodAction::Start
+                    } else {
+                        return None;
+                    }
+                }
+            }
+            PodPhase::Running => {
+                if !pod.ready && time.saturating_sub(pod.phase_since) >= POD_READY_DELAY {
+                    PodAction::MarkReady
+                } else {
+                    return None;
+                }
+            }
+            // Crash condition cleared: restart the container.
+            PodPhase::Failed => PodAction::Restart,
+            PodPhase::Succeeded => return None,
+        };
+        Some(action)
+    }
+
+    /// Assembles the set of pods the event engine must revisit this tick:
+    /// pods with store events past the last pass, pods whose start/ready
+    /// deadline is due, pods whose crash condition toggled, claim-blocked
+    /// pods after any PVC event, and ImagePullBackOff pods after a catalog
+    /// change. Every pod outside this set would decide `None` and (per
+    /// `update_with`'s no-op suppression) leave no trace even if visited,
+    /// so skipping it is unobservable. Falls back to all pods when the
+    /// event log was compacted past the cursor (engine switch).
+    fn dirty_pods(&mut self, time: u64) -> BTreeMap<ObjKey, DirtySource> {
+        self.engine.timers.sync(self.api.store());
+        let store = self.api.store();
+        let mut dirty: BTreeMap<ObjKey, DirtySource> = BTreeMap::new();
+        if store.events_floor() > self.engine.pod_cursor {
+            for (key, obj) in store.iter() {
+                if matches!(obj.data, ObjectData::Pod(_)) {
+                    dirty.insert(key.clone(), DirtySource::Probe);
+                }
+            }
+            self.engine.forced_dirty.clear();
+        } else {
+            let mut pvc_dirty = false;
+            // Forward order: later events overwrite, so each dirty pod ends
+            // up holding its *last* event's payload — exactly its current
+            // object — and the decide pass needs no store descent for it.
+            for event in store.events_since(self.engine.pod_cursor) {
+                match event.key.kind {
+                    Kind::Pod => {
+                        dirty.insert(event.key.clone(), DirtySource::Event(event.obj.clone()));
+                    }
+                    Kind::PersistentVolumeClaim => pvc_dirty = true,
+                    _ => {}
+                }
+            }
+            // Keys dirty for non-event reasons fall back to a store probe —
+            // unless an event already supplied the current object.
+            if pvc_dirty {
+                for (key, _) in self.engine.vol_waiters.iter() {
+                    dirty.entry(key.clone()).or_insert(DirtySource::Probe);
+                }
+            }
+            if self.engine.image_epoch_seen != self.catalog_epoch {
+                for (key, _) in self.engine.image_waiters.iter() {
+                    dirty.entry(key.clone()).or_insert(DirtySource::Probe);
+                }
+            }
+            for key in self.engine.timers.due_keys(time) {
+                dirty.entry(key.clone()).or_insert(DirtySource::Probe);
+            }
+            for key in std::mem::take(&mut self.engine.forced_dirty) {
+                dirty.entry(key).or_insert(DirtySource::Probe);
+            }
+        }
+        self.engine.pod_cursor = store.revision();
+        self.engine.image_epoch_seen = self.catalog_epoch;
+        dirty
+    }
+
+    /// Inserts or removes `key` without disturbing structural sharing when
+    /// membership is already correct.
+    fn set_membership(map: &mut PMap<ObjKey, ()>, key: &ObjKey, member: bool) {
+        if member {
+            if !map.contains_key(key) {
+                map.insert(key.clone(), ());
+            }
+        } else if map.contains_key(key) {
+            map.remove(key);
+        }
+    }
+
     /// Advances pod lifecycle: image pulls, container start, readiness,
     /// crash loops.
     ///
-    /// Runs in two passes — a read-only pass over pod references deciding
-    /// each pod's transition, then a mutation pass applying them — so no pod
-    /// is ever cloned. Decisions depend only on the decided pod itself plus
+    /// Runs in two passes — a read-only pass deciding each pod's
+    /// transition, then a mutation pass applying them — so no pod is ever
+    /// cloned. Decisions depend only on the decided pod itself plus
     /// claims/images/crash conditions, never on other pods, so batching the
-    /// reads is equivalent to the old interleaved read-mutate loop.
+    /// reads is equivalent to the old interleaved read-mutate loop. The
+    /// ticked loop visits every pod; the event engine only visits the
+    /// dirty set ([`SimCluster::dirty_pods`]) — both walk pods in key
+    /// order, so decisions, writes, and logs land identically.
     fn advance_pods(&mut self) {
         let time = self.time;
-        let decisions: Vec<(ObjKey, PodAction)> = self
-            .api
-            .store()
-            .list_all(&Kind::Pod)
-            .iter()
-            .filter_map(|obj| {
-                let ObjectData::Pod(pod) = &obj.data else {
-                    return None;
+        let mut visited: Vec<ObjKey> = Vec::new();
+        let decisions: Vec<(ObjKey, PodAction)> = if ticked_engine() {
+            self.api
+                .store()
+                .list_all(&Kind::Pod)
+                .iter()
+                .filter_map(|obj| {
+                    let key = ObjKey::new(Kind::Pod, &obj.meta.namespace, &obj.meta.name);
+                    self.decide_pod(obj, time).map(|action| (key, action))
+                })
+                .collect()
+        } else {
+            let dirty = self.dirty_pods(time);
+            let decided = dirty
+                .iter()
+                .filter_map(|(key, source)| {
+                    let obj = match source {
+                        DirtySource::Event(Some(obj)) => &**obj,
+                        DirtySource::Event(None) => return None,
+                        DirtySource::Probe => self.api.store().get(key)?,
+                    };
+                    self.decide_pod(obj, time)
+                        .map(|action| (key.clone(), action))
+                })
+                .collect();
+            visited = dirty.into_keys().collect();
+            decided
+        };
+        if !ticked_engine() {
+            // Refresh waiter membership for every visited pod: `visited`
+            // and `decisions` are both in key order, so one merge walk
+            // pairs each pod with its decision (if any).
+            let mut di = 0;
+            for key in &visited {
+                let action = if di < decisions.len() && &decisions[di].0 == key {
+                    di += 1;
+                    Some(&decisions[di - 1].1)
+                } else {
+                    None
                 };
-                let name = &obj.meta.name;
-                let key = ObjKey::new(Kind::Pod, &obj.meta.namespace, name);
-                // Crash condition set by the managed-system model wins.
-                let crash_key = format!("{}/{name}", obj.meta.namespace);
-                if let Some(reason) = self.crashing.get(&crash_key) {
-                    let already =
-                        pod.phase == PodPhase::Failed && pod.reason == "CrashLoopBackOff";
-                    return Some((
-                        key,
-                        PodAction::CrashLoop {
-                            already,
-                            msg: format!("pod {name} crash-looping: {reason}"),
-                        },
-                    ));
-                }
-                let action = match pod.phase {
-                    PodPhase::Pending => {
-                        pod.node_name.as_ref()?;
-                        // Security context must be valid.
-                        let mut sec_errors = pod.security.validate();
-                        for c in &pod.containers {
-                            sec_errors.extend(c.security.validate());
-                        }
-                        if !sec_errors.is_empty() {
-                            PodAction::SetReason("CreateContainerConfigError")
-                        } else if pod.claims.iter().any(|cname| {
-                            // All claims must be bound.
-                            match self.api.store().get(&ObjKey::new(
-                                Kind::PersistentVolumeClaim,
-                                &obj.meta.namespace,
-                                cname,
-                            )) {
-                                Some(c) => !matches!(
-                                    &c.data,
-                                    ObjectData::PersistentVolumeClaim(c)
-                                        if c.phase == crate::objects::ClaimPhase::Bound
-                                ),
-                                None => true,
-                            }
-                        }) {
-                            PodAction::SetReason("WaitingForVolume")
-                        } else {
-                            // Images must exist.
-                            let missing: Vec<&str> = pod
-                                .containers
-                                .iter()
-                                .filter(|c| !self.image_exists(&c.image))
-                                .map(|c| c.image.as_str())
-                                .collect();
-                            if !missing.is_empty() {
-                                PodAction::ImagePull {
-                                    log: (pod.reason != "ImagePullBackOff").then(|| {
-                                        format!(
-                                            "pod {name}: failed to pull {}",
-                                            missing.join(", ")
-                                        )
-                                    }),
-                                }
-                            } else if time.saturating_sub(pod.phase_since) >= POD_START_DELAY {
-                                // Start after the pull/start delay.
-                                PodAction::Start
-                            } else {
-                                return None;
-                            }
-                        }
-                    }
-                    PodPhase::Running => {
-                        if !pod.ready && time.saturating_sub(pod.phase_since) >= POD_READY_DELAY {
-                            PodAction::MarkReady
-                        } else {
-                            return None;
-                        }
-                    }
-                    // Crash condition cleared: restart the container.
-                    PodPhase::Failed => PodAction::Restart,
-                    PodPhase::Succeeded => return None,
-                };
-                Some((key, action))
-            })
-            .collect();
+                let vol =
+                    matches!(action, Some(PodAction::SetReason(r)) if *r == "WaitingForVolume");
+                let img = matches!(action, Some(PodAction::ImagePull { .. }));
+                Self::set_membership(&mut self.engine.vol_waiters, key, vol);
+                Self::set_membership(&mut self.engine.image_waiters, key, img);
+            }
+        }
         for (key, action) in decisions {
             match action {
                 PodAction::CrashLoop { already, msg } => {
@@ -737,7 +1159,7 @@ impl SimCluster {
                             }
                         }
                     });
-                    if !already {
+                    if let Some(msg) = msg {
                         self.log(LogLevel::Error, "kubelet", msg);
                     }
                 }

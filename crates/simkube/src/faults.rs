@@ -680,10 +680,7 @@ mod tests {
         let plans: Vec<FaultPlan> = (0..8u64)
             .map(|s| FaultPlan::generate(s, &profile))
             .collect();
-        let distinct = plans
-            .iter()
-            .filter(|p| **p != plans[0])
-            .count();
+        let distinct = plans.iter().filter(|p| **p != plans[0]).count();
         assert!(distinct > 0, "eight consecutive seeds collide entirely");
     }
 

@@ -38,10 +38,12 @@ pub mod store;
 pub use api::{ApiError, ApiServer};
 pub use cluster::{
     checkpoint_forks, engine_counters, set_ticked_engine, ticked_engine, ClusterCheckpoint,
-    ClusterConfig, ClusterFingerprint, SimCluster, StepEngine,
+    ClusterConfig, ClusterFingerprint, NodeTopology, SimCluster, StepEngine, BACKGROUND_NAMESPACE,
 };
 pub use controllers::ControllerCursors;
-pub use faults::{Fault, FaultEvent, FaultInjector, FaultPlan, FaultProfile, SplitMix64, TimedFault};
+pub use faults::{
+    Fault, FaultEvent, FaultInjector, FaultPlan, FaultProfile, SplitMix64, TimedFault,
+};
 pub use meta::{LabelSelector, ObjectMeta, OwnerReference};
 pub use objects::{
     ConfigMap, Container, Deployment, Ingress, Kind, Node, ObjectData, Pdb, PersistentVolumeClaim,

@@ -771,6 +771,37 @@ impl ObjectData {
         }
     }
 
+    /// Structural fast path for "is the spec section unchanged?".
+    ///
+    /// [`ObjectStore::update_with`](crate::store::ObjectStore::update_with)
+    /// must decide on every modified write whether to bump `generation`,
+    /// and rendering two full spec [`Value`] trees dominates write cost on
+    /// production-scale clusters where most writes are pod status
+    /// transitions. The pod arm compares exactly the fields
+    /// [`Pod::spec_value`] projects (pinned by a debug assertion); other
+    /// kinds fall back to comparing rendered specs.
+    pub fn spec_eq(&self, other: &ObjectData) -> bool {
+        match (self, other) {
+            (ObjectData::Pod(a), ObjectData::Pod(b)) => {
+                let eq = a.containers == b.containers
+                    && a.affinity == b.affinity
+                    && a.tolerations == b.tolerations
+                    && a.node_selector == b.node_selector
+                    && a.security == b.security
+                    && a.service_account == b.service_account
+                    && a.priority_class == b.priority_class
+                    && a.claims == b.claims;
+                debug_assert_eq!(
+                    eq,
+                    a.spec_value() == b.spec_value(),
+                    "Pod::spec_eq fast path diverged from Pod::spec_value projection"
+                );
+                eq
+            }
+            _ => self.spec_value() == other.spec_value(),
+        }
+    }
+
     /// Renders the spec section as a [`Value`].
     pub fn spec_value(&self) -> Value {
         match self {

@@ -15,6 +15,7 @@
 
 use std::cmp::Ordering;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 /// Max entries per leaf / max children per branch before a split.
 const MAX_ENTRIES: usize = 16;
@@ -23,14 +24,56 @@ const MAX_ENTRIES: usize = 16;
 /// optional split (separator key and the new right sibling).
 type InsertResult<K, V> = (Option<V>, Option<(K, Arc<Node<K, V>>)>);
 
+/// A tree node plus a lazily-computed digest of its subtree.
+///
+/// The digest cache turns the B-tree into a merkle tree for
+/// [`PMap::digest_sum`]: once a subtree's digest is computed it is reused
+/// until a write copies (and thereby invalidates) the path through it, so
+/// re-digesting a map after k point-writes touches only the k modified
+/// root-to-leaf paths. Cloning keeps the cached digest — the clone holds the
+/// same content — and `touch` clears it on the copy-on-write mutation path.
 #[derive(Clone)]
-enum Node<K, V> {
+struct Node<K, V> {
+    digest: OnceLock<u64>,
+    body: Body<K, V>,
+}
+
+#[derive(Clone)]
+enum Body<K, V> {
     Leaf(Vec<(K, V)>),
     Branch {
         /// `keys[i]` is the minimum key reachable under `children[i + 1]`.
         keys: Vec<K>,
         children: Vec<Arc<Node<K, V>>>,
     },
+}
+
+impl<K, V> Node<K, V> {
+    fn leaf(entries: Vec<(K, V)>) -> Arc<Self> {
+        Arc::new(Node {
+            digest: OnceLock::new(),
+            body: Body::Leaf(entries),
+        })
+    }
+
+    fn branch(keys: Vec<K>, children: Vec<Arc<Node<K, V>>>) -> Arc<Self> {
+        Arc::new(Node {
+            digest: OnceLock::new(),
+            body: Body::Branch { keys, children },
+        })
+    }
+
+    /// `Arc::make_mut` plus digest-cache invalidation: every mutation path
+    /// must go through here so stale subtree digests can never be observed.
+    fn touch(node: &mut Arc<Self>) -> &mut Body<K, V>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let inner = Arc::make_mut(node);
+        inner.digest = OnceLock::new();
+        &mut inner.body
+    }
 }
 
 /// Persistent ordered map: `clone()` is O(1), writes copy only the touched
@@ -42,7 +85,10 @@ pub struct PMap<K, V> {
 
 impl<K, V> Clone for PMap<K, V> {
     fn clone(&self) -> Self {
-        PMap { root: self.root.clone(), len: self.len }
+        PMap {
+            root: self.root.clone(),
+            len: self.len,
+        }
     }
 }
 
@@ -57,6 +103,24 @@ impl<K: Ord + Clone + std::fmt::Debug, V: Clone + std::fmt::Debug> std::fmt::Deb
         f.debug_map().entries(self.iter()).finish()
     }
 }
+
+impl<K: Ord + Clone, V: Clone + PartialEq> PartialEq for PMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        // Structurally-shared maps (clones, unchanged checkpoints) compare
+        // in O(1).
+        match (&self.root, &other.root) {
+            (None, None) => return true,
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => return true,
+            _ => {}
+        }
+        self.iter().eq(other.iter())
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + Eq> Eq for PMap<K, V> {}
 
 impl<K: Ord + Clone, V: Clone> PMap<K, V> {
     pub fn new() -> Self {
@@ -74,14 +138,14 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
     pub fn get(&self, key: &K) -> Option<&V> {
         let mut node = self.root.as_deref()?;
         loop {
-            match node {
-                Node::Leaf(entries) => {
+            match &node.body {
+                Body::Leaf(entries) => {
                     return entries
                         .binary_search_by(|(k, _)| k.cmp(key))
                         .ok()
                         .map(|i| &entries[i].1);
                 }
-                Node::Branch { keys, children } => {
+                Body::Branch { keys, children } => {
                     let idx = keys.partition_point(|sep| sep <= key);
                     node = &children[idx];
                 }
@@ -104,16 +168,16 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
         Some(Self::get_mut_rec(root, key))
     }
 
-    /// Descends with `Arc::make_mut` per level. The key must exist.
+    /// Descends with `Node::touch` per level. The key must exist.
     fn get_mut_rec<'a>(node: &'a mut Arc<Node<K, V>>, key: &K) -> &'a mut V {
-        match Arc::make_mut(node) {
-            Node::Leaf(entries) => {
+        match Node::touch(node) {
+            Body::Leaf(entries) => {
                 let i = entries
                     .binary_search_by(|(k, _)| k.cmp(key))
                     .expect("get_mut_rec: key checked present");
                 &mut entries[i].1
             }
-            Node::Branch { keys, children } => {
+            Body::Branch { keys, children } => {
                 let idx = keys.partition_point(|sep| sep <= key);
                 Self::get_mut_rec(&mut children[idx], key)
             }
@@ -123,7 +187,7 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         match self.root.as_mut() {
             None => {
-                self.root = Some(Arc::new(Node::Leaf(vec![(key, value)])));
+                self.root = Some(Node::leaf(vec![(key, value)]));
                 self.len = 1;
                 None
             }
@@ -131,10 +195,7 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
                 let (replaced, split) = Self::insert_rec(root, key, value);
                 if let Some((sep, right)) = split {
                     let left = self.root.take().unwrap();
-                    self.root = Some(Arc::new(Node::Branch {
-                        keys: vec![sep],
-                        children: vec![left, right],
-                    }));
+                    self.root = Some(Node::branch(vec![sep], vec![left, right]));
                 }
                 if replaced.is_none() {
                     self.len += 1;
@@ -146,21 +207,21 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
 
     /// Returns (replaced value, optional split: (separator, new right sibling)).
     fn insert_rec(node: &mut Arc<Node<K, V>>, key: K, value: V) -> InsertResult<K, V> {
-        match Arc::make_mut(node) {
-            Node::Leaf(entries) => match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+        match Node::touch(node) {
+            Body::Leaf(entries) => match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
                 Ok(i) => (Some(std::mem::replace(&mut entries[i].1, value)), None),
                 Err(i) => {
                     entries.insert(i, (key, value));
                     if entries.len() > MAX_ENTRIES {
                         let right = entries.split_off(entries.len() / 2);
                         let sep = right[0].0.clone();
-                        (None, Some((sep, Arc::new(Node::Leaf(right)))))
+                        (None, Some((sep, Node::leaf(right))))
                     } else {
                         (None, None)
                     }
                 }
             },
-            Node::Branch { keys, children } => {
+            Body::Branch { keys, children } => {
                 let idx = keys.partition_point(|sep| *sep <= key);
                 let (replaced, split) = Self::insert_rec(&mut children[idx], key, value);
                 if let Some((sep, right)) = split {
@@ -171,10 +232,7 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
                         let right_keys = keys.split_off(mid + 1);
                         let sep_up = keys.pop().unwrap();
                         let right_children = children.split_off(mid + 1);
-                        let sibling = Arc::new(Node::Branch {
-                            keys: right_keys,
-                            children: right_children,
-                        });
+                        let sibling = Node::branch(right_keys, right_children);
                         return (replaced, Some((sep_up, sibling)));
                     }
                 }
@@ -190,7 +248,7 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
             self.len -= 1;
             if now_empty {
                 self.root = None;
-            } else if let Node::Branch { children, .. } = &**self.root.as_ref().unwrap() {
+            } else if let Body::Branch { children, .. } = &self.root.as_ref().unwrap().body {
                 if children.len() == 1 {
                     let only = children[0].clone();
                     self.root = Some(only);
@@ -203,15 +261,15 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
     /// Returns (removed value, whether this node is now empty).
     fn remove_rec(node: &mut Arc<Node<K, V>>, key: &K) -> (Option<V>, bool) {
         // Probe before make_mut so a miss leaves sharing intact.
-        let hit = match &**node {
-            Node::Leaf(entries) => entries.binary_search_by(|(k, _)| k.cmp(key)).is_ok(),
-            Node::Branch { .. } => true,
+        let hit = match &node.body {
+            Body::Leaf(entries) => entries.binary_search_by(|(k, _)| k.cmp(key)).is_ok(),
+            Body::Branch { .. } => true,
         };
         if !hit {
             return (None, false);
         }
-        match Arc::make_mut(node) {
-            Node::Leaf(entries) => {
+        match Node::touch(node) {
+            Body::Leaf(entries) => {
                 let i = match entries.binary_search_by(|(k, _)| k.cmp(key)) {
                     Ok(i) => i,
                     Err(_) => return (None, false),
@@ -219,7 +277,7 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
                 let (_, v) = entries.remove(i);
                 (Some(v), entries.is_empty())
             }
-            Node::Branch { keys, children } => {
+            Body::Branch { keys, children } => {
                 let idx = keys.partition_point(|sep| sep <= key);
                 let (removed, child_empty) = Self::remove_rec(&mut children[idx], key);
                 if removed.is_some() && child_empty {
@@ -252,18 +310,51 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
             None => return Iter { stack },
         };
         loop {
-            match node {
-                Node::Leaf(entries) => {
+            match &node.body {
+                Body::Leaf(entries) => {
                     let idx = entries.partition_point(|(k, _)| f(k) == Ordering::Less);
                     stack.push((node, idx));
                     return Iter { stack };
                 }
-                Node::Branch { keys, children } => {
+                Body::Branch { keys, children } => {
                     let idx = keys.partition_point(|sep| f(sep) != Ordering::Greater);
                     stack.push((node, idx + 1));
                     node = &children[idx];
                 }
             }
+        }
+    }
+
+    /// Commutative digest of the whole map: the wrapping sum of
+    /// `entry_digest(k, v)` over every entry.
+    ///
+    /// Summation (rather than an order-sensitive fold) makes the digest
+    /// independent of tree shape, which lets each node cache its subtree's
+    /// partial sum: unchanged subtrees — everything outside the write paths
+    /// since the last call — are re-used from the cache, so the cost is
+    /// O(modified paths), not O(len). It also gives cheap exclusion: callers
+    /// can `wrapping_sub` the digest of entries they want to leave out.
+    ///
+    /// The cache is keyed by nothing: all calls against a map (and its
+    /// clones, which share nodes and therefore cached digests) must use the
+    /// same `entry_digest` function, and `entry_digest` must be a pure
+    /// function of the entry. Mix per-entry structure into the digest (the
+    /// current users hash the key and finalize with a strong mixer) so the
+    /// sum doesn't collapse colliding entries.
+    pub fn digest_sum<F: Fn(&K, &V) -> u64>(&self, entry_digest: &F) -> u64 {
+        fn walk<K, V, F: Fn(&K, &V) -> u64>(node: &Arc<Node<K, V>>, f: &F) -> u64 {
+            *node.digest.get_or_init(|| match &node.body {
+                Body::Leaf(entries) => entries
+                    .iter()
+                    .fold(0u64, |acc, (k, v)| acc.wrapping_add(f(k, v))),
+                Body::Branch { children, .. } => children
+                    .iter()
+                    .fold(0u64, |acc, child| acc.wrapping_add(walk(child, f))),
+            })
+        }
+        match &self.root {
+            Some(root) => walk(root, entry_digest),
+            None => 0,
         }
     }
 
@@ -281,8 +372,8 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
             owned: &mut usize,
         ) {
             let node_shared = ancestor_shared || Arc::strong_count(node) > 1;
-            match &**node {
-                Node::Leaf(entries) => {
+            match &node.body {
+                Body::Leaf(entries) => {
                     for (_, v) in entries {
                         if node_shared || value_shared(v) {
                             *shared += 1;
@@ -291,7 +382,7 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
                         }
                     }
                 }
-                Node::Branch { children, .. } => {
+                Body::Branch { children, .. } => {
                     for child in children {
                         walk(child, node_shared, value_shared, shared, owned);
                     }
@@ -332,14 +423,14 @@ impl<'a, K, V> Iterator for Iter<'a, K, V> {
                 last.1 += 1;
                 out
             };
-            match node {
-                Node::Leaf(entries) => {
+            match &node.body {
+                Body::Leaf(entries) => {
                     if let Some((k, v)) = entries.get(idx) {
                         return Some((k, v));
                     }
                     self.stack.pop();
                 }
-                Node::Branch { children, .. } => {
+                Body::Branch { children, .. } => {
                     if let Some(child) = children.get(idx) {
                         self.stack.push((child, 0));
                     } else {
@@ -421,7 +512,10 @@ mod tests {
             m.insert(i, i);
         }
         for bound in [0u32, 1, 2, 3, 149, 150, 298, 299, 1000] {
-            let got: Vec<u32> = m.range_from_by(|k| k.cmp(&bound)).map(|(k, _)| *k).collect();
+            let got: Vec<u32> = m
+                .range_from_by(|k| k.cmp(&bound))
+                .map(|(k, _)| *k)
+                .collect();
             let want: Vec<u32> = (0..300).step_by(3).filter(|k| *k >= bound).collect();
             assert_eq!(got, want, "bound {bound}");
         }
@@ -436,11 +530,58 @@ mod tests {
         let b = a.clone();
         // Miss: no CoW, roots stay shared.
         assert!(a.get_mut(&999).is_none());
-        assert!(Arc::ptr_eq(a.root.as_ref().unwrap(), b.root.as_ref().unwrap()));
+        assert!(Arc::ptr_eq(
+            a.root.as_ref().unwrap(),
+            b.root.as_ref().unwrap()
+        ));
         // Hit: path copied, value changed only in `a`.
         *a.get_mut(&10).unwrap() = 777;
         assert_eq!(*b.get(&10).unwrap(), 10);
         assert_eq!(*a.get(&10).unwrap(), 777);
+    }
+
+    #[test]
+    fn digest_sum_matches_fresh_recompute_after_mutation() {
+        fn entry_digest(k: &u64, v: &u64) -> u64 {
+            // splitmix64 over a key/value mix, same mixing idea the store uses.
+            let mut x = k.wrapping_mul(0x9e3779b97f4a7c15) ^ v.wrapping_mul(0xbf58476d1ce4e5b9);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+            x ^ (x >> 31)
+        }
+        fn model_digest(m: &PMap<u64, u64>) -> u64 {
+            m.iter()
+                .fold(0u64, |acc, (k, v)| acc.wrapping_add(entry_digest(k, v)))
+        }
+        let mut m: PMap<u64, u64> = PMap::new();
+        let mut x: u64 = 0x243f6a8885a308d3;
+        for step in 0..3000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 401;
+            match x % 4 {
+                0 | 1 => {
+                    m.insert(key, step);
+                }
+                2 => {
+                    m.remove(&key);
+                }
+                _ => {
+                    if let Some(v) = m.get_mut(&key) {
+                        *v = step;
+                    }
+                }
+            }
+            if step % 97 == 0 {
+                // Cached digest must equal a from-scratch fold at all times,
+                // including right after clones force CoW on later writes.
+                let snap = m.clone();
+                assert_eq!(m.digest_sum(&entry_digest), model_digest(&m), "step {step}");
+                assert_eq!(snap.digest_sum(&entry_digest), model_digest(&snap));
+            }
+        }
+        assert_eq!(m.digest_sum(&entry_digest), model_digest(&m));
     }
 
     #[test]

@@ -72,6 +72,12 @@ pub struct WatchEvent {
     pub kind: WatchEventKind,
     /// The object affected.
     pub key: ObjKey,
+    /// Shared handle to the object as of this event (`None` for
+    /// deletions). Because events record every write in order, the *last*
+    /// event for a key in any batch carries exactly the object's current
+    /// state — index synchronization reads it instead of paying a fresh
+    /// tree descent per touched key.
+    pub obj: Option<Arc<StoredObject>>,
 }
 
 /// The versioned object store.
@@ -103,6 +109,9 @@ pub struct ObjectStore {
     /// Highest revision at which each kind last changed. Drives the
     /// event-driven engine's dirty checks (`kinds_dirty_since`).
     kind_revision: BTreeMap<Kind, u64>,
+    /// Live object count per kind. Lets controllers skip a reconcile pass
+    /// outright when no object of their kind exists ([`ObjectStore::kind_count`]).
+    kind_counts: BTreeMap<Kind, usize>,
     /// Events at or below this revision have been compacted away.
     events_floor: u64,
     /// Namespace alias `(from, to)`: while set, *keyed* operations naming
@@ -126,6 +135,7 @@ impl ObjectStore {
             next_uid: 1,
             events: Arc::new(Vec::new()),
             kind_revision: BTreeMap::new(),
+            kind_counts: BTreeMap::new(),
             events_floor: 0,
             ns_alias: None,
         }
@@ -154,11 +164,9 @@ impl ObjectStore {
     /// common) unaliased path; allocates only when a redirect applies.
     fn resolve_key<'k>(&self, key: &'k ObjKey) -> std::borrow::Cow<'k, ObjKey> {
         match &self.ns_alias {
-            Some((from, to)) if key.namespace == *from => std::borrow::Cow::Owned(ObjKey::new(
-                key.kind.clone(),
-                to,
-                &key.name,
-            )),
+            Some((from, to)) if key.namespace == *from => {
+                std::borrow::Cow::Owned(ObjKey::new(key.kind.clone(), to, &key.name))
+            }
             _ => std::borrow::Cow::Borrowed(key),
         }
     }
@@ -171,7 +179,13 @@ impl ObjectStore {
     /// Records a write: advances the revision, marks the kind dirty, and
     /// appends a watch event. The key is moved into the event (no clone);
     /// the kind is cloned only the first time that kind is ever written.
-    fn bump(&mut self, kind: WatchEventKind, key: ObjKey, time: u64) {
+    fn bump(
+        &mut self,
+        kind: WatchEventKind,
+        key: ObjKey,
+        time: u64,
+        obj: Option<Arc<StoredObject>>,
+    ) {
         self.revision += 1;
         match self.kind_revision.get_mut(&key.kind) {
             Some(rev) => *rev = self.revision,
@@ -184,6 +198,7 @@ impl ObjectStore {
             time,
             kind,
             key,
+            obj,
         });
     }
 
@@ -192,6 +207,12 @@ impl ObjectStore {
         kinds
             .iter()
             .any(|k| self.kind_revision.get(k).is_some_and(|r| *r > cursor))
+    }
+
+    /// Number of live objects of `kind`. O(log kinds); controllers use it
+    /// to skip reconcile passes that provably have nothing to do.
+    pub fn kind_count(&self, kind: &Kind) -> usize {
+        self.kind_counts.get(kind).copied().unwrap_or(0)
     }
 
     /// Creates an object, assigning uid and resource version.
@@ -222,9 +243,10 @@ impl ObjectStore {
         meta.resource_version = self.revision + 1;
         meta.generation = 1;
         meta.creation_timestamp = time;
-        self.objects
-            .insert(key.clone(), Arc::new(StoredObject { meta, data }));
-        self.bump(WatchEventKind::Added, key.clone(), time);
+        let obj = Arc::new(StoredObject { meta, data });
+        self.objects.insert(key.clone(), Arc::clone(&obj));
+        *self.kind_counts.entry(key.kind.clone()).or_insert(0) += 1;
+        self.bump(WatchEventKind::Added, key.clone(), time, Some(obj));
         Ok(key)
     }
 
@@ -257,7 +279,7 @@ impl ObjectStore {
         if cur.data == data {
             return Ok(());
         }
-        let spec_changed = cur.data.spec_value() != data.spec_value();
+        let spec_changed = !cur.data.spec_eq(&data);
         let mut meta = cur.meta.clone();
         meta.resource_version = self.revision + 1;
         if spec_changed {
@@ -265,8 +287,9 @@ impl ObjectStore {
         }
         // A replacement gets a fresh Arc instead of mutating in place, so
         // snapshots holding the old handle are untouched.
-        *self.objects.get_mut(key).expect("checked above") = Arc::new(StoredObject { meta, data });
-        self.bump(WatchEventKind::Modified, key.clone(), time);
+        let obj = Arc::new(StoredObject { meta, data });
+        *self.objects.get_mut(key).expect("checked above") = Arc::clone(&obj);
+        self.bump(WatchEventKind::Modified, key.clone(), time, Some(obj));
         Ok(())
     }
 
@@ -307,11 +330,11 @@ impl ObjectStore {
             return Ok(());
         }
         obj.meta.resource_version = next_rv;
-        // Spec rendering allocates; only needed once a change is known.
-        if obj.data.spec_value() != before.data.spec_value() {
+        if !obj.data.spec_eq(&before.data) {
             obj.meta.generation += 1;
         }
-        self.bump(WatchEventKind::Modified, key.clone(), time);
+        let handle = Arc::clone(slot);
+        self.bump(WatchEventKind::Modified, key.clone(), time, Some(handle));
         Ok(())
     }
 
@@ -320,7 +343,10 @@ impl ObjectStore {
         let resolved = self.resolve_key(key);
         let key = &*resolved;
         let removed = self.objects.remove(key)?;
-        self.bump(WatchEventKind::Deleted, key.clone(), time);
+        if let Some(count) = self.kind_counts.get_mut(&key.kind) {
+            *count = count.saturating_sub(1);
+        }
+        self.bump(WatchEventKind::Deleted, key.clone(), time, None);
         Some(removed)
     }
 
@@ -353,13 +379,38 @@ impl ObjectStore {
         self.objects.iter()
     }
 
+    /// Commutative digest over every stored object, computed incrementally.
+    ///
+    /// Delegates to [`PMap::digest_sum`]: per-subtree sums are cached inside
+    /// the tree nodes, so after k writes only the k copied root-to-leaf
+    /// paths are re-hashed — the rest of the store digests for free. All
+    /// callers must pass the same (pure) `entry_digest` function for the
+    /// lifetime of a store and its snapshots; see `PMap::digest_sum`.
+    pub fn digest_sum<F: Fn(&ObjKey, &Arc<StoredObject>) -> u64>(&self, entry_digest: &F) -> u64 {
+        self.objects.digest_sum(entry_digest)
+    }
+
     /// Counts objects shared with at least one snapshot versus uniquely
     /// owned by this store: `(shared, uniquely_owned)`. An object counts as
     /// shared when it sits under a tree node still referenced by another
     /// snapshot, or when its payload `Arc` itself is multiply referenced.
     pub fn sharing_stats(&self) -> (usize, usize) {
-        self.objects
-            .sharing_stats(|obj| Arc::strong_count(obj) > 1)
+        // The store's own event log holds a handle per recorded write (how
+        // index sync avoids per-key store descents); those references are
+        // part of this store, not divergence, so discount them.
+        let mut event_refs: BTreeMap<usize, usize> = BTreeMap::new();
+        for event in self.events.iter() {
+            if let Some(obj) = &event.obj {
+                *event_refs.entry(Arc::as_ptr(obj) as usize).or_insert(0) += 1;
+            }
+        }
+        self.objects.sharing_stats(|obj| {
+            let own = 1 + event_refs
+                .get(&(Arc::as_ptr(obj) as usize))
+                .copied()
+                .unwrap_or(0);
+            Arc::strong_count(obj) > own
+        })
     }
 
     /// Number of stored objects.
@@ -426,12 +477,38 @@ impl ObjectStore {
         for (key, obj) in self.objects.iter() {
             objects.insert(key.clone(), Arc::new((**obj).clone()));
         }
+        // Event payloads must reference the clone's objects, not the
+        // original's: current versions map to the fresh handle, stale
+        // versions (superseded mid-log) get their own deep copy.
+        let events: Vec<WatchEvent> = self
+            .events
+            .iter()
+            .map(|event| {
+                let obj = event
+                    .obj
+                    .as_ref()
+                    .map(|o| match self.objects.get(&event.key) {
+                        Some(cur) if Arc::ptr_eq(cur, o) => {
+                            Arc::clone(objects.get(&event.key).expect("key is live"))
+                        }
+                        _ => Arc::new((**o).clone()),
+                    });
+                WatchEvent {
+                    revision: event.revision,
+                    time: event.time,
+                    kind: event.kind,
+                    key: event.key.clone(),
+                    obj,
+                }
+            })
+            .collect();
         ObjectStore {
             objects,
             revision: self.revision,
             next_uid: self.next_uid,
-            events: Arc::new((*self.events).clone()),
+            events: Arc::new(events),
             kind_revision: self.kind_revision.clone(),
+            kind_counts: self.kind_counts.clone(),
             events_floor: self.events_floor,
             ns_alias: self.ns_alias.clone(),
         }

@@ -1,0 +1,263 @@
+//! Property test: the indexed scheduler is equivalent to the exhaustive
+//! baseline across random topologies, affinities, and taints — including
+//! after incremental index updates from kills, evictions, and node churn.
+//!
+//! Each case builds a random cluster, then alternates scheduling passes with
+//! mutation batches. Before every pass the store is snapshotted and the
+//! baseline [`schedule`] runs on the snapshot from scratch, while
+//! [`schedule_indexed`] runs on the live store with a [`SchedIndex`] carried
+//! across all passes (so mutations reach it only through watch-event
+//! replay). Outcomes and resulting pod states must match exactly.
+
+use proptest::prelude::*;
+use simkube::meta::ObjectMeta;
+use simkube::objects::{Container, Kind, Node, ObjectData, Pod, PodPhase};
+use simkube::resources::{
+    NodeAffinityTerm, PodAffinityTerm, ResourceRequirements, Taint, TaintEffect, Toleration,
+    TolerationOperator,
+};
+use simkube::scheduler::{schedule, schedule_indexed, SchedIndex};
+use simkube::{ObjKey, ObjectStore};
+
+/// `(cpu units, zone, taint kind)` — one node.
+type NodeSpec = (u64, u8, u8);
+
+/// `(cpu units, selector, node affinity, pod rule, group, toleration)` — one
+/// pod. `selector`/`affinity` of 0 mean "none", otherwise zone `n - 1`.
+/// `pod rule` 0 is none, 1..=3 is anti-affinity against group `n - 1`,
+/// 4..=6 is co-location with group `n - 4`.
+type PodSpec = (u64, u8, u8, u8, u8, u8);
+
+/// `(target, action)` — one mutation applied between passes. Actions: kill
+/// pod, evict pod, delete pod, delete node, add node.
+type Mutation = (u8, u8);
+
+fn make_node(spec: NodeSpec) -> Node {
+    let (cpu, zone, taint) = spec;
+    let mut node = Node::with_capacity(&format!("{}m", 500 + cpu * 500), "8Gi");
+    node.labels
+        .insert("zone".to_string(), format!("z{}", zone % 3));
+    match taint % 3 {
+        1 => node.taints.push(Taint {
+            key: "dedicated".to_string(),
+            value: "infra".to_string(),
+            effect: TaintEffect::NoSchedule,
+        }),
+        2 => node.taints.push(Taint {
+            key: "spot".to_string(),
+            value: "true".to_string(),
+            effect: TaintEffect::NoSchedule,
+        }),
+        _ => {}
+    }
+    node
+}
+
+fn make_pod(spec: PodSpec) -> (Pod, String) {
+    let (cpu, selector, affinity, rule, group, tol) = spec;
+    let mut pod = Pod {
+        containers: vec![Container {
+            name: "c".to_string(),
+            image: "img:1".to_string(),
+            resources: ResourceRequirements::new()
+                .request("cpu", &format!("{}m", 100 + cpu * 150))
+                .request("memory", "64Mi"),
+            ..Container::default()
+        }],
+        ..Pod::default()
+    };
+    if selector % 4 != 0 {
+        pod.node_selector
+            .insert("zone".to_string(), format!("z{}", (selector % 4) - 1));
+    }
+    if affinity % 4 != 0 {
+        pod.affinity.node_required.push(NodeAffinityTerm {
+            key: "zone".to_string(),
+            value: format!("z{}", (affinity % 4) - 1),
+        });
+    }
+    match rule % 7 {
+        0 => {}
+        r @ 1..=3 => pod.affinity.pod_anti_affinity.push(PodAffinityTerm {
+            key: "group".to_string(),
+            value: format!("g{}", r - 1),
+        }),
+        r => pod.affinity.pod_affinity.push(PodAffinityTerm {
+            key: "group".to_string(),
+            value: format!("g{}", r - 4),
+        }),
+    }
+    match tol % 3 {
+        1 => pod.tolerations.push(Toleration {
+            key: "dedicated".to_string(),
+            value: "infra".to_string(),
+            operator: TolerationOperator::Equal,
+        }),
+        2 => pod.tolerations.push(Toleration {
+            key: "spot".to_string(),
+            value: String::new(),
+            operator: TolerationOperator::Exists,
+        }),
+        _ => {}
+    }
+    (pod, format!("g{}", group % 3))
+}
+
+/// Every pod's scheduling-visible state, for cross-store comparison.
+fn pod_states(store: &ObjectStore) -> Vec<(ObjKey, Option<String>, PodPhase, String)> {
+    store
+        .iter()
+        .filter_map(|(key, obj)| match &obj.data {
+            ObjectData::Pod(p) => {
+                Some((key.clone(), p.node_name.clone(), p.phase, p.reason.clone()))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn live_pod_keys(store: &ObjectStore) -> Vec<ObjKey> {
+    store
+        .iter()
+        .filter(|(k, _)| k.kind == Kind::Pod)
+        .map(|(k, _)| k.clone())
+        .collect()
+}
+
+fn apply_mutation(
+    store: &mut ObjectStore,
+    mutation: Mutation,
+    fresh_node_seq: &mut u64,
+    time: u64,
+) {
+    let (target, action) = mutation;
+    match action % 5 {
+        // Kill: the pod stops contributing to its node but keeps its key.
+        0 => {
+            let pods = live_pod_keys(store);
+            if pods.is_empty() {
+                return;
+            }
+            let key = pods[target as usize % pods.len()].clone();
+            let _ = store.update_with(&key, time, |obj| {
+                if let ObjectData::Pod(p) = &mut obj.data {
+                    p.phase = PodPhase::Failed;
+                    p.reason = "Killed".to_string();
+                    p.phase_since = time;
+                }
+            });
+        }
+        // Evict: back to pending and schedulable again.
+        1 => {
+            let pods = live_pod_keys(store);
+            if pods.is_empty() {
+                return;
+            }
+            let key = pods[target as usize % pods.len()].clone();
+            let _ = store.update_with(&key, time, |obj| {
+                if let ObjectData::Pod(p) = &mut obj.data {
+                    p.node_name = None;
+                    p.phase = PodPhase::Pending;
+                    p.reason = String::new();
+                    p.phase_since = time;
+                }
+            });
+        }
+        // Delete the pod outright.
+        2 => {
+            let pods = live_pod_keys(store);
+            if pods.is_empty() {
+                return;
+            }
+            let key = pods[target as usize % pods.len()].clone();
+            store.delete(&key, time);
+        }
+        // Delete a node; its residents keep a dangling binding (they stop
+        // being index contributions only when mutated themselves, exactly
+        // as the baseline sees it).
+        3 => {
+            let nodes: Vec<ObjKey> = store
+                .iter()
+                .filter(|(k, _)| k.kind == Kind::Node)
+                .map(|(k, _)| k.clone())
+                .collect();
+            if nodes.is_empty() {
+                return;
+            }
+            let key = nodes[target as usize % nodes.len()].clone();
+            store.delete(&key, time);
+        }
+        // Add a fresh untainted node in a zone derived from the target.
+        _ => {
+            let name = format!("fresh-{fresh_node_seq}");
+            *fresh_node_seq += 1;
+            let _ = store.create(
+                ObjectMeta::named("", &name),
+                ObjectData::Node(make_node((u64::from(target % 4) + 2, target % 3, 0))),
+                time,
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexed_scheduler_matches_exhaustive_baseline(
+        nodes in prop::collection::vec((1u64..6, 0u8..3, 0u8..3), 1..6),
+        pods in prop::collection::vec(
+            (0u64..6, 0u8..4, 0u8..4, 0u8..7, 0u8..3, 0u8..3),
+            0..14,
+        ),
+        mutations in prop::collection::vec((0u8..16, 0u8..5), 0..10),
+    ) {
+        let mut store = ObjectStore::new();
+        for (i, spec) in nodes.iter().enumerate() {
+            store
+                .create(
+                    ObjectMeta::named("", &format!("node-{i}")),
+                    ObjectData::Node(make_node(*spec)),
+                    0,
+                )
+                .expect("node create");
+        }
+        for (i, spec) in pods.iter().enumerate() {
+            let (pod, group) = make_pod(*spec);
+            let mut meta = ObjectMeta::named("ns", &format!("pod-{i:03}"));
+            meta.labels.insert("group".to_string(), group);
+            store
+                .create(meta, ObjectData::Pod(pod), 0)
+                .expect("pod create");
+        }
+
+        // One index lives across all passes: after the first pass it is
+        // updated only incrementally, via watch-event replay over the
+        // mutations below.
+        let mut index = SchedIndex::default();
+        let mut fresh_node_seq = 0u64;
+        let halfway = mutations.len() / 2;
+        let batches: [&[Mutation]; 3] = [&[], &mutations[..halfway], &mutations[halfway..]];
+        for (round, batch) in batches.iter().enumerate() {
+            let time = round as u64 * 10;
+            for mutation in batch.iter() {
+                apply_mutation(&mut store, *mutation, &mut fresh_node_seq, time);
+            }
+            // Baseline runs from scratch on an identical snapshot.
+            let mut baseline_store = store.snapshot();
+            let baseline = schedule(&mut baseline_store, time + 1);
+            let indexed = schedule_indexed(&mut store, time + 1, &mut index);
+            prop_assert_eq!(
+                &indexed, &baseline,
+                "round {} outcome diverged: indexed {:?} vs baseline {:?}",
+                round, indexed, baseline
+            );
+            prop_assert_eq!(
+                pod_states(&store),
+                pod_states(&baseline_store),
+                "round {} pod states diverged",
+                round
+            );
+        }
+    }
+}

@@ -23,6 +23,7 @@ fn config(bugs: BugToggles, faults: FaultPlan) -> CampaignConfig {
         custom_oracles: Vec::new(),
         faults,
         crash_sweep: false,
+        topology: None,
     }
 }
 

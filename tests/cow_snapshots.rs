@@ -68,7 +68,10 @@ fn apply(
             model.insert(name.to_string(), value.to_string());
         }
         2 if model.contains_key(name) => {
-            assert!(store.delete(&key, time).is_some(), "delete of present object");
+            assert!(
+                store.delete(&key, time).is_some(),
+                "delete of present object"
+            );
             model.remove(name);
         }
         _ => {} // op does not apply to the current state; skip

@@ -28,6 +28,7 @@ fn sweep_config(operator: &str, max_ops: usize, bugs: BugToggles) -> CampaignCon
         custom_oracles: Vec::new(),
         faults: Default::default(),
         crash_sweep: true,
+        topology: None,
     }
 }
 
@@ -89,10 +90,7 @@ fn seeded_nonidempotent_create_is_caught_by_the_sweep() {
     quiet.crash_sweep = false;
     let quiet_result = run_campaign(&quiet);
     assert!(
-        quiet_result
-            .trials
-            .iter()
-            .all(|t| t.alarms.is_empty()),
+        quiet_result.trials.iter().all(|t| t.alarms.is_empty()),
         "without crashes the seeded bug is invisible"
     );
 }

@@ -45,6 +45,7 @@ fn config(operator: &str, max_ops: usize, faults: FaultPlan) -> CampaignConfig {
         custom_oracles: Vec::new(),
         faults,
         crash_sweep: false,
+        topology: None,
     }
 }
 

@@ -23,6 +23,7 @@ fn faulted_config(plan: FaultPlan) -> CampaignConfig {
         custom_oracles: Vec::new(),
         faults: plan,
         crash_sweep: false,
+        topology: None,
     }
 }
 

@@ -26,6 +26,7 @@ fn config(operator: &str, bugs: BugToggles, faults: FaultPlan) -> CampaignConfig
         custom_oracles: Vec::new(),
         faults,
         crash_sweep: false,
+        topology: None,
     }
 }
 

@@ -25,6 +25,7 @@ fn config(operator: &str, max_ops: usize) -> CampaignConfig {
         custom_oracles: Vec::new(),
         faults: Default::default(),
         crash_sweep: false,
+        topology: None,
     }
 }
 

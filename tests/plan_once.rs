@@ -28,6 +28,7 @@ fn multi_worker_run_plans_exactly_once() {
         custom_oracles: Vec::new(),
         faults: Default::default(),
         crash_sweep: false,
+        topology: None,
     };
     let before = PLAN_COMPUTATIONS.load(Ordering::SeqCst);
     let result = run_work_stealing(&config, 4);

@@ -19,6 +19,7 @@ fn smoke(operator: &str, mode: Mode) {
         custom_oracles: Vec::new(),
         faults: Default::default(),
         crash_sweep: false,
+        topology: None,
     };
     let result = run_campaign(&config);
     assert!(
