@@ -12,7 +12,7 @@
 use std::time::{Duration, Instant};
 
 use acto::{run_campaign, CampaignConfig, Mode};
-use acto_bench::{quick_mode, render_table};
+use acto_bench::{quick, render_table, BENCH_SCHEMA_VERSION};
 use simkube::{set_ticked_engine, ClusterConfig, NodeTopology, SimCluster, BACKGROUND_NAMESPACE};
 
 /// Largest-vs-smallest per-step cost ratio allowed across the population
@@ -75,7 +75,7 @@ fn churn_steps(cluster: &mut SimCluster, steps: u64) {
 }
 
 fn main() {
-    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let quick = quick();
     let sizes: &[usize] = if quick { &SIZES_QUICK } else { &SIZES_FULL };
     let steps: u64 = 16_384;
     let speedup_floor = if quick {
@@ -175,13 +175,14 @@ fn main() {
 
     let json = format!(
         concat!(
-            "{{\n  \"bench\": \"cluster_scale\",\n  \"quick\": {},\n",
+            "{{\n  \"bench\": \"cluster_scale\",\n  \"schema_version\": {},\n  \"quick\": {},\n",
             "  \"step_flatness_bound\": {:.1},\n  \"step_flatness\": {:.4},\n",
             "  \"step_costs\": [\n{}\n  ],\n",
             "  \"campaign\": {{\"nodes\": 1000, \"background_pods\": 20000, ",
             "\"ticked_ms\": {}, \"event_ms\": {}, \"speedup\": {:.4}, ",
             "\"speedup_floor\": {:.1}, \"transcripts_identical\": {}}}\n}}\n"
         ),
+        BENCH_SCHEMA_VERSION,
         quick,
         STEP_FLATNESS_BOUND,
         flatness,

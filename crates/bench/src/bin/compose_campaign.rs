@@ -13,14 +13,14 @@ use std::time::Instant;
 use acto::compose::{run_composed_campaign, run_composed_work_stealing_with};
 use acto::parallel::{SnapshotDepot, DEFAULT_SEGMENT_OPS};
 use acto::{run_campaign, CampaignConfig, Mode};
-use acto_bench::{quick_mode, render_table};
+use acto_bench::{quick, render_table, BENCH_SCHEMA_VERSION};
 use operators::bugs;
 
 const PAIR: [&str; 2] = ["TiDBOp", "ZooKeeperOp"];
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 
 fn main() {
-    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let quick = quick();
     let max_ops = if quick { Some(24) } else { None };
     let mut failures: Vec<String> = Vec::new();
 
@@ -182,7 +182,7 @@ fn main() {
 
     let json = format!(
         concat!(
-            "{{\n  \"bench\": \"compose\",\n  \"quick\": {},\n",
+            "{{\n  \"bench\": \"compose\",\n  \"schema_version\": {},\n  \"quick\": {},\n",
             "  \"pair\": \"{}\",\n",
             "  \"sequential\": {{\"trials\": {}, \"sim_seconds\": {}, \"wall_ms\": {}}},\n",
             "  \"composed\": {{\"trials\": {}, \"sim_seconds\": {}, ",
@@ -190,6 +190,7 @@ fn main() {
             "  \"seeded_bug_detected\": {},\n",
             "  \"parallel\": [\n{}\n  ]\n}}\n"
         ),
+        BENCH_SCHEMA_VERSION,
         quick,
         PAIR.join("+"),
         sequential_trials,

@@ -20,7 +20,7 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use acto::{run_campaign, AlarmKind, CampaignConfig, Mode};
-use acto_bench::{quick_mode, render_table};
+use acto_bench::{quick, render_table, BENCH_SCHEMA_VERSION};
 use operators::bugs::BugToggles;
 use operators::Instance;
 use simkube::PlatformBugs;
@@ -51,7 +51,7 @@ fn best_wall(iters: usize, mut body: impl FnMut()) -> Duration {
 }
 
 fn main() {
-    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let quick = quick();
     let iters = if quick { ITERS_QUICK } else { ITERS_FULL };
     let max_ops = if quick { 6 } else { 12 };
     let mut failures: Vec<String> = Vec::new();
@@ -202,7 +202,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"crash_points\",\n  \"quick\": {},\n  \"multiplier_floor\": {:.1},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"crash_points\",\n  \"schema_version\": {},\n  \"quick\": {},\n  \"multiplier_floor\": {:.1},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        BENCH_SCHEMA_VERSION,
         quick,
         MULTIPLIER_FLOOR,
         json_entries.join(",\n")

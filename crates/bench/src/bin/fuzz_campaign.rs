@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use acto::fuzz::{replay_corpus, run_fuzz, run_random, Corpus, FuzzConfig, FuzzResult};
-use acto_bench::{quick_mode, render_table};
+use acto_bench::{quick, render_table, BENCH_SCHEMA_VERSION};
 use operators::bugs::SEEDED_NONIDEMPOTENT_CREATE;
 use simkube::checkpoint_forks;
 
@@ -70,7 +70,7 @@ fn growth_curve(result: &FuzzResult) -> Vec<usize> {
 }
 
 fn main() {
-    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let quick = quick();
     let execs = if quick { EXECS_QUICK } else { EXECS_FULL };
     let mut failures: Vec<String> = Vec::new();
 
@@ -225,6 +225,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"fuzz\",\n",
+            "  \"schema_version\": {},\n",
             "  \"quick\": {},\n",
             "  \"ratio_floor\": {:.1},\n",
             "  \"execs\": {},\n",
@@ -244,6 +245,7 @@ fn main() {
             "  \"random_wall_ms\": {}\n",
             "}}\n"
         ),
+        BENCH_SCHEMA_VERSION,
         quick,
         RATIO_FLOOR,
         execs,

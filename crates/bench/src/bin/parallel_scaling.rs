@@ -10,7 +10,7 @@
 
 use acto::parallel::{run_work_stealing_with, ParallelResult, SnapshotDepot, DEFAULT_SEGMENT_OPS};
 use acto::{CampaignConfig, Mode};
-use acto_bench::{quick_mode, render_table};
+use acto_bench::{quick, render_table, BENCH_SCHEMA_VERSION};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const OPERATORS: [&str; 2] = ["RabbitMQOp", "ZooKeeperOp"];
@@ -19,7 +19,7 @@ const OPERATORS: [&str; 2] = ["RabbitMQOp", "ZooKeeperOp"];
 const MAKESPAN_RATIO: f64 = 0.6;
 
 fn main() {
-    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let quick = quick();
     let mut failures: Vec<String> = Vec::new();
     let mut json_entries: Vec<String> = Vec::new();
 
@@ -140,7 +140,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"parallel_scaling\",\n  \"quick\": {},\n  \"makespan_budget\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"parallel_scaling\",\n  \"schema_version\": {},\n  \"quick\": {},\n  \"makespan_budget\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        BENCH_SCHEMA_VERSION,
         quick,
         MAKESPAN_RATIO,
         json_entries.join(",\n")

@@ -21,7 +21,7 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use acto::{run_campaign, CampaignConfig, Mode};
-use acto_bench::{quick_mode, render_table};
+use acto_bench::{quick, render_table, BENCH_SCHEMA_VERSION};
 use operators::bugs::BugToggles;
 use operators::Instance;
 use simkube::{PlatformBugs, SimCluster};
@@ -53,7 +53,7 @@ fn best_wall(iters: usize, mut body: impl FnMut()) -> Duration {
 }
 
 fn main() {
-    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let quick = quick();
     let iters = if quick { ITERS_QUICK } else { ITERS_FULL };
     let mut failures: Vec<String> = Vec::new();
     let mut json_entries: Vec<String> = Vec::new();
@@ -181,7 +181,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"snapshot_cow\",\n  \"quick\": {},\n  \"speedup_floor\": {:.1},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"snapshot_cow\",\n  \"schema_version\": {},\n  \"quick\": {},\n  \"speedup_floor\": {:.1},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        BENCH_SCHEMA_VERSION,
         quick,
         SPEEDUP_FLOOR,
         json_entries.join(",\n")

@@ -12,7 +12,7 @@
 use std::time::{Duration, Instant};
 
 use acto::{run_campaign, CampaignConfig, CampaignResult, Mode};
-use acto_bench::{quick_mode, render_table};
+use acto_bench::{quick, render_table, BENCH_SCHEMA_VERSION};
 use simkube::{engine_counters, set_ticked_engine};
 
 const OPERATORS: [&str; 2] = ["RabbitMQOp", "ZooKeeperOp"];
@@ -64,7 +64,7 @@ fn run_engine(config: &CampaignConfig, ticked: bool) -> EngineRun {
 }
 
 fn main() {
-    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let quick = quick();
     let budget = if quick {
         WALL_BUDGET_QUICK
     } else {
@@ -174,7 +174,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"step_engine\",\n  \"quick\": {},\n  \"wall_budget\": {:.4},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"step_engine\",\n  \"schema_version\": {},\n  \"quick\": {},\n  \"wall_budget\": {:.4},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        BENCH_SCHEMA_VERSION,
         quick,
         budget,
         json_entries.join(",\n")

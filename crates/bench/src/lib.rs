@@ -42,6 +42,18 @@ pub fn quick_mode() -> bool {
     std::env::var("ACTO_QUICK").is_ok()
 }
 
+/// Returns `true` when either the `ACTO_QUICK` environment variable or a
+/// `--quick` command-line flag requests a reduced-budget run — the one
+/// sniffing path shared by every bench binary.
+pub fn quick() -> bool {
+    quick_mode() || std::env::args().any(|a| a == "--quick")
+}
+
+/// Version of the `BENCH_*.json` emission format, stamped into every
+/// bench artifact as `schema_version` so downstream consumers can detect
+/// layout changes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
 /// Renders rows as a fixed-width plain-text table.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();

@@ -24,7 +24,7 @@
 //! crash arming are likewise stripped from composed fuzz inputs — the
 //! input space here is the interleaving itself.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -33,16 +33,17 @@ use operators::{
     try_operator_by_name, Composition, CompositionCheckpoint, Operator, CONVERGE_MAX,
     CONVERGE_RESET,
 };
-use simkube::{FaultPlan, SplitMix64};
+use simkube::FaultPlan;
 
 use crate::campaign::{apply_op, collapse, normalized, plan_campaign, CampaignConfig};
 use crate::fuzz::{
-    mutate_input, random_input, Corpus, CorpusEntry, CoverageFeature, CoverageMap, FuzzConfig,
-    FuzzInput,
+    Candidate, Corpus, CorpusEntry, CoverageFeature, CoverageMap, FuzzConfig, FuzzInput, Guidance,
+    GuidedGen,
 };
 use crate::model::{Mode, PlannedOp, Trial, TrialOutcome};
 use crate::oracles::{self, AlarmKind};
-use crate::parallel::{steal_map, SnapshotDepot, WorkerStats, DEFAULT_SEGMENT_OPS};
+use crate::exec::{drive, fold_batch_stats, run_segmented, Driver, Segment, TrialSource};
+use crate::parallel::{SnapshotDepot, WorkerStats, DEFAULT_SEGMENT_OPS};
 use crate::report::{merge_summaries, summarize, Alarm, CampaignSummary};
 
 /// One entry of an interleaved composed plan: a planned operation plus the
@@ -618,6 +619,102 @@ pub fn run_composed_work_stealing_with(
     segment_ops: usize,
     depot: &SnapshotDepot<CompositionCheckpoint>,
 ) -> Result<ComposedParallelResult, String> {
+    run_composed_work_stealing_core(config, workers, segment_ops, depot, BTreeMap::new(), None)
+}
+
+/// The composed [`Driver`]: whole-composition checkpoints, segments
+/// executed as windowed composed campaigns from canonical prefix states.
+/// Failures propagate as `Err` values through `SegmentOut` instead of the
+/// quarantine path — a composed segment error is a configuration problem,
+/// not a flaky worker.
+struct ComposedDriver<'a> {
+    config: &'a CampaignConfig,
+    plan: &'a [ComposedOp],
+    plan_len: usize,
+    initial_crs: &'a [Value],
+    base: Arc<CompositionCheckpoint>,
+    base_sim_seconds: u64,
+}
+
+impl Driver for ComposedDriver<'_> {
+    type Checkpoint = CompositionCheckpoint;
+    type SegmentOut = Result<ComposedResult, String>;
+
+    fn plan_len(&self) -> usize {
+        self.plan_len
+    }
+
+    fn deploy_base(&self) -> (Arc<CompositionCheckpoint>, u64) {
+        (Arc::clone(&self.base), self.base_sim_seconds)
+    }
+
+    fn run_segment(
+        &self,
+        seg: Segment,
+        base: &Arc<CompositionCheckpoint>,
+        depot: &SnapshotDepot<CompositionCheckpoint>,
+        my: &mut WorkerStats,
+    ) -> Result<ComposedResult, String> {
+        let (skip, take) = (seg.skip, seg.take);
+        let start_cp = match depot.get(skip) {
+            Some(cp) => {
+                my.depot_hits += 1;
+                cp
+            }
+            None => {
+                // Canonical prefix state: restore the base, fold each
+                // member's ops within plan[..skip] from its initial CR,
+                // submit every changed member's jump, converge once.
+                let cp = Arc::new(build_composed_prefix(
+                    self.config,
+                    self.plan,
+                    self.initial_crs,
+                    base,
+                    skip,
+                    my,
+                )?);
+                depot.put(skip, Arc::clone(&cp));
+                cp
+            }
+        };
+        let (shared, owned) = start_cp.sharing_stats();
+        my.restored_objects_shared += shared;
+        my.restored_objects_owned += owned;
+        let mut seg_config = self.config.clone();
+        seg_config.window = Some((skip, take));
+        seg_config.max_ops = None;
+        let result = run_composed_with(
+            &seg_config,
+            self.plan,
+            Duration::ZERO,
+            Some(base),
+            Some(&start_cp),
+        )?;
+        my.sim_seconds += result.sim_seconds;
+        my.convergence_waits += result.convergence_waits;
+        Ok(result)
+    }
+
+    fn quarantined(&self, seg: Segment, panic: &str) -> Result<ComposedResult, String> {
+        Err(format!("segment {} quarantined: {panic}", seg.index))
+    }
+
+    fn quarantines(&self) -> bool {
+        false
+    }
+}
+
+/// The composed work-stealing core behind the plain entry point and the
+/// persistence layer: `completed` splices journaled segment results,
+/// `sink` observes each freshly finished segment.
+pub(crate) fn run_composed_work_stealing_core(
+    config: &CampaignConfig,
+    workers: usize,
+    segment_ops: usize,
+    depot: &SnapshotDepot<CompositionCheckpoint>,
+    completed: BTreeMap<usize, Result<ComposedResult, String>>,
+    sink: Option<crate::exec::SegmentSink<'_, Result<ComposedResult, String>>>,
+) -> Result<ComposedParallelResult, String> {
     let start = Instant::now();
     let gen_start = Instant::now();
     let plan = plan_composed(config)?;
@@ -630,88 +727,49 @@ pub fn run_composed_work_stealing_with(
 
     let plan_len = config.max_ops.map_or(plan.len(), |max| plan.len().min(max));
     let segment_ops = segment_ops.max(1);
-    let mut segments: Vec<(usize, usize)> = Vec::new();
-    let mut cut = 0;
-    while cut < plan_len {
-        let take = segment_ops.min(plan_len - cut);
-        segments.push((cut, take));
-        cut += take;
-    }
-    let workers = workers.max(1).min(segments.len().max(1));
 
     // Deploy the shared base composition once; every segment start and
     // depot miss restores this snapshot instead of redeploying N systems.
     let mut base_comp = acquire_composition(config, None)?;
     let base_sim_seconds = base_comp.now();
     let base = Arc::new(base_comp.checkpoint());
-    depot.put(0, Arc::clone(&base));
     drop(base_comp);
 
-    let (seg_results, mut worker_stats) = steal_map(&segments, workers, |_, &(skip, take), my| {
-        let start_cp = match depot.get(skip) {
-            Some(cp) => {
-                my.depot_hits += 1;
-                cp
-            }
-            None => {
-                // Canonical prefix state: restore the base, fold each
-                // member's ops within plan[..skip] from its initial CR,
-                // submit every changed member's jump, converge once.
-                match build_composed_prefix(config, &plan, &initial_crs, &base, skip, my) {
-                    Ok(cp) => {
-                        let cp = Arc::new(cp);
-                        depot.put(skip, Arc::clone(&cp));
-                        cp
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-        };
-        let (shared, owned) = start_cp.sharing_stats();
-        my.restored_objects_shared += shared;
-        my.restored_objects_owned += owned;
-        let mut seg_config = config.clone();
-        seg_config.window = Some((skip, take));
-        seg_config.max_ops = None;
-        let result = run_composed_with(
-            &seg_config,
-            &plan,
-            Duration::ZERO,
-            Some(&base),
-            Some(&start_cp),
-        )?;
-        my.sim_seconds += result.sim_seconds;
-        my.convergence_waits += result.convergence_waits;
-        Ok(result)
-    });
-    worker_stats.sort_by_key(|s| s.worker);
+    let driver = ComposedDriver {
+        config,
+        plan: &plan,
+        plan_len,
+        initial_crs: &initial_crs,
+        base,
+        base_sim_seconds,
+    };
+    let run = run_segmented(&driver, workers, segment_ops, depot, completed, sink);
 
     let mut trials: Vec<ComposedTrial> = Vec::new();
     let mut interference_events = 0usize;
-    for seg in seg_results {
+    for seg in run.outputs {
         let seg = seg?;
         interference_events += seg.interference_events;
         trials.extend(seg.trials);
     }
     let summary = summarize_composed(&config.operators, &trials);
     let total_sim_seconds =
-        base_sim_seconds + worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
-    let (depot_shared_objects, depot_owned_objects) = depot.sharing_stats();
+        base_sim_seconds + run.worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
     Ok(ComposedParallelResult {
         operators: config.operators.clone(),
         mode: config.mode,
-        workers,
+        workers: run.workers,
         segment_ops,
-        segments: segments.len(),
+        segments: run.segments,
         trials,
         total_sim_seconds,
         base_sim_seconds,
         gen_duration,
         wall: start.elapsed(),
-        worker_stats,
-        depot_snapshots: depot.len(),
-        depot_shared_objects,
-        depot_owned_objects,
+        worker_stats: run.worker_stats,
+        depot_snapshots: run.depot_snapshots,
+        depot_shared_objects: run.depot_shared_objects,
+        depot_owned_objects: run.depot_owned_objects,
         interference_events,
         summary,
     })
@@ -1070,119 +1128,133 @@ pub fn run_composed_fuzz(cfg: &FuzzConfig) -> Result<ComposedFuzzResult, String>
     let base = base_comp.checkpoint();
     drop(base_comp);
 
-    let pool_len = plan.len();
-    let mut seen: BTreeSet<String> = BTreeSet::new();
-    let mut rng = SplitMix64::new(cfg.seed);
-    let mut coverage = CoverageMap::new();
-    let mut corpus = Corpus {
-        operator: config.operators_label(),
-        entries: Vec::new(),
+    let mut source = ComposedFuzzSource {
+        cfg,
+        gen: GuidedGen::new(cfg.seed, plan.len()),
+        coverage: CoverageMap::new(),
+        corpus: Corpus {
+            operator: config.operators_label(),
+            entries: Vec::new(),
+        },
+        records: Vec::new(),
+        worker_stats: (0..cfg.workers.max(1)).map(WorkerStats::new).collect(),
+        executed: 0,
+        rounds: 0,
+        error: None,
     };
-    let mut records: Vec<ComposedExecRecord> = Vec::new();
-    let mut worker_stats: Vec<WorkerStats> =
-        (0..cfg.workers.max(1)).map(WorkerStats::new).collect();
-    let mut rounds = 0usize;
-    let mut executed = 0usize;
-
-    while executed < cfg.execs {
-        let batch_n = cfg.batch.max(1).min(cfg.execs - executed);
-        let mut batch: Vec<(FuzzInput, &'static str, Option<usize>)> = Vec::new();
-        let mut redraws = 0usize;
-        while batch.len() < batch_n {
-            let (mut input, mutation, parent) = if corpus.entries.is_empty() || rng.below(16) == 0 {
-                (random_input(&mut rng, pool_len, cfg), "fresh", None)
-            } else {
-                let n = corpus.entries.len();
-                let half = n.div_ceil(2);
-                let pi = n - 1 - rng.below(half as u64) as usize;
-                let di = rng.below(n as u64) as usize;
-                let donor = corpus.entries[di].input.clone();
-                let parent_entry = &corpus.entries[pi];
-                let (child, name) =
-                    mutate_input(&parent_entry.input, &donor, &mut rng, pool_len, cfg);
-                (child, name, Some(parent_entry.id))
-            };
-            // Interleaving-only input space: strip single-instance
-            // machinery the generators may have attached.
-            input.faults = FaultPlan::default();
-            input.crash = None;
-            let key = input.key();
-            if seen.contains(&key) && redraws < 6 {
-                redraws += 1;
-                continue;
-            }
-            redraws = 0;
-            seen.insert(key);
-            batch.push((input, mutation, parent));
-        }
-        let (execs, batch_stats) = steal_map(&batch, cfg.workers.max(1), |_, cand, my| {
-            execute_composed_sequence(config, &plan, &base, &cand.0.ops, my)
-        });
-        let n_workers = worker_stats.len();
-        for s in batch_stats {
-            let acc = &mut worker_stats[s.worker % n_workers];
-            acc.segments_executed += s.segments_executed;
-            acc.steals += s.steals;
-            acc.depot_hits += s.depot_hits;
-            acc.sim_seconds += s.sim_seconds;
-            acc.convergence_waits += s.convergence_waits;
-            acc.ref_cache_hits += s.ref_cache_hits;
-            acc.ref_cache_misses += s.ref_cache_misses;
-            acc.restored_objects_shared += s.restored_objects_shared;
-            acc.crash_points_swept += s.crash_points_swept;
-            acc.restored_objects_owned += s.restored_objects_owned;
-            acc.wall += s.wall;
-        }
-        for ((input, mutation, parent), exec) in batch.into_iter().zip(execs) {
-            let exec = exec?;
-            let index = records.len();
-            let novel = coverage.observe_all(&exec.features);
-            if !novel.is_empty() {
-                corpus.entries.push(CorpusEntry {
-                    id: corpus.entries.len(),
-                    parent,
-                    mutation: mutation.to_string(),
-                    exec: index,
-                    input: input.clone(),
-                    new_features: novel.iter().map(CoverageFeature::render).collect(),
-                });
-            }
-            records.push(ComposedExecRecord {
-                index,
-                input,
-                mutation: mutation.to_string(),
-                parent,
-                trials: exec.trials,
-                novel,
-                sim_seconds: exec.sim_seconds,
-            });
-        }
-        executed += batch_n;
-        rounds += 1;
+    drive(&mut source, cfg.workers.max(1), |_, cand: &Candidate, my| {
+        execute_composed_sequence(config, &plan, &base, &cand.input.ops, my)
+    });
+    if let Some(err) = source.error {
+        return Err(err);
     }
 
-    let all_trials: Vec<ComposedTrial> = records
+    let all_trials: Vec<ComposedTrial> = source
+        .records
         .iter()
         .flat_map(|r| r.trials.iter().cloned())
         .collect();
     let summary = summarize_composed(&config.operators, &all_trials);
     let total_sim_seconds =
-        base_sim_seconds + worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
+        base_sim_seconds + source.worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
     Ok(ComposedFuzzResult {
         operators: config.operators.clone(),
         mode: config.mode,
         seed: cfg.seed,
-        execs: executed,
-        rounds,
-        coverage,
-        corpus,
-        records,
+        execs: source.executed,
+        rounds: source.rounds,
+        coverage: source.coverage,
+        corpus: source.corpus,
+        records: source.records,
         summary,
         total_sim_seconds,
         base_sim_seconds,
-        worker_stats,
+        worker_stats: source.worker_stats,
         wall: start.elapsed(),
     })
+}
+
+/// The composed fuzz loop as a [`TrialSource`]: always coverage-guided,
+/// with fault plans and crash arming stripped from every generated input
+/// (both are single-instance machinery — the territory being explored is
+/// the interleaving itself). An execution error stops the run and is
+/// surfaced after the drive loop ends.
+struct ComposedFuzzSource<'a> {
+    cfg: &'a FuzzConfig,
+    gen: GuidedGen,
+    coverage: CoverageMap,
+    corpus: Corpus,
+    records: Vec<ComposedExecRecord>,
+    worker_stats: Vec<WorkerStats>,
+    executed: usize,
+    rounds: usize,
+    error: Option<String>,
+}
+
+impl TrialSource for ComposedFuzzSource<'_> {
+    type Input = Candidate;
+    type Output = Result<ComposedExec, String>;
+
+    fn next_batch(&mut self) -> Vec<Candidate> {
+        if self.error.is_some() || self.executed >= self.cfg.execs {
+            return Vec::new();
+        }
+        let batch_n = self.cfg.batch.max(1).min(self.cfg.execs - self.executed);
+        self.gen.draw_batch(
+            self.cfg,
+            Guidance::Coverage,
+            &self.corpus,
+            batch_n,
+            &|input: &mut FuzzInput| {
+                // Interleaving-only input space: strip single-instance
+                // machinery the generators may have attached.
+                input.faults = FaultPlan::default();
+                input.crash = None;
+            },
+        )
+    }
+
+    fn absorb(
+        &mut self,
+        batch: Vec<Candidate>,
+        outputs: Vec<Result<ComposedExec, String>>,
+        stats: Vec<WorkerStats>,
+    ) {
+        fold_batch_stats(&mut self.worker_stats, stats);
+        let n = batch.len();
+        for (cand, exec) in batch.into_iter().zip(outputs) {
+            let exec = match exec {
+                Ok(exec) => exec,
+                Err(err) => {
+                    self.error = Some(err);
+                    return;
+                }
+            };
+            let index = self.records.len();
+            let novel = self.coverage.observe_all(&exec.features);
+            if !novel.is_empty() {
+                self.corpus.entries.push(CorpusEntry {
+                    id: self.corpus.entries.len(),
+                    parent: cand.parent,
+                    mutation: cand.mutation.to_string(),
+                    exec: index,
+                    input: cand.input.clone(),
+                    new_features: novel.iter().map(CoverageFeature::render).collect(),
+                });
+            }
+            self.records.push(ComposedExecRecord {
+                index,
+                input: cand.input,
+                mutation: cand.mutation.to_string(),
+                parent: cand.parent,
+                trials: exec.trials,
+                novel,
+                sim_seconds: exec.sim_seconds,
+            });
+        }
+        self.executed += n;
+        self.rounds += 1;
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ use crate::oracles::{
     self, consistency_check, error_checks, masked_snapshot, transition_occurred, AlarmKind,
     OracleContext, StateSnapshot,
 };
+use crate::exec::{drive, fold_batch_stats, TrialSource};
 use crate::parallel::{steal_map, SnapshotDepot, WorkerStats};
 use crate::report::{summarize, Alarm, CampaignSummary};
 
@@ -1365,7 +1366,7 @@ fn instance_crash_fired(run: &SeqRun) -> bool {
 
 /// Input-generation policy for one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Guidance {
+pub(crate) enum Guidance {
     /// Corpus-driven mutation with a fresh-input fraction.
     Coverage,
     /// Every input drawn fresh from the enumerated space.
@@ -1373,10 +1374,91 @@ enum Guidance {
 }
 
 /// A generated candidate awaiting execution.
-struct Candidate {
-    input: FuzzInput,
-    mutation: &'static str,
-    parent: Option<usize>,
+pub(crate) struct Candidate {
+    pub(crate) input: FuzzInput,
+    pub(crate) mutation: &'static str,
+    pub(crate) parent: Option<usize>,
+}
+
+/// The guided input generator shared by the single-operator and composed
+/// fuzz loops: one seeded random stream on the coordinating thread, a
+/// seen-set so the guided loop never wastes budget re-executing an input
+/// (bounded redraws keep generation total), parent selection biased toward
+/// the newest half of the corpus (fresh territory compounds), and a donor
+/// drawn uniformly for splices.
+pub(crate) struct GuidedGen {
+    pub(crate) rng: SplitMix64,
+    pub(crate) seen: BTreeSet<String>,
+    pub(crate) pool_len: usize,
+}
+
+impl GuidedGen {
+    pub(crate) fn new(seed: u64, pool_len: usize) -> GuidedGen {
+        GuidedGen {
+            rng: SplitMix64::new(seed),
+            seen: BTreeSet::new(),
+            pool_len,
+        }
+    }
+
+    /// Draws one batch of candidates. `sanitize` normalizes a raw input
+    /// before the dedup key is taken (the composed loop strips
+    /// single-instance machinery here); the random baseline takes
+    /// whatever it draws.
+    pub(crate) fn draw_batch(
+        &mut self,
+        cfg: &FuzzConfig,
+        guidance: Guidance,
+        corpus: &Corpus,
+        batch_n: usize,
+        sanitize: &dyn Fn(&mut FuzzInput),
+    ) -> Vec<Candidate> {
+        let mut batch: Vec<Candidate> = Vec::new();
+        let mut redraws = 0usize;
+        while batch.len() < batch_n {
+            let (mut input, mutation, parent) = match guidance {
+                Guidance::Random => (
+                    random_input(&mut self.rng, self.pool_len, cfg),
+                    "random",
+                    None,
+                ),
+                Guidance::Coverage => {
+                    if corpus.entries.is_empty() || self.rng.below(16) == 0 {
+                        (random_input(&mut self.rng, self.pool_len, cfg), "fresh", None)
+                    } else {
+                        let n = corpus.entries.len();
+                        let half = n.div_ceil(2);
+                        let pi = n - 1 - self.rng.below(half as u64) as usize;
+                        let di = self.rng.below(n as u64) as usize;
+                        let donor = corpus.entries[di].input.clone();
+                        let parent_entry = &corpus.entries[pi];
+                        let (child, name) = mutate_input(
+                            &parent_entry.input,
+                            &donor,
+                            &mut self.rng,
+                            self.pool_len,
+                            cfg,
+                        );
+                        (child, name, Some(parent_entry.id))
+                    }
+                }
+            };
+            sanitize(&mut input);
+            let key = input.key();
+            if guidance == Guidance::Coverage && self.seen.contains(&key) && redraws < 6 {
+                redraws += 1;
+                continue;
+            }
+            redraws = 0;
+            self.seen.insert(key);
+            batch.push(Candidate {
+                input,
+                mutation,
+                parent,
+            });
+        }
+        batch
+    }
 }
 
 /// Runs a coverage-guided fuzzing campaign.
@@ -1427,23 +1509,21 @@ fn ensure_pool(pool: &[PlannedOp]) -> Result<(), String> {
     Ok(())
 }
 
-/// Shared run scaffolding: plan the pool, deploy the base checkpoint, set
-/// up the caches, and hand a closure the execution context.
-struct RunState {
+/// The immutable half of a fuzz run: the planned pool, the deployed base
+/// checkpoint, and the shared caches. Splitting this from [`Progress`]
+/// lets worker threads borrow the execution context while the
+/// coordinating thread mutates coverage/corpus/records between batches.
+pub(crate) struct ExecState {
     pool: Vec<PlannedOp>,
     base: Arc<InstanceCheckpoint>,
     depot: SnapshotDepot,
     seq_refs: SeqRefCache,
     ref_cache: FreshRefCache,
     base_sim_seconds: u64,
-    coverage: CoverageMap,
-    corpus: Corpus,
-    records: Vec<ExecRecord>,
-    worker_stats: Vec<WorkerStats>,
 }
 
-impl RunState {
-    fn new(cfg: &FuzzConfig) -> Result<RunState, String> {
+impl ExecState {
+    fn new(cfg: &FuzzConfig) -> Result<ExecState, String> {
         let name = cfg.campaign.operator();
         let operator = operators::try_operator_by_name(name).ok_or_else(|| {
             format!(
@@ -1471,20 +1551,13 @@ impl RunState {
         let base = Arc::new(base_instance.checkpoint());
         let depot = SnapshotDepot::new();
         depot.put(0, Arc::clone(&base));
-        Ok(RunState {
+        Ok(ExecState {
             pool,
             base,
             depot,
             seq_refs: SeqRefCache::new(),
             ref_cache: FreshRefCache::new(),
             base_sim_seconds,
-            coverage: CoverageMap::new(),
-            corpus: Corpus {
-                operator: cfg.campaign.operator().to_string(),
-                entries: Vec::new(),
-            },
-            records: Vec::new(),
-            worker_stats: (0..cfg.workers.max(1)).map(WorkerStats::new).collect(),
         })
     }
 
@@ -1498,31 +1571,33 @@ impl RunState {
             ref_cache: &self.ref_cache,
         }
     }
+}
 
-    /// Executes a batch through the work-stealing runner and merges the
-    /// results in input order — the deterministic barrier.
-    fn run_batch(&mut self, cfg: &FuzzConfig, batch: Vec<Candidate>, grow_corpus: bool) {
-        let ctx = self.ctx(cfg);
-        let (execs, batch_stats) = steal_map(&batch, cfg.workers.max(1), |_, cand, my| {
-            execute_input(&ctx, &cand.input, my)
-        });
-        // `ctx` borrows self immutably; end the borrow before merging.
-        let _ = ctx;
-        let n_workers = self.worker_stats.len();
-        for s in batch_stats {
-            let acc = &mut self.worker_stats[s.worker % n_workers];
-            acc.segments_executed += s.segments_executed;
-            acc.steals += s.steals;
-            acc.depot_hits += s.depot_hits;
-            acc.sim_seconds += s.sim_seconds;
-            acc.convergence_waits += s.convergence_waits;
-            acc.ref_cache_hits += s.ref_cache_hits;
-            acc.ref_cache_misses += s.ref_cache_misses;
-            acc.restored_objects_shared += s.restored_objects_shared;
-            acc.restored_objects_owned += s.restored_objects_owned;
-            acc.crash_points_swept += s.crash_points_swept;
-            acc.wall += s.wall;
+/// The mutable half of a fuzz run: everything that grows as batches
+/// complete, merged in input order at each batch barrier — the
+/// deterministic fold.
+pub(crate) struct Progress {
+    pub(crate) coverage: CoverageMap,
+    pub(crate) corpus: Corpus,
+    pub(crate) records: Vec<ExecRecord>,
+    pub(crate) worker_stats: Vec<WorkerStats>,
+}
+
+impl Progress {
+    fn new(cfg: &FuzzConfig) -> Progress {
+        Progress {
+            coverage: CoverageMap::new(),
+            corpus: Corpus {
+                operator: cfg.campaign.operator().to_string(),
+                entries: Vec::new(),
+            },
+            records: Vec::new(),
+            worker_stats: (0..cfg.workers.max(1)).map(WorkerStats::new).collect(),
         }
+    }
+
+    /// Merges one executed batch, in input order.
+    fn absorb(&mut self, batch: Vec<Candidate>, execs: Vec<FuzzExec>, grow_corpus: bool) {
         for (cand, exec) in batch.into_iter().zip(execs) {
             let index = self.records.len();
             let novel = self.coverage.observe_all(&exec.features);
@@ -1548,7 +1623,14 @@ impl RunState {
         }
     }
 
-    fn finish(self, cfg: &FuzzConfig, execs: usize, rounds: usize, start: Instant) -> FuzzResult {
+    fn finish(
+        self,
+        cfg: &FuzzConfig,
+        state: &ExecState,
+        execs: usize,
+        rounds: usize,
+        start: Instant,
+    ) -> FuzzResult {
         let all_trials: Vec<Trial> = self
             .records
             .iter()
@@ -1556,7 +1638,7 @@ impl RunState {
             .collect();
         let summary = summarize(cfg.campaign.operator(), &all_trials);
         let total_sim_seconds =
-            self.base_sim_seconds + self.worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
+            state.base_sim_seconds + self.worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
         FuzzResult {
             operator: cfg.campaign.operator().to_string(),
             mode: cfg.campaign.mode,
@@ -1568,34 +1650,158 @@ impl RunState {
             records: self.records,
             summary,
             total_sim_seconds,
-            base_sim_seconds: self.base_sim_seconds,
+            base_sim_seconds: state.base_sim_seconds,
             worker_stats: self.worker_stats,
             wall: start.elapsed(),
         }
     }
 }
 
-fn run_fuzz_with(
+/// Fuzz-run state captured from a persistence journal, used to fast-forward
+/// a resumed run past everything it already executed. The generator
+/// continues from the recorded random-stream state, so the resumed run
+/// draws exactly the inputs an uninterrupted run would have drawn.
+pub(crate) struct RestoredFuzz {
+    pub(crate) coverage: CoverageMap,
+    pub(crate) corpus: Corpus,
+    pub(crate) records: Vec<ExecRecord>,
+    pub(crate) seen: BTreeSet<String>,
+    pub(crate) rng_state: u64,
+    pub(crate) executed: usize,
+    pub(crate) rounds: usize,
+}
+
+/// What one completed batch appended, handed to the journal hook right
+/// after the batch barrier: enough to replay the round's effect on
+/// coverage/corpus/records and to continue generation from `rng_state`.
+pub(crate) struct RoundDelta<'a> {
+    pub(crate) round: usize,
+    pub(crate) executed: usize,
+    pub(crate) rng_state: u64,
+    pub(crate) replay: bool,
+    pub(crate) records: &'a [ExecRecord],
+    pub(crate) corpus_added: &'a [CorpusEntry],
+}
+
+/// Persistence hooks for [`run_fuzz_hooked`]: `restore` fast-forwards the
+/// run, `on_round` observes each batch barrier (the journal append point).
+#[derive(Default)]
+pub(crate) struct FuzzHooks<'h> {
+    pub(crate) restore: Option<RestoredFuzz>,
+    pub(crate) on_round: Option<&'h mut dyn FnMut(&RoundDelta)>,
+}
+
+/// The fuzz loop as a [`TrialSource`]: the first batch replays a saved
+/// corpus (uncharged to the exec budget), then guided batches are drawn
+/// until the budget is spent. Absorption happens at each batch barrier in
+/// input order, which is what keeps any worker count byte-identical.
+struct FuzzSource<'a, 'h> {
+    cfg: &'a FuzzConfig,
+    guidance: Guidance,
+    gen: GuidedGen,
+    progress: Progress,
+    executed: usize,
+    rounds: usize,
+    replay: Option<Vec<Candidate>>,
+    current_replay: bool,
+    on_round: Option<&'h mut dyn FnMut(&RoundDelta)>,
+}
+
+impl TrialSource for FuzzSource<'_, '_> {
+    type Input = Candidate;
+    type Output = FuzzExec;
+
+    fn next_batch(&mut self) -> Vec<Candidate> {
+        if let Some(replays) = self.replay.take() {
+            if !replays.is_empty() {
+                self.current_replay = true;
+                return replays;
+            }
+        }
+        self.current_replay = false;
+        if self.executed >= self.cfg.execs {
+            return Vec::new();
+        }
+        let batch_n = self.cfg.batch.max(1).min(self.cfg.execs - self.executed);
+        self.gen.draw_batch(
+            self.cfg,
+            self.guidance,
+            &self.progress.corpus,
+            batch_n,
+            &|_| {},
+        )
+    }
+
+    fn absorb(
+        &mut self,
+        batch: Vec<Candidate>,
+        outputs: Vec<FuzzExec>,
+        stats: Vec<WorkerStats>,
+    ) {
+        let replay = self.current_replay;
+        // Replays always seed the corpus; guided batches grow it only under
+        // coverage guidance (the random baseline keeps no population).
+        let grow = replay || self.guidance == Guidance::Coverage;
+        let record_start = self.progress.records.len();
+        let corpus_start = self.progress.corpus.entries.len();
+        let n = batch.len();
+        fold_batch_stats(&mut self.progress.worker_stats, stats);
+        self.progress.absorb(batch, outputs, grow);
+        if !replay {
+            self.executed += n;
+        }
+        self.rounds += 1;
+        if let Some(on_round) = self.on_round.as_mut() {
+            (**on_round)(&RoundDelta {
+                round: self.rounds,
+                executed: self.executed,
+                rng_state: self.gen.rng.state(),
+                replay,
+                records: &self.progress.records[record_start..],
+                corpus_added: &self.progress.corpus.entries[corpus_start..],
+            });
+        }
+    }
+}
+
+/// The one fuzz core every public entry point delegates to: plan + deploy,
+/// optionally fast-forward from a journal or seed a corpus replay, then
+/// drive the [`FuzzSource`] through the shared scheduler.
+pub(crate) fn run_fuzz_hooked(
     cfg: &FuzzConfig,
     guidance: Guidance,
     resume: Option<&Corpus>,
+    hooks: FuzzHooks<'_>,
 ) -> Result<FuzzResult, String> {
     let start = Instant::now();
-    let mut state = RunState::new(cfg)?;
+    let state = ExecState::new(cfg)?;
     let pool_len = state.pool.len().max(1);
-    let mut seen: BTreeSet<String> = BTreeSet::new();
-    let mut rng = SplitMix64::new(cfg.seed);
+    let mut gen = GuidedGen::new(cfg.seed, pool_len);
+    let mut progress = Progress::new(cfg);
+    let mut executed = 0usize;
     let mut rounds = 0usize;
+    let mut replay: Option<Vec<Candidate>> = None;
 
-    // Resume: replay the saved corpus to rebuild coverage and seed the
-    // population. Replays run through the same deterministic batch path
-    // but are not charged to the exec budget.
-    if let Some(saved) = resume {
+    if let Some(restored) = hooks.restore {
+        // Fast-forward: the journal already covers every executed round,
+        // including any corpus replay, so nothing re-executes; the
+        // generator continues mid-stream.
+        progress.coverage = restored.coverage;
+        progress.corpus = restored.corpus;
+        progress.records = restored.records;
+        gen.seen = restored.seen;
+        gen.rng = SplitMix64::from_state(restored.rng_state);
+        executed = restored.executed;
+        rounds = restored.rounds;
+    } else if let Some(saved) = resume {
+        // Resume-from-corpus: replay every saved entry first (rebuilding
+        // the coverage map and seeding the population; replays are not
+        // charged to `cfg.execs`).
         let replays: Vec<Candidate> = saved
             .entries
             .iter()
             .map(|e| {
-                seen.insert(e.input.key());
+                gen.seen.insert(e.input.key());
                 Candidate {
                     input: e.input.clone(),
                     mutation: "replay",
@@ -1603,65 +1809,40 @@ fn run_fuzz_with(
                 }
             })
             .collect();
-        if !replays.is_empty() {
-            state.run_batch(cfg, replays, true);
-            rounds += 1;
-        }
+        replay = Some(replays);
     }
 
-    let mut executed = 0usize;
-    while executed < cfg.execs {
-        let batch_n = cfg.batch.max(1).min(cfg.execs - executed);
-        let mut batch: Vec<Candidate> = Vec::new();
-        let mut redraws = 0usize;
-        while batch.len() < batch_n {
-            let (input, mutation, parent) = match guidance {
-                Guidance::Random => (random_input(&mut rng, pool_len, cfg), "random", None),
-                Guidance::Coverage => {
-                    if state.corpus.entries.is_empty() || rng.below(16) == 0 {
-                        (random_input(&mut rng, pool_len, cfg), "fresh", None)
-                    } else {
-                        // Parent biased toward the newest half of the
-                        // corpus (fresh territory compounds); donor drawn
-                        // uniformly for splices.
-                        let n = state.corpus.entries.len();
-                        let half = n.div_ceil(2);
-                        let pi = n - 1 - rng.below(half as u64) as usize;
-                        let di = rng.below(n as u64) as usize;
-                        let donor = state.corpus.entries[di].input.clone();
-                        let parent_entry = &state.corpus.entries[pi];
-                        let (child, name) =
-                            mutate_input(&parent_entry.input, &donor, &mut rng, pool_len, cfg);
-                        (child, name, Some(parent_entry.id))
-                    }
-                }
-            };
-            // The guided loop never wastes budget re-executing an input it
-            // has already run (bounded redraws keep generation total); the
-            // random baseline takes whatever it draws.
-            let key = input.key();
-            if guidance == Guidance::Coverage && seen.contains(&key) && redraws < 6 {
-                redraws += 1;
-                continue;
-            }
-            redraws = 0;
-            seen.insert(key);
-            batch.push(Candidate {
-                input,
-                mutation,
-                parent,
-            });
-        }
-        state.run_batch(cfg, batch, guidance == Guidance::Coverage);
-        executed += batch_n;
-        rounds += 1;
-    }
-    Ok(state.finish(cfg, executed, rounds, start))
+    let mut source = FuzzSource {
+        cfg,
+        guidance,
+        gen,
+        progress,
+        executed,
+        rounds,
+        replay,
+        current_replay: false,
+        on_round: hooks.on_round,
+    };
+    let ctx = state.ctx(cfg);
+    drive(&mut source, cfg.workers.max(1), |_, cand: &Candidate, my| {
+        execute_input(&ctx, &cand.input, my)
+    });
+    let (executed, rounds) = (source.executed, source.rounds);
+    Ok(source.progress.finish(cfg, &state, executed, rounds, start))
+}
+
+fn run_fuzz_with(
+    cfg: &FuzzConfig,
+    guidance: Guidance,
+    resume: Option<&Corpus>,
+) -> Result<FuzzResult, String> {
+    run_fuzz_hooked(cfg, guidance, resume, FuzzHooks::default())
 }
 
 fn run_replay(cfg: &FuzzConfig, saved: &Corpus) -> Result<FuzzResult, String> {
     let start = Instant::now();
-    let mut state = RunState::new(cfg)?;
+    let state = ExecState::new(cfg)?;
+    let mut progress = Progress::new(cfg);
     let replays: Vec<Candidate> = saved
         .entries
         .iter()
@@ -1673,9 +1854,14 @@ fn run_replay(cfg: &FuzzConfig, saved: &Corpus) -> Result<FuzzResult, String> {
         .collect();
     let n = replays.len();
     if !replays.is_empty() {
-        state.run_batch(cfg, replays, true);
+        let ctx = state.ctx(cfg);
+        let (execs, stats) = steal_map(&replays, cfg.workers.max(1), |_, cand, my| {
+            execute_input(&ctx, &cand.input, my)
+        });
+        fold_batch_stats(&mut progress.worker_stats, stats);
+        progress.absorb(replays, execs, true);
     }
-    Ok(state.finish(cfg, n, 1, start))
+    Ok(progress.finish(cfg, &state, n, 1, start))
 }
 
 #[cfg(test)]

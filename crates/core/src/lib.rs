@@ -29,8 +29,16 @@
 //!   the regular error checks (§5.3).
 //! - [`minimize`]: alarm reproduction — delta-debugging a failing campaign
 //!   prefix into a minimal e2e test and emitting its code (§5.4).
+//! - [`exec`]: the generic execution core every runner sits on — the
+//!   work-stealing [`exec::Scheduler`] (the sequential runner is its
+//!   1-worker special case), the [`exec::Driver`] abstraction over
+//!   single-operator and composed targets, and the batch-shaped
+//!   [`exec::TrialSource`] loop the fuzzers drive.
 //! - [`parallel`]: work-stealing test partitioning across workers with a
 //!   shared plan and checkpoint-based jump-state reuse (§5.5).
+//! - [`persist`]: the versioned on-disk run store (manifest + append-only
+//!   journal) behind persistent, kill-safe, resumable campaign and fuzz
+//!   runs with byte-identical transcripts.
 //! - [`compose`]: multi-operator composition campaigns — 2+ operators on
 //!   one shared cluster with an interleaved plan, cross-operator oracles,
 //!   and composed work-stealing/fuzzing runners.
@@ -43,12 +51,14 @@
 pub mod campaign;
 pub mod compose;
 pub mod deps;
+pub mod exec;
 pub mod fuzz;
 pub mod gen;
 pub mod minimize;
 pub mod model;
 pub mod oracles;
 pub mod parallel;
+pub mod persist;
 pub mod report;
 pub mod semantics;
 
@@ -62,6 +72,7 @@ pub use compose::{
     ComposedFuzzResult, ComposedOp, ComposedParallelResult, ComposedResult, ComposedTrial,
 };
 pub use deps::{infer_dependencies, Dependency};
+pub use exec::{drive, run_segmented, steal_map, Driver, Scheduler, Segment, TrialSource};
 pub use fuzz::{
     replay_corpus, run_fuzz, run_fuzz_resumed, run_random, Corpus, CorpusEntry, CoverageFeature,
     CoverageMap, ExecRecord, FuzzConfig, FuzzInput, FuzzResult,
@@ -72,6 +83,10 @@ pub use oracles::{AlarmKind, CustomOracle, OracleContext};
 pub use parallel::{
     declaration_after_prefix, run_partitioned, run_work_stealing, run_work_stealing_with,
     FailedSegment, ParallelResult, SnapshotDepot, WorkerStats, DEFAULT_SEGMENT_OPS,
+};
+pub use persist::{
+    resume_fuzz, resume_work_stealing, run_fuzz_persistent, run_fuzz_persistent_with,
+    run_work_stealing_persistent, Manifest, RunKind, RunStore, STORE_VERSION,
 };
 pub use report::{Alarm, Attribution, CampaignSummary};
 pub use semantics::infer_semantics;

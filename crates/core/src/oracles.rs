@@ -66,6 +66,21 @@ impl AlarmKind {
             AlarmKind::Composition => "composition",
         }
     }
+
+    /// Inverse of [`AlarmKind::name`], used when deserializing persisted
+    /// run journals.
+    pub fn from_name(name: &str) -> Option<AlarmKind> {
+        Some(match name {
+            "consistency" => AlarmKind::Consistency,
+            "differential-normal" => AlarmKind::DifferentialNormal,
+            "differential-rollback" => AlarmKind::DifferentialRollback,
+            "error-check" => AlarmKind::ErrorCheck,
+            "recovery" => AlarmKind::Recovery,
+            "crash-consistency" => AlarmKind::CrashConsistency,
+            "composition" => AlarmKind::Composition,
+            _ => return None,
+        })
+    }
 }
 
 /// Field names masked as nondeterministic before state comparison. The

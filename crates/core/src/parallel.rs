@@ -5,23 +5,14 @@
 //! operation `S_0 → S_k` (submitting the declaration the sequential
 //! campaign would have reached), then executes its slice.
 //!
-//! The runner here improves on static partitioning in three ways:
-//!
-//! - **Plan once.** The campaign plan is computed a single time and shared
-//!   immutably (`Arc`) across workers; segment jump declarations are one
-//!   fold over that plan, not a re-plan per worker.
-//! - **Work stealing.** The plan is cut into fixed-size segments
-//!   ([`DEFAULT_SEGMENT_OPS`] operations each) claimed through a shared
-//!   atomic cursor, so a worker that drew cheap segments keeps pulling
-//!   work instead of idling. Segmentation is independent of the worker
-//!   count, which is what keeps trials identical for any number of
-//!   workers.
-//! - **Snapshot reuse.** A deploy-converged base checkpoint is restored —
-//!   at zero simulated cost — wherever the sequential campaign would
-//!   redeploy: segment starts, mid-campaign resets, and differential
-//!   references. Converged prefix states live in a [`SnapshotDepot`];
-//!   a depot miss falls back to the jump declaration and deposits the
-//!   result for later runs over the same plan.
+//! The scheduling machinery — the claim-by-cursor loop, quarantine,
+//! snapshot depot, and per-worker statistics — lives in [`crate::exec`];
+//! this module contributes the single-operator [`Driver`]: how the shared
+//! base deploys, how one plan segment executes from its canonical prefix
+//! checkpoint (restore base, submit the jump declaration, converge), and
+//! what a quarantined segment leaves behind. The historical entry points
+//! ([`run_work_stealing`], [`run_partitioned`]) are thin wrappers over
+//! [`crate::exec::run_segmented`].
 //!
 //! Determinism: segment `k`'s start state is always the *canonical* prefix
 //! state — restore(base), submit jump `J_k`, converge — whether it comes
@@ -29,13 +20,16 @@
 //! byte-identical for every worker count.
 
 use std::collections::BTreeMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crdspec::{Path, Value};
 use operators::{operator_by_name, Instance, InstanceCheckpoint, CONVERGE_MAX, CONVERGE_RESET};
+
+pub use crate::exec::{
+    steal_map, CheckpointSharing, FailedSegment, SnapshotDepot, WorkerStats,
+};
+use crate::exec::{run_segmented, Driver, Segment};
 
 use crate::campaign::{
     apply_op, plan_campaign, run_campaign_with, CampaignConfig, CampaignResult, FreshRefCache,
@@ -48,240 +42,6 @@ use crate::report::{summarize, Alarm, CampaignSummary};
 /// load across workers, large enough that the per-segment jump is
 /// amortized over real trials.
 pub const DEFAULT_SEGMENT_OPS: usize = 8;
-
-/// Per-worker execution statistics.
-#[derive(Debug, Clone)]
-pub struct WorkerStats {
-    /// Worker index.
-    pub worker: usize,
-    /// Segments this worker claimed and ran.
-    pub segments_executed: usize,
-    /// Claims outside the worker's static share — the segments it would
-    /// *not* have run under even `(skip, take)` chunking.
-    pub steals: usize,
-    /// Segment starts served from the snapshot depot instead of being
-    /// rebuilt via the jump declaration.
-    pub depot_hits: usize,
-    /// Simulated seconds this worker consumed (jump building plus segment
-    /// execution).
-    pub sim_seconds: u64,
-    /// Convergence waits this worker issued.
-    pub convergence_waits: usize,
-    /// Differential references this worker served from the shared
-    /// fresh-reference cache.
-    pub ref_cache_hits: usize,
-    /// Differential references this worker computed and cached.
-    pub ref_cache_misses: usize,
-    /// Objects in this worker's segment-start checkpoints that were shared
-    /// with other snapshots (summed over segment starts) — payload the CoW
-    /// store did *not* duplicate for this worker.
-    pub restored_objects_shared: usize,
-    /// Objects in this worker's segment-start checkpoints that were
-    /// uniquely owned (summed over segment starts).
-    pub restored_objects_owned: usize,
-    /// Crash boundaries replayed by this worker's segments (0 with the
-    /// crash-point sweep off).
-    pub crash_points_swept: u64,
-    /// Real time from worker start to running out of segments.
-    pub wall: Duration,
-}
-
-impl WorkerStats {
-    /// Zeroed statistics for a worker about to start.
-    pub fn new(worker: usize) -> WorkerStats {
-        WorkerStats {
-            worker,
-            segments_executed: 0,
-            steals: 0,
-            depot_hits: 0,
-            sim_seconds: 0,
-            convergence_waits: 0,
-            ref_cache_hits: 0,
-            ref_cache_misses: 0,
-            restored_objects_shared: 0,
-            restored_objects_owned: 0,
-            crash_points_swept: 0,
-            wall: Duration::ZERO,
-        }
-    }
-}
-
-/// Generic work-stealing executor: `workers` threads claim items from a
-/// shared atomic cursor and run `f(index, item, stats)` on each. Results
-/// come back in *item order* regardless of which worker ran what, so
-/// callers that fold over them stay deterministic for any worker count —
-/// the same claim-by-cursor discipline the segment runner uses, reusable
-/// by the fuzzer's per-batch execution.
-///
-/// `f` must not panic: unlike segment execution (which quarantines), a
-/// panic here propagates out of the scope and aborts the run.
-pub fn steal_map<T, R, F>(items: &[T], workers: usize, f: F) -> (Vec<R>, Vec<WorkerStats>)
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T, &mut WorkerStats) -> R + Sync,
-{
-    let workers = workers.max(1).min(items.len().max(1));
-    let cursor = AtomicUsize::new(0);
-    let results: Mutex<BTreeMap<usize, R>> = Mutex::new(BTreeMap::new());
-    let stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::new());
-    let static_chunk = items.len().div_ceil(workers).max(1);
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let (cursor, results, stats, f) = (&cursor, &results, &stats, &f);
-            scope.spawn(move || {
-                let worker_start = Instant::now();
-                let mut my = WorkerStats::new(w);
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::SeqCst);
-                    if i >= items.len() {
-                        break;
-                    }
-                    if i / static_chunk != w {
-                        my.steals += 1;
-                    }
-                    let r = f(i, &items[i], &mut my);
-                    my.segments_executed += 1;
-                    results
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .insert(i, r);
-                }
-                my.wall = worker_start.elapsed();
-                stats.lock().unwrap_or_else(|e| e.into_inner()).push(my);
-            });
-        }
-    });
-    let mut worker_stats = stats.into_inner().unwrap_or_else(|e| e.into_inner());
-    worker_stats.sort_by_key(|s| s.worker);
-    let results = results
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
-        .into_values()
-        .collect();
-    (results, worker_stats)
-}
-
-/// A segment whose worker panicked. The panic is captured per segment: the
-/// remaining segments (and workers) keep running. A failed segment is
-/// retried once on a fresh checkpoint restore; if the retry also panics the
-/// segment is *quarantined* — recorded as a failed trial instead of sinking
-/// the whole run. A segment that recovered on retry is still listed here
-/// (with `quarantined = false`) so the flake is visible, but its trials are
-/// the normal ones.
-#[derive(Debug, Clone)]
-pub struct FailedSegment {
-    /// Segment index, in plan order.
-    pub segment: usize,
-    /// Plan window of the segment.
-    pub skip: usize,
-    /// Plan window of the segment.
-    pub take: usize,
-    /// Rendered panic payload (of the last attempt).
-    pub panic: String,
-    /// Whether the retry also failed and the segment was quarantined.
-    pub quarantined: bool,
-}
-
-/// Copy-on-write checkpoints that can report their structural-sharing
-/// accounting. Implemented by the single-operator [`InstanceCheckpoint`]
-/// and the composed [`operators::CompositionCheckpoint`], so one
-/// [`SnapshotDepot`] serves both runner families.
-pub trait CheckpointSharing {
-    /// Objects shared with at least one other snapshot versus uniquely
-    /// owned.
-    fn sharing_stats(&self) -> (usize, usize);
-}
-
-impl CheckpointSharing for InstanceCheckpoint {
-    fn sharing_stats(&self) -> (usize, usize) {
-        InstanceCheckpoint::sharing_stats(self)
-    }
-}
-
-impl CheckpointSharing for operators::CompositionCheckpoint {
-    fn sharing_stats(&self) -> (usize, usize) {
-        operators::CompositionCheckpoint::sharing_stats(self)
-    }
-}
-
-/// Memoized canonical prefix checkpoints, keyed by plan prefix length.
-///
-/// Entries are *canonical*: always the state produced by restoring the
-/// deploy-converged base and converging the jump declaration, never a
-/// worker's private end state — so serving a hit cannot change any trial.
-/// Share one depot across runs over the same configuration (the scaling
-/// bench runs 1/2/4/8 workers) to pay each jump once.
-///
-/// Generic over the checkpoint type: single-operator runs store
-/// [`InstanceCheckpoint`]s (the default), composed runs store whole
-/// [`operators::CompositionCheckpoint`]s.
-#[derive(Debug)]
-pub struct SnapshotDepot<T = InstanceCheckpoint> {
-    slots: Mutex<BTreeMap<usize, Arc<T>>>,
-}
-
-impl<T> Default for SnapshotDepot<T> {
-    fn default() -> SnapshotDepot<T> {
-        SnapshotDepot {
-            slots: Mutex::new(BTreeMap::new()),
-        }
-    }
-}
-
-impl<T> SnapshotDepot<T> {
-    /// An empty depot.
-    pub fn new() -> SnapshotDepot<T> {
-        SnapshotDepot::default()
-    }
-
-    /// The memoized checkpoint for a prefix length, if deposited.
-    pub fn get(&self, skip: usize) -> Option<Arc<T>> {
-        self.slots
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&skip)
-            .cloned()
-    }
-
-    /// Deposits a canonical prefix checkpoint; an existing entry wins (the
-    /// first deposit is already canonical).
-    pub fn put(&self, skip: usize, cp: Arc<T>) {
-        self.slots
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .entry(skip)
-            .or_insert(cp);
-    }
-
-    /// Number of memoized prefix states.
-    pub fn len(&self) -> usize {
-        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
-    }
-
-    /// Whether the depot holds no states.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-impl<T: CheckpointSharing> SnapshotDepot<T> {
-    /// Sharing accounting over every resident snapshot: objects shared
-    /// with at least one other snapshot versus uniquely owned, summed
-    /// across slots. With the CoW store, resident snapshots that differ
-    /// only in a few objects keep almost everything in the shared column.
-    pub fn sharing_stats(&self) -> (usize, usize) {
-        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
-        let mut shared = 0;
-        let mut owned = 0;
-        for cp in slots.values() {
-            let (s, o) = cp.sharing_stats();
-            shared += s;
-            owned += o;
-        }
-        (shared, owned)
-    }
-}
 
 /// The result of a parallel campaign.
 #[derive(Debug)]
@@ -395,6 +155,82 @@ pub fn run_work_stealing_with(
     segment_ops: usize,
     depot: &SnapshotDepot,
 ) -> ParallelResult {
+    run_work_stealing_core(config, workers, segment_ops, depot, BTreeMap::new(), None)
+}
+
+/// The single-operator [`Driver`]: plan shared immutably across workers,
+/// base deployed once, segments executed as windowed campaigns from
+/// canonical prefix checkpoints.
+pub(crate) struct CampaignDriver<'a> {
+    config: &'a CampaignConfig,
+    plan: &'a Arc<Vec<PlannedOp>>,
+    plan_len: usize,
+    initial_cr: Value,
+    ref_cache: FreshRefCache,
+}
+
+impl Driver for CampaignDriver<'_> {
+    type Checkpoint = InstanceCheckpoint;
+    type SegmentOut = Vec<Trial>;
+
+    fn plan_len(&self) -> usize {
+        self.plan_len
+    }
+
+    fn deploy_base(&self) -> (Arc<InstanceCheckpoint>, u64) {
+        let base_instance = Instance::deploy_on(
+            operator_by_name(self.config.operator()),
+            self.config.bugs.clone(),
+            self.config.platform,
+            self.config.topology.clone(),
+        )
+        .expect("initial deployment");
+        let base_sim_seconds = base_instance.cluster.now();
+        (Arc::new(base_instance.checkpoint()), base_sim_seconds)
+    }
+
+    fn run_segment(
+        &self,
+        seg: Segment,
+        base: &Arc<InstanceCheckpoint>,
+        depot: &SnapshotDepot,
+        my: &mut WorkerStats,
+    ) -> Vec<Trial> {
+        let result = run_segment(
+            self.config,
+            self.plan,
+            &self.initial_cr,
+            base,
+            depot,
+            &self.ref_cache,
+            seg.skip,
+            seg.take,
+            my,
+        );
+        my.sim_seconds += result.sim_seconds;
+        my.convergence_waits += result.convergence_waits;
+        my.ref_cache_hits += result.ref_cache_hits;
+        my.ref_cache_misses += result.ref_cache_misses;
+        my.crash_points_swept += result.crash_points_swept;
+        result.trials
+    }
+
+    fn quarantined(&self, seg: Segment, panic: &str) -> Vec<Trial> {
+        vec![panicked_segment_trial(seg.index, seg.skip, panic)]
+    }
+}
+
+/// The work-stealing core behind both the plain entry points and the
+/// persistence layer: `completed` splices in journaled segment trials
+/// (resume), `sink` observes each freshly finished segment (journaling).
+pub(crate) fn run_work_stealing_core(
+    config: &CampaignConfig,
+    workers: usize,
+    segment_ops: usize,
+    depot: &SnapshotDepot,
+    completed: BTreeMap<usize, Vec<Trial>>,
+    sink: Option<crate::exec::SegmentSink<'_, Vec<Trial>>>,
+) -> ParallelResult {
     let start = Instant::now();
     let operator = operator_by_name(config.operator());
     let gen_start = Instant::now();
@@ -412,211 +248,45 @@ pub fn run_work_stealing_with(
     // the shared plan before segmentation keeps it worker-count-agnostic.
     let plan_len = config.max_ops.map_or(plan.len(), |max| plan.len().min(max));
     let segment_ops = segment_ops.max(1);
+    let driver = CampaignDriver {
+        config,
+        plan: &plan,
+        plan_len,
+        initial_cr: operator.initial_cr(),
+        // One fresh-reference cache for the whole run: reference runs
+        // depend only on the declaration, so workers share them like
+        // depot snapshots.
+        ref_cache: FreshRefCache::new(),
+    };
+    let run = run_segmented(&driver, workers, segment_ops, depot, completed, sink);
 
-    // Fixed-size segments, independent of the worker count. The last
-    // segment absorbs the remainder, so no segment is ever empty and no
-    // worker deploys a cluster for zero work.
-    let mut segments: Vec<(usize, usize)> = Vec::new();
-    let mut cut = 0;
-    while cut < plan_len {
-        let take = segment_ops.min(plan_len - cut);
-        segments.push((cut, take));
-        cut += take;
-    }
-    assert!(
-        segments.iter().all(|&(_, take)| take > 0),
-        "segmentation must never produce an empty segment"
-    );
-    let workers = workers.max(1).min(segments.len().max(1));
-
-    // Deploy the shared base once and checkpoint it: every reset and
-    // differential reference in every segment restores this snapshot
-    // instead of paying for a redeployment.
-    let base_instance = Instance::deploy_on(
-        operator_by_name(config.operator()),
-        config.bugs.clone(),
-        config.platform,
-        config.topology.clone(),
-    )
-    .expect("initial deployment");
-    let base_sim_seconds = base_instance.cluster.now();
-    let base = Arc::new(base_instance.checkpoint());
-    depot.put(0, Arc::clone(&base));
-
-    let initial_cr = operator.initial_cr();
-    // One fresh-reference cache for the whole run: reference runs depend
-    // only on the declaration, so workers share them like depot snapshots.
-    let ref_cache = FreshRefCache::new();
-    // Each worker is pre-assigned its own first segment (workers are
-    // clamped to the segment count, so segment `w` always exists); the
-    // shared cursor hands out the rest. Guarantees every spawned worker
-    // executes at least one segment even when segments finish faster than
-    // threads spawn, instead of relying on timing.
-    let cursor = AtomicUsize::new(workers);
-    let seg_trials: Mutex<BTreeMap<usize, Vec<Trial>>> = Mutex::new(BTreeMap::new());
-    let failed: Mutex<Vec<FailedSegment>> = Mutex::new(Vec::new());
-    let stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::new());
-    // A worker's static share under even chunking; claims outside it are
-    // counted as steals.
-    let static_chunk = segments.len().div_ceil(workers);
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let config = config.clone();
-            let plan = Arc::clone(&plan);
-            let base = Arc::clone(&base);
-            let initial_cr = initial_cr.clone();
-            let (cursor, seg_trials, failed, stats) = (&cursor, &seg_trials, &failed, &stats);
-            let ref_cache = &ref_cache;
-            let segments = &segments;
-            handles.push(scope.spawn(move || {
-                let worker_start = Instant::now();
-                let mut my = WorkerStats::new(w);
-                let mut preassigned = Some(w);
-                loop {
-                    let seg = match preassigned.take() {
-                        Some(seg) => seg,
-                        None => cursor.fetch_add(1, Ordering::SeqCst),
-                    };
-                    if seg >= segments.len() {
-                        break;
-                    }
-                    if seg / static_chunk != w {
-                        my.steals += 1;
-                    }
-                    let (skip, take) = segments[seg];
-                    let mut attempt = || {
-                        catch_unwind(AssertUnwindSafe(|| {
-                            run_segment(
-                                &config,
-                                &plan,
-                                &initial_cr,
-                                &base,
-                                depot,
-                                ref_cache,
-                                skip,
-                                take,
-                                &mut my,
-                            )
-                        }))
-                    };
-                    let outcome = match attempt() {
-                        Ok(result) => Ok(result),
-                        Err(payload) => {
-                            // Graceful degradation: retry the segment once
-                            // on a fresh checkpoint restore (run_segment
-                            // always starts from the canonical prefix
-                            // snapshot, so the retry sees pristine state).
-                            // A second panic quarantines the segment.
-                            let first = panic_message(payload.as_ref());
-                            match attempt() {
-                                Ok(result) => {
-                                    failed.lock().unwrap_or_else(|e| e.into_inner()).push(
-                                        FailedSegment {
-                                            segment: seg,
-                                            skip,
-                                            take,
-                                            panic: first,
-                                            quarantined: false,
-                                        },
-                                    );
-                                    Ok(result)
-                                }
-                                Err(payload) => Err(panic_message(payload.as_ref())),
-                            }
-                        }
-                    };
-                    match outcome {
-                        Ok(result) => {
-                            my.sim_seconds += result.sim_seconds;
-                            my.convergence_waits += result.convergence_waits;
-                            my.ref_cache_hits += result.ref_cache_hits;
-                            my.ref_cache_misses += result.ref_cache_misses;
-                            my.crash_points_swept += result.crash_points_swept;
-                            seg_trials
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .insert(seg, result.trials);
-                        }
-                        Err(panic) => {
-                            failed
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .push(FailedSegment {
-                                    segment: seg,
-                                    skip,
-                                    take,
-                                    panic: panic.clone(),
-                                    quarantined: true,
-                                });
-                            seg_trials
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .insert(seg, vec![panicked_segment_trial(seg, skip, &panic)]);
-                        }
-                    }
-                    my.segments_executed += 1;
-                }
-                my.wall = worker_start.elapsed();
-                stats.lock().unwrap_or_else(|e| e.into_inner()).push(my);
-            }));
-        }
-        for h in handles {
-            if h.join().is_err() {
-                // Segment panics are captured inside the worker loop, so a
-                // join error means the bookkeeping itself died; note it and
-                // let the remaining workers finish.
-                failed
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push(FailedSegment {
-                        segment: usize::MAX,
-                        skip: 0,
-                        take: 0,
-                        panic: "worker thread aborted outside segment execution".to_string(),
-                        quarantined: true,
-                    });
-            }
-        }
-    });
-
-    let mut worker_stats = stats.into_inner().unwrap_or_else(|e| e.into_inner());
-    worker_stats.sort_by_key(|s| s.worker);
-    let failed_segments = failed.into_inner().unwrap_or_else(|e| e.into_inner());
-    let trials: Vec<Trial> = seg_trials
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
-        .into_values()
-        .flatten()
-        .collect();
-    let total_sim_seconds =
-        base_sim_seconds + worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
-    let makespan_sim_seconds = worker_stats
+    let trials: Vec<Trial> = run.outputs.into_iter().flatten().collect();
+    let total_sim_seconds = run.base_sim_seconds
+        + run.worker_stats.iter().map(|s| s.sim_seconds).sum::<u64>();
+    let makespan_sim_seconds = run
+        .worker_stats
         .iter()
         .map(|s| s.sim_seconds)
         .max()
         .unwrap_or(0);
     let summary = summarize(config.operator(), &trials);
-    let depot_snapshots = depot.len();
-    let (depot_shared_objects, depot_owned_objects) = depot.sharing_stats();
     ParallelResult {
         operator: config.operator().to_string(),
         mode: config.mode,
-        workers,
+        workers: run.workers,
         segment_ops,
-        segments: segments.len(),
+        segments: run.segments,
         trials,
         total_sim_seconds,
         makespan_sim_seconds,
-        base_sim_seconds,
+        base_sim_seconds: run.base_sim_seconds,
         gen_duration,
         wall: start.elapsed(),
-        worker_stats,
-        failed_segments,
-        depot_snapshots,
-        depot_shared_objects,
-        depot_owned_objects,
+        worker_stats: run.worker_stats,
+        failed_segments: run.failed_segments,
+        depot_snapshots: run.depot_snapshots,
+        depot_shared_objects: run.depot_shared_objects,
+        depot_owned_objects: run.depot_owned_objects,
         summary,
     }
 }
@@ -707,22 +377,13 @@ fn panicked_segment_trial(segment: usize, skip: usize, panic: &str) -> Trial {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::Mode;
     use operators::bugs::BugToggles;
     use simkube::PlatformBugs;
+    use std::sync::atomic::Ordering;
 
     fn quick_config() -> CampaignConfig {
         CampaignConfig {

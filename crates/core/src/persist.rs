@@ -1,0 +1,1033 @@
+//! `acto::persist` — a versioned on-disk run store so interrupted
+//! campaigns and fuzz runs resume and complete with a transcript
+//! byte-identical to an uninterrupted run at any worker count.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! <dir>/manifest.json   # version, run kind, operator, mode, parameters
+//! <dir>/journal.jsonl   # append-only; one JSON object per line
+//! <dir>/corpus.json     # (fuzz) final corpus, written on completion
+//! <dir>/minimized.json  # (fuzz, minimize flag) shrunk alarm reproductions
+//! ```
+//!
+//! The journal is the unit of durability. A work-stealing campaign appends
+//! one `{segment, trials}` line as each plan segment completes (in claim
+//! order — resume sorts by segment index); a fuzz run appends one
+//! `{round, executed, rng_state, replay, records, corpus_added}` line at
+//! each batch barrier. Because the fuzz barrier is the *only* place the
+//! coordinating thread mutates coverage/corpus/records, replaying the
+//! journal rebuilds exactly the state an uninterrupted run would hold at
+//! that barrier, and the saved random-stream state lets generation
+//! continue mid-stream. A process killed mid-append leaves a truncated
+//! final line; resume detects it by parse failure and discards it, losing
+//! at most one segment or round of work.
+//!
+//! All serialization rides on the crdspec-owned JSON codec
+//! ([`crdspec::json`]); nothing here introduces a second serialization
+//! dialect.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::sync::Mutex;
+
+use crdspec::Value;
+
+use crate::campaign::CampaignConfig;
+use crate::fuzz::{
+    run_fuzz_hooked, Corpus, CorpusEntry, CoverageFeature, CoverageMap, ExecRecord, FuzzConfig,
+    FuzzHooks, FuzzResult, Guidance, RestoredFuzz,
+};
+use crate::minimize::minimize;
+use crate::model::{Expectation, Mode, PlannedOp, Trial, TrialOutcome};
+use crate::oracles::AlarmKind;
+use crate::parallel::{run_work_stealing_core, ParallelResult, SnapshotDepot};
+use crate::report::Alarm;
+
+/// On-disk format version; bumped on any incompatible layout change.
+pub const STORE_VERSION: i64 = 1;
+
+/// What kind of run a store holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// A segmented work-stealing campaign.
+    WorkStealing,
+    /// A coverage-guided (or random-baseline) fuzz run.
+    Fuzz,
+}
+
+impl RunKind {
+    fn name(self) -> &'static str {
+        match self {
+            RunKind::WorkStealing => "work-stealing",
+            RunKind::Fuzz => "fuzz",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<RunKind> {
+        match name {
+            "work-stealing" => Some(RunKind::WorkStealing),
+            "fuzz" => Some(RunKind::Fuzz),
+            _ => None,
+        }
+    }
+}
+
+/// The run manifest: enough to refuse a resume under a different
+/// configuration (the journal is only meaningful for the exact run
+/// parameters that produced it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Store format version.
+    pub version: i64,
+    /// Run kind.
+    pub kind: RunKind,
+    /// Operator (or composed label) under test.
+    pub operator: String,
+    /// Acto usage mode.
+    pub mode: Mode,
+    /// Fuzz master seed (0 for campaigns, which are seedless).
+    pub seed: u64,
+    /// Campaign segment size (0 for fuzz runs).
+    pub segment_ops: usize,
+    /// Fuzz execution budget (0 for campaigns).
+    pub execs: usize,
+    /// Fuzz batch size (0 for campaigns).
+    pub batch: usize,
+    /// When set on a fuzz store, a completed resume also delta-debugs
+    /// every alarm-raising corpus entry into a minimal declaration
+    /// sequence (`minimized.json`).
+    pub minimize: bool,
+}
+
+impl Manifest {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("version", Value::Integer(self.version)),
+            ("kind", Value::String(self.kind.name().to_string())),
+            ("operator", Value::String(self.operator.clone())),
+            ("mode", Value::String(self.mode.name().to_string())),
+            ("seed", Value::Integer(self.seed as i64)),
+            ("segment_ops", Value::Integer(self.segment_ops as i64)),
+            ("execs", Value::Integer(self.execs as i64)),
+            ("batch", Value::Integer(self.batch as i64)),
+            ("minimize", Value::Bool(self.minimize)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Manifest, String> {
+        let version = req_i64(v, "version")?;
+        if version != STORE_VERSION {
+            return Err(format!(
+                "run store version {version} is not the supported version {STORE_VERSION}"
+            ));
+        }
+        let kind = RunKind::from_name(req_str(v, "kind")?)
+            .ok_or_else(|| "manifest has unknown run kind".to_string())?;
+        let mode = mode_from_name(req_str(v, "mode")?)?;
+        Ok(Manifest {
+            version,
+            kind,
+            operator: req_str(v, "operator")?.to_string(),
+            mode,
+            seed: req_i64(v, "seed")? as u64,
+            segment_ops: req_usize(v, "segment_ops")?,
+            execs: req_usize(v, "execs")?,
+            batch: req_usize(v, "batch")?,
+            minimize: v.get("minimize").and_then(Value::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+/// A run store rooted at one directory.
+pub struct RunStore {
+    dir: std::path::PathBuf,
+}
+
+impl RunStore {
+    /// Creates a fresh store: writes the manifest and truncates the
+    /// journal. Refuses to clobber an existing manifest.
+    pub fn create(dir: &std::path::Path, manifest: &Manifest) -> Result<RunStore, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let store = RunStore {
+            dir: dir.to_path_buf(),
+        };
+        if store.manifest_path().exists() {
+            return Err(format!(
+                "run store already exists at {}; use resume instead",
+                dir.display()
+            ));
+        }
+        std::fs::write(
+            store.manifest_path(),
+            crdspec::json::to_string_pretty(&manifest.to_value()),
+        )
+        .map_err(|e| format!("write manifest: {e}"))?;
+        std::fs::write(store.journal_path(), "").map_err(|e| format!("write journal: {e}"))?;
+        Ok(store)
+    }
+
+    /// Opens an existing store and returns its manifest.
+    pub fn open(dir: &std::path::Path) -> Result<(RunStore, Manifest), String> {
+        let store = RunStore {
+            dir: dir.to_path_buf(),
+        };
+        let raw = std::fs::read_to_string(store.manifest_path())
+            .map_err(|e| format!("read manifest in {}: {e}", dir.display()))?;
+        let v = crdspec::json::from_str(&raw).map_err(|e| format!("parse manifest: {e:?}"))?;
+        let manifest = Manifest::from_value(&v)?;
+        Ok((store, manifest))
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn manifest_path(&self) -> std::path::PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    fn journal_path(&self) -> std::path::PathBuf {
+        self.dir.join("journal.jsonl")
+    }
+
+    fn corpus_path(&self) -> std::path::PathBuf {
+        self.dir.join("corpus.json")
+    }
+
+    fn minimized_path(&self) -> std::path::PathBuf {
+        self.dir.join("minimized.json")
+    }
+
+    /// Parses every complete journal line, discarding a truncated tail
+    /// (the partial line a killed process may have left behind).
+    fn journal_lines(&self) -> Result<Vec<Value>, String> {
+        let raw = match std::fs::read_to_string(self.journal_path()) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("read journal: {e}")),
+        };
+        let mut out = Vec::new();
+        for line in raw.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match crdspec::json::from_str(line) {
+                Ok(v) => out.push(v),
+                // A parse failure means the process died mid-append; the
+                // tail is discarded and that unit of work re-executes.
+                Err(_) => break,
+            }
+        }
+        Ok(out)
+    }
+
+    fn append_line(journal: &Mutex<std::fs::File>, value: &Value) {
+        let line = crdspec::json::to_string(value);
+        let mut f = journal.lock().unwrap();
+        let _ = writeln!(f, "{line}");
+        let _ = f.flush();
+    }
+
+    fn open_journal_append(&self) -> Result<Mutex<std::fs::File>, String> {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.journal_path())
+            .map(Mutex::new)
+            .map_err(|e| format!("open journal for append: {e}"))
+    }
+
+    /// Rewrites the journal to exactly `lines`, dropping any truncated
+    /// tail so subsequent appends start on a clean line boundary.
+    fn rewrite_journal(&self, lines: &[Value]) -> Result<(), String> {
+        let mut out = String::new();
+        for v in lines {
+            out.push_str(&crdspec::json::to_string(v));
+            out.push('\n');
+        }
+        std::fs::write(self.journal_path(), out).map_err(|e| format!("rewrite journal: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing campaigns
+// ---------------------------------------------------------------------------
+
+/// Runs a work-stealing campaign journaling each completed segment to
+/// `dir`, so an interrupted run can [`resume_work_stealing`].
+pub fn run_work_stealing_persistent(
+    config: &CampaignConfig,
+    workers: usize,
+    segment_ops: usize,
+    dir: &std::path::Path,
+) -> Result<ParallelResult, String> {
+    let manifest = Manifest {
+        version: STORE_VERSION,
+        kind: RunKind::WorkStealing,
+        operator: config.operator().to_string(),
+        mode: config.mode,
+        seed: 0,
+        segment_ops,
+        execs: 0,
+        batch: 0,
+        minimize: false,
+    };
+    let store = RunStore::create(dir, &manifest)?;
+    run_campaign_against(config, workers, segment_ops, &store, BTreeMap::new())
+}
+
+/// Resumes an interrupted work-stealing campaign from its store: already
+/// journaled segments are spliced back in, only missing segments execute,
+/// and the returned transcript is byte-identical to an uninterrupted run
+/// at any worker count.
+pub fn resume_work_stealing(
+    config: &CampaignConfig,
+    workers: usize,
+    dir: &std::path::Path,
+) -> Result<ParallelResult, String> {
+    let (store, manifest) = RunStore::open(dir)?;
+    if manifest.kind != RunKind::WorkStealing {
+        return Err(format!(
+            "store at {} holds a {} run, not a work-stealing campaign",
+            dir.display(),
+            manifest.kind.name()
+        ));
+    }
+    if manifest.operator != config.operator() || manifest.mode != config.mode {
+        return Err(format!(
+            "store manifest ({} / {}) does not match the resume configuration ({} / {})",
+            manifest.operator,
+            manifest.mode.name(),
+            config.operator(),
+            config.mode.name()
+        ));
+    }
+    let lines = store.journal_lines()?;
+    let mut completed: BTreeMap<usize, Vec<Trial>> = BTreeMap::new();
+    for (i, line) in lines.iter().enumerate() {
+        let segment = req_usize(line, "segment").map_err(|e| format!("journal line {i}: {e}"))?;
+        let trials = req_array(line, "trials")
+            .map_err(|e| format!("journal line {i}: {e}"))?
+            .iter()
+            .map(trial_from_value)
+            .collect::<Result<Vec<Trial>, String>>()
+            .map_err(|e| format!("journal line {i}: {e}"))?;
+        completed.insert(segment, trials);
+    }
+    // Re-anchor the journal to its parsed prefix before appending.
+    store.rewrite_journal(&lines)?;
+    run_campaign_against(config, workers, manifest.segment_ops, &store, completed)
+}
+
+fn run_campaign_against(
+    config: &CampaignConfig,
+    workers: usize,
+    segment_ops: usize,
+    store: &RunStore,
+    completed: BTreeMap<usize, Vec<Trial>>,
+) -> Result<ParallelResult, String> {
+    let journal = store.open_journal_append()?;
+    let sink = |seg: crate::exec::Segment, trials: &Vec<Trial>| {
+        let line = Value::object([
+            ("segment", Value::Integer(seg.index as i64)),
+            ("trials", Value::array(trials.iter().map(trial_to_value))),
+        ]);
+        RunStore::append_line(&journal, &line);
+    };
+    Ok(run_work_stealing_core(
+        config,
+        workers,
+        segment_ops,
+        &SnapshotDepot::new(),
+        completed,
+        Some(&sink),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz runs
+// ---------------------------------------------------------------------------
+
+/// Runs a coverage-guided fuzz campaign journaling each batch barrier to
+/// `dir`, so an interrupted run can [`resume_fuzz`]. On completion the
+/// final corpus is written to `corpus.json`.
+pub fn run_fuzz_persistent(cfg: &FuzzConfig, dir: &std::path::Path) -> Result<FuzzResult, String> {
+    run_fuzz_persistent_with(cfg, dir, false)
+}
+
+/// Like [`run_fuzz_persistent`], with the store's `minimize` flag set:
+/// when the run (or any later resume) completes, every alarm-raising
+/// corpus entry is also delta-debugged into a minimal declaration
+/// sequence, written to `minimized.json`.
+pub fn run_fuzz_persistent_with(
+    cfg: &FuzzConfig,
+    dir: &std::path::Path,
+    minimize_alarms: bool,
+) -> Result<FuzzResult, String> {
+    let manifest = Manifest {
+        version: STORE_VERSION,
+        kind: RunKind::Fuzz,
+        operator: cfg.campaign.operator().to_string(),
+        mode: cfg.campaign.mode,
+        seed: cfg.seed,
+        segment_ops: 0,
+        execs: cfg.execs,
+        batch: cfg.batch,
+        minimize: minimize_alarms,
+    };
+    let store = RunStore::create(dir, &manifest)?;
+    run_fuzz_against(cfg, &store, &manifest, None)
+}
+
+/// Resumes an interrupted fuzz run from its store: the journal
+/// fast-forwards coverage, corpus, records, the dedup set, and the
+/// random stream to the last completed batch barrier, then the guided
+/// loop continues. The returned transcript, corpus JSON, and coverage
+/// digest are byte-identical to an uninterrupted run at any worker count.
+pub fn resume_fuzz(cfg: &FuzzConfig, dir: &std::path::Path) -> Result<FuzzResult, String> {
+    let (store, manifest) = RunStore::open(dir)?;
+    if manifest.kind != RunKind::Fuzz {
+        return Err(format!(
+            "store at {} holds a {} run, not a fuzz run",
+            dir.display(),
+            manifest.kind.name()
+        ));
+    }
+    if manifest.operator != cfg.campaign.operator()
+        || manifest.mode != cfg.campaign.mode
+        || manifest.seed != cfg.seed
+        || manifest.execs != cfg.execs
+        || manifest.batch != cfg.batch
+    {
+        return Err(format!(
+            "store manifest (operator {}, {}, seed {:#x}, execs {}, batch {}) does not match the \
+             resume configuration (operator {}, {}, seed {:#x}, execs {}, batch {})",
+            manifest.operator,
+            manifest.mode.name(),
+            manifest.seed,
+            manifest.execs,
+            manifest.batch,
+            cfg.campaign.operator(),
+            cfg.campaign.mode.name(),
+            cfg.seed,
+            cfg.execs,
+            cfg.batch
+        ));
+    }
+    let lines = store.journal_lines()?;
+    let restored = restore_from_rounds(cfg, &lines)?;
+    store.rewrite_journal(&lines)?;
+    run_fuzz_against(cfg, &store, &manifest, restored)
+}
+
+fn run_fuzz_against(
+    cfg: &FuzzConfig,
+    store: &RunStore,
+    manifest: &Manifest,
+    restored: Option<RestoredFuzz>,
+) -> Result<FuzzResult, String> {
+    let journal = store.open_journal_append()?;
+    let mut on_round = |delta: &crate::fuzz::RoundDelta<'_>| {
+        let line = Value::object([
+            ("round", Value::Integer(delta.round as i64)),
+            ("executed", Value::Integer(delta.executed as i64)),
+            ("rng_state", Value::Integer(delta.rng_state as i64)),
+            ("replay", Value::Bool(delta.replay)),
+            (
+                "records",
+                Value::array(delta.records.iter().map(exec_record_to_value)),
+            ),
+            (
+                "corpus_added",
+                Value::array(delta.corpus_added.iter().map(corpus_entry_to_value)),
+            ),
+        ]);
+        RunStore::append_line(&journal, &line);
+    };
+    let result = run_fuzz_hooked(
+        cfg,
+        Guidance::Coverage,
+        None,
+        FuzzHooks {
+            restore: restored,
+            on_round: Some(&mut on_round),
+        },
+    )?;
+    std::fs::write(store.corpus_path(), result.corpus.to_json_string())
+        .map_err(|e| format!("write corpus: {e}"))?;
+    if manifest.minimize {
+        write_minimized(cfg, store, &result)?;
+    }
+    Ok(result)
+}
+
+/// Rebuilds the fuzz-run state at the last journaled batch barrier. The
+/// dedup set is the keys of every executed input (every drawn candidate
+/// executes, so the two sets coincide); the coverage map is the union of
+/// the per-record novel features (observation is idempotent, so the union
+/// of first sightings *is* the map).
+fn restore_from_rounds(
+    cfg: &FuzzConfig,
+    lines: &[Value],
+) -> Result<Option<RestoredFuzz>, String> {
+    let Some(last) = lines.last() else {
+        return Ok(None);
+    };
+    let mut coverage = CoverageMap::new();
+    let mut corpus = Corpus {
+        operator: cfg.campaign.operator().to_string(),
+        entries: Vec::new(),
+    };
+    let mut records: Vec<ExecRecord> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (i, line) in lines.iter().enumerate() {
+        for rv in req_array(line, "records").map_err(|e| format!("journal line {i}: {e}"))? {
+            let record = exec_record_from_value(rv).map_err(|e| format!("journal line {i}: {e}"))?;
+            seen.insert(record.input.key());
+            for f in &record.novel {
+                coverage.observe(*f);
+            }
+            records.push(record);
+        }
+        for cv in req_array(line, "corpus_added").map_err(|e| format!("journal line {i}: {e}"))? {
+            corpus
+                .entries
+                .push(corpus_entry_from_value(cv).map_err(|e| format!("journal line {i}: {e}"))?);
+        }
+    }
+    Ok(Some(RestoredFuzz {
+        coverage,
+        corpus,
+        records,
+        seen,
+        rng_state: req_i64(last, "rng_state")? as u64,
+        executed: req_usize(last, "executed")?,
+        rounds: req_usize(last, "round")?,
+    }))
+}
+
+/// Delta-debugs every alarm-raising corpus entry into a minimal
+/// declaration sequence and writes the result set to `minimized.json`.
+/// Returns the number of entries shrunk.
+pub fn write_minimized(
+    cfg: &FuzzConfig,
+    store: &RunStore,
+    result: &FuzzResult,
+) -> Result<usize, String> {
+    let name = cfg.campaign.operator();
+    let operator = operators::try_operator_by_name(name)
+        .ok_or_else(|| format!("unknown operator {name:?}"))?;
+    let pool = crate::campaign::plan_campaign(
+        &operator.schema(),
+        Some(&operator.ir()),
+        cfg.campaign.mode,
+        &operator.initial_cr(),
+        &operator.images(),
+        operators::INSTANCE,
+    );
+    let initial_cr = operator.initial_cr();
+    let mut shrunk = Vec::new();
+    for entry in &result.corpus.entries {
+        let Some(record) = result.records.get(entry.exec) else {
+            continue;
+        };
+        let Some(kind) = record
+            .trials
+            .iter()
+            .flat_map(|t| t.alarms.iter())
+            .map(|a| a.kind)
+            .next()
+        else {
+            continue;
+        };
+        let declarations = entry.input.declarations(&pool, &initial_cr);
+        let minimal = minimize(
+            name,
+            &cfg.campaign.bugs,
+            cfg.campaign.platform,
+            &declarations,
+            kind,
+        );
+        shrunk.push(Value::object([
+            ("entry", Value::Integer(entry.id as i64)),
+            ("kind", Value::String(kind.name().to_string())),
+            ("original_len", Value::Integer(declarations.len() as i64)),
+            ("declarations", Value::array(minimal)),
+        ]));
+    }
+    let count = shrunk.len();
+    let root = Value::object([
+        ("version", Value::Integer(STORE_VERSION)),
+        ("operator", Value::String(name.to_string())),
+        ("entries", Value::array(shrunk)),
+    ]);
+    std::fs::write(
+        store.minimized_path(),
+        crdspec::json::to_string_pretty(&root),
+    )
+    .map_err(|e| format!("write minimized: {e}"))?;
+    Ok(count)
+}
+
+// ---------------------------------------------------------------------------
+// Value codecs (crdspec::Value <-> run data)
+// ---------------------------------------------------------------------------
+
+fn req_i64(v: &Value, key: &str) -> Result<i64, String> {
+    v.get(key)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+fn req_usize(v: &Value, key: &str) -> Result<usize, String> {
+    req_i64(v, key)
+        .and_then(|n| usize::try_from(n).map_err(|_| format!("field {key:?} is negative")))
+}
+
+fn req_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn req_array<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing array field {key:?}"))
+}
+
+fn mode_from_name(name: &str) -> Result<Mode, String> {
+    match name {
+        "Acto-blackbox" => Ok(Mode::Blackbox),
+        "Acto-whitebox" => Ok(Mode::Whitebox),
+        other => Err(format!("unknown mode {other:?}")),
+    }
+}
+
+/// Interns a string, leaking each distinct value once. Journal vocabulary
+/// (scenario names, outcome classes) is a small closed set in practice, so
+/// the leak is bounded; the pool exists because [`PlannedOp::scenario`]
+/// and [`CoverageFeature`] hold `&'static str` for zero-cost in-run use.
+fn intern(s: &str) -> &'static str {
+    use std::sync::OnceLock;
+    static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut guard = pool.lock().unwrap();
+    if let Some(&existing) = guard.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+/// The payload-free outcome classes, for re-pinning parsed features to
+/// the statics the running process uses.
+const OUTCOME_CLASSES: &[&str] = &[
+    "rejected-by-api",
+    "rejected-by-operator",
+    "converged",
+    "error-state",
+    "operator-crash",
+    "livelock",
+    "stuck",
+];
+
+const CRASH_VERDICTS: &[&str] = &["consistent", "diverged", "unfired"];
+
+fn pin_static(s: &str, catalog: &[&'static str]) -> &'static str {
+    catalog
+        .iter()
+        .find(|&&c| c == s)
+        .copied()
+        .unwrap_or_else(|| intern(s))
+}
+
+fn expectation_name(e: Expectation) -> &'static str {
+    match e {
+        Expectation::NormalTransition => "normal",
+        Expectation::Misoperation => "misoperation",
+    }
+}
+
+fn expectation_from_name(name: &str) -> Result<Expectation, String> {
+    match name {
+        "normal" => Ok(Expectation::NormalTransition),
+        "misoperation" => Ok(Expectation::Misoperation),
+        other => Err(format!("unknown expectation {other:?}")),
+    }
+}
+
+fn planned_op_to_value(op: &PlannedOp) -> Value {
+    Value::object([
+        ("index", Value::Integer(op.index as i64)),
+        ("property", Value::String(op.property.to_string())),
+        ("scenario", Value::String(op.scenario.to_string())),
+        ("value", op.value.clone()),
+        (
+            "deps",
+            Value::array(op.dependency_assignments.iter().map(|(p, v)| {
+                Value::array([Value::String(p.to_string()), v.clone()])
+            })),
+        ),
+        (
+            "expectation",
+            Value::String(expectation_name(op.expectation).to_string()),
+        ),
+    ])
+}
+
+fn planned_op_from_value(v: &Value) -> Result<PlannedOp, String> {
+    let property = req_str(v, "property")?
+        .parse::<crdspec::Path>()
+        .map_err(|e| format!("bad property path: {e}"))?;
+    let mut dependency_assignments = Vec::new();
+    for d in req_array(v, "deps")? {
+        let pair = d
+            .as_array()
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| "dependency assignment must be a [path, value] pair".to_string())?;
+        let path = pair[0]
+            .as_str()
+            .ok_or_else(|| "dependency path must be a string".to_string())?
+            .parse::<crdspec::Path>()
+            .map_err(|e| format!("bad dependency path: {e}"))?;
+        dependency_assignments.push((path, pair[1].clone()));
+    }
+    Ok(PlannedOp {
+        index: req_usize(v, "index")?,
+        property,
+        scenario: intern(req_str(v, "scenario")?),
+        value: v.get("value").cloned().unwrap_or(Value::Null),
+        dependency_assignments,
+        expectation: expectation_from_name(req_str(v, "expectation")?)?,
+    })
+}
+
+fn outcome_to_value(o: &TrialOutcome) -> Value {
+    let (class, detail) = match o {
+        TrialOutcome::RejectedByApi(d) => ("rejected-by-api", Some(d)),
+        TrialOutcome::RejectedByOperator => ("rejected-by-operator", None),
+        TrialOutcome::Converged => ("converged", None),
+        TrialOutcome::ErrorState(d) => ("error-state", Some(d)),
+        TrialOutcome::OperatorCrash(d) => ("operator-crash", Some(d)),
+        TrialOutcome::Livelock => ("livelock", None),
+        TrialOutcome::Stuck => ("stuck", None),
+    };
+    let mut fields = vec![("class", Value::String(class.to_string()))];
+    if let Some(d) = detail {
+        fields.push(("detail", Value::String(d.clone())));
+    }
+    Value::object(fields)
+}
+
+fn outcome_from_value(v: &Value) -> Result<TrialOutcome, String> {
+    let class = req_str(v, "class")?;
+    let detail = || -> Result<String, String> { Ok(req_str(v, "detail")?.to_string()) };
+    Ok(match class {
+        "rejected-by-api" => TrialOutcome::RejectedByApi(detail()?),
+        "rejected-by-operator" => TrialOutcome::RejectedByOperator,
+        "converged" => TrialOutcome::Converged,
+        "error-state" => TrialOutcome::ErrorState(detail()?),
+        "operator-crash" => TrialOutcome::OperatorCrash(detail()?),
+        "livelock" => TrialOutcome::Livelock,
+        "stuck" => TrialOutcome::Stuck,
+        other => return Err(format!("unknown outcome class {other:?}")),
+    })
+}
+
+fn alarm_to_value(a: &Alarm) -> Value {
+    Value::object([
+        ("kind", Value::String(a.kind.name().to_string())),
+        ("detail", Value::String(a.detail.clone())),
+    ])
+}
+
+fn alarm_from_value(v: &Value) -> Result<Alarm, String> {
+    let kind = req_str(v, "kind")?;
+    Ok(Alarm {
+        kind: AlarmKind::from_name(kind).ok_or_else(|| format!("unknown alarm kind {kind:?}"))?,
+        detail: req_str(v, "detail")?.to_string(),
+    })
+}
+
+fn trial_to_value(t: &Trial) -> Value {
+    Value::object([
+        ("op", planned_op_to_value(&t.op)),
+        ("declaration", t.declaration.clone()),
+        ("outcome", outcome_to_value(&t.outcome)),
+        ("alarms", Value::array(t.alarms.iter().map(alarm_to_value))),
+        (
+            "rollback_recovered",
+            match t.rollback_recovered {
+                None => Value::Null,
+                Some(b) => Value::Bool(b),
+            },
+        ),
+        ("sim_seconds", Value::Integer(t.sim_seconds as i64)),
+        (
+            "fault_events",
+            Value::array(t.fault_events.iter().map(|s| Value::String(s.clone()))),
+        ),
+        (
+            "crash_points_swept",
+            Value::Integer(i64::from(t.crash_points_swept)),
+        ),
+    ])
+}
+
+fn trial_from_value(v: &Value) -> Result<Trial, String> {
+    let alarms = req_array(v, "alarms")?
+        .iter()
+        .map(alarm_from_value)
+        .collect::<Result<Vec<Alarm>, String>>()?;
+    let fault_events = req_array(v, "fault_events")?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "fault event must be a string".to_string())
+        })
+        .collect::<Result<Vec<String>, String>>()?;
+    Ok(Trial {
+        op: planned_op_from_value(
+            v.get("op").ok_or_else(|| "missing field \"op\"".to_string())?,
+        )?,
+        declaration: v.get("declaration").cloned().unwrap_or(Value::Null),
+        outcome: outcome_from_value(
+            v.get("outcome")
+                .ok_or_else(|| "missing field \"outcome\"".to_string())?,
+        )?,
+        alarms,
+        rollback_recovered: v.get("rollback_recovered").and_then(Value::as_bool),
+        sim_seconds: req_i64(v, "sim_seconds")? as u64,
+        fault_events,
+        crash_points_swept: req_i64(v, "crash_points_swept")
+            .and_then(|n| u32::try_from(n).map_err(|_| "bad crash_points_swept".to_string()))?,
+    })
+}
+
+fn feature_from_render(s: &str) -> Result<CoverageFeature, String> {
+    if let Some(rest) = s.strip_prefix("state:") {
+        return u64::from_str_radix(rest, 16)
+            .map(CoverageFeature::State)
+            .map_err(|_| format!("bad state feature {s:?}"));
+    }
+    if let Some(rest) = s.strip_prefix("edge:") {
+        let (a, b) = rest
+            .split_once("->")
+            .ok_or_else(|| format!("bad edge feature {s:?}"))?;
+        let a = u64::from_str_radix(a, 16).map_err(|_| format!("bad edge feature {s:?}"))?;
+        let b = u64::from_str_radix(b, 16).map_err(|_| format!("bad edge feature {s:?}"))?;
+        return Ok(CoverageFeature::Edge(a, b));
+    }
+    if let Some(rest) = s.strip_prefix("outcome:") {
+        return Ok(CoverageFeature::Outcome(pin_static(rest, OUTCOME_CLASSES)));
+    }
+    if let Some(rest) = s.strip_prefix("alarm:") {
+        let pinned = AlarmKind::from_name(rest)
+            .map(|k| k.name())
+            .unwrap_or_else(|| intern(rest));
+        return Ok(CoverageFeature::Alarm(pinned));
+    }
+    if let Some(rest) = s.strip_prefix("crash:") {
+        let (k, verdict) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("bad crash feature {s:?}"))?;
+        let k = k.parse::<u32>().map_err(|_| format!("bad crash feature {s:?}"))?;
+        return Ok(CoverageFeature::CrashBoundary(
+            k,
+            pin_static(verdict, CRASH_VERDICTS),
+        ));
+    }
+    Err(format!("unknown coverage feature {s:?}"))
+}
+
+fn exec_record_to_value(r: &ExecRecord) -> Value {
+    Value::object([
+        ("index", Value::Integer(r.index as i64)),
+        ("input", r.input.to_value()),
+        ("mutation", Value::String(r.mutation.clone())),
+        (
+            "parent",
+            r.parent.map_or(Value::Null, |p| Value::Integer(p as i64)),
+        ),
+        ("trials", Value::array(r.trials.iter().map(trial_to_value))),
+        (
+            "novel",
+            Value::array(r.novel.iter().map(|f| Value::String(f.render()))),
+        ),
+        ("sim_seconds", Value::Integer(r.sim_seconds as i64)),
+    ])
+}
+
+fn exec_record_from_value(v: &Value) -> Result<ExecRecord, String> {
+    let parent = match v.get("parent") {
+        None | Some(Value::Null) => None,
+        Some(p) => Some(
+            p.as_i64()
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| "bad parent".to_string())?,
+        ),
+    };
+    Ok(ExecRecord {
+        index: req_usize(v, "index")?,
+        input: crate::fuzz::FuzzInput::from_value(
+            v.get("input")
+                .ok_or_else(|| "missing field \"input\"".to_string())?,
+        )?,
+        mutation: req_str(v, "mutation")?.to_string(),
+        parent,
+        trials: req_array(v, "trials")?
+            .iter()
+            .map(trial_from_value)
+            .collect::<Result<Vec<Trial>, String>>()?,
+        novel: req_array(v, "novel")?
+            .iter()
+            .map(|f| {
+                f.as_str()
+                    .ok_or_else(|| "novel feature must be a string".to_string())
+                    .and_then(feature_from_render)
+            })
+            .collect::<Result<Vec<CoverageFeature>, String>>()?,
+        sim_seconds: req_i64(v, "sim_seconds")? as u64,
+    })
+}
+
+fn corpus_entry_to_value(e: &CorpusEntry) -> Value {
+    Value::object([
+        ("id", Value::Integer(e.id as i64)),
+        (
+            "parent",
+            e.parent.map_or(Value::Null, |p| Value::Integer(p as i64)),
+        ),
+        ("mutation", Value::String(e.mutation.clone())),
+        ("exec", Value::Integer(e.exec as i64)),
+        ("input", e.input.to_value()),
+        (
+            "new_features",
+            Value::array(e.new_features.iter().map(|f| Value::String(f.clone()))),
+        ),
+    ])
+}
+
+fn corpus_entry_from_value(v: &Value) -> Result<CorpusEntry, String> {
+    let parent = match v.get("parent") {
+        None | Some(Value::Null) => None,
+        Some(p) => Some(
+            p.as_i64()
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| "bad parent".to_string())?,
+        ),
+    };
+    Ok(CorpusEntry {
+        id: req_usize(v, "id")?,
+        parent,
+        mutation: req_str(v, "mutation")?.to_string(),
+        exec: req_usize(v, "exec")?,
+        input: crate::fuzz::FuzzInput::from_value(
+            v.get("input")
+                .ok_or_else(|| "missing field \"input\"".to_string())?,
+        )?,
+        new_features: req_array(v, "new_features")?
+            .iter()
+            .map(|f| {
+                f.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "feature must be a string".to_string())
+            })
+            .collect::<Result<Vec<String>, String>>()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_round_trips_with_exact_payloads() {
+        let outcomes = [
+            TrialOutcome::RejectedByApi("field x: out of range".to_string()),
+            TrialOutcome::RejectedByOperator,
+            TrialOutcome::Converged,
+            TrialOutcome::ErrorState("pod wedged: CrashLoopBackOff".to_string()),
+            TrialOutcome::OperatorCrash("panic: index out of bounds".to_string()),
+            TrialOutcome::Livelock,
+            TrialOutcome::Stuck,
+        ];
+        for o in &outcomes {
+            let round = outcome_from_value(&outcome_to_value(o)).expect("round trip");
+            assert_eq!(&round, o);
+        }
+    }
+
+    #[test]
+    fn feature_rendering_round_trips() {
+        let features = [
+            CoverageFeature::State(0xdead_beef_0000_0001),
+            CoverageFeature::Edge(1, 2),
+            CoverageFeature::Outcome("converged"),
+            CoverageFeature::Alarm("consistency"),
+            CoverageFeature::CrashBoundary(3, "diverged"),
+        ];
+        for f in &features {
+            let parsed = feature_from_render(&f.render()).expect("parses");
+            assert_eq!(parsed, *f);
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_future_versions() {
+        let m = Manifest {
+            version: STORE_VERSION,
+            kind: RunKind::Fuzz,
+            operator: "ZooKeeperOp".to_string(),
+            mode: Mode::Whitebox,
+            seed: 0xfeed,
+            segment_ops: 0,
+            execs: 24,
+            batch: 8,
+            minimize: true,
+        };
+        let round = Manifest::from_value(&m.to_value()).expect("round trip");
+        assert_eq!(round, m);
+        let mut v = m.to_value();
+        if let Value::Object(fields) = &mut v {
+            fields.insert("version".to_string(), Value::Integer(STORE_VERSION + 1));
+        }
+        assert!(Manifest::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn truncated_journal_tail_is_discarded() {
+        let dir = std::env::temp_dir().join(format!(
+            "acto-persist-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = Manifest {
+            version: STORE_VERSION,
+            kind: RunKind::WorkStealing,
+            operator: "ZooKeeperOp".to_string(),
+            mode: Mode::Blackbox,
+            seed: 0,
+            segment_ops: 8,
+            execs: 0,
+            batch: 0,
+            minimize: false,
+        };
+        let store = RunStore::create(&dir, &manifest).expect("create");
+        std::fs::write(
+            store.journal_path(),
+            "{\"segment\": 0, \"trials\": []}\n{\"segment\": 1, \"tri",
+        )
+        .expect("write");
+        let lines = store.journal_lines().expect("parse");
+        assert_eq!(lines.len(), 1, "the truncated tail line is dropped");
+        assert_eq!(req_usize(&lines[0], "segment").unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -356,6 +356,25 @@ pub fn render_worker_stats(stats: &[crate::parallel::WorkerStats]) -> String {
     out
 }
 
+/// Renders the shared scheduler-counter block: the depot sharing line
+/// (when the run owns result-level depot statistics) followed by the
+/// per-worker table. The parallel, fuzz, and composed-parallel reports
+/// all embed this one block instead of formatting their own copies of the
+/// depot and ref-cache counter lines.
+pub fn render_counter_block(
+    depot: Option<(usize, usize, usize)>,
+    stats: &[crate::parallel::WorkerStats],
+) -> String {
+    let mut out = String::new();
+    if let Some((snapshots, shared, owned)) = depot {
+        out.push_str(&format!(
+            "depot: {snapshots} resident snapshots; objects shared {shared} / uniquely owned {owned}\n"
+        ));
+    }
+    out.push_str(&render_worker_stats(stats));
+    out
+}
+
 /// Renders a fuzzing campaign: budget and corpus headline, coverage
 /// breakdown by feature class, the findings summary, and the same
 /// per-worker scheduling table as [`render_parallel`] — with the fuzzer's
@@ -384,7 +403,7 @@ pub fn render_fuzz(result: &crate::fuzz::FuzzResult) -> String {
         result.total_sim_seconds, result.base_sim_seconds, result.wall
     ));
     out.push_str(&render_summary(&result.operator, &result.summary));
-    out.push_str(&render_worker_stats(&result.worker_stats));
+    out.push_str(&render_counter_block(None, &result.worker_stats));
     out
 }
 
@@ -411,11 +430,14 @@ pub fn render_parallel(result: &crate::parallel::ParallelResult) -> String {
         result.wall,
         result.gen_duration
     ));
-    out.push_str(&format!(
-        "depot: {} resident snapshots; objects shared {} / uniquely owned {}\n",
-        result.depot_snapshots, result.depot_shared_objects, result.depot_owned_objects
+    out.push_str(&render_counter_block(
+        Some((
+            result.depot_snapshots,
+            result.depot_shared_objects,
+            result.depot_owned_objects,
+        )),
+        &result.worker_stats,
     ));
-    out.push_str(&render_worker_stats(&result.worker_stats));
     for f in &result.failed_segments {
         if f.quarantined {
             out.push_str(&format!(
@@ -478,12 +500,15 @@ pub fn render_composed_parallel(result: &crate::compose::ComposedParallelResult)
         result.trials.len(),
         result.interference_events
     ));
-    out.push_str(&format!(
-        "depot: {} resident snapshots; objects shared {} / uniquely owned {}\n",
-        result.depot_snapshots, result.depot_shared_objects, result.depot_owned_objects
-    ));
     out.push_str(&render_summary(&label, &result.summary));
-    out.push_str(&render_worker_stats(&result.worker_stats));
+    out.push_str(&render_counter_block(
+        Some((
+            result.depot_snapshots,
+            result.depot_shared_objects,
+            result.depot_owned_objects,
+        )),
+        &result.worker_stats,
+    ));
     out
 }
 
@@ -513,7 +538,7 @@ pub fn render_composed_fuzz(result: &crate::compose::ComposedFuzzResult) -> Stri
         result.total_sim_seconds, result.base_sim_seconds, result.wall
     ));
     out.push_str(&render_summary(&label, &result.summary));
-    out.push_str(&render_worker_stats(&result.worker_stats));
+    out.push_str(&render_counter_block(None, &result.worker_stats));
     out
 }
 

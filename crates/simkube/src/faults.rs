@@ -657,6 +657,19 @@ impl SplitMix64 {
     pub fn below(&mut self, bound: u64) -> u64 {
         ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
+
+    /// The generator's raw state, for checkpointing a random stream
+    /// mid-run (the resumable fuzz journal records this after every
+    /// round).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator at a checkpointed raw state: the stream
+    /// continues exactly where [`SplitMix64::state`] captured it.
+    pub fn from_state(state: u64) -> SplitMix64 {
+        SplitMix64 { state }
+    }
 }
 
 #[cfg(test)]
