@@ -68,6 +68,9 @@ pub struct WorkerStats {
     /// Crash boundaries replayed by this worker's segments (0 with the
     /// crash-point sweep off).
     pub crash_points_swept: u64,
+    /// Overdue items this worker reclaimed from stuck workers through the
+    /// supervision watchdog (0 without supervision).
+    pub reclaims: usize,
     /// Real time from worker start to running out of segments.
     pub wall: Duration,
 }
@@ -87,6 +90,7 @@ impl WorkerStats {
             restored_objects_shared: 0,
             restored_objects_owned: 0,
             crash_points_swept: 0,
+            reclaims: 0,
             wall: Duration::ZERO,
         }
     }
@@ -111,6 +115,45 @@ pub struct FailedSegment {
     pub panic: String,
     /// Whether the retry also failed and the segment was quarantined.
     pub quarantined: bool,
+}
+
+/// One watchdog intervention: an in-flight item exceeded the supervision
+/// deadline and an idle worker re-executed it.
+///
+/// Reclaims are deterministic where it matters: they only happen after the
+/// claim cursor is exhausted (the batch barrier — no pending item is ever
+/// skipped to serve a reclaim), and the re-execution starts from the same
+/// canonical inputs as the original claim (segments restore the canonical
+/// prefix checkpoint), so the result is identical whichever execution
+/// finishes first — the first result wins and the transcript stays
+/// byte-identical. If the stuck worker later completes, its duplicate sink
+/// call is benign: the journal replay dedupes by item index. A worker that
+/// is truly hung (never returns) still blocks the final thread join, but
+/// its item's result has already been assembled by the reclaimer, so the
+/// transcript is unaffected once it is eventually killed.
+#[derive(Debug, Clone)]
+pub struct SupervisionEvent {
+    /// Item index — remapped to the plan segment index by
+    /// [`run_segmented`].
+    pub segment: usize,
+    /// Worker that held the item past the deadline.
+    pub stuck_worker: usize,
+    /// Idle worker that reclaimed and re-executed it.
+    pub reclaimed_by: usize,
+    /// How long the item had been in flight when it was reclaimed.
+    pub overdue: Duration,
+}
+
+/// The per-item supervision deadline: `ACTO_SEGMENT_DEADLINE_MS`
+/// (milliseconds), defaulting to 300 000 — generous enough that reclaims
+/// fire only for genuinely stuck workers, never for slow-but-progressing
+/// ones.
+pub fn segment_deadline() -> Duration {
+    let ms = std::env::var("ACTO_SEGMENT_DEADLINE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300_000);
+    Duration::from_millis(ms)
 }
 
 /// Copy-on-write checkpoints that can report their structural-sharing
@@ -234,6 +277,7 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 pub struct Scheduler {
     workers: usize,
     preassign: bool,
+    deadline: Option<Duration>,
 }
 
 /// What one [`Scheduler`] pass produced.
@@ -247,6 +291,9 @@ pub struct ScheduleRun<R> {
     pub worker_stats: Vec<WorkerStats>,
     /// Items whose execution panicked (empty unless quarantine ran).
     pub failures: Vec<FailedSegment>,
+    /// Watchdog reclaims of overdue items, sorted by item index (empty
+    /// without supervision).
+    pub supervision: Vec<SupervisionEvent>,
 }
 
 impl Scheduler {
@@ -255,7 +302,20 @@ impl Scheduler {
         Scheduler {
             workers,
             preassign: false,
+            deadline: None,
         }
+    }
+
+    /// Supervises in-flight items with a per-item deadline. A worker that
+    /// runs out of cursor work stays on duty until every result is in,
+    /// scanning the in-flight registry and reclaiming any item another
+    /// worker has held past `deadline` — re-executing it itself,
+    /// escalating panics through the usual retry-once-then-quarantine
+    /// path when quarantine is on. See [`SupervisionEvent`] for why this
+    /// cannot change the transcript.
+    pub fn supervised(mut self, deadline: Duration) -> Scheduler {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Pre-assigns worker `w` its own first item (the cursor hands out the
@@ -318,6 +378,10 @@ impl Scheduler {
         let results: Mutex<BTreeMap<usize, R>> = Mutex::new(BTreeMap::new());
         let stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::new());
         let failed: Mutex<Vec<FailedSegment>> = Mutex::new(Vec::new());
+        // Items currently executing, item -> (holder, claim time); the
+        // supervisor scans this for overdue claims.
+        let in_flight: Mutex<BTreeMap<usize, (usize, Instant)>> = Mutex::new(BTreeMap::new());
+        let supervision: Mutex<Vec<SupervisionEvent>> = Mutex::new(Vec::new());
         // A worker's static share under even chunking; claims outside it
         // are counted as steals.
         let static_chunk = items.len().div_ceil(workers).max(1);
@@ -325,10 +389,35 @@ impl Scheduler {
             let mut handles = Vec::new();
             for w in 0..workers {
                 let (cursor, results, stats, failed, f) = (&cursor, &results, &stats, &failed, &f);
+                let (in_flight, supervision) = (&in_flight, &supervision);
                 handles.push(scope.spawn(move || {
                     let worker_start = Instant::now();
                     let mut my = WorkerStats::new(w);
                     let mut preassigned = if self.preassign { Some(w) } else { None };
+                    let execute = |i: usize, my: &mut WorkerStats| {
+                        in_flight
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .insert(i, (w, Instant::now()));
+                        let r = match quarantine {
+                            None => f(i, &items[i], my),
+                            Some(policy) => self.attempt(i, &items[i], f, policy, failed, my),
+                        };
+                        my.segments_executed += 1;
+                        // First result wins: a reclaimed item can finish
+                        // twice, but both executions start from the same
+                        // canonical inputs, so the results are identical
+                        // and keeping the first preserves determinism.
+                        results
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .entry(i)
+                            .or_insert(r);
+                        in_flight
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .remove(&i);
+                    };
                     loop {
                         let i = match preassigned.take() {
                             Some(i) => i,
@@ -340,17 +429,50 @@ impl Scheduler {
                         if i / static_chunk != w {
                             my.steals += 1;
                         }
-                        let r = match quarantine {
-                            None => f(i, &items[i], &mut my),
-                            Some(policy) => {
-                                self.attempt(i, &items[i], f, policy, failed, &mut my)
+                        execute(i, &mut my);
+                    }
+                    // Cursor exhausted — the batch barrier. Under
+                    // supervision an idle worker stays on duty until every
+                    // result is in, reclaiming items held past the
+                    // deadline.
+                    if let Some(deadline) = self.deadline {
+                        loop {
+                            if results.lock().unwrap_or_else(|e| e.into_inner()).len()
+                                >= items.len()
+                            {
+                                break;
                             }
-                        };
-                        my.segments_executed += 1;
-                        results
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .insert(i, r);
+                            let overdue = {
+                                let mut guard =
+                                    in_flight.lock().unwrap_or_else(|e| e.into_inner());
+                                let found = guard.iter().find_map(|(&i, &(holder, since))| {
+                                    (holder != w && since.elapsed() >= deadline)
+                                        .then_some((i, holder, since.elapsed()))
+                                });
+                                // Claim under the lock so two idle workers
+                                // never reclaim the same item.
+                                if let Some((i, _, _)) = found {
+                                    guard.remove(&i);
+                                }
+                                found
+                            };
+                            match overdue {
+                                Some((i, holder, elapsed)) => {
+                                    my.reclaims += 1;
+                                    supervision
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .push(SupervisionEvent {
+                                            segment: i,
+                                            stuck_worker: holder,
+                                            reclaimed_by: w,
+                                            overdue: elapsed,
+                                        });
+                                    execute(i, &mut my);
+                                }
+                                None => std::thread::sleep(Duration::from_millis(1)),
+                            }
+                        }
                     }
                     my.wall = worker_start.elapsed();
                     stats.lock().unwrap_or_else(|e| e.into_inner()).push(my);
@@ -386,11 +508,14 @@ impl Scheduler {
             .into_values()
             .collect();
         let failures = failed.into_inner().unwrap_or_else(|e| e.into_inner());
+        let mut supervision = supervision.into_inner().unwrap_or_else(|e| e.into_inner());
+        supervision.sort_by_key(|e| e.segment);
         ScheduleRun {
             workers,
             results,
             worker_stats,
             failures,
+            supervision,
         }
     }
 
@@ -495,6 +620,7 @@ pub fn fold_batch_stats(acc: &mut [WorkerStats], batch: Vec<WorkerStats>) {
         slot.restored_objects_shared += s.restored_objects_shared;
         slot.restored_objects_owned += s.restored_objects_owned;
         slot.crash_points_swept += s.crash_points_swept;
+        slot.reclaims += s.reclaims;
         slot.wall += s.wall;
     }
 }
@@ -569,6 +695,9 @@ pub struct SegmentedRun<O> {
     pub worker_stats: Vec<WorkerStats>,
     /// Segments whose execution panicked.
     pub failed_segments: Vec<FailedSegment>,
+    /// Watchdog reclaims of segments held past the supervision deadline,
+    /// with plan segment indices.
+    pub supervision_events: Vec<SupervisionEvent>,
     /// Simulated seconds spent deploying the shared base checkpoint.
     pub base_sim_seconds: u64,
     /// Prefix snapshots resident in the depot when the run finished.
@@ -643,7 +772,9 @@ pub fn run_segmented<D: Driver>(
         }
         out
     };
-    let scheduler = Scheduler::new(workers).preassigned();
+    let scheduler = Scheduler::new(workers)
+        .preassigned()
+        .supervised(segment_deadline());
     let run = if driver.quarantines() {
         let placeholder = |_i: usize, seg: &Segment, panic: &str| {
             let out = driver.quarantined(*seg, panic);
@@ -673,6 +804,10 @@ pub fn run_segmented<D: Driver>(
             f.segment = pending[f.segment].index;
         }
     }
+    let mut supervision_events = run.supervision;
+    for e in &mut supervision_events {
+        e.segment = pending[e.segment].index;
+    }
 
     // Assemble outputs in plan order, splicing journaled segments.
     for (seg, out) in pending.iter().zip(run.results) {
@@ -688,6 +823,7 @@ pub fn run_segmented<D: Driver>(
         outputs,
         worker_stats: run.worker_stats,
         failed_segments,
+        supervision_events,
         base_sim_seconds,
         depot_snapshots,
         depot_shared_objects,
@@ -728,7 +864,9 @@ where
         if batch.is_empty() {
             return;
         }
-        let run = Scheduler::new(workers).run_plain(&batch, &exec);
+        let run = Scheduler::new(workers)
+            .supervised(segment_deadline())
+            .run_plain(&batch, &exec);
         source.absorb(batch, run.results, run.worker_stats);
     }
 }
@@ -784,6 +922,32 @@ mod tests {
         assert_eq!(run.failures.len(), 1);
         assert!(run.failures[0].quarantined);
         assert!(run.failures[0].panic.contains("boom 2"));
+    }
+
+    #[test]
+    fn supervisor_reclaims_overdue_items_without_changing_results() {
+        let items: Vec<usize> = (0..4).collect();
+        let run = Scheduler::new(2)
+            .preassigned()
+            .supervised(Duration::from_millis(5))
+            .run_plain(&items, |_, &x, _| {
+                if x == 0 {
+                    // Simulate a stuck worker: held far past the deadline,
+                    // but it does eventually return — the reclaimer's
+                    // duplicate is identical and first-wins keeps the
+                    // transcript stable.
+                    std::thread::sleep(Duration::from_millis(60));
+                }
+                x * 10
+            });
+        assert_eq!(run.results, vec![0, 10, 20, 30]);
+        assert!(
+            !run.supervision.is_empty(),
+            "the overdue item was never reclaimed"
+        );
+        assert_eq!(run.supervision[0].segment, 0);
+        let reclaims: usize = run.worker_stats.iter().map(|s| s.reclaims).sum();
+        assert_eq!(reclaims, run.supervision.len());
     }
 
     #[test]

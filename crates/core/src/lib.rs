@@ -36,9 +36,13 @@
 //!   [`exec::TrialSource`] loop the fuzzers drive.
 //! - [`parallel`]: work-stealing test partitioning across workers with a
 //!   shared plan and checkpoint-based jump-state reuse (§5.5).
-//! - [`persist`]: the versioned on-disk run store (manifest + append-only
-//!   journal) behind persistent, kill-safe, resumable campaign and fuzz
-//!   runs with byte-identical transcripts.
+//! - [`persist`]: the versioned, crash-hardened on-disk run store
+//!   (atomic manifest + CRC-framed append-only journal, all IO behind the
+//!   fault-injectable [`persist::StoreIo`]) behind persistent, kill-safe,
+//!   resumable campaign and fuzz runs with byte-identical transcripts.
+//! - [`durability`]: the persist sweep — the paper's crash-point sweep
+//!   turned on our own store: crash at every IO boundary, resume, and
+//!   prove the transcript unchanged.
 //! - [`compose`]: multi-operator composition campaigns — 2+ operators on
 //!   one shared cluster with an interleaved plan, cross-operator oracles,
 //!   and composed work-stealing/fuzzing runners.
@@ -51,6 +55,7 @@
 pub mod campaign;
 pub mod compose;
 pub mod deps;
+pub mod durability;
 pub mod exec;
 pub mod fuzz;
 pub mod gen;
@@ -72,7 +77,10 @@ pub use compose::{
     ComposedFuzzResult, ComposedOp, ComposedParallelResult, ComposedResult, ComposedTrial,
 };
 pub use deps::{infer_dependencies, Dependency};
-pub use exec::{drive, run_segmented, steal_map, Driver, Scheduler, Segment, TrialSource};
+pub use exec::{
+    drive, run_segmented, segment_deadline, steal_map, Driver, Scheduler, Segment,
+    SupervisionEvent, TrialSource,
+};
 pub use fuzz::{
     replay_corpus, run_fuzz, run_fuzz_resumed, run_random, Corpus, CorpusEntry, CoverageFeature,
     CoverageMap, ExecRecord, FuzzConfig, FuzzInput, FuzzResult,
@@ -84,9 +92,13 @@ pub use parallel::{
     declaration_after_prefix, run_partitioned, run_work_stealing, run_work_stealing_with,
     FailedSegment, ParallelResult, SnapshotDepot, WorkerStats, DEFAULT_SEGMENT_OPS,
 };
+pub use durability::{persist_sweep, DurabilitySweep, SweepOptions};
 pub use persist::{
-    resume_fuzz, resume_work_stealing, run_fuzz_persistent, run_fuzz_persistent_with,
-    run_work_stealing_persistent, Manifest, RunKind, RunStore, STORE_VERSION,
+    load_corpus, resume_fuzz, resume_fuzz_with, resume_work_stealing, resume_work_stealing_with,
+    run_fuzz_persistent, run_fuzz_persistent_io, run_fuzz_persistent_with,
+    run_work_stealing_persistent, run_work_stealing_persistent_io, IoFaultPlan, IoStats, Manifest,
+    PersistError, PersistErrorKind, RecoveryClass, RecoveryPolicy, RunKind, RunStore, StoreIo,
+    RECOVERY_REPORT_VERSION, STORE_VERSION,
 };
 pub use report::{Alarm, Attribution, CampaignSummary};
 pub use semantics::infer_semantics;

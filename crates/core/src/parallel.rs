@@ -27,7 +27,7 @@ use crdspec::{Path, Value};
 use operators::{operator_by_name, Instance, InstanceCheckpoint, CONVERGE_MAX, CONVERGE_RESET};
 
 pub use crate::exec::{
-    steal_map, CheckpointSharing, FailedSegment, SnapshotDepot, WorkerStats,
+    steal_map, CheckpointSharing, FailedSegment, SnapshotDepot, SupervisionEvent, WorkerStats,
 };
 use crate::exec::{run_segmented, Driver, Segment};
 
@@ -74,6 +74,9 @@ pub struct ParallelResult {
     pub worker_stats: Vec<WorkerStats>,
     /// Segments whose execution panicked.
     pub failed_segments: Vec<FailedSegment>,
+    /// Watchdog reclaims of segments held past the supervision deadline
+    /// (scheduling accounting — never part of the transcript).
+    pub supervision_events: Vec<SupervisionEvent>,
     /// Prefix snapshots resident in the depot when the run finished.
     pub depot_snapshots: usize,
     /// Objects across resident depot snapshots shared with other
@@ -284,6 +287,7 @@ pub(crate) fn run_work_stealing_core(
         wall: start.elapsed(),
         worker_stats: run.worker_stats,
         failed_segments: run.failed_segments,
+        supervision_events: run.supervision_events,
         depot_snapshots: run.depot_snapshots,
         depot_shared_objects: run.depot_shared_objects,
         depot_owned_objects: run.depot_owned_objects,

@@ -21,6 +21,7 @@ use acto_repro::acto::fuzz::{
 use acto_repro::acto::parallel::{
     run_partitioned, run_work_stealing, run_work_stealing_with, ParallelResult, SnapshotDepot,
 };
+use acto_repro::acto::persist::PersistError;
 use acto_repro::acto::{
     run_campaign, run_campaign_with, CampaignConfig, CampaignResult, FreshRefCache, PlannedOp,
 };
@@ -70,4 +71,21 @@ fn legacy_entry_point_signatures_still_compile() {
         &SnapshotDepot<CompositionCheckpoint>,
     ) -> Result<ComposedParallelResult, String> = run_composed_work_stealing_with;
     let _: fn(&FuzzConfig) -> Result<ComposedFuzzResult, String> = run_composed_fuzz;
+}
+
+/// The typed [`PersistError`] stays compatible with the legacy
+/// `Result<_, String>` boundaries: it renders through `Display` and
+/// converts into a `String`, so `?` in a `Result<_, String>` function and
+/// `format!`-based call sites keep compiling and produce the same
+/// messages the old API did.
+#[test]
+fn persist_error_keeps_display_compatibility_at_legacy_boundaries() {
+    let _: fn(PersistError) -> String = String::from;
+    fn legacy_boundary(r: Result<(), PersistError>) -> Result<(), String> {
+        r?;
+        Ok(())
+    }
+    let _ = legacy_boundary(Ok(()));
+    fn renders<T: std::fmt::Display + std::error::Error>() {}
+    renders::<PersistError>();
 }

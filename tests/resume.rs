@@ -166,12 +166,19 @@ fn resume_refuses_a_mismatched_configuration() {
     let _ = run_fuzz_persistent(&fuzz_config(0xBEEF, 1), &dir).expect("persistent fuzz");
     let err = resume_fuzz(&fuzz_config(0xBEEF + 1, 1), &dir).expect_err("seed mismatch");
     assert!(
-        err.contains("does not match"),
+        err.to_string().contains("does not match"),
         "error explains the mismatch: {err}"
+    );
+    assert!(
+        err.to_string().contains("`seed`"),
+        "error names the differing field: {err}"
     );
     let err =
         resume_work_stealing(&config("ZooKeeperOp", 10), 1, &dir).expect_err("kind mismatch");
-    assert!(err.contains("fuzz"), "error names the stored kind: {err}");
+    assert!(
+        err.to_string().contains("fuzz"),
+        "error names the stored kind: {err}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
